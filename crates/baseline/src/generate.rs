@@ -1,0 +1,154 @@
+//! The chunk-wise `generate()` API.
+
+use lmql_lm::{LanguageModel, UsageMeter};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+/// A high-level text-in/text-out generation handle (the baseline's
+/// equivalent of `transformers`' `generate()`).
+///
+/// Every [`Generator::generate`] call starts a fresh decoding loop: one
+/// decoder call billing prompt tokens + generated tokens (§6 metrics) —
+/// the accounting that makes chunk-wise decoding expensive.
+pub struct Generator {
+    lm: Arc<dyn LanguageModel>,
+    bpe: Arc<Bpe>,
+    meter: UsageMeter,
+    temperature: f64,
+}
+
+impl std::fmt::Debug for Generator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Generator")
+            .field("temperature", &self.temperature)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Generator {
+    /// A generator over a model/tokenizer pair, metering on `meter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model and tokenizer vocabularies differ in size.
+    pub fn new(lm: Arc<dyn LanguageModel>, bpe: Arc<Bpe>, meter: UsageMeter) -> Self {
+        assert_eq!(
+            lm.vocab().len(),
+            bpe.vocab().len(),
+            "model and tokenizer vocabulary mismatch"
+        );
+        Generator {
+            lm,
+            bpe,
+            meter,
+            temperature: 1.0,
+        }
+    }
+
+    /// Sets the softmax temperature (greedy pick is still used; the
+    /// temperature only shapes scores for [`Generator::score`]).
+    pub fn with_temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// The tokenizer in use.
+    pub fn bpe(&self) -> &Arc<Bpe> {
+        &self.bpe
+    }
+
+    /// The meter this generator bills to.
+    pub fn meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+
+    /// Greedily generates up to `max_new_tokens` continuation tokens for
+    /// `prompt`, stopping early only at EOS. No constraints, no masks —
+    /// the caller parses and truncates by hand.
+    pub fn generate(&self, prompt: &str, max_new_tokens: usize) -> String {
+        let mut ctx = self.bpe.encode(prompt);
+        let prompt_tokens = ctx.len();
+        let eos = self.bpe.vocab().eos();
+        let mut out = String::new();
+        let mut generated = 0usize;
+        while generated < max_new_tokens {
+            self.meter.record_model_query();
+            let dist = self.lm.score(&ctx).softmax(self.temperature);
+            let t = dist.argmax();
+            if t == eos {
+                break;
+            }
+            out.push_str(self.bpe.vocab().token_str(t));
+            ctx.push(t);
+            generated += 1;
+        }
+        self.meter
+            .record_decoder_call((prompt_tokens + generated) as u64);
+        out
+    }
+
+    /// Log-probability of `continuation` following `prompt` (used to
+    /// score answer options). Starts its own decoding loop: one decoder
+    /// call billing prompt + continuation.
+    pub fn score(&self, prompt: &str, continuation: &str) -> f64 {
+        let base = self.bpe.encode(prompt);
+        let full = self.bpe.encode(&format!("{prompt}{continuation}"));
+        let common = base.iter().zip(&full).take_while(|(a, b)| a == b).count();
+        let mut ctx = full[..common].to_vec();
+        let mut lp = 0.0;
+        for &t in &full[common..] {
+            self.meter.record_model_query();
+            let dist = self.lm.score(&ctx).softmax(self.temperature);
+            lp += dist.log_prob(t);
+            ctx.push(t);
+        }
+        self.meter.record_decoder_call(full.len() as u64);
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmql_lm::{Episode, ScriptedLm};
+
+    fn gen(script: &str) -> (Generator, UsageMeter) {
+        let bpe = Arc::new(lmql_tokenizer::Bpe::char_level(""));
+        let lm = Arc::new(ScriptedLm::new(
+            Arc::clone(&bpe),
+            [Episode::plain("P:", script)],
+        ));
+        let meter = UsageMeter::new();
+        (Generator::new(lm, bpe, meter.clone()), meter)
+    }
+
+    #[test]
+    fn generates_chunks_and_bills_prompt_each_time() {
+        let (g, meter) = gen(" abcdef");
+        let first = g.generate("P:", 3);
+        assert_eq!(first, " ab");
+        let second = g.generate(&format!("P:{first}"), 3);
+        assert_eq!(second, "cde");
+        let u = meter.snapshot();
+        assert_eq!(u.decoder_calls, 2);
+        // prompt(2) + 3 generated, then prompt(5) + 3 generated
+        assert_eq!(u.billable_tokens, (2 + 3) + (5 + 3));
+        assert_eq!(u.model_queries, 6);
+    }
+
+    #[test]
+    fn stops_at_eos() {
+        let (g, _) = gen(" hi");
+        let out = g.generate("P:", 50);
+        assert_eq!(out, " hi");
+    }
+
+    #[test]
+    fn score_prefers_script_continuation() {
+        let (g, meter) = gen(" yes");
+        let good = g.score("P:", " yes");
+        let bad = g.score("P:", " nah");
+        assert!(good > bad);
+        assert_eq!(meter.snapshot().decoder_calls, 2);
+    }
+}

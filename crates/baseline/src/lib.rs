@@ -1,0 +1,18 @@
+//! The paper's *Standard Decoding* baseline: a high-level `generate()`
+//! API in the style of HuggingFace Transformers, plus hand-written task
+//! programs built on top of it.
+//!
+//! Per §6 ("Baseline"), this interface deliberately has **no token-level
+//! control**: no masks, no declarative constraints. Programs generate
+//! output chunk-wise, parse it manually, truncate at stopping phrases and
+//! re-prompt — paying for the prompt again on every call. The hand-rolled
+//! programs in [`programs`] mirror the paper's Python baselines for
+//! chain-of-thought, ReAct and arithmetic reasoning.
+
+pub mod programs;
+
+mod generate;
+mod parsing;
+
+pub use generate::Generator;
+pub use parsing::{earliest_stop, StopSpec};

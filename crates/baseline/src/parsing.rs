@@ -1,0 +1,77 @@
+//! Hand-rolled output parsing — the manual work the paper's baseline has
+//! to do in place of declarative `stops_at` constraints.
+
+/// A stopping phrase and whether the phrase itself is kept in the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StopSpec<'a> {
+    /// The phrase to stop at.
+    pub phrase: &'a str,
+    /// Keep the phrase in the truncated output (`stops_at` keeps it;
+    /// newline-style stops usually drop it).
+    pub inclusive: bool,
+}
+
+impl<'a> StopSpec<'a> {
+    /// An inclusive stop (phrase kept).
+    pub fn inclusive(phrase: &'a str) -> Self {
+        StopSpec {
+            phrase,
+            inclusive: true,
+        }
+    }
+
+    /// An exclusive stop (phrase dropped).
+    pub fn exclusive(phrase: &'a str) -> Self {
+        StopSpec {
+            phrase,
+            inclusive: false,
+        }
+    }
+}
+
+/// Finds the earliest occurrence of any stop phrase. Returns the byte
+/// index where the output should be truncated, or `None` if no phrase
+/// occurs.
+pub fn earliest_stop(text: &str, stops: &[StopSpec<'_>]) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (occurrence, cut)
+    for s in stops {
+        if let Some(pos) = text.find(s.phrase) {
+            let cut = if s.inclusive {
+                pos + s.phrase.len()
+            } else {
+                pos
+            };
+            if best.is_none_or(|(b, _)| pos < b) {
+                best = Some((pos, cut));
+            }
+        }
+    }
+    best.map(|(_, cut)| cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_wins() {
+        let stops = [StopSpec::exclusive("\n"), StopSpec::inclusive(".")];
+        assert_eq!(earliest_stop("ab.cd\nef", &stops), Some(3));
+        assert_eq!(earliest_stop("ab\ncd.ef", &stops), Some(2));
+        assert_eq!(earliest_stop("no stops here", &stops), None);
+    }
+
+    #[test]
+    fn inclusive_keeps_phrase() {
+        let text = "reasoning done. extra";
+        let cut = earliest_stop(text, &[StopSpec::inclusive(".")]).unwrap();
+        assert_eq!(&text[..cut], "reasoning done.");
+    }
+
+    #[test]
+    fn exclusive_drops_phrase() {
+        let text = "line one\nline two";
+        let cut = earliest_stop(text, &[StopSpec::exclusive("\n")]).unwrap();
+        assert_eq!(&text[..cut], "line one");
+    }
+}

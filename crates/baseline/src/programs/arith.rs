@@ -1,0 +1,97 @@
+//! Arithmetic reasoning with Standard Decoding: scan chunk-wise output
+//! for `<<` calculation hooks, evaluate them externally, splice results
+//! back, re-prompt; extract the final integer after "So the answer is".
+//! Each hook forces a fresh `generate()` call billing the entire
+//! prompt-plus-completion again.
+
+use crate::Generator;
+use lmql_datasets::calculator;
+
+/// An arithmetic task instance for the baseline.
+#[derive(Debug, Clone)]
+pub struct ArithTask<'a> {
+    /// Few-shot prefix.
+    pub few_shot: &'a str,
+    /// The question text (without `Q:`).
+    pub question: &'a str,
+    /// Tokens per `generate()` call.
+    pub chunk_size: usize,
+    /// Upper bound on `generate()` rounds.
+    pub max_rounds: usize,
+}
+
+/// The baseline's completion and extracted answer.
+#[derive(Debug, Clone)]
+pub struct ArithOutput {
+    /// The completion with calculator results spliced in.
+    pub completion: String,
+    /// The final integer answer, if found.
+    pub answer: Option<String>,
+}
+
+/// Runs the baseline arithmetic interpreter on one instance.
+pub fn run(generator: &Generator, task: &ArithTask<'_>) -> ArithOutput {
+    let prompt = format!(
+        "{}Q: {}\nA: Let's think step by step.\n",
+        task.few_shot, task.question
+    );
+    let mut completion = String::new();
+    let mut acc = String::new();
+
+    for _ in 0..task.max_rounds {
+        let chunk = generator.generate(&format!("{prompt}{completion}{acc}"), task.chunk_size);
+        let ended = chunk.is_empty();
+        acc.push_str(&chunk);
+
+        // Hand-rolled scanning for the calculation hook.
+        if let Some(open) = acc.find("<<") {
+            if let Some(eq_rel) = acc[open..].find('=') {
+                let eq = open + eq_rel;
+                let expr = &acc[open + 2..eq];
+                let spliced = match calculator::run(expr) {
+                    Ok(v) => format!("{} {v} >>", &acc[..eq + 1]),
+                    Err(_) => format!("{} ? >>", &acc[..eq + 1]),
+                };
+                completion.push_str(&spliced);
+                acc.clear(); // discard whatever the model guessed after `=`
+                continue;
+            }
+            // `<<` seen but `=` not yet generated: keep accumulating.
+            if !ended {
+                continue;
+            }
+        }
+
+        // Final-answer scanning.
+        if let Some(pos) = acc.find("So the answer is") {
+            let tail = &acc[pos + "So the answer is".len()..];
+            let digits: String = tail
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '-')
+                .collect();
+            if !digits.is_empty() {
+                completion.push_str(&acc[..pos + "So the answer is".len()]);
+                completion.push(' ');
+                completion.push_str(&digits);
+                return ArithOutput {
+                    completion,
+                    answer: Some(digits),
+                };
+            }
+            if !ended {
+                continue; // answer digits not fully generated yet
+            }
+        }
+
+        if ended {
+            completion.push_str(&acc);
+            break;
+        }
+    }
+
+    ArithOutput {
+        completion,
+        answer: None,
+    }
+}

@@ -1,0 +1,93 @@
+//! Chain-of-thought with Standard Decoding: chunk-wise generation of the
+//! reasoning, manual truncation, then per-option answer scoring.
+//! The `generate()` API cannot enforce the Fig. 10 token-level
+//! constraints (no-newline, no-"Pick", word limits), so digressions pass
+//! through and every chunk re-bills the prompt.
+
+use crate::parsing::{earliest_stop, StopSpec};
+use crate::Generator;
+
+/// A chain-of-thought task instance for the baseline.
+#[derive(Debug, Clone)]
+pub struct CotTask<'a> {
+    /// Few-shot prefix (examples, trailing blank line included).
+    pub few_shot: &'a str,
+    /// The question line (no trailing newline).
+    pub question_line: &'a str,
+    /// Answer options to score.
+    pub options: &'a [String],
+    /// Text between the reasoning and the scored answer
+    /// (e.g. `"\nSo the odd one is "`).
+    pub answer_prefix: &'a str,
+    /// Tokens generated per `generate()` call.
+    pub chunk_size: usize,
+    /// Upper bound on reasoning chunks, to bound runaway generations.
+    pub max_chunks: usize,
+}
+
+/// The baseline's output for one instance.
+#[derive(Debug, Clone)]
+pub struct CotOutput {
+    /// The (truncated) reasoning text.
+    pub reasoning: String,
+    /// The highest-scoring option.
+    pub answer: String,
+    /// All options with normalised probabilities.
+    pub distribution: Vec<(String, f64)>,
+}
+
+/// Runs the baseline program on one instance.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn run(generator: &Generator, task: &CotTask<'_>) -> CotOutput {
+    assert!(!task.options.is_empty(), "need at least one option");
+    let prompt = format!("{}{}\n", task.few_shot, task.question_line);
+
+    // Generate the reasoning chunk-wise; stop at the first newline
+    // (dropped) or sentence end (kept) — hand-rolled stand-ins for
+    // stops_at(REASONING, ".") and the no-newline constraint.
+    let stops = [StopSpec::exclusive("\n"), StopSpec::inclusive(".")];
+    let mut reasoning = String::new();
+    for _ in 0..task.max_chunks {
+        let chunk = generator.generate(&format!("{prompt}{reasoning}"), task.chunk_size);
+        if chunk.is_empty() {
+            break;
+        }
+        reasoning.push_str(&chunk);
+        if let Some(cut) = earliest_stop(&reasoning, &stops) {
+            reasoning.truncate(cut);
+            break;
+        }
+    }
+
+    // Score each option as a continuation (one decoder call per option,
+    // same as LMQL's distribute clause).
+    let ctx = format!("{prompt}{reasoning}{}", task.answer_prefix);
+    let log_probs: Vec<f64> = task
+        .options
+        .iter()
+        .map(|o| generator.score(&ctx, o))
+        .collect();
+    let max = log_probs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = log_probs.iter().map(|lp| (lp - max).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    let distribution: Vec<(String, f64)> = task
+        .options
+        .iter()
+        .cloned()
+        .zip(exps.iter().map(|e| e / z))
+        .collect();
+    let answer = distribution
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("probabilities are never NaN"))
+        .map(|(o, _)| o.clone())
+        .expect("options are non-empty");
+
+    CotOutput {
+        reasoning,
+        answer,
+        distribution,
+    }
+}

@@ -1,0 +1,13 @@
+//! Hand-written baseline programs, mirroring the paper's Python `generate()`
+//! implementations of each case study. Their line counts feed Table 4.
+
+pub mod arith;
+pub mod cot;
+pub mod react;
+
+/// Source text of the baseline programs, for the Table 4 LOC comparison.
+pub const COT_SOURCE: &str = include_str!("cot.rs");
+/// Source text of the ReAct baseline.
+pub const REACT_SOURCE: &str = include_str!("react.rs");
+/// Source text of the arithmetic baseline.
+pub const ARITH_SOURCE: &str = include_str!("arith.rs");

@@ -1,0 +1,83 @@
+//! ReAct with Standard Decoding: generate chunk-wise until a full line
+//! appears, interpret Tho/Act lines by hand, inject Obs lines after
+//! lookups, re-prompt — discarding whatever the model generated past the
+//! line boundary. Every line costs at least one `generate()` call that
+//! re-bills the whole growing prompt.
+
+use crate::parsing::{earliest_stop, StopSpec};
+use crate::Generator;
+use lmql_datasets::wiki::MiniWiki;
+
+/// A ReAct task instance for the baseline.
+#[derive(Debug, Clone)]
+pub struct ReactTask<'a> {
+    /// Few-shot prefix.
+    pub few_shot: &'a str,
+    /// The question line (starts with `Q:`).
+    pub question: &'a str,
+    /// Tokens per `generate()` call.
+    pub chunk_size: usize,
+    /// Upper bound on interpreted lines.
+    pub max_lines: usize,
+}
+
+/// The baseline's transcript and extracted answer.
+#[derive(Debug, Clone)]
+pub struct ReactOutput {
+    /// The accumulated Tho/Act/Obs transcript.
+    pub transcript: String,
+    /// The argument of the `Finish` action, if one was produced.
+    pub answer: Option<String>,
+}
+
+/// Runs the baseline ReAct interpreter on one instance.
+pub fn run(generator: &Generator, wiki: &MiniWiki, task: &ReactTask<'_>) -> ReactOutput {
+    let prompt = format!("{}{}\n", task.few_shot, task.question);
+    let mut transcript = String::new();
+    let mut answer = None;
+
+    'lines: for _ in 0..task.max_lines {
+        // Accumulate chunks until a full line is available; text past the
+        // newline is generated-and-discarded waste.
+        let mut acc = String::new();
+        let line = loop {
+            let chunk =
+                generator.generate(&format!("{prompt}{transcript}{acc}"), task.chunk_size);
+            if chunk.is_empty() && acc.is_empty() {
+                break 'lines; // model ended the episode
+            }
+            acc.push_str(&chunk);
+            if let Some(cut) = earliest_stop(&acc, &[StopSpec::exclusive("\n")]) {
+                break acc[..cut].to_owned();
+            }
+            if chunk.is_empty() {
+                break acc.clone(); // EOS without newline
+            }
+        };
+
+        if let Some(rest) = line.strip_prefix("Act:") {
+            transcript.push_str(&line);
+            transcript.push('\n');
+            let rest = rest.trim_start();
+            if let Some(subject) = rest
+                .strip_prefix("Search '")
+                .and_then(|s| s.strip_suffix('\''))
+            {
+                let obs = wiki.search(subject);
+                transcript.push_str(&format!("Obs: {obs}\n"));
+            } else if let Some(arg) = rest
+                .strip_prefix("Finish '")
+                .and_then(|s| s.strip_suffix('\''))
+            {
+                answer = Some(arg.to_owned());
+                break;
+            }
+        } else {
+            // Thought (or anything else): keep verbatim.
+            transcript.push_str(&line);
+            transcript.push('\n');
+        }
+    }
+
+    ReactOutput { transcript, answer }
+}

@@ -1,0 +1,146 @@
+//! Integration tests: the baseline programs against scripted models built
+//! from dataset instances.
+
+use lmql_baseline::programs::{arith, cot, react};
+use lmql_baseline::Generator;
+use lmql_datasets::wiki::MiniWiki;
+use lmql_datasets::{gsm8k, hotpot, odd_one_out, GPT_J_PROFILE};
+use lmql_lm::{Digression, Episode, ScriptedLm, UsageMeter};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+fn scripted(trigger: String, script: String, dig: Option<Digression>) -> (Generator, UsageMeter) {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode {
+            trigger,
+            script,
+            digressions: dig.into_iter().collect(),
+            branches: vec![],
+        }],
+    ));
+    let meter = UsageMeter::new();
+    (Generator::new(lm, bpe, meter.clone()), meter)
+}
+
+#[test]
+fn cot_baseline_follows_clean_script() {
+    let inst = odd_one_out::generate(10, 11, &GPT_J_PROFILE)
+        .into_iter()
+        .find(|i| i.digression.is_none())
+        .expect("some instance is clean");
+    let question_line = format!("Pick the odd word out: {}", inst.options_line);
+    let trigger = format!("{question_line}\n");
+    let (generator, meter) = scripted(trigger, inst.script().to_string(), None);
+    let out = cot::run(
+        &generator,
+        &cot::CotTask {
+            few_shot: odd_one_out::FEW_SHOT,
+            question_line: &question_line,
+            options: &inst.options,
+            answer_prefix: "\nSo the odd one is ",
+            chunk_size: 30,
+            max_chunks: 8,
+        },
+    );
+    assert_eq!(out.reasoning, inst.reasoning);
+    assert_eq!(out.answer, inst.model_answer);
+    assert!(meter.snapshot().decoder_calls >= 2);
+}
+
+#[test]
+fn cot_baseline_derails_on_digression() {
+    let inst = odd_one_out::generate(50, 12, &GPT_J_PROFILE)
+        .into_iter()
+        .find(|i| {
+            i.digression
+                .as_ref()
+                .is_some_and(|d| d.derailed_answer != i.model_answer)
+        })
+        .expect("some instance digresses to a different answer");
+    let d = inst.digression.clone().unwrap();
+    let question_line = format!("Pick the odd word out: {}", inst.options_line);
+    let (generator, _) = scripted(
+        format!("{question_line}\n"),
+        inst.script(),
+        Some(Digression {
+            at: d.at,
+            text: d.text.clone(),
+            replace_remainder: Some(format!(
+                "\nSo the odd one is {}.",
+                d.derailed_answer
+            )),
+        }),
+    );
+    let out = cot::run(
+        &generator,
+        &cot::CotTask {
+            few_shot: odd_one_out::FEW_SHOT,
+            question_line: &question_line,
+            options: &inst.options,
+            answer_prefix: "\nSo the odd one is ",
+            chunk_size: 30,
+            max_chunks: 8,
+        },
+    );
+    // The baseline's reasoning got cut at the digression newline: it lost
+    // the conclusion entirely, so its answer is no longer grounded in the
+    // model's intended reasoning (the accuracy-dilution mechanism §6.1
+    // describes). The scored distribution is close to uniform.
+    assert_eq!(out.reasoning, inst.reasoning[..d.at]);
+    assert!(inst.options.contains(&out.answer));
+}
+
+#[test]
+fn react_baseline_reaches_finish() {
+    let inst = &hotpot::generate(5, 3, &GPT_J_PROFILE)[0];
+    let (generator, meter) = scripted(
+        format!("{}\n", inst.question),
+        inst.script.clone(),
+        None,
+    );
+    let wiki = MiniWiki::standard();
+    let out = react::run(
+        &generator,
+        &wiki,
+        &react::ReactTask {
+            few_shot: hotpot::FEW_SHOT,
+            question: &inst.question,
+            chunk_size: 30,
+            max_lines: 16,
+        },
+    );
+    assert_eq!(out.answer.as_deref(), Some(inst.gold.as_str()));
+    assert!(out.transcript.contains("Obs: "));
+    let u = meter.snapshot();
+    assert!(u.decoder_calls >= 4, "chunk-wise: many calls, got {u:?}");
+}
+
+#[test]
+fn arith_baseline_computes_and_answers() {
+    let inst = &gsm8k::generate(5, 4, &GPT_J_PROFILE)[0];
+    let (generator, meter) = scripted(
+        format!("Q: {}\nA: Let's think step by step.\n", inst.question),
+        inst.script.clone(),
+        None,
+    );
+    let out = arith::run(
+        &generator,
+        &arith::ArithTask {
+            few_shot: gsm8k::FEW_SHOT,
+            question: &inst.question,
+            chunk_size: 30,
+            max_rounds: 40,
+        },
+    );
+    assert_eq!(out.answer.as_deref(), Some(inst.answer.to_string().as_str()));
+    for (_, v) in &inst.expressions {
+        assert!(
+            out.completion.contains(&format!(" {v} >>")),
+            "missing spliced result {v} in {:?}",
+            out.completion
+        );
+    }
+    assert!(meter.snapshot().decoder_calls >= inst.expressions.len() as u64);
+}

@@ -1,0 +1,118 @@
+//! End-to-end decoding benchmarks: a full constrained chain-of-thought
+//! query run, query compilation, and lockstep sampling with the score
+//! cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmql::{Runtime, Value};
+use lmql_datasets::{odd_one_out, GPT_J_PROFILE};
+use lmql_lm::{corpus, Episode, ScriptedLm};
+use std::sync::Arc;
+
+fn cot_runtime() -> (Runtime, &'static str) {
+    let bpe = corpus::standard_bpe();
+    let inst = odd_one_out::generate(1, 42, &GPT_J_PROFILE).remove(0);
+    let question_line = format!("Pick the odd word out: {}", inst.options_line);
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode::plain(format!("{question_line}\n"), inst.script())],
+    ));
+    let mut rt = Runtime::new(lm, bpe);
+    rt.bind("FEWSHOT", Value::Str(odd_one_out::FEW_SHOT.into()));
+    rt.bind("OPTIONS", Value::Str(inst.options_line.clone()));
+    (rt, lmql_bench::queries::ODD_ONE_OUT)
+}
+
+fn bench_full_query(c: &mut Criterion) {
+    let (rt, query) = cot_runtime();
+    let program = lmql::compile_source(query).unwrap();
+    c.bench_function("cot_query_argmax_end_to_end", |b| {
+        b.iter(|| rt.run_program(std::hint::black_box(&program)).unwrap())
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("compile_react_query", |b| {
+        b.iter(|| lmql::compile_source(std::hint::black_box(lmql_bench::queries::REACT)).unwrap())
+    });
+}
+
+fn bench_sample_lockstep(c: &mut Criterion) {
+    // sample(n=4) over identical scripts: the per-run score cache dedups
+    // shared-prefix model calls across the lockstep executions.
+    let bpe = corpus::standard_bpe();
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode::plain(
+            "List:\n-",
+            " keys\n- passport\n- charger\n- wallet\n",
+        )],
+    ));
+    let rt = Runtime::new(lm, bpe);
+    let program = lmql::compile_source(
+        "sample(n=4)\n    \"List:\\n-[A]-[B]\"\nfrom \"m\"\nwhere stops_at(A, \"\\n\") and stops_at(B, \"\\n\")\n",
+    )
+    .unwrap();
+    c.bench_function("sample_n4_lockstep_cached", |b| {
+        b.iter(|| rt.run_program(std::hint::black_box(&program)).unwrap())
+    });
+}
+
+fn bench_naive_vs_masked(c: &mut Criterion) {
+    // The §5 motivation, as a wall-clock ablation: masked decoding vs the
+    // Alg. 3 backtracking strawman, forcing the model off its preferred
+    // continuation.
+    use lmql::constraints::{MaskEngine, Masker};
+    use lmql_syntax::parse_expr;
+    use std::collections::HashMap;
+
+    let bpe = Arc::new(lmql_tokenizer::Bpe::char_level(""));
+    let lm = ScriptedLm::new(Arc::clone(&bpe), [Episode::plain("P:", " maybe")]);
+    let expr = parse_expr("X in [\" no\"]").unwrap();
+    let scope = HashMap::new();
+
+    c.bench_function("masked_decode_forced_option", |b| {
+        b.iter(|| {
+            let mut masker = Masker::new(MaskEngine::Symbolic, bpe.clone());
+            lmql::decode_hole(
+                &lm,
+                &bpe,
+                &mut masker,
+                Some(&expr),
+                &scope,
+                "P:",
+                "X",
+                &mut lmql::Pick::argmax(),
+                &lmql::DecodeOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("naive_backtracking_forced_option", |b| {
+        b.iter(|| {
+            lmql::decode_hole_naive(
+                &lm,
+                &bpe,
+                Some(&expr),
+                &scope,
+                "P:",
+                "X",
+                &lmql::NaiveOptions {
+                    max_tokens: 4,
+                    branching: 200,
+                    max_queries: 500_000,
+                    ..lmql::NaiveOptions::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_full_query,
+    bench_compile,
+    bench_sample_lockstep,
+    bench_naive_vs_masked
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! FollowMap-engine internals: cold vs warm vocabulary-scan caches, and
+//! how mask generation scales with constraint composition depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmql::constraints::{MaskEngine, Masker};
+use lmql_lm::corpus;
+use lmql_syntax::parse_expr;
+use std::collections::HashMap;
+
+fn bench_cache_warmth(c: &mut Criterion) {
+    let bpe = corpus::standard_bpe();
+    let expr =
+        parse_expr("not \"\\n\" in X and not \"Pick\" in X and stops_at(X, \".\")").unwrap();
+    let scope = HashMap::new();
+    let value = "some reasoning";
+
+    c.bench_function("followmap_cold_cache", |b| {
+        b.iter(|| {
+            // A fresh masker per iteration: needle scans run every time.
+            let mut masker = Masker::new(MaskEngine::Symbolic, bpe.clone());
+            masker.compute(Some(&expr), &scope, "X", value)
+        })
+    });
+    c.bench_function("followmap_warm_cache", |b| {
+        let mut masker = Masker::new(MaskEngine::Symbolic, bpe.clone());
+        let _ = masker.compute(Some(&expr), &scope, "X", value);
+        b.iter(|| masker.compute(Some(&expr), &scope, "X", value))
+    });
+}
+
+fn bench_composition_depth(c: &mut Criterion) {
+    let bpe = corpus::standard_bpe();
+    let scope = HashMap::new();
+    let mut group = c.benchmark_group("followmap_composition_depth");
+    for depth in [1usize, 3, 6] {
+        let clauses: Vec<String> = (0..depth)
+            .map(|i| match i % 3 {
+                0 => "not \"\\n\" in X".to_owned(),
+                1 => format!("len(words(X)) < {}", 40 + i),
+                _ => "stops_at(X, \".\")".to_owned(),
+            })
+            .collect();
+        let expr = parse_expr(&clauses.join(" and ")).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &expr, |b, expr| {
+            let mut masker = Masker::new(MaskEngine::Symbolic, bpe.clone());
+            let _ = masker.compute(Some(expr), &scope, "X", "partial text");
+            b.iter(|| masker.compute(Some(expr), &scope, "X", "partial text"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_warmth, bench_composition_depth);
+criterion_main!(benches);

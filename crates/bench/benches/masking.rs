@@ -1,0 +1,71 @@
+//! Ablation: exact per-token mask generation vs the symbolic FollowMap
+//! engine (§5.2), across constraint families and value lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmql::constraints::{MaskEngine, Masker};
+use lmql_lm::corpus;
+use lmql_syntax::parse_expr;
+use std::collections::HashMap;
+
+fn bench_engines(c: &mut Criterion) {
+    let bpe = corpus::standard_bpe();
+    let cases = [
+        ("in_list", "X in [\"Search\", \"Finish\", \"Thought\"]", "Se"),
+        (
+            "not_contains",
+            "not \"\\n\" in X and not \"Pick\" in X",
+            "some reasoning text so far",
+        ),
+        (
+            "conjunction",
+            "not \"\\n\" in X and stops_at(X, \".\") and len(words(X)) < 40",
+            "skirt is clothing, dress is clothing",
+        ),
+        ("int", "int(X)", "128"),
+        ("len_bound", "len(X) < 64", "a partial value"),
+    ];
+
+    let mut group = c.benchmark_group("mask_generation");
+    for (name, constraint, value) in cases {
+        let expr = parse_expr(constraint).unwrap();
+        let scope = HashMap::new();
+        for engine in [MaskEngine::Exact, MaskEngine::Symbolic] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), name),
+                &expr,
+                |b, expr| {
+                    let mut masker = Masker::new(engine, bpe.clone());
+                    // Warm the scan caches once, as a query run would.
+                    let _ = masker.compute(Some(expr), &scope, "X", value);
+                    b.iter(|| masker.compute(Some(expr), &scope, "X", value));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_value_length_scaling(c: &mut Criterion) {
+    let bpe = corpus::standard_bpe();
+    let expr = parse_expr("not \"\\n\" in X and len(words(X)) < 500").unwrap();
+    let scope = HashMap::new();
+    let mut group = c.benchmark_group("mask_vs_value_length");
+    for len in [8usize, 64, 256] {
+        let value: String = "word ".repeat(len / 5);
+        for engine in [MaskEngine::Exact, MaskEngine::Symbolic] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), len),
+                &value,
+                |b, value| {
+                    let mut masker = Masker::new(engine, bpe.clone());
+                    let _ = masker.compute(Some(&expr), &scope, "X", value);
+                    b.iter(|| masker.compute(Some(&expr), &scope, "X", value));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_value_length_scaling);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Tokenizer micro-benchmarks: BPE encode throughput and the trie-based
+//! vocabulary prefix scan vs a naive linear scan (the "Subtokenization"
+//! machinery of §5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmql_lm::corpus;
+use lmql_tokenizer::TokenTrie;
+
+fn bench_encode(c: &mut Criterion) {
+    let bpe = corpus::standard_bpe();
+    let text = corpus::builtin_corpus();
+    let sample = &text[..2048.min(text.len())];
+    c.bench_function("bpe_encode_2k_chars", |b| {
+        b.iter(|| bpe.encode(std::hint::black_box(sample)))
+    });
+    c.bench_function("bpe_roundtrip_2k_chars", |b| {
+        b.iter(|| bpe.decode(&bpe.encode(std::hint::black_box(sample))))
+    });
+}
+
+fn bench_prefix_scans(c: &mut Criterion) {
+    let bpe = corpus::standard_bpe();
+    let vocab = bpe.vocab();
+    let trie = TokenTrie::new(vocab);
+    let target = "So the odd one is pen.";
+
+    c.bench_function("trie_prefixes_of", |b| {
+        b.iter(|| trie.prefixes_of(std::hint::black_box(target)))
+    });
+    c.bench_function("linear_prefixes_of", |b| {
+        b.iter(|| {
+            vocab
+                .regular_tokens()
+                .filter(|(_, s)| std::hint::black_box(target).starts_with(s))
+                .map(|(id, _)| id)
+                .collect::<Vec<_>>()
+        })
+    });
+
+    c.bench_function("trie_aligned_with", |b| {
+        b.iter(|| trie.aligned_with(std::hint::black_box(target), true))
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_prefix_scans);
+criterion_main!(benches);

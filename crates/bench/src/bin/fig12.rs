@@ -1,0 +1,85 @@
+//! Reproduces **Fig. 12**: the effect of the baseline's chunk size on
+//! decoder calls, model queries and billable tokens, against LMQL's
+//! chunk-free decoding (flat reference line).
+//!
+//! Usage: `cargo run -p lmql-bench --bin fig12 [--n <instances>]`
+
+use lmql_bench::experiments::react_exp;
+use lmql_datasets::GPT_J_PROFILE;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = args
+        .iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--n takes a number"))
+        .unwrap_or(10);
+
+    let chunk_sizes = [10, 20, 30, 40, 50, 60, 70];
+    println!("Fig. 12: baseline chunk-size sweep on the ReAct workload ({n} instances)\n");
+    println!(
+        "{:>10} {:>15} {:>15} {:>17}",
+        "chunk", "decoder calls", "model queries", "billable tokens"
+    );
+
+    let rows = react_exp::sweep(&GPT_J_PROFILE, n, 3, &chunk_sizes);
+    for row in &rows {
+        println!(
+            "{:>10} {:>15.2} {:>15.2} {:>17.2}",
+            row.chunk_size,
+            row.baseline.avg_decoder_calls(),
+            row.baseline.avg_model_queries(),
+            row.baseline.avg_billable_tokens()
+        );
+    }
+    // LMQL does not decode chunk-wise: one flat line.
+    let lmql = &rows[0].lmql;
+    println!(
+        "{:>10} {:>15.2} {:>15.2} {:>17.2}",
+        "LMQL",
+        lmql.avg_decoder_calls(),
+        lmql.avg_model_queries(),
+        lmql.avg_billable_tokens()
+    );
+
+    // The figure's three panels, rendered as bar charts.
+    type Metric = (&'static str, fn(&lmql_bench::experiments::Stats) -> f64);
+    let metrics: [Metric; 3] = [
+        ("decoder calls", |s| s.avg_decoder_calls()),
+        ("model queries", |s| s.avg_model_queries()),
+        ("billable tokens", |s| s.avg_billable_tokens()),
+    ];
+    for (title, get) in metrics {
+        println!("\n{title} vs. chunk size (█ standard decoding, · LMQL level)");
+        let max = rows
+            .iter()
+            .map(|r| get(&r.baseline))
+            .fold(get(lmql), f64::max);
+        let width = 46.0;
+        let lmql_col = ((get(lmql) / max) * width).round() as usize;
+        for row in &rows {
+            let v = get(&row.baseline);
+            let cols = ((v / max) * width).round() as usize;
+            let mut bar: Vec<char> = vec![' '; width as usize + 1];
+            for c in bar.iter_mut().take(cols) {
+                *c = '█';
+            }
+            if lmql_col < bar.len() && bar[lmql_col] == ' ' {
+                bar[lmql_col] = '·';
+            }
+            println!(
+                "  chunk {:>2} |{} {:.1}",
+                row.chunk_size,
+                bar.into_iter().collect::<String>(),
+                v
+            );
+        }
+        println!(
+            "  {:>8} |{}· {:.1}",
+            "LMQL",
+            " ".repeat(lmql_col),
+            get(lmql)
+        );
+    }
+}

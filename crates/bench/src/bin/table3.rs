@@ -1,0 +1,42 @@
+//! Reproduces **Table 3**: chain-of-thought decoding statistics for Odd
+//! One Out and Date Understanding, Standard Decoding vs LMQL, under two
+//! simulated model profiles.
+//!
+//! Usage: `cargo run -p lmql-bench --bin table3 [--n <instances>] [--profile large]`
+
+use lmql_bench::experiments::cot::{run, Task};
+use lmql_bench::table::print_metric_block;
+use lmql_datasets::{GPT_35_PROFILE, GPT_J_PROFILE, OPT_30B_PROFILE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_value(&args, "--n")
+        .map(|v| v.parse().expect("--n takes a number"))
+        .unwrap_or(84);
+    let large_control = args.iter().any(|a| a == "--profile")
+        && arg_value(&args, "--profile").as_deref() == Some("large");
+
+    println!("Table 3: constrained LMQL chain-of-thought decoding vs standard chunk-wise decoding");
+    println!("({n} synthetic instances per task; chunk size 30; see EXPERIMENTS.md)\n");
+
+    let profiles = if large_control {
+        vec![GPT_35_PROFILE]
+    } else {
+        vec![GPT_J_PROFILE, OPT_30B_PROFILE]
+    };
+
+    for profile in &profiles {
+        println!("=== model profile: {} ===", profile.name);
+        for (task, seed) in [(Task::OddOneOut, 42), (Task::DateUnderstanding, 43)] {
+            let row = run(task, profile, n, seed, 30);
+            print_metric_block(task.label(), &row.baseline, &row.lmql, true);
+            println!();
+        }
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}

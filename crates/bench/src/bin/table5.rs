@@ -1,0 +1,39 @@
+//! Reproduces **Table 5**: LMQL vs Standard Decoding on the interactive
+//! prompting case studies — ReAct question answering and arithmetic
+//! reasoning with a calculator.
+//!
+//! Usage: `cargo run -p lmql-bench --bin table5 [--n <instances>]`
+
+use lmql_bench::experiments::{arith_exp, react_exp};
+use lmql_bench::table::print_metric_block;
+use lmql_datasets::GPT_J_PROFILE;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = args
+        .iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--n takes a number"))
+        .unwrap_or(25);
+
+    println!("Table 5: LMQL constrained decoding vs Standard Decoding, interactive prompting");
+    println!("({n} synthetic instances per case study; baseline chunk size 30)\n");
+
+    let react = react_exp::run(&GPT_J_PROFILE, n, 3, 30);
+    print_metric_block(
+        "ReAct (Case Study 2)",
+        &react.baseline,
+        &react.lmql,
+        false,
+    );
+    println!();
+
+    let arith = arith_exp::run(&GPT_J_PROFILE, n, 9, 30);
+    print_metric_block(
+        "Arithmetic Evaluation (Case Study 3)",
+        &arith.baseline,
+        &arith.lmql,
+        false,
+    );
+}

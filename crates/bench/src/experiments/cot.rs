@@ -1,0 +1,188 @@
+//! Case study 1 (§6.1): chain-of-thought prompting on Odd One Out and
+//! Date Understanding — the Table 3 experiment.
+
+use crate::experiments::{lm_derail_branch, lm_digression, Stats};
+use crate::queries;
+use lmql::{Runtime, Value};
+use lmql_baseline::programs::cot as baseline_cot;
+use lmql_baseline::Generator;
+use lmql_datasets::{date_understanding, odd_one_out, ModelProfile};
+use lmql_lm::{corpus, Episode, ScriptedLm, UsageMeter};
+use std::sync::Arc;
+
+/// Which chain-of-thought task to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// BIG-bench style Odd One Out.
+    OddOneOut,
+    /// BIG-bench style Date Understanding.
+    DateUnderstanding,
+}
+
+impl Task {
+    /// Table row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Task::OddOneOut => "Odd One Out",
+            Task::DateUnderstanding => "Date Understanding",
+        }
+    }
+}
+
+/// One Table 3 block: a task under a model profile.
+#[derive(Debug, Clone)]
+pub struct CotRow {
+    /// The task.
+    pub task: Task,
+    /// The simulated model profile.
+    pub profile: ModelProfile,
+    /// Standard Decoding metrics.
+    pub baseline: Stats,
+    /// LMQL metrics.
+    pub lmql: Stats,
+}
+
+/// Runs the Table 3 experiment: `n` instances of `task` under `profile`,
+/// with the baseline decoding in chunks of `chunk_size`.
+pub fn run(task: Task, profile: &ModelProfile, n: usize, seed: u64, chunk_size: usize) -> CotRow {
+    let bpe = corpus::standard_bpe();
+    let mut baseline = Stats::default();
+    let mut lmql_stats = Stats::default();
+
+    match task {
+        Task::OddOneOut => {
+            for inst in odd_one_out::generate(n, seed, profile) {
+                let question_line = format!("Pick the odd word out: {}", inst.options_line);
+                // Few-shot models do not stop after the answer: they run
+                // on into another fabricated Q/A pair (Fig. 4b). The
+                // baseline truncates this by hand but still pays for the
+                // generated tokens; LMQL never decodes past its template.
+                let run_on = format!("{}\n\n{}", inst.script(), odd_one_out::FEW_SHOT);
+                let episode = Episode {
+                    trigger: format!("{question_line}\n"),
+                    script: run_on,
+                    digressions: inst
+                        .digression
+                        .iter()
+                        .map(|d| lm_digression(d, "So the odd one is "))
+                        .collect(),
+                    branches: inst
+                        .digression
+                        .iter()
+                        .map(|d| lm_derail_branch(d, "So the odd one is "))
+                        .collect(),
+                };
+                let lm = Arc::new(ScriptedLm::new(Arc::clone(&bpe), [episode]));
+
+                // Standard Decoding.
+                let meter = UsageMeter::new();
+                let generator = Generator::new(lm.clone(), Arc::clone(&bpe), meter.clone());
+                let out = baseline_cot::run(
+                    &generator,
+                    &baseline_cot::CotTask {
+                        few_shot: odd_one_out::FEW_SHOT,
+                        question_line: &question_line,
+                        options: &inst.options,
+                        answer_prefix: "\nSo the odd one is ",
+                        chunk_size,
+                        max_chunks: 8,
+                    },
+                );
+                baseline.record(inst.is_correct(&out.answer), meter.snapshot());
+
+                // LMQL.
+                let mut rt = Runtime::new(lm, Arc::clone(&bpe));
+                rt.bind("FEWSHOT", Value::Str(odd_one_out::FEW_SHOT.into()));
+                rt.bind("OPTIONS", Value::Str(inst.options_line.clone()));
+                let result = rt.run(queries::ODD_ONE_OUT).expect("query runs");
+                let answer = result
+                    .top_distribution_value()
+                    .expect("distribute clause present")
+                    .to_owned();
+                lmql_stats.record(inst.is_correct(&answer), rt.meter().snapshot());
+            }
+        }
+        Task::DateUnderstanding => {
+            for inst in date_understanding::generate(n, seed, profile) {
+                let run_on = format!("{}\n\n{}", inst.script(), date_understanding::FEW_SHOT);
+                let episode = Episode {
+                    trigger: format!("{}\n", inst.question),
+                    script: run_on,
+                    digressions: inst
+                        .digression
+                        .iter()
+                        .map(|d| lm_digression(d, "So the answer is "))
+                        .collect(),
+                    branches: inst
+                        .digression
+                        .iter()
+                        .map(|d| lm_derail_branch(d, "So the answer is "))
+                        .collect(),
+                };
+                let lm = Arc::new(ScriptedLm::new(Arc::clone(&bpe), [episode]));
+
+                let meter = UsageMeter::new();
+                let generator = Generator::new(lm.clone(), Arc::clone(&bpe), meter.clone());
+                let out = baseline_cot::run(
+                    &generator,
+                    &baseline_cot::CotTask {
+                        few_shot: date_understanding::FEW_SHOT,
+                        question_line: &inst.question,
+                        options: &inst.options,
+                        answer_prefix: "\nSo the answer is ",
+                        chunk_size,
+                        max_chunks: 8,
+                    },
+                );
+                baseline.record(inst.is_correct(&out.answer), meter.snapshot());
+
+                let mut rt = Runtime::new(lm, Arc::clone(&bpe));
+                rt.bind("FEWSHOT", Value::Str(date_understanding::FEW_SHOT.into()));
+                rt.bind("QUESTION", Value::Str(inst.question.clone()));
+                rt.bind(
+                    "OPTIONS",
+                    Value::List(inst.options.iter().cloned().map(Value::Str).collect()),
+                );
+                let result = rt.run(queries::DATE_UNDERSTANDING).expect("query runs");
+                let answer = result
+                    .top_distribution_value()
+                    .expect("distribute clause present")
+                    .to_owned();
+                lmql_stats.record(inst.is_correct(&answer), rt.meter().snapshot());
+            }
+        }
+    }
+
+    CotRow {
+        task,
+        profile: *profile,
+        baseline,
+        lmql: lmql_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmql_datasets::GPT_J_PROFILE;
+
+    #[test]
+    fn odd_one_out_shape_holds() {
+        let row = run(Task::OddOneOut, &GPT_J_PROFILE, 12, 42, 30);
+        assert_eq!(row.baseline.n, 12);
+        assert_eq!(row.lmql.n, 12);
+        // LMQL accuracy at least matches the baseline.
+        assert!(row.lmql.accuracy() >= row.baseline.accuracy());
+        // LMQL reduces all three cost metrics.
+        assert!(row.lmql.avg_model_queries() < row.baseline.avg_model_queries());
+        assert!(row.lmql.avg_decoder_calls() < row.baseline.avg_decoder_calls());
+        assert!(row.lmql.avg_billable_tokens() < row.baseline.avg_billable_tokens());
+    }
+
+    #[test]
+    fn date_understanding_shape_holds() {
+        let row = run(Task::DateUnderstanding, &GPT_J_PROFILE, 10, 7, 30);
+        assert!(row.lmql.accuracy() >= row.baseline.accuracy());
+        assert!(row.lmql.avg_billable_tokens() < row.baseline.avg_billable_tokens());
+    }
+}

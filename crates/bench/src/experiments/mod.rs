@@ -1,0 +1,98 @@
+//! Shared experiment plumbing: per-instance model construction, metric
+//! aggregation, LMQL/baseline drivers per case study.
+
+pub mod arith_exp;
+pub mod cot;
+pub mod react_exp;
+
+use lmql_lm::Usage;
+
+/// Aggregated metrics over a set of task instances (one side of a table
+/// row: either Standard Decoding or LMQL).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Number of instances evaluated.
+    pub n: usize,
+    /// Instances answered correctly (only meaningful for accuracy tasks).
+    pub correct: usize,
+    /// Summed usage counters across instances.
+    pub usage: Usage,
+}
+
+impl Stats {
+    /// Adds one instance's outcome.
+    pub fn record(&mut self, correct: bool, usage: Usage) {
+        self.n += 1;
+        if correct {
+            self.correct += 1;
+        }
+        self.usage.model_queries += usage.model_queries;
+        self.usage.decoder_calls += usage.decoder_calls;
+        self.usage.billable_tokens += usage.billable_tokens;
+    }
+
+    /// Fraction of correct answers.
+    pub fn accuracy(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.n as f64
+        }
+    }
+
+    /// Average decoder calls per instance.
+    pub fn avg_decoder_calls(&self) -> f64 {
+        self.avg(self.usage.decoder_calls)
+    }
+
+    /// Average model queries per instance.
+    pub fn avg_model_queries(&self) -> f64 {
+        self.avg(self.usage.model_queries)
+    }
+
+    /// Average billable tokens per instance.
+    pub fn avg_billable_tokens(&self) -> f64 {
+        self.avg(self.usage.billable_tokens)
+    }
+
+    fn avg(&self, total: u64) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            total as f64 / self.n as f64
+        }
+    }
+}
+
+/// Converts a dataset digression into a `ScriptedLm` digression whose
+/// derailment concludes with the given sentence pattern.
+pub fn lm_digression(
+    d: &lmql_datasets::odd_one_out::Digression,
+    conclusion_prefix: &str,
+) -> lmql_lm::Digression {
+    lmql_lm::Digression {
+        at: d.at,
+        text: d.text.clone(),
+        replace_remainder: Some(format!(
+            "\n{conclusion_prefix}{}.",
+            d.derailed_answer
+        )),
+    }
+}
+
+/// The derailed-conclusion branch paired with [`lm_digression`]: the
+/// baseline truncates its reasoning at the digression's newline, so its
+/// answer-scoring context is `script[..at] + "\n<prefix>"` — this branch
+/// makes the simulated model conclude the derailed answer there, i.e.
+/// "different reasoning → different final answer" (§6.1). Under LMQL the
+/// branch's leading newline is masked, so it never fires.
+pub fn lm_derail_branch(
+    d: &lmql_datasets::odd_one_out::Digression,
+    conclusion_prefix: &str,
+) -> lmql_lm::Branch {
+    lmql_lm::Branch {
+        at: d.at,
+        text: format!("\n{conclusion_prefix}{}.", d.derailed_answer),
+        weight: lmql_lm::SCRIPT_LOGIT,
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness reproducing every table and figure of the LMQL
+//! paper's evaluation (§6) on the simulated substrate.
+//!
+//! Binaries (run with `cargo run -p lmql-bench --bin <name>`):
+//!
+//! - `table3` — chain-of-thought on Odd One Out and Date Understanding:
+//!   accuracy, decoder calls, model queries, billable tokens, cost
+//!   savings; Standard Decoding vs LMQL, two model profiles (plus a
+//!   `--profile large` GPT-3.5-style control run),
+//! - `table4` — lines-of-code comparison per task,
+//! - `table5` — ReAct and arithmetic evaluation cost metrics,
+//! - `fig12` — the baseline chunk-size sweep against LMQL's flat line,
+//! - `run_all` — everything above in sequence (used by EXPERIMENTS.md).
+//!
+//! Criterion micro-benchmarks (`cargo bench -p lmql-bench`) cover the
+//! ablations DESIGN.md calls out: exact vs symbolic mask generation,
+//! score-cache effect, trie vs linear prefix scans, tokenizer throughput.
+
+pub mod experiments;
+pub mod loc;
+pub mod table;
+
+/// The LMQL query sources evaluated by the experiments (also the inputs
+/// to the Table 4 LOC counts).
+pub mod queries {
+    /// Fig. 10: chain-of-thought Odd One Out.
+    pub const ODD_ONE_OUT: &str = include_str!("../queries/odd_one_out.lmql");
+    /// Chain-of-thought Date Understanding.
+    pub const DATE_UNDERSTANDING: &str = include_str!("../queries/date_understanding.lmql");
+    /// Fig. 11: interactive ReAct question answering.
+    pub const REACT: &str = include_str!("../queries/react.lmql");
+    /// Fig. 13: arithmetic reasoning with a calculator tool.
+    pub const ARITHMETIC: &str = include_str!("../queries/arithmetic.lmql");
+}

@@ -1,0 +1,77 @@
+//! Row formatting shared by the experiment binaries.
+
+use crate::experiments::Stats;
+
+/// GPT-3 davinci pricing the paper uses for cost estimates: $0.02 per 1k
+/// billable tokens, i.e. 2¢/1k.
+pub const CENTS_PER_1K_TOKENS: f64 = 2.0;
+
+/// Percentage change from `baseline` to `lmql` (negative = reduction).
+pub fn delta_pct(baseline: f64, lmql: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (lmql - baseline) / baseline * 100.0
+    }
+}
+
+/// Prints the paper's per-task metric block (Table 3 / Table 5 layout):
+/// accuracy (if measured), decoder calls, model queries, billable tokens,
+/// estimated cost savings per query.
+pub fn print_metric_block(label: &str, baseline: &Stats, lmql: &Stats, with_accuracy: bool) {
+    println!("{label}");
+    println!(
+        "  {:<18} {:>12} {:>12} {:>9}",
+        "", "Standard", "LMQL", "delta"
+    );
+    if with_accuracy {
+        println!(
+            "  {:<18} {:>11.2}% {:>11.2}% {:>8.2}%",
+            "Accuracy",
+            baseline.accuracy() * 100.0,
+            lmql.accuracy() * 100.0,
+            (lmql.accuracy() - baseline.accuracy()) * 100.0
+        );
+    }
+    let rows: [(&str, f64, f64); 3] = [
+        (
+            "Decoder Calls",
+            baseline.avg_decoder_calls(),
+            lmql.avg_decoder_calls(),
+        ),
+        (
+            "Model Queries",
+            baseline.avg_model_queries(),
+            lmql.avg_model_queries(),
+        ),
+        (
+            "Billable Tokens",
+            baseline.avg_billable_tokens(),
+            lmql.avg_billable_tokens(),
+        ),
+    ];
+    for (name, b, l) in rows {
+        println!(
+            "  {:<18} {:>12.2} {:>12.2} {:>8.2}%",
+            name,
+            b,
+            l,
+            delta_pct(b, l)
+        );
+    }
+    let saved_cents = (baseline.avg_billable_tokens() - lmql.avg_billable_tokens()) / 1000.0
+        * CENTS_PER_1K_TOKENS;
+    println!("  {:<18} {saved_cents:>32.2} cents/query", "Est. Cost Savings");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_pct_signs() {
+        assert!((delta_pct(100.0, 75.0) + 25.0).abs() < 1e-9);
+        assert!((delta_pct(100.0, 120.0) - 20.0).abs() < 1e-9);
+        assert_eq!(delta_pct(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Scripted beam search (§4): beam search jointly over holes *and* query
+//! control flow.
+//!
+//! Each beam owns a full VM snapshot, so different beams may take
+//! different control-flow paths (e.g. a ReAct beam that decodes `Act`
+//! branches into the lookup arm while a `Tho` beam does not). Discarded
+//! beams are pruned and never extended further.
+
+use crate::constraints::Masker;
+use crate::decode::DecodeOptions;
+use crate::interp::{Externals, Step, VmState};
+use crate::{Error, Program, Result, Value};
+use lmql_lm::LanguageModel;
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+/// Safety cap on beam-search iterations (tokens per beam across the whole
+/// query).
+const MAX_TOTAL_STEPS: usize = 100_000;
+
+#[derive(Debug, Clone)]
+struct Beam {
+    vm: VmState,
+    /// Hole currently being decoded, with its partial value.
+    hole: Option<(String, String)>,
+    /// Token context `uv` for the current hole (prompt tokens + picked
+    /// tokens); rebuilt when the VM advances past template text.
+    context: Vec<lmql_tokenizer::TokenId>,
+    /// Tokens generated into the current hole.
+    hole_tokens: usize,
+    /// Cumulative log-probability of all chosen tokens.
+    log_prob: f64,
+    done: bool,
+}
+
+/// A finished beam: its VM (trace, scope, hole records) and score.
+#[derive(Debug, Clone)]
+pub struct FinishedBeam {
+    /// The completed execution.
+    pub vm: VmState,
+    /// Cumulative log-probability.
+    pub log_prob: f64,
+}
+
+/// Runs scripted beam search with `n` beams over a compiled program.
+///
+/// Returns up to `n` finished executions, best first.
+///
+/// # Errors
+///
+/// Fails when every beam dies on constraint dead ends, or on evaluation
+/// errors inside the query body.
+#[allow(clippy::too_many_arguments)]
+pub fn run_beam_search<L: LanguageModel + ?Sized>(
+    lm: &L,
+    bpe: &Arc<Bpe>,
+    masker: &mut Masker,
+    program: &Program,
+    externals: &Externals,
+    bindings: &[(String, Value)],
+    n: usize,
+    options: &DecodeOptions,
+) -> Result<Vec<FinishedBeam>> {
+    assert!(n >= 1, "beam width must be at least 1");
+    if program.distribute.is_some() {
+        return Err(Error::compile(
+            "distribute clauses are not supported with beam decoding; use argmax or sample",
+            lmql_syntax::Span::default(),
+        ));
+    }
+
+    let eos = bpe.vocab().eos();
+    let mut init = Beam {
+        vm: VmState::new(bindings.iter().cloned()),
+        hole: None,
+        context: Vec::new(),
+        hole_tokens: 0,
+        log_prob: 0.0,
+        done: false,
+    };
+    advance(&mut init, program, externals, bpe)?;
+    let mut beams = vec![init];
+
+    for _ in 0..MAX_TOTAL_STEPS {
+        if beams.iter().all(|b| b.done) {
+            break;
+        }
+        let mut candidates: Vec<Beam> = Vec::new();
+        for beam in beams.drain(..) {
+            if beam.done {
+                candidates.push(beam);
+                continue;
+            }
+            let (var, value) = beam.hole.clone().expect("active beam has a hole");
+            let outcome =
+                masker.compute(program.where_clause.as_ref(), beam.vm.scope(), &var, &value);
+
+            if outcome.must_stop
+                || (outcome.allowed.is_empty() && outcome.eos_allowed)
+                || beam.hole_tokens >= options.max_tokens_per_hole
+            {
+                let mut b = beam;
+                finish_hole(&mut b, program, externals, bpe)?;
+                candidates.push(b);
+                continue;
+            }
+            if outcome.is_dead_end() {
+                continue; // prune this beam
+            }
+
+            let mut mask = outcome.allowed.clone();
+            if outcome.eos_allowed {
+                mask.insert(eos);
+            }
+            let dist = lm.score(&beam.context).softmax(options.temperature);
+            let Some(masked) = dist.masked(&mask) else {
+                continue; // numerically dead: prune
+            };
+            for (t, p) in masked.top_k(n) {
+                if p <= 0.0 {
+                    continue;
+                }
+                let mut b = beam.clone();
+                b.log_prob += p.ln();
+                if t == eos {
+                    finish_hole(&mut b, program, externals, bpe)?;
+                } else {
+                    let (_, v) = b.hole.as_mut().expect("active beam has a hole");
+                    v.push_str(bpe.vocab().token_str(t));
+                    b.context.push(t);
+                    b.hole_tokens += 1;
+                }
+                candidates.push(b);
+            }
+        }
+        if candidates.is_empty() {
+            return Err(Error::NoValidContinuation {
+                var: "<beam search>".to_owned(),
+            });
+        }
+        candidates.sort_by(|a, b| {
+            b.log_prob
+                .partial_cmp(&a.log_prob)
+                .expect("log probs are never NaN")
+        });
+        candidates.truncate(n);
+        beams = candidates;
+    }
+
+    let mut finished: Vec<FinishedBeam> = beams
+        .into_iter()
+        .filter(|b| b.done)
+        .map(|b| FinishedBeam {
+            vm: b.vm,
+            log_prob: b.log_prob,
+        })
+        .collect();
+    if finished.is_empty() {
+        return Err(Error::NoValidContinuation {
+            var: "<beam search>".to_owned(),
+        });
+    }
+    finished.sort_by(|a, b| {
+        b.log_prob
+            .partial_cmp(&a.log_prob)
+            .expect("log probs are never NaN")
+    });
+    Ok(finished)
+}
+
+/// Completes the current hole with its accumulated value and runs the VM
+/// to the next hole (or completion).
+fn finish_hole(
+    beam: &mut Beam,
+    program: &Program,
+    externals: &Externals,
+    bpe: &Arc<Bpe>,
+) -> Result<()> {
+    let (_, value) = beam.hole.take().expect("finish_hole without an active hole");
+    beam.vm.provide_hole(value);
+    beam.hole_tokens = 0;
+    advance(beam, program, externals, bpe)
+}
+
+/// Runs the VM until the next hole or completion, re-encoding the token
+/// context to cover the template text the VM just emitted.
+fn advance(
+    beam: &mut Beam,
+    program: &Program,
+    externals: &Externals,
+    bpe: &Arc<Bpe>,
+) -> Result<()> {
+    match beam.vm.run(program, externals)? {
+        Step::NeedHole(req) => {
+            beam.hole = Some((req.var, String::new()));
+            beam.context = bpe.encode(beam.vm.trace());
+        }
+        Step::Done => {
+            beam.done = true;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_source;
+    use crate::constraints::MaskEngine;
+    use lmql_lm::{Episode, ScriptedLm};
+
+    #[test]
+    fn beam_search_completes_simple_query() {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let lm = ScriptedLm::new(
+            Arc::clone(&bpe),
+            [Episode::plain("Say:", " hi there")],
+        );
+        let program = compile_source(
+            "beam(n=2)\n    \"Say:[OUT]\"\nfrom \"m\"\nwhere stops_at(OUT, \"there\")\n",
+        )
+        .unwrap();
+        let mut masker = Masker::new(MaskEngine::Exact, bpe.clone());
+        let beams = run_beam_search(
+            &lm,
+            &bpe,
+            &mut masker,
+            &program,
+            &Externals::new(),
+            &[],
+            2,
+            &DecodeOptions::default(),
+        )
+        .unwrap();
+        assert!(!beams.is_empty());
+        assert_eq!(beams[0].vm.trace(), "Say: hi there");
+        // Best beam first.
+        for w in beams.windows(2) {
+            assert!(w[0].log_prob >= w[1].log_prob);
+        }
+    }
+
+    #[test]
+    fn beams_diverge_across_control_flow() {
+        let bpe = Arc::new(Bpe::char_level(""));
+        // Two plausible MODE values: script prefers "b" but "a" stays in
+        // the beam, and each takes a different branch.
+        let lm = ScriptedLm::new(Arc::clone(&bpe), [Episode::plain("M:", "b")]);
+        let program = compile_source(
+            r#"
+beam(n=2)
+    "M:[MODE]"
+    if MODE == "a":
+        " took-a"
+    else:
+        " took-b"
+from "m"
+where MODE in ["a", "b"]
+"#,
+        )
+        .unwrap();
+        let mut masker = Masker::new(MaskEngine::Exact, bpe.clone());
+        let beams = run_beam_search(
+            &lm,
+            &bpe,
+            &mut masker,
+            &program,
+            &Externals::new(),
+            &[],
+            2,
+            &DecodeOptions::default(),
+        )
+        .unwrap();
+        let traces: Vec<&str> = beams.iter().map(|b| b.vm.trace()).collect();
+        assert!(traces[0].contains("took-b"), "script-preferred beam wins");
+        assert!(
+            traces.iter().any(|t| t.contains("took-a")),
+            "the alternative beam survives with its own control flow: {traces:?}"
+        );
+    }
+
+    #[test]
+    fn distribute_with_beam_is_rejected() {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let lm = ScriptedLm::new(Arc::clone(&bpe), [Episode::plain("x", "y")]);
+        let program = compile_source(
+            "beam(n=2)\n    \"[X]\"\nfrom \"m\"\ndistribute X in [\"a\"]\n",
+        )
+        .unwrap();
+        let mut masker = Masker::new(MaskEngine::Exact, bpe.clone());
+        let err = run_beam_search(
+            &lm,
+            &bpe,
+            &mut masker,
+            &program,
+            &Externals::new(),
+            &[],
+            2,
+            &DecodeOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("distribute"));
+    }
+}

@@ -1,0 +1,136 @@
+//! FINAL semantics (the paper's Table 1): annotating partially evaluated
+//! values with how they can still change as decoding progresses.
+
+use crate::Value;
+
+/// The annotators `A = {fin, var, inc, dec}` of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fin {
+    /// The value will retain this fixed value for every continuation.
+    Fin,
+    /// The value may still change arbitrarily.
+    Var,
+    /// The value will only grow (numerically, or append-only for strings
+    /// and lists).
+    Inc,
+    /// The value will only shrink.
+    Dec,
+}
+
+impl Fin {
+    /// `true` for `fin`.
+    pub fn is_final(self) -> bool {
+        self == Fin::Fin
+    }
+
+    /// `true` if the value can only grow or is fixed.
+    pub fn is_nondecreasing(self) -> bool {
+        matches!(self, Fin::Fin | Fin::Inc)
+    }
+
+    /// `true` if the value can only shrink or is fixed.
+    pub fn is_nonincreasing(self) -> bool {
+        matches!(self, Fin::Fin | Fin::Dec)
+    }
+}
+
+/// A partially evaluated value with its FINAL annotation.
+///
+/// `value: None` encodes *undetermined*: the expression depends on a future
+/// hole that has no value yet; all operators are tolerant of it (§5.1
+/// "Application").
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinalValue {
+    /// The value, or `None` when undetermined.
+    pub value: Option<Value>,
+    /// How the value may still change.
+    pub fin: Fin,
+}
+
+impl FinalValue {
+    /// A final (fixed) value.
+    pub fn fin(value: Value) -> Self {
+        FinalValue {
+            value: Some(value),
+            fin: Fin::Fin,
+        }
+    }
+
+    /// A value that may still change.
+    pub fn var(value: Value) -> Self {
+        FinalValue {
+            value: Some(value),
+            fin: Fin::Var,
+        }
+    }
+
+    /// A monotonically growing value (e.g. the currently decoding hole).
+    pub fn inc(value: Value) -> Self {
+        FinalValue {
+            value: Some(value),
+            fin: Fin::Inc,
+        }
+    }
+
+    /// An undetermined value (depends on a future hole).
+    pub fn undetermined() -> Self {
+        FinalValue {
+            value: None,
+            fin: Fin::Var,
+        }
+    }
+
+    /// `true` if undetermined.
+    pub fn is_undetermined(&self) -> bool {
+        self.value.is_none()
+    }
+
+    /// `FIN(⊥)`: the expression is `false` for **every** continuation —
+    /// the signal that lets the decoder mask a token or abort (§5.1).
+    pub fn is_definitely_false(&self) -> bool {
+        self.fin.is_final() && matches!(&self.value, Some(v) if !v.truthy())
+    }
+
+    /// `FIN(⊤)`: the expression is `true` for every continuation.
+    pub fn is_definitely_true(&self) -> bool {
+        self.fin.is_final() && matches!(&self.value, Some(v) if v.truthy())
+    }
+
+    /// The boolean reading of the value, if determined.
+    pub fn truthy(&self) -> Option<bool> {
+        self.value.as_ref().map(Value::truthy)
+    }
+
+    /// Replaces the annotation.
+    pub fn with_fin(mut self, fin: Fin) -> Self {
+        self.fin = fin;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn definitely_false_requires_fin() {
+        assert!(FinalValue::fin(Value::Bool(false)).is_definitely_false());
+        assert!(!FinalValue::var(Value::Bool(false)).is_definitely_false());
+        assert!(!FinalValue::undetermined().is_definitely_false());
+    }
+
+    #[test]
+    fn definitely_true_requires_fin() {
+        assert!(FinalValue::fin(Value::Int(1)).is_definitely_true());
+        assert!(!FinalValue::inc(Value::Int(1)).is_definitely_true());
+    }
+
+    #[test]
+    fn monotonicity_predicates() {
+        assert!(Fin::Inc.is_nondecreasing());
+        assert!(Fin::Fin.is_nondecreasing());
+        assert!(!Fin::Dec.is_nondecreasing());
+        assert!(Fin::Dec.is_nonincreasing());
+        assert!(!Fin::Var.is_nonincreasing());
+    }
+}

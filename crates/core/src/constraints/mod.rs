@@ -1,0 +1,13 @@
+//! Validation and constrained decoding (§5 of the paper): FINAL semantics,
+//! FOLLOW maps and token-mask generation.
+
+mod custom;
+mod eval;
+mod final_sem;
+mod follow;
+mod mask;
+
+pub use custom::{CustomOp, CustomOps, FollowView, OpCtx};
+pub use eval::{eval_expr, eval_final, EvalCtx};
+pub use final_sem::{Fin, FinalValue};
+pub use mask::{collect_stop_phrases, MaskEngine, MaskOutcome, Masker, VocabSource};

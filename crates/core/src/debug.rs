@@ -1,0 +1,129 @@
+//! Decoder introspection — a terminal rendition of the paper's
+//! Appendix A.3 visual debugger: per decoding step, the mask size, EOS
+//! admissibility and the picked token; per hole, why decoding stopped.
+//!
+//! Enable with [`Runtime::run_traced`](crate::Runtime::run_traced) and
+//! print [`DebugTrace::render`].
+
+use std::fmt::Write as _;
+
+/// One decoding step of one hole (one row of the debugger's decoder
+/// graph).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTrace {
+    /// Characters of the hole value before this step.
+    pub value_chars: usize,
+    /// Admissible regular tokens after masking.
+    pub allowed: usize,
+    /// Vocabulary size (for "k of N" display).
+    pub vocab: usize,
+    /// Whether EOS was admissible at this step.
+    pub eos_allowed: bool,
+    /// The picked token's text, or `None` when EOS was picked.
+    pub picked: Option<String>,
+    /// The picked token's masked (renormalised) probability.
+    pub prob: f64,
+}
+
+/// Why a hole's decoding loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The model produced EOS.
+    Eos,
+    /// A `stops_at` phrase was completed.
+    StopPhrase,
+    /// Only EOS remained admissible.
+    MaskExhausted,
+    /// The per-hole token budget ran out.
+    Budget,
+    /// The hole was resolved by the `distribute` clause instead of
+    /// token-by-token decoding.
+    Distribution,
+}
+
+/// The decode history of one hole.
+#[derive(Debug, Clone)]
+pub struct HoleTrace {
+    /// The hole variable.
+    pub var: String,
+    /// Final decoded value.
+    pub value: String,
+    /// Per-token decoding steps (empty for distribution holes).
+    pub steps: Vec<StepTrace>,
+    /// Why decoding ended.
+    pub stopped_by: StopReason,
+}
+
+/// The decode history of a whole query run.
+#[derive(Debug, Clone, Default)]
+pub struct DebugTrace {
+    /// One entry per decoded hole, in decode order.
+    pub holes: Vec<HoleTrace>,
+}
+
+impl DebugTrace {
+    /// Renders the trace as indented text, one block per hole:
+    ///
+    /// ```text
+    /// [ANSWER] stopped by stop phrase, value " The capital."
+    ///   step  1: mask 412/713  eos=yes  picked " The" (p=0.93)
+    ///   …
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for h in &self.holes {
+            let reason = match h.stopped_by {
+                StopReason::Eos => "end-of-sequence",
+                StopReason::StopPhrase => "stop phrase",
+                StopReason::MaskExhausted => "mask exhausted (only EOS left)",
+                StopReason::Budget => "token budget",
+                StopReason::Distribution => "distribute clause",
+            };
+            let _ = writeln!(out, "[{}] stopped by {reason}, value {:?}", h.var, h.value);
+            for (i, s) in h.steps.iter().enumerate() {
+                let picked = match &s.picked {
+                    Some(t) => format!("{t:?}"),
+                    None => "<eos>".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  step {:>3}: mask {:>4}/{}  eos={}  picked {picked} (p={:.3})",
+                    i + 1,
+                    s.allowed,
+                    s.vocab,
+                    if s.eos_allowed { "yes" } else { "no " },
+                    s.prob
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shapes_output() {
+        let trace = DebugTrace {
+            holes: vec![HoleTrace {
+                var: "X".into(),
+                value: "hi.".into(),
+                steps: vec![StepTrace {
+                    value_chars: 0,
+                    allowed: 10,
+                    vocab: 100,
+                    eos_allowed: true,
+                    picked: Some("hi.".into()),
+                    prob: 0.5,
+                }],
+                stopped_by: StopReason::StopPhrase,
+            }],
+        };
+        let text = trace.render();
+        assert!(text.contains("[X] stopped by stop phrase"));
+        assert!(text.contains("mask   10/100"));
+        assert!(text.contains("p=0.500"));
+    }
+}

@@ -1,0 +1,404 @@
+//! Constrained decoding (the paper's Alg. 2) and decoder strategies.
+
+use crate::constraints::{MaskEngine, Masker};
+use crate::debug::{StepTrace, StopReason};
+use crate::{Error, Result};
+use lmql_lm::LanguageModel;
+use lmql_tokenizer::{Bpe, TokenSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Tunables shared by all decoders.
+#[derive(Debug, Clone)]
+pub struct DecodeOptions {
+    /// Softmax temperature `τ` (§2.1).
+    pub temperature: f64,
+    /// Hard cap on tokens generated per hole (the `max_length`-style
+    /// safety net; decoding stops at the cap with the value as-is).
+    pub max_tokens_per_hole: usize,
+    /// RNG seed for `sample` decoding.
+    pub seed: u64,
+    /// Mask-generation engine (§5): exact reference or symbolic FollowMap.
+    pub engine: MaskEngine,
+    /// HuggingFace-style n-gram blocking (the `no_repeat_ngram_size`
+    /// decoder parameter of Fig. 11): a token is masked if appending it
+    /// would repeat an n-gram already present in the context. `0`
+    /// disables blocking.
+    pub no_repeat_ngram: usize,
+    /// Speculative scoring (§4): issue the model's forward pass in
+    /// parallel with mask computation, hiding mask latency behind the
+    /// model. Costs one extra (wasted) model query on the final step of
+    /// each hole, exactly like the real system's speculative prediction.
+    pub speculative: bool,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> Self {
+        DecodeOptions {
+            temperature: 1.0,
+            max_tokens_per_hole: 64,
+            seed: 0,
+            engine: MaskEngine::default(),
+            no_repeat_ngram: 0,
+            speculative: false,
+        }
+    }
+}
+
+impl DecodeOptions {
+    /// Applies the decoder clause's keyword parameters on top of these
+    /// options (`temperature`, `max_length`, `no_repeat_ngram_size`).
+    pub fn with_decoder_params(mut self, spec: &lmql_syntax::ast::DecoderSpec) -> Self {
+        self.temperature = spec.float_param("temperature", self.temperature);
+        self.max_tokens_per_hole =
+            spec.int_param("max_length", self.max_tokens_per_hole as i64).max(1) as usize;
+        self.no_repeat_ngram = spec
+            .int_param("no_repeat_ngram_size", self.no_repeat_ngram as i64)
+            .max(0) as usize;
+        self
+    }
+}
+
+/// Tokens that would repeat an `n`-gram already present in `context`
+/// (HuggingFace's `no_repeat_ngram_size` semantics): for the last `n-1`
+/// context tokens as a prefix, every token that completed that prefix to
+/// an existing `n`-gram is blocked.
+pub fn ngram_blocked_tokens(context: &[lmql_tokenizer::TokenId], n: usize, vocab_len: usize) -> TokenSet {
+    let mut blocked = TokenSet::empty(vocab_len);
+    if n == 0 || context.len() < n {
+        return blocked;
+    }
+    let prefix = &context[context.len() - (n - 1)..];
+    for window in context.windows(n) {
+        if &window[..n - 1] == prefix {
+            blocked.insert(window[n - 1]);
+        }
+    }
+    blocked
+}
+
+/// How `pick` (Alg. 2, line 5) chooses from the masked distribution.
+#[derive(Debug)]
+pub enum Pick {
+    /// Highest probability (greedy).
+    Argmax,
+    /// Sample from the categorical distribution.
+    Sample(Box<StdRng>),
+}
+
+impl Pick {
+    /// An argmax picker.
+    pub fn argmax() -> Self {
+        Pick::Argmax
+    }
+
+    /// A seeded sampler.
+    pub fn sample(seed: u64) -> Self {
+        Pick::Sample(Box::new(StdRng::seed_from_u64(seed)))
+    }
+}
+
+/// The outcome of decoding one hole.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedValue {
+    /// The hole's value (stop phrase included, if one triggered).
+    pub value: String,
+    /// Sum of masked log-probabilities of the chosen tokens.
+    pub log_prob: f64,
+    /// Number of tokens generated.
+    pub tokens: usize,
+    /// Why decoding ended.
+    pub stopped_by: StopReason,
+}
+
+/// Decodes a value for hole `var` given the current interaction trace.
+///
+/// Implements Alg. 2: at each step compute the mask, stop on dead ends or
+/// forced stops, renormalise the masked distribution, pick a token, append.
+///
+/// # Errors
+///
+/// [`Error::NoValidContinuation`] when every token is masked and EOS is
+/// inadmissible before any progress can be made.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_hole<L: LanguageModel + ?Sized>(
+    lm: &L,
+    bpe: &Arc<Bpe>,
+    masker: &mut Masker,
+    where_expr: Option<&lmql_syntax::ast::Expr>,
+    scope: &HashMap<String, crate::Value>,
+    trace: &str,
+    var: &str,
+    pick: &mut Pick,
+    options: &DecodeOptions,
+) -> Result<DecodedValue> {
+    decode_hole_traced(
+        lm, bpe, masker, where_expr, scope, trace, var, pick, options, None,
+    )
+}
+
+/// [`decode_hole`] with optional per-step introspection recording
+/// (Appendix A.3 debugger support).
+///
+/// # Errors
+///
+/// See [`decode_hole`].
+#[allow(clippy::too_many_arguments)]
+pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
+    lm: &L,
+    bpe: &Arc<Bpe>,
+    masker: &mut Masker,
+    where_expr: Option<&lmql_syntax::ast::Expr>,
+    scope: &HashMap<String, crate::Value>,
+    trace: &str,
+    var: &str,
+    pick: &mut Pick,
+    options: &DecodeOptions,
+    mut steps_out: Option<&mut Vec<StepTrace>>,
+) -> Result<DecodedValue> {
+    let eos = bpe.vocab().eos();
+    let mut value = String::new();
+    let mut log_prob = 0.0;
+    let mut tokens = 0;
+    let stopped_by;
+    // Alg. 2 operates on the token sequence `uv`: the prompt is encoded
+    // once, picked tokens are appended as-is (no per-step re-encoding,
+    // which could even re-factorise the value differently).
+    let mut context = bpe.encode(trace);
+
+    loop {
+        // Speculative mode (§4): kick off the forward pass while the mask
+        // is being computed; the logits are wasted if this step turns out
+        // to stop decoding.
+        let speculative_logits = if options.speculative {
+            let (logits, outcome) = std::thread::scope(|scope_| {
+                let handle = scope_.spawn(|| lm.score(&context));
+                let outcome = masker.compute(where_expr, scope, var, &value);
+                (handle.join().expect("scoring thread panicked"), outcome)
+            });
+            Some((logits, outcome))
+        } else {
+            None
+        };
+
+        let outcome = match &speculative_logits {
+            Some((_, outcome)) => outcome.clone(),
+            None => masker.compute(where_expr, scope, var, &value),
+        };
+        if outcome.must_stop {
+            stopped_by = StopReason::StopPhrase;
+            break;
+        }
+        if outcome.is_dead_end() {
+            return Err(Error::NoValidContinuation { var: var.to_owned() });
+        }
+        if outcome.allowed.is_empty() {
+            stopped_by = StopReason::MaskExhausted;
+            break;
+        }
+        if tokens >= options.max_tokens_per_hole {
+            stopped_by = StopReason::Budget;
+            break;
+        }
+
+        let mut mask = outcome.allowed.clone();
+        if outcome.eos_allowed {
+            mask.insert(eos);
+        }
+
+        if options.no_repeat_ngram > 0 {
+            let blocked =
+                ngram_blocked_tokens(&context, options.no_repeat_ngram, bpe.vocab().len());
+            mask.intersect_with(&blocked.complement());
+            if mask.is_empty() {
+                stopped_by = StopReason::MaskExhausted;
+                break; // blocking exhausted the mask: end the hole
+            }
+        }
+        let logits = match speculative_logits {
+            Some((logits, _)) => logits,
+            None => lm.score(&context),
+        };
+        let dist = logits.softmax(options.temperature);
+        let Some(masked) = dist.masked(&mask) else {
+            return Err(Error::NoValidContinuation { var: var.to_owned() });
+        };
+        let t = match pick {
+            Pick::Argmax => masked.argmax(),
+            Pick::Sample(rng) => masked.sample(rng),
+        };
+        if let Some(steps) = steps_out.as_deref_mut() {
+            steps.push(StepTrace {
+                value_chars: value.chars().count(),
+                allowed: outcome.allowed.count(),
+                vocab: bpe.vocab().len(),
+                eos_allowed: outcome.eos_allowed,
+                picked: (t != eos).then(|| bpe.vocab().token_str(t).to_owned()),
+                prob: masked.prob(t),
+            });
+        }
+        if t == eos {
+            stopped_by = StopReason::Eos;
+            break;
+        }
+        log_prob += masked.log_prob(t);
+        value.push_str(bpe.vocab().token_str(t));
+        context.push(t);
+        tokens += 1;
+    }
+
+    Ok(DecodedValue {
+        value,
+        log_prob,
+        tokens,
+        stopped_by,
+    })
+}
+
+/// The full-vocabulary mask (minus EOS) — what an unconstrained decoder
+/// sees.
+pub fn unconstrained_mask(bpe: &Bpe) -> TokenSet {
+    let mut m = TokenSet::full(bpe.vocab().len());
+    m.remove(bpe.vocab().eos());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmql_lm::{Episode, ScriptedLm};
+    use lmql_syntax::parse_expr;
+
+    fn setup(script: &str) -> (Arc<Bpe>, ScriptedLm, Masker) {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let lm = ScriptedLm::new(Arc::clone(&bpe), [Episode::plain("P:", script)]);
+        let masker = Masker::new(MaskEngine::Exact, bpe.clone());
+        (bpe, lm, masker)
+    }
+
+    #[test]
+    fn unconstrained_decodes_script_to_eos() {
+        let (bpe, lm, mut masker) = setup(" hello.");
+        let out = decode_hole(
+            &lm,
+            &bpe,
+            &mut masker,
+            None,
+            &HashMap::new(),
+            "P:",
+            "X",
+            &mut Pick::argmax(),
+            &DecodeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.value, " hello.");
+        assert!(out.tokens > 0);
+    }
+
+    #[test]
+    fn stops_at_truncates_inclusively() {
+        let (bpe, lm, mut masker) = setup(" one. two. three.");
+        let e = parse_expr("stops_at(X, \".\")").unwrap();
+        let out = decode_hole(
+            &lm,
+            &bpe,
+            &mut masker,
+            Some(&e),
+            &HashMap::new(),
+            "P:",
+            "X",
+            &mut Pick::argmax(),
+            &DecodeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.value, " one.");
+    }
+
+    #[test]
+    fn membership_constraint_forces_option() {
+        // The script says " maybe" but the constraint only allows yes/no;
+        // masking forces the model onto an option.
+        let (bpe, lm, mut masker) = setup(" maybe");
+        let e = parse_expr("X in [\" yes\", \" no\"]").unwrap();
+        let out = decode_hole(
+            &lm,
+            &bpe,
+            &mut masker,
+            Some(&e),
+            &HashMap::new(),
+            "P:",
+            "X",
+            &mut Pick::argmax(),
+            &DecodeOptions::default(),
+        )
+        .unwrap();
+        assert!(out.value == " yes" || out.value == " no");
+    }
+
+    #[test]
+    fn max_tokens_caps_generation() {
+        let (bpe, lm, mut masker) = setup(" this is a very long script that keeps going");
+        let opts = DecodeOptions {
+            max_tokens_per_hole: 5,
+            ..DecodeOptions::default()
+        };
+        let out = decode_hole(
+            &lm,
+            &bpe,
+            &mut masker,
+            None,
+            &HashMap::new(),
+            "P:",
+            "X",
+            &mut Pick::argmax(),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(out.tokens, 5);
+    }
+
+    #[test]
+    fn impossible_constraint_is_dead_end() {
+        let (bpe, lm, mut masker) = setup(" x");
+        let e = parse_expr("X in [\"a\"] and X in [\"b\"]").unwrap();
+        let err = decode_hole(
+            &lm,
+            &bpe,
+            &mut masker,
+            Some(&e),
+            &HashMap::new(),
+            "P:",
+            "X",
+            &mut Pick::argmax(),
+            &DecodeOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::NoValidContinuation { .. }));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let (bpe, lm, mut masker) = setup(" result text here");
+        let mut run = |seed| {
+            decode_hole(
+                &lm,
+                &bpe,
+                &mut masker,
+                None,
+                &HashMap::new(),
+                "P:",
+                "X",
+                &mut Pick::sample(seed),
+                &DecodeOptions {
+                    temperature: 1.5,
+                    ..DecodeOptions::default()
+                },
+            )
+            .unwrap()
+            .value
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,91 @@
+//! Runtime errors.
+
+use lmql_syntax::{Span, SyntaxError};
+use std::fmt;
+
+/// An error raised while compiling or executing an LMQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The query failed to parse.
+    Syntax(SyntaxError),
+    /// The query is well-formed but violates a static rule (e.g. the
+    /// `distribute` variable is not the last hole).
+    Compile { message: String, span: Span },
+    /// Evaluation failed (type error, unknown variable, bad call, …).
+    Eval { message: String, span: Span },
+    /// Decoding could not produce a constraint-satisfying value: every
+    /// next token was masked out and EOS was inadmissible (Alg. 2's
+    /// `⋀ᵢ mᵢ = 0` exit without a legal decoding).
+    NoValidContinuation { var: String },
+    /// An external (user-registered) function failed.
+    External { name: String, message: String },
+}
+
+impl Error {
+    /// Helper for evaluation errors.
+    pub fn eval(message: impl Into<String>, span: Span) -> Self {
+        Error::Eval {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Helper for compile errors.
+    pub fn compile(message: impl Into<String>, span: Span) -> Self {
+        Error::Compile {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Syntax(e) => write!(f, "{e}"),
+            Error::Compile { message, span } => {
+                write!(f, "compile error at {span}: {message}")
+            }
+            Error::Eval { message, span } => write!(f, "runtime error at {span}: {message}"),
+            Error::NoValidContinuation { var } => write!(
+                f,
+                "no valid continuation for hole `{var}`: all next tokens violate the constraints"
+            ),
+            Error::External { name, message } => {
+                write!(f, "external function `{name}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Syntax(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SyntaxError> for Error {
+    fn from(e: SyntaxError) -> Self {
+        Error::Syntax(e)
+    }
+}
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmql_syntax::Pos;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::eval("bad value", Span::at(Pos::new(1, 2)));
+        assert!(e.to_string().contains("runtime error at 1:2"));
+        let e = Error::NoValidContinuation { var: "X".into() };
+        assert!(e.to_string().contains("`X`"));
+    }
+}

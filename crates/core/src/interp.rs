@@ -1,0 +1,856 @@
+//! The resumable query VM — the execution model of the paper's Alg. 1.
+//!
+//! A [`VmState`] executes the compiled instruction stream, maintaining the
+//! interaction trace `u` and the scope `σ`. When a prompt template reaches
+//! a `[VAR]` hole, the VM *suspends* and returns a [`HoleRequest`]; the
+//! decoder produces a value (Alg. 2) and resumes with
+//! [`VmState::provide_hole`]. Because the whole state is `Clone`, scripted
+//! beam search can snapshot and fork executions at every decoding step.
+
+use crate::builtins::{call_builtin, call_method, len_of};
+use crate::program::{CompiledSegment, Instr, Program, PromptTemplate};
+use crate::{Error, Result, Value};
+use lmql_syntax::ast::{BinOp, CmpOp};
+use lmql_syntax::Span;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Signature of a user-registered external function (pure and
+/// deterministic, per the paper's §4 assumptions).
+pub type ExternalFn = Arc<dyn Fn(&[Value]) -> std::result::Result<Value, String> + Send + Sync>;
+
+/// Registry of external module functions callable as `module.func(args)`
+/// from query bodies (after `import module`).
+#[derive(Clone, Default)]
+pub struct Externals {
+    fns: HashMap<String, ExternalFn>,
+}
+
+impl std::fmt::Debug for Externals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.fns.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("Externals").field("fns", &names).finish()
+    }
+}
+
+impl Externals {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `module.func`.
+    pub fn register<F>(&mut self, module: &str, func: &str, f: F)
+    where
+        F: Fn(&[Value]) -> std::result::Result<Value, String> + Send + Sync + 'static,
+    {
+        self.fns.insert(format!("{module}.{func}"), Arc::new(f));
+    }
+
+    /// Calls `module.func` if registered (shared with the strict
+    /// expression evaluator).
+    pub(crate) fn call_public(&self, module: &str, func: &str, args: &[Value]) -> Result<Value> {
+        self.call(module, func, args)
+    }
+
+    fn call(&self, module: &str, func: &str, args: &[Value]) -> Result<Value> {
+        let key = format!("{module}.{func}");
+        let f = self.fns.get(&key).ok_or_else(|| Error::External {
+            name: key.clone(),
+            message: "not registered".to_owned(),
+        })?;
+        f(args).map_err(|message| Error::External { name: key, message })
+    }
+}
+
+/// A suspended VM waiting for a hole value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoleRequest {
+    /// The `[VAR]` name to decode.
+    pub var: String,
+    /// Source location of the prompt string containing the hole.
+    pub span: Span,
+}
+
+/// Where a hole's decoded value landed in the interaction trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoleRecord {
+    /// The variable name.
+    pub var: String,
+    /// The decoded value.
+    pub value: String,
+    /// Byte offset of the value's start in the trace.
+    pub start: usize,
+    /// Byte offset one past the value's end.
+    pub end: usize,
+}
+
+/// What a call to [`VmState::run`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// The program needs a value for a hole before continuing.
+    NeedHole(HoleRequest),
+    /// The program ran to completion.
+    Done,
+}
+
+/// Instruction budget per [`VmState::run`] call; exceeded only by runaway
+/// loops in buggy queries.
+const FUEL: u64 = 50_000_000;
+
+/// A cloneable, resumable execution state of a compiled query.
+#[derive(Debug, Clone)]
+pub struct VmState {
+    pc: usize,
+    stack: Vec<Value>,
+    iters: Vec<(Vec<Value>, usize)>,
+    scope: HashMap<String, Value>,
+    trace: String,
+    /// Segment index within the current `Emit` (valid when `in_emit`).
+    seg_idx: usize,
+    in_emit: bool,
+    pending_hole: Option<String>,
+    hole_records: Vec<HoleRecord>,
+    finished: bool,
+}
+
+impl VmState {
+    /// A fresh state with initial variable bindings (the query arguments,
+    /// e.g. `OPTIONS` in the paper's Fig. 10).
+    pub fn new(bindings: impl IntoIterator<Item = (String, Value)>) -> Self {
+        VmState {
+            pc: 0,
+            stack: Vec::new(),
+            iters: Vec::new(),
+            scope: bindings.into_iter().collect(),
+            trace: String::new(),
+            seg_idx: 0,
+            in_emit: false,
+            pending_hole: None,
+            hole_records: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The interaction trace `u` so far.
+    pub fn trace(&self) -> &str {
+        &self.trace
+    }
+
+    /// The current scope `σ`.
+    pub fn scope(&self) -> &HashMap<String, Value> {
+        &self.scope
+    }
+
+    /// All hole fills so far, in decode order.
+    pub fn hole_records(&self) -> &[HoleRecord] {
+        &self.hole_records
+    }
+
+    /// `true` once the program has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The hole currently awaiting a value, if suspended.
+    pub fn pending_hole(&self) -> Option<&str> {
+        self.pending_hole.as_deref()
+    }
+
+    /// Supplies the decoded value for the pending hole and leaves the VM
+    /// ready to continue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no hole is pending.
+    pub fn provide_hole(&mut self, value: impl Into<String>) {
+        let var = self
+            .pending_hole
+            .take()
+            .expect("provide_hole called without a pending hole");
+        let value = value.into();
+        let start = self.trace.len();
+        self.trace.push_str(&value);
+        self.hole_records.push(HoleRecord {
+            var: var.clone(),
+            value: value.clone(),
+            start,
+            end: self.trace.len(),
+        });
+        self.scope.insert(var, Value::Str(value));
+        self.seg_idx += 1;
+    }
+
+    /// Runs until the next hole or completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; also errors if called while a hole is
+    /// still pending or after completion.
+    pub fn run(&mut self, program: &Program, externals: &Externals) -> Result<Step> {
+        if self.pending_hole.is_some() {
+            return Err(Error::eval(
+                "cannot run: a hole is awaiting a value",
+                Span::default(),
+            ));
+        }
+        if self.finished {
+            return Err(Error::eval("program already finished", Span::default()));
+        }
+        let mut fuel = FUEL;
+        loop {
+            fuel -= 1;
+            if fuel == 0 {
+                return Err(Error::eval(
+                    "instruction budget exhausted (runaway loop?)",
+                    Span::default(),
+                ));
+            }
+            if self.in_emit {
+                let template = match &program.instrs[self.pc] {
+                    Instr::Emit(t) => t.clone(),
+                    other => unreachable!("in_emit at non-emit instruction {other:?}"),
+                };
+                if let Some(req) = self.emit_segments(&template, externals)? {
+                    return Ok(Step::NeedHole(req));
+                }
+                self.in_emit = false;
+                self.seg_idx = 0;
+                self.pc += 1;
+                continue;
+            }
+            match program.instrs[self.pc].clone() {
+                Instr::Halt => {
+                    self.finished = true;
+                    return Ok(Step::Done);
+                }
+                Instr::Emit(_) => {
+                    self.in_emit = true;
+                    self.seg_idx = 0;
+                    // handled at loop top
+                }
+                Instr::Const(v) => {
+                    self.stack.push(v);
+                    self.pc += 1;
+                }
+                Instr::Load(name, span) => {
+                    let v = self.scope.get(&name).cloned().ok_or_else(|| {
+                        Error::eval(format!("undefined variable `{name}`"), span)
+                    })?;
+                    self.stack.push(v);
+                    self.pc += 1;
+                }
+                Instr::Store(name) => {
+                    let v = self.pop();
+                    self.scope.insert(name, v);
+                    self.pc += 1;
+                }
+                Instr::Pop => {
+                    self.pop();
+                    self.pc += 1;
+                }
+                Instr::MakeList(n) => {
+                    let items = self.pop_n(n);
+                    self.stack.push(Value::List(items));
+                    self.pc += 1;
+                }
+                Instr::BinOp(op, span) => {
+                    let r = self.pop();
+                    let l = self.pop();
+                    self.stack.push(apply_binop(op, &l, &r, span)?);
+                    self.pc += 1;
+                }
+                Instr::Compare(op, span) => {
+                    let r = self.pop();
+                    let l = self.pop();
+                    self.stack.push(Value::Bool(apply_compare(op, &l, &r, span)?));
+                    self.pc += 1;
+                }
+                Instr::Not => {
+                    let v = self.pop();
+                    self.stack.push(Value::Bool(!v.truthy()));
+                    self.pc += 1;
+                }
+                Instr::Neg(span) => {
+                    let v = self.pop();
+                    let out = match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        other => {
+                            return Err(Error::eval(
+                                format!("cannot negate {}", other.type_name()),
+                                span,
+                            ))
+                        }
+                    };
+                    self.stack.push(out);
+                    self.pc += 1;
+                }
+                Instr::Index(span) => {
+                    let idx = self.pop();
+                    let obj = self.pop();
+                    self.stack.push(index_value(&obj, &idx, span)?);
+                    self.pc += 1;
+                }
+                Instr::Slice {
+                    has_lo,
+                    has_hi,
+                    span,
+                } => {
+                    let hi = if has_hi { Some(self.pop()) } else { None };
+                    let lo = if has_lo { Some(self.pop()) } else { None };
+                    let obj = self.pop();
+                    self.stack.push(slice_value(&obj, lo, hi, span)?);
+                    self.pc += 1;
+                }
+                Instr::CallBuiltin { name, argc, span } => {
+                    let args = self.pop_n(argc);
+                    self.stack.push(call_builtin(&name, &args, span)?);
+                    self.pc += 1;
+                }
+                Instr::CallMethod { name, argc, span } => {
+                    let args = self.pop_n(argc);
+                    let obj = self.pop();
+                    self.stack.push(call_method(&obj, &name, &args, span)?);
+                    self.pc += 1;
+                }
+                Instr::CallMutMethod {
+                    var,
+                    name,
+                    argc,
+                    span,
+                } => {
+                    let args = self.pop_n(argc);
+                    let current = self.scope.get(&var).cloned().ok_or_else(|| {
+                        Error::eval(format!("undefined variable `{var}`"), span)
+                    })?;
+                    let Value::List(mut items) = current else {
+                        return Err(Error::eval(
+                            format!(".{name}() requires a list, got {}", current.type_name()),
+                            span,
+                        ));
+                    };
+                    match name.as_str() {
+                        "append" => {
+                            let [v] = <[Value; 1]>::try_from(args).map_err(|_| {
+                                Error::eval(".append() takes one argument", span)
+                            })?;
+                            items.push(v);
+                        }
+                        "extend" => {
+                            let [v] = <[Value; 1]>::try_from(args).map_err(|_| {
+                                Error::eval(".extend() takes one argument", span)
+                            })?;
+                            match v {
+                                Value::List(more) => items.extend(more),
+                                other => {
+                                    return Err(Error::eval(
+                                        format!(
+                                            ".extend() takes a list, got {}",
+                                            other.type_name()
+                                        ),
+                                        span,
+                                    ))
+                                }
+                            }
+                        }
+                        other => unreachable!("non-mutating method {other} compiled as mutating"),
+                    }
+                    self.scope.insert(var, Value::List(items));
+                    self.stack.push(Value::None);
+                    self.pc += 1;
+                }
+                Instr::CallExternal {
+                    module,
+                    func,
+                    argc,
+                    ..
+                } => {
+                    let args = self.pop_n(argc);
+                    self.stack.push(externals.call(&module, &func, &args)?);
+                    self.pc += 1;
+                }
+                Instr::Jump(t) => self.pc = t,
+                Instr::JumpIfFalse(t) => {
+                    let v = self.pop();
+                    if v.truthy() {
+                        self.pc += 1;
+                    } else {
+                        self.pc = t;
+                    }
+                }
+                Instr::IterNew(span) => {
+                    let v = self.pop();
+                    let items = match v {
+                        Value::List(l) => l,
+                        Value::Str(s) => {
+                            s.chars().map(|c| Value::Str(c.to_string())).collect()
+                        }
+                        other => {
+                            return Err(Error::eval(
+                                format!("cannot iterate over {}", other.type_name()),
+                                span,
+                            ))
+                        }
+                    };
+                    self.iters.push((items, 0));
+                    self.pc += 1;
+                }
+                Instr::IterNext { var, exit } => {
+                    let (items, idx) = self.iters.last_mut().expect("iterator underflow");
+                    if *idx < items.len() {
+                        let v = items[*idx].clone();
+                        *idx += 1;
+                        self.scope.insert(var, v);
+                        self.pc += 1;
+                    } else {
+                        self.iters.pop();
+                        self.pc = exit;
+                    }
+                }
+                Instr::PopIter => {
+                    self.iters.pop().expect("iterator underflow");
+                    self.pc += 1;
+                }
+                Instr::BoolFold { and, count } => {
+                    let vals = self.pop_n(count);
+                    let mut result = vals
+                        .first()
+                        .cloned()
+                        .unwrap_or(Value::Bool(and));
+                    for v in vals {
+                        let decided = if and { !v.truthy() } else { v.truthy() };
+                        result = v;
+                        if decided {
+                            break;
+                        }
+                    }
+                    self.stack.push(result);
+                    self.pc += 1;
+                }
+            }
+        }
+    }
+
+    fn emit_segments(
+        &mut self,
+        template: &PromptTemplate,
+        externals: &Externals,
+    ) -> Result<Option<HoleRequest>> {
+        while self.seg_idx < template.segments.len() {
+            match &template.segments[self.seg_idx] {
+                CompiledSegment::Literal(text) => {
+                    self.trace.push_str(text);
+                    self.seg_idx += 1;
+                }
+                CompiledSegment::Recall(expr) => {
+                    let v = crate::constraints::eval_expr(expr, &self.scope, externals)?;
+                    self.trace.push_str(&v.to_prompt_string());
+                    self.seg_idx += 1;
+                }
+                CompiledSegment::Hole(name) => {
+                    self.pending_hole = Some(name.clone());
+                    return Ok(Some(HoleRequest {
+                        var: name.clone(),
+                        span: template.span,
+                    }));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn pop(&mut self) -> Value {
+        self.stack.pop().expect("value stack underflow")
+    }
+
+    fn pop_n(&mut self, n: usize) -> Vec<Value> {
+        let at = self.stack.len() - n;
+        self.stack.split_off(at)
+    }
+}
+
+fn apply_binop(op: BinOp, l: &Value, r: &Value, span: Span) -> Result<Value> {
+    use Value::*;
+    let num_err = || {
+        Error::eval(
+            format!(
+                "unsupported operand types for arithmetic: {} and {}",
+                l.type_name(),
+                r.type_name()
+            ),
+            span,
+        )
+    };
+    match op {
+        BinOp::Add => match (l, r) {
+            (Int(a), Int(b)) => Ok(Int(a + b)),
+            (Str(a), Str(b)) => Ok(Str(format!("{a}{b}"))),
+            (List(a), List(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                Ok(List(out))
+            }
+            _ => match (l.as_float(), r.as_float()) {
+                (Some(a), Some(b)) => Ok(Float(a + b)),
+                _ => Err(num_err()),
+            },
+        },
+        BinOp::Sub => match (l, r) {
+            (Int(a), Int(b)) => Ok(Int(a - b)),
+            _ => match (l.as_float(), r.as_float()) {
+                (Some(a), Some(b)) => Ok(Float(a - b)),
+                _ => Err(num_err()),
+            },
+        },
+        BinOp::Mul => match (l, r) {
+            (Int(a), Int(b)) => Ok(Int(a * b)),
+            _ => match (l.as_float(), r.as_float()) {
+                (Some(a), Some(b)) => Ok(Float(a * b)),
+                _ => Err(num_err()),
+            },
+        },
+        BinOp::Div => match (l.as_float(), r.as_float()) {
+            (Some(_), Some(0.0)) => Err(Error::eval("division by zero", span)),
+            (Some(a), Some(b)) => Ok(Float(a / b)),
+            _ => Err(num_err()),
+        },
+        BinOp::Mod => match (l, r) {
+            (Int(_), Int(0)) => Err(Error::eval("modulo by zero", span)),
+            (Int(a), Int(b)) => Ok(Int(a.rem_euclid(*b))),
+            _ => Err(num_err()),
+        },
+    }
+}
+
+fn apply_compare(op: CmpOp, l: &Value, r: &Value, span: Span) -> Result<bool> {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => Ok(l.py_eq(r)),
+        CmpOp::Ne => Ok(!l.py_eq(r)),
+        CmpOp::In | CmpOp::NotIn => {
+            let found = match (l, r) {
+                (Value::Str(needle), Value::Str(hay)) => hay.contains(needle.as_str()),
+                (x, Value::List(items)) => items.iter().any(|v| v.py_eq(x)),
+                _ => {
+                    return Err(Error::eval(
+                        format!(
+                            "`in` expects a string or list on the right, got {}",
+                            r.type_name()
+                        ),
+                        span,
+                    ))
+                }
+            };
+            Ok(if op == CmpOp::In { found } else { !found })
+        }
+        _ => {
+            let ord = l.compare(r).ok_or_else(|| {
+                Error::eval(
+                    format!(
+                        "cannot compare {} with {}",
+                        l.type_name(),
+                        r.type_name()
+                    ),
+                    span,
+                )
+            })?;
+            Ok(match op {
+                CmpOp::Lt => ord == Less,
+                CmpOp::Le => ord != Greater,
+                CmpOp::Gt => ord == Greater,
+                CmpOp::Ge => ord != Less,
+                _ => unreachable!("handled above"),
+            })
+        }
+    }
+}
+
+fn index_value(obj: &Value, idx: &Value, span: Span) -> Result<Value> {
+    let i = idx
+        .as_int()
+        .ok_or_else(|| Error::eval("index must be an integer", span))?;
+    match obj {
+        Value::List(items) => {
+            let n = items.len() as i64;
+            let j = if i < 0 { i + n } else { i };
+            if j < 0 || j >= n {
+                return Err(Error::eval("list index out of range", span));
+            }
+            Ok(items[j as usize].clone())
+        }
+        Value::Str(s) => {
+            let chars: Vec<char> = s.chars().collect();
+            let n = chars.len() as i64;
+            let j = if i < 0 { i + n } else { i };
+            if j < 0 || j >= n {
+                return Err(Error::eval("string index out of range", span));
+            }
+            Ok(Value::Str(chars[j as usize].to_string()))
+        }
+        other => Err(Error::eval(
+            format!("{} is not indexable", other.type_name()),
+            span,
+        )),
+    }
+}
+
+fn slice_value(obj: &Value, lo: Option<Value>, hi: Option<Value>, span: Span) -> Result<Value> {
+    let get = |v: &Option<Value>| -> Result<Option<i64>> {
+        match v {
+            None => Ok(None),
+            Some(x) => x
+                .as_int()
+                .map(Some)
+                .ok_or_else(|| Error::eval("slice bound must be an integer", span)),
+        }
+    };
+    let lo = get(&lo)?;
+    let hi = get(&hi)?;
+    let clamp = |i: Option<i64>, n: usize, default: usize| -> usize {
+        match i {
+            None => default,
+            Some(i) => {
+                let n = n as i64;
+                let j = if i < 0 { i + n } else { i };
+                j.clamp(0, n) as usize
+            }
+        }
+    };
+    match obj {
+        Value::Str(s) => {
+            let chars: Vec<char> = s.chars().collect();
+            let a = clamp(lo, chars.len(), 0);
+            let b = clamp(hi, chars.len(), chars.len());
+            Ok(Value::Str(chars[a..b.max(a)].iter().collect()))
+        }
+        Value::List(items) => {
+            let a = clamp(lo, items.len(), 0);
+            let b = clamp(hi, items.len(), items.len());
+            Ok(Value::List(items[a..b.max(a)].to_vec()))
+        }
+        other => Err(Error::eval(
+            format!("{} is not sliceable", other.type_name()),
+            span,
+        )),
+    }
+}
+
+/// Runs the value-level helpers on behalf of the constraint engine
+/// (re-exported for `constraints::eval`).
+pub(crate) fn compare_values(op: CmpOp, l: &Value, r: &Value, span: Span) -> Result<bool> {
+    apply_compare(op, l, r, span)
+}
+
+/// Arithmetic for the constraint engine's value level.
+pub(crate) fn binop_values(op: BinOp, l: &Value, r: &Value, span: Span) -> Result<Value> {
+    apply_binop(op, l, r, span)
+}
+
+/// Indexing for the constraint engine's value level.
+pub(crate) fn compare_free_index(obj: &Value, idx: &Value, span: Span) -> Result<Value> {
+    index_value(obj, idx, span)
+}
+
+/// Slicing for the constraint engine's value level.
+pub(crate) fn slice_free(
+    obj: &Value,
+    lo: Option<Value>,
+    hi: Option<Value>,
+    span: Span,
+) -> Result<Value> {
+    slice_value(obj, lo, hi, span)
+}
+
+/// Length helper shared with the constraint engine.
+#[allow(dead_code)]
+pub(crate) fn value_len(v: &Value, span: Span) -> Result<i64> {
+    len_of(v, span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_source;
+
+    fn run_to_end(src: &str, fills: &[&str]) -> VmState {
+        let p = compile_source(src).unwrap();
+        let ex = Externals::new();
+        let mut vm = VmState::new([]);
+        let mut fills = fills.iter();
+        loop {
+            match vm.run(&p, &ex).unwrap() {
+                Step::NeedHole(req) => {
+                    let v = fills.next().unwrap_or_else(|| {
+                        panic!("no fill left for hole {}", req.var)
+                    });
+                    vm.provide_hole(*v);
+                }
+                Step::Done => return vm,
+            }
+        }
+    }
+
+    #[test]
+    fn literals_and_recalls_build_trace() {
+        let vm = run_to_end(
+            "argmax\n    x = 3\n    \"value is {x}!\"\nfrom \"m\"\n",
+            &[],
+        );
+        assert_eq!(vm.trace(), "value is 3!");
+    }
+
+    #[test]
+    fn holes_suspend_and_resume() {
+        let vm = run_to_end(
+            "argmax\n    \"Q: [A] and [B].\"\nfrom \"m\"\n",
+            &["one", "two"],
+        );
+        assert_eq!(vm.trace(), "Q: one and two.");
+        assert_eq!(vm.scope()["A"], Value::Str("one".into()));
+        assert_eq!(vm.hole_records().len(), 2);
+        assert_eq!(vm.hole_records()[1].var, "B");
+        let rec = &vm.hole_records()[0];
+        assert_eq!(&vm.trace()[rec.start..rec.end], "one");
+    }
+
+    #[test]
+    fn for_loop_reassigns_hole_var() {
+        // Mirrors Fig. 1b / Fig. 9: THING is overwritten per iteration and
+        // collected via append.
+        let vm = run_to_end(
+            r#"
+argmax
+    things = []
+    for i in range(2):
+        "- [THING]\n"
+        things.append(THING)
+    "done {things}"
+from "m"
+"#,
+            &["sun screen", "beach towel"],
+        );
+        assert_eq!(vm.trace(), "- sun screen\n- beach towel\ndone ['sun screen', 'beach towel']");
+        assert_eq!(vm.scope()["THING"], Value::Str("beach towel".into()));
+        assert_eq!(vm.scope()["i"], Value::Int(1));
+    }
+
+    #[test]
+    fn if_elif_else_control_flow() {
+        let vm = run_to_end(
+            r#"
+argmax
+    "[MODE]"
+    if MODE == "Tho":
+        "thought"
+    elif MODE == "Act":
+        "action"
+    else:
+        "other"
+from "m"
+"#,
+            &["Act"],
+        );
+        assert!(vm.trace().ends_with("action"));
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let vm = run_to_end(
+            r#"
+argmax
+    out = []
+    for i in range(10):
+        if i == 1:
+            continue
+        if i == 3:
+            break
+        out.append(i)
+    "{out}"
+from "m"
+"#,
+            &[],
+        );
+        assert_eq!(vm.trace(), "[0, 2]");
+    }
+
+    #[test]
+    fn externals_are_called() {
+        let p = compile_source(
+            "import calc\nargmax\n    r = calc.add(2, 3)\n    \"{r}\"\nfrom \"m\"\n",
+        )
+        .unwrap();
+        let mut ex = Externals::new();
+        ex.register("calc", "add", |args| {
+            let a = args[0].as_int().ok_or("expected int")?;
+            let b = args[1].as_int().ok_or("expected int")?;
+            Ok(Value::Int(a + b))
+        });
+        let mut vm = VmState::new([]);
+        assert_eq!(vm.run(&p, &ex).unwrap(), Step::Done);
+        assert_eq!(vm.trace(), "5");
+    }
+
+    #[test]
+    fn missing_external_errors() {
+        let p = compile_source(
+            "import calc\nargmax\n    r = calc.add(1, 2)\nfrom \"m\"\n",
+        )
+        .unwrap();
+        let mut vm = VmState::new([]);
+        let err = vm.run(&p, &Externals::new()).unwrap_err();
+        assert!(matches!(err, Error::External { .. }));
+    }
+
+    #[test]
+    fn slicing_and_indexing() {
+        let vm = run_to_end(
+            r#"
+argmax
+    s = "hello'"
+    x = s[:-1]
+    y = s[0]
+    z = s[-2]
+    "{x}|{y}|{z}"
+from "m"
+"#,
+            &[],
+        );
+        assert_eq!(vm.trace(), "hello|h|o");
+    }
+
+    #[test]
+    fn initial_bindings_visible() {
+        let p = compile_source("argmax\n    \"opts: {OPTIONS}\"\nfrom \"m\"\n").unwrap();
+        let mut vm = VmState::new([("OPTIONS".to_owned(), Value::Str("a, b".into()))]);
+        vm.run(&p, &Externals::new()).unwrap();
+        assert_eq!(vm.trace(), "opts: a, b");
+    }
+
+    #[test]
+    fn clone_forks_execution() {
+        let p = compile_source("argmax\n    \"[X] then [Y]\"\nfrom \"m\"\n").unwrap();
+        let ex = Externals::new();
+        let mut vm = VmState::new([]);
+        let Step::NeedHole(_) = vm.run(&p, &ex).unwrap() else {
+            panic!("expected hole");
+        };
+        let mut fork = vm.clone();
+        vm.provide_hole("a");
+        fork.provide_hole("b");
+        vm.run(&p, &ex).unwrap();
+        fork.run(&p, &ex).unwrap();
+        assert!(vm.trace().starts_with("a then"));
+        assert!(fork.trace().starts_with("b then"));
+    }
+
+    #[test]
+    fn bool_fold_short_circuit_value() {
+        let vm = run_to_end(
+            "argmax\n    x = 0 or \"fallback\"\n    \"{x}\"\nfrom \"m\"\n",
+            &[],
+        );
+        assert_eq!(vm.trace(), "fallback");
+    }
+}

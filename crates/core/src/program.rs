@@ -1,0 +1,135 @@
+//! The compiled form of a query body: a flat instruction list for the
+//! resumable VM.
+//!
+//! Compiling to instructions (rather than walking the AST recursively)
+//! makes the interpreter state a plain, cloneable struct — a program
+//! counter, a value stack and an iterator stack — which is what scripted
+//! beam search needs to snapshot program state per beam (§4).
+
+use crate::Value;
+use lmql_syntax::ast::{BinOp, CmpOp, DecoderSpec, Distribute, Expr};
+use lmql_syntax::Span;
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push a constant.
+    Const(Value),
+    /// Push the value of a variable.
+    Load(String, Span),
+    /// Pop into a variable.
+    Store(String),
+    /// Discard the top of stack.
+    Pop,
+    /// Pop `n` values, push a list (in source order).
+    MakeList(usize),
+    /// Pop two, apply, push.
+    BinOp(BinOp, Span),
+    /// Pop two, compare, push bool.
+    Compare(CmpOp, Span),
+    /// Pop one, push logical negation.
+    Not,
+    /// Pop one, push arithmetic negation.
+    Neg(Span),
+    /// Pop index and object, push element.
+    Index(Span),
+    /// Pop bounds (those present) and object, push slice.
+    Slice {
+        has_lo: bool,
+        has_hi: bool,
+        span: Span,
+    },
+    /// Call a built-in function with `argc` stack arguments.
+    CallBuiltin {
+        name: String,
+        argc: usize,
+        span: Span,
+    },
+    /// Call a non-mutating method: object below `argc` arguments.
+    CallMethod {
+        name: String,
+        argc: usize,
+        span: Span,
+    },
+    /// Call a mutating list method on a variable (`xs.append(v)`),
+    /// writing the updated list back to scope; pushes `None`.
+    CallMutMethod {
+        var: String,
+        name: String,
+        argc: usize,
+        span: Span,
+    },
+    /// Call a user-registered external function (`module.func(args)`).
+    CallExternal {
+        module: String,
+        func: String,
+        argc: usize,
+        span: Span,
+    },
+    /// Process a prompt template (Alg. 1): literals and recalls append to
+    /// the trace; holes suspend the VM.
+    Emit(PromptTemplate),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Pop; jump if falsy.
+    JumpIfFalse(usize),
+    /// Pop an iterable, push an iterator over its materialised items.
+    IterNew(Span),
+    /// Bind the next item to `var`, or pop the iterator and jump to
+    /// `exit` when exhausted.
+    IterNext { var: String, exit: usize },
+    /// Pop the innermost iterator (used by `break`).
+    PopIter,
+    /// Pop `count` values; push their conjunction (`and: true`) or
+    /// disjunction, using Python truthiness and returning the deciding
+    /// operand's value.
+    BoolFold { and: bool, count: usize },
+    /// End of program.
+    Halt,
+}
+
+/// A compiled prompt segment: recalls carry a parsed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledSegment {
+    /// Literal text.
+    Literal(String),
+    /// A `[VAR]` hole.
+    Hole(String),
+    /// A `{expr}` substitution.
+    Recall(Expr),
+}
+
+/// A prompt statement, pre-segmented and with recall expressions parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromptTemplate {
+    /// The segments of the top-level string.
+    pub segments: Vec<CompiledSegment>,
+    /// Source location of the string.
+    pub span: Span,
+}
+
+/// A fully compiled query.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The instruction stream (ends with [`Instr::Halt`]).
+    pub instrs: Vec<Instr>,
+    /// Hole names in order of first static appearance.
+    pub holes: Vec<String>,
+    /// The model identifier from the `from` clause.
+    pub model: String,
+    /// The decoder clause.
+    pub decoder: DecoderSpec,
+    /// The `where` constraint, if any.
+    pub where_clause: Option<Expr>,
+    /// The `distribute` clause, if any.
+    pub distribute: Option<Distribute>,
+    /// Imported module names.
+    pub imports: Vec<String>,
+}
+
+impl Program {
+    /// `true` if `name` is one of the query's hole variables.
+    pub fn is_hole(&self, name: &str) -> bool {
+        self.holes.iter().any(|h| h == name)
+    }
+}

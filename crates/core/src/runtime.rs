@@ -1,0 +1,662 @@
+//! The top-level query runner: parse → compile → execute → results.
+
+use crate::beam::run_beam_search;
+use crate::constraints::{eval_expr, CustomOp, CustomOps, Masker};
+use crate::debug::{DebugTrace, HoleTrace, StopReason};
+use crate::decode::{decode_hole_traced, DecodeOptions, Pick};
+use crate::interp::{Externals, HoleRecord, Step, VmState};
+use crate::{compile_source, Error, Program, Result, Value};
+use lmql_lm::{CachedLm, LanguageModel, MeteredLm, UsageMeter};
+use lmql_tokenizer::Bpe;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One completed execution of a query (one sample / one beam).
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// The full interaction trace (prompt text with hole values filled).
+    pub trace: String,
+    /// Final variable scope, including all hole variables.
+    pub variables: HashMap<String, Value>,
+    /// Cumulative log-probability of the decoded tokens.
+    pub log_prob: f64,
+    /// Where each hole value sits in the trace, in decode order.
+    pub hole_records: Vec<HoleRecord>,
+}
+
+impl QueryRun {
+    /// String value of a variable, if present and a string.
+    pub fn var_str(&self, name: &str) -> Option<&str> {
+        self.variables.get(name).and_then(Value::as_str)
+    }
+}
+
+/// The result of running a query: `n` interaction traces (1 for argmax)
+/// and, for queries with a `distribute` clause, the measured distribution.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Completed runs, best first.
+    pub runs: Vec<QueryRun>,
+    /// `distribute` clause output: support values (prompt-rendered) with
+    /// their normalised probabilities, in support order.
+    pub distribution: Option<Vec<(String, f64)>>,
+}
+
+impl QueryResult {
+    /// The best run.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for results returned by [`Runtime::run`]: there is
+    /// always at least one run.
+    pub fn best(&self) -> &QueryRun {
+        &self.runs[0]
+    }
+
+    /// The highest-probability value of the distribution, if one was
+    /// computed.
+    pub fn top_distribution_value(&self) -> Option<&str> {
+        let dist = self.distribution.as_ref()?;
+        dist.iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("probabilities are never NaN"))
+            .map(|(v, _)| v.as_str())
+    }
+}
+
+/// Executes LMQL queries against a language model.
+///
+/// # Example
+///
+/// ```
+/// use lmql::Runtime;
+/// use lmql_lm::{Episode, ScriptedLm};
+/// use lmql_tokenizer::Bpe;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), lmql::Error> {
+/// let bpe = Arc::new(Bpe::char_level(""));
+/// let lm = Arc::new(ScriptedLm::new(
+///     Arc::clone(&bpe),
+///     [lmql_lm::Episode::plain("Say hi:", " hello.")],
+/// ));
+/// let runtime = Runtime::new(lm, bpe);
+/// let result = runtime.run(r#"
+/// argmax
+///     "Say hi:[GREETING]"
+/// from "scripted"
+/// where stops_at(GREETING, ".")
+/// "#)?;
+/// assert_eq!(result.best().var_str("GREETING"), Some(" hello."));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Runtime {
+    lm: Arc<dyn LanguageModel>,
+    bpe: Arc<Bpe>,
+    externals: Externals,
+    custom_ops: CustomOps,
+    bindings: Vec<(String, Value)>,
+    meter: UsageMeter,
+    options: DecodeOptions,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("options", &self.options)
+            .field("bindings", &self.bindings)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// A runtime over a model and its tokenizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's vocabulary size does not match the
+    /// tokenizer's (they must be the same vocabulary).
+    pub fn new(lm: Arc<dyn LanguageModel>, bpe: Arc<Bpe>) -> Self {
+        assert_eq!(
+            lm.vocab().len(),
+            bpe.vocab().len(),
+            "model and tokenizer vocabulary mismatch"
+        );
+        Runtime {
+            lm,
+            bpe,
+            externals: Externals::new(),
+            custom_ops: CustomOps::new(),
+            bindings: Vec::new(),
+            meter: UsageMeter::new(),
+            options: DecodeOptions::default(),
+        }
+    }
+
+    /// Replaces the decoding options.
+    pub fn with_options(mut self, options: DecodeOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Mutable access to the decoding options.
+    pub fn options_mut(&mut self) -> &mut DecodeOptions {
+        &mut self.options
+    }
+
+    /// The usage meter recording §6 metrics for every run.
+    pub fn meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+
+    /// Registers an external function callable as `module.func(args)`
+    /// (after `import module` in the query).
+    pub fn register_external<F>(&mut self, module: &str, func: &str, f: F)
+    where
+        F: Fn(&[Value]) -> std::result::Result<Value, String> + Send + Sync + 'static,
+    {
+        self.externals.register(module, func, f);
+    }
+
+    /// Registers a user-defined constraint operator (Appendix A.1),
+    /// callable from `where` clauses as `name(args…)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name collides with a built-in function.
+    pub fn register_constraint_op(&mut self, name: &str, op: Arc<dyn CustomOp>) {
+        self.custom_ops.register(name, op);
+    }
+
+    /// Binds a query argument (visible as a variable in the query body,
+    /// like `OPTIONS` in the paper's Fig. 10).
+    pub fn bind(&mut self, name: &str, value: Value) {
+        self.bindings.retain(|(n, _)| n != name);
+        self.bindings.push((name.to_owned(), value));
+    }
+
+    /// Removes all query arguments.
+    pub fn clear_bindings(&mut self) {
+        self.bindings.clear();
+    }
+
+    /// Parses, compiles and runs LMQL source.
+    ///
+    /// # Errors
+    ///
+    /// Syntax, compile, evaluation and decoding errors.
+    pub fn run(&self, source: &str) -> Result<QueryResult> {
+        let program = compile_source(source)?;
+        self.run_program(&program)
+    }
+
+    /// Like [`Runtime::run`], additionally recording a per-step decode
+    /// trace for the debugger (Appendix A.3). Tracing covers `argmax` and
+    /// `sample` runs; beam search returns an empty trace.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::run`].
+    pub fn run_traced(&self, source: &str) -> Result<(QueryResult, DebugTrace)> {
+        let program = compile_source(source)?;
+        let mut debug = DebugTrace::default();
+        let result = self.run_program_inner(&program, Some(&mut debug))?;
+        Ok((result, debug))
+    }
+
+    /// Runs a pre-compiled program.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::run`].
+    pub fn run_program(&self, program: &Program) -> Result<QueryResult> {
+        self.run_program_inner(program, None)
+    }
+
+    fn run_program_inner(
+        &self,
+        program: &Program,
+        mut debug: Option<&mut DebugTrace>,
+    ) -> Result<QueryResult> {
+        // One shared score cache per run: lockstep samples and beams that
+        // revisit identical contexts pay for the model only once, and
+        // cache hits are not billed as model queries.
+        if let Some(w) = &program.where_clause {
+            self.validate_where(w)?;
+        }
+        let lm = CachedLm::new(MeteredLm::new(Arc::clone(&self.lm), self.meter.clone()));
+        let mut masker = Masker::new(self.options.engine, Arc::clone(&self.bpe) as _)
+            .with_custom_ops(self.custom_ops.clone());
+
+        match program.decoder.name.as_str() {
+            "argmax" => {
+                let run =
+                    self.run_single(program, &lm, &mut masker, Pick::argmax(), debug.take())?;
+                Ok(run)
+            }
+            "sample" => {
+                let n = program.decoder.int_param("n", 1).max(1) as usize;
+                let mut runs = Vec::with_capacity(n);
+                let mut distribution = None;
+                for i in 0..n {
+                    let r = self.run_single(
+                        program,
+                        &lm,
+                        &mut masker,
+                        Pick::sample(self.options.seed.wrapping_add(i as u64)),
+                        debug.as_deref_mut(),
+                    )?;
+                    distribution = distribution.or(r.distribution);
+                    runs.extend(r.runs);
+                }
+                runs.sort_by(|a, b| {
+                    b.log_prob
+                        .partial_cmp(&a.log_prob)
+                        .expect("log probs are never NaN")
+                });
+                Ok(QueryResult { runs, distribution })
+            }
+            "beam" => {
+                let n = program.decoder.int_param("n", 1).max(1) as usize;
+                let opts = self.options.clone().with_decoder_params(&program.decoder);
+                let beams = run_beam_search(
+                    &lm,
+                    &self.bpe,
+                    &mut masker,
+                    program,
+                    &self.externals,
+                    &self.bindings,
+                    n,
+                    &opts,
+                )?;
+                let runs: Vec<QueryRun> = beams
+                    .into_iter()
+                    .map(|b| QueryRun {
+                        trace: b.vm.trace().to_owned(),
+                        variables: b.vm.scope().clone(),
+                        log_prob: b.log_prob,
+                        hole_records: b.vm.hole_records().to_vec(),
+                    })
+                    .collect();
+                self.meter
+                    .record_decoder_call(self.bpe.token_count(&runs[0].trace) as u64);
+                Ok(QueryResult {
+                    runs,
+                    distribution: None,
+                })
+            }
+            other => Err(Error::compile(
+                format!("unknown decoder `{other}` (expected argmax, sample or beam)"),
+                program.decoder.span,
+            )),
+        }
+    }
+
+    /// Runs one execution path (argmax or one sample).
+    fn run_single<L: LanguageModel>(
+        &self,
+        program: &Program,
+        lm: &L,
+        masker: &mut Masker,
+        mut pick: Pick,
+        mut debug: Option<&mut DebugTrace>,
+    ) -> Result<QueryResult> {
+        let opts = self.options.clone().with_decoder_params(&program.decoder);
+
+        let mut vm = VmState::new(self.bindings.iter().cloned());
+        let mut log_prob = 0.0;
+        let mut distribution: Option<Vec<(String, f64)>> = None;
+
+        loop {
+            match vm.run(program, &self.externals)? {
+                Step::Done => break,
+                Step::NeedHole(req) => {
+                    let is_distribute = program
+                        .distribute
+                        .as_ref()
+                        .is_some_and(|d| d.var == req.var);
+                    if is_distribute {
+                        let d = program.distribute.as_ref().expect("checked above");
+                        let dist = self.compute_distribution(lm, vm.trace(), d, vm.scope())?;
+                        let best = dist
+                            .iter()
+                            .max_by(|a, b| {
+                                a.1.partial_cmp(&b.1).expect("probabilities are never NaN")
+                            })
+                            .map(|(v, _)| v.clone())
+                            .ok_or_else(|| {
+                                Error::eval("distribute support is empty", d.span)
+                            })?;
+                        if let Some(d) = debug.as_deref_mut() {
+                            d.holes.push(HoleTrace {
+                                var: req.var.clone(),
+                                value: best.clone(),
+                                steps: Vec::new(),
+                                stopped_by: StopReason::Distribution,
+                            });
+                        }
+                        distribution = Some(dist);
+                        vm.provide_hole(best);
+                    } else {
+                        if distribution.is_some() {
+                            let d = program.distribute.as_ref().expect("distribution set");
+                            return Err(Error::compile(
+                                format!(
+                                    "distribute variable `{}` must be the last hole of the query",
+                                    d.var
+                                ),
+                                d.span,
+                            ));
+                        }
+                        let mut steps = debug.as_deref_mut().map(|_| Vec::new());
+                        let decoded = decode_hole_traced(
+                            lm,
+                            &self.bpe,
+                            masker,
+                            program.where_clause.as_ref(),
+                            vm.scope(),
+                            vm.trace(),
+                            &req.var,
+                            &mut pick,
+                            &opts,
+                            steps.as_mut(),
+                        )?;
+                        if let Some(d) = debug.as_deref_mut() {
+                            d.holes.push(HoleTrace {
+                                var: req.var.clone(),
+                                value: decoded.value.clone(),
+                                steps: steps.unwrap_or_default(),
+                                stopped_by: decoded.stopped_by,
+                            });
+                        }
+                        log_prob += decoded.log_prob;
+                        vm.provide_hole(decoded.value);
+                    }
+                }
+            }
+        }
+
+        // LMQL decodes the whole scripted interaction in one decoder run:
+        // one decoder call billing the final trace once (§6 metrics; cf.
+        // the ReAct case study's single decoder call).
+        self.meter
+            .record_decoder_call(self.bpe.token_count(vm.trace()) as u64);
+
+        Ok(QueryResult {
+            runs: vec![QueryRun {
+                trace: vm.trace().to_owned(),
+                variables: vm.scope().clone(),
+                log_prob,
+                hole_records: vm.hole_records().to_vec(),
+            }],
+            distribution,
+        })
+    }
+
+    /// Rejects `where` clauses calling functions that are neither
+    /// built-in nor registered custom operators (a misspelled constraint
+    /// would otherwise silently evaluate as *undetermined* and prune
+    /// nothing).
+    fn validate_where(&self, expr: &lmql_syntax::ast::Expr) -> Result<()> {
+        use lmql_syntax::ast::Expr as E;
+        match expr {
+            E::Call { func, args, span } => {
+                if let E::Name { name, .. } = func.as_ref() {
+                    if !crate::builtins::BUILTIN_FUNCTIONS.contains(&name.as_str())
+                        && !self.custom_ops.contains(name)
+                    {
+                        return Err(Error::compile(
+                            format!(
+                                "unknown constraint function `{name}` (register it with \
+                                 Runtime::register_constraint_op)"
+                            ),
+                            *span,
+                        ));
+                    }
+                }
+                args.iter().try_for_each(|a| self.validate_where(a))
+            }
+            E::BoolOp { operands, .. } => {
+                operands.iter().try_for_each(|o| self.validate_where(o))
+            }
+            E::Not { operand, .. } | E::Neg { operand, .. } => self.validate_where(operand),
+            E::Compare { left, right, .. } | E::BinOp { left, right, .. } => {
+                self.validate_where(left)?;
+                self.validate_where(right)
+            }
+            E::List { items, .. } => items.iter().try_for_each(|i| self.validate_where(i)),
+            E::Index { obj, index, .. } => {
+                self.validate_where(obj)?;
+                self.validate_where(index)
+            }
+            E::Slice { obj, lo, hi, .. } => {
+                self.validate_where(obj)?;
+                if let Some(lo) = lo {
+                    self.validate_where(lo)?;
+                }
+                if let Some(hi) = hi {
+                    self.validate_where(hi)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Scores every support value as a continuation of the trace and
+    /// normalises into a distribution (the `distribute` clause, §3).
+    fn compute_distribution<L: LanguageModel>(
+        &self,
+        lm: &L,
+        trace: &str,
+        d: &lmql_syntax::ast::Distribute,
+        scope: &HashMap<String, Value>,
+    ) -> Result<Vec<(String, f64)>> {
+        let support = eval_expr(&d.support, scope, &self.externals)?;
+        let values: Vec<String> = match support {
+            Value::List(items) => items.iter().map(Value::to_prompt_string).collect(),
+            other => {
+                return Err(Error::eval(
+                    format!(
+                        "distribute support must be a list, got {}",
+                        other.type_name()
+                    ),
+                    d.span,
+                ))
+            }
+        };
+        if values.is_empty() {
+            return Err(Error::eval("distribute support is empty", d.span));
+        }
+
+        let mut log_probs = Vec::with_capacity(values.len());
+        for v in &values {
+            let lp = self.score_continuation(lm, trace, v);
+            // Each scored value starts its own decoding loop: one decoder
+            // call billing prompt + continuation (§6 metrics).
+            self.meter
+                .record_decoder_call(self.bpe.token_count(&format!("{trace}{v}")) as u64);
+            log_probs.push(lp);
+        }
+
+        // Softmax over the sequence log-probabilities.
+        let max = log_probs
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = log_probs.iter().map(|lp| (lp - max).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        Ok(values
+            .into_iter()
+            .zip(exps)
+            .map(|(v, e)| (v, e / z))
+            .collect())
+    }
+
+    /// Log-probability of `text` as a continuation of `trace`, scored
+    /// token by token.
+    fn score_continuation<L: LanguageModel>(&self, lm: &L, trace: &str, text: &str) -> f64 {
+        let base = self.bpe.encode(trace);
+        let full = self.bpe.encode(&format!("{trace}{text}"));
+        // The boundary token may re-tokenise; score from the first
+        // divergence between the two encodings.
+        let common = base
+            .iter()
+            .zip(&full)
+            .take_while(|(a, b)| a == b)
+            .count();
+        let mut ctx = full[..common].to_vec();
+        let mut lp = 0.0;
+        for &t in &full[common..] {
+            let dist = lm.score(&ctx).softmax(1.0);
+            lp += dist.log_prob(t);
+            ctx.push(t);
+        }
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmql_lm::{Branch, Episode, ScriptedLm};
+
+    fn runtime(episodes: Vec<Episode>) -> Runtime {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let lm = Arc::new(ScriptedLm::new(Arc::clone(&bpe), episodes));
+        Runtime::new(lm, bpe)
+    }
+
+    #[test]
+    fn argmax_end_to_end() {
+        let rt = runtime(vec![Episode::plain("Q: hi\nA:", " hello.")]);
+        let result = rt
+            .run("argmax\n    \"Q: hi\\nA:[ANSWER]\"\nfrom \"m\"\nwhere stops_at(ANSWER, \".\")\n")
+            .unwrap();
+        assert_eq!(result.best().var_str("ANSWER"), Some(" hello."));
+        assert_eq!(result.best().trace, "Q: hi\nA: hello.");
+        let u = rt.meter().snapshot();
+        assert_eq!(u.decoder_calls, 1);
+        assert!(u.model_queries > 0);
+        assert!(u.billable_tokens > 0);
+    }
+
+    #[test]
+    fn sample_returns_n_runs() {
+        let rt = runtime(vec![Episode::plain("P:", " out")]);
+        let result = rt
+            .run("sample(n=3)\n    \"P:[X]\"\nfrom \"m\"\n")
+            .unwrap();
+        assert_eq!(result.runs.len(), 3);
+        assert_eq!(rt.meter().snapshot().decoder_calls, 3);
+    }
+
+    #[test]
+    fn distribute_measures_distribution() {
+        let rt = runtime(vec![Episode {
+            trigger: "best:".to_owned(),
+            script: " alpha".to_owned(),
+            digressions: vec![],
+            branches: vec![Branch {
+                at: 0,
+                text: " beta".to_owned(),
+                weight: 11.4,
+            }],
+        }]);
+        let result = rt
+            .run(
+                "argmax\n    \"best:[CHOICE]\"\nfrom \"m\"\ndistribute CHOICE in [\" alpha\", \" beta\", \" gamma\"]\n",
+            )
+            .unwrap();
+        let dist = result.distribution.as_ref().unwrap();
+        assert_eq!(dist.len(), 3);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(result.top_distribution_value(), Some(" alpha"));
+        let beta = dist.iter().find(|(v, _)| v == " beta").unwrap().1;
+        let gamma = dist.iter().find(|(v, _)| v == " gamma").unwrap().1;
+        assert!(beta > gamma, "branch weight gives beta real mass");
+        // trace completed with the argmax choice
+        assert_eq!(result.best().trace, "best: alpha");
+        // decoder calls: 1 for the run + 3 for the scored values
+        assert_eq!(rt.meter().snapshot().decoder_calls, 4);
+    }
+
+    #[test]
+    fn query_arguments_bind() {
+        let mut rt = runtime(vec![Episode::plain("items: a, b\npick:", " a")]);
+        rt.bind("OPTIONS", Value::Str("a, b".into()));
+        let result = rt
+            .run("argmax\n    \"items: {OPTIONS}\\npick:[C]\"\nfrom \"m\"\n")
+            .unwrap();
+        assert!(result.best().trace.starts_with("items: a, b"));
+    }
+
+    #[test]
+    fn externals_in_query() {
+        let mut rt = runtime(vec![Episode::plain("calc:", " 2*3")]);
+        rt.register_external("calculator", "run", |args| {
+            let s = args[0].as_str().ok_or("expected str")?;
+            let parts: Vec<&str> = s.trim().split('*').collect();
+            let a: i64 = parts[0].parse().map_err(|_| "bad int")?;
+            let b: i64 = parts[1].parse().map_err(|_| "bad int")?;
+            Ok(Value::Int(a * b))
+        });
+        let result = rt
+            .run(
+                "import calculator\nargmax\n    \"calc:[EXPR]\"\n    r = calculator.run(EXPR)\n    \" = {r}\"\nfrom \"m\"\nwhere stops_at(EXPR, \"3\")\n",
+            )
+            .unwrap();
+        assert_eq!(result.best().trace, "calc: 2*3 = 6");
+    }
+
+    #[test]
+    fn unknown_decoder_is_error() {
+        let rt = runtime(vec![Episode::plain("x", "y")]);
+        let err = rt.run("magic\n    \"[X]\"\nfrom \"m\"\n").unwrap_err();
+        assert!(err.to_string().contains("unknown decoder"));
+    }
+
+    #[test]
+    fn distribute_must_be_last_hole() {
+        let rt = runtime(vec![Episode::plain("t:", " a b")]);
+        let err = rt
+            .run(
+                "argmax\n    \"t:[D] then [MORE]\"\nfrom \"m\"\ndistribute D in [\" a\"]\n",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("last hole"));
+    }
+
+    #[test]
+    fn loop_with_holes_fig1b_shape() {
+        let rt = runtime(vec![
+            Episode::plain(
+                "A list of things not to forget when travelling:\n-",
+                " keys\n- passport\nThe most important of these is keys.",
+            ),
+        ]);
+        let result = rt
+            .run(
+                r#"
+argmax
+    "A list of things not to forget when travelling:\n"
+    things = []
+    for i in range(2):
+        "-[THING]"
+        things.append(THING)
+    "The most important of these is[ITEM]"
+from "m"
+where stops_at(THING, "\n") and stops_at(ITEM, ".")
+"#,
+            )
+            .unwrap();
+        let things = result.best().variables.get("things").unwrap();
+        assert_eq!(
+            things,
+            &Value::List(vec![" keys\n".into(), " passport\n".into()])
+        );
+        assert_eq!(result.best().var_str("ITEM"), Some(" keys."));
+        assert!(result.best().trace.ends_with("The most important of these is keys."));
+    }
+}

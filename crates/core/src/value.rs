@@ -1,0 +1,231 @@
+//! Runtime values of the query scripting language.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A value of the Python-like query language.
+///
+/// Values are plain data (no references): lists are owned vectors, so
+/// cloning a VM state for beam search deep-copies the scope — each beam's
+/// control flow stays independent, as §4's scripted beam search requires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Python `None`.
+    None,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// List.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Python truthiness: `None`, `False`, `0`, `0.0`, `""` and `[]` are
+    /// falsy; everything else is truthy.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::None => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.is_empty(),
+        }
+    }
+
+    /// The string used when substituting a `{var}` recall into a prompt:
+    /// Python's `str()` — strings render without quotes.
+    pub fn to_prompt_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, widening integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a list slice, if it is one.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// A short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::None => "None",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Numeric/string ordering comparison, `None` when incomparable.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+
+    /// Python `==`: numeric cross-type equality, structural otherwise.
+    pub fn py_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Python `repr`-style rendering (strings quoted inside lists).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::None => write!(f, "None"),
+            Value::Bool(true) => write!(f, "True"),
+            Value::Bool(false) => write!(f, "False"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match v {
+                        Value::Str(s) => write!(f, "'{s}'")?,
+                        other => write!(f, "{other}")?,
+                    }
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(l: Vec<Value>) -> Self {
+        Value::List(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_python() {
+        assert!(!Value::None.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(!Value::List(vec![]).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(Value::Str("x".into()).truthy());
+    }
+
+    #[test]
+    fn display_list_quotes_strings() {
+        let v = Value::List(vec![Value::Str("a".into()), Value::Int(2)]);
+        assert_eq!(v.to_string(), "['a', 2]");
+    }
+
+    #[test]
+    fn prompt_string_unquoted() {
+        assert_eq!(Value::Str("hi".into()).to_prompt_string(), "hi");
+        assert_eq!(Value::Int(3).to_prompt_string(), "3");
+    }
+
+    #[test]
+    fn cross_type_numeric_eq() {
+        assert!(Value::Int(2).py_eq(&Value::Float(2.0)));
+        assert!(!Value::Int(2).py_eq(&Value::Str("2".into())));
+    }
+
+    #[test]
+    fn compare_numbers_and_strings() {
+        assert_eq!(
+            Value::Int(1).compare(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Str("a".into()).compare(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("a".into()).compare(&Value::Int(1)), None);
+    }
+}

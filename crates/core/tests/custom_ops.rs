@@ -1,0 +1,101 @@
+//! Integration tests for user-defined constraint operators
+//! (Appendix A.1): forward/final/follow participation end to end.
+
+use lmql::constraints::{CustomOp, Fin, FinalValue, FollowView, OpCtx};
+use lmql::{Error, Runtime, Value};
+use lmql_lm::{Episode, ScriptedLm};
+use lmql_tokenizer::{Bpe, TokenSet};
+use std::sync::Arc;
+
+/// `no_digits(VAR)`: the value must not contain ASCII digits.
+struct NoDigits;
+
+impl CustomOp for NoDigits {
+    fn forward(&self, args: &[Value], _ctx: &OpCtx<'_>) -> Result<Value, String> {
+        let s = args[0].as_str().ok_or("no_digits() expects a string")?;
+        Ok(Value::Bool(!s.chars().any(|c| c.is_ascii_digit())))
+    }
+
+    fn final_hint(&self, args: &[FinalValue], result: &Value, _ctx: &OpCtx<'_>) -> Fin {
+        // A digit in an append-only string never goes away: a violation
+        // is final; compliance is not (more tokens may add digits).
+        match (args[0].fin, result) {
+            (Fin::Inc, Value::Bool(false)) => Fin::Fin,
+            (Fin::Fin, _) => Fin::Fin,
+            _ => Fin::Var,
+        }
+    }
+
+    fn follow_allowed(&self, view: &FollowView<'_>) -> Option<TokenSet> {
+        // Fast path: exactly the digit-free tokens.
+        Some(TokenSet::from_ids(
+            view.vocab.len(),
+            view.vocab
+                .regular_tokens()
+                .filter(|(_, s)| !s.chars().any(|c| c.is_ascii_digit()))
+                .map(|(id, _)| id),
+        ))
+    }
+}
+
+fn runtime(script: &str) -> Runtime {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode::plain("Out:", script)],
+    ));
+    Runtime::new(lm, bpe)
+}
+
+#[test]
+fn custom_op_masks_tokens() {
+    // The script wants " call 911 now" — the custom constraint masks the
+    // digit tokens, so decoding routes around them.
+    let mut rt = runtime(" call 911 now.");
+    rt.register_constraint_op("no_digits", Arc::new(NoDigits));
+    let result = rt
+        .run("argmax\n    \"Out:[X]\"\nfrom \"m\"\nwhere no_digits(X) and stops_at(X, \".\")\n")
+        .unwrap();
+    let v = result.best().var_str("X").unwrap();
+    assert!(!v.chars().any(|c| c.is_ascii_digit()), "got {v:?}");
+}
+
+#[test]
+fn custom_op_both_engines_agree() {
+    use lmql::constraints::MaskEngine;
+    let mut outs = Vec::new();
+    for engine in [MaskEngine::Exact, MaskEngine::Symbolic] {
+        let mut rt = runtime(" age 42.");
+        rt.options_mut().engine = engine;
+        rt.register_constraint_op("no_digits", Arc::new(NoDigits));
+        let result = rt
+            .run(
+                "argmax\n    \"Out:[X]\"\nfrom \"m\"\nwhere no_digits(X) and stops_at(X, \".\")\n",
+            )
+            .unwrap();
+        outs.push(result.best().trace.clone());
+    }
+    assert_eq!(outs[0], outs[1]);
+}
+
+#[test]
+fn unknown_constraint_function_rejected() {
+    let rt = runtime(" x");
+    let err = rt
+        .run("argmax\n    \"Out:[X]\"\nfrom \"m\"\nwhere definitely_not_registered(X)\n")
+        .unwrap_err();
+    assert!(matches!(err, Error::Compile { .. }));
+    assert!(err.to_string().contains("definitely_not_registered"));
+}
+
+#[test]
+fn custom_op_used_alongside_builtins() {
+    let mut rt = runtime(" short answer.");
+    rt.register_constraint_op("no_digits", Arc::new(NoDigits));
+    let result = rt
+        .run(
+            "argmax\n    \"Out:[X]\"\nfrom \"m\"\nwhere no_digits(X) and len(words(X)) < 10 and stops_at(X, \".\")\n",
+        )
+        .unwrap();
+    assert_eq!(result.best().var_str("X"), Some(" short answer."));
+}

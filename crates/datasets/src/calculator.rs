@@ -1,0 +1,180 @@
+//! The external calculator tool used by the arithmetic case study
+//! (the paper's Fig. 13 `calculator.run(EXPR)`).
+
+use std::fmt;
+
+/// Error produced for malformed arithmetic expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalcError(String);
+
+impl fmt::Display for CalcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "calculator error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CalcError {}
+
+/// Evaluates an arithmetic expression over integers with `+ - * /`,
+/// parentheses and unary minus. A single trailing `=` (as produced by the
+/// `stops_at(EXPR, "=")` pattern of Fig. 13) is tolerated and ignored.
+/// Division is exact integer division and errors on a non-zero remainder
+/// or division by zero.
+///
+/// # Errors
+///
+/// Returns [`CalcError`] for malformed input.
+///
+/// # Example
+///
+/// ```
+/// use lmql_datasets::calculator::run;
+///
+/// assert_eq!(run(" 8*60= ").unwrap(), 480);
+/// assert_eq!(run("(2+3)*4").unwrap(), 20);
+/// assert!(run("2//3").is_err());
+/// ```
+pub fn run(expr: &str) -> Result<i64, CalcError> {
+    let cleaned = expr.trim().trim_end_matches('=').trim();
+    let chars: Vec<char> = cleaned.chars().collect();
+    let mut p = Parser { chars, i: 0 };
+    let v = p.expr()?;
+    p.skip_ws();
+    if p.i != p.chars.len() {
+        return Err(CalcError(format!("trailing input at {}", p.i)));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.i).is_some_and(|c| c.is_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.i).copied()
+    }
+
+    fn expr(&mut self) -> Result<i64, CalcError> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some('+') => {
+                    self.i += 1;
+                    acc = acc
+                        .checked_add(self.term()?)
+                        .ok_or_else(|| CalcError("overflow".into()))?;
+                }
+                Some('-') => {
+                    self.i += 1;
+                    acc = acc
+                        .checked_sub(self.term()?)
+                        .ok_or_else(|| CalcError("overflow".into()))?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<i64, CalcError> {
+        let mut acc = self.factor()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.i += 1;
+                    acc = acc
+                        .checked_mul(self.factor()?)
+                        .ok_or_else(|| CalcError("overflow".into()))?;
+                }
+                Some('/') => {
+                    self.i += 1;
+                    let d = self.factor()?;
+                    if d == 0 {
+                        return Err(CalcError("division by zero".into()));
+                    }
+                    if acc % d != 0 {
+                        return Err(CalcError("non-integer division".into()));
+                    }
+                    acc /= d;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<i64, CalcError> {
+        match self.peek() {
+            Some('-') => {
+                self.i += 1;
+                Ok(-self.factor()?)
+            }
+            Some('(') => {
+                self.i += 1;
+                let v = self.expr()?;
+                if self.peek() != Some(')') {
+                    return Err(CalcError("expected `)`".into()));
+                }
+                self.i += 1;
+                Ok(v)
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(c) = self.chars.get(self.i).copied() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(d as i64))
+                            .ok_or_else(|| CalcError("number too large".into()))?;
+                        self.i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(n)
+            }
+            other => Err(CalcError(format!("unexpected input {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_and_parens() {
+        assert_eq!(run("2+3*4").unwrap(), 14);
+        assert_eq!(run("(2+3)*4").unwrap(), 20);
+        assert_eq!(run("20/4/5").unwrap(), 1);
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(run("-3+5").unwrap(), 2);
+        assert_eq!(run("2*-3").unwrap(), -6);
+    }
+
+    #[test]
+    fn trailing_equals_tolerated() {
+        assert_eq!(run("8*60=").unwrap(), 480);
+        assert_eq!(run(" 4*30 = ").unwrap(), 120);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(run("").is_err());
+        assert!(run("2+").is_err());
+        assert!(run("1/0").is_err());
+        assert!(run("7/2").is_err());
+        assert!(run("2 3").is_err());
+        assert!(run("(1+2").is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! The *Date Understanding* task (BIG-bench style): date arithmetic as
+//! multiple choice, with chain-of-thought reasoning.
+
+use crate::ModelProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Few-shot demonstrations in the same pattern as the generated
+/// instances.
+pub const FEW_SHOT: &str = "Q: Today is March 10, 2022. What is the date tomorrow? \
+Options: March 11, 2022, March 9, 2022, April 10, 2022.\n\
+Today is March 10, 2022, so tomorrow is one day later, which is March 11, 2022.\n\
+So the answer is March 11, 2022.\n\n\
+Q: Yesterday was July 4, 2021. What is the date one week from today? \
+Options: July 12, 2021, July 11, 2021, June 28, 2021.\n\
+Yesterday was July 4, 2021, so today is July 5, 2021, and one week from today is July 12, 2021.\n\
+So the answer is July 12, 2021.\n\n";
+
+/// A calendar date (proleptic Gregorian, no time zones — all we need for
+/// day arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Date {
+    /// Year.
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u32,
+    /// Day of month, 1-based.
+    pub day: u32,
+}
+
+const MONTH_NAMES: [&str; 12] = [
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+
+fn leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if leap(year) => 29,
+        2 => 28,
+        other => unreachable!("invalid month {other}"),
+    }
+}
+
+impl Date {
+    /// A date, validated.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range month or day.
+    pub fn new(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} out of range for {year}-{month}"
+        );
+        Date { year, month, day }
+    }
+
+    /// The date `n` days later (or earlier for negative `n`).
+    pub fn plus_days(self, n: i32) -> Date {
+        let mut d = self;
+        let mut n = n;
+        while n > 0 {
+            if d.day < days_in_month(d.year, d.month) {
+                d.day += 1;
+            } else {
+                d.day = 1;
+                if d.month == 12 {
+                    d.month = 1;
+                    d.year += 1;
+                } else {
+                    d.month += 1;
+                }
+            }
+            n -= 1;
+        }
+        while n < 0 {
+            if d.day > 1 {
+                d.day -= 1;
+            } else {
+                if d.month == 1 {
+                    d.month = 12;
+                    d.year -= 1;
+                } else {
+                    d.month -= 1;
+                }
+                d.day = days_in_month(d.year, d.month);
+            }
+            n += 1;
+        }
+        d
+    }
+
+    /// `"March 11, 2022"` formatting used throughout the task.
+    pub fn format_long(self) -> String {
+        format!(
+            "{} {}, {}",
+            MONTH_NAMES[(self.month - 1) as usize],
+            self.day,
+            self.year
+        )
+    }
+}
+
+/// One Date Understanding instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The question (including the inline `Options:` list).
+    pub question: String,
+    /// Answer options, formatted dates.
+    pub options: Vec<String>,
+    /// The gold option.
+    pub gold: String,
+    /// Ideal reasoning sentence (ends with `.`, no newline).
+    pub reasoning: String,
+    /// Answer the simulated model concludes.
+    pub model_answer: String,
+    /// Mid-reasoning derailment, if any.
+    pub digression: Option<crate::odd_one_out::Digression>,
+}
+
+impl Instance {
+    /// `true` if `answer` matches the gold date.
+    pub fn is_correct(&self, answer: &str) -> bool {
+        answer.trim() == self.gold
+    }
+
+    /// The intended completion after the question line.
+    pub fn script(&self) -> String {
+        format!("{}\nSo the answer is {}.", self.reasoning, self.model_answer)
+    }
+
+    /// The derailed completion, if the model would digress.
+    pub fn derailed_script(&self) -> Option<String> {
+        let d = self.digression.as_ref()?;
+        Some(format!(
+            "{}{}\nSo the answer is {}.",
+            &self.reasoning[..d.at],
+            d.text,
+            d.derailed_answer
+        ))
+    }
+}
+
+/// The question relations the generator draws from.
+const RELATIONS: &[(&str, i32, &str)] = &[
+    ("What is the date tomorrow?", 1, "tomorrow is one day later"),
+    ("What is the date yesterday?", -1, "yesterday was one day earlier"),
+    (
+        "What is the date one week from today?",
+        7,
+        "one week from today is 7 days later",
+    ),
+    (
+        "What is the date 10 days ago?",
+        -10,
+        "10 days ago was 10 days earlier",
+    ),
+    (
+        "What is the date one month from today?",
+        30,
+        "one month from today is about 30 days later",
+    ),
+];
+
+/// Generates `n` seeded instances under a model profile.
+pub fn generate(n: usize, seed: u64, profile: &ModelProfile) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xda7e_0000);
+    (0..n).map(|_| instance(&mut rng, profile)).collect()
+}
+
+fn instance(rng: &mut StdRng, profile: &ModelProfile) -> Instance {
+    let base = Date::new(
+        rng.gen_range(2019..=2023),
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28),
+    );
+    let (question_part, delta, explain) = RELATIONS[rng.gen_range(0..RELATIONS.len())];
+    let answer = base.plus_days(delta);
+
+    // Distractors: off-by-one day, off-by-one month.
+    let mut options = vec![
+        answer.format_long(),
+        answer.plus_days(if delta >= 0 { -1 } else { 1 }).format_long(),
+        answer.plus_days(if rng.gen_bool(0.5) { 30 } else { -30 }).format_long(),
+    ];
+    if rng.gen_bool(0.5) {
+        options.push(base.format_long());
+    }
+    options.dedup();
+    // Shuffle deterministically.
+    for i in (1..options.len()).rev() {
+        options.swap(i, rng.gen_range(0..=i));
+    }
+
+    let gold = answer.format_long();
+    let question = format!(
+        "Q: Today is {}. {} Options: {}.",
+        base.format_long(),
+        question_part,
+        options.join(", ")
+    );
+    let reasoning = format!(
+        "Today is {}, so {}, which is {}.",
+        base.format_long(),
+        explain,
+        gold
+    );
+
+    let model_answer = if rng.gen_bool(profile.p_correct) {
+        gold.clone()
+    } else {
+        let wrong: Vec<&String> = options.iter().filter(|o| **o != gold).collect();
+        wrong[rng.gen_range(0..wrong.len())].clone()
+    };
+
+    let digression = if rng.gen_bool(profile.p_digress) {
+        let at = reasoning.find(", so").map(|i| i + 1).unwrap_or(0);
+        // Derailments never conclude the gold answer (see `odd_one_out`).
+        let wrong: Vec<&String> = options.iter().filter(|o| **o != gold).collect();
+        let derailed_answer = wrong[rng.gen_range(0..wrong.len())].clone();
+        // Newline-led digression; see `odd_one_out` for the rationale.
+        Some(crate::odd_one_out::Digression {
+            at,
+            text: format!(
+                "\nQ: wait, calendars are tricky, counting days around {derailed_answer} again,"
+            ),
+            derailed_answer,
+        })
+    } else {
+        None
+    };
+
+    Instance {
+        question,
+        options,
+        gold,
+        reasoning,
+        model_answer,
+        digression,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GPT_J_PROFILE;
+
+    #[test]
+    fn date_arithmetic() {
+        let d = Date::new(2022, 3, 10);
+        assert_eq!(d.plus_days(1).format_long(), "March 11, 2022");
+        assert_eq!(d.plus_days(-10).format_long(), "February 28, 2022");
+        assert_eq!(Date::new(2020, 2, 28).plus_days(1).day, 29, "leap year");
+        assert_eq!(Date::new(2021, 12, 31).plus_days(1).year, 2022);
+        assert_eq!(Date::new(2021, 1, 1).plus_days(-1).year, 2020);
+    }
+
+    #[test]
+    fn plus_days_roundtrip() {
+        let d = Date::new(2022, 6, 15);
+        for n in [-400, -31, -1, 0, 1, 31, 400] {
+            assert_eq!(d.plus_days(n).plus_days(-n), d, "n={n}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_gold_in_options() {
+        let a = generate(30, 5, &GPT_J_PROFILE);
+        let b = generate(30, 5, &GPT_J_PROFILE);
+        assert_eq!(a, b);
+        for inst in a {
+            assert!(inst.options.contains(&inst.gold));
+            assert!(inst.question.contains("Options:"));
+            assert!(inst.reasoning.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn digression_text_contains_forbidden_phrase() {
+        let instances = generate(200, 6, &GPT_J_PROFILE);
+        let any = instances.iter().find(|i| i.digression.is_some()).unwrap();
+        assert!(any.digression.as_ref().unwrap().text.contains("Q:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "day 31 out of range")]
+    fn invalid_date_panics() {
+        let _ = Date::new(2021, 4, 31);
+    }
+}

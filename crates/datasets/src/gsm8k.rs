@@ -1,0 +1,192 @@
+//! Arithmetic word problems with per-step expressions — the GSM8K
+//! stand-in for the arithmetic-reasoning case study (§6.3, Fig. 13).
+//!
+//! Each instance's intended completion interleaves reasoning text with
+//! `<< expr= result >>` calculation hooks, exactly the pattern the Fig. 13
+//! query detects and evaluates with the external calculator.
+
+use crate::ModelProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Few-shot demonstration in the `<< … >>` calculation pattern.
+pub const FEW_SHOT: &str = "Q: Mia buys 3 boxes of 12 pencils. How many pencils does she have?\n\
+A: Let's think step by step.\n\
+She buys 3 boxes of 12 pencils each.\n\
+3 boxes x 12 pencils = << 3*12= 36 >> 36\n\
+So the answer is 36\n\n";
+
+/// One arithmetic word problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The question text (without the `Q:` prefix).
+    pub question: String,
+    /// The intended completion after `"A: Let's think step by step.\n"`,
+    /// including `<< expr= result >>` hooks and the final
+    /// `So the answer is N`.
+    pub script: String,
+    /// The `(expression, value)` pairs in order of appearance; the
+    /// expression text is exactly what appears between `<<` and `=`.
+    pub expressions: Vec<(String, i64)>,
+    /// The gold final answer.
+    pub answer: i64,
+}
+
+impl Instance {
+    /// `true` if `answer` equals the gold value.
+    pub fn is_correct(&self, answer: &str) -> bool {
+        answer.trim().parse::<i64>() == Ok(self.answer)
+    }
+}
+
+/// Generates `n` seeded instances. The model profile is accepted for
+/// interface symmetry; arithmetic scripts do not digress (the paper's
+/// §6.3 measures cost, not accuracy).
+pub fn generate(n: usize, seed: u64, _profile: &ModelProfile) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x65a8);
+    (0..n).map(|_| instance(&mut rng)).collect()
+}
+
+fn instance(rng: &mut StdRng) -> Instance {
+    match rng.gen_range(0..3) {
+        0 => painter(rng),
+        1 => bakery(rng),
+        _ => bus(rng),
+    }
+}
+
+/// The paper's own running example (Fig. 13b): paintings at two prices,
+/// doubled sales.
+fn painter(rng: &mut StdRng) -> Instance {
+    let large = rng.gen_range(3..=9);
+    let small = rng.gen_range(2..=8);
+    let price_l = 10 * rng.gen_range(4..=8);
+    let price_s = 10 * rng.gen_range(2..=4);
+    let r1 = large * price_l;
+    let r2 = small * price_s;
+    let r3 = r1 + r2;
+    let r4 = 2 * r3;
+    let question = format!(
+        "Noah is a painter. He charges ${price_l} for a large painting and ${price_s} for a \
+         small painting. Last month he sold {large} large paintings and {small} small \
+         paintings. If he sold twice as much this month, how much is his sales for this month?"
+    );
+    let script = format!(
+        "He sold {large} large paintings and {small} small paintings last month.\n\
+         {large} large paintings x ${price_l} = << {large}*{price_l}= {r1} >> {r1}\n\
+         {small} small paintings x ${price_s} = << {small}*{price_s}= {r2} >> {r2}\n\
+         Total last month = << {r1}+{r2}= {r3} >> {r3}\n\
+         Twice as much this month = << {r3}*2= {r4} >> {r4}\n\
+         So the answer is {r4}"
+    );
+    Instance {
+        question,
+        script,
+        expressions: vec![
+            (format!(" {large}*{price_l}="), r1),
+            (format!(" {small}*{price_s}="), r2),
+            (format!(" {r1}+{r2}="), r3),
+            (format!(" {r3}*2="), r4),
+        ],
+        answer: r4,
+    }
+}
+
+fn bakery(rng: &mut StdRng) -> Instance {
+    let trays = rng.gen_range(3..=7);
+    let per_tray = rng.gen_range(6..=12);
+    let days = rng.gen_range(2..=5);
+    let r1 = trays * per_tray;
+    let r2 = r1 * days;
+    let question = format!(
+        "A bakery bakes {trays} trays of {per_tray} rolls every day. \
+         How many rolls does it bake in {days} days?"
+    );
+    let script = format!(
+        "Each day the bakery bakes {trays} trays of {per_tray} rolls.\n\
+         {trays} trays x {per_tray} rolls = << {trays}*{per_tray}= {r1} >> {r1}\n\
+         Over {days} days = << {r1}*{days}= {r2} >> {r2}\n\
+         So the answer is {r2}"
+    );
+    Instance {
+        question,
+        script,
+        expressions: vec![
+            (format!(" {trays}*{per_tray}="), r1),
+            (format!(" {r1}*{days}="), r2),
+        ],
+        answer: r2,
+    }
+}
+
+fn bus(rng: &mut StdRng) -> Instance {
+    let start = rng.gen_range(20..=40);
+    let off = rng.gen_range(5..=12);
+    let on = rng.gen_range(3..=10);
+    let r1 = start - off;
+    let r2 = r1 + on;
+    let question = format!(
+        "A bus starts with {start} passengers. At the first stop {off} get off and {on} \
+         get on. How many passengers are on the bus now?"
+    );
+    let script = format!(
+        "The bus starts with {start} passengers.\n\
+         After {off} get off = << {start}-{off}= {r1} >> {r1}\n\
+         After {on} get on = << {r1}+{on}= {r2} >> {r2}\n\
+         So the answer is {r2}"
+    );
+    Instance {
+        question,
+        script,
+        expressions: vec![
+            (format!(" {start}-{off}="), r1),
+            (format!(" {r1}+{on}="), r2),
+        ],
+        answer: r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculator;
+    use crate::GPT_J_PROFILE;
+
+    #[test]
+    fn expressions_evaluate_to_recorded_values() {
+        for inst in generate(50, 1, &GPT_J_PROFILE) {
+            for (expr, value) in &inst.expressions {
+                assert_eq!(
+                    calculator::run(expr).unwrap(),
+                    *value,
+                    "expr {expr:?} in {:?}",
+                    inst.question
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn script_contains_all_hooks_and_answer() {
+        for inst in generate(30, 2, &GPT_J_PROFILE) {
+            for (expr, value) in &inst.expressions {
+                assert!(inst.script.contains(&format!("<<{expr} {value} >>")));
+            }
+            assert!(inst
+                .script
+                .ends_with(&format!("So the answer is {}", inst.answer)));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(10, 3, &GPT_J_PROFILE), generate(10, 3, &GPT_J_PROFILE));
+    }
+
+    #[test]
+    fn is_correct_parses() {
+        let inst = &generate(1, 4, &GPT_J_PROFILE)[0];
+        assert!(inst.is_correct(&format!(" {} ", inst.answer)));
+        assert!(!inst.is_correct("nonsense"));
+    }
+}

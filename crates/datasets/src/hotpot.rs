@@ -1,0 +1,140 @@
+//! Two-hop questions over the mini wiki — the HotpotQA stand-in driving
+//! the ReAct case study (§6.2).
+//!
+//! Each instance carries the full intended ReAct transcript (Tho/Act/Obs
+//! lines, with Obs text exactly as [`MiniWiki::search`] returns it), so a
+//! `ScriptedLm` can play the model side while the runtime performs the
+//! real lookups.
+
+use crate::wiki::{MiniWiki, COMPANIES, PEOPLE};
+use crate::ModelProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Few-shot demonstration of the ReAct pattern (Fig. 11 flavour).
+pub const FEW_SHOT: &str = "Q: Where is the company that Jordan Lee works at headquartered?\n\
+Tho: I need to search Jordan Lee and find the company they work at.\n\
+Act: Search 'Jordan Lee'\n\
+Obs: Jordan Lee is a biologist who works at Coral Systems.\n\
+Tho: Jordan Lee works at Coral Systems. I need to search Coral Systems.\n\
+Act: Search 'Coral Systems'\n\
+Obs: Coral Systems is a company that makes reef sensors. Coral Systems is headquartered in Havana.\n\
+Tho: Coral Systems is headquartered in Havana.\n\
+Act: Finish 'Havana'\n\n";
+
+/// One two-hop question instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The question line (starts with `Q:`).
+    pub question: String,
+    /// The entities to look up, in order.
+    pub hops: Vec<String>,
+    /// The gold answer (a city).
+    pub gold: String,
+    /// The intended model completion after the question line: the full
+    /// Tho/Act/Obs transcript ending in a `Finish` action.
+    pub script: String,
+    /// A rambling-thought digression (`at` is a char offset into
+    /// `script`), if the model would digress when unconstrained.
+    pub digression: Option<crate::odd_one_out::Digression>,
+}
+
+impl Instance {
+    /// `true` if `answer` matches the gold city.
+    pub fn is_correct(&self, answer: &str) -> bool {
+        answer.trim() == self.gold
+    }
+}
+
+/// Generates `n` seeded instances over the standard wiki.
+pub fn generate(n: usize, seed: u64, profile: &ModelProfile) -> Vec<Instance> {
+    let wiki = MiniWiki::standard();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4007_0707);
+    (0..n).map(|_| instance(&mut rng, &wiki, profile)).collect()
+}
+
+fn instance(rng: &mut StdRng, wiki: &MiniWiki, profile: &ModelProfile) -> Instance {
+    let (person, _, company) = PEOPLE[rng.gen_range(0..PEOPLE.len())];
+    let (_, _, city) = COMPANIES
+        .iter()
+        .find(|(c, _, _)| c == &company)
+        .expect("person tables reference known companies");
+
+    let question = format!("Q: Where is the company that {person} works at headquartered?");
+    let obs1 = wiki.search(person);
+    let obs2 = wiki.search(company);
+
+    let script = format!(
+        "Tho: I need to search {person} and find the company they work at.\n\
+         Act: Search '{person}'\n\
+         Obs: {obs1}\n\
+         Tho: {person} works at {company}. I need to search {company}.\n\
+         Act: Search '{company}'\n\
+         Obs: {obs2}\n\
+         Tho: {company} is headquartered in {city}.\n\
+         Act: Finish '{city}'\n"
+    );
+
+    // The ReAct case study measures cost, not accuracy (§6.2), and its
+    // savings are structural (chunk-wise decoding re-bills the long
+    // prompt every call); content digressions are not needed to
+    // reproduce the table, so ReAct scripts stay clean.
+    let _ = profile;
+
+    Instance {
+        question,
+        hops: vec![person.to_owned(), company.to_owned()],
+        gold: (*city).to_owned(),
+        script,
+        digression: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GPT_J_PROFILE;
+
+    #[test]
+    fn scripts_end_with_finish() {
+        for inst in generate(20, 1, &GPT_J_PROFILE) {
+            assert!(inst.script.contains("Act: Search"));
+            assert!(inst
+                .script
+                .ends_with(&format!("Act: Finish '{}'\n", inst.gold)));
+        }
+    }
+
+    #[test]
+    fn obs_lines_match_wiki_search() {
+        let wiki = MiniWiki::standard();
+        for inst in generate(20, 2, &GPT_J_PROFILE) {
+            for hop in &inst.hops {
+                let obs = wiki.search(hop);
+                assert!(
+                    inst.script.contains(&format!("Obs: {obs}\n")),
+                    "script missing obs for {hop}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(10, 3, &GPT_J_PROFILE), generate(10, 3, &GPT_J_PROFILE));
+    }
+
+    #[test]
+    fn react_scripts_do_not_digress() {
+        let instances = generate(100, 4, &GPT_J_PROFILE);
+        assert!(instances.iter().all(|i| i.digression.is_none()));
+    }
+
+    #[test]
+    fn gold_is_a_company_city() {
+        let cities: Vec<&str> = COMPANIES.iter().map(|(_, _, c)| *c).collect();
+        for inst in generate(20, 5, &GPT_J_PROFILE) {
+            assert!(cities.contains(&inst.gold.as_str()));
+        }
+    }
+}

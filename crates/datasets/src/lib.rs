@@ -1,0 +1,64 @@
+//! Synthetic workloads for the LMQL reproduction.
+//!
+//! The paper evaluates on BIG-bench *Odd One Out* and *Date
+//! Understanding*, HotpotQA and GSM8K, with live Wikipedia lookups and a
+//! calculator tool. None of those datasets/services are available offline,
+//! so this crate generates seeded synthetic equivalents with gold labels:
+//!
+//! - [`odd_one_out`] — pick the word that doesn't belong (word pools by
+//!   category),
+//! - [`date_understanding`] — date arithmetic multiple choice,
+//! - [`wiki`] — a mini in-memory encyclopedia with keyword search,
+//! - [`hotpot`] — two-hop questions over the mini wiki (ReAct workload),
+//! - [`gsm8k`] — arithmetic word problems with per-step expressions,
+//! - [`calculator`] — the external arithmetic evaluator tool.
+//!
+//! Instances also carry the *intended model behaviour* (ideal reasoning
+//! text, a possibly-wrong model answer, optional digressions) so the
+//! benchmark harness can build `ScriptedLm` episodes; see DESIGN.md §2 for
+//! the substitution rationale.
+
+pub mod calculator;
+pub mod date_understanding;
+pub mod gsm8k;
+pub mod hotpot;
+pub mod odd_one_out;
+pub mod wiki;
+
+mod words;
+
+pub use words::{category_of, Category, CATEGORIES};
+
+/// Behavioural profile of a simulated evaluation model (the stand-ins for
+/// the paper's GPT-J-6B / OPT-30B / GPT-3.5 rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelProfile {
+    /// Display name used in result tables.
+    pub name: &'static str,
+    /// Probability that the model's intended answer is the gold answer.
+    pub p_correct: f64,
+    /// Probability that the model digresses mid-reasoning when
+    /// unconstrained.
+    pub p_digress: f64,
+}
+
+/// Profile approximating the paper's GPT-J-6B accuracy levels.
+pub const GPT_J_PROFILE: ModelProfile = ModelProfile {
+    name: "gpt-j-6b-sim",
+    p_correct: 0.36,
+    p_digress: 0.22,
+};
+
+/// Profile approximating the paper's OPT-30B accuracy levels.
+pub const OPT_30B_PROFILE: ModelProfile = ModelProfile {
+    name: "opt-30b-sim",
+    p_correct: 0.40,
+    p_digress: 0.18,
+};
+
+/// Profile approximating the paper's GPT-3.5 control run (§6.1).
+pub const GPT_35_PROFILE: ModelProfile = ModelProfile {
+    name: "gpt-3.5-sim",
+    p_correct: 0.86,
+    p_digress: 0.10,
+};

@@ -1,0 +1,239 @@
+//! The *Odd One Out* task (BIG-bench style): given words from one
+//! category plus one outlier, pick the outlier.
+//!
+//! Each instance also carries the simulated model's intended behaviour:
+//! the ideal chain-of-thought reasoning sentence, the answer the model
+//! would conclude (correct with the profile's `p_correct`), and an
+//! optional mid-reasoning digression that derails to a different answer —
+//! the mechanism §6.1 of the paper identifies behind accuracy differences.
+
+use crate::words::{category_of, CATEGORIES};
+use crate::ModelProfile;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The two few-shot demonstrations used in the paper's Fig. 10 prompt.
+pub const FEW_SHOT: &str = "Pick the odd word out: skirt, dress, pen, jacket.\n\
+skirt is clothing, dress is clothing, pen is an object, jacket is clothing.\n\
+So the odd one is pen.\n\n\
+Pick the odd word out: Spain, France, German, England, Singapore.\n\
+Spain is a country, France is a country, German is a language, England is a country, Singapore is a country.\n\
+So the odd one is German.\n\n";
+
+/// A derailment the unconstrained model takes mid-reasoning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Digression {
+    /// Character offset into `reasoning` where the digression starts.
+    pub at: usize,
+    /// The off-pattern text (starts with a phrase the `where` clause
+    /// forbids, e.g. `Pick`).
+    pub text: String,
+    /// The answer the derailed reasoning concludes.
+    pub derailed_answer: String,
+}
+
+/// One Odd One Out instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The words, outlier included, in presentation order.
+    pub options: Vec<String>,
+    /// Comma-separated options as shown in the prompt.
+    pub options_line: String,
+    /// The gold outlier.
+    pub gold: String,
+    /// Ideal reasoning sentence ("w1 is c, …, wk is c2." — ends with `.`).
+    pub reasoning: String,
+    /// The answer the simulated model concludes without digression.
+    pub model_answer: String,
+    /// Mid-reasoning derailment, if the model would digress.
+    pub digression: Option<Digression>,
+}
+
+impl Instance {
+    /// `true` if `answer` names the gold outlier.
+    pub fn is_correct(&self, answer: &str) -> bool {
+        answer.trim() == self.gold
+    }
+
+    /// The full intended completion after the question line: reasoning,
+    /// then the conclusion sentence (paper Fig. 10 pattern).
+    pub fn script(&self) -> String {
+        format!(
+            "{}\nSo the odd one is {}.",
+            self.reasoning, self.model_answer
+        )
+    }
+
+    /// The derailed completion (digression applied), if any: reasoning up
+    /// to the digression, the digression text, then a conclusion with the
+    /// derailed answer.
+    pub fn derailed_script(&self) -> Option<String> {
+        let d = self.digression.as_ref()?;
+        Some(format!(
+            "{}{}\nSo the odd one is {}.",
+            &self.reasoning[..d.at],
+            d.text,
+            d.derailed_answer
+        ))
+    }
+}
+
+/// Generates `n` seeded instances under a model profile.
+pub fn generate(n: usize, seed: u64, profile: &ModelProfile) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0dd0_0e0e);
+    (0..n).map(|_| instance(&mut rng, profile)).collect()
+}
+
+fn instance(rng: &mut StdRng, profile: &ModelProfile) -> Instance {
+    // Pick the majority category and a distinct outlier category.
+    let cat_idx = rng.gen_range(0..CATEGORIES.len());
+    let mut odd_idx = rng.gen_range(0..CATEGORIES.len() - 1);
+    if odd_idx >= cat_idx {
+        odd_idx += 1;
+    }
+    let cat = &CATEGORIES[cat_idx];
+    let odd_cat = &CATEGORIES[odd_idx];
+
+    let k = rng.gen_range(4..=5);
+    let mut members: Vec<&str> = cat.words.to_vec();
+    members.shuffle(rng);
+    members.truncate(k);
+    let outlier = odd_cat.words[rng.gen_range(0..odd_cat.words.len())];
+
+    let mut options: Vec<String> = members.iter().map(|w| (*w).to_owned()).collect();
+    options.insert(rng.gen_range(0..=options.len()), outlier.to_owned());
+    let options_line = options.join(", ");
+
+    // Ideal reasoning in the few-shot pattern.
+    let reasoning = options
+        .iter()
+        .map(|w| {
+            let c = category_of(w).expect("generated words have categories");
+            format!("{w} is {}", c.name)
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+        + ".";
+
+    // Simulated model behaviour.
+    let model_answer = if rng.gen_bool(profile.p_correct) {
+        outlier.to_owned()
+    } else {
+        // A wrong but plausible option.
+        let wrong: Vec<&String> = options.iter().filter(|o| *o != outlier).collect();
+        wrong[rng.gen_range(0..wrong.len())].clone()
+    };
+
+    let digression = if rng.gen_bool(profile.p_digress) {
+        // Derailment starts mid-reasoning, right after a comma, and leads
+        // to a (usually different) answer.
+        let commas: Vec<usize> = reasoning
+            .char_indices()
+            .filter(|(_, c)| *c == ',')
+            .map(|(i, _)| i + 1)
+            .collect();
+        let at = commas[rng.gen_range(0..commas.len())];
+        // Derailments lead astray: the derailed conclusion is never the
+        // gold answer (a digression that accidentally lands on the right
+        // answer would not be a failure mode worth modelling).
+        let wrong: Vec<&String> = options.iter().filter(|o| **o != outlier).collect();
+        let derailed_answer = wrong[rng.gen_range(0..wrong.len())].clone();
+        // The digression starts with a newline: `not "\n" in REASONING`
+        // masks it in one step (the newline is a single token), while the
+        // unconstrained baseline runs into it head-on — the paper's Fig. 4b
+        // "running on" failure mode.
+        Some(Digression {
+            at,
+            text: format!(
+                "\nPick the odd word out means the one that is different, and they all \
+                 seem similar to {derailed_answer},"
+            ),
+            derailed_answer,
+        })
+    } else {
+        None
+    };
+
+    Instance {
+        options,
+        options_line,
+        gold: outlier.to_owned(),
+        reasoning,
+        model_answer,
+        digression,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GPT_J_PROFILE;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(20, 7, &GPT_J_PROFILE);
+        let b = generate(20, 7, &GPT_J_PROFILE);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gold_is_an_option_and_odd() {
+        for inst in generate(50, 1, &GPT_J_PROFILE) {
+            assert!(inst.options.contains(&inst.gold));
+            let gold_cat = category_of(&inst.gold).unwrap().name;
+            let others: Vec<&str> = inst
+                .options
+                .iter()
+                .filter(|o| **o != inst.gold)
+                .map(|o| category_of(o).unwrap().name)
+                .collect();
+            assert!(others.iter().all(|c| *c != gold_cat));
+            assert!(others.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn reasoning_mentions_every_option() {
+        for inst in generate(20, 2, &GPT_J_PROFILE) {
+            for o in &inst.options {
+                assert!(inst.reasoning.contains(o.as_str()));
+            }
+            assert!(inst.reasoning.ends_with('.'));
+            assert!(!inst.reasoning.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn accuracy_rate_tracks_profile() {
+        let instances = generate(500, 3, &GPT_J_PROFILE);
+        let correct = instances
+            .iter()
+            .filter(|i| i.model_answer == i.gold)
+            .count() as f64;
+        let rate = correct / 500.0;
+        assert!((rate - GPT_J_PROFILE.p_correct).abs() < 0.07, "rate {rate}");
+    }
+
+    #[test]
+    fn digressions_start_with_forbidden_phrase() {
+        let instances = generate(200, 4, &GPT_J_PROFILE);
+        let digressed: Vec<&Instance> =
+            instances.iter().filter(|i| i.digression.is_some()).collect();
+        assert!(!digressed.is_empty());
+        for i in digressed {
+            let d = i.digression.as_ref().unwrap();
+            assert!(d.text.contains("Pick"));
+            assert!(d.at < i.reasoning.len());
+            assert!(i.derailed_script().unwrap().contains("Pick"));
+        }
+    }
+
+    #[test]
+    fn script_shape() {
+        let inst = &generate(1, 9, &GPT_J_PROFILE)[0];
+        let s = inst.script();
+        assert!(s.starts_with(&inst.reasoning));
+        assert!(s.contains("So the odd one is"));
+    }
+}

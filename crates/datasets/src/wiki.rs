@@ -1,0 +1,135 @@
+//! A mini in-memory encyclopedia with keyword search — the stand-in for
+//! the paper's Wikipedia lookups in the ReAct case study (§6.2).
+
+/// One encyclopedia article.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Article {
+    /// The article title.
+    pub title: String,
+    /// The first-paragraph text returned by searches.
+    pub text: String,
+}
+
+/// The in-memory encyclopedia.
+#[derive(Debug, Clone, Default)]
+pub struct MiniWiki {
+    articles: Vec<Article>,
+}
+
+/// The entity tables the builder wires together: people work at
+/// companies, companies are headquartered in cities.
+pub const PEOPLE: &[(&str, &str, &str)] = &[
+    // (name, profession, company)
+    ("Alice Moreau", "physicist", "Helios Dynamics"),
+    ("Bogdan Petrov", "geologist", "Terra Survey"),
+    ("Carla Jimenez", "engineer", "Quantum Forge"),
+    ("Deepak Rao", "chemist", "Northwind Labs"),
+    ("Elena Okafor", "astronomer", "Stellar Insight"),
+    ("Felix Braun", "cartographer", "Terra Survey"),
+    ("Grace Lindqvist", "roboticist", "Quantum Forge"),
+    ("Hiro Tanaka", "meteorologist", "Northwind Labs"),
+];
+
+/// `(company, product, city)` rows.
+pub const COMPANIES: &[(&str, &str, &str)] = &[
+    ("Helios Dynamics", "solar panels", "Lisbon"),
+    ("Terra Survey", "geological maps", "Calgary"),
+    ("Quantum Forge", "precision actuators", "Eindhoven"),
+    ("Northwind Labs", "weather balloons", "Tromso"),
+    ("Stellar Insight", "space telescopes", "Pasadena"),
+];
+
+impl MiniWiki {
+    /// Builds the standard encyclopedia from the entity tables.
+    pub fn standard() -> Self {
+        let mut articles = Vec::new();
+        for (name, profession, company) in PEOPLE {
+            articles.push(Article {
+                title: (*name).to_owned(),
+                text: format!("{name} is a {profession} who works at {company}."),
+            });
+        }
+        for (company, product, city) in COMPANIES {
+            articles.push(Article {
+                title: (*company).to_owned(),
+                text: format!(
+                    "{company} is a company that makes {product}. \
+                     {company} is headquartered in {city}."
+                ),
+            });
+        }
+        MiniWiki { articles }
+    }
+
+    /// All articles.
+    pub fn articles(&self) -> &[Article] {
+        &self.articles
+    }
+
+    /// Keyword search: returns the text of the article whose title shares
+    /// the most (case-insensitive) words with the query; exact title
+    /// matches win. Returns a fixed "no results" string when nothing
+    /// overlaps, mirroring a failed Wikipedia lookup.
+    pub fn search(&self, query: &str) -> String {
+        let q = query.trim().to_lowercase();
+        if let Some(a) = self
+            .articles
+            .iter()
+            .find(|a| a.title.to_lowercase() == q)
+        {
+            return a.text.clone();
+        }
+        let q_words: Vec<&str> = q.split_whitespace().collect();
+        let mut best: Option<(usize, &Article)> = None;
+        for a in &self.articles {
+            let title = a.title.to_lowercase();
+            let overlap = title
+                .split_whitespace()
+                .filter(|w| q_words.contains(w))
+                .count();
+            if overlap > 0 && best.is_none_or(|(b, _)| overlap > b) {
+                best = Some((overlap, a));
+            }
+        }
+        match best {
+            Some((_, a)) => a.text.clone(),
+            None => format!("Could not find {query}. Similar: no results."),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_title_search() {
+        let w = MiniWiki::standard();
+        let text = w.search("Terra Survey");
+        assert!(text.contains("headquartered in Calgary"));
+    }
+
+    #[test]
+    fn case_insensitive_partial_search() {
+        let w = MiniWiki::standard();
+        let text = w.search("alice moreau");
+        assert!(text.contains("works at Helios Dynamics"));
+        let text = w.search("Tanaka");
+        assert!(text.contains("Northwind Labs"));
+    }
+
+    #[test]
+    fn miss_returns_marker() {
+        let w = MiniWiki::standard();
+        assert!(w.search("zzz qqq").starts_with("Could not find"));
+    }
+
+    #[test]
+    fn entity_tables_consistent() {
+        // Every person's employer exists as a company article.
+        let companies: Vec<&str> = COMPANIES.iter().map(|(c, _, _)| *c).collect();
+        for (_, _, company) in PEOPLE {
+            assert!(companies.contains(company), "unknown company {company}");
+        }
+    }
+}

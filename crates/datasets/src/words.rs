@@ -1,0 +1,81 @@
+//! Word pools for the Odd One Out generator.
+
+/// A semantic category with member words and the phrase used in reasoning
+/// text ("skirt is clothing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Category {
+    /// Category name as used in reasoning sentences.
+    pub name: &'static str,
+    /// Member words.
+    pub words: &'static [&'static str],
+}
+
+/// All categories the generator draws from.
+pub const CATEGORIES: &[Category] = &[
+    Category {
+        name: "clothing",
+        words: &["skirt", "dress", "jacket", "shirt", "trousers", "coat", "sweater"],
+    },
+    Category {
+        name: "a country",
+        words: &["Spain", "France", "England", "Singapore", "Brazil", "Japan", "Kenya"],
+    },
+    Category {
+        name: "a language",
+        words: &["German", "Mandarin", "Swahili", "Spanish", "Finnish"],
+    },
+    Category {
+        name: "an animal",
+        words: &["penguin", "giraffe", "otter", "badger", "lynx", "heron"],
+    },
+    Category {
+        name: "a fruit",
+        words: &["apple", "mango", "papaya", "cherry", "quince", "plum"],
+    },
+    Category {
+        name: "a color",
+        words: &["crimson", "teal", "ochre", "violet", "indigo"],
+    },
+    Category {
+        name: "an instrument",
+        words: &["violin", "oboe", "trumpet", "cello", "bassoon"],
+    },
+    Category {
+        name: "a profession",
+        words: &["plumber", "teacher", "surgeon", "carpenter", "pilot"],
+    },
+    Category {
+        name: "a vehicle",
+        words: &["tram", "bicycle", "truck", "scooter", "ferry"],
+    },
+    Category {
+        name: "an object",
+        words: &["pen", "bucket", "ladder", "kettle", "hammer", "stapler"],
+    },
+];
+
+/// The category a word belongs to, if any.
+pub fn category_of(word: &str) -> Option<&'static Category> {
+    CATEGORIES.iter().find(|c| c.words.contains(&word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_unique_across_categories() {
+        let mut seen = std::collections::HashSet::new();
+        for c in CATEGORIES {
+            for w in c.words {
+                assert!(seen.insert(*w), "duplicate word {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn category_lookup() {
+        assert_eq!(category_of("pen").unwrap().name, "an object");
+        assert!(category_of("zzz").is_none());
+    }
+}

@@ -1,0 +1,138 @@
+//! Score caching keyed on the full token context.
+//!
+//! The paper notes (§4 "Performance Considerations") that because functions
+//! are pure and deterministic, "results can be cached based on the function
+//! arguments". The same applies to the model itself when several beams or
+//! samples run in lockstep over shared prefixes: identical contexts need
+//! only one forward pass. [`CachedLm`] memoises `score()` per context.
+
+use crate::{LanguageModel, Logits};
+use lmql_tokenizer::{TokenId, Vocabulary};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A memoising wrapper: `score()` results are cached by context.
+///
+/// Wrap *outside* a [`MeteredLm`](crate::MeteredLm) to make cache hits free
+/// (`CachedLm<MeteredLm<L>>`), or inside to still count them as queries.
+///
+/// # Example
+///
+/// ```
+/// use lmql_lm::{CachedLm, LanguageModel, MeteredLm, UniformLm, UsageMeter};
+/// use lmql_tokenizer::{Bpe, TokenId};
+/// use std::sync::Arc;
+///
+/// let bpe = Arc::new(Bpe::char_level(""));
+/// let meter = UsageMeter::new();
+/// let lm = CachedLm::new(MeteredLm::new(UniformLm::new(bpe), meter.clone()));
+/// let _ = lm.score(&[TokenId(1)]);
+/// let _ = lm.score(&[TokenId(1)]); // cache hit: no extra model query
+/// assert_eq!(meter.snapshot().model_queries, 1);
+/// ```
+#[derive(Debug)]
+pub struct CachedLm<L> {
+    inner: L,
+    cache: Mutex<HashMap<Vec<TokenId>, Logits>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl<L: LanguageModel> CachedLm<L> {
+    /// Wraps `inner` with an unbounded per-context cache.
+    pub fn new(inner: L) -> Self {
+        CachedLm {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Empties the cache.
+    pub fn clear(&self) {
+        self.cache.lock().expect("lm cache poisoned").clear();
+    }
+
+    /// Consumes the wrapper, returning the inner model.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+}
+
+impl<L: LanguageModel> LanguageModel for CachedLm<L> {
+    fn vocab(&self) -> &Vocabulary {
+        self.inner.vocab()
+    }
+
+    fn score(&self, context: &[TokenId]) -> Logits {
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("lm cache poisoned")
+            .get(context)
+            .cloned()
+        {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return hit;
+        }
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let logits = self.inner.score(context);
+        self.cache
+            .lock()
+            .expect("lm cache poisoned")
+            .insert(context.to_vec(), logits.clone());
+        logits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MeteredLm, UniformLm, UsageMeter};
+    use lmql_tokenizer::Bpe;
+    use std::sync::Arc;
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let lm = CachedLm::new(UniformLm::new(bpe));
+        let _ = lm.score(&[TokenId(0)]);
+        let _ = lm.score(&[TokenId(0)]);
+        let _ = lm.score(&[TokenId(1)]);
+        assert_eq!(lm.hits(), 1);
+        assert_eq!(lm.misses(), 2);
+    }
+
+    #[test]
+    fn cache_outside_meter_saves_queries() {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let meter = UsageMeter::new();
+        let lm = CachedLm::new(MeteredLm::new(UniformLm::new(bpe), meter.clone()));
+        for _ in 0..5 {
+            let _ = lm.score(&[TokenId(7)]);
+        }
+        assert_eq!(meter.snapshot().model_queries, 1);
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let lm = CachedLm::new(UniformLm::new(bpe));
+        let _ = lm.score(&[TokenId(0)]);
+        lm.clear();
+        let _ = lm.score(&[TokenId(0)]);
+        assert_eq!(lm.misses(), 2);
+    }
+}

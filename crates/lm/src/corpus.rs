@@ -1,0 +1,314 @@
+//! The built-in synthetic training corpus and shared model constructors.
+//!
+//! Everything here is deterministic: the corpus is generated from fixed
+//! word lists, so tokenizer training and n-gram statistics are identical
+//! across runs and machines. The corpus covers the text domains the
+//! examples and benchmarks prompt about (travel packing lists, dad jokes,
+//! encyclopedic sentences, dates, arithmetic word problems).
+
+use crate::NGramLm;
+use lmql_tokenizer::{Bpe, BpeTrainer};
+use std::sync::{Arc, OnceLock};
+
+/// Things that appear on the packing-list examples (Fig. 1b).
+pub const TRAVEL_THINGS: &[&str] = &[
+    "passport",
+    "phone",
+    "keys",
+    "sun screen",
+    "beach towel",
+    "charger",
+    "camera",
+    "wallet",
+    "toothbrush",
+    "hat",
+    "watch",
+    "tickets",
+];
+
+/// Joke setup/punchline pairs used to give the n-gram model Fig. 1a flavour.
+const JOKES: &[(&str, &str)] = &[
+    (
+        "How does a penguin build its house?",
+        "Igloos it together. END",
+    ),
+    (
+        "Which knight invented King Arthur's Round Table?",
+        "Sir Cumference. END",
+    ),
+    ("Why did the scarecrow win an award?", "He was outstanding in his field. END"),
+    ("What do you call a fake noodle?", "An impasta. END"),
+    ("Why don't eggs tell jokes?", "They would crack up. END"),
+    ("What do you call cheese that is not yours?", "Nacho cheese. END"),
+];
+
+/// Encyclopedic filler sentences (mini-wiki flavour).
+const FACTS: &[&str] = &[
+    "The Colorado orogeny was an episode of mountain building in Colorado and surrounding areas.",
+    "The High Plains rise in elevation from around 1,800 to 7,000 ft.",
+    "Apple Computers is headquartered in Cupertino, California.",
+    "The circumference of the earth is about 40,075 kilometers.",
+    "A physicist studies matter, energy, and the interactions between them.",
+    "The capital of France is Paris, a city on the Seine.",
+    "Mount Everest is the highest mountain above sea level.",
+    "The Nile is often regarded as the longest river in the world.",
+];
+
+/// Returns the deterministic built-in corpus.
+///
+/// Roughly 40 KiB of text assembled from the fixed phrase lists above,
+/// with paragraph breaks (`\n\n`) separating documents so
+/// [`NGramLm::train`] learns document boundaries.
+pub fn builtin_corpus() -> String {
+    let mut out = String::new();
+
+    // Packing-list documents.
+    for start in 0..TRAVEL_THINGS.len() {
+        out.push_str("A list of things not to forget when travelling:\n");
+        for k in 0..4 {
+            let thing = TRAVEL_THINGS[(start + k * 3) % TRAVEL_THINGS.len()];
+            out.push_str("- ");
+            out.push_str(thing);
+            out.push('\n');
+        }
+        let top = TRAVEL_THINGS[start % TRAVEL_THINGS.len()];
+        out.push_str("The most important of these is ");
+        out.push_str(top);
+        out.push_str(".\n\n");
+    }
+
+    // Joke documents.
+    for round in 0..3 {
+        out.push_str("A list of good dad jokes. A indicates the punchline\n");
+        for (i, (q, a)) in JOKES.iter().enumerate() {
+            if (i + round) % 2 == 0 {
+                out.push_str("Q: ");
+                out.push_str(q);
+                out.push_str("\nA: ");
+                out.push_str(a);
+                out.push('\n');
+            }
+        }
+        out.push('\n');
+    }
+
+    // Encyclopedic documents, repeated in rotated order for n-gram mass.
+    for start in 0..FACTS.len() {
+        for k in 0..3 {
+            out.push_str(FACTS[(start + k) % FACTS.len()]);
+            out.push(' ');
+        }
+        out.push_str("\n\n");
+    }
+
+    // Date-understanding flavoured sentences.
+    let months = [
+        "January", "February", "March", "April", "May", "June", "July", "August", "September",
+        "October", "November", "December",
+    ];
+    for (i, m) in months.iter().enumerate() {
+        out.push_str(&format!(
+            "Today is {m} {}, 2022. One day before today is {m} {}, 2022. \
+             The date tomorrow is {m} {}, 2022.\n\n",
+            i + 10,
+            i + 9,
+            i + 11,
+        ));
+    }
+
+    // Arithmetic reasoning flavoured sentences.
+    for a in 2..10 {
+        for b in [3, 5, 10, 12] {
+            out.push_str(&format!(
+                "He sold {a} large paintings and {b} small paintings. \
+                 {a} large paintings x ${b}0 = << {a}*{b}0= {} >> {}. \
+                 So the answer is {}.\n\n",
+                a * b * 10,
+                a * b * 10,
+                a * b * 10,
+            ));
+        }
+    }
+
+    // Classification-task vocabulary (Odd One Out flavour): real subword
+    // tokenizers are trained on broad text and know these common words.
+    let classify_words: &[(&str, &str)] = &[
+        ("skirt", "clothing"),
+        ("dress", "clothing"),
+        ("jacket", "clothing"),
+        ("shirt", "clothing"),
+        ("trousers", "clothing"),
+        ("coat", "clothing"),
+        ("sweater", "clothing"),
+        ("Spain", "a country"),
+        ("France", "a country"),
+        ("England", "a country"),
+        ("Singapore", "a country"),
+        ("Brazil", "a country"),
+        ("Japan", "a country"),
+        ("Kenya", "a country"),
+        ("German", "a language"),
+        ("Mandarin", "a language"),
+        ("Swahili", "a language"),
+        ("Spanish", "a language"),
+        ("Finnish", "a language"),
+        ("penguin", "an animal"),
+        ("giraffe", "an animal"),
+        ("otter", "an animal"),
+        ("badger", "an animal"),
+        ("lynx", "an animal"),
+        ("heron", "an animal"),
+        ("apple", "a fruit"),
+        ("mango", "a fruit"),
+        ("papaya", "a fruit"),
+        ("cherry", "a fruit"),
+        ("quince", "a fruit"),
+        ("plum", "a fruit"),
+        ("crimson", "a color"),
+        ("teal", "a color"),
+        ("ochre", "a color"),
+        ("violet", "a color"),
+        ("indigo", "a color"),
+        ("violin", "an instrument"),
+        ("oboe", "an instrument"),
+        ("trumpet", "an instrument"),
+        ("cello", "an instrument"),
+        ("bassoon", "an instrument"),
+        ("plumber", "a profession"),
+        ("teacher", "a profession"),
+        ("surgeon", "a profession"),
+        ("carpenter", "a profession"),
+        ("pilot", "a profession"),
+        ("tram", "a vehicle"),
+        ("bicycle", "a vehicle"),
+        ("truck", "a vehicle"),
+        ("scooter", "a vehicle"),
+        ("ferry", "a vehicle"),
+        ("pen", "an object"),
+        ("bucket", "an object"),
+        ("ladder", "an object"),
+        ("kettle", "an object"),
+        ("hammer", "an object"),
+        ("stapler", "an object"),
+    ];
+    for round in 0..3 {
+        out.push_str("Pick the odd word out: ");
+        for (i, (w, _)) in classify_words.iter().enumerate() {
+            if (i + round) % 3 == 0 {
+                out.push_str(w);
+                out.push_str(", ");
+            }
+        }
+        out.push('\n');
+        for (i, (w, c)) in classify_words.iter().enumerate() {
+            if (i + round) % 2 == 0 {
+                out.push_str(&format!("{w} is {c}, "));
+            }
+        }
+        out.push_str("\nSo the odd one is pen.\n\n");
+    }
+
+    // ReAct-flavoured transcripts so Tho/Act/Obs lines tokenize well.
+    for (name, job, thing) in [
+        ("Alice Moreau", "physicist", "Helios Dynamics"),
+        ("Jordan Lee", "biologist", "Coral Systems"),
+        ("Felix Braun", "cartographer", "Terra Survey"),
+        ("Grace Lindqvist", "roboticist", "Quantum Forge"),
+    ] {
+        out.push_str(&format!(
+            "Q: Where is the company that {name} works at headquartered?\n\
+             Tho: I need to search {name} and find the company they work at.\n\
+             Act: Search '{name}'\n\
+             Obs: {name} is a {job} who works at {thing}.\n\
+             Tho: {name} works at {thing}. I need to search {thing}.\n\
+             Act: Search '{thing}'\n\
+             Obs: {thing} is a company that makes things. \
+             {thing} is headquartered in a city.\n\
+             Act: Finish 'a city'\n\n"
+        ));
+    }
+
+    // Date-understanding question/answer flavour.
+    out.push_str(
+        "Q: Today is March 10, 2022. What is the date tomorrow? \
+         Options: March 11, 2022, March 9, 2022.\n\
+         Today is March 10, 2022, so tomorrow is one day later, which is March 11, 2022.\n\
+         So the answer is March 11, 2022.\n\n\
+         Q: What is the date one week from today? What is the date 10 days ago? \
+         What is the date one month from today? What is the date yesterday?\n\
+         so one week from today is 7 days later, so 10 days ago was 10 days earlier, \
+         so one month from today is about 30 days later, so yesterday was one day earlier.\n\n\
+         A bakery bakes trays of rolls every day. How many rolls does it bake in days? \
+         Each day the bakery bakes trays of rolls. Over days = \
+         A bus starts with passengers. At the first stop get off and get on. \
+         How many passengers are on the bus now? The bus starts with passengers. \
+         After get off = After get on = So the answer is 36\n\n\
+         Noah is a painter. He charges for a large painting and for a small painting. \
+         Last month he sold large paintings and small paintings. \
+         If he sold twice as much this month, how much is his sales for this month? \
+         Total last month = Twice as much this month = Let's think step by step.\n\n",
+    );
+
+    out
+}
+
+/// The shared tokenizer: BPE trained on [`builtin_corpus`] with 600 merges.
+///
+/// Built lazily once per process; roughly a 700-token vocabulary.
+pub fn standard_bpe() -> Arc<Bpe> {
+    static BPE: OnceLock<Arc<Bpe>> = OnceLock::new();
+    Arc::clone(BPE.get_or_init(|| {
+        Arc::new(
+            BpeTrainer::new()
+                .merges(1200)
+                .min_pair_count(3)
+                .train(&builtin_corpus()),
+        )
+    }))
+}
+
+/// The shared free-running model: an order-4 [`NGramLm`] over
+/// [`builtin_corpus`] using [`standard_bpe`].
+pub fn standard_ngram() -> Arc<NGramLm> {
+    static LM: OnceLock<Arc<NGramLm>> = OnceLock::new();
+    Arc::clone(LM.get_or_init(|| {
+        Arc::new(NGramLm::train(standard_bpe(), &builtin_corpus(), 4))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LanguageModel;
+
+    #[test]
+    fn corpus_is_deterministic_and_nonempty() {
+        let a = builtin_corpus();
+        let b = builtin_corpus();
+        assert_eq!(a, b);
+        assert!(a.len() > 4_000, "corpus unexpectedly small: {}", a.len());
+    }
+
+    #[test]
+    fn standard_bpe_roundtrips_corpus() {
+        let bpe = standard_bpe();
+        let text = "A list of things not to forget when travelling:\n- keys\n";
+        assert_eq!(bpe.decode(&bpe.encode(text)), text);
+    }
+
+    #[test]
+    fn standard_bpe_compresses() {
+        let bpe = standard_bpe();
+        let text = "The most important of these is passport.";
+        assert!(bpe.encode(text).len() * 2 < text.chars().count());
+    }
+
+    #[test]
+    fn standard_ngram_continues_lists() {
+        let lm = standard_ngram();
+        let bpe = standard_bpe();
+        let ctx = bpe.encode("A list of things not to forget when");
+        let next = lm.score(&ctx).softmax(1.0).argmax();
+        assert_eq!(bpe.vocab().token_str(next), " travelling");
+    }
+}

@@ -1,0 +1,201 @@
+//! Cost accounting: the paper's §6 performance metrics.
+//!
+//! - **Model queries** — number of next-token prediction calls (`f`),
+//! - **Decoder calls** — number of decoding loops started (one per
+//!   `generate()` call or per LMQL hole-decoding run, plus one per scored
+//!   distribution value),
+//! - **Billable tokens** — per decoder call, prompt tokens processed plus
+//!   tokens generated (the billing model of API-gated LMs like GPT-3).
+
+use crate::{LanguageModel, Logits};
+use lmql_tokenizer::{TokenId, Vocabulary};
+use std::sync::{Arc, Mutex};
+
+/// A snapshot of the three §6 counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Usage {
+    /// Calls to the underlying model `f` for next-token prediction.
+    pub model_queries: u64,
+    /// Decoding loops started (plus one per scored distribution value).
+    pub decoder_calls: u64,
+    /// Σ over decoder calls of (prompt tokens + generated tokens).
+    pub billable_tokens: u64,
+}
+
+impl Usage {
+    /// Estimated cost in US cents at a given price per 1000 billable
+    /// tokens. The paper uses GPT-3 davinci pricing, $0.02/1k tokens
+    /// (= 2¢/1k).
+    pub fn cost_cents(&self, cents_per_1k_tokens: f64) -> f64 {
+        self.billable_tokens as f64 / 1000.0 * cents_per_1k_tokens
+    }
+}
+
+impl std::ops::Sub for Usage {
+    type Output = Usage;
+    fn sub(self, rhs: Usage) -> Usage {
+        Usage {
+            model_queries: self.model_queries - rhs.model_queries,
+            decoder_calls: self.decoder_calls - rhs.decoder_calls,
+            billable_tokens: self.billable_tokens - rhs.billable_tokens,
+        }
+    }
+}
+
+/// A shared, thread-safe handle to the usage counters.
+///
+/// Clones share the same counters, so a meter can be handed to both a
+/// [`MeteredLm`] wrapper and a decoder.
+///
+/// # Example
+///
+/// ```
+/// use lmql_lm::UsageMeter;
+///
+/// let meter = UsageMeter::new();
+/// meter.record_decoder_call(120);
+/// meter.record_model_query();
+/// let u = meter.snapshot();
+/// assert_eq!(u.decoder_calls, 1);
+/// assert_eq!(u.billable_tokens, 120);
+/// assert_eq!(u.model_queries, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UsageMeter {
+    inner: Arc<Mutex<Usage>>,
+}
+
+impl UsageMeter {
+    /// A fresh meter with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one call to the model `f`.
+    pub fn record_model_query(&self) {
+        self.inner.lock().expect("meter poisoned").model_queries += 1;
+    }
+
+    /// Counts one decoder call with its billable token total
+    /// (prompt tokens + generated tokens).
+    pub fn record_decoder_call(&self, billable_tokens: u64) {
+        let mut u = self.inner.lock().expect("meter poisoned");
+        u.decoder_calls += 1;
+        u.billable_tokens += billable_tokens;
+    }
+
+    /// Adds billable tokens to the current decoder call (used when the
+    /// generated length is only known incrementally).
+    pub fn record_billable_tokens(&self, tokens: u64) {
+        self.inner.lock().expect("meter poisoned").billable_tokens += tokens;
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> Usage {
+        *self.inner.lock().expect("meter poisoned")
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock().expect("meter poisoned") = Usage::default();
+    }
+}
+
+/// Wraps a model so every [`LanguageModel::score`] call is counted as a
+/// model query on the given meter.
+#[derive(Debug, Clone)]
+pub struct MeteredLm<L> {
+    inner: L,
+    meter: UsageMeter,
+}
+
+impl<L: LanguageModel> MeteredLm<L> {
+    /// Wraps `inner`, recording on `meter`.
+    pub fn new(inner: L, meter: UsageMeter) -> Self {
+        MeteredLm { inner, meter }
+    }
+
+    /// The meter this wrapper records on.
+    pub fn meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+
+    /// Consumes the wrapper, returning the inner model.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+}
+
+impl<L: LanguageModel> LanguageModel for MeteredLm<L> {
+    fn vocab(&self) -> &Vocabulary {
+        self.inner.vocab()
+    }
+
+    fn score(&self, context: &[TokenId]) -> Logits {
+        self.meter.record_model_query();
+        self.inner.score(context)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformLm;
+    use lmql_tokenizer::Bpe;
+    use std::sync::Arc;
+
+    #[test]
+    fn metered_lm_counts_queries() {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let meter = UsageMeter::new();
+        let lm = MeteredLm::new(UniformLm::new(bpe), meter.clone());
+        let _ = lm.score(&[]);
+        let _ = lm.score(&[TokenId(0)]);
+        assert_eq!(meter.snapshot().model_queries, 2);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = UsageMeter::new();
+        let b = a.clone();
+        a.record_decoder_call(10);
+        b.record_decoder_call(5);
+        assert_eq!(a.snapshot().decoder_calls, 2);
+        assert_eq!(a.snapshot().billable_tokens, 15);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = UsageMeter::new();
+        m.record_model_query();
+        m.reset();
+        assert_eq!(m.snapshot(), Usage::default());
+    }
+
+    #[test]
+    fn cost_estimate() {
+        let u = Usage {
+            billable_tokens: 3000,
+            ..Usage::default()
+        };
+        assert!((u.cost_cents(2.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_sub() {
+        let a = Usage {
+            model_queries: 5,
+            decoder_calls: 3,
+            billable_tokens: 100,
+        };
+        let b = Usage {
+            model_queries: 2,
+            decoder_calls: 1,
+            billable_tokens: 40,
+        };
+        let d = a - b;
+        assert_eq!(d.model_queries, 3);
+        assert_eq!(d.decoder_calls, 2);
+        assert_eq!(d.billable_tokens, 60);
+    }
+}

@@ -1,0 +1,69 @@
+//! The core language-model interface.
+
+use crate::Logits;
+use lmql_tokenizer::{TokenId, Vocabulary};
+
+/// A next-token predictor `f : V^k → R^{|V|}` (§2.1 of the paper).
+///
+/// Implementations are treated as black boxes: given a token context they
+/// return one raw score per vocabulary entry. Everything else — softmax,
+/// temperature, masking, decoding — is layered on top, exactly as the paper
+/// factors it.
+///
+/// Implementors must be `Send + Sync` so decoders can share models across
+/// beams and threads.
+///
+/// # Example
+///
+/// ```
+/// use lmql_lm::{LanguageModel, UniformLm};
+/// use lmql_tokenizer::{Bpe, TokenId};
+/// use std::sync::Arc;
+///
+/// let bpe = Arc::new(Bpe::char_level(""));
+/// let lm = UniformLm::new(Arc::clone(&bpe));
+/// let logits = lm.score(&[TokenId(0)]);
+/// assert_eq!(logits.len(), lm.vocab().len());
+/// ```
+pub trait LanguageModel: Send + Sync {
+    /// The vocabulary this model scores over.
+    fn vocab(&self) -> &Vocabulary;
+
+    /// Raw (pre-softmax) scores for the next token given `context`.
+    ///
+    /// The returned vector has exactly `self.vocab().len()` entries.
+    fn score(&self, context: &[TokenId]) -> Logits;
+
+    /// The end-of-sequence token id. Defaults to the vocabulary's EOS.
+    fn eos(&self) -> TokenId {
+        self.vocab().eos()
+    }
+}
+
+// Allow passing models behind common smart pointers.
+impl<L: LanguageModel + ?Sized> LanguageModel for &L {
+    fn vocab(&self) -> &Vocabulary {
+        (**self).vocab()
+    }
+    fn score(&self, context: &[TokenId]) -> Logits {
+        (**self).score(context)
+    }
+}
+
+impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
+    fn vocab(&self) -> &Vocabulary {
+        (**self).vocab()
+    }
+    fn score(&self, context: &[TokenId]) -> Logits {
+        (**self).score(context)
+    }
+}
+
+impl<L: LanguageModel + ?Sized> LanguageModel for Box<L> {
+    fn vocab(&self) -> &Vocabulary {
+        (**self).vocab()
+    }
+    fn score(&self, context: &[TokenId]) -> Logits {
+        (**self).score(context)
+    }
+}

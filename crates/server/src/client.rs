@@ -1,0 +1,80 @@
+//! The client side: a [`LanguageModel`] whose forward pass runs remotely.
+
+use crate::protocol::{read_logits, read_tokenizer, write_score_request};
+use lmql_lm::{LanguageModel, Logits};
+use lmql_tokenizer::{Bpe, TokenId, Vocabulary};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+
+/// A remote model: `score()` round-trips to an [`InferenceServer`]
+/// (the Appendix A.2 split — the decoding loop stays local).
+///
+/// [`InferenceServer`]: crate::InferenceServer
+pub struct RemoteLm {
+    conn: Mutex<(BufReader<TcpStream>, BufWriter<TcpStream>)>,
+    bpe: Arc<Bpe>,
+}
+
+impl std::fmt::Debug for RemoteLm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteLm").finish_non_exhaustive()
+    }
+}
+
+impl RemoteLm {
+    /// Connects and fetches the server's tokenizer, so client and server
+    /// agree on the vocabulary by construction.
+    ///
+    /// # Errors
+    ///
+    /// Socket and protocol errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<(Self, Arc<Bpe>)> {
+        let stream = TcpStream::connect(addr)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+
+        writeln!(writer, "TOKENIZER")?;
+        writer.flush()?;
+        let serialized = read_tokenizer(&mut reader)?;
+        let bpe = Arc::new(
+            Bpe::from_text(&serialized)
+                .map_err(|e| std::io::Error::other(format!("bad tokenizer payload: {e}")))?,
+        );
+
+        Ok((
+            RemoteLm {
+                conn: Mutex::new((reader, writer)),
+                bpe: Arc::clone(&bpe),
+            },
+            bpe,
+        ))
+    }
+
+    /// Tells the server this client is done (also happens implicitly on
+    /// drop via connection close).
+    pub fn quit(&self) {
+        if let Ok(mut conn) = self.conn.lock() {
+            let _ = writeln!(conn.1, "QUIT");
+            let _ = conn.1.flush();
+        }
+    }
+}
+
+impl LanguageModel for RemoteLm {
+    fn vocab(&self) -> &Vocabulary {
+        self.bpe.vocab()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the connection drops mid-query: `score()` is infallible
+    /// by trait contract, and a half-decoded hole cannot be recovered
+    /// meaningfully here.
+    fn score(&self, context: &[TokenId]) -> Logits {
+        let mut conn = self.conn.lock().expect("remote connection poisoned");
+        let (reader, writer) = &mut *conn;
+        write_score_request(writer, context).expect("writing score request");
+        read_logits(reader).expect("reading logits reply")
+    }
+}

@@ -1,0 +1,49 @@
+//! Client–server inference (the paper's Appendix A.2).
+//!
+//! "LMQL relies on a client-server-architecture. The server is responsible
+//! for inference, loading and managing the model. […] The client parses
+//! the user-provided LMQL code, constructs the computational graph, and
+//! also runs the decoding loop. Only the forward pass of the underlying
+//! model is outsourced to the server."
+//!
+//! This crate implements exactly that split over plain TCP (std only):
+//!
+//! - [`InferenceServer`] hosts any [`LanguageModel`] and ships its
+//!   tokenizer to connecting clients,
+//! - [`RemoteLm`] implements [`LanguageModel`] over the wire, so the
+//!   `lmql` runtime decodes locally while `score()` round-trips to the
+//!   server — the runtime cannot tell the difference.
+//!
+//! The wire protocol is line-based with exact-bits float encoding, so a
+//! remote run is bit-identical to a local one (tested in
+//! `tests/remote.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use lmql_lm::{Episode, LanguageModel, ScriptedLm};
+//! use lmql_server::{InferenceServer, RemoteLm};
+//! use lmql_tokenizer::Bpe;
+//! use std::sync::Arc;
+//!
+//! let bpe = Arc::new(Bpe::char_level(""));
+//! let lm = Arc::new(ScriptedLm::new(Arc::clone(&bpe), [Episode::plain("Q:", " A.")]));
+//! let server = InferenceServer::spawn(lm, Arc::clone(&bpe)).unwrap();
+//!
+//! let (remote, remote_bpe) = RemoteLm::connect(server.addr()).unwrap();
+//! let ctx = remote_bpe.encode("Q:");
+//! let local_ctx = bpe.encode("Q:");
+//! assert_eq!(ctx, local_ctx, "tokenizer shipped intact");
+//! let next = remote.score(&ctx).softmax(1.0).argmax();
+//! // char-level tokenizer: the script " A." starts with a space token
+//! assert_eq!(remote_bpe.vocab().token_str(next), " ");
+//! server.shutdown();
+//! ```
+
+mod client;
+mod protocol;
+mod server;
+
+pub use client::RemoteLm;
+pub use lmql_lm::LanguageModel;
+pub use server::{InferenceServer, ServerHandle};

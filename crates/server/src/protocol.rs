@@ -1,0 +1,162 @@
+//! The wire protocol: line-based commands with exact-bits float encoding.
+//!
+//! ```text
+//! client → server                server → client
+//! ───────────────                ───────────────
+//! TOKENIZER                      TOKENIZER <byte-len>\n<raw bytes>
+//! SCORE <n> <id…>                LOGITS <n> <f64-bits-as-hex…>
+//! QUIT                           (connection closes)
+//!                                ERR <message>      (on any failure)
+//! ```
+//!
+//! Logits travel as hexadecimal `f64` bit patterns, so a remote `score()`
+//! is bit-identical to a local one — decoding determinism survives the
+//! network hop.
+
+use lmql_lm::Logits;
+use lmql_tokenizer::TokenId;
+use std::io::{self, BufRead, Write};
+
+/// Writes a `SCORE` request.
+pub(crate) fn write_score_request<W: Write>(w: &mut W, context: &[TokenId]) -> io::Result<()> {
+    write!(w, "SCORE {}", context.len())?;
+    for t in context {
+        write!(w, " {}", t.0)?;
+    }
+    writeln!(w)?;
+    w.flush()
+}
+
+/// Parses the id list of a `SCORE` request (after the command word).
+pub(crate) fn parse_score_request(rest: &str) -> Result<Vec<TokenId>, String> {
+    let mut parts = rest.split_whitespace();
+    let n: usize = parts
+        .next()
+        .ok_or("SCORE missing count")?
+        .parse()
+        .map_err(|_| "SCORE count not a number".to_owned())?;
+    let ids: Vec<TokenId> = parts
+        .map(|p| p.parse::<u32>().map(TokenId))
+        .collect::<Result<_, _>>()
+        .map_err(|_| "SCORE ids must be integers".to_owned())?;
+    if ids.len() != n {
+        return Err(format!("SCORE declared {n} ids, got {}", ids.len()));
+    }
+    Ok(ids)
+}
+
+/// Writes a `LOGITS` reply.
+pub(crate) fn write_logits<W: Write>(w: &mut W, logits: &Logits) -> io::Result<()> {
+    write!(w, "LOGITS {}", logits.len())?;
+    for &z in logits.scores() {
+        write!(w, " {:x}", z.to_bits())?;
+    }
+    writeln!(w)?;
+    w.flush()
+}
+
+/// Reads a `LOGITS` reply (or surfaces an `ERR`).
+pub(crate) fn read_logits<R: BufRead>(r: &mut R) -> io::Result<Logits> {
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let line = line.trim_end();
+    if let Some(msg) = line.strip_prefix("ERR ") {
+        return Err(io::Error::other(format!("server error: {msg}")));
+    }
+    let rest = line
+        .strip_prefix("LOGITS ")
+        .ok_or_else(|| io::Error::other(format!("unexpected reply {line:?}")))?;
+    let mut parts = rest.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| io::Error::other("LOGITS missing count"))?;
+    let scores: Vec<f64> = parts
+        .map(|p| {
+            u64::from_str_radix(p, 16)
+                .map(f64::from_bits)
+                .map_err(|_| io::Error::other("bad logit bits"))
+        })
+        .collect::<Result<_, _>>()?;
+    if scores.len() != n {
+        return Err(io::Error::other(format!(
+            "LOGITS declared {n} values, got {}",
+            scores.len()
+        )));
+    }
+    Ok(Logits::from_vec(scores))
+}
+
+/// Writes the `TOKENIZER` reply: a byte-length header line then the raw
+/// serialized tokenizer.
+pub(crate) fn write_tokenizer<W: Write>(w: &mut W, serialized: &str) -> io::Result<()> {
+    writeln!(w, "TOKENIZER {}", serialized.len())?;
+    w.write_all(serialized.as_bytes())?;
+    w.flush()
+}
+
+/// Reads the `TOKENIZER` reply.
+pub(crate) fn read_tokenizer<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let line = line.trim_end();
+    if let Some(msg) = line.strip_prefix("ERR ") {
+        return Err(io::Error::other(format!("server error: {msg}")));
+    }
+    let n: usize = line
+        .strip_prefix("TOKENIZER ")
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("unexpected reply {line:?}")))?;
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| io::Error::other("tokenizer payload not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn score_request_roundtrip() {
+        let mut buf = Vec::new();
+        write_score_request(&mut buf, &[TokenId(3), TokenId(0), TokenId(99)]).unwrap();
+        let line = String::from_utf8(buf).unwrap();
+        let rest = line.trim_end().strip_prefix("SCORE ").unwrap();
+        assert_eq!(
+            parse_score_request(rest).unwrap(),
+            vec![TokenId(3), TokenId(0), TokenId(99)]
+        );
+    }
+
+    #[test]
+    fn score_request_validation() {
+        assert!(parse_score_request("2 1").is_err());
+        assert!(parse_score_request("x").is_err());
+        assert!(parse_score_request("1 -4").is_err());
+    }
+
+    #[test]
+    fn logits_roundtrip_is_bit_exact() {
+        let logits = Logits::from_vec(vec![0.1, -13.37, f64::MIN_POSITIVE, 12.0]);
+        let mut buf = Vec::new();
+        write_logits(&mut buf, &logits).unwrap();
+        let got = read_logits(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(got.scores(), logits.scores());
+    }
+
+    #[test]
+    fn err_reply_surfaces() {
+        let err = read_logits(&mut Cursor::new(b"ERR broken\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn tokenizer_roundtrip() {
+        let payload = "lmql-bpe-v1\nalphabet 61 62\n";
+        let mut buf = Vec::new();
+        write_tokenizer(&mut buf, payload).unwrap();
+        let got = read_tokenizer(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(got, payload);
+    }
+}

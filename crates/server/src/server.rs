@@ -1,0 +1,132 @@
+//! The inference server: hosts a model, answers `SCORE` requests.
+
+use crate::protocol::{parse_score_request, write_logits, write_tokenizer};
+use lmql_lm::LanguageModel;
+use lmql_tokenizer::Bpe;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Constructor namespace for spawning inference servers.
+#[derive(Debug)]
+pub struct InferenceServer;
+
+impl InferenceServer {
+    /// Binds `127.0.0.1:0` and serves `lm` (with `bpe`'s tokenizer) on a
+    /// background thread, one handler thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn spawn(lm: Arc<dyn LanguageModel>, bpe: Arc<Bpe>) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let serialized = Arc::new(bpe.to_text());
+
+        let handle = std::thread::spawn(move || {
+            while !stop_accept.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let lm = Arc::clone(&lm);
+                        let serialized = Arc::clone(&serialized);
+                        // Handlers are detached: a worker blocked reading
+                        // from a still-connected client must not hold up
+                        // shutdown; it exits when its peer disconnects.
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &*lm, &serialized);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    lm: &dyn LanguageModel,
+    serialized_tokenizer: &str,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // peer closed
+        }
+        let line = line.trim_end();
+        if line == "QUIT" {
+            return Ok(());
+        }
+        if line == "TOKENIZER" {
+            write_tokenizer(&mut writer, serialized_tokenizer)?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("SCORE ") {
+            match parse_score_request(rest) {
+                Ok(ids) => {
+                    let logits = lm.score(&ids);
+                    write_logits(&mut writer, &logits)?;
+                }
+                Err(msg) => {
+                    writeln!(writer, "ERR {msg}")?;
+                    writer.flush()?;
+                }
+            }
+            continue;
+        }
+        writeln!(writer, "ERR unknown command {line:?}")?;
+        writer.flush()?;
+    }
+}
+
+/// A running server: its address and a way to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread. Open
+    /// connections finish their current request and close on next read.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}

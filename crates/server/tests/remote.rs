@@ -1,0 +1,110 @@
+//! End-to-end tests: full LMQL queries over the client–server split,
+//! checked bit-identical to local execution.
+
+use lmql::Runtime;
+use lmql_lm::{Episode, LanguageModel, ScriptedLm};
+use lmql_server::{InferenceServer, RemoteLm};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+fn scripted(bpe: &Arc<Bpe>) -> Arc<ScriptedLm> {
+    Arc::new(ScriptedLm::new(
+        Arc::clone(bpe),
+        [Episode::plain(
+            "Q: Where is Apple Computers headquartered?\nA:",
+            " Apple Computers is headquartered in Cupertino, California. And more trivia.",
+        )],
+    ))
+}
+
+const QUERY: &str = r#"
+argmax
+    "Q: Where is Apple Computers headquartered?\n"
+    "A:[ANSWER]"
+from "remote-model"
+where stops_at(ANSWER, ".") and len(words(ANSWER)) < 20
+"#;
+
+#[test]
+fn remote_query_matches_local_bit_for_bit() {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = scripted(&bpe);
+
+    // Local run.
+    let local_rt = Runtime::new(lm.clone(), Arc::clone(&bpe));
+    let local = local_rt.run(QUERY).unwrap();
+
+    // Remote run: only the forward pass crosses the network.
+    let server = InferenceServer::spawn(lm, Arc::clone(&bpe)).unwrap();
+    let (remote, remote_bpe) = RemoteLm::connect(server.addr()).unwrap();
+    let remote_rt = Runtime::new(Arc::new(remote), remote_bpe);
+    let remote_result = remote_rt.run(QUERY).unwrap();
+
+    assert_eq!(local.best().trace, remote_result.best().trace);
+    assert_eq!(
+        local.best().var_str("ANSWER"),
+        remote_result.best().var_str("ANSWER")
+    );
+    assert_eq!(local.best().log_prob, remote_result.best().log_prob);
+    server.shutdown();
+}
+
+#[test]
+fn tokenizer_ships_to_client() {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = scripted(&bpe);
+    let server = InferenceServer::spawn(lm, Arc::clone(&bpe)).unwrap();
+    let (_remote, remote_bpe) = RemoteLm::connect(server.addr()).unwrap();
+    for text in ["hello world", "A: answer.", ""] {
+        assert_eq!(remote_bpe.encode(text), bpe.encode(text));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn multiple_clients_share_one_server() {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = scripted(&bpe);
+    let server = InferenceServer::spawn(lm, Arc::clone(&bpe)).unwrap();
+
+    let addr = server.addr();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (remote, remote_bpe) = RemoteLm::connect(addr).unwrap();
+                let ctx = remote_bpe.encode("Q: Where is Apple Computers headquartered?\nA:");
+                let next = remote.score(&ctx).softmax(1.0).argmax();
+                remote.quit();
+                remote_bpe.vocab().token_str(next).to_owned()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), " ");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_err_replies() {
+    use std::io::{BufRead, BufReader, Write};
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = scripted(&bpe);
+    let server = InferenceServer::spawn(lm, Arc::clone(&bpe)).unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for (req, fragment) in [
+        ("NONSENSE\n", "unknown command"),
+        ("SCORE 2 1\n", "declared 2"),
+        ("SCORE x\n", "not a number"),
+    ] {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR "), "got {line:?}");
+        assert!(line.contains(fragment), "got {line:?}");
+    }
+    server.shutdown();
+}

@@ -1,0 +1,277 @@
+//! The abstract syntax tree of an LMQL query.
+//!
+//! Mirrors the grammar of the paper's Fig. 5: a query has a decoder clause,
+//! a scripted prompt body, a `from` clause naming the model, an optional
+//! `where` constraint, and an optional `distribute` clause.
+
+use crate::Span;
+
+/// A full LMQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Modules imported before the decoder clause (`import wikipedia_utils`).
+    pub imports: Vec<Import>,
+    /// The decoding procedure and its parameters.
+    pub decoder: DecoderSpec,
+    /// The scripted prompt (the ⟨query⟩ block).
+    pub body: Vec<Stmt>,
+    /// The model identifier from the `from` clause.
+    pub model: String,
+    /// The `where` constraint, if any.
+    pub where_clause: Option<Expr>,
+    /// The `distribute` clause, if any.
+    pub distribute: Option<Distribute>,
+}
+
+/// An `import name` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Import {
+    /// The imported module name.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The ⟨decoder⟩ clause: `argmax`, `sample(n=2)`, `beam(n=3)`, …
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecoderSpec {
+    /// Decoder name (`argmax`, `sample`, `beam`).
+    pub name: String,
+    /// Keyword parameters (`n=3`, `temperature=0.7`, …).
+    pub params: Vec<(String, ParamValue)>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl DecoderSpec {
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&ParamValue> {
+        self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Integer parameter helper with default.
+    pub fn int_param(&self, name: &str, default: i64) -> i64 {
+        match self.param(name) {
+            Some(ParamValue::Int(v)) => *v,
+            _ => default,
+        }
+    }
+
+    /// Float parameter helper with default (accepts int values too).
+    pub fn float_param(&self, name: &str, default: f64) -> f64 {
+        match self.param(name) {
+            Some(ParamValue::Float(v)) => *v,
+            Some(ParamValue::Int(v)) => *v as f64,
+            _ => default,
+        }
+    }
+}
+
+/// A literal decoder-parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+/// The `distribute ⟨var⟩ in ⟨expr⟩` clause (the paper also writes
+/// `distribute ⟨var⟩ over ⟨expr⟩` in Fig. 10; both keywords are accepted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribute {
+    /// The hole variable whose distribution is measured. Must be the last
+    /// hole of the query (checked by the compiler).
+    pub var: String,
+    /// Expression evaluating to the support set.
+    pub support: Expr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A statement of the query body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A top-level string: a prompt statement (Alg. 1 applies).
+    Prompt { raw: String, span: Span },
+    /// An expression evaluated for effect (e.g. `things.append(THING)`).
+    Expr(Expr),
+    /// `name = expr`.
+    Assign { name: String, value: Expr, span: Span },
+    /// `for var in iterable: body`.
+    For {
+        var: String,
+        iterable: Expr,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    /// `while cond: body`.
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    /// `if cond: … elif …: … else: …`, desugared to a chain.
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        span: Span,
+    },
+    /// `break`.
+    Break(Span),
+    /// `continue`.
+    Continue(Span),
+    /// `pass`.
+    Pass(Span),
+}
+
+impl Stmt {
+    /// The statement's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Prompt { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Break(span)
+            | Stmt::Continue(span)
+            | Stmt::Pass(span) => *span,
+            Stmt::Expr(e) => e.span(),
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (also string/list concatenation).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Mod,
+}
+
+/// Comparison operators (including membership).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `in` (substring or membership).
+    In,
+    /// `not in`.
+    NotIn,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// String literal.
+    Str { value: String, span: Span },
+    /// Integer literal.
+    Int { value: i64, span: Span },
+    /// Float literal.
+    Float { value: f64, span: Span },
+    /// `True` / `False`.
+    Bool { value: bool, span: Span },
+    /// `None`.
+    None { span: Span },
+    /// Variable reference.
+    Name { name: String, span: Span },
+    /// List literal.
+    List { items: Vec<Expr>, span: Span },
+    /// Function or method call.
+    Call {
+        func: Box<Expr>,
+        args: Vec<Expr>,
+        span: Span,
+    },
+    /// Attribute access `obj.name` (only meaningful as a call target or
+    /// module member in this language subset).
+    Attribute {
+        obj: Box<Expr>,
+        name: String,
+        span: Span,
+    },
+    /// Indexing `obj[i]`.
+    Index {
+        obj: Box<Expr>,
+        index: Box<Expr>,
+        span: Span,
+    },
+    /// Slicing `obj[lo:hi]` with optional bounds.
+    Slice {
+        obj: Box<Expr>,
+        lo: Option<Box<Expr>>,
+        hi: Option<Box<Expr>>,
+        span: Span,
+    },
+    /// Arithmetic.
+    BinOp {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+        span: Span,
+    },
+    /// Comparison / membership.
+    Compare {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+        span: Span,
+    },
+    /// `and` / `or` over two or more operands.
+    BoolOp {
+        and: bool,
+        operands: Vec<Expr>,
+        span: Span,
+    },
+    /// `not expr`.
+    Not { operand: Box<Expr>, span: Span },
+    /// Unary minus.
+    Neg { operand: Box<Expr>, span: Span },
+}
+
+impl Expr {
+    /// The expression's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Str { span, .. }
+            | Expr::Int { span, .. }
+            | Expr::Float { span, .. }
+            | Expr::Bool { span, .. }
+            | Expr::None { span }
+            | Expr::Name { span, .. }
+            | Expr::List { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Attribute { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Slice { span, .. }
+            | Expr::BinOp { span, .. }
+            | Expr::Compare { span, .. }
+            | Expr::BoolOp { span, .. }
+            | Expr::Not { span, .. }
+            | Expr::Neg { span, .. } => *span,
+        }
+    }
+}

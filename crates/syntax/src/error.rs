@@ -1,0 +1,54 @@
+//! Syntax errors with source locations.
+
+use crate::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing LMQL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    message: String,
+    span: Span,
+}
+
+impl SyntaxError {
+    /// A new error at the given location.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SyntaxError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The human-readable message (lowercase, no trailing punctuation).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where in the source the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+/// Result alias for syntax-phase operations.
+pub type Result<T> = std::result::Result<T, SyntaxError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pos;
+
+    #[test]
+    fn display_includes_location() {
+        let e = SyntaxError::new("unexpected token", Span::at(Pos::new(2, 4)));
+        assert_eq!(e.to_string(), "syntax error at 2:4: unexpected token");
+    }
+}

@@ -1,0 +1,297 @@
+//! Pretty-printing parsed queries back to LMQL source.
+//!
+//! The formatter is the inverse of the parser up to layout: formatting a
+//! parsed query and re-parsing yields the same AST (modulo spans), and
+//! formatting is idempotent — both properties are tested in
+//! `tests/format_roundtrip.rs`.
+
+use crate::ast::{BinOp, CmpOp, DecoderSpec, Expr, ParamValue, Query, Stmt};
+use std::fmt::Write as _;
+
+/// Renders a query as canonical LMQL source (4-space indent).
+pub fn format_query(q: &Query) -> String {
+    let mut out = String::new();
+    for i in &q.imports {
+        let _ = writeln!(out, "import {}", i.name);
+    }
+    out.push_str(&format_decoder(&q.decoder));
+    out.push('\n');
+    for s in &q.body {
+        format_stmt(s, 1, &mut out);
+    }
+    let _ = writeln!(out, "from {}", quote(&q.model));
+    if let Some(w) = &q.where_clause {
+        let _ = writeln!(out, "where {}", format_expr(w));
+    }
+    if let Some(d) = &q.distribute {
+        let _ = writeln!(out, "distribute {} in {}", d.var, format_expr(&d.support));
+    }
+    out
+}
+
+fn format_decoder(d: &DecoderSpec) -> String {
+    if d.params.is_empty() {
+        return d.name.clone();
+    }
+    let params: Vec<String> = d
+        .params
+        .iter()
+        .map(|(k, v)| {
+            let v = match v {
+                ParamValue::Int(i) => i.to_string(),
+                ParamValue::Float(f) => format_float(*f),
+                ParamValue::Str(s) => quote(s),
+                ParamValue::Bool(true) => "True".to_owned(),
+                ParamValue::Bool(false) => "False".to_owned(),
+            };
+            format!("{k}={v}")
+        })
+        .collect();
+    format!("{}({})", d.name, params.join(", "))
+}
+
+fn format_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    let pad = "    ".repeat(depth);
+    match s {
+        Stmt::Prompt { raw, .. } => {
+            let _ = writeln!(out, "{pad}{}", quote(raw));
+        }
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{pad}{}", format_expr(e));
+        }
+        Stmt::Assign { name, value, .. } => {
+            let _ = writeln!(out, "{pad}{name} = {}", format_expr(value));
+        }
+        Stmt::For {
+            var, iterable, body, ..
+        } => {
+            let _ = writeln!(out, "{pad}for {var} in {}:", format_expr(iterable));
+            format_block(body, depth + 1, out);
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "{pad}while {}:", format_expr(cond));
+            format_block(body, depth + 1, out);
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let _ = writeln!(out, "{pad}if {}:", format_expr(cond));
+            format_block(then_body, depth + 1, out);
+            if !else_body.is_empty() {
+                // Re-sugar `else: if …` chains into `elif`.
+                if let [Stmt::If { .. }] = else_body.as_slice() {
+                    let mut chain = String::new();
+                    format_stmt(&else_body[0], depth, &mut chain);
+                    let chain = chain.replacen(&format!("{pad}if "), &format!("{pad}elif "), 1);
+                    out.push_str(&chain);
+                } else {
+                    let _ = writeln!(out, "{pad}else:");
+                    format_block(else_body, depth + 1, out);
+                }
+            }
+        }
+        Stmt::Break(_) => {
+            let _ = writeln!(out, "{pad}break");
+        }
+        Stmt::Continue(_) => {
+            let _ = writeln!(out, "{pad}continue");
+        }
+        Stmt::Pass(_) => {
+            let _ = writeln!(out, "{pad}pass");
+        }
+    }
+}
+
+fn format_block(body: &[Stmt], depth: usize, out: &mut String) {
+    if body.is_empty() {
+        let _ = writeln!(out, "{}pass", "    ".repeat(depth));
+        return;
+    }
+    for s in body {
+        format_stmt(s, depth, out);
+    }
+}
+
+/// Binding strength, matching the parser's grammar (higher binds tighter).
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::BoolOp { and: false, .. } => 1, // or
+        Expr::BoolOp { and: true, .. } => 2,  // and
+        Expr::Not { .. } => 3,
+        Expr::Compare { .. } => 4,
+        Expr::BinOp {
+            op: BinOp::Add | BinOp::Sub,
+            ..
+        } => 5,
+        Expr::BinOp { .. } => 6,
+        Expr::Neg { .. } => 7,
+        _ => 8, // atoms and postfix
+    }
+}
+
+/// Renders an expression (minimal parentheses).
+pub fn format_expr(e: &Expr) -> String {
+    match e {
+        Expr::Str { value, .. } => quote(value),
+        Expr::Int { value, .. } => value.to_string(),
+        Expr::Float { value, .. } => format_float(*value),
+        Expr::Bool { value: true, .. } => "True".to_owned(),
+        Expr::Bool { value: false, .. } => "False".to_owned(),
+        Expr::None { .. } => "None".to_owned(),
+        Expr::Name { name, .. } => name.clone(),
+        Expr::List { items, .. } => {
+            let items: Vec<String> = items.iter().map(format_expr).collect();
+            format!("[{}]", items.join(", "))
+        }
+        Expr::Call { func, args, .. } => {
+            let args: Vec<String> = args.iter().map(format_expr).collect();
+            format!("{}({})", child(func, 8), args.join(", "))
+        }
+        Expr::Attribute { obj, name, .. } => format!("{}.{name}", child(obj, 8)),
+        Expr::Index { obj, index, .. } => {
+            format!("{}[{}]", child(obj, 8), format_expr(index))
+        }
+        Expr::Slice { obj, lo, hi, .. } => format!(
+            "{}[{}:{}]",
+            child(obj, 8),
+            lo.as_deref().map(format_expr).unwrap_or_default(),
+            hi.as_deref().map(format_expr).unwrap_or_default()
+        ),
+        Expr::BinOp { op, left, right, .. } => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+            };
+            let prec = precedence(e);
+            // Left-associative: the right child needs parens at equal
+            // precedence.
+            format!(
+                "{} {sym} {}",
+                child(left, prec),
+                child(right, prec + 1)
+            )
+        }
+        Expr::Compare { op, left, right, .. } => {
+            let sym = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+                CmpOp::In => "in",
+                CmpOp::NotIn => "not in",
+            };
+            format!("{} {sym} {}", child(left, 5), child(right, 5))
+        }
+        Expr::BoolOp { and, operands, .. } => {
+            let sym = if *and { " and " } else { " or " };
+            let prec = precedence(e);
+            operands
+                .iter()
+                .map(|o| child(o, prec + u8::from(!*and)))
+                .collect::<Vec<_>>()
+                .join(sym)
+        }
+        Expr::Not { operand, .. } => format!("not {}", child(operand, 3)),
+        Expr::Neg { operand, .. } => format!("-{}", child(operand, 7)),
+    }
+}
+
+/// Renders a child, parenthesising when it binds more loosely than the
+/// context requires.
+fn child(e: &Expr, min_prec: u8) -> String {
+    let s = format_expr(e);
+    if precedence(e) < min_prec {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn format_float(f: f64) -> String {
+    if f.fract() == 0.0 && f.is_finite() {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+/// Quotes a string with the lexer's escape set.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\0' => out.push_str("\\0"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_expr, parse_query};
+
+    #[test]
+    fn formats_simple_query() {
+        let q = parse_query(
+            "argmax(n=2)\n    \"[X]\"\nfrom \"m\"\nwhere len(X) < 5\n",
+        )
+        .unwrap();
+        let text = format_query(&q);
+        assert_eq!(
+            text,
+            "argmax(n=2)\n    \"[X]\"\nfrom \"m\"\nwhere len(X) < 5\n"
+        );
+    }
+
+    #[test]
+    fn minimal_parens() {
+        for (src, expected) in [
+            ("(a + b) * c", "(a + b) * c"),
+            ("a + b * c", "a + b * c"),
+            ("a - (b - c)", "a - (b - c)"),
+            ("a - b - c", "a - b - c"),
+            ("not (a and b)", "not (a and b)"),
+            ("(a or b) and c", "(a or b) and c"),
+            ("-(a + b)", "-(a + b)"),
+        ] {
+            let e = parse_expr(src).unwrap();
+            assert_eq!(format_expr(&e), expected, "source {src:?}");
+        }
+    }
+
+    #[test]
+    fn elif_resugars() {
+        let q = parse_query(
+            "argmax\n    if a:\n        pass\n    elif b:\n        pass\n    else:\n        pass\nfrom \"m\"\n",
+        )
+        .unwrap();
+        let text = format_query(&q);
+        assert!(text.contains("    elif b:"), "{text}");
+        assert_eq!(text.matches("else:").count(), 1);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let q = parse_query("argmax\n    \"a\\n\\t\\\"b\\\\c\"\nfrom \"m\"\n").unwrap();
+        let text = format_query(&q);
+        let q2 = parse_query(&text).unwrap();
+        assert_eq!(format_query(&q2), text);
+    }
+}

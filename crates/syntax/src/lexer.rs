@@ -1,0 +1,459 @@
+//! An indentation-aware lexer for LMQL source.
+//!
+//! LMQL syntax is "generally python based" (Fig. 5), so the lexer follows
+//! Python's lexical structure: significant indentation producing
+//! `Indent`/`Dedent` tokens, `Newline` at logical line ends, implicit line
+//! joining inside parentheses and brackets, and `#` comments.
+
+use crate::{Pos, Result, Span, SyntaxError};
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are recognised by the parser).
+    Name(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// `(` `)` `[` `]` `,` `:` `.` and operators.
+    Symbol(&'static str),
+    /// End of a logical line.
+    Newline,
+    /// Indentation increased.
+    Indent,
+    /// Indentation decreased.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Name(n) => write!(f, "`{n}`"),
+            TokKind::Int(v) => write!(f, "`{v}`"),
+            TokKind::Float(v) => write!(f, "`{v}`"),
+            TokKind::Str(_) => write!(f, "string literal"),
+            TokKind::Symbol(s) => write!(f, "`{s}`"),
+            TokKind::Newline => write!(f, "end of line"),
+            TokKind::Indent => write!(f, "indent"),
+            TokKind::Dedent => write!(f, "dedent"),
+            TokKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Multi-character symbols, longest first so maximal munch works.
+const SYMBOLS: &[&str] = &[
+    "<=", ">=", "==", "!=", "(", ")", "[", "]", ",", ":", ".", "+", "-", "*", "/", "%", "<", ">",
+    "=",
+];
+
+/// Lexes LMQL source into tokens.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] for unterminated strings, bad escapes,
+/// inconsistent indentation, or characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Tok>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    indents: Vec<u32>,
+    paren_depth: u32,
+    toks: Vec<Tok>,
+    /// `true` until the first token of a logical line is produced.
+    at_line_start: bool,
+    source_marker: std::marker::PhantomData<&'s str>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            indents: vec![0],
+            paren_depth: 0,
+            toks: Vec::new(),
+            at_line_start: true,
+            source_marker: std::marker::PhantomData,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, start: Pos) {
+        self.toks.push(Tok {
+            kind,
+            span: Span::new(start, self.pos()),
+        });
+    }
+
+    fn run(mut self) -> Result<Vec<Tok>> {
+        loop {
+            if self.at_line_start && self.paren_depth == 0 {
+                if !self.handle_line_start()? {
+                    break;
+                }
+                continue;
+            }
+            match self.peek() {
+                None => break,
+                Some('\n') => {
+                    self.bump();
+                    if self.paren_depth == 0 {
+                        let p = self.pos();
+                        self.push(TokKind::Newline, p);
+                        self.at_line_start = true;
+                    }
+                }
+                Some(' ') | Some('\t') | Some('\r') => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while self.peek().is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                }
+                Some('"') => self.string()?,
+                Some(c) if c.is_ascii_digit() => self.number()?,
+                Some(c) if c.is_alphabetic() || c == '_' => self.name(),
+                Some(_) => self.symbol()?,
+            }
+        }
+        // Close any open indentation and finish the last logical line.
+        if !matches!(
+            self.toks.last().map(|t| &t.kind),
+            Some(TokKind::Newline) | None
+        ) {
+            let p = self.pos();
+            self.push(TokKind::Newline, p);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            let p = self.pos();
+            self.push(TokKind::Dedent, p);
+        }
+        let p = self.pos();
+        self.push(TokKind::Eof, p);
+        Ok(self.toks)
+    }
+
+    /// Measures indentation at a line start, emitting `Indent`/`Dedent`.
+    /// Returns `false` at end of input.
+    fn handle_line_start(&mut self) -> Result<bool> {
+        let mut width = 0u32;
+        loop {
+            match self.peek() {
+                Some(' ') => {
+                    width += 1;
+                    self.bump();
+                }
+                Some('\t') => {
+                    width += 4;
+                    self.bump();
+                }
+                Some('\r') => {
+                    self.bump();
+                }
+                Some('\n') => {
+                    // blank line: no tokens
+                    self.bump();
+                    width = 0;
+                }
+                Some('#') => {
+                    while self.peek().is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                }
+                Some(_) => break,
+                None => return Ok(false),
+            }
+        }
+        let current = *self.indents.last().expect("indent stack never empty");
+        let start = self.pos();
+        if width > current {
+            self.indents.push(width);
+            self.push(TokKind::Indent, start);
+        } else {
+            while width < *self.indents.last().expect("indent stack never empty") {
+                self.indents.pop();
+                self.push(TokKind::Dedent, start);
+            }
+            if width != *self.indents.last().expect("indent stack never empty") {
+                return Err(SyntaxError::new(
+                    "inconsistent indentation",
+                    Span::at(start),
+                ));
+            }
+        }
+        self.at_line_start = false;
+        Ok(true)
+    }
+
+    fn string(&mut self) -> Result<()> {
+        let start = self.pos();
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => {
+                    return Err(SyntaxError::new("unterminated string", Span::at(start)))
+                }
+                Some('"') => break,
+                Some('\\') => {
+                    let esc = self.bump().ok_or_else(|| {
+                        SyntaxError::new("unterminated escape", Span::at(start))
+                    })?;
+                    match esc {
+                        'n' => value.push('\n'),
+                        't' => value.push('\t'),
+                        'r' => value.push('\r'),
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        '\'' => value.push('\''),
+                        '0' => value.push('\0'),
+                        other => {
+                            return Err(SyntaxError::new(
+                                format!("unknown escape sequence `\\{other}`"),
+                                Span::at(start),
+                            ))
+                        }
+                    }
+                }
+                Some(c) => value.push(c),
+            }
+        }
+        self.push(TokKind::Str(value), start);
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<()> {
+        let start = self.pos();
+        let mut text = String::new();
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            text.push(self.bump().expect("peeked digit"));
+        }
+        let is_float = self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit());
+        if is_float {
+            text.push(self.bump().expect("peeked dot"));
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                text.push(self.bump().expect("peeked digit"));
+            }
+            let v: f64 = text
+                .parse()
+                .map_err(|_| SyntaxError::new("invalid float literal", Span::at(start)))?;
+            self.push(TokKind::Float(v), start);
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| SyntaxError::new("integer literal out of range", Span::at(start)))?;
+            self.push(TokKind::Int(v), start);
+        }
+        Ok(())
+    }
+
+    fn name(&mut self) {
+        let start = self.pos();
+        let mut text = String::new();
+        while self
+            .peek()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            text.push(self.bump().expect("peeked name char"));
+        }
+        self.push(TokKind::Name(text), start);
+    }
+
+    fn symbol(&mut self) -> Result<()> {
+        let start = self.pos();
+        for sym in SYMBOLS {
+            if self.matches(sym) {
+                for _ in 0..sym.chars().count() {
+                    self.bump();
+                }
+                match *sym {
+                    "(" | "[" => self.paren_depth += 1,
+                    ")" | "]" => self.paren_depth = self.paren_depth.saturating_sub(1),
+                    _ => {}
+                }
+                self.push(TokKind::Symbol(sym), start);
+                return Ok(());
+            }
+        }
+        Err(SyntaxError::new(
+            format!("unexpected character `{}`", self.peek().unwrap_or('?')),
+            Span::at(start),
+        ))
+    }
+
+    fn matches(&self, sym: &str) -> bool {
+        sym.chars()
+            .enumerate()
+            .all(|(k, c)| self.chars.get(self.i + k) == Some(&c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_line() {
+        let got = kinds("x = 1");
+        assert_eq!(
+            got,
+            vec![
+                TokKind::Name("x".into()),
+                TokKind::Symbol("="),
+                TokKind::Int(1),
+                TokKind::Newline,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let got = kinds("for i in xs:\n    y\nz");
+        assert!(got.contains(&TokKind::Indent));
+        assert!(got.contains(&TokKind::Dedent));
+        // Dedent comes before z's Name token.
+        let dedent = got.iter().position(|t| *t == TokKind::Dedent).unwrap();
+        let z = got
+            .iter()
+            .position(|t| *t == TokKind::Name("z".into()))
+            .unwrap();
+        assert!(dedent < z);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let got = kinds(r#""a\nb\"c""#);
+        assert_eq!(got[0], TokKind::Str("a\nb\"c".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn floats_and_ints() {
+        assert_eq!(
+            kinds("1.5 2")[..2],
+            [TokKind::Float(1.5), TokKind::Int(2)]
+        );
+        // A trailing dot is attribute access, not a float.
+        assert_eq!(
+            kinds("x.y")[..3],
+            [
+                TokKind::Name("x".into()),
+                TokKind::Symbol("."),
+                TokKind::Name("y".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let got = kinds("x # comment\ny");
+        assert_eq!(
+            got,
+            vec![
+                TokKind::Name("x".into()),
+                TokKind::Newline,
+                TokKind::Name("y".into()),
+                TokKind::Newline,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn blank_lines_produce_no_tokens() {
+        let got = kinds("a\n\n\nb");
+        let names: Vec<_> = got
+            .iter()
+            .filter(|t| matches!(t, TokKind::Name(_)))
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert!(!got.contains(&TokKind::Indent));
+    }
+
+    #[test]
+    fn implicit_joining_in_brackets() {
+        let got = kinds("xs = [1,\n      2]");
+        // No Newline between 1 and 2, no Indent either.
+        assert!(!got.contains(&TokKind::Indent));
+        let newlines = got.iter().filter(|t| **t == TokKind::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let got = kinds("a <= b == c");
+        assert!(got.contains(&TokKind::Symbol("<=")));
+        assert!(got.contains(&TokKind::Symbol("==")));
+    }
+
+    #[test]
+    fn inconsistent_indent_errors() {
+        assert!(lex("if x:\n        a\n    b\n  c").is_err());
+    }
+
+    #[test]
+    fn final_dedents_emitted() {
+        let got = kinds("if x:\n  a");
+        let dedents = got.iter().filter(|t| **t == TokKind::Dedent).count();
+        assert_eq!(dedents, 1);
+        assert_eq!(*got.last().unwrap(), TokKind::Eof);
+    }
+}

@@ -1,0 +1,39 @@
+//! Lexer, parser and AST for the LMQL query language (the paper's Fig. 5
+//! grammar).
+//!
+//! An LMQL program has five parts: a decoder clause, a Python-like scripted
+//! prompt body, a `from` clause naming the model, an optional `where`
+//! constraint, and an optional `distribute` clause. This crate turns source
+//! text into an [`ast::Query`]; execution lives in the `lmql` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use lmql_syntax::parse_query;
+//!
+//! let query = parse_query(r#"
+//! argmax
+//!     "Greet the user: [GREETING]"
+//! from "test-model"
+//! where stops_at(GREETING, ".") and len(GREETING) < 40
+//! "#).unwrap();
+//!
+//! assert_eq!(query.decoder.name, "argmax");
+//! assert_eq!(query.body.len(), 1);
+//! ```
+
+pub mod ast;
+
+mod error;
+mod format;
+mod lexer;
+mod parser;
+mod prompt;
+mod span;
+
+pub use error::{Result, SyntaxError};
+pub use format::{format_expr, format_query};
+pub use lexer::{lex, Tok, TokKind};
+pub use parser::{parse_expr, parse_query};
+pub use prompt::{hole_names, parse_prompt, Segment};
+pub use span::{Pos, Span};

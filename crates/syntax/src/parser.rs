@@ -1,0 +1,961 @@
+//! Recursive-descent parser for LMQL.
+//!
+//! Parses the grammar of Fig. 5:
+//!
+//! ```text
+//! (import ⟨name⟩)*
+//! ⟨decoder⟩[(kwargs)]
+//!     ⟨query body: python-like statements⟩
+//! from ⟨string⟩
+//! [where ⟨condition⟩]
+//! [distribute ⟨var⟩ in|over ⟨expr⟩]
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{lex, Tok, TokKind};
+use crate::{parse_prompt, Result, Span, SyntaxError};
+
+/// Words that cannot be used as identifiers.
+const KEYWORDS: &[&str] = &[
+    "for", "while", "in", "if", "elif", "else", "break", "continue", "pass", "not", "and", "or", "True",
+    "False", "None", "import", "from", "where", "distribute", "over",
+];
+
+/// Parses a complete LMQL query.
+///
+/// # Errors
+///
+/// Returns the first [`SyntaxError`] encountered while lexing or parsing.
+///
+/// # Example
+///
+/// ```
+/// use lmql_syntax::parse_query;
+///
+/// let q = parse_query(r#"
+/// argmax
+///     "Say hi: [GREETING]"
+/// from "test-model"
+/// where len(GREETING) < 20
+/// "#).unwrap();
+/// assert_eq!(q.decoder.name, "argmax");
+/// assert_eq!(q.model, "test-model");
+/// assert!(q.where_clause.is_some());
+/// ```
+pub fn parse_query(source: &str) -> Result<Query> {
+    let toks = lex(source)?;
+    Parser::new(toks).query()
+}
+
+/// Parses a standalone expression (useful for building `where` clauses
+/// programmatically and in tests).
+///
+/// # Errors
+///
+/// Returns the first [`SyntaxError`] encountered.
+pub fn parse_expr(source: &str) -> Result<Expr> {
+    let toks = lex(source)?;
+    let filtered: Vec<Tok> = toks
+        .into_iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokKind::Newline | TokKind::Indent | TokKind::Dedent
+            )
+        })
+        .collect();
+    let mut p = Parser::new(filtered);
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(toks: Vec<Tok>) -> Self {
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokKind {
+        &self.peek().kind
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_name(&self, word: &str) -> bool {
+        matches!(self.peek_kind(), TokKind::Name(n) if n == word)
+    }
+
+    fn eat_name(&mut self, word: &str) -> bool {
+        if self.at_name(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek_kind(), TokKind::Symbol(s) if *s == sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<Span> {
+        if self.eat_symbol(sym) {
+            Ok(self.toks[self.pos - 1].span)
+        } else {
+            Err(self.unexpected(&format!("expected `{sym}`")))
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<()> {
+        if matches!(self.peek_kind(), TokKind::Newline) {
+            self.bump();
+            Ok(())
+        } else if matches!(self.peek_kind(), TokKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.unexpected("expected end of line"))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        // Trailing newlines are fine.
+        while matches!(self.peek_kind(), TokKind::Newline) {
+            self.bump();
+        }
+        if matches!(self.peek_kind(), TokKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.unexpected("expected end of input"))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<(String, Span)> {
+        match self.peek_kind().clone() {
+            TokKind::Name(n) if !KEYWORDS.contains(&n.as_str()) => {
+                let span = self.bump().span;
+                Ok((n, span))
+            }
+            _ => Err(self.unexpected("expected an identifier")),
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> SyntaxError {
+        SyntaxError::new(
+            format!("{expected}, found {}", self.peek_kind()),
+            self.peek().span,
+        )
+    }
+
+    // ---- query structure ------------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        let mut imports = Vec::new();
+        while self.at_name("import") {
+            let span = self.bump().span;
+            let (name, nspan) = self.identifier()?;
+            self.expect_newline()?;
+            imports.push(Import {
+                name,
+                span: span.to(nspan),
+            });
+        }
+
+        let decoder = self.decoder_spec()?;
+        self.expect_newline()?;
+
+        if !matches!(self.peek_kind(), TokKind::Indent) {
+            return Err(self.unexpected("expected an indented query body"));
+        }
+        self.bump();
+        let body = self.stmts_until_dedent()?;
+
+        if !self.eat_name("from") {
+            return Err(self.unexpected("expected `from` clause"));
+        }
+        let model = match self.peek_kind().clone() {
+            TokKind::Str(s) => {
+                self.bump();
+                s
+            }
+            _ => return Err(self.unexpected("expected a model string after `from`")),
+        };
+        self.expect_newline()?;
+
+        let where_clause = if self.eat_name("where") {
+            let toks = self.collect_clause_tokens()?;
+            let mut sub = Parser::new(toks);
+            let e = sub.expr()?;
+            sub.expect_eof()?;
+            Some(e)
+        } else {
+            None
+        };
+
+        let distribute = if self.at_name("distribute") {
+            let span = self.bump().span;
+            let toks = self.collect_clause_tokens()?;
+            let mut sub = Parser::new(toks);
+            let (var, _) = sub.identifier()?;
+            if !(sub.eat_name("in") || sub.eat_name("over")) {
+                return Err(sub.unexpected("expected `in` or `over` in distribute clause"));
+            }
+            let support = sub.expr()?;
+            sub.expect_eof()?;
+            Some(Distribute { var, support, span })
+        } else {
+            None
+        };
+
+        // Nothing may follow.
+        while matches!(self.peek_kind(), TokKind::Newline | TokKind::Dedent) {
+            self.bump();
+        }
+        if !matches!(self.peek_kind(), TokKind::Eof) {
+            return Err(self.unexpected("expected end of query"));
+        }
+
+        Ok(Query {
+            imports,
+            decoder,
+            body,
+            model,
+            where_clause,
+            distribute,
+        })
+    }
+
+    fn decoder_spec(&mut self) -> Result<DecoderSpec> {
+        let (name, span) = match self.peek_kind().clone() {
+            TokKind::Name(n) => {
+                let span = self.bump().span;
+                (n, span)
+            }
+            _ => return Err(self.unexpected("expected a decoder clause (argmax/sample/beam)")),
+        };
+        let mut params = Vec::new();
+        if self.eat_symbol("(")
+            && !self.eat_symbol(")") {
+                loop {
+                    let (key, _) = self.identifier()?;
+                    self.expect_symbol("=")?;
+                    let value = self.param_value()?;
+                    params.push((key, value));
+                    if self.eat_symbol(")") {
+                        break;
+                    }
+                    self.expect_symbol(",")?;
+                }
+            }
+        Ok(DecoderSpec { name, params, span })
+    }
+
+    fn param_value(&mut self) -> Result<ParamValue> {
+        match self.peek_kind().clone() {
+            TokKind::Int(v) => {
+                self.bump();
+                Ok(ParamValue::Int(v))
+            }
+            TokKind::Float(v) => {
+                self.bump();
+                Ok(ParamValue::Float(v))
+            }
+            TokKind::Str(s) => {
+                self.bump();
+                Ok(ParamValue::Str(s))
+            }
+            TokKind::Name(n) if n == "True" => {
+                self.bump();
+                Ok(ParamValue::Bool(true))
+            }
+            TokKind::Name(n) if n == "False" => {
+                self.bump();
+                Ok(ParamValue::Bool(false))
+            }
+            _ => Err(self.unexpected("expected a literal parameter value")),
+        }
+    }
+
+    /// Collects the tokens of a `where`/`distribute` clause: either the rest
+    /// of the current line, or a following indented block. Structure tokens
+    /// are dropped so the clause parses as one expression regardless of
+    /// line breaks.
+    fn collect_clause_tokens(&mut self) -> Result<Vec<Tok>> {
+        let mut toks = Vec::new();
+        if matches!(self.peek_kind(), TokKind::Newline) {
+            self.bump();
+            if !matches!(self.peek_kind(), TokKind::Indent) {
+                return Err(self.unexpected("expected an indented clause body"));
+            }
+            self.bump();
+            let mut depth = 0usize;
+            loop {
+                match self.peek_kind() {
+                    TokKind::Indent => {
+                        depth += 1;
+                        self.bump();
+                    }
+                    TokKind::Dedent => {
+                        if depth == 0 {
+                            self.bump();
+                            break;
+                        }
+                        depth -= 1;
+                        self.bump();
+                    }
+                    TokKind::Newline => {
+                        self.bump();
+                    }
+                    TokKind::Eof => break,
+                    _ => toks.push(self.bump()),
+                }
+            }
+        } else {
+            while !matches!(self.peek_kind(), TokKind::Newline | TokKind::Eof) {
+                toks.push(self.bump());
+            }
+            self.expect_newline()?;
+        }
+        let end = self.peek().span;
+        toks.push(Tok {
+            kind: TokKind::Eof,
+            span: end,
+        });
+        Ok(toks)
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmts_until_dedent(&mut self) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek_kind() {
+                TokKind::Dedent => {
+                    self.bump();
+                    return Ok(stmts);
+                }
+                TokKind::Eof => return Ok(stmts),
+                TokKind::Newline => {
+                    self.bump();
+                }
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        match self.peek_kind().clone() {
+            TokKind::Str(raw) => {
+                let span = self.bump().span;
+                // Validate segmentation eagerly so errors carry a location.
+                parse_prompt(&raw, span)?;
+                self.expect_newline()?;
+                Ok(Stmt::Prompt { raw, span })
+            }
+            TokKind::Name(n) if n == "for" => self.for_stmt(),
+            TokKind::Name(n) if n == "while" => self.while_stmt(),
+            TokKind::Name(n) if n == "if" => self.if_stmt(),
+            TokKind::Name(n) if n == "break" => {
+                let span = self.bump().span;
+                self.expect_newline()?;
+                Ok(Stmt::Break(span))
+            }
+            TokKind::Name(n) if n == "continue" => {
+                let span = self.bump().span;
+                self.expect_newline()?;
+                Ok(Stmt::Continue(span))
+            }
+            TokKind::Name(n) if n == "pass" => {
+                let span = self.bump().span;
+                self.expect_newline()?;
+                Ok(Stmt::Pass(span))
+            }
+            TokKind::Name(n) if n == "import" => Err(SyntaxError::new(
+                "imports are only allowed before the decoder clause",
+                self.peek().span,
+            )),
+            _ => {
+                let e = self.expr()?;
+                if self.eat_symbol("=") {
+                    let name = match &e {
+                        Expr::Name { name, .. } => name.clone(),
+                        _ => {
+                            return Err(SyntaxError::new(
+                                "assignment target must be a variable name",
+                                e.span(),
+                            ))
+                        }
+                    };
+                    let value = self.expr()?;
+                    let span = e.span().to(value.span());
+                    self.expect_newline()?;
+                    Ok(Stmt::Assign { name, value, span })
+                } else {
+                    self.expect_newline()?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect_symbol(":")?;
+        if matches!(self.peek_kind(), TokKind::Newline) {
+            self.bump();
+            if !matches!(self.peek_kind(), TokKind::Indent) {
+                return Err(self.unexpected("expected an indented block"));
+            }
+            self.bump();
+            self.stmts_until_dedent()
+        } else {
+            // Single statement on the same line.
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt> {
+        let span = self.bump().span; // `for`
+        let (var, _) = self.identifier()?;
+        if !self.eat_name("in") {
+            return Err(self.unexpected("expected `in` after the loop variable"));
+        }
+        let iterable = self.expr()?;
+        let body = self.block()?;
+        Ok(Stmt::For {
+            var,
+            iterable,
+            body,
+            span,
+        })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt> {
+        let span = self.bump().span; // `while`
+        let cond = self.expr()?;
+        let body = self.block()?;
+        Ok(Stmt::While { cond, body, span })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        let span = self.bump().span; // `if` or `elif`
+        let cond = self.expr()?;
+        let then_body = self.block()?;
+        let else_body = if self.at_name("elif") {
+            vec![self.if_stmt()?]
+        } else if self.eat_name("else") {
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span,
+        })
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let first = self.and_expr()?;
+        if !self.at_name("or") {
+            return Ok(first);
+        }
+        let mut operands = vec![first];
+        while self.eat_name("or") {
+            operands.push(self.and_expr()?);
+        }
+        let span = operands[0].span().to(operands.last().expect("nonempty").span());
+        Ok(Expr::BoolOp {
+            and: false,
+            operands,
+            span,
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let first = self.not_expr()?;
+        if !self.at_name("and") {
+            return Ok(first);
+        }
+        let mut operands = vec![first];
+        while self.eat_name("and") {
+            operands.push(self.not_expr()?);
+        }
+        let span = operands[0].span().to(operands.last().expect("nonempty").span());
+        Ok(Expr::BoolOp {
+            and: true,
+            operands,
+            span,
+        })
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.at_name("not") {
+            let span = self.bump().span;
+            let operand = self.not_expr()?;
+            let span = span.to(operand.span());
+            return Ok(Expr::Not {
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        let op = if self.eat_symbol("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat_symbol(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat_symbol("==") {
+            Some(CmpOp::Eq)
+        } else if self.eat_symbol("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat_symbol("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat_symbol(">") {
+            Some(CmpOp::Gt)
+        } else if self.at_name("in") {
+            self.bump();
+            Some(CmpOp::In)
+        } else if self.at_name("not") {
+            // only `not in` is valid here
+            self.bump();
+            if !self.eat_name("in") {
+                return Err(self.unexpected("expected `in` after `not`"));
+            }
+            Some(CmpOp::NotIn)
+        } else {
+            None
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                let right = self.additive()?;
+                let span = left.span().to(right.span());
+                Ok(Expr::Compare {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    span,
+                })
+            }
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.eat_symbol("+") {
+                BinOp::Add
+            } else if self.eat_symbol("-") {
+                BinOp::Sub
+            } else {
+                return Ok(left);
+            };
+            let right = self.multiplicative()?;
+            let span = left.span().to(right.span());
+            left = Expr::BinOp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = if self.eat_symbol("*") {
+                BinOp::Mul
+            } else if self.eat_symbol("/") {
+                BinOp::Div
+            } else if self.eat_symbol("%") {
+                BinOp::Mod
+            } else {
+                return Ok(left);
+            };
+            let right = self.unary()?;
+            let span = left.span().to(right.span());
+            left = Expr::BinOp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if matches!(self.peek_kind(), TokKind::Symbol("-")) {
+            let span = self.bump().span;
+            let operand = self.unary()?;
+            let span = span.to(operand.span());
+            return Ok(Expr::Neg {
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.atom()?;
+        loop {
+            if self.eat_symbol("(") {
+                let mut args = Vec::new();
+                if !self.eat_symbol(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat_symbol(")") {
+                            break;
+                        }
+                        self.expect_symbol(",")?;
+                    }
+                }
+                let span = e.span().to(self.toks[self.pos - 1].span);
+                e = Expr::Call {
+                    func: Box::new(e),
+                    args,
+                    span,
+                };
+            } else if self.eat_symbol(".") {
+                let (name, nspan) = self.identifier()?;
+                let span = e.span().to(nspan);
+                e = Expr::Attribute {
+                    obj: Box::new(e),
+                    name,
+                    span,
+                };
+            } else if self.eat_symbol("[") {
+                // Index or slice.
+                let lo = if matches!(self.peek_kind(), TokKind::Symbol(":")) {
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                if self.eat_symbol(":") {
+                    let hi = if matches!(self.peek_kind(), TokKind::Symbol("]")) {
+                        None
+                    } else {
+                        Some(Box::new(self.expr()?))
+                    };
+                    let end = self.expect_symbol("]")?;
+                    let span = e.span().to(end);
+                    e = Expr::Slice {
+                        obj: Box::new(e),
+                        lo,
+                        hi,
+                        span,
+                    };
+                } else {
+                    let end = self.expect_symbol("]")?;
+                    let index = lo.ok_or_else(|| {
+                        SyntaxError::new("missing index expression", end)
+                    })?;
+                    let span = e.span().to(end);
+                    e = Expr::Index {
+                        obj: Box::new(e),
+                        index,
+                        span,
+                    };
+                }
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.peek_kind().clone() {
+            TokKind::Str(value) => {
+                let span = self.bump().span;
+                Ok(Expr::Str { value, span })
+            }
+            TokKind::Int(value) => {
+                let span = self.bump().span;
+                Ok(Expr::Int { value, span })
+            }
+            TokKind::Float(value) => {
+                let span = self.bump().span;
+                Ok(Expr::Float { value, span })
+            }
+            TokKind::Name(n) if n == "True" => {
+                let span = self.bump().span;
+                Ok(Expr::Bool { value: true, span })
+            }
+            TokKind::Name(n) if n == "False" => {
+                let span = self.bump().span;
+                Ok(Expr::Bool { value: false, span })
+            }
+            TokKind::Name(n) if n == "None" => {
+                let span = self.bump().span;
+                Ok(Expr::None { span })
+            }
+            TokKind::Name(n) if !KEYWORDS.contains(&n.as_str()) => {
+                let span = self.bump().span;
+                Ok(Expr::Name { name: n, span })
+            }
+            TokKind::Symbol("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            TokKind::Symbol("[") => {
+                let span = self.bump().span;
+                let mut items = Vec::new();
+                if !self.eat_symbol("]") {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.eat_symbol("]") {
+                            break;
+                        }
+                        self.expect_symbol(",")?;
+                    }
+                }
+                let span = span.to(self.toks[self.pos - 1].span);
+                Ok(Expr::List { items, span })
+            }
+            _ => Err(self.unexpected("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig1a_shape() {
+        let q = parse_query(
+            r#"
+beam(n=3)
+    "A list of good dad jokes. A indicates the punchline\n"
+    "Q: How does a penguin build its house?\n"
+    "A: Igloos it together. END\n"
+    "Q: [JOKE]\n"
+    "A: [PUNCHLINE]\n"
+from "gpt2-medium"
+where
+    stops_at(JOKE, "?") and stops_at(PUNCHLINE, "END")
+    and len(words(JOKE)) < 20
+    and len(characters(PUNCHLINE)) > 10
+"#,
+        )
+        .unwrap();
+        assert_eq!(q.decoder.name, "beam");
+        assert_eq!(q.decoder.int_param("n", 1), 3);
+        assert_eq!(q.body.len(), 5);
+        assert_eq!(q.model, "gpt2-medium");
+        match q.where_clause.unwrap() {
+            Expr::BoolOp { and: true, operands, .. } => assert_eq!(operands.len(), 4),
+            other => panic!("unexpected where shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fig1b_with_loop_and_distribute() {
+        let q = parse_query(
+            r#"
+argmax
+    "A list of things not to forget when travelling:\n"
+    things = []
+    for i in range(2):
+        "- [THING]\n"
+        things.append(THING)
+    "The most important of these is [ITEM]."
+from "EleutherAI/gpt-j-6B"
+where
+    THING in ["passport", "phone", "keys"] and len(words(THING)) <= 2
+distribute
+    ITEM over things
+"#,
+        )
+        .unwrap();
+        assert_eq!(q.body.len(), 4);
+        match &q.body[2] {
+            Stmt::For { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+        let d = q.distribute.unwrap();
+        assert_eq!(d.var, "ITEM");
+        assert!(matches!(d.support, Expr::Name { ref name, .. } if name == "things"));
+    }
+
+    #[test]
+    fn parses_imports_and_if_elif() {
+        let q = parse_query(
+            r#"
+import wikipedia_utils
+sample(no_repeat_ngram_size=3)
+    for i in range(1024):
+        "[MODE] {i}:"
+        if MODE == "Tho":
+            "[THOUGHT] "
+        elif MODE == "Act":
+            " [ACTION] '[SUBJECT]\n"
+            if ACTION == "Search":
+                result = wikipedia_utils.search(SUBJECT[:-1])
+                "Obs {i}: {result}\n"
+            else:
+                break
+from "gpt2-xl"
+where
+    MODE in ["Tho", "Act"] and stops_at(THOUGHT, "\n")
+"#,
+        )
+        .unwrap();
+        assert_eq!(q.imports.len(), 1);
+        assert_eq!(q.imports[0].name, "wikipedia_utils");
+        match &q.body[0] {
+            Stmt::For { body, .. } => match &body[1] {
+                Stmt::If { else_body, .. } => {
+                    assert_eq!(else_body.len(), 1);
+                    assert!(matches!(else_body[0], Stmt::If { .. }));
+                }
+                other => panic!("expected if, got {other:?}"),
+            },
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_on_single_line() {
+        let q = parse_query(
+            "argmax\n    \"[X]\"\nfrom \"m\"\nwhere len(X) < 5\n",
+        )
+        .unwrap();
+        assert!(matches!(q.where_clause, Some(Expr::Compare { .. })));
+    }
+
+    #[test]
+    fn distribute_accepts_in_keyword() {
+        let q = parse_query(
+            "argmax\n    \"[X]\"\nfrom \"m\"\ndistribute X in [\"a\", \"b\"]\n",
+        )
+        .unwrap();
+        assert_eq!(q.distribute.unwrap().var, "X");
+    }
+
+    #[test]
+    fn slices_parse() {
+        let e = parse_expr("SUBJECT[:-1]").unwrap();
+        match e {
+            Expr::Slice { lo, hi, .. } => {
+                assert!(lo.is_none());
+                assert!(matches!(*hi.unwrap(), Expr::Neg { .. }));
+            }
+            other => panic!("expected slice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let e = parse_expr("a or b and c").unwrap();
+        match e {
+            Expr::BoolOp { and: false, operands, .. } => {
+                assert_eq!(operands.len(), 2);
+                assert!(matches!(operands[1], Expr::BoolOp { and: true, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_in_parses() {
+        let e = parse_expr("\"x\" not in Y").unwrap();
+        assert!(matches!(e, Expr::Compare { op: CmpOp::NotIn, .. }));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::BinOp { op: BinOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::BinOp { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_call_chain() {
+        let e = parse_expr("OPTIONS.split(\", \")").unwrap();
+        match e {
+            Expr::Call { func, args, .. } => {
+                assert!(matches!(*func, Expr::Attribute { .. }));
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_from_is_error() {
+        let err = parse_query("argmax\n    \"[X]\"\n").unwrap_err();
+        assert!(err.message().contains("from"));
+    }
+
+    #[test]
+    fn bad_prompt_string_is_located() {
+        let err = parse_query("argmax\n    \"oops [X\"\nfrom \"m\"\n").unwrap_err();
+        assert!(err.message().contains("unclosed"));
+        assert_eq!(err.span().start.line, 2);
+    }
+
+    #[test]
+    fn assignment_target_must_be_name() {
+        let err = parse_query("argmax\n    a.b = 1\nfrom \"m\"\n").unwrap_err();
+        assert!(err.message().contains("assignment target"));
+    }
+
+    #[test]
+    fn import_inside_body_rejected() {
+        let err =
+            parse_query("argmax\n    import x\nfrom \"m\"\n").unwrap_err();
+        assert!(err.message().contains("imports"));
+    }
+
+    #[test]
+    fn single_line_block() {
+        let q = parse_query(
+            "argmax\n    if x: break\nfrom \"m\"\n",
+        )
+        .unwrap();
+        match &q.body[0] {
+            Stmt::If { then_body, .. } => assert!(matches!(then_body[0], Stmt::Break(_))),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Segmentation of prompt strings into literal text, `[holes]` and
+//! `{recalls}`.
+//!
+//! Top-level strings in an LMQL query body support two escaped subfields
+//! (§3): `"[varname]"` is a *hole* the LM fills, `"{varname}"` recalls a
+//! variable from the current scope. Everything else is literal text.
+//! Doubling a delimiter (`[[`, `]]`, `{{`, `}}`) escapes it.
+
+use crate::{Pos, Result, Span, SyntaxError};
+
+/// One segment of a prompt string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Literal text, appended to the interaction trace verbatim.
+    Literal(String),
+    /// `[VAR]`: decode a value from the LM and bind it to `VAR`.
+    Hole(String),
+    /// `{expr}`: substitute the value of an expression over the current
+    /// scope (f-string style — plain `{var}` is the common case). The
+    /// expression source is kept verbatim; the compiler parses it.
+    Recall(String),
+}
+
+/// Splits a prompt string into segments.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] (located at `span`) for unbalanced brackets or
+/// empty/invalid variable names.
+///
+/// # Example
+///
+/// ```
+/// use lmql_syntax::{parse_prompt, Segment, Span};
+///
+/// let segs = parse_prompt("Q: [JOKE]\nA: {hint}", Span::default()).unwrap();
+/// assert_eq!(segs, vec![
+///     Segment::Literal("Q: ".into()),
+///     Segment::Hole("JOKE".into()),
+///     Segment::Literal("\nA: ".into()),
+///     Segment::Recall("hint".into()),
+/// ]);
+/// ```
+pub fn parse_prompt(raw: &str, span: Span) -> Result<Vec<Segment>> {
+    let mut segments = Vec::new();
+    let mut literal = String::new();
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+
+    let flush = |literal: &mut String, segments: &mut Vec<Segment>| {
+        if !literal.is_empty() {
+            segments.push(Segment::Literal(std::mem::take(literal)));
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '[' | '{' => {
+                let close = if c == '[' { ']' } else { '}' };
+                if chars.get(i + 1) == Some(&c) {
+                    literal.push(c);
+                    i += 2;
+                    continue;
+                }
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != close {
+                    j += 1;
+                }
+                if j == chars.len() {
+                    return Err(SyntaxError::new(
+                        format!("unclosed `{c}` in prompt string"),
+                        span,
+                    ));
+                }
+                let content: String = chars[start..j].iter().collect();
+                if c == '[' {
+                    // Holes bind variables: identifier rules apply.
+                    let valid_start = content
+                        .chars()
+                        .next()
+                        .is_some_and(|ch| ch.is_alphabetic() || ch == '_');
+                    if !valid_start
+                        || !content
+                            .chars()
+                            .all(|ch| ch.is_alphanumeric() || ch == '_')
+                    {
+                        return Err(SyntaxError::new(
+                            format!("invalid variable name `{content}` in prompt string"),
+                            span,
+                        ));
+                    }
+                    flush(&mut literal, &mut segments);
+                    segments.push(Segment::Hole(content));
+                } else {
+                    // Recalls are full expressions, f-string style.
+                    if let Err(e) = crate::parse_expr(&content) {
+                        return Err(SyntaxError::new(
+                            format!("invalid expression `{content}` in prompt string: {}", e.message()),
+                            span,
+                        ));
+                    }
+                    flush(&mut literal, &mut segments);
+                    segments.push(Segment::Recall(content));
+                }
+                i = j + 1;
+            }
+            ']' | '}' => {
+                if chars.get(i + 1) == Some(&c) {
+                    literal.push(c);
+                    i += 2;
+                } else {
+                    return Err(SyntaxError::new(
+                        format!("unmatched `{c}` in prompt string"),
+                        span,
+                    ));
+                }
+            }
+            _ => {
+                literal.push(c);
+                i += 1;
+            }
+        }
+    }
+    flush(&mut literal, &mut segments);
+    Ok(segments)
+}
+
+/// Convenience: the hole names of a prompt string, in order.
+pub fn hole_names(raw: &str) -> Vec<String> {
+    parse_prompt(raw, Span::at(Pos::default()))
+        .map(|segs| {
+            segs.into_iter()
+                .filter_map(|s| match s {
+                    Segment::Hole(n) => Some(n),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Vec<Segment> {
+        parse_prompt(raw, Span::default()).unwrap()
+    }
+
+    #[test]
+    fn plain_literal() {
+        assert_eq!(parse("hello"), vec![Segment::Literal("hello".into())]);
+    }
+
+    #[test]
+    fn empty_string_has_no_segments() {
+        assert_eq!(parse(""), Vec::<Segment>::new());
+    }
+
+    #[test]
+    fn hole_and_recall() {
+        assert_eq!(
+            parse("- [THING] of {i}\n"),
+            vec![
+                Segment::Literal("- ".into()),
+                Segment::Hole("THING".into()),
+                Segment::Literal(" of ".into()),
+                Segment::Recall("i".into()),
+                Segment::Literal("\n".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn multiple_holes_in_one_string() {
+        assert_eq!(
+            parse("[A][B]"),
+            vec![Segment::Hole("A".into()), Segment::Hole("B".into())]
+        );
+    }
+
+    #[test]
+    fn escaped_delimiters() {
+        assert_eq!(
+            parse("a [[literal]] {{brace}}"),
+            vec![Segment::Literal("a [literal] {brace}".into())]
+        );
+    }
+
+    #[test]
+    fn unclosed_hole_is_error() {
+        assert!(parse_prompt("a [B", Span::default()).is_err());
+        assert!(parse_prompt("a {b", Span::default()).is_err());
+    }
+
+    #[test]
+    fn stray_close_is_error() {
+        assert!(parse_prompt("a ] b", Span::default()).is_err());
+        assert!(parse_prompt("a } b", Span::default()).is_err());
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        assert!(parse_prompt("[]", Span::default()).is_err());
+        assert!(parse_prompt("[A B]", Span::default()).is_err());
+        assert!(parse_prompt("[9X]", Span::default()).is_err(), "no digit-leading names");
+        assert!(parse_prompt("[_ok]", Span::default()).is_ok());
+    }
+
+    #[test]
+    fn hole_names_helper() {
+        assert_eq!(hole_names("x [A] y [B] {c}"), vec!["A", "B"]);
+    }
+}

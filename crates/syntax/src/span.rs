@@ -1,0 +1,83 @@
+//! Source locations for diagnostics.
+
+use std::fmt;
+
+/// A position in LMQL source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub col: u32,
+}
+
+impl Pos {
+    /// A position at the given line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A source range, inclusive of `start`, exclusive of `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Start of the range.
+    pub start: Pos,
+    /// End of the range (exclusive).
+    pub end: Pos,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at one position.
+    pub fn at(pos: Pos) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_line_col() {
+        assert_eq!(Pos::new(3, 7).to_string(), "3:7");
+        assert_eq!(Span::at(Pos::new(3, 7)).to_string(), "3:7");
+    }
+
+    #[test]
+    fn to_covers_both() {
+        let a = Span::new(Pos::new(1, 1), Pos::new(1, 5));
+        let b = Span::new(Pos::new(2, 1), Pos::new(2, 9));
+        let c = a.to(b);
+        assert_eq!(c.start, Pos::new(1, 1));
+        assert_eq!(c.end, Pos::new(2, 9));
+    }
+}

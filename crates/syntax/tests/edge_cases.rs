@@ -1,0 +1,181 @@
+//! Parser and lexer edge cases beyond the happy paths.
+
+use lmql_syntax::ast::{Expr, ParamValue, Stmt};
+use lmql_syntax::{lex, parse_expr, parse_query, TokKind};
+
+#[test]
+fn deeply_nested_control_flow() {
+    let q = parse_query(
+        r#"
+argmax
+    for i in range(3):
+        for j in range(3):
+            if i == j:
+                if i == 1:
+                    "diag one [X]"
+                else:
+                    pass
+            elif i < j:
+                continue
+            else:
+                break
+from "m"
+"#,
+    )
+    .unwrap();
+    // Drill to the innermost prompt.
+    let Stmt::For { body, .. } = &q.body[0] else { panic!() };
+    let Stmt::For { body, .. } = &body[0] else { panic!() };
+    let Stmt::If { then_body, else_body, .. } = &body[0] else { panic!() };
+    let Stmt::If { then_body: inner, .. } = &then_body[0] else { panic!() };
+    assert!(matches!(inner[0], Stmt::Prompt { .. }));
+    // elif desugars into else → if.
+    assert!(matches!(else_body[0], Stmt::If { .. }));
+}
+
+#[test]
+fn comments_everywhere() {
+    let q = parse_query(
+        "# leading comment\nargmax  # decoder comment\n    # body comment\n    \"[X]\"  # trailing\nfrom \"m\"  # model\n# done\n",
+    )
+    .unwrap();
+    assert_eq!(q.body.len(), 1);
+}
+
+#[test]
+fn error_positions_are_precise() {
+    let err = parse_query("argmax\n    \"ok\"\n    1 +\nfrom \"m\"\n").unwrap_err();
+    assert_eq!(err.span().start.line, 4, "{err}");
+
+    let err = parse_expr("a + + b").unwrap_err();
+    assert_eq!(err.span().start.line, 1);
+    assert!(err.span().start.col >= 5, "{err}");
+}
+
+#[test]
+fn decoder_params_of_all_types() {
+    let q = parse_query(
+        "sample(n=3, temperature=0.7, mode=\"fast\", greedy=True, strict=False)\n    \"[X]\"\nfrom \"m\"\n",
+    )
+    .unwrap();
+    assert_eq!(q.decoder.param("n"), Some(&ParamValue::Int(3)));
+    assert_eq!(q.decoder.param("temperature"), Some(&ParamValue::Float(0.7)));
+    assert_eq!(
+        q.decoder.param("mode"),
+        Some(&ParamValue::Str("fast".into()))
+    );
+    assert_eq!(q.decoder.param("greedy"), Some(&ParamValue::Bool(true)));
+    assert_eq!(q.decoder.param("strict"), Some(&ParamValue::Bool(false)));
+    assert_eq!(q.decoder.float_param("n", 0.0), 3.0, "int widens to float");
+}
+
+#[test]
+fn where_clause_with_parens_across_lines() {
+    let q = parse_query(
+        "argmax\n    \"[X]\"\nfrom \"m\"\nwhere\n    (len(X) < 10 and\n     stops_at(X, \".\")) or\n    X in [\"a\",\n          \"b\"]\n",
+    )
+    .unwrap();
+    assert!(matches!(
+        q.where_clause.unwrap(),
+        Expr::BoolOp { and: false, .. }
+    ));
+}
+
+#[test]
+fn keywords_cannot_be_identifiers() {
+    assert!(parse_query("argmax\n    for = 3\nfrom \"m\"\n").is_err());
+    assert!(parse_expr("not").is_err());
+    assert!(parse_expr("in").is_err());
+}
+
+#[test]
+fn chained_not_parses() {
+    let e = parse_expr("not not x").unwrap();
+    let Expr::Not { operand, .. } = e else { panic!() };
+    assert!(matches!(*operand, Expr::Not { .. }));
+}
+
+#[test]
+fn unary_minus_binds_tighter_than_mul() {
+    let e = parse_expr("-2 * 3").unwrap();
+    let Expr::BinOp { left, .. } = e else { panic!() };
+    assert!(matches!(*left, Expr::Neg { .. }));
+}
+
+#[test]
+fn empty_list_and_nested_lists() {
+    let e = parse_expr("[[], [1, 2], [[3]]]").unwrap();
+    let Expr::List { items, .. } = e else { panic!() };
+    assert_eq!(items.len(), 3);
+}
+
+#[test]
+fn lexer_token_stream_shape() {
+    let toks = lex("x = [1,\n     2]\ny\n").unwrap();
+    let kinds: Vec<&TokKind> = toks.iter().map(|t| &t.kind).collect();
+    // Implicit joining inside brackets: no Newline between 1 and 2.
+    let newlines = kinds
+        .iter()
+        .filter(|k| matches!(k, TokKind::Newline))
+        .count();
+    assert_eq!(newlines, 2);
+}
+
+#[test]
+fn crlf_and_tabs_tolerated() {
+    let q = parse_query("argmax\r\n\t\"[X]\"\r\nfrom \"m\"\r\n").unwrap();
+    assert_eq!(q.body.len(), 1);
+}
+
+#[test]
+fn multiple_imports_in_order() {
+    let q = parse_query(
+        "import alpha\nimport beta\nargmax\n    \"[X]\"\nfrom \"m\"\n",
+    )
+    .unwrap();
+    let names: Vec<&str> = q.imports.iter().map(|i| i.name.as_str()).collect();
+    assert_eq!(names, ["alpha", "beta"]);
+}
+
+#[test]
+fn trailing_content_after_distribute_rejected() {
+    let err = parse_query(
+        "argmax\n    \"[X]\"\nfrom \"m\"\ndistribute X in [\"a\"]\nargmax\n",
+    )
+    .unwrap_err();
+    assert!(err.message().contains("end of query"), "{err}");
+}
+
+#[test]
+fn string_escape_coverage() {
+    let q = parse_query(
+        "argmax\n    \"tab\\t backslash\\\\ quote\\\" cr\\r nul\\0 [X]\"\nfrom \"m\"\n",
+    )
+    .unwrap();
+    let Stmt::Prompt { raw, .. } = &q.body[0] else { panic!() };
+    assert!(raw.contains('\t'));
+    assert!(raw.contains('\\'));
+    assert!(raw.contains('"'));
+    assert!(raw.contains('\r'));
+    assert!(raw.contains('\0'));
+}
+
+#[test]
+fn float_vs_attribute_disambiguation() {
+    // `1.5` is a float; `x.y` is attribute; `1 .y` would be an error.
+    let e = parse_expr("1.5 + 2").unwrap();
+    assert!(matches!(e, Expr::BinOp { .. }));
+    let e = parse_expr("obj.method(1.5)").unwrap();
+    assert!(matches!(e, Expr::Call { .. }));
+}
+
+#[test]
+fn prompt_validation_happens_at_parse_time() {
+    for bad in ["\"[]\"", "\"[9X]\"", "\"{a b}\"", "\"x ] y\""] {
+        let src = format!("argmax\n    {bad}\nfrom \"m\"\n");
+        assert!(parse_query(&src).is_err(), "{bad} should be rejected");
+    }
+    // Digits allowed after the first char, underscores fine.
+    let ok = "argmax\n    \"[X_2] {var_3}\"\nfrom \"m\"\n";
+    assert!(parse_query(ok).is_ok());
+}

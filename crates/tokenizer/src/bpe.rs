@@ -1,0 +1,448 @@
+//! Byte-pair-encoding training, encoding and decoding.
+//!
+//! The trainer learns a merge table from a corpus; the encoder applies the
+//! merges greedily by rank (GPT-2 style). Merges never cross
+//! [`pretokenize`](crate::pretokenize) chunk boundaries, so decoded text is
+//! byte-identical to the input for covered characters.
+
+use crate::{pretokenize, TokenId, Vocabulary};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Character every out-of-alphabet character is replaced with on encode.
+const UNKNOWN_CHAR: char = '?';
+
+/// Configures and runs BPE training.
+///
+/// # Example
+///
+/// ```
+/// use lmql_tokenizer::BpeTrainer;
+///
+/// let bpe = BpeTrainer::new().merges(50).train("low lower lowest low low");
+/// let ids = bpe.encode("lower");
+/// assert_eq!(bpe.decode(&ids), "lower");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BpeTrainer {
+    merges: usize,
+    min_pair_count: u64,
+}
+
+impl Default for BpeTrainer {
+    fn default() -> Self {
+        BpeTrainer {
+            merges: 1000,
+            min_pair_count: 2,
+        }
+    }
+}
+
+impl BpeTrainer {
+    /// A trainer with default settings (1000 merges, pairs must occur twice).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maximum number of merge rules to learn.
+    pub fn merges(mut self, merges: usize) -> Self {
+        self.merges = merges;
+        self
+    }
+
+    /// Minimum weighted occurrence count for a pair to be merged.
+    pub fn min_pair_count(mut self, n: u64) -> Self {
+        self.min_pair_count = n.max(1);
+        self
+    }
+
+    /// Trains a [`Bpe`] tokenizer on `corpus`.
+    ///
+    /// The base alphabet is printable ASCII plus `\n` plus every character
+    /// occurring in the corpus, so any corpus text round-trips exactly.
+    pub fn train(&self, corpus: &str) -> Bpe {
+        // Word (chunk) frequency table.
+        let mut word_counts: HashMap<&str, u64> = HashMap::new();
+        for chunk in pretokenize(corpus) {
+            *word_counts.entry(chunk).or_insert(0) += 1;
+        }
+
+        // Base alphabet.
+        let mut alphabet: Vec<char> = (' '..='~').collect();
+        alphabet.push('\n');
+        for c in corpus.chars() {
+            if !alphabet.contains(&c) {
+                alphabet.push(c);
+            }
+        }
+
+        // Each distinct word as a symbol sequence, plus its count.
+        let mut words: Vec<(Vec<String>, u64)> = word_counts
+            .into_iter()
+            .map(|(w, c)| (w.chars().map(String::from).collect(), c))
+            .collect();
+        // Deterministic order regardless of hash-map iteration.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut merges: Vec<(String, String)> = Vec::new();
+        for _ in 0..self.merges {
+            // Count adjacent symbol pairs, weighted by word frequency.
+            let mut pair_counts: HashMap<(&str, &str), u64> = HashMap::new();
+            for (syms, count) in &words {
+                for pair in syms.windows(2) {
+                    *pair_counts
+                        .entry((pair[0].as_str(), pair[1].as_str()))
+                        .or_insert(0) += count;
+                }
+            }
+            // Best pair: max count, ties broken lexicographically for
+            // deterministic training.
+            let best = pair_counts
+                .into_iter()
+                .filter(|&(_, c)| c >= self.min_pair_count)
+                .map(|((a, b), c)| (c, a.to_owned(), b.to_owned()))
+                .max_by(|x, y| x.0.cmp(&y.0).then_with(|| (y.1.as_str(), y.2.as_str()).cmp(&(x.1.as_str(), x.2.as_str()))));
+            let Some((_, a, b)) = best else { break };
+
+            // Apply the merge to every word.
+            for (syms, _) in &mut words {
+                apply_merge(syms, &a, &b);
+            }
+            merges.push((a, b));
+        }
+
+        Bpe::from_parts(alphabet, merges)
+    }
+}
+
+fn apply_merge(syms: &mut Vec<String>, a: &str, b: &str) {
+    let mut i = 0;
+    while i + 1 < syms.len() {
+        if syms[i] == a && syms[i + 1] == b {
+            let merged = format!("{a}{b}");
+            syms[i] = merged;
+            syms.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// A trained byte-pair-encoding tokenizer.
+///
+/// Holds the [`Vocabulary`] (base characters + merge products + EOS) and the
+/// merge table. Encoding is cached per pretokenisation chunk.
+///
+/// `Bpe` is `Send + Sync`; share it between threads via `Arc`.
+#[derive(Debug)]
+pub struct Bpe {
+    vocab: Vocabulary,
+    /// Merge priority: lower rank merges first.
+    merge_rank: HashMap<(String, String), usize>,
+    /// Per-chunk encode cache (chunk → token ids).
+    cache: Mutex<HashMap<String, Vec<TokenId>>>,
+}
+
+impl Bpe {
+    fn from_parts(alphabet: Vec<char>, merges: Vec<(String, String)>) -> Self {
+        let mut token_strs: Vec<String> = alphabet.iter().map(|&c| String::from(c)).collect();
+        let mut seen: HashMap<String, ()> = token_strs.iter().map(|s| (s.clone(), ())).collect();
+        for (a, b) in &merges {
+            let merged = format!("{a}{b}");
+            if seen.insert(merged.clone(), ()).is_none() {
+                token_strs.push(merged);
+            }
+        }
+        let vocab = Vocabulary::from_tokens(token_strs);
+        let merge_rank = merges
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        Bpe {
+            vocab,
+            merge_rank,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Serialises the tokenizer (alphabet + ordered merge table) to a
+    /// line-oriented text format, so a trained tokenizer can be persisted
+    /// and reloaded with [`Bpe::from_text`] without retraining.
+    ///
+    /// Characters are written as hex code points (`.`-joined within a
+    /// merge piece), keeping the format safe for any alphabet.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("lmql-bpe-v1\n");
+        // Alphabet in vocabulary-id order, so reloaded token ids match.
+        let alphabet: Vec<char> = self
+            .vocab
+            .regular_tokens()
+            .filter_map(|(_, s)| {
+                let mut it = s.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Some(c),
+                    _ => None,
+                }
+            })
+            .collect();
+        out.push_str("alphabet");
+        for c in alphabet {
+            out.push_str(&format!(" {:x}", c as u32));
+        }
+        out.push('\n');
+
+        let mut merges: Vec<(&(String, String), &usize)> = self.merge_rank.iter().collect();
+        merges.sort_by_key(|(_, &rank)| rank);
+        let piece = |s: &str| -> String {
+            s.chars()
+                .map(|c| format!("{:x}", c as u32))
+                .collect::<Vec<_>>()
+                .join(".")
+        };
+        for ((a, b), _) in merges {
+            out.push_str(&format!("merge {} {}\n", piece(a), piece(b)));
+        }
+        out
+    }
+
+    /// Reconstructs a tokenizer from [`Bpe::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for unrecognised headers or
+    /// malformed lines.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("lmql-bpe-v1") {
+            return Err("missing lmql-bpe-v1 header".to_owned());
+        }
+        let parse_char = |hex: &str| -> Result<char, String> {
+            u32::from_str_radix(hex, 16)
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| format!("invalid code point {hex:?}"))
+        };
+        let parse_piece = |p: &str| -> Result<String, String> {
+            p.split('.').map(parse_char).collect()
+        };
+
+        let alphabet_line = lines.next().ok_or("missing alphabet line")?;
+        let mut parts = alphabet_line.split_whitespace();
+        if parts.next() != Some("alphabet") {
+            return Err("expected `alphabet` line".to_owned());
+        }
+        let alphabet: Vec<char> = parts.map(parse_char).collect::<Result<_, _>>()?;
+
+        let mut merges = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("merge") {
+                return Err(format!("expected `merge` line, got {line:?}"));
+            }
+            let a = parse_piece(parts.next().ok_or("merge missing first piece")?)?;
+            let b = parse_piece(parts.next().ok_or("merge missing second piece")?)?;
+            merges.push((a, b));
+        }
+        Ok(Bpe::from_parts(alphabet, merges))
+    }
+
+    /// Builds a character-level tokenizer (no merges) over the given
+    /// alphabet plus printable ASCII. Useful for tests that need exact
+    /// control over the vocabulary.
+    pub fn char_level(extra: &str) -> Self {
+        let mut alphabet: Vec<char> = (' '..='~').collect();
+        alphabet.push('\n');
+        for c in extra.chars() {
+            if !alphabet.contains(&c) {
+                alphabet.push(c);
+            }
+        }
+        Bpe::from_parts(alphabet, Vec::new())
+    }
+
+    /// The tokenizer's vocabulary (including EOS).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Encodes text into token ids. Characters outside the alphabet are
+    /// replaced by `'?'`.
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        for chunk in pretokenize(text) {
+            if let Some(ids) = self.cache.lock().expect("bpe cache poisoned").get(chunk) {
+                out.extend_from_slice(ids);
+                continue;
+            }
+            let ids = self.encode_chunk(chunk);
+            self.cache
+                .lock()
+                .expect("bpe cache poisoned")
+                .insert(chunk.to_owned(), ids.clone());
+            out.extend(ids);
+        }
+        out
+    }
+
+    fn encode_chunk(&self, chunk: &str) -> Vec<TokenId> {
+        let mut syms: Vec<String> = chunk
+            .chars()
+            .map(|c| {
+                if self.vocab.id_of(&String::from(c)).is_some() {
+                    String::from(c)
+                } else {
+                    String::from(UNKNOWN_CHAR)
+                }
+            })
+            .collect();
+        loop {
+            // Find the adjacent pair with the lowest merge rank.
+            let mut best: Option<(usize, usize)> = None; // (rank, position)
+            for i in 0..syms.len().saturating_sub(1) {
+                if let Some(&rank) = self
+                    .merge_rank
+                    .get(&(syms[i].clone(), syms[i + 1].clone()))
+                {
+                    if best.is_none_or(|(r, _)| rank < r) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((rank, _)) = best else { break };
+            // Merge all occurrences of that exact pair.
+            let (a, b) = self
+                .merge_rank
+                .iter()
+                .find(|&(_, &r)| r == rank)
+                .map(|(p, _)| p.clone())
+                .expect("rank came from the table");
+            apply_merge(&mut syms, &a, &b);
+        }
+        syms.iter()
+            .map(|s| {
+                self.vocab
+                    .id_of(s)
+                    .expect("every symbol is a base char or a merge product")
+            })
+            .collect()
+    }
+
+    /// Decodes token ids back to text (special tokens are skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range for this tokenizer's vocabulary.
+    pub fn decode(&self, ids: &[TokenId]) -> String {
+        self.vocab.decode(ids)
+    }
+
+    /// Number of tokens `text` encodes to — the unit in which API-gated
+    /// models bill ("Billable Tokens" in the paper's §6 metrics).
+    pub fn token_count(&self, text: &str) -> usize {
+        self.encode(text).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &str = "the cat sat on the mat. the cat sat on the hat. \
+                          the bat sat on the cat. a cat and a bat and a hat.";
+
+    #[test]
+    fn roundtrip_on_corpus_text() {
+        let bpe = BpeTrainer::new().merges(60).train(CORPUS);
+        for text in [CORPUS, "the cat", "a hat.", " on the mat"] {
+            assert_eq!(bpe.decode(&bpe.encode(text)), text);
+        }
+    }
+
+    #[test]
+    fn merges_compress() {
+        let bpe = BpeTrainer::new().merges(60).train(CORPUS);
+        let char_count = "the cat sat on the mat".chars().count();
+        let tok_count = bpe.encode("the cat sat on the mat").len();
+        assert!(
+            tok_count < char_count,
+            "expected compression: {tok_count} tokens vs {char_count} chars"
+        );
+    }
+
+    #[test]
+    fn common_words_become_single_tokens() {
+        let bpe = BpeTrainer::new().merges(200).min_pair_count(2).train(CORPUS);
+        // "the" (with leading space) occurs many times; it should merge
+        // into few tokens, usually one.
+        let ids = bpe.encode(" the");
+        assert!(ids.len() <= 2, "' the' encoded as {} tokens", ids.len());
+    }
+
+    #[test]
+    fn unknown_chars_replaced() {
+        let bpe = BpeTrainer::new().merges(10).train("plain ascii only");
+        let decoded = bpe.decode(&bpe.encode("héllo"));
+        assert_eq!(decoded, "h?llo");
+    }
+
+    #[test]
+    fn char_level_has_no_merges() {
+        let bpe = Bpe::char_level("");
+        let ids = bpe.encode("abc");
+        assert_eq!(ids.len(), 3);
+        assert_eq!(bpe.decode(&ids), "abc");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = BpeTrainer::new().merges(50).train(CORPUS);
+        let b = BpeTrainer::new().merges(50).train(CORPUS);
+        assert_eq!(a.encode(CORPUS), b.encode(CORPUS));
+        assert_eq!(a.vocab().len(), b.vocab().len());
+    }
+
+    #[test]
+    fn token_count_matches_encode_len() {
+        let bpe = BpeTrainer::new().merges(30).train(CORPUS);
+        assert_eq!(bpe.token_count("the cat"), bpe.encode("the cat").len());
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_encoding() {
+        let bpe = BpeTrainer::new().merges(80).train(CORPUS);
+        let text = bpe.to_text();
+        let reloaded = Bpe::from_text(&text).unwrap();
+        for sample in [CORPUS, "the cat sat", "a hat. the bat", "unseen words zebra"] {
+            assert_eq!(bpe.encode(sample), reloaded.encode(sample), "{sample:?}");
+        }
+        assert_eq!(bpe.vocab().len(), reloaded.vocab().len());
+        // The format is stable under a second roundtrip.
+        assert_eq!(text, reloaded.to_text());
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Bpe::from_text("not a tokenizer").is_err());
+        assert!(Bpe::from_text("lmql-bpe-v1\nwrong 61\n").is_err());
+        assert!(Bpe::from_text("lmql-bpe-v1\nalphabet 61\nmerge zz 61\n").is_err());
+        assert!(Bpe::from_text("lmql-bpe-v1\nalphabet 61\nmerge 61\n").is_err());
+    }
+
+    #[test]
+    fn multiple_factorizations_exist() {
+        // After enough merges the vocabulary contains both "th" and "the"
+        // style tokens, i.e. several factorizations of the same string —
+        // the property §5.2's subtokenization handling relies on.
+        let bpe = BpeTrainer::new().merges(200).train(CORPUS);
+        let v = bpe.vocab();
+        let multi: usize = v
+            .regular_tokens()
+            .filter(|(_, s)| s.chars().count() > 1)
+            .count();
+        assert!(multi > 5, "expected several multi-char tokens, got {multi}");
+    }
+}

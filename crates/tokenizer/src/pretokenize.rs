@@ -1,0 +1,145 @@
+//! GPT-2-style pretokenisation: splitting text into word-level chunks that
+//! BPE merges never cross.
+//!
+//! Chunks keep their single leading space attached (`" word"`), mirroring the
+//! `Ġ`-prefixed tokens of GPT-2 vocabularies that the paper's Fig. 2 shows
+//! (`"_sells"`, `"_seas"`, …).
+
+/// Splits `text` into pretokenisation chunks. Concatenating the chunks
+/// yields `text` back exactly.
+///
+/// Rules, applied left to right:
+/// - `\n` is always its own chunk;
+/// - a chunk is an optional single leading space followed by a maximal run
+///   of alphanumeric characters, or by a maximal run of
+///   punctuation/symbol characters;
+/// - a space not followed by a word character (another space, a newline, or
+///   end of text) is its own chunk.
+///
+/// # Example
+///
+/// ```
+/// use lmql_tokenizer::pretokenize;
+///
+/// let chunks = pretokenize("She sells, yes\n twice");
+/// assert_eq!(chunks, vec!["She", " sells", ",", " yes", "\n", " twice"]);
+/// assert_eq!(chunks.concat(), "She sells, yes\n twice");
+/// ```
+pub fn pretokenize(text: &str) -> Vec<&str> {
+    let mut chunks = Vec::new();
+    let bytes = text.char_indices().collect::<Vec<_>>();
+    let n = bytes.len();
+    let mut i = 0;
+
+    let class = |c: char| -> u8 {
+        if c == '\n' {
+            0
+        } else if c == ' ' {
+            1
+        } else if c.is_alphanumeric() {
+            2
+        } else {
+            3 // punctuation / symbols / other whitespace
+        }
+    };
+
+    while i < n {
+        let (start_byte, c) = bytes[i];
+        match class(c) {
+            0 => {
+                // newline: own chunk
+                let end = byte_end(&bytes, i, text);
+                chunks.push(&text[start_byte..end]);
+                i += 1;
+            }
+            1 => {
+                // A space: attach to following run if it is a word run.
+                if i + 1 < n && matches!(class(bytes[i + 1].1), 2 | 3) {
+                    let run_class = class(bytes[i + 1].1);
+                    let mut j = i + 1;
+                    while j < n && class(bytes[j].1) == run_class {
+                        j += 1;
+                    }
+                    let end = if j < n { bytes[j].0 } else { text.len() };
+                    chunks.push(&text[start_byte..end]);
+                    i = j;
+                } else {
+                    // space before space/newline/EOT: own chunk
+                    let end = byte_end(&bytes, i, text);
+                    chunks.push(&text[start_byte..end]);
+                    i += 1;
+                }
+            }
+            run_class @ (2 | 3) => {
+                let mut j = i;
+                while j < n && class(bytes[j].1) == run_class {
+                    j += 1;
+                }
+                let end = if j < n { bytes[j].0 } else { text.len() };
+                chunks.push(&text[start_byte..end]);
+                i = j;
+            }
+            _ => unreachable!("class() only returns 0..=3"),
+        }
+    }
+    chunks
+}
+
+fn byte_end(bytes: &[(usize, char)], i: usize, text: &str) -> usize {
+    if i + 1 < bytes.len() {
+        bytes[i + 1].0
+    } else {
+        text.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concatenation_is_identity() {
+        let cases = [
+            "hello world",
+            "  double  spaces ",
+            "line\nbreaks\n\nhere",
+            "punct, and. more! <<3*4=12>>",
+            "",
+            " ",
+            "\n",
+            "a",
+            "trailing space ",
+        ];
+        for text in cases {
+            assert_eq!(pretokenize(text).concat(), text, "case {text:?}");
+        }
+    }
+
+    #[test]
+    fn leading_space_attaches_to_words() {
+        assert_eq!(pretokenize("a b"), vec!["a", " b"]);
+        assert_eq!(pretokenize(" x"), vec![" x"]);
+    }
+
+    #[test]
+    fn punctuation_splits_from_words() {
+        assert_eq!(pretokenize("end."), vec!["end", "."]);
+        assert_eq!(pretokenize("a, b"), vec!["a", ",", " b"]);
+    }
+
+    #[test]
+    fn newlines_are_isolated() {
+        assert_eq!(pretokenize("a\nb"), vec!["a", "\n", "b"]);
+        assert_eq!(pretokenize("a \n"), vec!["a", " ", "\n"]);
+    }
+
+    #[test]
+    fn double_space_splits() {
+        assert_eq!(pretokenize("a  b"), vec!["a", " ", " b"]);
+    }
+
+    #[test]
+    fn space_then_punct_attaches() {
+        assert_eq!(pretokenize("a <<"), vec!["a", " <<"]);
+    }
+}

@@ -1,0 +1,308 @@
+//! A bitset over a vocabulary, used to represent decoding masks.
+
+use crate::TokenId;
+use std::fmt;
+
+/// A set of token ids, stored as a bitset sized to one vocabulary.
+///
+/// This is the representation of the decoding mask `m ∈ {0,1}^|V|` from the
+/// paper's Alg. 2: tokens in the set are *admissible* for the next decoding
+/// step, tokens outside it are masked out.
+///
+/// # Example
+///
+/// ```
+/// use lmql_tokenizer::{TokenSet, TokenId};
+///
+/// let mut m = TokenSet::empty(8);
+/// m.insert(TokenId(1));
+/// m.insert(TokenId(3));
+/// assert!(m.contains(TokenId(3)));
+/// assert_eq!(m.count(), 2);
+///
+/// let all = TokenSet::full(8);
+/// let inter = m.intersection(&all);
+/// assert_eq!(inter, m);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct TokenSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl TokenSet {
+    /// An empty set over a vocabulary of `len` tokens.
+    pub fn empty(len: usize) -> Self {
+        TokenSet {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over a vocabulary of `len` tokens.
+    pub fn full(len: usize) -> Self {
+        let mut s = TokenSet {
+            bits: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        s.trim();
+        s
+    }
+
+    /// Builds a set from an iterator of ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is `>= len`.
+    pub fn from_ids<I: IntoIterator<Item = TokenId>>(len: usize, ids: I) -> Self {
+        let mut s = TokenSet::empty(len);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Number of tokens in the underlying vocabulary (set capacity).
+    pub fn universe_len(&self) -> usize {
+        self.len
+    }
+
+    /// Clears bits beyond `len` so equality and counting stay exact.
+    fn trim(&mut self) {
+        let extra = self.bits.len() * 64 - self.len;
+        if extra > 0 {
+            if let Some(last) = self.bits.last_mut() {
+                *last &= !0u64 >> extra;
+            }
+        }
+    }
+
+    /// Adds a token to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn insert(&mut self, id: TokenId) {
+        assert!(id.index() < self.len, "token id {id} out of range");
+        self.bits[id.index() / 64] |= 1 << (id.index() % 64);
+    }
+
+    /// Removes a token from the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn remove(&mut self, id: TokenId) {
+        assert!(id.index() < self.len, "token id {id} out of range");
+        self.bits[id.index() / 64] &= !(1 << (id.index() % 64));
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn contains(&self, id: TokenId) -> bool {
+        assert!(id.index() < self.len, "token id {id} out of range");
+        self.bits[id.index() / 64] & (1 << (id.index() % 64)) != 0
+    }
+
+    /// Number of tokens in the set.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no token is admissible (the "all-masked" stop condition of
+    /// Alg. 2, line 4).
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Set intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universes.
+    pub fn intersection(&self, other: &TokenSet) -> TokenSet {
+        assert_eq!(self.len, other.len, "token set universe mismatch");
+        TokenSet {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Set union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universes.
+    pub fn union(&self, other: &TokenSet) -> TokenSet {
+        assert_eq!(self.len, other.len, "token set universe mismatch");
+        TokenSet {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Complement within the vocabulary universe.
+    pub fn complement(&self) -> TokenSet {
+        let mut s = TokenSet {
+            bits: self.bits.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        s.trim();
+        s
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universes.
+    pub fn intersect_with(&mut self, other: &TokenSet) {
+        assert_eq!(self.len, other.len, "token set universe mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universes.
+    pub fn union_with(&mut self, other: &TokenSet) {
+        assert_eq!(self.len, other.len, "token set universe mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates over the ids in the set, in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            cur: if self.bits.is_empty() { 0 } else { self.bits[0] },
+        }
+    }
+}
+
+impl fmt::Debug for TokenSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TokenSet({}/{} tokens)", self.count(), self.len)
+    }
+}
+
+impl<'a> IntoIterator for &'a TokenSet {
+    type Item = TokenId;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the ids contained in a [`TokenSet`].
+pub struct Iter<'a> {
+    set: &'a TokenSet,
+    word: usize,
+    cur: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = TokenId;
+
+    fn next(&mut self) -> Option<TokenId> {
+        loop {
+            if self.cur != 0 {
+                let bit = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                return Some(TokenId((self.word * 64 + bit) as u32));
+            }
+            self.word += 1;
+            if self.word >= self.set.bits.len() {
+                return None;
+            }
+            self.cur = self.set.bits[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_empty() {
+        let full = TokenSet::full(70);
+        assert_eq!(full.count(), 70);
+        assert!(!full.is_empty());
+        let empty = TokenSet::empty(70);
+        assert_eq!(empty.count(), 0);
+        assert!(empty.is_empty());
+        assert_eq!(full.complement(), empty);
+        assert_eq!(empty.complement(), full);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = TokenSet::empty(130);
+        s.insert(TokenId(0));
+        s.insert(TokenId(64));
+        s.insert(TokenId(129));
+        assert!(s.contains(TokenId(64)));
+        s.remove(TokenId(64));
+        assert!(!s.contains(TokenId(64)));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = TokenSet::from_ids(10, [TokenId(1), TokenId(2), TokenId(3)]);
+        let b = TokenSet::from_ids(10, [TokenId(3), TokenId(4)]);
+        assert_eq!(
+            a.intersection(&b),
+            TokenSet::from_ids(10, [TokenId(3)])
+        );
+        assert_eq!(
+            a.union(&b),
+            TokenSet::from_ids(10, [TokenId(1), TokenId(2), TokenId(3), TokenId(4)])
+        );
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let ids = [TokenId(5), TokenId(63), TokenId(64), TokenId(99)];
+        let s = TokenSet::from_ids(100, ids);
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, ids);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut s = TokenSet::empty(4);
+        s.insert(TokenId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics() {
+        let a = TokenSet::empty(4);
+        let b = TokenSet::empty(5);
+        let _ = a.union(&b);
+    }
+}

@@ -1,0 +1,242 @@
+//! A prefix trie over the vocabulary, answering the queries mask generation
+//! needs.
+//!
+//! Given a target continuation string `s` (e.g. the `"en Hawking"` remainder
+//! in the paper's §5.2 example), the set of admissible next tokens is
+//!
+//! > every token `t` such that `t` is a prefix of `s`, **or** `s` is a prefix
+//! > of `t` (when `s` is short enough that a single token may overshoot it —
+//! > only valid when overshooting is allowed by the constraint).
+//!
+//! Both queries are answered by walking the trie along `s`:
+//! [`TokenTrie::prefixes_of`] collects tokens at the nodes visited,
+//! [`TokenTrie::tokens_with_prefix`] collects the whole subtree under the
+//! node reached.
+
+use crate::{TokenId, TokenSet, Vocabulary};
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct Node {
+    children: HashMap<char, usize>,
+    /// Token ending exactly at this node, if any.
+    token: Option<TokenId>,
+    /// All tokens in this node's subtree (including `token`).
+    subtree: Vec<TokenId>,
+}
+
+/// A character-level prefix trie over all regular tokens of a [`Vocabulary`].
+///
+/// # Example
+///
+/// ```
+/// use lmql_tokenizer::{Vocabulary, TokenTrie};
+///
+/// let vocab = Vocabulary::from_tokens(["St", "Ste", "Stephen", "Steve", "x"]);
+/// let trie = TokenTrie::new(&vocab);
+///
+/// // Tokens that are prefixes of "Stephen": "St", "Ste", "Stephen".
+/// let p = trie.prefixes_of("Stephen");
+/// assert_eq!(p.len(), 3);
+///
+/// // Tokens starting with "Ste": "Ste", "Stephen", "Steve".
+/// let c = trie.tokens_with_prefix("Ste");
+/// assert_eq!(c.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct TokenTrie {
+    nodes: Vec<Node>,
+    vocab_len: usize,
+}
+
+impl TokenTrie {
+    /// Builds the trie over all regular tokens of `vocab`.
+    pub fn new(vocab: &Vocabulary) -> Self {
+        let mut trie = TokenTrie {
+            nodes: vec![Node::default()],
+            vocab_len: vocab.len(),
+        };
+        for (id, s) in vocab.regular_tokens() {
+            trie.insert(s, id);
+        }
+        // Populate subtree lists bottom-up via a post-order traversal.
+        trie.build_subtrees(0);
+        trie
+    }
+
+    fn insert(&mut self, s: &str, id: TokenId) {
+        let mut cur = 0;
+        for ch in s.chars() {
+            cur = match self.nodes[cur].children.get(&ch) {
+                Some(&next) => next,
+                None => {
+                    let next = self.nodes.len();
+                    self.nodes.push(Node::default());
+                    self.nodes[cur].children.insert(ch, next);
+                    next
+                }
+            };
+        }
+        self.nodes[cur].token = Some(id);
+    }
+
+    fn build_subtrees(&mut self, node: usize) {
+        // Iterative post-order to avoid deep recursion on long tokens.
+        let mut stack = vec![(node, false)];
+        while let Some((n, visited)) = stack.pop() {
+            if visited {
+                let mut acc: Vec<TokenId> = Vec::new();
+                if let Some(t) = self.nodes[n].token {
+                    acc.push(t);
+                }
+                let children: Vec<usize> = self.nodes[n].children.values().copied().collect();
+                for c in children {
+                    acc.extend_from_slice(&self.nodes[c].subtree);
+                }
+                self.nodes[n].subtree = acc;
+            } else {
+                stack.push((n, true));
+                for &c in self.nodes[n].children.values() {
+                    stack.push((c, false));
+                }
+            }
+        }
+    }
+
+    /// Walks the trie along `s`; returns the node index reached, or `None`
+    /// if the walk falls off the trie.
+    fn walk(&self, s: &str) -> Option<usize> {
+        let mut cur = 0;
+        for ch in s.chars() {
+            cur = *self.nodes[cur].children.get(&ch)?;
+        }
+        Some(cur)
+    }
+
+    /// All tokens `t` such that `t` is a non-empty prefix of `s`
+    /// (`t` may equal `s`).
+    pub fn prefixes_of(&self, s: &str) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        let mut cur = 0;
+        for ch in s.chars() {
+            match self.nodes[cur].children.get(&ch) {
+                Some(&next) => {
+                    cur = next;
+                    if let Some(t) = self.nodes[cur].token {
+                        out.push(t);
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// All tokens that start with `s` (including a token equal to `s`).
+    pub fn tokens_with_prefix(&self, s: &str) -> Vec<TokenId> {
+        match self.walk(s) {
+            Some(node) => self.nodes[node].subtree.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The mask-building primitive: all tokens `t` that *align with* the
+    /// target continuation `s`, i.e. `t` is a prefix of `s` or `s` is a
+    /// prefix of `t`.
+    ///
+    /// When `allow_overshoot` is `false`, tokens strictly longer than `s`
+    /// are excluded (used when the constraint requires the value to stop
+    /// exactly at the end of `s`).
+    pub fn aligned_with(&self, s: &str, allow_overshoot: bool) -> TokenSet {
+        let mut set = TokenSet::empty(self.vocab_len);
+        for t in self.prefixes_of(s) {
+            set.insert(t);
+        }
+        if allow_overshooting(allow_overshoot) {
+            // `tokens_with_prefix(s)` includes a token equal to `s`, which
+            // `prefixes_of` already added; the set union deduplicates.
+            for t in self.tokens_with_prefix(s) {
+                set.insert(t);
+            }
+        }
+        set
+    }
+
+    /// Size of the vocabulary this trie was built over.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab_len
+    }
+}
+
+/// Tiny readability helper so the intent at the call site is explicit.
+#[inline]
+fn allow_overshooting(flag: bool) -> bool {
+    flag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_vocab() -> Vocabulary {
+        Vocabulary::from_tokens(["a", "ab", "abc", "b", "bc", " a", "abd", "zz"])
+    }
+
+    #[test]
+    fn prefixes_of_collects_along_path() {
+        let v = sample_vocab();
+        let trie = TokenTrie::new(&v);
+        let got: Vec<&str> = trie
+            .prefixes_of("abcde")
+            .into_iter()
+            .map(|t| v.token_str(t))
+            .collect();
+        assert_eq!(got, ["a", "ab", "abc"]);
+    }
+
+    #[test]
+    fn tokens_with_prefix_collects_subtree() {
+        let v = sample_vocab();
+        let trie = TokenTrie::new(&v);
+        let mut got: Vec<&str> = trie
+            .tokens_with_prefix("ab")
+            .into_iter()
+            .map(|t| v.token_str(t))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, ["ab", "abc", "abd"]);
+    }
+
+    #[test]
+    fn aligned_with_combines_both_directions() {
+        let v = sample_vocab();
+        let trie = TokenTrie::new(&v);
+        let set = trie.aligned_with("ab", true);
+        let mut got: Vec<&str> = set.iter().map(|t| v.token_str(t)).collect();
+        got.sort_unstable();
+        // prefixes of "ab": a, ab; extensions of "ab": ab, abc, abd
+        assert_eq!(got, ["a", "ab", "abc", "abd"]);
+
+        let exact = trie.aligned_with("ab", false);
+        let mut got: Vec<&str> = exact.iter().map(|t| v.token_str(t)).collect();
+        got.sort_unstable();
+        assert_eq!(got, ["a", "ab"]);
+    }
+
+    #[test]
+    fn missing_prefix_yields_empty() {
+        let v = sample_vocab();
+        let trie = TokenTrie::new(&v);
+        assert!(trie.tokens_with_prefix("q").is_empty());
+        assert!(trie.prefixes_of("q").is_empty());
+        assert!(trie.aligned_with("q", true).is_empty());
+    }
+
+    #[test]
+    fn eos_never_in_trie() {
+        let v = sample_vocab();
+        let trie = TokenTrie::new(&v);
+        // EOS sentinel text must not be reachable: it is a special token.
+        assert!(trie.tokens_with_prefix("<|eos|>").is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! The token vocabulary: an id ↔ string table with special tokens.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a token in a [`Vocabulary`].
+///
+/// A plain index newtype: `TokenId(i)` is the `i`-th token of the vocabulary
+/// it was issued by. Ids from different vocabularies must not be mixed; all
+/// APIs that could detect a mix-up panic on out-of-range ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A token vocabulary: a bijection between [`TokenId`]s and token strings,
+/// plus a distinguished end-of-sequence token.
+///
+/// Token strings of *regular* tokens are the literal text the token expands
+/// to (they may start with a space, GPT-2 style). *Special* tokens (only EOS
+/// in this reproduction) carry a sentinel string and never appear inside
+/// decoded text.
+///
+/// # Example
+///
+/// ```
+/// use lmql_tokenizer::Vocabulary;
+///
+/// let vocab = Vocabulary::from_tokens(["a", "b", " ab"]);
+/// assert_eq!(vocab.len(), 4); // 3 regular tokens + EOS
+/// let id = vocab.id_of(" ab").unwrap();
+/// assert_eq!(vocab.token_str(id), " ab");
+/// assert!(vocab.is_special(vocab.eos()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    /// Token strings, indexed by id. `strs[eos]` is the EOS sentinel.
+    strs: Vec<String>,
+    /// Reverse lookup for regular tokens.
+    by_str: HashMap<String, TokenId>,
+    /// Id of the end-of-sequence token.
+    eos: TokenId,
+}
+
+/// Sentinel string for the end-of-sequence token.
+pub(crate) const EOS_STR: &str = "<|eos|>";
+
+impl Vocabulary {
+    /// Builds a vocabulary from regular token strings; an EOS token is
+    /// appended automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token string is duplicated or equals the EOS sentinel.
+    pub fn from_tokens<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut strs: Vec<String> = Vec::new();
+        let mut by_str = HashMap::new();
+        for t in tokens {
+            let t = t.into();
+            assert_ne!(t, EOS_STR, "token string collides with the EOS sentinel");
+            let id = TokenId(strs.len() as u32);
+            let prev = by_str.insert(t.clone(), id);
+            assert!(prev.is_none(), "duplicate token string {t:?}");
+            strs.push(t);
+        }
+        let eos = TokenId(strs.len() as u32);
+        strs.push(EOS_STR.to_owned());
+        Vocabulary { strs, by_str, eos }
+    }
+
+    /// Total number of tokens, including EOS.
+    pub fn len(&self) -> usize {
+        self.strs.len()
+    }
+
+    /// `true` if the vocabulary holds no regular tokens (EOS always exists).
+    pub fn is_empty(&self) -> bool {
+        self.strs.len() <= 1
+    }
+
+    /// The end-of-sequence token id.
+    pub fn eos(&self) -> TokenId {
+        self.eos
+    }
+
+    /// `true` for special (non-text) tokens; currently only EOS.
+    pub fn is_special(&self, id: TokenId) -> bool {
+        id == self.eos
+    }
+
+    /// The literal text of a token. For EOS this is a sentinel that never
+    /// occurs in decoded text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this vocabulary.
+    pub fn token_str(&self, id: TokenId) -> &str {
+        &self.strs[id.index()]
+    }
+
+    /// Looks up the id of a regular token by its exact string.
+    pub fn id_of(&self, s: &str) -> Option<TokenId> {
+        self.by_str.get(s).copied()
+    }
+
+    /// Iterates over all ids, including EOS.
+    pub fn ids(&self) -> impl Iterator<Item = TokenId> + '_ {
+        (0..self.strs.len() as u32).map(TokenId)
+    }
+
+    /// Iterates over `(id, text)` pairs of regular (non-special) tokens.
+    pub fn regular_tokens(&self) -> impl Iterator<Item = (TokenId, &str)> + '_ {
+        self.ids()
+            .filter(|&id| !self.is_special(id))
+            .map(|id| (id, self.token_str(id)))
+    }
+
+    /// Decodes a token sequence to text, skipping special tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn decode(&self, ids: &[TokenId]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            if !self.is_special(id) {
+                out.push_str(self.token_str(id));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_lookup() {
+        let v = Vocabulary::from_tokens(["he", "llo", " world"]);
+        for (id, s) in v.regular_tokens() {
+            assert_eq!(v.id_of(s), Some(id));
+        }
+    }
+
+    #[test]
+    fn eos_is_special_and_last() {
+        let v = Vocabulary::from_tokens(["x"]);
+        assert_eq!(v.eos(), TokenId(1));
+        assert!(v.is_special(v.eos()));
+        assert!(!v.is_special(TokenId(0)));
+    }
+
+    #[test]
+    fn decode_skips_special() {
+        let v = Vocabulary::from_tokens(["ab", "cd"]);
+        let text = v.decode(&[TokenId(0), v.eos(), TokenId(1)]);
+        assert_eq!(text, "abcd");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate token string")]
+    fn duplicate_tokens_rejected() {
+        let _ = Vocabulary::from_tokens(["a", "a"]);
+    }
+
+    #[test]
+    fn id_of_unknown_is_none() {
+        let v = Vocabulary::from_tokens(["a"]);
+        assert_eq!(v.id_of("zz"), None);
+        // the EOS sentinel is not a regular token
+        assert_eq!(v.id_of(EOS_STR), None);
+    }
+}

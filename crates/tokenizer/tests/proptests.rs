@@ -1,0 +1,95 @@
+//! Property-based tests for the tokenizer crate.
+
+use lmql_tokenizer::{pretokenize, Bpe, BpeTrainer, TokenSet, TokenTrie, TokenId, Vocabulary};
+use proptest::prelude::*;
+
+fn ascii_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range(' ', '~'),
+            Just('\n'),
+        ],
+        0..200,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    /// Pretokenisation chunks always concatenate back to the input.
+    #[test]
+    fn pretokenize_is_partition(text in ascii_text()) {
+        prop_assert_eq!(pretokenize(&text).concat(), text);
+    }
+
+    /// Char-level encoding round-trips any ASCII text.
+    #[test]
+    fn char_level_roundtrip(text in ascii_text()) {
+        let bpe = Bpe::char_level("");
+        prop_assert_eq!(bpe.decode(&bpe.encode(&text)), text);
+    }
+
+    /// Trained BPE round-trips any ASCII text (alphabet covers ASCII).
+    #[test]
+    fn bpe_roundtrip(text in ascii_text()) {
+        let bpe = BpeTrainer::new()
+            .merges(40)
+            .train("the quick brown fox jumps over the lazy dog. the end.");
+        prop_assert_eq!(bpe.decode(&bpe.encode(&text)), text);
+    }
+
+    /// Token-set algebra: De Morgan over random id sets.
+    #[test]
+    fn token_set_de_morgan(ids_a in proptest::collection::btree_set(0u32..256, 0..40),
+                           ids_b in proptest::collection::btree_set(0u32..256, 0..40)) {
+        let a = TokenSet::from_ids(256, ids_a.iter().map(|&i| TokenId(i)));
+        let b = TokenSet::from_ids(256, ids_b.iter().map(|&i| TokenId(i)));
+        let lhs = a.union(&b).complement();
+        let rhs = a.complement().intersection(&b.complement());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Trie queries agree with a naive scan over the vocabulary.
+    #[test]
+    fn trie_matches_naive(tokens in proptest::collection::btree_set("[a-c]{1,4}", 1..25),
+                          query in "[a-c]{0,6}") {
+        let vocab = Vocabulary::from_tokens(tokens.iter().cloned());
+        let trie = TokenTrie::new(&vocab);
+
+        let mut naive_prefixes: Vec<_> = vocab
+            .regular_tokens()
+            .filter(|(_, s)| !s.is_empty() && query.starts_with(s))
+            .map(|(id, _)| id)
+            .collect();
+        naive_prefixes.sort();
+        let mut got = trie.prefixes_of(&query);
+        got.sort();
+        prop_assert_eq!(got, naive_prefixes);
+
+        let mut naive_ext: Vec<_> = vocab
+            .regular_tokens()
+            .filter(|(_, s)| s.starts_with(query.as_str()))
+            .map(|(id, _)| id)
+            .collect();
+        naive_ext.sort();
+        let mut got = trie.tokens_with_prefix(&query);
+        got.sort();
+        prop_assert_eq!(got, naive_ext);
+    }
+
+    /// `aligned_with` is exactly the union of prefixes and extensions.
+    #[test]
+    fn aligned_with_is_union(tokens in proptest::collection::btree_set("[a-c]{1,4}", 1..25),
+                             query in "[a-c]{1,6}") {
+        let vocab = Vocabulary::from_tokens(tokens.iter().cloned());
+        let trie = TokenTrie::new(&vocab);
+        let aligned = trie.aligned_with(&query, true);
+        let expected = TokenSet::from_ids(
+            vocab.len(),
+            vocab
+                .regular_tokens()
+                .filter(|(_, s)| query.starts_with(s) || s.starts_with(query.as_str()))
+                .map(|(id, _)| id),
+        );
+        prop_assert_eq!(aligned, expected);
+    }
+}

@@ -1,0 +1,52 @@
+//! The paper's Fig. 13: on-the-fly evaluation of arithmetic expressions
+//! during generation — the query scans for `<<`, decodes the expression,
+//! calls the external calculator, and splices the result back into the
+//! prompt, all inside one decoding run.
+//!
+//! ```sh
+//! cargo run --example arithmetic
+//! ```
+
+use lmql::{Runtime, Value};
+use lmql_datasets::{calculator, gsm8k, GPT_J_PROFILE};
+use lmql_lm::{corpus, Episode, ScriptedLm};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bpe = corpus::standard_bpe();
+    let inst = gsm8k::generate(3, 1, &GPT_J_PROFILE).remove(0);
+    println!("Q: {}\n", inst.question);
+
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode::plain(
+            format!("Q: {}\nA: Let's think step by step.\n", inst.question),
+            inst.script.clone(),
+        )],
+    ));
+
+    let mut runtime = Runtime::new(lm, bpe);
+    runtime.register_external("calculator", "run", |args| {
+        let expr = args[0].as_str().ok_or("run expects a string")?;
+        calculator::run(expr).map(Value::Int).map_err(|e| e.to_string())
+    });
+    runtime.bind("FEWSHOT", Value::Str(gsm8k::FEW_SHOT.into()));
+    runtime.bind("QUESTION", Value::Str(inst.question.clone()));
+
+    let result = runtime.run(lmql_bench::queries::ARITHMETIC)?;
+    let trace = &result.best().trace;
+    let completion = trace
+        .split_once("step by step.\n")
+        .map(|(_, t)| t)
+        .unwrap_or(trace);
+    println!("— completion (calculator results spliced at `<< … >>`) —");
+    println!("{completion}\n");
+
+    let answer = result.best().var_str("RESULT").unwrap_or("");
+    println!(
+        "RESULT = {answer:?} — {} (gold: {})",
+        if inst.is_correct(answer) { "correct" } else { "incorrect" },
+        inst.answer
+    );
+    Ok(())
+}

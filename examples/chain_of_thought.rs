@@ -1,0 +1,67 @@
+//! The paper's Fig. 10: chain-of-thought prompting for the Odd One Out
+//! task, with eager constraints on the reasoning and a `distribute`
+//! clause over the answer options.
+//!
+//! ```sh
+//! cargo run --example chain_of_thought
+//! ```
+
+use lmql::{Runtime, Value};
+use lmql_bench::experiments::{lm_derail_branch, lm_digression};
+use lmql_datasets::{odd_one_out, GPT_J_PROFILE};
+use lmql_lm::{corpus, Episode, ScriptedLm};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bpe = corpus::standard_bpe();
+    let inst = odd_one_out::generate(8, 2024, &GPT_J_PROFILE)
+        .into_iter()
+        .find(|i| i.digression.is_some())
+        .expect("some instance digresses");
+    println!("question: Pick the odd word out: {}", inst.options_line);
+    println!("gold: {}\n", inst.gold);
+
+    // The simulated model: follows the instance's intended reasoning but
+    // would digress mid-way when unconstrained.
+    let question_line = format!("Pick the odd word out: {}", inst.options_line);
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode {
+            trigger: format!("{question_line}\n"),
+            script: inst.script(),
+            digressions: inst
+                .digression
+                .iter()
+                .map(|d| lm_digression(d, "So the odd one is "))
+                .collect(),
+            branches: inst
+                .digression
+                .iter()
+                .map(|d| lm_derail_branch(d, "So the odd one is "))
+                .collect(),
+        }],
+    ));
+
+    let mut runtime = Runtime::new(lm, bpe);
+    runtime.bind("FEWSHOT", Value::Str(odd_one_out::FEW_SHOT.into()));
+    runtime.bind("OPTIONS", Value::Str(inst.options_line.clone()));
+
+    let result = runtime.run(lmql_bench::queries::ODD_ONE_OUT)?;
+    println!("— reasoning (digression masked out by the where clause) —");
+    println!("{}\n", result.best().var_str("REASONING").unwrap_or(""));
+
+    println!("— distribution over options —");
+    for (value, p) in result.distribution.as_deref().unwrap_or(&[]) {
+        println!("{:>6.1}%  {value}", p * 100.0);
+    }
+    println!(
+        "\nanswer: {:?} ({})",
+        result.top_distribution_value().unwrap_or(""),
+        if inst.is_correct(result.top_distribution_value().unwrap_or("")) {
+            "correct"
+        } else {
+            "the model's intended — possibly wrong — answer"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! A multi-turn chat loop (the §2 "interaction" challenge): each turn is
+//! one LMQL query whose prompt recalls the running transcript, with the
+//! reply constrained to stay short and stop at a sentence boundary.
+//!
+//! ```sh
+//! cargo run --example chat
+//! ```
+
+use lmql::{Runtime, Value};
+use lmql_lm::{Episode, ScriptedLm};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+// max_length is generous because this demo model is character-level.
+const TURN_QUERY: &str = r#"
+argmax(max_length=200)
+    "{TRANSCRIPT}"
+    "User: {INPUT}\n"
+    "Assistant:[REPLY]"
+from "chat-model"
+where stops_at(REPLY, "\n") and len(words(REPLY)) < 30 and not "User:" in REPLY
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bpe = Arc::new(Bpe::char_level(""));
+    // The scripted "chat model" knows three exchanges; a real deployment
+    // would plug any LanguageModel in here.
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [
+            Episode::plain(
+                "User: hello\nAssistant:",
+                " Hi! How can I help you today?\n",
+            ),
+            Episode::plain(
+                "User: what is lmql\nAssistant:",
+                " LMQL is a query language for language models: prompts become programs \
+                 with constraints.\n",
+            ),
+            Episode::plain(
+                "User: bye\nAssistant:",
+                " Goodbye! It was a pleasure.\n",
+            ),
+        ],
+    ));
+
+    let mut runtime = Runtime::new(lm, bpe);
+    let mut transcript = String::new();
+
+    for user_input in ["hello", "what is lmql", "bye"] {
+        runtime.bind("TRANSCRIPT", Value::Str(transcript.clone()));
+        runtime.bind("INPUT", Value::Str(user_input.to_owned()));
+        let result = runtime.run(TURN_QUERY)?;
+        let reply = result.best().var_str("REPLY").unwrap_or("").trim_end();
+        println!("User: {user_input}");
+        println!("Assistant:{reply}\n");
+        // The whole turn (including the reply) becomes the next prompt.
+        transcript = result.best().trace.clone();
+        if !transcript.ends_with('\n') {
+            transcript.push('\n');
+        }
+    }
+
+    let usage = runtime.meter().snapshot();
+    println!(
+        "(3 turns: {} decoder calls, {} model queries)",
+        usage.decoder_calls, usage.model_queries
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! The paper's Appendix A.3 "visual debugger", terminal edition: run a
+//! query with per-step decode tracing and inspect, for every token, the
+//! mask size, EOS admissibility and the pick.
+//!
+//! ```sh
+//! cargo run --example debugger
+//! ```
+
+use lmql::Runtime;
+use lmql_lm::{corpus, Episode, ScriptedLm};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bpe = corpus::standard_bpe();
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode::plain(
+            "Mode:",
+            " Search then more text that never appears",
+        )],
+    ));
+    let runtime = Runtime::new(lm, bpe);
+
+    let (result, trace) = runtime.run_traced(
+        r#"
+argmax
+    "Mode:[MODE] selected."
+from "scripted-demo"
+where MODE in [" Search", " Finish"]
+"#,
+    )?;
+
+    println!("trace: {:?}\n", result.best().trace);
+    println!("— decoder graph —");
+    print!("{}", trace.render());
+
+    // The in-list constraint narrows the mask sharply at every step.
+    let hole = &trace.holes[0];
+    assert!(hole.steps.iter().all(|s| s.allowed < 20));
+    Ok(())
+}

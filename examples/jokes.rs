@@ -1,0 +1,37 @@
+//! The paper's Fig. 1a example: generating a dad joke with scripted beam
+//! search, eager output constraining and stop phrases, against the
+//! n-gram model (which has seen a handful of jokes in its corpus).
+//!
+//! ```sh
+//! cargo run --example jokes
+//! ```
+
+use lmql::Runtime;
+use lmql_lm::corpus;
+
+const QUERY: &str = r#"
+beam(n=3)
+    "A list of good dad jokes. A indicates the punchline\n"
+    "Q: How does a penguin build its house?\n"
+    "A: Igloos it together. END\n"
+    "Q: [JOKE]\n"
+    "A: [PUNCHLINE]\n"
+from "builtin-ngram"
+where
+    stops_at(JOKE, "?") and stops_at(PUNCHLINE, "END")
+    and len(words(JOKE)) < 20 and len(characters(PUNCHLINE)) > 10
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bpe = corpus::standard_bpe();
+    let lm = corpus::standard_ngram();
+    let runtime = Runtime::new(lm, bpe);
+
+    let result = runtime.run(QUERY)?;
+    for (i, run) in result.runs.iter().enumerate() {
+        println!("— beam {} (log-prob {:.2}) —", i + 1, run.log_prob);
+        println!("Q:{}", run.var_str("JOKE").unwrap_or(""));
+        println!("A:{}\n", run.var_str("PUNCHLINE").unwrap_or(""));
+    }
+    Ok(())
+}

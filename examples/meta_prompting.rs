@@ -1,0 +1,58 @@
+//! The paper's Fig. 4 meta-prompting example: first ask the model for an
+//! expert on the question, then ask for the expert's answer — one query,
+//! no manual interaction, with constraints keeping the expert name short
+//! (at most three words, ending in a period) exactly as Fig. 4d shows.
+//!
+//! ```sh
+//! cargo run --example meta_prompting
+//! ```
+
+use lmql::Runtime;
+use lmql_lm::{Digression, Episode, ScriptedLmBuilder};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+const QUERY: &str = r#"
+argmax
+    "Q: What is the circumference of the earth?\n"
+    "The best person to answer this question would be[EXPERT]\n\n"
+    "For instance,{EXPERT} would answer[ANSWER]"
+from "scripted-demo"
+where
+    len(words(EXPERT)) <= 3 and stops_at(EXPERT, ".") and
+    stops_at(ANSWER, ".") and not "\n" in EXPERT
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bpe = Arc::new(Bpe::char_level(""));
+    // The scripted model would love to digress into a rambling expert
+    // description (the paper's Fig. 4b failure modes); the word-limit and
+    // stop constraints cut it to a clean name.
+    let lm = Arc::new(
+        ScriptedLmBuilder::new(Arc::clone(&bpe))
+            .episode(Episode {
+                trigger: "would be".to_owned(),
+                script: " a geophysicist.".to_owned(),
+                digressions: vec![Digression {
+                    at: 16,
+                    text: "\nwho has a PhD in Geodesy and is a professor at Colorado State \
+                           University and will probably have to refer to the relevant books"
+                        .to_owned(),
+                    replace_remainder: None,
+                }],
+                branches: vec![],
+            })
+            .episode(Episode::plain(
+                "would answer",
+                " that the circumference of the earth is about 40,075 km.",
+            ))
+            .build(),
+    );
+
+    let runtime = Runtime::new(lm, bpe);
+    let result = runtime.run(QUERY)?;
+    println!("{}\n", result.best().trace);
+    println!("EXPERT  = {:?}", result.best().var_str("EXPERT").unwrap_or(""));
+    println!("ANSWER  = {:?}", result.best().var_str("ANSWER").unwrap_or(""));
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: parse and run a first LMQL query.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! The query greets the model with a scripted prompt, decodes one hole
+//! under constraints, and prints the interaction trace, the hole variable
+//! and the usage metrics.
+
+use lmql::Runtime;
+use lmql_lm::{corpus, Episode, ScriptedLm};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tokenizer (BPE trained on the built-in corpus) and a model. The
+    // scripted model plays a fixed completion — swap in `standard_ngram()`
+    // for free-running text.
+    let bpe = corpus::standard_bpe();
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode::plain(
+            "Q: What is the capital of France?\nA:",
+            " The capital of France is Paris. It sits on the Seine and is lovely in spring.",
+        )],
+    ));
+
+    let runtime = Runtime::new(lm, bpe);
+
+    // Five clauses: decoder, scripted prompt, model, constraints — the
+    // `where` clause stops the answer at the first sentence and bounds
+    // its length, enforced token-by-token during decoding.
+    let result = runtime.run(
+        r#"
+argmax
+    "Q: What is the capital of France?\n"
+    "A:[ANSWER]"
+from "scripted-demo"
+where stops_at(ANSWER, ".") and len(words(ANSWER)) < 20
+"#,
+    )?;
+
+    let run = result.best();
+    println!("trace:\n{}\n", run.trace);
+    println!("ANSWER = {:?}", run.var_str("ANSWER").unwrap_or(""));
+
+    let usage = runtime.meter().snapshot();
+    println!(
+        "cost: {} model queries, {} decoder call(s), {} billable tokens",
+        usage.model_queries, usage.decoder_calls, usage.billable_tokens
+    );
+
+    // The constraint cut the answer at the first period:
+    assert_eq!(run.var_str("ANSWER"), Some(" The capital of France is Paris."));
+    Ok(())
+}

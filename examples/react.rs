@@ -1,0 +1,59 @@
+//! The paper's Fig. 11: interactive ReAct prompting with real tool calls
+//! (mini-wiki lookups) issued from inside the query's control flow.
+//!
+//! ```sh
+//! cargo run --example react
+//! ```
+
+use lmql::{Runtime, Value};
+use lmql_datasets::wiki::MiniWiki;
+use lmql_datasets::{hotpot, GPT_J_PROFILE};
+use lmql_lm::{corpus, Episode, ScriptedLm};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bpe = corpus::standard_bpe();
+    let wiki = MiniWiki::standard();
+    let inst = hotpot::generate(3, 7, &GPT_J_PROFILE).remove(0);
+    println!("{}\n", inst.question);
+
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode::plain(format!("{}\n", inst.question), inst.script.clone())],
+    ));
+
+    let mut runtime = Runtime::new(lm, bpe);
+    let wiki_for_query = wiki.clone();
+    runtime.register_external("wikipedia_utils", "search", move |args| {
+        let q = args[0].as_str().ok_or("search expects a string")?;
+        Ok(Value::Str(wiki_for_query.search(q)))
+    });
+    runtime.bind("FEWSHOT", Value::Str(hotpot::FEW_SHOT.into()));
+    runtime.bind("QUESTION", Value::Str(inst.question.clone()));
+
+    let result = runtime.run(lmql_bench::queries::REACT)?;
+    let trace = &result.best().trace;
+    // Print the transcript after the few-shot prefix.
+    let transcript = trace
+        .split_once(&inst.question)
+        .map(|(_, t)| t)
+        .unwrap_or(trace);
+    println!("— transcript —{transcript}");
+
+    let answer = result
+        .best()
+        .var_str("SUBJECT")
+        .map(|s| s.trim_end_matches('\''))
+        .unwrap_or("");
+    println!(
+        "answer: {answer:?} — {}",
+        if inst.is_correct(answer) { "correct" } else { "incorrect" }
+    );
+
+    let usage = runtime.meter().snapshot();
+    println!(
+        "cost: {} decoder call(s), {} model queries, {} billable tokens",
+        usage.decoder_calls, usage.model_queries, usage.billable_tokens
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! The paper's Appendix A.2 client–server split, live: an inference
+//! server hosts the model in one thread; the LMQL runtime connects as a
+//! client, receives the tokenizer, and runs the decoding loop locally —
+//! only `score()` crosses the wire.
+//!
+//! ```sh
+//! cargo run --example remote
+//! ```
+
+use lmql::Runtime;
+use lmql_lm::{corpus, Episode, ScriptedLm};
+use lmql_server::{InferenceServer, RemoteLm};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Server side: the "GPU box".
+    let bpe = corpus::standard_bpe();
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode::plain(
+            "Q: What makes Quantum Forge?\nA:",
+            " Quantum Forge makes precision actuators. Also other products nobody asked about.",
+        )],
+    ));
+    let server = InferenceServer::spawn(lm, bpe)?;
+    println!("inference server listening on {}", server.addr());
+
+    // Client side: tokenizer ships over the wire; decoding stays local.
+    let (remote, remote_bpe) = RemoteLm::connect(server.addr())?;
+    let runtime = Runtime::new(Arc::new(remote), remote_bpe);
+
+    let result = runtime.run(
+        r#"
+argmax
+    "Q: What makes Quantum Forge?\n"
+    "A:[ANSWER]"
+from "remote-model"
+where stops_at(ANSWER, ".")
+"#,
+    )?;
+
+    println!("{}", result.best().trace);
+    let usage = runtime.meter().snapshot();
+    println!(
+        "({} forward passes crossed the network; constraints were enforced client-side)",
+        usage.model_queries
+    );
+    server.shutdown();
+    Ok(())
+}

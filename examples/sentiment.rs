@@ -1,0 +1,48 @@
+//! Classification with the `distribute` clause (§3): sentiment analysis
+//! as a probability distribution over {POSITIVE, NEGATIVE}, the use case
+//! the paper calls out for `distribute`.
+//!
+//! ```sh
+//! cargo run --example sentiment
+//! ```
+
+use lmql::Runtime;
+use lmql_lm::{Branch, Episode, ScriptedLm, SCRIPT_LOGIT};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+const QUERY: &str = r#"
+argmax
+    "Review: The staff were friendly and the food arrived quickly.\n"
+    "Sentiment: [LABEL]"
+from "scripted-demo"
+distribute LABEL in ["POSITIVE", "NEGATIVE"]
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bpe = Arc::new(Bpe::char_level(""));
+    // The simulated classifier leans positive but keeps real mass on the
+    // negative label (a 0.9-logit gap ≈ 70/30).
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode {
+            trigger: "Sentiment: ".to_owned(),
+            script: "POSITIVE".to_owned(),
+            digressions: vec![],
+            branches: vec![Branch {
+                at: 0,
+                text: "NEGATIVE".to_owned(),
+                weight: SCRIPT_LOGIT - 0.9,
+            }],
+        }],
+    ));
+
+    let runtime = Runtime::new(lm, bpe);
+    let result = runtime.run(QUERY)?;
+
+    println!("{}\n", result.best().trace);
+    for (label, p) in result.distribution.as_deref().unwrap_or(&[]) {
+        println!("P({label}) = {:.1}%", p * 100.0);
+    }
+    Ok(())
+}

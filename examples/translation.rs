@@ -1,0 +1,48 @@
+//! The paper's Fig. 3 few-shot translation prompt, as an LMQL query with
+//! a measured distribution over candidate translations.
+//!
+//! ```sh
+//! cargo run --example translation
+//! ```
+
+use lmql::Runtime;
+use lmql_lm::{Branch, Episode, ScriptedLm, SCRIPT_LOGIT};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+const QUERY: &str = r#"
+argmax
+    "Translate English to French:\n"
+    "sea otter => loutre de mer\n"
+    "peppermint => menthe poivree\n"
+    "plush giraffe => girafe peluche\n"
+    "cheese =>[TRANSLATION]"
+from "scripted-demo"
+distribute TRANSLATION in [" fromage", " jambon", " poisson"]
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode {
+            trigger: "cheese =>".to_owned(),
+            script: " fromage".to_owned(),
+            digressions: vec![],
+            branches: vec![Branch {
+                at: 0,
+                text: " jambon".to_owned(),
+                weight: SCRIPT_LOGIT - 2.5,
+            }],
+        }],
+    ));
+
+    let runtime = Runtime::new(lm, bpe);
+    let result = runtime.run(QUERY)?;
+    println!("{}\n", result.best().trace);
+    for (t, p) in result.distribution.as_deref().unwrap_or(&[]) {
+        println!("P({t}) = {:.1}%", p * 100.0);
+    }
+    assert_eq!(result.top_distribution_value(), Some(" fromage"));
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! Command-line LMQL runner (the "command-line tooling" of Appendix A.3):
+//! execute a `.lmql` file against one of the built-in models and print the
+//! interaction trace, hole variables, distribution and usage metrics.
+//!
+//! ```sh
+//! cargo run --bin lmql-run -- query.lmql \
+//!     [--model ngram|script:<trigger>=<completion>] \
+//!     [--bind NAME=VALUE]… [--engine exact|symbolic] \
+//!     [--seed N] [--max-tokens N] [--trace]
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! echo 'argmax
+//!     "A list of things not to forget when travelling:\n-[THING]"
+//! from "ngram"
+//! where stops_at(THING, "\n")' > /tmp/q.lmql
+//! cargo run --bin lmql-run -- /tmp/q.lmql --model ngram
+//! ```
+
+use lmql::constraints::MaskEngine;
+use lmql::{Runtime, Value};
+use lmql_lm::{corpus, Episode, ScriptedLm};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    query_path: String,
+    model: String,
+    binds: Vec<(String, String)>,
+    engine: MaskEngine,
+    seed: u64,
+    max_tokens: usize,
+    trace: bool,
+    format: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut out = Args {
+        query_path: String::new(),
+        model: "ngram".to_owned(),
+        binds: Vec::new(),
+        engine: MaskEngine::Symbolic,
+        seed: 0,
+        max_tokens: 64,
+        trace: false,
+        format: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--model" => out.model = args.next().ok_or("--model takes a value")?,
+            "--bind" => {
+                let kv = args.next().ok_or("--bind takes NAME=VALUE")?;
+                let (k, v) = kv.split_once('=').ok_or("--bind takes NAME=VALUE")?;
+                out.binds.push((k.to_owned(), v.to_owned()));
+            }
+            "--engine" => {
+                out.engine = match args.next().as_deref() {
+                    Some("exact") => MaskEngine::Exact,
+                    Some("symbolic") => MaskEngine::Symbolic,
+                    other => return Err(format!("unknown engine {other:?}")),
+                }
+            }
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed takes a number")?
+            }
+            "--max-tokens" => {
+                out.max_tokens = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-tokens takes a number")?
+            }
+            "--trace" => out.trace = true,
+            "--format" => out.format = true,
+            "--help" | "-h" => {
+                return Err("usage: lmql-run <query.lmql> [--model ngram|script:<trigger>=<completion>] \
+                            [--bind NAME=VALUE]… [--engine exact|symbolic] [--seed N] \
+                            [--max-tokens N] [--trace] [--format]"
+                    .to_owned())
+            }
+            other if out.query_path.is_empty() && !other.starts_with('-') => {
+                out.query_path = other.to_owned();
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if out.query_path.is_empty() {
+        return Err("missing query file (try --help)".to_owned());
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("lmql-run: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let source =
+        std::fs::read_to_string(&args.query_path).map_err(|e| format!("{}: {e}", args.query_path))?;
+
+    if args.format {
+        let query = lmql_syntax::parse_query(&source).map_err(|e| e.to_string())?;
+        print!("{}", lmql_syntax::format_query(&query));
+        return Ok(());
+    }
+
+    let bpe = corpus::standard_bpe();
+    let lm: Arc<dyn lmql_lm::LanguageModel> = if args.model == "ngram" {
+        corpus::standard_ngram()
+    } else if let Some(spec) = args.model.strip_prefix("script:") {
+        let (trigger, completion) = spec
+            .split_once('=')
+            .ok_or("--model script:<trigger>=<completion>")?;
+        Arc::new(ScriptedLm::new(
+            Arc::clone(&bpe),
+            [Episode::plain(trigger, completion)],
+        ))
+    } else {
+        return Err(format!(
+            "unknown model {:?} (expected `ngram` or `script:<trigger>=<completion>`)",
+            args.model
+        ));
+    };
+
+    let mut runtime = Runtime::new(lm, bpe);
+    runtime.options_mut().engine = args.engine;
+    runtime.options_mut().seed = args.seed;
+    runtime.options_mut().max_tokens_per_hole = args.max_tokens;
+    for (k, v) in &args.binds {
+        runtime.bind(k, Value::Str(v.clone()));
+    }
+
+    if args.trace {
+        let (result, debug) = runtime.run_traced(&source).map_err(|e| e.to_string())?;
+        print_result(&result);
+        println!("--- decoder trace ---");
+        print!("{}", debug.render());
+    } else {
+        let result = runtime.run(&source).map_err(|e| e.to_string())?;
+        print_result(&result);
+    }
+
+    let usage = runtime.meter().snapshot();
+    println!(
+        "--- usage: {} model queries, {} decoder calls, {} billable tokens ---",
+        usage.model_queries, usage.decoder_calls, usage.billable_tokens
+    );
+    Ok(())
+}
+
+fn print_result(result: &lmql::QueryResult) {
+    for (i, run) in result.runs.iter().enumerate() {
+        if result.runs.len() > 1 {
+            println!("--- run {} (log-prob {:.3}) ---", i + 1, run.log_prob);
+        }
+        println!("{}", run.trace);
+        let mut vars: Vec<_> = run
+            .hole_records
+            .iter()
+            .map(|r| (r.var.as_str(), r.value.as_str()))
+            .collect();
+        vars.dedup();
+        for (name, value) in vars {
+            println!("  {name} = {value:?}");
+        }
+    }
+    if let Some(dist) = &result.distribution {
+        println!("--- distribution ---");
+        for (v, p) in dist {
+            println!("  {:>6.2}%  {v}", p * 100.0);
+        }
+    }
+}

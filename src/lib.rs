@@ -1,0 +1,12 @@
+//! Umbrella crate for the LMQL reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. Library users should depend on the individual crates
+//! ([`lmql`], [`lmql_lm`], [`lmql_tokenizer`], …) directly.
+
+pub use lmql;
+pub use lmql_baseline;
+pub use lmql_datasets;
+pub use lmql_lm;
+pub use lmql_syntax;
+pub use lmql_tokenizer;

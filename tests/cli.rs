@@ -1,0 +1,120 @@
+//! Integration tests for the `lmql-run` command-line tool.
+
+use std::process::Command;
+
+fn lmql_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lmql-run"))
+}
+
+fn write_query(name: &str, source: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("lmql-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, source).unwrap();
+    path
+}
+
+#[test]
+fn runs_a_query_file_against_scripted_model() {
+    let q = write_query(
+        "basic.lmql",
+        "argmax\n    \"Q: hi\\nA:[ANSWER]\"\nfrom \"m\"\nwhere stops_at(ANSWER, \".\")\n",
+    );
+    let out = lmql_run()
+        .arg(&q)
+        .args(["--model", "script:A:= hello there. more"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("A: hello there."), "{stdout}");
+    assert!(stdout.contains("ANSWER = \" hello there.\""), "{stdout}");
+    assert!(stdout.contains("model queries"), "{stdout}");
+}
+
+#[test]
+fn bind_passes_query_arguments() {
+    let q = write_query(
+        "bind.lmql",
+        "argmax\n    \"{GREETING} world:[X]\"\nfrom \"m\"\nwhere stops_at(X, \"!\")\n",
+    );
+    let out = lmql_run()
+        .arg(&q)
+        .args(["--model", "script:world:= hi!", "--bind", "GREETING=hello"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("hello world: hi!"), "{stdout}");
+}
+
+#[test]
+fn trace_flag_prints_decoder_graph() {
+    let q = write_query(
+        "trace.lmql",
+        "argmax\n    \"P:[X]\"\nfrom \"m\"\nwhere X in [\" yes\", \" no\"]\n",
+    );
+    let out = lmql_run()
+        .arg(&q)
+        .args(["--model", "script:P:= yes", "--trace"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("decoder trace"), "{stdout}");
+    assert!(stdout.contains("[X] stopped by"), "{stdout}");
+}
+
+#[test]
+fn syntax_errors_fail_with_location() {
+    let q = write_query("broken.lmql", "argmax\n    \"unclosed [X\"\nfrom \"m\"\n");
+    let out = lmql_run()
+        .arg(&q)
+        .args(["--model", "script:x=y"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unclosed"), "{stderr}");
+}
+
+#[test]
+fn bad_flags_are_reported() {
+    let out = lmql_run().args(["--definitely-bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown argument"), "{stderr}");
+
+    let out = lmql_run().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("missing query file"));
+}
+
+#[test]
+fn ngram_model_runs_builtin_corpus_queries() {
+    let q = write_query(
+        "ngram.lmql",
+        "argmax\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"ngram\"\nwhere stops_at(THING, \"\\n\")\n",
+    );
+    let out = lmql_run().arg(&q).args(["--model", "ngram"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("THING = "), "{stdout}");
+}
+
+#[test]
+fn format_flag_pretty_prints() {
+    let q = write_query(
+        "fmt.lmql",
+        "argmax( n = 2 )\n    \"[X]\"\nfrom \"m\"\nwhere len(X)<5 and stops_at(X,\".\")\n",
+    );
+    let out = lmql_run().arg(&q).arg("--format").output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout,
+        "argmax(n=2)\n    \"[X]\"\nfrom \"m\"\nwhere len(X) < 5 and stops_at(X, \".\")\n"
+    );
+}

@@ -1,0 +1,161 @@
+//! The paper's figure queries parse and compile through the public API
+//! (Fig. 1a, Fig. 1b, Fig. 4d, Fig. 10, Fig. 11, Fig. 13 — transcribed
+//! with this reproduction's minor syntax notes, e.g. `#` comments).
+
+use lmql::compile_source;
+use lmql_syntax::parse_query;
+
+const FIG_1A: &str = r#"
+beam(n=3)
+    "A list of good dad jokes. A indicates the punchline\n"
+    "Q: How does a penguin build its house?\n"
+    "A: Igloos it together. END\n"
+    "Q: Which knight invented King Arthur's Round Table?\n"
+    "A: Sir Cumference. END\n"
+    "Q: [JOKE]\n"
+    "A: [PUNCHLINE]\n"
+from "gpt2-medium"
+where
+    stops_at(JOKE, "?") and stops_at(PUNCHLINE, "END")
+    and len(words(JOKE)) < 20
+    and len(characters(PUNCHLINE)) > 10
+"#;
+
+const FIG_1B: &str = r#"
+argmax
+    "A list of things not to forget when travelling:\n"
+    things = []
+    for i in range(2):
+        "- [THING]\n"
+        things.append(THING)
+    "The most important of these is [ITEM]."
+from "EleutherAI/gpt-j-6B"
+where
+    THING in ["passport", "phone", "keys"] # a longer list
+    and len(words(THING)) <= 2
+"#;
+
+const FIG_4D: &str = r#"
+argmax
+    "Q: What is the circumference of the earth?\n"
+    "The best person to answer this question would be [EXPERT]\n\n"
+    "For instance, {EXPERT} would answer [ANSWER]"
+from "gpt2-medium"
+where len(words(EXPERT)) <= 3 and stops_at(EXPERT, ".")
+"#;
+
+const FIG_10: &str = r#"
+argmax
+    "Pick the odd word out: skirt, dress, pen, jacket.\n"
+    "skirt is clothing, dress is clothing, pen is an object, jacket is clothing.\n"
+    "So the odd one is pen.\n\n"
+    "Pick the odd word out: {OPTIONS}\n"
+    "[REASONING]"
+    "[RESULT]"
+from "EleutherAI/gpt-j-6B"
+where
+    not "\n" in REASONING and not "Pick" in REASONING and
+    stops_at(REASONING, "Pick the odd word") and stops_at(REASONING, "\n") and
+    stops_at(REASONING, "So the odd one") and stops_at(REASONING, ".") and
+    len(words(REASONING)) < 40
+distribute
+    RESULT over OPTIONS.split(", ")
+"#;
+
+const FIG_11: &str = r#"
+import wikipedia_utils
+sample(no_repeat_ngram_size=3)
+    "What is the elevation range for the area that the eastern sector extends into?\n"
+    "Tho 1: I need to search Colorado orogeny.\n"
+    "Act 2: Search 'Colorado orogeny'\n"
+    "Where is Apple Computers headquartered?\n"
+    for i in range(1024):
+        "[MODE] {i}:"
+        if MODE == "Tho":
+            "[THOUGHT] "
+        elif MODE == "Act":
+            " [ACTION] '[SUBJECT]\n"
+            if ACTION == "Search":
+                result = wikipedia_utils.search(SUBJECT[:-1])
+                "Obs {i}: {result}\n"
+            else:
+                break
+from "gpt2-xl"
+where
+    MODE in ["Tho", "Act"] and stops_at(THOUGHT, "\n") and
+    ACTION in ["Search", "Finish"] and len(words(THOUGHT)) > 2 and
+    stops_at(SUBJECT, "'") and not "Tho" in THOUGHT
+"#;
+
+const FIG_13: &str = r#"
+import calculator
+argmax(distribution_batch_size=1, max_length=2048)
+    "{few_shot_examples}"
+    "Q: {QUESTION}\n"
+    "A: Let's think step by step.\n"
+    for i in range(1024):
+        "[REASON_OR_CALC]"
+        if REASON_OR_CALC.endswith("<<"):
+            " [EXPR] "
+            result = calculator.run(EXPR)
+            " {result} >> "
+        elif REASON_OR_CALC.endswith("So the answer"):
+            " is [RESULT]"
+            break
+from "EleutherAI/gpt-j-6B"
+where
+    int(RESULT) and
+    stops_at(REASON_OR_CALC, "<<") and
+    stops_at(EXPR, "=") and
+    stops_at(REASON_OR_CALC, "So the answer")
+"#;
+
+#[test]
+fn all_paper_figures_parse() {
+    for (name, src) in [
+        ("fig1a", FIG_1A),
+        ("fig1b", FIG_1B),
+        ("fig4d", FIG_4D),
+        ("fig10", FIG_10),
+        ("fig11", FIG_11),
+        ("fig13", FIG_13),
+    ] {
+        parse_query(src).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+    }
+}
+
+#[test]
+fn all_paper_figures_compile() {
+    for (name, src) in [
+        ("fig1a", FIG_1A),
+        ("fig1b", FIG_1B),
+        ("fig4d", FIG_4D),
+        ("fig10", FIG_10),
+        ("fig11", FIG_11),
+        ("fig13", FIG_13),
+    ] {
+        compile_source(src).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+    }
+}
+
+#[test]
+fn fig10_structure() {
+    let q = parse_query(FIG_10).unwrap();
+    assert_eq!(q.decoder.name, "argmax");
+    let d = q.distribute.expect("fig10 has a distribute clause");
+    assert_eq!(d.var, "RESULT");
+}
+
+#[test]
+fn fig11_decoder_params() {
+    let q = parse_query(FIG_11).unwrap();
+    assert_eq!(q.decoder.name, "sample");
+    assert_eq!(q.decoder.int_param("no_repeat_ngram_size", 0), 3);
+    assert_eq!(q.imports.len(), 1);
+}
+
+#[test]
+fn fig13_decoder_params() {
+    let q = parse_query(FIG_13).unwrap();
+    assert_eq!(q.decoder.int_param("max_length", 0), 2048);
+}

@@ -1,0 +1,94 @@
+//! Integration test for the paper's Fig. 9: the step-by-step execution
+//! semantics of the Fig. 1b query — interaction trace construction, hole
+//! reassignment and scope updates, observed through the public API.
+
+use lmql::{compile_source, Externals, Step, Value, VmState};
+
+const FIG_1B_BODY: &str = r#"
+argmax
+    "A list of things not to forget when travelling:\n"
+    things = []
+    for i in range(2):
+        "- [THING]\n"
+        things.append(THING)
+    "The most important of these is [ITEM]."
+from "EleutherAI/gpt-j-6B"
+"#;
+
+#[test]
+fn fig9_trace_states() {
+    let program = compile_source(FIG_1B_BODY).unwrap();
+    let externals = Externals::new();
+    let mut vm = VmState::new([]);
+
+    // Lines 2–3: literals appended to u.
+    let step = vm.run(&program, &externals).unwrap();
+    assert_eq!(
+        vm.trace(),
+        "A list of things not to forget when travelling:\n- "
+    );
+    let Step::NeedHole(req) = step else {
+        panic!("expected a hole request");
+    };
+    assert_eq!(req.var, "THING");
+
+    // Line 4, i = 0: decode(f, u) → "sun screen".
+    vm.provide_hole("sun screen");
+    let step = vm.run(&program, &externals).unwrap();
+    assert_eq!(
+        vm.trace(),
+        "A list of things not to forget when travelling:\n- sun screen\n- "
+    );
+    assert_eq!(vm.scope()["THING"], Value::Str("sun screen".into()));
+    // The VM is already suspended inside iteration i = 1 (Fig. 9's
+    // "4, i = 0" state existed between the append and the loop head).
+    assert_eq!(vm.scope()["i"], Value::Int(1));
+    assert_eq!(
+        vm.scope()["things"],
+        Value::List(vec!["sun screen".into()])
+    );
+    assert!(matches!(step, Step::NeedHole(r) if r.var == "THING"));
+
+    // Line 4, i = 1: THING is *reassigned* (Fig. 9's second block).
+    vm.provide_hole("beach towel");
+    let step = vm.run(&program, &externals).unwrap();
+    assert_eq!(vm.scope()["THING"], Value::Str("beach towel".into()));
+    assert_eq!(vm.scope()["i"], Value::Int(1));
+    assert_eq!(
+        vm.scope()["things"],
+        Value::List(vec!["sun screen".into(), "beach towel".into()])
+    );
+    assert!(matches!(step, Step::NeedHole(r) if r.var == "ITEM"));
+    assert!(vm
+        .trace()
+        .ends_with("- beach towel\nThe most important of these is "));
+
+    // Final hole, then completion.
+    vm.provide_hole("sun screen");
+    assert_eq!(vm.run(&program, &externals).unwrap(), Step::Done);
+    assert_eq!(
+        vm.trace(),
+        "A list of things not to forget when travelling:\n- sun screen\n- beach towel\n\
+         The most important of these is sun screen."
+    );
+
+    // Fig. 6a: the full interaction trace with hole records.
+    let records = vm.hole_records();
+    assert_eq!(records.len(), 3);
+    assert_eq!(records[0].var, "THING");
+    assert_eq!(&vm.trace()[records[2].start..records[2].end], "sun screen");
+}
+
+#[test]
+fn hole_values_substituted_and_recalled() {
+    let program = compile_source(
+        "argmax\n    \"[A] and {A}!\"\nfrom \"m\"\n",
+    )
+    .unwrap();
+    let mut vm = VmState::new([]);
+    let externals = Externals::new();
+    vm.run(&program, &externals).unwrap();
+    vm.provide_hole("echo");
+    assert_eq!(vm.run(&program, &externals).unwrap(), Step::Done);
+    assert_eq!(vm.trace(), "echo and echo!");
+}
