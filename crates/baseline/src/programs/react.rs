@@ -41,8 +41,7 @@ pub fn run(generator: &Generator, wiki: &MiniWiki, task: &ReactTask<'_>) -> Reac
         // newline is generated-and-discarded waste.
         let mut acc = String::new();
         let line = loop {
-            let chunk =
-                generator.generate(&format!("{prompt}{transcript}{acc}"), task.chunk_size);
+            let chunk = generator.generate(&format!("{prompt}{transcript}{acc}"), task.chunk_size);
             if chunk.is_empty() && acc.is_empty() {
                 break 'lines; // model ended the episode
             }

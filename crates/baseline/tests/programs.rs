@@ -67,10 +67,7 @@ fn cot_baseline_derails_on_digression() {
         Some(Digression {
             at: d.at,
             text: d.text.clone(),
-            replace_remainder: Some(format!(
-                "\nSo the odd one is {}.",
-                d.derailed_answer
-            )),
+            replace_remainder: Some(format!("\nSo the odd one is {}.", d.derailed_answer)),
         }),
     );
     let out = cot::run(
@@ -95,11 +92,7 @@ fn cot_baseline_derails_on_digression() {
 #[test]
 fn react_baseline_reaches_finish() {
     let inst = &hotpot::generate(5, 3, &GPT_J_PROFILE)[0];
-    let (generator, meter) = scripted(
-        format!("{}\n", inst.question),
-        inst.script.clone(),
-        None,
-    );
+    let (generator, meter) = scripted(format!("{}\n", inst.question), inst.script.clone(), None);
     let wiki = MiniWiki::standard();
     let out = react::run(
         &generator,
@@ -134,7 +127,10 @@ fn arith_baseline_computes_and_answers() {
             max_rounds: 40,
         },
     );
-    assert_eq!(out.answer.as_deref(), Some(inst.answer.to_string().as_str()));
+    assert_eq!(
+        out.answer.as_deref(),
+        Some(inst.answer.to_string().as_str())
+    );
     for (_, v) in &inst.expressions {
         assert!(
             out.completion.contains(&format!(" {v} >>")),

@@ -1,0 +1,109 @@
+//! Engine benchmarks: concurrent batched decoding vs running the same
+//! queries back to back, plus the dispatch and prefix-cache statistics
+//! that justify the scheduler (reported once before the timings).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmql::Runtime;
+use lmql_engine::{Engine, EngineConfig};
+use lmql_lm::{LanguageModel, NGramLm};
+use lmql_tokenizer::{Bpe, BpeTrainer};
+use std::sync::Arc;
+
+/// Four clients sampling from the same prompt — the shape where a shared
+/// cache and single-flight dedup pay for every context exactly once.
+const QUERY: &str =
+    "sample(n=2, temperature=0.8, max_length=8)\n    \"the cat sat[TAIL]\"\nfrom \"m\"\n";
+const CLIENTS: usize = 4;
+
+fn model() -> (Arc<dyn LanguageModel>, Arc<Bpe>) {
+    let corpus =
+        "the cat sat on the mat.\n\nthe cat ran off.\n\nthe dog sat down.\n\nthe dog ran home.";
+    let bpe = Arc::new(BpeTrainer::new().merges(40).train(corpus));
+    let lm = Arc::new(NGramLm::train(Arc::clone(&bpe), corpus, 3));
+    (lm, bpe)
+}
+
+/// Runs the workload query-by-query on fresh runtimes; returns total
+/// model round trips.
+fn run_sequential(lm: &Arc<dyn LanguageModel>, bpe: &Arc<Bpe>) -> u64 {
+    let mut dispatches = 0;
+    for _ in 0..CLIENTS {
+        let rt = Runtime::new(Arc::clone(lm), Arc::clone(bpe));
+        rt.run(QUERY).unwrap();
+        dispatches += rt.meter().snapshot().dispatches();
+    }
+    dispatches
+}
+
+/// Runs the workload concurrently through a fresh engine; returns it so
+/// callers can read the meters.
+fn run_engine(lm: &Arc<dyn LanguageModel>, bpe: &Arc<Bpe>) -> Engine {
+    let engine = Engine::new(
+        Arc::clone(lm),
+        Arc::clone(bpe),
+        EngineConfig {
+            threads: CLIENTS,
+            ..EngineConfig::default()
+        },
+    );
+    let queries = vec![QUERY; CLIENTS];
+    for r in engine.run_queries(&queries) {
+        r.unwrap();
+    }
+    engine
+}
+
+fn bench_engine_vs_sequential(c: &mut Criterion) {
+    let (lm, bpe) = model();
+
+    // One-shot report: the acceptance numbers behind the timings. On a
+    // mock model a dispatch is nearly free, so the engine's wall-clock
+    // includes pure scheduling overhead; the dispatch count is the metric
+    // that translates to latency once each round trip costs network or
+    // GPU time.
+    let sequential_dispatches = run_sequential(&lm, &bpe);
+    let engine = run_engine(&lm, &bpe);
+    let cold = engine.stats();
+    // A warm second wave on the same engine: every context is now cached.
+    let queries = vec![QUERY; CLIENTS];
+    for r in engine.run_queries(&queries) {
+        r.unwrap();
+    }
+    let warm = engine.stats();
+    println!("shared-prompt {CLIENTS}-way sample(n=2) workload:");
+    println!("  sequential dispatches:      {sequential_dispatches}");
+    println!(
+        "  engine dispatches (cold):   {} (mean batch size {:.2})",
+        cold.usage.dispatches(),
+        cold.usage.mean_batch_size()
+    );
+    let warm_hits = warm.cache.hits - cold.cache.hits;
+    let warm_lookups = warm_hits + warm.cache.misses - cold.cache.misses;
+    println!(
+        "  prefix-cache hit rate:      {:.1}% cold, {:.1}% warm",
+        cold.cache.hit_rate() * 100.0,
+        if warm_lookups == 0 {
+            0.0
+        } else {
+            warm_hits as f64 / warm_lookups as f64 * 100.0
+        }
+    );
+    assert!(
+        cold.usage.dispatches() * 2 <= sequential_dispatches,
+        "engine must at least halve model dispatches"
+    );
+    assert_eq!(
+        warm.usage.dispatches(),
+        cold.usage.dispatches(),
+        "a warm wave is answered entirely from the cache"
+    );
+    drop(engine);
+
+    let mut group = c.benchmark_group("shared_prompt_4x_sample");
+    group.bench_function("sequential", |b| b.iter(|| run_sequential(&lm, &bpe)));
+    group.bench_function("engine_batched", |b| b.iter(|| run_engine(&lm, &bpe)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_sequential);
+criterion_main!(benches);

@@ -9,8 +9,7 @@ use std::collections::HashMap;
 
 fn bench_cache_warmth(c: &mut Criterion) {
     let bpe = corpus::standard_bpe();
-    let expr =
-        parse_expr("not \"\\n\" in X and not \"Pick\" in X and stops_at(X, \".\")").unwrap();
+    let expr = parse_expr("not \"\\n\" in X and not \"Pick\" in X and stops_at(X, \".\")").unwrap();
     let scope = HashMap::new();
     let value = "some reasoning";
 

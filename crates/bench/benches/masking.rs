@@ -10,7 +10,11 @@ use std::collections::HashMap;
 fn bench_engines(c: &mut Criterion) {
     let bpe = corpus::standard_bpe();
     let cases = [
-        ("in_list", "X in [\"Search\", \"Finish\", \"Thought\"]", "Se"),
+        (
+            "in_list",
+            "X in [\"Search\", \"Finish\", \"Thought\"]",
+            "Se",
+        ),
         (
             "not_contains",
             "not \"\\n\" in X and not \"Pick\" in X",

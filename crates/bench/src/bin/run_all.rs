@@ -2,12 +2,12 @@
 //! the numbers recorded in EXPERIMENTS.md). Accepts `--quick` for a
 //! smaller instance count.
 
+use lmql_baseline::programs::{ARITH_SOURCE, COT_SOURCE, REACT_SOURCE};
 use lmql_bench::experiments::cot::{self, Task};
 use lmql_bench::experiments::{arith_exp, react_exp};
 use lmql_bench::loc::{functional_loc, Language};
 use lmql_bench::queries;
 use lmql_bench::table::print_metric_block;
-use lmql_baseline::programs::{ARITH_SOURCE, COT_SOURCE, REACT_SOURCE};
 use lmql_datasets::{GPT_35_PROFILE, GPT_J_PROFILE, OPT_30B_PROFILE};
 
 fn main() {
@@ -37,7 +37,11 @@ fn main() {
     println!("\n================ Table 4 ================\n");
     for (task, baseline_src, query_src) in [
         ("Odd One Out", COT_SOURCE, queries::ODD_ONE_OUT),
-        ("Date Understanding", COT_SOURCE, queries::DATE_UNDERSTANDING),
+        (
+            "Date Understanding",
+            COT_SOURCE,
+            queries::DATE_UNDERSTANDING,
+        ),
         ("Arithmetic Reasoning", ARITH_SOURCE, queries::ARITHMETIC),
         ("ReAct", REACT_SOURCE, queries::REACT),
     ] {

@@ -1,9 +1,9 @@
 //! Reproduces **Table 4**: lines of code required for the baseline
 //! implementations vs the corresponding LMQL queries.
 
+use lmql_baseline::programs::{ARITH_SOURCE, COT_SOURCE, REACT_SOURCE};
 use lmql_bench::loc::{functional_loc, Language};
 use lmql_bench::queries;
-use lmql_baseline::programs::{ARITH_SOURCE, COT_SOURCE, REACT_SOURCE};
 
 fn main() {
     println!("Table 4: lines of code (functional; comments/blank lines excluded)\n");
@@ -12,7 +12,11 @@ fn main() {
 
     let rows = [
         ("Odd One Out", COT_SOURCE, queries::ODD_ONE_OUT),
-        ("Date Understanding", COT_SOURCE, queries::DATE_UNDERSTANDING),
+        (
+            "Date Understanding",
+            COT_SOURCE,
+            queries::DATE_UNDERSTANDING,
+        ),
         ("Arithmetic Reasoning", ARITH_SOURCE, queries::ARITHMETIC),
         ("ReAct", REACT_SOURCE, queries::REACT),
     ];

@@ -21,12 +21,7 @@ fn main() {
     println!("({n} synthetic instances per case study; baseline chunk size 30)\n");
 
     let react = react_exp::run(&GPT_J_PROFILE, n, 3, 30);
-    print_metric_block(
-        "ReAct (Case Study 2)",
-        &react.baseline,
-        &react.lmql,
-        false,
-    );
+    print_metric_block("ReAct (Case Study 2)", &react.baseline, &react.lmql, false);
     println!();
 
     let arith = arith_exp::run(&GPT_J_PROFILE, n, 9, 30);

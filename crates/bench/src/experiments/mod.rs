@@ -29,6 +29,10 @@ impl Stats {
         self.usage.model_queries += usage.model_queries;
         self.usage.decoder_calls += usage.decoder_calls;
         self.usage.billable_tokens += usage.billable_tokens;
+        self.usage.batch_dispatches += usage.batch_dispatches;
+        self.usage.batched_queries += usage.batched_queries;
+        self.usage.cache_hits += usage.cache_hits;
+        self.usage.cache_misses += usage.cache_misses;
     }
 
     /// Fraction of correct answers.
@@ -55,6 +59,12 @@ impl Stats {
         self.avg(self.usage.billable_tokens)
     }
 
+    /// Average model round trips per instance (batched dispatches count
+    /// once however many contexts they carry).
+    pub fn avg_dispatches(&self) -> f64 {
+        self.avg(self.usage.dispatches())
+    }
+
     fn avg(&self, total: u64) -> f64 {
         if self.n == 0 {
             0.0
@@ -73,10 +83,7 @@ pub fn lm_digression(
     lmql_lm::Digression {
         at: d.at,
         text: d.text.clone(),
-        replace_remainder: Some(format!(
-            "\n{conclusion_prefix}{}.",
-            d.derailed_answer
-        )),
+        replace_remainder: Some(format!("\n{conclusion_prefix}{}.", d.derailed_answer)),
     }
 }
 

@@ -59,9 +59,42 @@ pub fn print_metric_block(label: &str, baseline: &Stats, lmql: &Stats, with_accu
             delta_pct(b, l)
         );
     }
+    // Engine statistics appear once runs are routed through the batching
+    // scheduler; sequential runs leave them at zero and skip the rows.
+    if baseline.usage.batch_dispatches + lmql.usage.batch_dispatches > 0 {
+        println!(
+            "  {:<18} {:>12.2} {:>12.2} {:>8.2}%",
+            "Dispatches",
+            baseline.avg_dispatches(),
+            lmql.avg_dispatches(),
+            delta_pct(baseline.avg_dispatches(), lmql.avg_dispatches())
+        );
+        println!(
+            "  {:<18} {:>12.2} {:>12.2}",
+            "Mean Batch Size",
+            baseline.usage.mean_batch_size(),
+            lmql.usage.mean_batch_size()
+        );
+    }
+    if baseline.usage.cache_hits
+        + baseline.usage.cache_misses
+        + lmql.usage.cache_hits
+        + lmql.usage.cache_misses
+        > 0
+    {
+        println!(
+            "  {:<18} {:>11.2}% {:>11.2}%",
+            "Cache Hit Rate",
+            baseline.usage.cache_hit_rate() * 100.0,
+            lmql.usage.cache_hit_rate() * 100.0
+        );
+    }
     let saved_cents = (baseline.avg_billable_tokens() - lmql.avg_billable_tokens()) / 1000.0
         * CENTS_PER_1K_TOKENS;
-    println!("  {:<18} {saved_cents:>32.2} cents/query", "Est. Cost Savings");
+    println!(
+        "  {:<18} {saved_cents:>32.2} cents/query",
+        "Est. Cost Savings"
+    );
 }
 
 #[cfg(test)]

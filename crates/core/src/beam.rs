@@ -11,7 +11,7 @@ use crate::decode::DecodeOptions;
 use crate::interp::{Externals, Step, VmState};
 use crate::{Error, Program, Result, Value};
 use lmql_lm::LanguageModel;
-use lmql_tokenizer::Bpe;
+use lmql_tokenizer::{Bpe, TokenId, TokenSet};
 use std::sync::Arc;
 
 /// Safety cap on beam-search iterations (tokens per beam across the whole
@@ -31,6 +31,18 @@ struct Beam {
     /// Cumulative log-probability of all chosen tokens.
     log_prob: f64,
     done: bool,
+}
+
+/// A live beam's fate for one search step, decided before any scoring so
+/// the step's forward passes can go out as one batch.
+#[derive(Debug)]
+enum Planned {
+    /// Already finished; carried through unchanged.
+    Done(Beam),
+    /// The hole ends here (stop condition, exhausted mask, budget).
+    Finish(Beam),
+    /// Extend by one token under this mask.
+    Extend { beam: Beam, mask: TokenSet },
 }
 
 /// A finished beam: its VM (trace, scope, hole records) and score.
@@ -85,10 +97,12 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
         if beams.iter().all(|b| b.done) {
             break;
         }
-        let mut candidates: Vec<Beam> = Vec::new();
+        // Pass 1: compute every live beam's mask and classify it, so all
+        // contexts that need scores this step are known up front.
+        let mut planned: Vec<Planned> = Vec::with_capacity(beams.len());
         for beam in beams.drain(..) {
             if beam.done {
-                candidates.push(beam);
+                planned.push(Planned::Done(beam));
                 continue;
             }
             let (var, value) = beam.hole.clone().expect("active beam has a hole");
@@ -99,38 +113,63 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                 || (outcome.allowed.is_empty() && outcome.eos_allowed)
                 || beam.hole_tokens >= options.max_tokens_per_hole
             {
-                let mut b = beam;
-                finish_hole(&mut b, program, externals, bpe)?;
-                candidates.push(b);
+                planned.push(Planned::Finish(beam));
                 continue;
             }
             if outcome.is_dead_end() {
                 continue; // prune this beam
             }
-
             let mut mask = outcome.allowed.clone();
             if outcome.eos_allowed {
                 mask.insert(eos);
             }
-            let dist = lm.score(&beam.context).softmax(options.temperature);
-            let Some(masked) = dist.masked(&mask) else {
-                continue; // numerically dead: prune
-            };
-            for (t, p) in masked.top_k(n) {
-                if p <= 0.0 {
-                    continue;
+            planned.push(Planned::Extend { beam, mask });
+        }
+
+        // One batched forward pass covers the whole step — through a
+        // batching backend this is a single dispatch instead of one per
+        // beam (and bit-identical either way, see `score_batch`).
+        let contexts: Vec<&[TokenId]> = planned
+            .iter()
+            .filter_map(|p| match p {
+                Planned::Extend { beam, .. } => Some(beam.context.as_slice()),
+                _ => None,
+            })
+            .collect();
+        let mut scored = lm.score_batch(&contexts).into_iter();
+
+        // Pass 2: expand in the original beam order.
+        let mut candidates: Vec<Beam> = Vec::new();
+        for plan in planned {
+            match plan {
+                Planned::Done(beam) => candidates.push(beam),
+                Planned::Finish(mut beam) => {
+                    finish_hole(&mut beam, program, externals, bpe)?;
+                    candidates.push(beam);
                 }
-                let mut b = beam.clone();
-                b.log_prob += p.ln();
-                if t == eos {
-                    finish_hole(&mut b, program, externals, bpe)?;
-                } else {
-                    let (_, v) = b.hole.as_mut().expect("active beam has a hole");
-                    v.push_str(bpe.vocab().token_str(t));
-                    b.context.push(t);
-                    b.hole_tokens += 1;
+                Planned::Extend { beam, mask } => {
+                    let logits = scored.next().expect("one score per extending beam");
+                    let dist = logits.softmax(options.temperature);
+                    let Some(masked) = dist.masked(&mask) else {
+                        continue; // numerically dead: prune
+                    };
+                    for (t, p) in masked.top_k(n) {
+                        if p <= 0.0 {
+                            continue;
+                        }
+                        let mut b = beam.clone();
+                        b.log_prob += p.ln();
+                        if t == eos {
+                            finish_hole(&mut b, program, externals, bpe)?;
+                        } else {
+                            let (_, v) = b.hole.as_mut().expect("active beam has a hole");
+                            v.push_str(bpe.vocab().token_str(t));
+                            b.context.push(t);
+                            b.hole_tokens += 1;
+                        }
+                        candidates.push(b);
+                    }
                 }
-                candidates.push(b);
             }
         }
         if candidates.is_empty() {
@@ -176,7 +215,10 @@ fn finish_hole(
     externals: &Externals,
     bpe: &Arc<Bpe>,
 ) -> Result<()> {
-    let (_, value) = beam.hole.take().expect("finish_hole without an active hole");
+    let (_, value) = beam
+        .hole
+        .take()
+        .expect("finish_hole without an active hole");
     beam.vm.provide_hole(value);
     beam.hole_tokens = 0;
     advance(beam, program, externals, bpe)
@@ -212,10 +254,7 @@ mod tests {
     #[test]
     fn beam_search_completes_simple_query() {
         let bpe = Arc::new(Bpe::char_level(""));
-        let lm = ScriptedLm::new(
-            Arc::clone(&bpe),
-            [Episode::plain("Say:", " hi there")],
-        );
+        let lm = ScriptedLm::new(Arc::clone(&bpe), [Episode::plain("Say:", " hi there")]);
         let program = compile_source(
             "beam(n=2)\n    \"Say:[OUT]\"\nfrom \"m\"\nwhere stops_at(OUT, \"there\")\n",
         )
@@ -283,10 +322,9 @@ where MODE in ["a", "b"]
     fn distribute_with_beam_is_rejected() {
         let bpe = Arc::new(Bpe::char_level(""));
         let lm = ScriptedLm::new(Arc::clone(&bpe), [Episode::plain("x", "y")]);
-        let program = compile_source(
-            "beam(n=2)\n    \"[X]\"\nfrom \"m\"\ndistribute X in [\"a\"]\n",
-        )
-        .unwrap();
+        let program =
+            compile_source("beam(n=2)\n    \"[X]\"\nfrom \"m\"\ndistribute X in [\"a\"]\n")
+                .unwrap();
         let mut masker = Masker::new(MaskEngine::Exact, bpe.clone());
         let err = run_beam_search(
             &lm,

@@ -94,10 +94,7 @@ pub fn call_builtin(name: &str, args: &[Value], span: Span) -> Result<Value> {
     let str_arg = |i: usize| -> Result<&str> {
         args[i].as_str().ok_or_else(|| {
             Error::eval(
-                format!(
-                    "{name}() expects a string, got {}",
-                    args[i].type_name()
-                ),
+                format!("{name}() expects a string, got {}", args[i].type_name()),
                 span,
             )
         })
@@ -131,9 +128,11 @@ pub fn call_builtin(name: &str, args: &[Value], span: Span) -> Result<Value> {
             match &args[0] {
                 Value::Int(i) => Ok(Value::Int(*i)),
                 Value::Float(f) => Ok(Value::Int(*f as i64)),
-                Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).map_err(|_| {
-                    Error::eval(format!("int() cannot parse {s:?}"), span)
-                }),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| Error::eval(format!("int() cannot parse {s:?}"), span)),
                 other => Err(Error::eval(
                     format!("int() is not defined for {}", other.type_name()),
                     span,
@@ -146,9 +145,7 @@ pub fn call_builtin(name: &str, args: &[Value], span: Span) -> Result<Value> {
         }
         "range" => match args {
             [Value::Int(n)] => Ok(Value::List((0..*n).map(Value::Int).collect())),
-            [Value::Int(a), Value::Int(b)] => {
-                Ok(Value::List((*a..*b).map(Value::Int).collect()))
-            }
+            [Value::Int(a), Value::Int(b)] => Ok(Value::List((*a..*b).map(Value::Int).collect())),
             _ => Err(Error::eval("range() expects 1 or 2 integers", span)),
         },
         "stops_at" => {
@@ -167,9 +164,9 @@ pub fn call_builtin(name: &str, args: &[Value], span: Span) -> Result<Value> {
 /// Returns an evaluation error for unknown methods or type mismatches.
 pub fn call_method(obj: &Value, name: &str, args: &[Value], span: Span) -> Result<Value> {
     let str_arg = |i: usize| -> Result<&str> {
-        args.get(i).and_then(Value::as_str).ok_or_else(|| {
-            Error::eval(format!(".{name}() expects a string argument"), span)
-        })
+        args.get(i)
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::eval(format!(".{name}() expects a string argument"), span))
     };
     match (obj, name) {
         (Value::Str(s), "split") => {
@@ -185,13 +182,11 @@ pub fn call_method(obj: &Value, name: &str, args: &[Value], span: Span) -> Resul
         (Value::Str(s), "endswith") => Ok(Value::Bool(s.ends_with(str_arg(0)?))),
         (Value::Str(s), "upper") => Ok(Value::Str(s.to_uppercase())),
         (Value::Str(s), "lower") => Ok(Value::Str(s.to_lowercase())),
-        (Value::Str(s), "replace") => {
-            Ok(Value::Str(s.replace(str_arg(0)?, str_arg(1)?)))
-        }
+        (Value::Str(s), "replace") => Ok(Value::Str(s.replace(str_arg(0)?, str_arg(1)?))),
         (Value::List(l), "index") => {
-            let target = args.first().ok_or_else(|| {
-                Error::eval(".index() expects one argument", span)
-            })?;
+            let target = args
+                .first()
+                .ok_or_else(|| Error::eval(".index() expects one argument", span))?;
             l.iter()
                 .position(|v| v.py_eq(target))
                 .map(|i| Value::Int(i as i64))
@@ -229,10 +224,7 @@ mod tests {
     #[test]
     fn len_on_strings_and_lists() {
         assert_eq!(len_of(&Value::Str("abc".into()), sp()).unwrap(), 3);
-        assert_eq!(
-            len_of(&Value::List(vec![Value::Int(1)]), sp()).unwrap(),
-            1
-        );
+        assert_eq!(len_of(&Value::List(vec![Value::Int(1)]), sp()).unwrap(), 1);
         assert!(len_of(&Value::Int(1), sp()).is_err());
     }
 
@@ -240,7 +232,10 @@ mod tests {
     fn int_string_predicate() {
         assert!(is_int_string("42"));
         assert!(is_int_string("-7"));
-        assert!(!is_int_string(" -7 "), "predicate is strict about whitespace");
+        assert!(
+            !is_int_string(" -7 "),
+            "predicate is strict about whitespace"
+        );
         assert!(!is_int_string("4.2"));
         assert!(!is_int_string(""));
         assert!(!is_int_string("x1"));
@@ -282,10 +277,7 @@ mod tests {
     fn string_methods() {
         let s = Value::Str("a, b, c".into());
         let parts = call_method(&s, "split", &[Value::Str(", ".into())], sp()).unwrap();
-        assert_eq!(
-            parts,
-            Value::List(vec!["a".into(), "b".into(), "c".into()])
-        );
+        assert_eq!(parts, Value::List(vec!["a".into(), "b".into(), "c".into()]));
         assert_eq!(
             call_method(&Value::Str(" x ".into()), "strip", &[], sp()).unwrap(),
             Value::Str("x".into())

@@ -291,14 +291,20 @@ impl Compiler {
                 });
             }
             Expr::BinOp {
-                op, left, right, span,
+                op,
+                left,
+                right,
+                span,
             } => {
                 self.expr(left)?;
                 self.expr(right)?;
                 self.instrs.push(Instr::BinOp(*op, *span));
             }
             Expr::Compare {
-                op, left, right, span,
+                op,
+                left,
+                right,
+                span,
             } => {
                 self.expr(left)?;
                 self.expr(right)?;
@@ -431,10 +437,8 @@ distribute ITEM in things
 
     #[test]
     fn distribute_var_must_be_hole() {
-        let err = compile_source(
-            "argmax\n    \"[X]\"\nfrom \"m\"\ndistribute Y in [1]\n",
-        )
-        .unwrap_err();
+        let err =
+            compile_source("argmax\n    \"[X]\"\nfrom \"m\"\ndistribute Y in [1]\n").unwrap_err();
         assert!(matches!(err, Error::Compile { .. }));
     }
 
@@ -455,10 +459,8 @@ distribute ITEM in things
         // without the import, wiki.search is a method call on an unknown
         // variable — it compiles to CallMethod and fails at runtime, but
         // with the import it compiles to CallExternal.
-        let p = compile_source(
-            "import wiki\nargmax\n    x = wiki.search(\"q\")\nfrom \"m\"\n",
-        )
-        .unwrap();
+        let p = compile_source("import wiki\nargmax\n    x = wiki.search(\"q\")\nfrom \"m\"\n")
+            .unwrap();
         assert!(p
             .instrs
             .iter()

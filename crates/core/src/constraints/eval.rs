@@ -96,7 +96,10 @@ pub fn eval_final(expr: &Expr, ctx: &EvalCtx<'_>) -> FinalValue {
                     fin = Fin::Var;
                 }
                 match call_method(&ov, name, &argv, *span) {
-                    Ok(v) => FinalValue { value: Some(v), fin },
+                    Ok(v) => FinalValue {
+                        value: Some(v),
+                        fin,
+                    },
                     Err(_) => FinalValue::undetermined(),
                 }
             }
@@ -106,15 +109,13 @@ pub fn eval_final(expr: &Expr, ctx: &EvalCtx<'_>) -> FinalValue {
         Expr::Index { obj, index, span } => {
             let (o, i) = (eval_final(obj, ctx), eval_final(index, ctx));
             match (o.value, i.value) {
-                (Some(ov), Some(iv)) => {
-                    match crate::interp::compare_free_index(&ov, &iv, *span) {
-                        Ok(v) => FinalValue {
-                            value: Some(v),
-                            fin: weakest(o.fin, i.fin),
-                        },
-                        Err(_) => FinalValue::undetermined(),
-                    }
-                }
+                (Some(ov), Some(iv)) => match crate::interp::compare_free_index(&ov, &iv, *span) {
+                    Ok(v) => FinalValue {
+                        value: Some(v),
+                        fin: weakest(o.fin, i.fin),
+                    },
+                    Err(_) => FinalValue::undetermined(),
+                },
                 _ => FinalValue::undetermined(),
             }
         }
@@ -146,7 +147,10 @@ pub fn eval_final(expr: &Expr, ctx: &EvalCtx<'_>) -> FinalValue {
             }
         }
         Expr::BinOp {
-            op, left, right, span,
+            op,
+            left,
+            right,
+            span,
         } => {
             let (l, r) = (eval_final(left, ctx), eval_final(right, ctx));
             match (&l.value, &r.value) {
@@ -161,7 +165,10 @@ pub fn eval_final(expr: &Expr, ctx: &EvalCtx<'_>) -> FinalValue {
             }
         }
         Expr::Compare {
-            op, left, right, span,
+            op,
+            left,
+            right,
+            span,
         } => {
             let (l, r) = (eval_final(left, ctx), eval_final(right, ctx));
             compare_final(*op, &l, &r, *span)
@@ -236,10 +243,7 @@ fn eval_builtin_final(
             };
             let Some(s) = av.as_str() else {
                 // Numeric arguments are trivially integers.
-                return FinalValue::fin(Value::Bool(matches!(
-                    av,
-                    Value::Int(_) | Value::Float(_)
-                )));
+                return FinalValue::fin(Value::Bool(matches!(av, Value::Int(_) | Value::Float(_))));
             };
             let ok = is_int_string(s);
             if a.fin.is_final() {
@@ -261,8 +265,7 @@ fn eval_builtin_final(
             // Custom operators (Appendix A.1) take precedence over the
             // generic builtin path.
             if let Some(op) = ctx.custom.and_then(|c| c.get(name)) {
-                let finals: Vec<FinalValue> =
-                    args.iter().map(|a| eval_final(a, ctx)).collect();
+                let finals: Vec<FinalValue> = args.iter().map(|a| eval_final(a, ctx)).collect();
                 let mut argv = Vec::with_capacity(finals.len());
                 for fv in &finals {
                     let Some(v) = &fv.value else {
@@ -304,7 +307,10 @@ fn eval_builtin_final(
                 argv.push(v);
             }
             match call_builtin(name, &argv, span) {
-                Ok(v) => FinalValue { value: Some(v), fin },
+                Ok(v) => FinalValue {
+                    value: Some(v),
+                    fin,
+                },
                 Err(_) => FinalValue::undetermined(),
             }
         }
@@ -362,12 +368,7 @@ fn binop_fin(op: BinOp, l: Fin, r: Fin) -> Fin {
 }
 
 /// FINAL rules for comparisons (Table 1, right column).
-fn compare_final(
-    op: CmpOp,
-    l: &FinalValue,
-    r: &FinalValue,
-    span: lmql_syntax::Span,
-) -> FinalValue {
+fn compare_final(op: CmpOp, l: &FinalValue, r: &FinalValue, span: lmql_syntax::Span) -> FinalValue {
     let (Some(lv), Some(rv)) = (&l.value, &r.value) else {
         return FinalValue::undetermined();
     };
@@ -486,9 +487,9 @@ fn in_fin(l: &FinalValue, r: &FinalValue, b: bool) -> Fin {
                 // Growing string vs fixed option list (Table 1's `e in l`):
                 // FIN(⊥) once no option starts with the current value.
                 if let Some(s) = x.as_str() {
-                    let any_extension = items.iter().any(|e| {
-                        e.as_str().is_some_and(|es| es.starts_with(s))
-                    });
+                    let any_extension = items
+                        .iter()
+                        .any(|e| e.as_str().is_some_and(|es| es.starts_with(s)));
                     if b || any_extension {
                         Fin::Var
                     } else {
@@ -588,9 +589,7 @@ pub fn eval_expr(
                 other => Err(Error::eval("invalid call target", other.span())),
             }
         }
-        Expr::Attribute { span, .. } => {
-            Err(Error::eval("attribute access outside a call", *span))
-        }
+        Expr::Attribute { span, .. } => Err(Error::eval("attribute access outside a call", *span)),
         Expr::Index { obj, index, span } => {
             let o = eval_expr(obj, scope, externals)?;
             let i = eval_expr(index, scope, externals)?;
@@ -609,18 +608,26 @@ pub fn eval_expr(
             crate::interp::slice_free(&o, lo, hi, *span)
         }
         Expr::BinOp {
-            op, left, right, span,
+            op,
+            left,
+            right,
+            span,
         } => {
             let l = eval_expr(left, scope, externals)?;
             let r = eval_expr(right, scope, externals)?;
             crate::interp::binop_values(*op, &l, &r, *span)
         }
         Expr::Compare {
-            op, left, right, span,
+            op,
+            left,
+            right,
+            span,
         } => {
             let l = eval_expr(left, scope, externals)?;
             let r = eval_expr(right, scope, externals)?;
-            Ok(Value::Bool(crate::interp::compare_values(*op, &l, &r, *span)?))
+            Ok(Value::Bool(crate::interp::compare_values(
+                *op, &l, &r, *span,
+            )?))
         }
         Expr::BoolOp { and, operands, .. } => {
             let mut last = Value::Bool(*and);
@@ -633,19 +640,17 @@ pub fn eval_expr(
             }
             Ok(last)
         }
-        Expr::Not { operand, .. } => Ok(Value::Bool(
-            !eval_expr(operand, scope, externals)?.truthy(),
-        )),
-        Expr::Neg { operand, span } => {
-            match eval_expr(operand, scope, externals)? {
-                Value::Int(i) => Ok(Value::Int(-i)),
-                Value::Float(f) => Ok(Value::Float(-f)),
-                other => Err(Error::eval(
-                    format!("cannot negate {}", other.type_name()),
-                    *span,
-                )),
-            }
+        Expr::Not { operand, .. } => {
+            Ok(Value::Bool(!eval_expr(operand, scope, externals)?.truthy()))
         }
+        Expr::Neg { operand, span } => match eval_expr(operand, scope, externals)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(Error::eval(
+                format!("cannot negate {}", other.type_name()),
+                *span,
+            )),
+        },
     }
 }
 
@@ -812,10 +817,7 @@ mod tests {
         scope.insert("OPTIONS".to_owned(), Value::Str("a, b, c".into()));
         let e = parse_expr("OPTIONS.split(\", \")").unwrap();
         let v = eval_expr(&e, &scope, &Externals::new()).unwrap();
-        assert_eq!(
-            v,
-            Value::List(vec!["a".into(), "b".into(), "c".into()])
-        );
+        assert_eq!(v, Value::List(vec!["a".into(), "b".into(), "c".into()]));
         let e = parse_expr("missing_var").unwrap();
         assert!(eval_expr(&e, &scope, &Externals::new()).is_err());
     }

@@ -292,9 +292,7 @@ fn fast_path(expr: &Expr, ctx: &mut FollowCtx<'_>) -> Option<FollowSets> {
     match expr {
         Expr::Bool { value, .. } => Some(FollowSets::constant(ctx.vlen(), *value)),
         // stops_at never constrains validity (its FOLLOW value is ⊤-ish).
-        Expr::Call { func, .. }
-            if matches!(func.as_ref(), Expr::Name { name, .. } if name == "stops_at") =>
-        {
+        Expr::Call { func, .. } if matches!(func.as_ref(), Expr::Name { name, .. } if name == "stops_at") => {
             Some(FollowSets::neutral(ctx.vlen()))
         }
         // Custom operator with a follow fast path, called on the current
@@ -395,9 +393,7 @@ fn compare_fast_path(
             (len_metric_of(left, ctx.var), right)
         {
             (Some(m), *value, op)
-        } else if let (Expr::Int { value, .. }, Some(m)) =
-            (left, len_metric_of(right, ctx.var))
-        {
+        } else if let (Expr::Int { value, .. }, Some(m)) = (left, len_metric_of(right, ctx.var)) {
             // Mirror `N op metric` to `metric op' N`.
             let mirrored = match op {
                 CmpOp::Lt => CmpOp::Gt,
@@ -531,12 +527,7 @@ fn compare_fast_path(
 
 /// FOLLOW sets for `metric(VAR) op bound` where the metric is monotone
 /// non-decreasing under token appends.
-fn len_bound_sets(
-    metric: LenMetric,
-    op: CmpOp,
-    bound: i64,
-    ctx: &mut FollowCtx<'_>,
-) -> FollowSets {
+fn len_bound_sets(metric: LenMetric, op: CmpOp, bound: i64, ctx: &mut FollowCtx<'_>) -> FollowSets {
     let vlen = ctx.vlen();
     let mut df = TokenSet::empty(vlen);
     let mut dt = TokenSet::empty(vlen);
@@ -554,11 +545,7 @@ fn len_bound_sets(
         }
         LenMetric::Words => {
             let current = ctx.value.split_whitespace().count() as i64;
-            let ends_nonws = ctx
-                .value
-                .chars()
-                .last()
-                .is_some_and(|c| !c.is_whitespace());
+            let ends_nonws = ctx.value.chars().last().is_some_and(|c| !c.is_whitespace());
             let stats: Vec<(u32, bool)> = ctx.cache.word_stats(ctx.vocab).to_vec();
             for (i, &(count_t, starts_nonws)) in stats.iter().enumerate() {
                 let id = lmql_tokenizer::TokenId(i as u32);
@@ -611,12 +598,7 @@ mod tests {
         (vocab, trie)
     }
 
-    fn sets(
-        expr: &str,
-        tokens: &[&str],
-        var: &str,
-        value: &str,
-    ) -> (Vec<String>, Vec<String>) {
+    fn sets(expr: &str, tokens: &[&str], var: &str, value: &str) -> (Vec<String>, Vec<String>) {
         let (vocab, trie) = setup(tokens);
         let e = parse_expr(expr).unwrap();
         let scope = HashMap::new();
@@ -657,12 +639,7 @@ mod tests {
 
     #[test]
     fn needle_completion_is_definitely_true() {
-        let (_, dt) = sets(
-            "\"ab\" in X",
-            &["a", "b", "ab", "xabx", "zz"],
-            "X",
-            "",
-        );
+        let (_, dt) = sets("\"ab\" in X", &["a", "b", "ab", "xabx", "zz"], "X", "");
         assert!(dt.contains(&"ab".to_owned()));
         assert!(dt.contains(&"xabx".to_owned()));
         assert!(!dt.contains(&"a".to_owned()));
@@ -673,12 +650,7 @@ mod tests {
 
     #[test]
     fn negated_needle_masks_completions() {
-        let (df, _) = sets(
-            "not \"\\n\" in X",
-            &["a", "\n", "b\nc", "ok"],
-            "X",
-            "text",
-        );
+        let (df, _) = sets("not \"\\n\" in X", &["a", "\n", "b\nc", "ok"], "X", "text");
         assert!(df.contains(&"\n".to_owned()));
         assert!(df.contains(&"b\nc".to_owned()));
         assert!(!df.contains(&"ok".to_owned()));
@@ -686,12 +658,7 @@ mod tests {
 
     #[test]
     fn int_constraint_allows_digits_only() {
-        let (df, _) = sets(
-            "int(X)",
-            &["1", "23", "-", "-4", "a", "1a"],
-            "X",
-            "4",
-        );
+        let (df, _) = sets("int(X)", &["1", "23", "-", "-4", "a", "1a"], "X", "4");
         assert!(df.contains(&"a".to_owned()));
         assert!(df.contains(&"1a".to_owned()));
         assert!(df.contains(&"-".to_owned()), "minus not allowed mid-number");

@@ -156,9 +156,7 @@ impl Masker {
         let eos_allowed = final_eval.truthy() != Some(false);
 
         let mut allowed = match self.engine {
-            MaskEngine::Exact => {
-                self.exact_allowed(expr, scope, var, value)
-            }
+            MaskEngine::Exact => self.exact_allowed(expr, scope, var, value),
             MaskEngine::Symbolic => {
                 let mut ctx = FollowCtx {
                     scope,
@@ -176,10 +174,7 @@ impl Masker {
 
         // stops_at containment: mask tokens that run past a stop phrase.
         for phrase in &stop_phrases {
-            let beyond = self
-                .cache
-                .tokens_containing_beyond(vocab, phrase)
-                .clone();
+            let beyond = self.cache.tokens_containing_beyond(vocab, phrase).clone();
             allowed.intersect_with(&beyond.complement());
             // Cross-boundary overruns: value ends with a proper prefix of
             // the phrase; tokens that complete the phrase *and continue*

@@ -52,8 +52,9 @@ impl DecodeOptions {
     /// options (`temperature`, `max_length`, `no_repeat_ngram_size`).
     pub fn with_decoder_params(mut self, spec: &lmql_syntax::ast::DecoderSpec) -> Self {
         self.temperature = spec.float_param("temperature", self.temperature);
-        self.max_tokens_per_hole =
-            spec.int_param("max_length", self.max_tokens_per_hole as i64).max(1) as usize;
+        self.max_tokens_per_hole = spec
+            .int_param("max_length", self.max_tokens_per_hole as i64)
+            .max(1) as usize;
         self.no_repeat_ngram = spec
             .int_param("no_repeat_ngram_size", self.no_repeat_ngram as i64)
             .max(0) as usize;
@@ -65,7 +66,11 @@ impl DecodeOptions {
 /// (HuggingFace's `no_repeat_ngram_size` semantics): for the last `n-1`
 /// context tokens as a prefix, every token that completed that prefix to
 /// an existing `n`-gram is blocked.
-pub fn ngram_blocked_tokens(context: &[lmql_tokenizer::TokenId], n: usize, vocab_len: usize) -> TokenSet {
+pub fn ngram_blocked_tokens(
+    context: &[lmql_tokenizer::TokenId],
+    n: usize,
+    vocab_len: usize,
+) -> TokenSet {
     let mut blocked = TokenSet::empty(vocab_len);
     if n == 0 || context.len() < n {
         return blocked;
@@ -192,7 +197,9 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
             break;
         }
         if outcome.is_dead_end() {
-            return Err(Error::NoValidContinuation { var: var.to_owned() });
+            return Err(Error::NoValidContinuation {
+                var: var.to_owned(),
+            });
         }
         if outcome.allowed.is_empty() {
             stopped_by = StopReason::MaskExhausted;
@@ -223,7 +230,9 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
         };
         let dist = logits.softmax(options.temperature);
         let Some(masked) = dist.masked(&mask) else {
-            return Err(Error::NoValidContinuation { var: var.to_owned() });
+            return Err(Error::NoValidContinuation {
+                var: var.to_owned(),
+            });
         };
         let t = match pick {
             Pick::Argmax => masked.argmax(),

@@ -235,9 +235,10 @@ impl VmState {
                     self.pc += 1;
                 }
                 Instr::Load(name, span) => {
-                    let v = self.scope.get(&name).cloned().ok_or_else(|| {
-                        Error::eval(format!("undefined variable `{name}`"), span)
-                    })?;
+                    let v =
+                        self.scope.get(&name).cloned().ok_or_else(|| {
+                            Error::eval(format!("undefined variable `{name}`"), span)
+                        })?;
                     self.stack.push(v);
                     self.pc += 1;
                 }
@@ -264,7 +265,8 @@ impl VmState {
                 Instr::Compare(op, span) => {
                     let r = self.pop();
                     let l = self.pop();
-                    self.stack.push(Value::Bool(apply_compare(op, &l, &r, span)?));
+                    self.stack
+                        .push(Value::Bool(apply_compare(op, &l, &r, span)?));
                     self.pc += 1;
                 }
                 Instr::Not => {
@@ -322,9 +324,10 @@ impl VmState {
                     span,
                 } => {
                     let args = self.pop_n(argc);
-                    let current = self.scope.get(&var).cloned().ok_or_else(|| {
-                        Error::eval(format!("undefined variable `{var}`"), span)
-                    })?;
+                    let current =
+                        self.scope.get(&var).cloned().ok_or_else(|| {
+                            Error::eval(format!("undefined variable `{var}`"), span)
+                        })?;
                     let Value::List(mut items) = current else {
                         return Err(Error::eval(
                             format!(".{name}() requires a list, got {}", current.type_name()),
@@ -333,15 +336,13 @@ impl VmState {
                     };
                     match name.as_str() {
                         "append" => {
-                            let [v] = <[Value; 1]>::try_from(args).map_err(|_| {
-                                Error::eval(".append() takes one argument", span)
-                            })?;
+                            let [v] = <[Value; 1]>::try_from(args)
+                                .map_err(|_| Error::eval(".append() takes one argument", span))?;
                             items.push(v);
                         }
                         "extend" => {
-                            let [v] = <[Value; 1]>::try_from(args).map_err(|_| {
-                                Error::eval(".extend() takes one argument", span)
-                            })?;
+                            let [v] = <[Value; 1]>::try_from(args)
+                                .map_err(|_| Error::eval(".extend() takes one argument", span))?;
                             match v {
                                 Value::List(more) => items.extend(more),
                                 other => {
@@ -362,10 +363,7 @@ impl VmState {
                     self.pc += 1;
                 }
                 Instr::CallExternal {
-                    module,
-                    func,
-                    argc,
-                    ..
+                    module, func, argc, ..
                 } => {
                     let args = self.pop_n(argc);
                     self.stack.push(externals.call(&module, &func, &args)?);
@@ -384,9 +382,7 @@ impl VmState {
                     let v = self.pop();
                     let items = match v {
                         Value::List(l) => l,
-                        Value::Str(s) => {
-                            s.chars().map(|c| Value::Str(c.to_string())).collect()
-                        }
+                        Value::Str(s) => s.chars().map(|c| Value::Str(c.to_string())).collect(),
                         other => {
                             return Err(Error::eval(
                                 format!("cannot iterate over {}", other.type_name()),
@@ -415,10 +411,7 @@ impl VmState {
                 }
                 Instr::BoolFold { and, count } => {
                     let vals = self.pop_n(count);
-                    let mut result = vals
-                        .first()
-                        .cloned()
-                        .unwrap_or(Value::Bool(and));
+                    let mut result = vals.first().cloned().unwrap_or(Value::Bool(and));
                     for v in vals {
                         let decided = if and { !v.truthy() } else { v.truthy() };
                         result = v;
@@ -548,11 +541,7 @@ fn apply_compare(op: CmpOp, l: &Value, r: &Value, span: Span) -> Result<bool> {
         _ => {
             let ord = l.compare(r).ok_or_else(|| {
                 Error::eval(
-                    format!(
-                        "cannot compare {} with {}",
-                        l.type_name(),
-                        r.type_name()
-                    ),
+                    format!("cannot compare {} with {}", l.type_name(), r.type_name()),
                     span,
                 )
             })?;
@@ -682,9 +671,9 @@ mod tests {
         loop {
             match vm.run(&p, &ex).unwrap() {
                 Step::NeedHole(req) => {
-                    let v = fills.next().unwrap_or_else(|| {
-                        panic!("no fill left for hole {}", req.var)
-                    });
+                    let v = fills
+                        .next()
+                        .unwrap_or_else(|| panic!("no fill left for hole {}", req.var));
                     vm.provide_hole(*v);
                 }
                 Step::Done => return vm,
@@ -731,7 +720,10 @@ from "m"
 "#,
             &["sun screen", "beach towel"],
         );
-        assert_eq!(vm.trace(), "- sun screen\n- beach towel\ndone ['sun screen', 'beach towel']");
+        assert_eq!(
+            vm.trace(),
+            "- sun screen\n- beach towel\ndone ['sun screen', 'beach towel']"
+        );
         assert_eq!(vm.scope()["THING"], Value::Str("beach towel".into()));
         assert_eq!(vm.scope()["i"], Value::Int(1));
     }
@@ -794,10 +786,8 @@ from "m"
 
     #[test]
     fn missing_external_errors() {
-        let p = compile_source(
-            "import calc\nargmax\n    r = calc.add(1, 2)\nfrom \"m\"\n",
-        )
-        .unwrap();
+        let p =
+            compile_source("import calc\nargmax\n    r = calc.add(1, 2)\nfrom \"m\"\n").unwrap();
         let mut vm = VmState::new([]);
         let err = vm.run(&p, &Externals::new()).unwrap_err();
         assert!(matches!(err, Error::External { .. }));

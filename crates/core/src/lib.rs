@@ -70,9 +70,9 @@ pub use decode::{
     decode_hole, decode_hole_traced, ngram_blocked_tokens, unconstrained_mask, DecodeOptions,
     DecodedValue, Pick,
 };
-pub use naive::{decode_hole_naive, decode_hole_naive_strict, NaiveOptions, NaiveOutcome};
 pub use error::{Error, Result};
 pub use interp::{ExternalFn, Externals, HoleRecord, HoleRequest, Step, VmState};
+pub use naive::{decode_hole_naive, decode_hole_naive_strict, NaiveOptions, NaiveOutcome};
 pub use program::{CompiledSegment, Instr, Program, PromptTemplate};
 pub use runtime::{QueryResult, QueryRun, Runtime};
 pub use value::Value;

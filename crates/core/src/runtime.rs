@@ -7,7 +7,7 @@ use crate::decode::{decode_hole_traced, DecodeOptions, Pick};
 use crate::interp::{Externals, HoleRecord, Step, VmState};
 use crate::{compile_source, Error, Program, Result, Value};
 use lmql_lm::{CachedLm, LanguageModel, MeteredLm, UsageMeter};
-use lmql_tokenizer::Bpe;
+use lmql_tokenizer::{Bpe, TokenId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -324,9 +324,7 @@ impl Runtime {
                                 a.1.partial_cmp(&b.1).expect("probabilities are never NaN")
                             })
                             .map(|(v, _)| v.clone())
-                            .ok_or_else(|| {
-                                Error::eval("distribute support is empty", d.span)
-                            })?;
+                            .ok_or_else(|| Error::eval("distribute support is empty", d.span))?;
                         if let Some(d) = debug.as_deref_mut() {
                             d.holes.push(HoleTrace {
                                 var: req.var.clone(),
@@ -416,9 +414,7 @@ impl Runtime {
                 }
                 args.iter().try_for_each(|a| self.validate_where(a))
             }
-            E::BoolOp { operands, .. } => {
-                operands.iter().try_for_each(|o| self.validate_where(o))
-            }
+            E::BoolOp { operands, .. } => operands.iter().try_for_each(|o| self.validate_where(o)),
             E::Not { operand, .. } | E::Neg { operand, .. } => self.validate_where(operand),
             E::Compare { left, right, .. } | E::BinOp { left, right, .. } => {
                 self.validate_where(left)?;
@@ -469,21 +465,16 @@ impl Runtime {
             return Err(Error::eval("distribute support is empty", d.span));
         }
 
-        let mut log_probs = Vec::with_capacity(values.len());
+        let log_probs = self.score_continuations(lm, trace, &values);
         for v in &values {
-            let lp = self.score_continuation(lm, trace, v);
             // Each scored value starts its own decoding loop: one decoder
             // call billing prompt + continuation (§6 metrics).
             self.meter
                 .record_decoder_call(self.bpe.token_count(&format!("{trace}{v}")) as u64);
-            log_probs.push(lp);
         }
 
         // Softmax over the sequence log-probabilities.
-        let max = log_probs
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = log_probs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = log_probs.iter().map(|lp| (lp - max).exp()).collect();
         let z: f64 = exps.iter().sum();
         Ok(values
@@ -493,26 +484,45 @@ impl Runtime {
             .collect())
     }
 
-    /// Log-probability of `text` as a continuation of `trace`, scored
-    /// token by token.
-    fn score_continuation<L: LanguageModel>(&self, lm: &L, trace: &str, text: &str) -> f64 {
+    /// Log-probability of each `text` as a continuation of `trace`,
+    /// scored token by token.
+    ///
+    /// Unlike hole decoding, every context to score is known before any
+    /// scoring happens (the support values are fixed), so all of them —
+    /// across all values — go to the model as one batch.
+    fn score_continuations<L: LanguageModel>(
+        &self,
+        lm: &L,
+        trace: &str,
+        texts: &[String],
+    ) -> Vec<f64> {
         let base = self.bpe.encode(trace);
-        let full = self.bpe.encode(&format!("{trace}{text}"));
         // The boundary token may re-tokenise; score from the first
         // divergence between the two encodings.
-        let common = base
+        let plans: Vec<(Vec<TokenId>, usize)> = texts
             .iter()
-            .zip(&full)
-            .take_while(|(a, b)| a == b)
-            .count();
-        let mut ctx = full[..common].to_vec();
-        let mut lp = 0.0;
-        for &t in &full[common..] {
-            let dist = lm.score(&ctx).softmax(1.0);
-            lp += dist.log_prob(t);
-            ctx.push(t);
-        }
-        lp
+            .map(|text| {
+                let full = self.bpe.encode(&format!("{trace}{text}"));
+                let common = base.iter().zip(&full).take_while(|(a, b)| a == b).count();
+                (full, common)
+            })
+            .collect();
+        let contexts: Vec<&[TokenId]> = plans
+            .iter()
+            .flat_map(|(full, common)| (*common..full.len()).map(move |i| &full[..i]))
+            .collect();
+        let mut scored = lm.score_batch(&contexts).into_iter();
+        plans
+            .iter()
+            .map(|(full, common)| {
+                let mut lp = 0.0;
+                for &t in &full[*common..] {
+                    let logits = scored.next().expect("one score per context");
+                    lp += logits.softmax(1.0).log_prob(t);
+                }
+                lp
+            })
+            .collect()
     }
 }
 
@@ -544,9 +554,7 @@ mod tests {
     #[test]
     fn sample_returns_n_runs() {
         let rt = runtime(vec![Episode::plain("P:", " out")]);
-        let result = rt
-            .run("sample(n=3)\n    \"P:[X]\"\nfrom \"m\"\n")
-            .unwrap();
+        let result = rt.run("sample(n=3)\n    \"P:[X]\"\nfrom \"m\"\n").unwrap();
         assert_eq!(result.runs.len(), 3);
         assert_eq!(rt.meter().snapshot().decoder_calls, 3);
     }
@@ -621,21 +629,17 @@ mod tests {
     fn distribute_must_be_last_hole() {
         let rt = runtime(vec![Episode::plain("t:", " a b")]);
         let err = rt
-            .run(
-                "argmax\n    \"t:[D] then [MORE]\"\nfrom \"m\"\ndistribute D in [\" a\"]\n",
-            )
+            .run("argmax\n    \"t:[D] then [MORE]\"\nfrom \"m\"\ndistribute D in [\" a\"]\n")
             .unwrap_err();
         assert!(err.to_string().contains("last hole"));
     }
 
     #[test]
     fn loop_with_holes_fig1b_shape() {
-        let rt = runtime(vec![
-            Episode::plain(
-                "A list of things not to forget when travelling:\n-",
-                " keys\n- passport\nThe most important of these is keys.",
-            ),
-        ]);
+        let rt = runtime(vec![Episode::plain(
+            "A list of things not to forget when travelling:\n-",
+            " keys\n- passport\nThe most important of these is keys.",
+        )]);
         let result = rt
             .run(
                 r#"
@@ -657,6 +661,9 @@ where stops_at(THING, "\n") and stops_at(ITEM, ".")
             &Value::List(vec![" keys\n".into(), " passport\n".into()])
         );
         assert_eq!(result.best().var_str("ITEM"), Some(" keys."));
-        assert!(result.best().trace.ends_with("The most important of these is keys."));
+        assert!(result
+            .best()
+            .trace
+            .ends_with("The most important of these is keys."));
     }
 }

@@ -107,9 +107,7 @@ impl Value {
     /// Python `==`: numeric cross-type equality, structural otherwise.
     pub fn py_eq(&self, other: &Value) -> bool {
         match (self, other) {
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (a, b) => a == b,
         }
     }

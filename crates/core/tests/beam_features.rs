@@ -80,7 +80,10 @@ fn beam_branches_run_different_externals() {
         }]);
         rt.register_external("nav", "reward", |args| {
             let side = args[0].as_str().ok_or("expected str")?;
-            Ok(Value::Str(format!("reward-for-{}", side.trim_matches('\''))))
+            Ok(Value::Str(format!(
+                "reward-for-{}",
+                side.trim_matches('\'')
+            )))
         });
         rt
     };
@@ -99,8 +102,14 @@ where stops_at(SIDE, "'")
         )
         .unwrap();
     let traces: Vec<&str> = result.runs.iter().map(|r| r.trace.as_str()).collect();
-    assert!(traces.iter().any(|t| t.contains("reward-for-left")), "{traces:?}");
-    assert!(traces.iter().any(|t| t.contains("reward-for-right")), "{traces:?}");
+    assert!(
+        traces.iter().any(|t| t.contains("reward-for-left")),
+        "{traces:?}"
+    );
+    assert!(
+        traces.iter().any(|t| t.contains("reward-for-right")),
+        "{traces:?}"
+    );
 }
 
 #[test]

@@ -69,9 +69,7 @@ fn custom_op_both_engines_agree() {
         rt.options_mut().engine = engine;
         rt.register_constraint_op("no_digits", Arc::new(NoDigits));
         let result = rt
-            .run(
-                "argmax\n    \"Out:[X]\"\nfrom \"m\"\nwhere no_digits(X) and stops_at(X, \".\")\n",
-            )
+            .run("argmax\n    \"Out:[X]\"\nfrom \"m\"\nwhere no_digits(X) and stops_at(X, \".\")\n")
             .unwrap();
         outs.push(result.best().trace.clone());
     }

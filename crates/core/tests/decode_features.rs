@@ -3,7 +3,7 @@
 //! debug trace.
 
 use lmql::{DecodeOptions, Runtime, StopReason};
-use lmql_lm::{Episode, MeteredLm, ScriptedLm, UsageMeter, LanguageModel, Logits};
+use lmql_lm::{Episode, LanguageModel, Logits, MeteredLm, ScriptedLm, UsageMeter};
 use lmql_tokenizer::{Bpe, TokenId, Vocabulary};
 use std::sync::Arc;
 
@@ -122,9 +122,7 @@ fn debug_trace_records_steps_and_reason() {
 fn debug_trace_covers_distribution_holes() {
     let rt = runtime(" yes");
     let (_, trace) = rt
-        .run_traced(
-            "argmax\n    \"P:[X]\"\nfrom \"m\"\ndistribute X in [\" yes\", \" no\"]\n",
-        )
+        .run_traced("argmax\n    \"P:[X]\"\nfrom \"m\"\ndistribute X in [\" yes\", \" no\"]\n")
         .unwrap();
     assert_eq!(trace.holes.len(), 1);
     assert_eq!(trace.holes[0].stopped_by, StopReason::Distribution);

@@ -9,6 +9,10 @@
 //! permissive as the exact per-token engine (it may over-approximate, but
 //! never prune more).
 
+// Property suites ride behind the default-off `slow-tests` feature:
+// run them with `cargo test --features slow-tests`.
+#![cfg(feature = "slow-tests")]
+
 use lmql::constraints::{eval_final, EvalCtx, MaskEngine, Masker, VocabSource};
 use lmql_syntax::parse_expr;
 use lmql_tokenizer::{TokenId, Vocabulary};
@@ -61,8 +65,7 @@ fn constraint_strategy() -> impl Strategy<Value = String> {
 
 /// Values reachable by concatenating up to 2 vocabulary tokens.
 fn value_strategy() -> impl Strategy<Value = String> {
-    proptest::collection::vec(proptest::sample::select(TOKENS), 0..=2)
-        .prop_map(|v| v.concat())
+    proptest::collection::vec(proptest::sample::select(TOKENS), 0..=2).prop_map(|v| v.concat())
 }
 
 /// Bounded search: can `value` be completed to satisfy `expr` by appending

@@ -143,7 +143,10 @@ impl Instance {
 
     /// The intended completion after the question line.
     pub fn script(&self) -> String {
-        format!("{}\nSo the answer is {}.", self.reasoning, self.model_answer)
+        format!(
+            "{}\nSo the answer is {}.",
+            self.reasoning, self.model_answer
+        )
     }
 
     /// The derailed completion, if the model would digress.
@@ -161,7 +164,11 @@ impl Instance {
 /// The question relations the generator draws from.
 const RELATIONS: &[(&str, i32, &str)] = &[
     ("What is the date tomorrow?", 1, "tomorrow is one day later"),
-    ("What is the date yesterday?", -1, "yesterday was one day earlier"),
+    (
+        "What is the date yesterday?",
+        -1,
+        "yesterday was one day earlier",
+    ),
     (
         "What is the date one week from today?",
         7,
@@ -197,8 +204,12 @@ fn instance(rng: &mut StdRng, profile: &ModelProfile) -> Instance {
     // Distractors: off-by-one day, off-by-one month.
     let mut options = vec![
         answer.format_long(),
-        answer.plus_days(if delta >= 0 { -1 } else { 1 }).format_long(),
-        answer.plus_days(if rng.gen_bool(0.5) { 30 } else { -30 }).format_long(),
+        answer
+            .plus_days(if delta >= 0 { -1 } else { 1 })
+            .format_long(),
+        answer
+            .plus_days(if rng.gen_bool(0.5) { 30 } else { -30 })
+            .format_long(),
     ];
     if rng.gen_bool(0.5) {
         options.push(base.format_long());

@@ -58,10 +58,10 @@ fn instance(rng: &mut StdRng) -> Instance {
 /// The paper's own running example (Fig. 13b): paintings at two prices,
 /// doubled sales.
 fn painter(rng: &mut StdRng) -> Instance {
-    let large = rng.gen_range(3..=9);
-    let small = rng.gen_range(2..=8);
-    let price_l = 10 * rng.gen_range(4..=8);
-    let price_s = 10 * rng.gen_range(2..=4);
+    let large: i64 = rng.gen_range(3..=9);
+    let small: i64 = rng.gen_range(2..=8);
+    let price_l: i64 = 10 * rng.gen_range(4..=8i64);
+    let price_s: i64 = 10 * rng.gen_range(2..=4i64);
     let r1 = large * price_l;
     let r2 = small * price_s;
     let r3 = r1 + r2;
@@ -93,9 +93,9 @@ fn painter(rng: &mut StdRng) -> Instance {
 }
 
 fn bakery(rng: &mut StdRng) -> Instance {
-    let trays = rng.gen_range(3..=7);
-    let per_tray = rng.gen_range(6..=12);
-    let days = rng.gen_range(2..=5);
+    let trays: i64 = rng.gen_range(3..=7);
+    let per_tray: i64 = rng.gen_range(6..=12);
+    let days: i64 = rng.gen_range(2..=5);
     let r1 = trays * per_tray;
     let r2 = r1 * days;
     let question = format!(
@@ -120,9 +120,9 @@ fn bakery(rng: &mut StdRng) -> Instance {
 }
 
 fn bus(rng: &mut StdRng) -> Instance {
-    let start = rng.gen_range(20..=40);
-    let off = rng.gen_range(5..=12);
-    let on = rng.gen_range(3..=10);
+    let start: i64 = rng.gen_range(20..=40);
+    let off: i64 = rng.gen_range(5..=12);
+    let on: i64 = rng.gen_range(3..=10);
     let r1 = start - off;
     let r2 = r1 + on;
     let question = format!(
@@ -180,7 +180,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(generate(10, 3, &GPT_J_PROFILE), generate(10, 3, &GPT_J_PROFILE));
+        assert_eq!(
+            generate(10, 3, &GPT_J_PROFILE),
+            generate(10, 3, &GPT_J_PROFILE)
+        );
     }
 
     #[test]

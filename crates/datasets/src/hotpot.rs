@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(generate(10, 3, &GPT_J_PROFILE), generate(10, 3, &GPT_J_PROFILE));
+        assert_eq!(
+            generate(10, 3, &GPT_J_PROFILE),
+            generate(10, 3, &GPT_J_PROFILE)
+        );
     }
 
     #[test]

@@ -218,8 +218,10 @@ mod tests {
     #[test]
     fn digressions_start_with_forbidden_phrase() {
         let instances = generate(200, 4, &GPT_J_PROFILE);
-        let digressed: Vec<&Instance> =
-            instances.iter().filter(|i| i.digression.is_some()).collect();
+        let digressed: Vec<&Instance> = instances
+            .iter()
+            .filter(|i| i.digression.is_some())
+            .collect();
         assert!(!digressed.is_empty());
         for i in digressed {
             let d = i.digression.as_ref().unwrap();

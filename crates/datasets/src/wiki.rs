@@ -72,11 +72,7 @@ impl MiniWiki {
     /// overlaps, mirroring a failed Wikipedia lookup.
     pub fn search(&self, query: &str) -> String {
         let q = query.trim().to_lowercase();
-        if let Some(a) = self
-            .articles
-            .iter()
-            .find(|a| a.title.to_lowercase() == q)
-        {
+        if let Some(a) = self.articles.iter().find(|a| a.title.to_lowercase() == q) {
             return a.text.clone();
         }
         let q_words: Vec<&str> = q.split_whitespace().collect();

@@ -14,11 +14,21 @@ pub struct Category {
 pub const CATEGORIES: &[Category] = &[
     Category {
         name: "clothing",
-        words: &["skirt", "dress", "jacket", "shirt", "trousers", "coat", "sweater"],
+        words: &[
+            "skirt", "dress", "jacket", "shirt", "trousers", "coat", "sweater",
+        ],
     },
     Category {
         name: "a country",
-        words: &["Spain", "France", "England", "Singapore", "Brazil", "Japan", "Kenya"],
+        words: &[
+            "Spain",
+            "France",
+            "England",
+            "Singapore",
+            "Brazil",
+            "Japan",
+            "Kenya",
+        ],
     },
     Category {
         name: "a language",

@@ -1,0 +1,10 @@
+//! Concurrent inference engine (scheduler + prefix cache).
+
+pub mod radix;
+pub mod sched;
+
+mod run;
+
+pub use radix::{RadixCache, RadixCacheConfig, RadixStats};
+pub use run::{Engine, EngineConfig, EngineStats};
+pub use sched::{BatchPolicy, BatchedLm, Scheduler};

@@ -1,0 +1,469 @@
+//! A token-trie prefix cache with LRU eviction (the SGLang-style
+//! "radix cache" specialised to whole-context score memoisation).
+//!
+//! Decoding revisits contexts that share long token prefixes: every step
+//! of a hole extends the previous step's context by one token, `n`
+//! lockstep samples share the prompt, and concurrent queries over the
+//! same template share almost everything. Storing score vectors in a trie
+//! keyed by the token path makes that sharing structural — one node per
+//! context, shared spine for shared prefixes — and makes bounded
+//! eviction cheap: evicting the least-recently-used *entry* prunes only
+//! its private suffix nodes, never a shared spine still in use.
+//!
+//! Unlike the unbounded per-context `HashMap` in
+//! [`CachedLm`](lmql_lm::CachedLm), this cache is budgeted (entry count
+//! and approximate bytes) so long-running servers reach a steady state
+//! instead of leaking.
+
+use lmql_lm::Logits;
+use lmql_tokenizer::TokenId;
+use std::collections::HashMap;
+
+/// Sentinel for "no node" in the arena / LRU links.
+const NIL: usize = usize::MAX;
+
+/// Per-entry bookkeeping overhead assumed by the byte budget (node,
+/// hash-map slot, LRU links). An estimate — the budget bounds growth, it
+/// is not an allocator audit.
+const ENTRY_OVERHEAD_BYTES: usize = 96;
+
+/// Budgets for a [`RadixCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct RadixCacheConfig {
+    /// Maximum number of cached entries (contexts with a stored score
+    /// vector). At least 1.
+    pub max_entries: usize,
+    /// Maximum approximate bytes across all cached score vectors.
+    pub max_bytes: usize,
+}
+
+impl Default for RadixCacheConfig {
+    fn default() -> Self {
+        RadixCacheConfig {
+            max_entries: 16_384,
+            max_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Hit/miss/eviction counters and current occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RadixStats {
+    /// `get` calls that found a cached value.
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// Entries evicted to stay within budget.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Approximate bytes currently cached.
+    pub bytes: usize,
+}
+
+impl RadixStats {
+    /// Fraction of lookups served from cache (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    children: HashMap<TokenId, usize>,
+    parent: usize,
+    /// Token on the edge from `parent` to this node.
+    edge: TokenId,
+    value: Option<Logits>,
+    /// Approximate bytes charged for `value`.
+    bytes: usize,
+    /// LRU links, valid only while `value.is_some()`.
+    lru_prev: usize,
+    lru_next: usize,
+}
+
+impl Node {
+    fn new(parent: usize, edge: TokenId) -> Self {
+        Node {
+            children: HashMap::new(),
+            parent,
+            edge,
+            value: None,
+            bytes: 0,
+            lru_prev: NIL,
+            lru_next: NIL,
+        }
+    }
+}
+
+/// The cache. Single-threaded by itself; the
+/// [`Scheduler`](crate::Scheduler) wraps it in a mutex.
+#[derive(Debug)]
+pub struct RadixCache {
+    config: RadixCacheConfig,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Most-recently-used entry node.
+    lru_head: usize,
+    /// Least-recently-used entry node.
+    lru_tail: usize,
+    entries: usize,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl RadixCache {
+    /// An empty cache with the given budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries` is zero.
+    pub fn new(config: RadixCacheConfig) -> Self {
+        assert!(config.max_entries > 0, "radix cache needs at least 1 entry");
+        RadixCache {
+            config,
+            nodes: vec![Node::new(NIL, TokenId(0))],
+            free: Vec::new(),
+            lru_head: NIL,
+            lru_tail: NIL,
+            entries: 0,
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> RadixStats {
+        RadixStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries,
+            bytes: self.bytes,
+        }
+    }
+
+    /// Looks up the score vector cached for exactly `key`, marking it
+    /// most recently used.
+    pub fn get(&mut self, key: &[TokenId]) -> Option<Logits> {
+        match self.walk(key) {
+            Some(idx) if self.nodes[idx].value.is_some() => {
+                self.hits += 1;
+                self.touch(idx);
+                self.nodes[idx].value.clone()
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Length of the longest prefix of `key` that is a cached entry
+    /// (0 when none). Does not count as a lookup or touch recency.
+    pub fn longest_cached_prefix(&self, key: &[TokenId]) -> usize {
+        let mut idx = 0;
+        let mut best = 0;
+        for (depth, t) in key.iter().enumerate() {
+            match self.nodes[idx].children.get(t) {
+                Some(&child) => {
+                    idx = child;
+                    if self.nodes[idx].value.is_some() {
+                        best = depth + 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        // The empty context can itself be an entry.
+        if best == 0 && self.nodes[0].value.is_some() {
+            0
+        } else {
+            best
+        }
+    }
+
+    /// Caches `value` for `key`, then evicts least-recently-used entries
+    /// until the budgets hold. Overwriting an existing entry refreshes
+    /// its recency.
+    pub fn insert(&mut self, key: &[TokenId], value: Logits) {
+        let mut idx = 0;
+        for &t in key {
+            idx = match self.nodes[idx].children.get(&t) {
+                Some(&child) => child,
+                None => {
+                    let child = self.alloc(idx, t);
+                    self.nodes[idx].children.insert(t, child);
+                    child
+                }
+            };
+        }
+        let new_bytes = value.len() * 8 + key.len() * 4 + ENTRY_OVERHEAD_BYTES;
+        if self.nodes[idx].value.is_some() {
+            // Overwrite in place.
+            self.bytes = self.bytes - self.nodes[idx].bytes + new_bytes;
+            self.nodes[idx].value = Some(value);
+            self.nodes[idx].bytes = new_bytes;
+            self.touch(idx);
+        } else {
+            self.nodes[idx].value = Some(value);
+            self.nodes[idx].bytes = new_bytes;
+            self.entries += 1;
+            self.bytes += new_bytes;
+            self.lru_push_front(idx);
+        }
+        self.evict_to_budget();
+    }
+
+    /// Empties the cache (counters survive).
+    pub fn clear(&mut self) {
+        self.nodes = vec![Node::new(NIL, TokenId(0))];
+        self.free.clear();
+        self.lru_head = NIL;
+        self.lru_tail = NIL;
+        self.entries = 0;
+        self.bytes = 0;
+    }
+
+    /// Number of live trie nodes (root included) — exposed for tests
+    /// asserting structural sharing and pruning.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    fn walk(&self, key: &[TokenId]) -> Option<usize> {
+        let mut idx = 0;
+        for t in key {
+            idx = *self.nodes[idx].children.get(t)?;
+        }
+        Some(idx)
+    }
+
+    fn alloc(&mut self, parent: usize, edge: TokenId) -> usize {
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = Node::new(parent, edge);
+                idx
+            }
+            None => {
+                self.nodes.push(Node::new(parent, edge));
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.entries > self.config.max_entries
+            || (self.bytes > self.config.max_bytes && self.entries > 1)
+        {
+            let victim = self.lru_tail;
+            if victim == NIL {
+                break;
+            }
+            self.remove_entry(victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Drops the entry at `idx` and prunes now-useless suffix nodes.
+    fn remove_entry(&mut self, idx: usize) {
+        self.lru_unlink(idx);
+        self.bytes -= self.nodes[idx].bytes;
+        self.entries -= 1;
+        self.nodes[idx].value = None;
+        self.nodes[idx].bytes = 0;
+        // Prune childless valueless nodes up the spine (shared prefixes
+        // with live descendants or live values stay).
+        let mut cur = idx;
+        while cur != 0 && self.nodes[cur].value.is_none() && self.nodes[cur].children.is_empty() {
+            let parent = self.nodes[cur].parent;
+            let edge = self.nodes[cur].edge;
+            self.nodes[parent].children.remove(&edge);
+            self.free.push(cur);
+            cur = parent;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.lru_head != idx {
+            self.lru_unlink(idx);
+            self.lru_push_front(idx);
+        }
+    }
+
+    fn lru_push_front(&mut self, idx: usize) {
+        self.nodes[idx].lru_prev = NIL;
+        self.nodes[idx].lru_next = self.lru_head;
+        if self.lru_head != NIL {
+            self.nodes[self.lru_head].lru_prev = idx;
+        }
+        self.lru_head = idx;
+        if self.lru_tail == NIL {
+            self.lru_tail = idx;
+        }
+    }
+
+    fn lru_unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].lru_prev, self.nodes[idx].lru_next);
+        if prev != NIL {
+            self.nodes[prev].lru_next = next;
+        } else {
+            self.lru_head = next;
+        }
+        if next != NIL {
+            self.nodes[next].lru_prev = prev;
+        } else {
+            self.lru_tail = prev;
+        }
+        self.nodes[idx].lru_prev = NIL;
+        self.nodes[idx].lru_next = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits(tag: f64) -> Logits {
+        Logits::from_vec(vec![tag, tag + 1.0])
+    }
+
+    fn key(ids: &[u32]) -> Vec<TokenId> {
+        ids.iter().map(|&i| TokenId(i)).collect()
+    }
+
+    fn cache(max_entries: usize) -> RadixCache {
+        RadixCache::new(RadixCacheConfig {
+            max_entries,
+            max_bytes: usize::MAX,
+        })
+    }
+
+    #[test]
+    fn insert_then_get_roundtrips() {
+        let mut c = cache(16);
+        c.insert(&key(&[1, 2, 3]), logits(7.0));
+        assert_eq!(c.get(&key(&[1, 2, 3])), Some(logits(7.0)));
+        assert_eq!(c.get(&key(&[1, 2])), None, "prefix is not an entry");
+        assert_eq!(c.get(&key(&[1, 2, 3, 4])), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn empty_context_is_a_valid_key() {
+        let mut c = cache(4);
+        c.insert(&[], logits(1.0));
+        assert_eq!(c.get(&[]), Some(logits(1.0)));
+        assert_eq!(c.longest_cached_prefix(&key(&[5])), 0);
+    }
+
+    #[test]
+    fn shared_prefixes_share_spine_nodes() {
+        let mut c = cache(16);
+        c.insert(&key(&[1, 2, 3]), logits(1.0));
+        c.insert(&key(&[1, 2, 4]), logits(2.0));
+        // root + 1,2 spine + leaves 3 and 4.
+        assert_eq!(c.node_count(), 5);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_and_prunes() {
+        let mut c = cache(2);
+        c.insert(&key(&[1]), logits(1.0));
+        c.insert(&key(&[2]), logits(2.0));
+        let _ = c.get(&key(&[1])); // 1 becomes most recent
+        c.insert(&key(&[3]), logits(3.0)); // evicts 2
+        assert!(c.get(&key(&[2])).is_none());
+        assert!(c.get(&key(&[1])).is_some());
+        assert!(c.get(&key(&[3])).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 2);
+        // Node for token 2 pruned: root + nodes for 1 and 3.
+        assert_eq!(c.node_count(), 3);
+    }
+
+    #[test]
+    fn eviction_keeps_shared_spines_with_live_values() {
+        let mut c = cache(2);
+        c.insert(&key(&[1, 2]), logits(1.0));
+        c.insert(&key(&[1, 2, 3]), logits(2.0));
+        let _ = c.get(&key(&[1, 2, 3]));
+        c.insert(&key(&[9]), logits(3.0)); // evicts [1,2], the LRU entry
+        assert!(c.get(&key(&[1, 2])).is_none());
+        assert_eq!(c.get(&key(&[1, 2, 3])), Some(logits(2.0)));
+        // [1,2] spine survives as interior nodes for the live [1,2,3].
+        assert_eq!(c.node_count(), 5);
+    }
+
+    #[test]
+    fn byte_budget_evicts() {
+        let per_entry = 2 * 8 + 4 + ENTRY_OVERHEAD_BYTES;
+        let mut c = RadixCache::new(RadixCacheConfig {
+            max_entries: 100,
+            max_bytes: per_entry * 2,
+        });
+        c.insert(&key(&[1]), logits(1.0));
+        c.insert(&key(&[2]), logits(2.0));
+        c.insert(&key(&[3]), logits(3.0));
+        let s = c.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= per_entry * 2);
+        assert!(c.get(&key(&[1])).is_none(), "oldest entry went first");
+    }
+
+    #[test]
+    fn overwrite_refreshes_recency_and_bytes() {
+        let mut c = cache(2);
+        c.insert(&key(&[1]), logits(1.0));
+        c.insert(&key(&[2]), logits(2.0));
+        c.insert(&key(&[1]), logits(9.0)); // overwrite → most recent
+        c.insert(&key(&[3]), logits(3.0)); // evicts 2
+        assert_eq!(c.get(&key(&[1])), Some(logits(9.0)));
+        assert!(c.get(&key(&[2])).is_none());
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn longest_cached_prefix_walks_entries_only() {
+        let mut c = cache(8);
+        c.insert(&key(&[1, 2]), logits(1.0));
+        c.insert(&key(&[1, 2, 3, 4]), logits(2.0));
+        assert_eq!(c.longest_cached_prefix(&key(&[1, 2, 3, 4, 5])), 4);
+        assert_eq!(c.longest_cached_prefix(&key(&[1, 2, 3])), 2);
+        assert_eq!(c.longest_cached_prefix(&key(&[7])), 0);
+    }
+
+    #[test]
+    fn hit_rate_reports() {
+        let mut c = cache(8);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.insert(&key(&[1]), logits(1.0));
+        let _ = c.get(&key(&[1]));
+        let _ = c.get(&key(&[2]));
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let mut c = cache(8);
+        c.insert(&key(&[1]), logits(1.0));
+        let _ = c.get(&key(&[1]));
+        c.clear();
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().bytes, 0);
+        assert_eq!(c.stats().hits, 1);
+        assert!(c.get(&key(&[1])).is_none());
+        assert_eq!(c.node_count(), 1);
+    }
+}

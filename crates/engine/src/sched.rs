@@ -1,0 +1,551 @@
+//! The microbatching score scheduler.
+//!
+//! Many concurrent query executions push score requests at a model that
+//! answers one context at a time. The scheduler sits between them
+//! (Appendix A.2's server side of the client–server split) and applies
+//! three classic inference-serving moves:
+//!
+//! 1. **Prefix cache** — a shared [`RadixCache`] answers contexts any
+//!    execution has scored before, across query boundaries.
+//! 2. **Single-flight** — identical contexts requested while a compute is
+//!    queued or in flight join that compute instead of re-issuing it.
+//! 3. **Microbatching** — pending distinct contexts are coalesced into one
+//!    [`score_batch`](LanguageModel::score_batch) dispatch, bounded by a
+//!    [`BatchPolicy`] (dispatch when `max_batch` contexts are pending, or
+//!    when the oldest has waited `max_wait`).
+//!
+//! Because `score` is pure and deterministic per context, none of this
+//! changes any result: every consumer receives exactly the logits a
+//! direct `score` call would have produced, bit for bit.
+
+use crate::radix::{RadixCache, RadixCacheConfig};
+use lmql_lm::{LanguageModel, Logits, UsageMeter};
+use lmql_tokenizer::{TokenId, Vocabulary};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// When the dispatcher fires a microbatch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many distinct contexts are pending.
+    pub max_batch: usize,
+    /// Dispatch an undersized batch once its oldest request has waited
+    /// this long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Rendezvous for one in-flight context: requesters block on `ready`
+/// until the dispatcher fills `result`.
+#[derive(Debug, Default)]
+struct Slot {
+    result: Mutex<Option<Logits>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn wait(&self) -> Logits {
+        let mut r = self.result.lock().expect("slot poisoned");
+        loop {
+            match r.as_ref() {
+                Some(logits) => return logits.clone(),
+                None => r = self.ready.wait(r).expect("slot poisoned"),
+            }
+        }
+    }
+
+    fn fill(&self, logits: Logits) {
+        *self.result.lock().expect("slot poisoned") = Some(logits);
+        self.ready.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    context: Vec<TokenId>,
+    slot: Arc<Slot>,
+    enqueued: Instant,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    queue: Vec<Pending>,
+    /// Contexts queued or dispatched but not yet answered; late
+    /// requesters for the same context join the existing slot.
+    inflight: HashMap<Vec<TokenId>, Arc<Slot>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    model: Box<dyn LanguageModel>,
+    policy: BatchPolicy,
+    meter: Option<UsageMeter>,
+    cache: Mutex<RadixCache>,
+    state: Mutex<State>,
+    work: Condvar,
+}
+
+/// The scheduler: owns the model, a dispatcher thread, and the shared
+/// prefix cache. Shut down (draining all queued work) on drop or via
+/// [`shutdown`](Scheduler::shutdown).
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("policy", &self.shared.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler over `model` with the given batching policy and cache
+    /// budgets.
+    pub fn new(
+        model: Box<dyn LanguageModel>,
+        policy: BatchPolicy,
+        cache: RadixCacheConfig,
+    ) -> Self {
+        Self::build(model, policy, cache, None)
+    }
+
+    /// Like [`new`](Self::new), additionally recording prefix-cache hits
+    /// and misses on `meter`.
+    pub fn with_meter(
+        model: Box<dyn LanguageModel>,
+        policy: BatchPolicy,
+        cache: RadixCacheConfig,
+        meter: UsageMeter,
+    ) -> Self {
+        Self::build(model, policy, cache, Some(meter))
+    }
+
+    fn build(
+        model: Box<dyn LanguageModel>,
+        policy: BatchPolicy,
+        cache: RadixCacheConfig,
+        meter: Option<UsageMeter>,
+    ) -> Self {
+        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        let shared = Arc::new(Shared {
+            model,
+            policy,
+            meter,
+            cache: Mutex::new(RadixCache::new(cache)),
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("lmql-engine-dispatch".to_owned())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("failed to spawn dispatcher thread")
+        };
+        Scheduler {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// The model's vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        self.shared.model.vocab()
+    }
+
+    /// Prefix-cache counters and occupancy.
+    pub fn cache_stats(&self) -> crate::radix::RadixStats {
+        self.shared.cache.lock().expect("cache poisoned").stats()
+    }
+
+    /// Scores one context through the cache/single-flight/batch pipeline.
+    /// Blocks until the result is available.
+    pub fn score(&self, context: &[TokenId]) -> Logits {
+        match self.submit(context) {
+            Ok(hit) => hit,
+            Err(slot) => slot.wait(),
+        }
+    }
+
+    /// Scores many contexts, enqueueing all of them *before* waiting on
+    /// any — this is what lets one decoder step's candidate extensions
+    /// coalesce into a single model dispatch (and interleave with other
+    /// executions' requests).
+    pub fn score_many(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        let submitted: Vec<Result<Logits, Arc<Slot>>> =
+            contexts.iter().map(|ctx| self.submit(ctx)).collect();
+        submitted
+            .into_iter()
+            .map(|s| match s {
+                Ok(hit) => hit,
+                Err(slot) => slot.wait(),
+            })
+            .collect()
+    }
+
+    /// Cache lookup, then enqueue-or-join. `Ok` is a cache hit; `Err` is
+    /// the slot to wait on.
+    fn submit(&self, context: &[TokenId]) -> Result<Logits, Arc<Slot>> {
+        if let Some(hit) = self
+            .shared
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .get(context)
+        {
+            if let Some(m) = &self.shared.meter {
+                m.record_cache_hit();
+            }
+            return Ok(hit);
+        }
+        let mut st = self.shared.state.lock().expect("scheduler poisoned");
+        if st.shutdown {
+            // The dispatcher is draining or gone: score inline rather
+            // than queueing work nobody will pick up.
+            drop(st);
+            if let Some(m) = &self.shared.meter {
+                m.record_cache_miss();
+            }
+            let logits = self.shared.model.score(context);
+            self.shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(context, logits.clone());
+            return Ok(logits);
+        }
+        if let Some(slot) = st.inflight.get(context) {
+            if let Some(m) = &self.shared.meter {
+                m.record_cache_miss();
+            }
+            return Err(Arc::clone(slot));
+        }
+        // Second-chance lookup under the state lock: the dispatcher
+        // inserts results into the cache *before* clearing the inflight
+        // entry, so a context absent from both maps here is either cached
+        // by now or genuinely never requested. Without this re-check, a
+        // requester racing the dispatcher (stale cache miss above, then an
+        // inflight miss after cleanup) would re-score a finished context.
+        if let Some(hit) = self
+            .shared
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .get(context)
+        {
+            if let Some(m) = &self.shared.meter {
+                m.record_cache_hit();
+            }
+            return Ok(hit);
+        }
+        if let Some(m) = &self.shared.meter {
+            m.record_cache_miss();
+        }
+        let slot = Arc::new(Slot::default());
+        st.inflight.insert(context.to_vec(), Arc::clone(&slot));
+        st.queue.push(Pending {
+            context: context.to_vec(),
+            slot: Arc::clone(&slot),
+            enqueued: Instant::now(),
+        });
+        self.shared.work.notify_one();
+        Err(slot)
+    }
+
+    /// Stops the dispatcher after draining all queued work. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("scheduler poisoned");
+            st.shutdown = true;
+            self.shared.work.notify_one();
+        }
+        if let Some(handle) = self.worker.lock().expect("scheduler poisoned").take() {
+            handle.join().expect("dispatcher thread panicked");
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().expect("scheduler poisoned");
+            loop {
+                if st.queue.is_empty() {
+                    if st.shutdown {
+                        return;
+                    }
+                    st = shared.work.wait(st).expect("scheduler poisoned");
+                    continue;
+                }
+                // Fire on a full batch, on shutdown (drain), or once the
+                // oldest request has waited out the policy.
+                if st.shutdown || st.queue.len() >= shared.policy.max_batch {
+                    break;
+                }
+                let waited = st.queue[0].enqueued.elapsed();
+                if waited >= shared.policy.max_wait {
+                    break;
+                }
+                let (guard, _) = shared
+                    .work
+                    .wait_timeout(st, shared.policy.max_wait - waited)
+                    .expect("scheduler poisoned");
+                st = guard;
+            }
+            let take = st.queue.len().min(shared.policy.max_batch);
+            st.queue.drain(..take).collect::<Vec<_>>()
+        };
+
+        let contexts: Vec<&[TokenId]> = batch.iter().map(|p| p.context.as_slice()).collect();
+        let results = shared.model.score_batch(&contexts);
+        debug_assert_eq!(results.len(), batch.len());
+
+        {
+            let mut cache = shared.cache.lock().expect("cache poisoned");
+            for (p, logits) in batch.iter().zip(&results) {
+                cache.insert(&p.context, logits.clone());
+            }
+        }
+        let mut st = shared.state.lock().expect("scheduler poisoned");
+        for (p, logits) in batch.into_iter().zip(results) {
+            st.inflight.remove(&p.context);
+            p.slot.fill(logits);
+        }
+    }
+}
+
+/// A [`LanguageModel`] handle that routes every score through a shared
+/// [`Scheduler`]. Hand clones of this to any number of concurrent query
+/// runtimes: they transparently share the prefix cache and coalesce into
+/// microbatches, with results bit-identical to calling the underlying
+/// model directly.
+#[derive(Debug, Clone)]
+pub struct BatchedLm {
+    sched: Arc<Scheduler>,
+}
+
+impl BatchedLm {
+    /// A handle to `sched`.
+    pub fn new(sched: Arc<Scheduler>) -> Self {
+        BatchedLm { sched }
+    }
+
+    /// The scheduler behind this handle.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+}
+
+impl LanguageModel for BatchedLm {
+    fn vocab(&self) -> &Vocabulary {
+        self.sched.vocab()
+    }
+
+    fn score(&self, context: &[TokenId]) -> Logits {
+        self.sched.score(context)
+    }
+
+    fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        self.sched.score_many(contexts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmql_lm::MeteredLm;
+    use lmql_tokenizer::Bpe;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A deterministic model that counts score calls and can stall to
+    /// force request overlap.
+    #[derive(Debug)]
+    struct CountingLm {
+        bpe: Arc<Bpe>,
+        calls: Arc<AtomicU64>,
+        delay: Duration,
+    }
+
+    impl LanguageModel for CountingLm {
+        fn vocab(&self) -> &Vocabulary {
+            self.bpe.vocab()
+        }
+        fn score(&self, context: &[TokenId]) -> Logits {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(self.delay);
+            // Context-dependent but deterministic.
+            let tag = context.len() as f64 + context.first().map_or(0.0, |t| t.0 as f64 / 7.0);
+            Logits::constant(self.bpe.vocab().len(), tag)
+        }
+    }
+
+    fn counting(delay: Duration) -> (CountingLm, Arc<AtomicU64>) {
+        let calls = Arc::new(AtomicU64::new(0));
+        let lm = CountingLm {
+            bpe: Arc::new(Bpe::char_level("")),
+            calls: Arc::clone(&calls),
+            delay,
+        };
+        (lm, calls)
+    }
+
+    fn policy(max_batch: usize, max_wait_ms: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_wait: Duration::from_millis(max_wait_ms),
+        }
+    }
+
+    #[test]
+    fn scheduler_matches_direct_scoring() {
+        let (lm, _) = counting(Duration::ZERO);
+        let (reference, _) = counting(Duration::ZERO);
+        let sched = Scheduler::new(Box::new(lm), BatchPolicy::default(), Default::default());
+        for ctx in [&[][..], &[TokenId(1)][..], &[TokenId(2), TokenId(3)][..]] {
+            assert_eq!(sched.score(ctx), reference.score(ctx));
+        }
+    }
+
+    #[test]
+    fn repeat_contexts_hit_the_cache() {
+        let (lm, calls) = counting(Duration::ZERO);
+        let meter = UsageMeter::new();
+        let sched = Scheduler::with_meter(
+            Box::new(lm),
+            BatchPolicy::default(),
+            Default::default(),
+            meter.clone(),
+        );
+        let ctx = [TokenId(5), TokenId(6)];
+        let a = sched.score(&ctx);
+        let b = sched.score(&ctx);
+        assert_eq!(a, b);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let u = meter.snapshot();
+        assert_eq!(u.cache_hits, 1);
+        assert_eq!(u.cache_misses, 1);
+        assert_eq!(sched.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_single_flight() {
+        // A slow model guarantees the second request arrives while the
+        // first is queued or in flight.
+        let (lm, calls) = counting(Duration::from_millis(40));
+        let sched = Arc::new(Scheduler::new(
+            Box::new(lm),
+            policy(1, 0),
+            Default::default(),
+        ));
+        let ctx = vec![TokenId(9)];
+        let results: Vec<Logits> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let sched = Arc::clone(&sched);
+                    let ctx = ctx.clone();
+                    s.spawn(move || sched.score(&ctx))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "identical concurrent contexts share one model call"
+        );
+    }
+
+    #[test]
+    fn score_many_coalesces_into_one_dispatch() {
+        let (lm, _) = counting(Duration::ZERO);
+        let meter = UsageMeter::new();
+        let inner = MeteredLm::new(lm, meter.clone());
+        // max_batch == number of contexts: the dispatcher fires exactly
+        // when all of them are queued, timing-independently.
+        let sched = Scheduler::new(Box::new(inner), policy(3, 5_000), Default::default());
+        let c1 = [TokenId(1)];
+        let c2 = [TokenId(2)];
+        let c3 = [TokenId(3)];
+        let out = sched.score_many(&[&c1, &c2, &c3]);
+        assert_eq!(out.len(), 3);
+        let u = meter.snapshot();
+        assert_eq!(u.batch_dispatches, 1, "one microbatch for all three");
+        assert_eq!(u.batched_queries, 3);
+        assert_eq!(u.dispatches(), 1);
+    }
+
+    #[test]
+    fn score_many_with_duplicates_and_hits() {
+        let (lm, calls) = counting(Duration::ZERO);
+        // Undersized batches here, so a short wait window: both the
+        // warm-up and the dedup'd batch dispatch on timeout.
+        let sched = Scheduler::new(Box::new(lm), policy(2, 20), Default::default());
+        let c1 = [TokenId(1)];
+        let c2 = [TokenId(2)];
+        let warm = sched.score(&c1); // now cached
+        let out = sched.score_many(&[&c1, &c2, &c2]);
+        assert_eq!(out[0], warm);
+        assert_eq!(out[1], out[2]);
+        // c1 once (warm-up) + c2 once (duplicate single-flighted).
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let (lm, _) = counting(Duration::from_millis(10));
+        let sched = Arc::new(Scheduler::new(
+            Box::new(lm),
+            policy(8, 5_000),
+            Default::default(),
+        ));
+        // Queue work from another thread, then shut down while it is
+        // still pending: the result must still arrive.
+        let result = std::thread::scope(|s| {
+            let worker = {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || sched.score(&[TokenId(4)]))
+            };
+            std::thread::sleep(Duration::from_millis(2));
+            sched.shutdown();
+            worker.join().unwrap()
+        });
+        assert_eq!(result.len(), sched.vocab().len());
+    }
+
+    #[test]
+    fn batched_lm_is_a_language_model() {
+        let (lm, _) = counting(Duration::ZERO);
+        let (reference, _) = counting(Duration::ZERO);
+        let sched = Arc::new(Scheduler::new(
+            Box::new(lm),
+            BatchPolicy::default(),
+            Default::default(),
+        ));
+        let handle = BatchedLm::new(sched);
+        let ctx = [TokenId(2)];
+        assert_eq!(handle.score(&ctx), reference.score(&ctx));
+        let batch: Vec<&[TokenId]> = vec![&ctx, &ctx];
+        let out = handle.score_batch(&batch);
+        assert_eq!(out[0], out[1]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Model-based testing of [`RadixCache`] against a naive LRU oracle.
+//!
+//! The oracle is the obvious implementation: a flat list of (key, value)
+//! pairs kept in recency order. The radix cache must agree with it on
+//! every lookup result, every hit/miss decision, every eviction choice,
+//! and the set of surviving entries — across thousands of randomised
+//! operations at several capacities.
+
+use lmql_engine::{RadixCache, RadixCacheConfig};
+use lmql_lm::Logits;
+use lmql_tokenizer::TokenId;
+use rand::prelude::*;
+
+/// The naive reference: most recently used last.
+struct Oracle {
+    capacity: usize,
+    entries: Vec<(Vec<TokenId>, Logits)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Oracle {
+    fn new(capacity: usize) -> Self {
+        Oracle {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: &[TokenId]) -> Option<Logits> {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(i) => {
+                self.hits += 1;
+                let entry = self.entries.remove(i);
+                let value = entry.1.clone();
+                self.entries.push(entry);
+                Some(value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: &[TokenId], value: Logits) {
+        if let Some(i) = self.entries.iter().position(|(k, _)| k == key) {
+            self.entries.remove(i);
+        }
+        self.entries.push((key.to_vec(), value));
+        while self.entries.len() > self.capacity {
+            self.entries.remove(0);
+            self.evictions += 1;
+        }
+    }
+
+    fn longest_cached_prefix(&self, key: &[TokenId]) -> usize {
+        (0..=key.len())
+            .rev()
+            .find(|&n| self.entries.iter().any(|(k, _)| k == &key[..n]))
+            .unwrap_or(0)
+    }
+}
+
+fn random_key(rng: &mut StdRng) -> Vec<TokenId> {
+    // A tiny alphabet and short keys force constant prefix sharing,
+    // overwrites, and re-lookups.
+    let len = rng.gen_range(0..=6);
+    (0..len).map(|_| TokenId(rng.gen_range(0u32..4))).collect()
+}
+
+fn run_against_oracle(capacity: usize, seed: u64, ops: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cache = RadixCache::new(RadixCacheConfig {
+        max_entries: capacity,
+        max_bytes: usize::MAX, // byte budget exercised separately
+    });
+    let mut oracle = Oracle::new(capacity);
+
+    for op in 0..ops {
+        let key = random_key(&mut rng);
+        match rng.gen_range(0..10) {
+            0..=5 => {
+                let value = Logits::from_vec(vec![op as f64]);
+                cache.insert(&key, value.clone());
+                oracle.insert(&key, value);
+            }
+            6..=8 => {
+                assert_eq!(
+                    cache.get(&key),
+                    oracle.get(&key),
+                    "lookup diverged at op {op} (capacity {capacity}, seed {seed})"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    cache.longest_cached_prefix(&key),
+                    oracle.longest_cached_prefix(&key),
+                    "prefix walk diverged at op {op} (capacity {capacity}, seed {seed})"
+                );
+            }
+        }
+
+        let stats = cache.stats();
+        assert_eq!(stats.entries, oracle.entries.len());
+        assert_eq!(stats.hits, oracle.hits);
+        assert_eq!(stats.misses, oracle.misses);
+        assert_eq!(stats.evictions, oracle.evictions);
+    }
+
+    // Final state: exactly the oracle's surviving entries, value for value.
+    for (key, value) in &oracle.entries {
+        assert_eq!(
+            cache.get(key).as_ref(),
+            Some(value),
+            "surviving entry mismatch (capacity {capacity}, seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn radix_cache_matches_lru_oracle() {
+    for capacity in [1, 2, 3, 8, 64] {
+        for seed in 0..4 {
+            run_against_oracle(capacity, seed, 2_000);
+        }
+    }
+}
+
+#[test]
+fn unbounded_cache_matches_hashmap() {
+    // With no eviction pressure the cache is just a map keyed by token
+    // sequence; check against std's HashMap directly.
+    use std::collections::HashMap;
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut cache = RadixCache::new(RadixCacheConfig::default());
+    let mut map: HashMap<Vec<TokenId>, Logits> = HashMap::new();
+    for op in 0..3_000 {
+        let key = random_key(&mut rng);
+        if rng.gen_bool(0.5) {
+            let value = Logits::from_vec(vec![op as f64, -(op as f64)]);
+            cache.insert(&key, value.clone());
+            map.insert(key, value);
+        } else {
+            assert_eq!(cache.get(&key), map.get(&key).cloned());
+        }
+    }
+    assert_eq!(cache.stats().entries, map.len());
+    assert_eq!(cache.stats().evictions, 0);
+}

@@ -5,13 +5,62 @@
 //! arguments". The same applies to the model itself when several beams or
 //! samples run in lockstep over shared prefixes: identical contexts need
 //! only one forward pass. [`CachedLm`] memoises `score()` per context.
+//!
+//! The cache is bounded: least-recently-used entries are evicted past a
+//! configurable capacity, so long-lived processes (servers, benchmark
+//! sweeps) reach a steady state instead of holding every context ever
+//! scored. The cross-query trie-shaped variant lives in the engine crate
+//! as `RadixCache`.
 
 use crate::{LanguageModel, Logits};
 use lmql_tokenizer::{TokenId, Vocabulary};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// A memoising wrapper: `score()` results are cached by context.
+/// LRU bookkeeping: entries carry a monotonically increasing use stamp,
+/// and a stamp-ordered index finds the coldest entry in `O(log n)`.
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<Vec<TokenId>, (Logits, u64)>,
+    order: BTreeMap<u64, Vec<TokenId>>,
+    stamp: u64,
+}
+
+impl CacheState {
+    fn touch(&mut self, context: &[TokenId]) -> Option<Logits> {
+        let (logits, old) = self.map.get_mut(context)?;
+        let logits = logits.clone();
+        let old = std::mem::replace(old, self.stamp);
+        self.stamp += 1;
+        let key = self.order.remove(&old).expect("stamp index out of sync");
+        self.order.insert(self.stamp - 1, key);
+        Some(logits)
+    }
+
+    fn insert(&mut self, context: Vec<TokenId>, logits: Logits) {
+        let stamp = self.stamp;
+        self.stamp += 1;
+        if let Some((_, old)) = self.map.insert(context.clone(), (logits, stamp)) {
+            self.order.remove(&old);
+        }
+        self.order.insert(stamp, context);
+    }
+
+    /// Evicts entries down to `capacity`, returning how many were dropped.
+    fn evict_to(&mut self, capacity: usize) -> u64 {
+        let mut dropped = 0;
+        while self.map.len() > capacity {
+            let (_, key) = self.order.pop_first().expect("cache non-empty");
+            self.map.remove(&key);
+            dropped += 1;
+        }
+        dropped
+    }
+}
+
+/// A memoising wrapper: `score()` results are cached by context, with LRU
+/// eviction past a capacity (default [`CachedLm::DEFAULT_CAPACITY`]).
 ///
 /// Wrap *outside* a [`MeteredLm`](crate::MeteredLm) to make cache hits free
 /// (`CachedLm<MeteredLm<L>>`), or inside to still count them as queries.
@@ -33,40 +82,89 @@ use std::sync::Mutex;
 #[derive(Debug)]
 pub struct CachedLm<L> {
     inner: L,
-    cache: Mutex<HashMap<Vec<TokenId>, Logits>>,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
+    capacity: usize,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<L: LanguageModel> CachedLm<L> {
-    /// Wraps `inner` with an unbounded per-context cache.
+    /// Default capacity (cached contexts) for [`CachedLm::new`]: ample
+    /// for any single query run, bounded for long-lived processes.
+    pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// Wraps `inner` with the default capacity.
     pub fn new(inner: L) -> Self {
+        Self::with_capacity(inner, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Wraps `inner`, keeping at most `capacity` cached contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(inner: L, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
         CachedLm {
             inner,
-            cache: Mutex::new(HashMap::new()),
-            hits: std::sync::atomic::AtomicU64::new(0),
-            misses: std::sync::atomic::AtomicU64::new(0),
+            capacity,
+            state: Mutex::new(CacheState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Maximum number of cached contexts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of contexts currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("lm cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Empties the cache.
     pub fn clear(&self) {
-        self.cache.lock().expect("lm cache poisoned").clear();
+        let mut st = self.state.lock().expect("lm cache poisoned");
+        st.map.clear();
+        st.order.clear();
     }
 
     /// Consumes the wrapper, returning the inner model.
     pub fn into_inner(self) -> L {
         self.inner
+    }
+
+    fn store(&self, context: &[TokenId], logits: Logits) {
+        let mut st = self.state.lock().expect("lm cache poisoned");
+        st.insert(context.to_vec(), logits);
+        let dropped = st.evict_to(self.capacity);
+        if dropped > 0 {
+            self.evictions.fetch_add(dropped, Ordering::Relaxed);
+        }
     }
 }
 
@@ -76,24 +174,55 @@ impl<L: LanguageModel> LanguageModel for CachedLm<L> {
     }
 
     fn score(&self, context: &[TokenId]) -> Logits {
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .expect("lm cache poisoned")
-            .get(context)
-            .cloned()
-        {
-            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(hit) = self.state.lock().expect("lm cache poisoned").touch(context) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
-        self.misses
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let logits = self.inner.score(context);
-        self.cache
-            .lock()
-            .expect("lm cache poisoned")
-            .insert(context.to_vec(), logits.clone());
+        self.store(context, logits.clone());
         logits
+    }
+
+    /// Serves hits from the cache and forwards only the distinct misses
+    /// to the inner model — as one inner batch, so a batched backend
+    /// below still sees a single dispatch.
+    fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        let mut out: Vec<Option<Logits>> = vec![None; contexts.len()];
+        // Distinct missing contexts in first-appearance order, with the
+        // output slots each one fills (duplicates fold into one query).
+        let mut need: Vec<&[TokenId]> = Vec::new();
+        let mut slots: HashMap<&[TokenId], Vec<usize>> = HashMap::new();
+        {
+            let mut st = self.state.lock().expect("lm cache poisoned");
+            for (i, &ctx) in contexts.iter().enumerate() {
+                if let Some(entry) = slots.get_mut(ctx) {
+                    entry.push(i);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if let Some(hit) = st.touch(ctx) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = Some(hit);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    need.push(ctx);
+                    slots.insert(ctx, vec![i]);
+                }
+            }
+        }
+        if !need.is_empty() {
+            let scored = self.inner.score_batch(&need);
+            for (ctx, logits) in need.iter().zip(scored) {
+                self.store(ctx, logits.clone());
+                for &i in &slots[ctx] {
+                    out[i] = Some(logits.clone());
+                }
+            }
+        }
+        out.into_iter()
+            .map(|l| l.expect("every slot filled"))
+            .collect()
     }
 }
 
@@ -104,22 +233,25 @@ mod tests {
     use lmql_tokenizer::Bpe;
     use std::sync::Arc;
 
+    fn uniform() -> UniformLm {
+        UniformLm::new(Arc::new(Bpe::char_level("")))
+    }
+
     #[test]
     fn hits_and_misses_counted() {
-        let bpe = Arc::new(Bpe::char_level(""));
-        let lm = CachedLm::new(UniformLm::new(bpe));
+        let lm = CachedLm::new(uniform());
         let _ = lm.score(&[TokenId(0)]);
         let _ = lm.score(&[TokenId(0)]);
         let _ = lm.score(&[TokenId(1)]);
         assert_eq!(lm.hits(), 1);
         assert_eq!(lm.misses(), 2);
+        assert_eq!(lm.len(), 2);
     }
 
     #[test]
     fn cache_outside_meter_saves_queries() {
-        let bpe = Arc::new(Bpe::char_level(""));
         let meter = UsageMeter::new();
-        let lm = CachedLm::new(MeteredLm::new(UniformLm::new(bpe), meter.clone()));
+        let lm = CachedLm::new(MeteredLm::new(uniform(), meter.clone()));
         for _ in 0..5 {
             let _ = lm.score(&[TokenId(7)]);
         }
@@ -128,11 +260,47 @@ mod tests {
 
     #[test]
     fn clear_forgets() {
-        let bpe = Arc::new(Bpe::char_level(""));
-        let lm = CachedLm::new(UniformLm::new(bpe));
+        let lm = CachedLm::new(uniform());
         let _ = lm.score(&[TokenId(0)]);
         lm.clear();
+        assert!(lm.is_empty());
         let _ = lm.score(&[TokenId(0)]);
         assert_eq!(lm.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let lm = CachedLm::with_capacity(uniform(), 2);
+        let _ = lm.score(&[TokenId(1)]);
+        let _ = lm.score(&[TokenId(2)]);
+        let _ = lm.score(&[TokenId(1)]); // 1 most recent
+        let _ = lm.score(&[TokenId(3)]); // evicts 2
+        assert_eq!(lm.evictions(), 1);
+        assert_eq!(lm.len(), 2);
+        let _ = lm.score(&[TokenId(1)]); // still cached
+        assert_eq!(lm.hits(), 2);
+        let _ = lm.score(&[TokenId(2)]); // was evicted
+        assert_eq!(lm.misses(), 4);
+    }
+
+    #[test]
+    fn batch_mixes_hits_and_misses_in_one_dispatch() {
+        let meter = UsageMeter::new();
+        let lm = CachedLm::new(MeteredLm::new(uniform(), meter.clone()));
+        let a = [TokenId(1)];
+        let b = [TokenId(2)];
+        let c = [TokenId(3)];
+        let _ = lm.score(&a);
+        let batch: Vec<&[TokenId]> = vec![&a, &b, &c, &b];
+        let out = lm.score_batch(&batch);
+        assert_eq!(out[0], lm.score(&a));
+        assert_eq!(out[1], out[3], "duplicate contexts share one query");
+        let u = meter.snapshot();
+        // 1 single miss up front + one batch of the 2 distinct misses.
+        assert_eq!(u.model_queries, 3);
+        assert_eq!(u.batch_dispatches, 1);
+        assert_eq!(u.batched_queries, 2);
+        assert_eq!(lm.hits(), 2); // the `a` hit in the batch + final check
+        assert_eq!(lm.misses(), 4); // a, b, c, duplicate b
     }
 }

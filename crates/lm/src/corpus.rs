@@ -36,10 +36,16 @@ const JOKES: &[(&str, &str)] = &[
         "Which knight invented King Arthur's Round Table?",
         "Sir Cumference. END",
     ),
-    ("Why did the scarecrow win an award?", "He was outstanding in his field. END"),
+    (
+        "Why did the scarecrow win an award?",
+        "He was outstanding in his field. END",
+    ),
     ("What do you call a fake noodle?", "An impasta. END"),
     ("Why don't eggs tell jokes?", "They would crack up. END"),
-    ("What do you call cheese that is not yours?", "Nacho cheese. END"),
+    (
+        "What do you call cheese that is not yours?",
+        "Nacho cheese. END",
+    ),
 ];
 
 /// Encyclopedic filler sentences (mini-wiki flavour).
@@ -103,8 +109,18 @@ pub fn builtin_corpus() -> String {
 
     // Date-understanding flavoured sentences.
     let months = [
-        "January", "February", "March", "April", "May", "June", "July", "August", "September",
-        "October", "November", "December",
+        "January",
+        "February",
+        "March",
+        "April",
+        "May",
+        "June",
+        "July",
+        "August",
+        "September",
+        "October",
+        "November",
+        "December",
     ];
     for (i, m) in months.iter().enumerate() {
         out.push_str(&format!(
@@ -271,9 +287,7 @@ pub fn standard_bpe() -> Arc<Bpe> {
 /// [`builtin_corpus`] using [`standard_bpe`].
 pub fn standard_ngram() -> Arc<NGramLm> {
     static LM: OnceLock<Arc<NGramLm>> = OnceLock::new();
-    Arc::clone(LM.get_or_init(|| {
-        Arc::new(NGramLm::train(standard_bpe(), &builtin_corpus(), 4))
-    }))
+    Arc::clone(LM.get_or_init(|| Arc::new(NGramLm::train(standard_bpe(), &builtin_corpus(), 4))))
 }
 
 #[cfg(test)]

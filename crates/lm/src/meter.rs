@@ -11,15 +11,25 @@ use crate::{LanguageModel, Logits};
 use lmql_tokenizer::{TokenId, Vocabulary};
 use std::sync::{Arc, Mutex};
 
-/// A snapshot of the three §6 counters.
+/// A snapshot of the §6 counters, plus the batching and prefix-cache
+/// statistics added by the concurrent inference engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Usage {
-    /// Calls to the underlying model `f` for next-token prediction.
+    /// Calls to the underlying model `f` for next-token prediction
+    /// (contexts scored; a batched dispatch of `k` contexts counts `k`).
     pub model_queries: u64,
     /// Decoding loops started (plus one per scored distribution value).
     pub decoder_calls: u64,
     /// Σ over decoder calls of (prompt tokens + generated tokens).
     pub billable_tokens: u64,
+    /// Batched dispatches (`score_batch` calls) to the model.
+    pub batch_dispatches: u64,
+    /// Contexts scored through batched dispatches (⊆ `model_queries`).
+    pub batched_queries: u64,
+    /// Scheduler prefix-cache hits (contexts answered without the model).
+    pub cache_hits: u64,
+    /// Scheduler prefix-cache misses.
+    pub cache_misses: u64,
 }
 
 impl Usage {
@@ -28,6 +38,33 @@ impl Usage {
     /// (= 2¢/1k).
     pub fn cost_cents(&self, cents_per_1k_tokens: f64) -> f64 {
         self.billable_tokens as f64 / 1000.0 * cents_per_1k_tokens
+    }
+
+    /// Round trips to the model: each unbatched `score` plus each
+    /// `score_batch` counts once, however many contexts it carried. This
+    /// is the latency-side metric microbatching improves.
+    pub fn dispatches(&self) -> u64 {
+        self.batch_dispatches + (self.model_queries - self.batched_queries)
+    }
+
+    /// Mean contexts per batched dispatch (0 when none happened).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batch_dispatches == 0 {
+            0.0
+        } else {
+            self.batched_queries as f64 / self.batch_dispatches as f64
+        }
+    }
+
+    /// Fraction of scheduler lookups served by the prefix cache
+    /// (0 when no lookups were recorded).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -38,6 +75,10 @@ impl std::ops::Sub for Usage {
             model_queries: self.model_queries - rhs.model_queries,
             decoder_calls: self.decoder_calls - rhs.decoder_calls,
             billable_tokens: self.billable_tokens - rhs.billable_tokens,
+            batch_dispatches: self.batch_dispatches - rhs.batch_dispatches,
+            batched_queries: self.batched_queries - rhs.batched_queries,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
         }
     }
 }
@@ -74,6 +115,25 @@ impl UsageMeter {
     /// Counts one call to the model `f`.
     pub fn record_model_query(&self) {
         self.inner.lock().expect("meter poisoned").model_queries += 1;
+    }
+
+    /// Counts one batched dispatch scoring `contexts` contexts: the
+    /// contexts are model queries, the dispatch is one round trip.
+    pub fn record_batch(&self, contexts: u64) {
+        let mut u = self.inner.lock().expect("meter poisoned");
+        u.model_queries += contexts;
+        u.batched_queries += contexts;
+        u.batch_dispatches += 1;
+    }
+
+    /// Counts one scheduler prefix-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.inner.lock().expect("meter poisoned").cache_hits += 1;
+    }
+
+    /// Counts one scheduler prefix-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.inner.lock().expect("meter poisoned").cache_misses += 1;
     }
 
     /// Counts one decoder call with its billable token total
@@ -135,6 +195,11 @@ impl<L: LanguageModel> LanguageModel for MeteredLm<L> {
         self.meter.record_model_query();
         self.inner.score(context)
     }
+
+    fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        self.meter.record_batch(contexts.len() as u64);
+        self.inner.score_batch(contexts)
+    }
 }
 
 #[cfg(test)]
@@ -187,15 +252,70 @@ mod tests {
             model_queries: 5,
             decoder_calls: 3,
             billable_tokens: 100,
+            batch_dispatches: 2,
+            batched_queries: 4,
+            cache_hits: 6,
+            cache_misses: 8,
         };
         let b = Usage {
             model_queries: 2,
             decoder_calls: 1,
             billable_tokens: 40,
+            batch_dispatches: 1,
+            batched_queries: 2,
+            cache_hits: 3,
+            cache_misses: 4,
         };
         let d = a - b;
         assert_eq!(d.model_queries, 3);
         assert_eq!(d.decoder_calls, 2);
         assert_eq!(d.billable_tokens, 60);
+        assert_eq!(d.batch_dispatches, 1);
+        assert_eq!(d.batched_queries, 2);
+        assert_eq!(d.cache_hits, 3);
+        assert_eq!(d.cache_misses, 4);
+    }
+
+    #[test]
+    fn batch_recording_and_derived_stats() {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let meter = UsageMeter::new();
+        let lm = MeteredLm::new(UniformLm::new(bpe), meter.clone());
+        let c1 = [TokenId(0)];
+        let c2 = [TokenId(0), TokenId(1)];
+        let batch: Vec<&[TokenId]> = vec![&c1, &c2];
+        let out = lm.score_batch(&batch);
+        assert_eq!(out.len(), 2);
+        let _ = lm.score(&c1); // one unbatched call on top
+        let u = meter.snapshot();
+        assert_eq!(u.model_queries, 3);
+        assert_eq!(u.batch_dispatches, 1);
+        assert_eq!(u.batched_queries, 2);
+        assert_eq!(u.dispatches(), 2, "one batch + one single call");
+        assert!((u.mean_batch_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_matches_sequential_scores() {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let lm = UniformLm::new(bpe);
+        let c1 = [TokenId(1)];
+        let c2 = [TokenId(2), TokenId(3)];
+        let batch: Vec<&[TokenId]> = vec![&c1, &c2];
+        let out = lm.score_batch(&batch);
+        assert_eq!(out[0], lm.score(&c1));
+        assert_eq!(out[1], lm.score(&c2));
+    }
+
+    #[test]
+    fn cache_hit_rate_derives() {
+        let meter = UsageMeter::new();
+        meter.record_cache_hit();
+        meter.record_cache_hit();
+        meter.record_cache_hit();
+        meter.record_cache_miss();
+        let u = meter.snapshot();
+        assert!((u.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(Usage::default().cache_hit_rate(), 0.0);
     }
 }

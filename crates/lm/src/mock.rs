@@ -27,6 +27,13 @@ impl LanguageModel for UniformLm {
     fn score(&self, _context: &[TokenId]) -> Logits {
         Logits::constant(self.bpe.vocab().len(), 0.0)
     }
+
+    /// One allocation for the whole batch: every context gets a clone of
+    /// the same constant vector.
+    fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        let logits = Logits::constant(self.bpe.vocab().len(), 0.0);
+        vec![logits; contexts.len()]
+    }
 }
 
 /// A model that plays back a fixed text continuation regardless of prompt

@@ -34,6 +34,18 @@ pub trait LanguageModel: Send + Sync {
     /// The returned vector has exactly `self.vocab().len()` entries.
     fn score(&self, context: &[TokenId]) -> Logits;
 
+    /// Raw scores for several contexts at once, in order.
+    ///
+    /// Semantically this *is* `contexts.iter().map(|c| self.score(c))` —
+    /// and that is the default implementation, so
+    /// `score_batch(cs)[i]` is always bit-identical to `score(cs[i])`.
+    /// Backends with a real batched path (a microbatching scheduler, a
+    /// remote server, GPU inference) override it to answer the whole
+    /// batch in one dispatch; overrides must preserve the bit-identity.
+    fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        contexts.iter().map(|c| self.score(c)).collect()
+    }
+
     /// The end-of-sequence token id. Defaults to the vocabulary's EOS.
     fn eos(&self) -> TokenId {
         self.vocab().eos()
@@ -48,6 +60,9 @@ impl<L: LanguageModel + ?Sized> LanguageModel for &L {
     fn score(&self, context: &[TokenId]) -> Logits {
         (**self).score(context)
     }
+    fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        (**self).score_batch(contexts)
+    }
 }
 
 impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
@@ -57,6 +72,9 @@ impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
     fn score(&self, context: &[TokenId]) -> Logits {
         (**self).score(context)
     }
+    fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        (**self).score_batch(contexts)
+    }
 }
 
 impl<L: LanguageModel + ?Sized> LanguageModel for Box<L> {
@@ -65,5 +83,8 @@ impl<L: LanguageModel + ?Sized> LanguageModel for Box<L> {
     }
     fn score(&self, context: &[TokenId]) -> Logits {
         (**self).score(context)
+    }
+    fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        (**self).score_batch(contexts)
     }
 }

@@ -92,18 +92,24 @@ impl NGramLm {
         self.order
     }
 
-    /// Interpolated probability of `next` given `context`.
-    fn prob(&self, context: &[TokenId], next: TokenId) -> f64 {
+    /// Smoothed unigram probability of `next` — the interpolation base
+    /// case, independent of context (so batched scoring computes it once
+    /// per vocabulary entry, not once per context).
+    fn unigram(&self, next: TokenId) -> f64 {
         let vocab_len = self.bpe.vocab().len() as f64;
-        // Unigram with additive smoothing is the base case.
         let uni_total = *self.totals[0].get(&Vec::new()).unwrap_or(&0) as f64;
         let uni_count = self.counts[0]
             .get(&Vec::new())
             .and_then(|m| m.get(&next))
             .copied()
             .unwrap_or(0) as f64;
-        let mut p = (uni_count + DELTA) / (uni_total + DELTA * vocab_len);
+        (uni_count + DELTA) / (uni_total + DELTA * vocab_len)
+    }
 
+    /// Interpolated probability of `next` given `context`, starting from
+    /// the precomputed unigram base.
+    fn prob_from_base(&self, context: &[TokenId], next: TokenId, base: f64) -> f64 {
+        let mut p = base;
         // Interpolate higher orders where the context was observed.
         let mut weight = 1.0 - BACKOFF;
         for k in 1..self.order {
@@ -136,9 +142,29 @@ impl LanguageModel for NGramLm {
             .bpe
             .vocab()
             .ids()
-            .map(|t| self.prob(context, t).ln())
+            .map(|t| self.prob_from_base(context, t, self.unigram(t)).ln())
             .collect();
         Logits::from_vec(scores)
+    }
+
+    /// Batched scoring sharing one unigram-base computation across the
+    /// whole batch. Same arithmetic per context as [`score`](Self::score),
+    /// so results are bit-identical to the sequential path.
+    fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        let bases: Vec<f64> = self.bpe.vocab().ids().map(|t| self.unigram(t)).collect();
+        contexts
+            .iter()
+            .map(|ctx| {
+                let scores = self
+                    .bpe
+                    .vocab()
+                    .ids()
+                    .zip(&bases)
+                    .map(|(t, &base)| self.prob_from_base(ctx, t, base).ln())
+                    .collect();
+                Logits::from_vec(scores)
+            })
+            .collect()
     }
 }
 

@@ -607,7 +607,12 @@ mod variant_tests {
         assert_eq!(out, "aXbcYd");
 
         // Contexts that skipped either digression still align.
-        for (prefix, next) in [("T:ab", "c"), ("T:aXbc", "Y"), ("T:abcY", "d"), ("T:abcd", "")] {
+        for (prefix, next) in [
+            ("T:ab", "c"),
+            ("T:aXbc", "Y"),
+            ("T:abcY", "d"),
+            ("T:abcd", ""),
+        ] {
             let ctx = lm.bpe.encode(prefix);
             let t = lm.score(&ctx).softmax(1.0).argmax();
             let got = if t == lm.vocab().eos() {

@@ -1,6 +1,8 @@
 //! The client side: a [`LanguageModel`] whose forward pass runs remotely.
 
-use crate::protocol::{read_logits, read_tokenizer, write_score_request};
+use crate::protocol::{
+    read_batch_logits, read_logits, read_tokenizer, write_batch_request, write_score_request,
+};
 use lmql_lm::{LanguageModel, Logits};
 use lmql_tokenizer::{Bpe, TokenId, Vocabulary};
 use std::io::{BufReader, BufWriter, Write};
@@ -76,5 +78,24 @@ impl LanguageModel for RemoteLm {
         let (reader, writer) = &mut *conn;
         write_score_request(writer, context).expect("writing score request");
         read_logits(reader).expect("reading logits reply")
+    }
+
+    /// Ships the whole batch as one `BATCH` frame: a single round trip
+    /// instead of one per context, and the server can answer it with a
+    /// single microbatched forward pass.
+    fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
+        if contexts.is_empty() {
+            return Vec::new();
+        }
+        let mut conn = self.conn.lock().expect("remote connection poisoned");
+        let (reader, writer) = &mut *conn;
+        write_batch_request(writer, contexts).expect("writing batch request");
+        let out = read_batch_logits(reader).expect("reading batch logits reply");
+        assert_eq!(
+            out.len(),
+            contexts.len(),
+            "server answered a different batch size"
+        );
+        out
     }
 }

@@ -9,14 +9,21 @@
 //! This crate implements exactly that split over plain TCP (std only):
 //!
 //! - [`InferenceServer`] hosts any [`LanguageModel`] and ships its
-//!   tokenizer to connecting clients,
+//!   tokenizer to connecting clients. All connections score through one
+//!   shared [`lmql_engine::Scheduler`], so concurrent clients coalesce
+//!   into microbatches and share a prefix cache,
 //! - [`RemoteLm`] implements [`LanguageModel`] over the wire, so the
 //!   `lmql` runtime decodes locally while `score()` round-trips to the
-//!   server — the runtime cannot tell the difference.
+//!   server — the runtime cannot tell the difference. Its `score_batch`
+//!   ships a whole decoder step as one `BATCH` frame (one round trip).
 //!
 //! The wire protocol is line-based with exact-bits float encoding, so a
 //! remote run is bit-identical to a local one (tested in
-//! `tests/remote.rs`).
+//! `tests/remote.rs`), batched or not.
+//!
+//! Robustness: idle connections are dropped after
+//! [`ServerConfig::read_timeout`], and [`ServerHandle::shutdown`] drains
+//! in-flight batches before returning.
 //!
 //! # Example
 //!
@@ -45,5 +52,6 @@ mod protocol;
 mod server;
 
 pub use client::RemoteLm;
+pub use lmql_engine::{BatchPolicy, RadixCacheConfig, RadixStats};
 pub use lmql_lm::LanguageModel;
-pub use server::{InferenceServer, ServerHandle};
+pub use server::{InferenceServer, ServerConfig, ServerHandle};

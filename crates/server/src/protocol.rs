@@ -5,6 +5,7 @@
 //! ───────────────                ───────────────
 //! TOKENIZER                      TOKENIZER <byte-len>\n<raw bytes>
 //! SCORE <n> <id…>                LOGITS <n> <f64-bits-as-hex…>
+//! BATCH <k> <n1> <id…> <n2> …    BATCHLOGITS <k>\n<k LOGITS lines>
 //! QUIT                           (connection closes)
 //!                                ERR <message>      (on any failure)
 //! ```
@@ -43,6 +44,77 @@ pub(crate) fn parse_score_request(rest: &str) -> Result<Vec<TokenId>, String> {
         return Err(format!("SCORE declared {n} ids, got {}", ids.len()));
     }
     Ok(ids)
+}
+
+/// Writes a `BATCH` request: `k` contexts, each as a length followed by
+/// its ids, all on one line.
+pub(crate) fn write_batch_request<W: Write>(w: &mut W, contexts: &[&[TokenId]]) -> io::Result<()> {
+    write!(w, "BATCH {}", contexts.len())?;
+    for ctx in contexts {
+        write!(w, " {}", ctx.len())?;
+        for t in *ctx {
+            write!(w, " {}", t.0)?;
+        }
+    }
+    writeln!(w)?;
+    w.flush()
+}
+
+/// Parses the body of a `BATCH` request (after the command word).
+pub(crate) fn parse_batch_request(rest: &str) -> Result<Vec<Vec<TokenId>>, String> {
+    let mut parts = rest.split_whitespace();
+    let k: usize = parts
+        .next()
+        .ok_or("BATCH missing count")?
+        .parse()
+        .map_err(|_| "BATCH count not a number".to_owned())?;
+    let mut contexts = Vec::with_capacity(k);
+    for i in 0..k {
+        let n: usize = parts
+            .next()
+            .ok_or_else(|| format!("BATCH context {i} missing length"))?
+            .parse()
+            .map_err(|_| format!("BATCH context {i} length not a number"))?;
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = parts
+                .next()
+                .ok_or_else(|| format!("BATCH context {i} truncated"))?
+                .parse::<u32>()
+                .map_err(|_| "BATCH ids must be integers".to_owned())?;
+            ids.push(TokenId(id));
+        }
+        contexts.push(ids);
+    }
+    if parts.next().is_some() {
+        return Err("BATCH has trailing tokens".to_owned());
+    }
+    Ok(contexts)
+}
+
+/// Writes a `BATCHLOGITS` reply: a count header, then one standard
+/// `LOGITS` line per context (same exact-bits encoding as `SCORE`).
+pub(crate) fn write_batch_logits<W: Write>(w: &mut W, all: &[Logits]) -> io::Result<()> {
+    writeln!(w, "BATCHLOGITS {}", all.len())?;
+    for logits in all {
+        write_logits(w, logits)?;
+    }
+    w.flush()
+}
+
+/// Reads a `BATCHLOGITS` reply (or surfaces an `ERR`).
+pub(crate) fn read_batch_logits<R: BufRead>(r: &mut R) -> io::Result<Vec<Logits>> {
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let line = line.trim_end();
+    if let Some(msg) = line.strip_prefix("ERR ") {
+        return Err(io::Error::other(format!("server error: {msg}")));
+    }
+    let k: usize = line
+        .strip_prefix("BATCHLOGITS ")
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("unexpected reply {line:?}")))?;
+    (0..k).map(|_| read_logits(r)).collect()
 }
 
 /// Writes a `LOGITS` reply.
@@ -149,6 +221,54 @@ mod tests {
     fn err_reply_surfaces() {
         let err = read_logits(&mut Cursor::new(b"ERR broken\n".to_vec())).unwrap_err();
         assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn batch_request_roundtrip() {
+        let c1 = [TokenId(1), TokenId(2)];
+        let c2: [TokenId; 0] = [];
+        let c3 = [TokenId(7)];
+        let mut buf = Vec::new();
+        write_batch_request(&mut buf, &[&c1, &c2, &c3]).unwrap();
+        let line = String::from_utf8(buf).unwrap();
+        let rest = line.trim_end().strip_prefix("BATCH ").unwrap();
+        assert_eq!(
+            parse_batch_request(rest).unwrap(),
+            vec![c1.to_vec(), c2.to_vec(), c3.to_vec()]
+        );
+    }
+
+    #[test]
+    fn batch_request_validation() {
+        assert!(parse_batch_request("x").is_err());
+        assert!(
+            parse_batch_request("2 1 5").is_err(),
+            "second context missing"
+        );
+        assert!(parse_batch_request("1 2 5").is_err(), "context truncated");
+        assert!(parse_batch_request("1 1 5 9").is_err(), "trailing tokens");
+        assert!(parse_batch_request("1 1 -4").is_err(), "negative id");
+    }
+
+    #[test]
+    fn batch_logits_roundtrip_is_bit_exact() {
+        let all = vec![
+            Logits::from_vec(vec![0.25, -7.5]),
+            Logits::from_vec(vec![f64::MIN_POSITIVE]),
+        ];
+        let mut buf = Vec::new();
+        write_batch_logits(&mut buf, &all).unwrap();
+        let got = read_batch_logits(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(got.len(), all.len());
+        for (g, a) in got.iter().zip(&all) {
+            assert_eq!(g.scores(), a.scores());
+        }
+    }
+
+    #[test]
+    fn batch_err_reply_surfaces() {
+        let err = read_batch_logits(&mut Cursor::new(b"ERR nope\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("nope"));
     }
 
     #[test]

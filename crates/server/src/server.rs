@@ -1,14 +1,49 @@
-//! The inference server: hosts a model, answers `SCORE` requests.
+//! The inference server: hosts a model behind the shared batching engine,
+//! answers `SCORE` and `BATCH` requests.
+//!
+//! Every connection scores through one shared [`Scheduler`], so concurrent
+//! clients coalesce into microbatches and share a prefix cache — the
+//! server side of the paper's Appendix A.2 split, where "the server is
+//! responsible for inference, loading and managing the model".
 
-use crate::protocol::{parse_score_request, write_logits, write_tokenizer};
+use crate::protocol::{
+    parse_batch_request, parse_score_request, write_batch_logits, write_logits, write_tokenizer,
+};
+use lmql_engine::{BatchPolicy, RadixCacheConfig, RadixStats, Scheduler};
 use lmql_lm::LanguageModel;
-use lmql_tokenizer::Bpe;
+use lmql_tokenizer::{Bpe, TokenId};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to check the stop flag and the idle
+/// clock.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Server tuning: connection robustness plus the engine's batching and
+/// caching knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections idle (no complete request) this long are dropped.
+    pub read_timeout: Duration,
+    /// Microbatch formation policy for the shared scheduler.
+    pub policy: BatchPolicy,
+    /// Budgets for the shared prefix cache.
+    pub cache: RadixCacheConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_secs(30),
+            policy: BatchPolicy::default(),
+            cache: RadixCacheConfig::default(),
+        }
+    }
+}
 
 /// Constructor namespace for spawning inference servers.
 #[derive(Debug)]
@@ -16,30 +51,50 @@ pub struct InferenceServer;
 
 impl InferenceServer {
     /// Binds `127.0.0.1:0` and serves `lm` (with `bpe`'s tokenizer) on a
-    /// background thread, one handler thread per connection.
+    /// background thread, one handler thread per connection, all scoring
+    /// through a shared [`Scheduler`] with default [`ServerConfig`].
     ///
     /// # Errors
     ///
     /// Propagates socket errors from binding.
     pub fn spawn(lm: Arc<dyn LanguageModel>, bpe: Arc<Bpe>) -> std::io::Result<ServerHandle> {
+        Self::spawn_with(lm, bpe, ServerConfig::default())
+    }
+
+    /// Like [`spawn`](Self::spawn) with explicit batching, caching and
+    /// timeout configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn spawn_with(
+        lm: Arc<dyn LanguageModel>,
+        bpe: Arc<Bpe>,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = Arc::clone(&stop);
         let serialized = Arc::new(bpe.to_text());
+        let sched = Arc::new(Scheduler::new(Box::new(lm), config.policy, config.cache));
+        let sched_accept = Arc::clone(&sched);
+        let read_timeout = config.read_timeout.max(Duration::from_millis(1));
 
         let handle = std::thread::spawn(move || {
             while !stop_accept.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let lm = Arc::clone(&lm);
+                        let sched = Arc::clone(&sched_accept);
                         let serialized = Arc::clone(&serialized);
+                        let stop = Arc::clone(&stop_accept);
                         // Handlers are detached: a worker blocked reading
                         // from a still-connected client must not hold up
-                        // shutdown; it exits when its peer disconnects.
+                        // shutdown; it polls the stop flag and exits.
                         std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &*lm, &serialized);
+                            let _ =
+                                handle_connection(stream, &sched, &serialized, &stop, read_timeout);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -53,6 +108,7 @@ impl InferenceServer {
         Ok(ServerHandle {
             addr,
             stop,
+            sched,
             handle: Some(handle),
         })
     }
@@ -60,41 +116,116 @@ impl InferenceServer {
 
 fn handle_connection(
     stream: TcpStream,
-    lm: &dyn LanguageModel,
+    sched: &Scheduler,
     serialized_tokenizer: &str,
+    stop: &AtomicBool,
+    read_timeout: Duration,
 ) -> std::io::Result<()> {
+    // Short socket timeout so reads poll the stop flag; `read_timeout` is
+    // enforced on top as an idle budget between complete requests.
+    stream.set_read_timeout(Some(READ_POLL.min(read_timeout)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
+    let mut idle = Duration::ZERO;
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // peer closed
-        }
-        let line = line.trim_end();
-        if line == "QUIT" {
-            return Ok(());
-        }
-        if line == "TOKENIZER" {
-            write_tokenizer(&mut writer, serialized_tokenizer)?;
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("SCORE ") {
-            match parse_score_request(rest) {
-                Ok(ids) => {
-                    let logits = lm.score(&ids);
-                    write_logits(&mut writer, &logits)?;
-                }
-                Err(msg) => {
-                    writeln!(writer, "ERR {msg}")?;
-                    writer.flush()?;
+        let before = Instant::now();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(_) => {
+                idle = Duration::ZERO;
+                let done = respond(line.trim_end(), &mut writer, sched, serialized_tokenizer)?;
+                line.clear();
+                if done {
+                    return Ok(());
                 }
             }
-            continue;
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Timed-out reads keep any partial line buffered in
+                // `line`; the next pass appends the rest.
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(()); // server shutting down
+                }
+                idle += before.elapsed();
+                if idle >= read_timeout {
+                    return Ok(()); // idle connection dropped
+                }
+            }
+            Err(e) => return Err(e),
         }
-        writeln!(writer, "ERR unknown command {line:?}")?;
-        writer.flush()?;
     }
+}
+
+/// Rejects token ids outside the model's vocabulary. Network input must
+/// never reach the model with ids `score` is not defined on — a panic in
+/// the shared dispatcher would take the whole server down.
+fn check_ids(ids: &[TokenId], vocab_len: usize) -> Result<(), String> {
+    match ids.iter().find(|t| t.0 as usize >= vocab_len) {
+        Some(t) => Err(format!(
+            "token id {} out of range (vocab size {vocab_len})",
+            t.0
+        )),
+        None => Ok(()),
+    }
+}
+
+/// Answers one request line. Returns `true` when the client said `QUIT`.
+fn respond<W: Write>(
+    line: &str,
+    writer: &mut W,
+    sched: &Scheduler,
+    serialized_tokenizer: &str,
+) -> std::io::Result<bool> {
+    if line == "QUIT" {
+        return Ok(true);
+    }
+    if line == "TOKENIZER" {
+        write_tokenizer(writer, serialized_tokenizer)?;
+        return Ok(false);
+    }
+    if let Some(rest) = line.strip_prefix("SCORE ") {
+        match parse_score_request(rest).and_then(|ids| {
+            check_ids(&ids, sched.vocab().len())?;
+            Ok(ids)
+        }) {
+            Ok(ids) => {
+                let logits = sched.score(&ids);
+                write_logits(writer, &logits)?;
+            }
+            Err(msg) => {
+                writeln!(writer, "ERR {msg}")?;
+                writer.flush()?;
+            }
+        }
+        return Ok(false);
+    }
+    if let Some(rest) = line.strip_prefix("BATCH ") {
+        match parse_batch_request(rest).and_then(|contexts| {
+            for ctx in &contexts {
+                check_ids(ctx, sched.vocab().len())?;
+            }
+            Ok(contexts)
+        }) {
+            Ok(contexts) => {
+                let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+                let all = sched.score_many(&refs);
+                write_batch_logits(writer, &all)?;
+            }
+            Err(msg) => {
+                writeln!(writer, "ERR {msg}")?;
+                writer.flush()?;
+            }
+        }
+        return Ok(false);
+    }
+    writeln!(writer, "ERR unknown command {line:?}")?;
+    writer.flush()?;
+    Ok(false)
 }
 
 /// A running server: its address and a way to stop it.
@@ -102,6 +233,7 @@ fn handle_connection(
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    sched: Arc<Scheduler>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -111,8 +243,15 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept thread. Open
-    /// connections finish their current request and close on next read.
+    /// Counters of the shared prefix cache all connections score through.
+    pub fn cache_stats(&self) -> RadixStats {
+        self.sched.cache_stats()
+    }
+
+    /// Stops accepting connections, joins the accept thread, and shuts the
+    /// scheduler down — draining every in-flight batch, so requests being
+    /// processed still get their replies. Handler threads notice the stop
+    /// flag on their next read poll and close their connections.
     pub fn shutdown(mut self) {
         self.stop_inner();
     }
@@ -122,6 +261,9 @@ impl ServerHandle {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+        // Drain queued and in-flight work; late scores from still-running
+        // handlers fall back to inline scoring inside the scheduler.
+        self.sched.shutdown();
     }
 }
 

@@ -101,7 +101,11 @@ pub enum Stmt {
     /// An expression evaluated for effect (e.g. `things.append(THING)`).
     Expr(Expr),
     /// `name = expr`.
-    Assign { name: String, value: Expr, span: Span },
+    Assign {
+        name: String,
+        value: Expr,
+        span: Span,
+    },
     /// `for var in iterable: body`.
     For {
         var: String,

@@ -63,7 +63,10 @@ fn format_stmt(s: &Stmt, depth: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}{name} = {}", format_expr(value));
         }
         Stmt::For {
-            var, iterable, body, ..
+            var,
+            iterable,
+            body,
+            ..
         } => {
             let _ = writeln!(out, "{pad}for {var} in {}:", format_expr(iterable));
             format_block(body, depth + 1, out);
@@ -160,7 +163,9 @@ pub fn format_expr(e: &Expr) -> String {
             lo.as_deref().map(format_expr).unwrap_or_default(),
             hi.as_deref().map(format_expr).unwrap_or_default()
         ),
-        Expr::BinOp { op, left, right, .. } => {
+        Expr::BinOp {
+            op, left, right, ..
+        } => {
             let sym = match op {
                 BinOp::Add => "+",
                 BinOp::Sub => "-",
@@ -171,13 +176,11 @@ pub fn format_expr(e: &Expr) -> String {
             let prec = precedence(e);
             // Left-associative: the right child needs parens at equal
             // precedence.
-            format!(
-                "{} {sym} {}",
-                child(left, prec),
-                child(right, prec + 1)
-            )
+            format!("{} {sym} {}", child(left, prec), child(right, prec + 1))
         }
-        Expr::Compare { op, left, right, .. } => {
+        Expr::Compare {
+            op, left, right, ..
+        } => {
             let sym = match op {
                 CmpOp::Lt => "<",
                 CmpOp::Le => "<=",
@@ -249,10 +252,7 @@ mod tests {
 
     #[test]
     fn formats_simple_query() {
-        let q = parse_query(
-            "argmax(n=2)\n    \"[X]\"\nfrom \"m\"\nwhere len(X) < 5\n",
-        )
-        .unwrap();
+        let q = parse_query("argmax(n=2)\n    \"[X]\"\nfrom \"m\"\nwhere len(X) < 5\n").unwrap();
         let text = format_query(&q);
         assert_eq!(
             text,

@@ -244,9 +244,9 @@ impl<'s> Lexer<'s> {
                 }
                 Some('"') => break,
                 Some('\\') => {
-                    let esc = self.bump().ok_or_else(|| {
-                        SyntaxError::new("unterminated escape", Span::at(start))
-                    })?;
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| SyntaxError::new("unterminated escape", Span::at(start)))?;
                     match esc {
                         'n' => value.push('\n'),
                         't' => value.push('\t'),
@@ -298,10 +298,7 @@ impl<'s> Lexer<'s> {
     fn name(&mut self) {
         let start = self.pos();
         let mut text = String::new();
-        while self
-            .peek()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_')
-        {
+        while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
             text.push(self.bump().expect("peeked name char"));
         }
         self.push(TokKind::Name(text), start);
@@ -387,10 +384,7 @@ mod tests {
 
     #[test]
     fn floats_and_ints() {
-        assert_eq!(
-            kinds("1.5 2")[..2],
-            [TokKind::Float(1.5), TokKind::Int(2)]
-        );
+        assert_eq!(kinds("1.5 2")[..2], [TokKind::Float(1.5), TokKind::Int(2)]);
         // A trailing dot is attribute access, not a float.
         assert_eq!(
             kinds("x.y")[..3],

@@ -17,8 +17,26 @@ use crate::{parse_prompt, Result, Span, SyntaxError};
 
 /// Words that cannot be used as identifiers.
 const KEYWORDS: &[&str] = &[
-    "for", "while", "in", "if", "elif", "else", "break", "continue", "pass", "not", "and", "or", "True",
-    "False", "None", "import", "from", "where", "distribute", "over",
+    "for",
+    "while",
+    "in",
+    "if",
+    "elif",
+    "else",
+    "break",
+    "continue",
+    "pass",
+    "not",
+    "and",
+    "or",
+    "True",
+    "False",
+    "None",
+    "import",
+    "from",
+    "where",
+    "distribute",
+    "over",
 ];
 
 /// Parses a complete LMQL query.
@@ -57,12 +75,7 @@ pub fn parse_expr(source: &str) -> Result<Expr> {
     let toks = lex(source)?;
     let filtered: Vec<Tok> = toks
         .into_iter()
-        .filter(|t| {
-            !matches!(
-                t.kind,
-                TokKind::Newline | TokKind::Indent | TokKind::Dedent
-            )
-        })
+        .filter(|t| !matches!(t.kind, TokKind::Newline | TokKind::Indent | TokKind::Dedent))
         .collect();
     let mut p = Parser::new(filtered);
     let e = p.expr()?;
@@ -253,19 +266,18 @@ impl Parser {
             _ => return Err(self.unexpected("expected a decoder clause (argmax/sample/beam)")),
         };
         let mut params = Vec::new();
-        if self.eat_symbol("(")
-            && !self.eat_symbol(")") {
-                loop {
-                    let (key, _) = self.identifier()?;
-                    self.expect_symbol("=")?;
-                    let value = self.param_value()?;
-                    params.push((key, value));
-                    if self.eat_symbol(")") {
-                        break;
-                    }
-                    self.expect_symbol(",")?;
+        if self.eat_symbol("(") && !self.eat_symbol(")") {
+            loop {
+                let (key, _) = self.identifier()?;
+                self.expect_symbol("=")?;
+                let value = self.param_value()?;
+                params.push((key, value));
+                if self.eat_symbol(")") {
+                    break;
                 }
+                self.expect_symbol(",")?;
             }
+        }
         Ok(DecoderSpec { name, params, span })
     }
 
@@ -489,7 +501,9 @@ impl Parser {
         while self.eat_name("or") {
             operands.push(self.and_expr()?);
         }
-        let span = operands[0].span().to(operands.last().expect("nonempty").span());
+        let span = operands[0]
+            .span()
+            .to(operands.last().expect("nonempty").span());
         Ok(Expr::BoolOp {
             and: false,
             operands,
@@ -506,7 +520,9 @@ impl Parser {
         while self.eat_name("and") {
             operands.push(self.not_expr()?);
         }
-        let span = operands[0].span().to(operands.last().expect("nonempty").span());
+        let span = operands[0]
+            .span()
+            .to(operands.last().expect("nonempty").span());
         Ok(Expr::BoolOp {
             and: true,
             operands,
@@ -677,9 +693,8 @@ impl Parser {
                     };
                 } else {
                     let end = self.expect_symbol("]")?;
-                    let index = lo.ok_or_else(|| {
-                        SyntaxError::new("missing index expression", end)
-                    })?;
+                    let index =
+                        lo.ok_or_else(|| SyntaxError::new("missing index expression", end))?;
                     let span = e.span().to(end);
                     e = Expr::Index {
                         obj: Box::new(e),
@@ -776,7 +791,11 @@ where
         assert_eq!(q.body.len(), 5);
         assert_eq!(q.model, "gpt2-medium");
         match q.where_clause.unwrap() {
-            Expr::BoolOp { and: true, operands, .. } => assert_eq!(operands.len(), 4),
+            Expr::BoolOp {
+                and: true,
+                operands,
+                ..
+            } => assert_eq!(operands.len(), 4),
             other => panic!("unexpected where shape: {other:?}"),
         }
     }
@@ -852,19 +871,14 @@ where
 
     #[test]
     fn where_on_single_line() {
-        let q = parse_query(
-            "argmax\n    \"[X]\"\nfrom \"m\"\nwhere len(X) < 5\n",
-        )
-        .unwrap();
+        let q = parse_query("argmax\n    \"[X]\"\nfrom \"m\"\nwhere len(X) < 5\n").unwrap();
         assert!(matches!(q.where_clause, Some(Expr::Compare { .. })));
     }
 
     #[test]
     fn distribute_accepts_in_keyword() {
-        let q = parse_query(
-            "argmax\n    \"[X]\"\nfrom \"m\"\ndistribute X in [\"a\", \"b\"]\n",
-        )
-        .unwrap();
+        let q = parse_query("argmax\n    \"[X]\"\nfrom \"m\"\ndistribute X in [\"a\", \"b\"]\n")
+            .unwrap();
         assert_eq!(q.distribute.unwrap().var, "X");
     }
 
@@ -884,7 +898,11 @@ where
     fn precedence_and_over_or() {
         let e = parse_expr("a or b and c").unwrap();
         match e {
-            Expr::BoolOp { and: false, operands, .. } => {
+            Expr::BoolOp {
+                and: false,
+                operands,
+                ..
+            } => {
                 assert_eq!(operands.len(), 2);
                 assert!(matches!(operands[1], Expr::BoolOp { and: true, .. }));
             }
@@ -895,14 +913,24 @@ where
     #[test]
     fn not_in_parses() {
         let e = parse_expr("\"x\" not in Y").unwrap();
-        assert!(matches!(e, Expr::Compare { op: CmpOp::NotIn, .. }));
+        assert!(matches!(
+            e,
+            Expr::Compare {
+                op: CmpOp::NotIn,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn arithmetic_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::BinOp { op: BinOp::Add, right, .. } => {
+            Expr::BinOp {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::BinOp { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected: {other:?}"),
@@ -942,17 +970,13 @@ where
 
     #[test]
     fn import_inside_body_rejected() {
-        let err =
-            parse_query("argmax\n    import x\nfrom \"m\"\n").unwrap_err();
+        let err = parse_query("argmax\n    import x\nfrom \"m\"\n").unwrap_err();
         assert!(err.message().contains("imports"));
     }
 
     #[test]
     fn single_line_block() {
-        let q = parse_query(
-            "argmax\n    if x: break\nfrom \"m\"\n",
-        )
-        .unwrap();
+        let q = parse_query("argmax\n    if x: break\nfrom \"m\"\n").unwrap();
         match &q.body[0] {
             Stmt::If { then_body, .. } => assert!(matches!(then_body[0], Stmt::Break(_))),
             other => panic!("unexpected: {other:?}"),

@@ -81,10 +81,7 @@ pub fn parse_prompt(raw: &str, span: Span) -> Result<Vec<Segment>> {
                         .chars()
                         .next()
                         .is_some_and(|ch| ch.is_alphabetic() || ch == '_');
-                    if !valid_start
-                        || !content
-                            .chars()
-                            .all(|ch| ch.is_alphanumeric() || ch == '_')
+                    if !valid_start || !content.chars().all(|ch| ch.is_alphanumeric() || ch == '_')
                     {
                         return Err(SyntaxError::new(
                             format!("invalid variable name `{content}` in prompt string"),
@@ -97,7 +94,10 @@ pub fn parse_prompt(raw: &str, span: Span) -> Result<Vec<Segment>> {
                     // Recalls are full expressions, f-string style.
                     if let Err(e) = crate::parse_expr(&content) {
                         return Err(SyntaxError::new(
-                            format!("invalid expression `{content}` in prompt string: {}", e.message()),
+                            format!(
+                                "invalid expression `{content}` in prompt string: {}",
+                                e.message()
+                            ),
                             span,
                         ));
                     }
@@ -205,7 +205,10 @@ mod tests {
     fn invalid_names_rejected() {
         assert!(parse_prompt("[]", Span::default()).is_err());
         assert!(parse_prompt("[A B]", Span::default()).is_err());
-        assert!(parse_prompt("[9X]", Span::default()).is_err(), "no digit-leading names");
+        assert!(
+            parse_prompt("[9X]", Span::default()).is_err(),
+            "no digit-leading names"
+        );
         assert!(parse_prompt("[_ok]", Span::default()).is_ok());
     }
 

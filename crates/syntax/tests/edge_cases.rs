@@ -24,10 +24,26 @@ from "m"
     )
     .unwrap();
     // Drill to the innermost prompt.
-    let Stmt::For { body, .. } = &q.body[0] else { panic!() };
-    let Stmt::For { body, .. } = &body[0] else { panic!() };
-    let Stmt::If { then_body, else_body, .. } = &body[0] else { panic!() };
-    let Stmt::If { then_body: inner, .. } = &then_body[0] else { panic!() };
+    let Stmt::For { body, .. } = &q.body[0] else {
+        panic!()
+    };
+    let Stmt::For { body, .. } = &body[0] else {
+        panic!()
+    };
+    let Stmt::If {
+        then_body,
+        else_body,
+        ..
+    } = &body[0]
+    else {
+        panic!()
+    };
+    let Stmt::If {
+        then_body: inner, ..
+    } = &then_body[0]
+    else {
+        panic!()
+    };
     assert!(matches!(inner[0], Stmt::Prompt { .. }));
     // elif desugars into else → if.
     assert!(matches!(else_body[0], Stmt::If { .. }));
@@ -59,7 +75,10 @@ fn decoder_params_of_all_types() {
     )
     .unwrap();
     assert_eq!(q.decoder.param("n"), Some(&ParamValue::Int(3)));
-    assert_eq!(q.decoder.param("temperature"), Some(&ParamValue::Float(0.7)));
+    assert_eq!(
+        q.decoder.param("temperature"),
+        Some(&ParamValue::Float(0.7))
+    );
     assert_eq!(
         q.decoder.param("mode"),
         Some(&ParamValue::Str("fast".into()))
@@ -91,21 +110,27 @@ fn keywords_cannot_be_identifiers() {
 #[test]
 fn chained_not_parses() {
     let e = parse_expr("not not x").unwrap();
-    let Expr::Not { operand, .. } = e else { panic!() };
+    let Expr::Not { operand, .. } = e else {
+        panic!()
+    };
     assert!(matches!(*operand, Expr::Not { .. }));
 }
 
 #[test]
 fn unary_minus_binds_tighter_than_mul() {
     let e = parse_expr("-2 * 3").unwrap();
-    let Expr::BinOp { left, .. } = e else { panic!() };
+    let Expr::BinOp { left, .. } = e else {
+        panic!()
+    };
     assert!(matches!(*left, Expr::Neg { .. }));
 }
 
 #[test]
 fn empty_list_and_nested_lists() {
     let e = parse_expr("[[], [1, 2], [[3]]]").unwrap();
-    let Expr::List { items, .. } = e else { panic!() };
+    let Expr::List { items, .. } = e else {
+        panic!()
+    };
     assert_eq!(items.len(), 3);
 }
 
@@ -129,20 +154,15 @@ fn crlf_and_tabs_tolerated() {
 
 #[test]
 fn multiple_imports_in_order() {
-    let q = parse_query(
-        "import alpha\nimport beta\nargmax\n    \"[X]\"\nfrom \"m\"\n",
-    )
-    .unwrap();
+    let q = parse_query("import alpha\nimport beta\nargmax\n    \"[X]\"\nfrom \"m\"\n").unwrap();
     let names: Vec<&str> = q.imports.iter().map(|i| i.name.as_str()).collect();
     assert_eq!(names, ["alpha", "beta"]);
 }
 
 #[test]
 fn trailing_content_after_distribute_rejected() {
-    let err = parse_query(
-        "argmax\n    \"[X]\"\nfrom \"m\"\ndistribute X in [\"a\"]\nargmax\n",
-    )
-    .unwrap_err();
+    let err = parse_query("argmax\n    \"[X]\"\nfrom \"m\"\ndistribute X in [\"a\"]\nargmax\n")
+        .unwrap_err();
     assert!(err.message().contains("end of query"), "{err}");
 }
 
@@ -152,7 +172,9 @@ fn string_escape_coverage() {
         "argmax\n    \"tab\\t backslash\\\\ quote\\\" cr\\r nul\\0 [X]\"\nfrom \"m\"\n",
     )
     .unwrap();
-    let Stmt::Prompt { raw, .. } = &q.body[0] else { panic!() };
+    let Stmt::Prompt { raw, .. } = &q.body[0] else {
+        panic!()
+    };
     assert!(raw.contains('\t'));
     assert!(raw.contains('\\'));
     assert!(raw.contains('"'));

@@ -1,8 +1,7 @@
 //! Formatter round-trip properties: formatting is a fixed point under
 //! parse∘format, for the paper's figure queries and random expressions.
 
-use lmql_syntax::{format_expr, format_query, parse_expr, parse_query};
-use proptest::prelude::*;
+use lmql_syntax::{format_query, parse_query};
 
 const SOURCES: &[&str] = &[
     // Fig. 1a
@@ -26,40 +25,48 @@ fn figure_queries_are_format_fixed_points() {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        Just("x".to_owned()),
-        Just("Y2".to_owned()),
-        (0i64..100).prop_map(|n| n.to_string()),
-        Just("\"s\"".to_owned()),
-        Just("True".to_owned()),
-        Just("None".to_owned()),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} < {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} and {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} or {b})")),
-            inner.clone().prop_map(|a| format!("(not {a})")),
-            inner.clone().prop_map(|a| format!("(-{a})")),
-            inner.clone().prop_map(|a| format!("len({a})")),
-            (inner.clone(), inner).prop_map(|(a, b)| format!("[{a}, {b}]")),
-        ]
-    })
-}
+// The random-expression property suite rides behind the default-off
+// `slow-tests` feature: run it with `cargo test --features slow-tests`.
+#[cfg(feature = "slow-tests")]
+mod props {
+    use lmql_syntax::{format_expr, parse_expr};
+    use proptest::prelude::*;
 
-proptest! {
-    /// format ∘ parse is idempotent on random expressions, and the
-    /// formatted form parses back to the same formatted form (i.e. the
-    /// formatter's minimal parentheses preserve structure).
-    #[test]
-    fn random_exprs_roundtrip(src in expr_strategy()) {
-        let e1 = parse_expr(&src).unwrap();
-        let f1 = format_expr(&e1);
-        let e2 = parse_expr(&f1).unwrap_or_else(|err| panic!("{f1:?}: {err}"));
-        let f2 = format_expr(&e2);
-        prop_assert_eq!(&f1, &f2, "not idempotent for {}", src);
+    fn expr_strategy() -> impl Strategy<Value = String> {
+        let leaf = prop_oneof![
+            Just("x".to_owned()),
+            Just("Y2".to_owned()),
+            (0i64..100).prop_map(|n| n.to_string()),
+            Just("\"s\"".to_owned()),
+            Just("True".to_owned()),
+            Just("None".to_owned()),
+        ];
+        leaf.prop_recursive(4, 48, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} < {b})")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} and {b})")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} or {b})")),
+                inner.clone().prop_map(|a| format!("(not {a})")),
+                inner.clone().prop_map(|a| format!("(-{a})")),
+                inner.clone().prop_map(|a| format!("len({a})")),
+                (inner.clone(), inner).prop_map(|(a, b)| format!("[{a}, {b}]")),
+            ]
+        })
+    }
+
+    proptest! {
+        /// format ∘ parse is idempotent on random expressions, and the
+        /// formatted form parses back to the same formatted form (i.e. the
+        /// formatter's minimal parentheses preserve structure).
+        #[test]
+        fn random_exprs_roundtrip(src in expr_strategy()) {
+            let e1 = parse_expr(&src).unwrap();
+            let f1 = format_expr(&e1);
+            let e2 = parse_expr(&f1).unwrap_or_else(|err| panic!("{f1:?}: {err}"));
+            let f2 = format_expr(&e2);
+            prop_assert_eq!(&f1, &f2, "not idempotent for {}", src);
+        }
     }
 }

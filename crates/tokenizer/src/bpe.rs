@@ -101,7 +101,11 @@ impl BpeTrainer {
                 .into_iter()
                 .filter(|&(_, c)| c >= self.min_pair_count)
                 .map(|((a, b), c)| (c, a.to_owned(), b.to_owned()))
-                .max_by(|x, y| x.0.cmp(&y.0).then_with(|| (y.1.as_str(), y.2.as_str()).cmp(&(x.1.as_str(), x.2.as_str()))));
+                .max_by(|x, y| {
+                    x.0.cmp(&y.0).then_with(|| {
+                        (y.1.as_str(), y.2.as_str()).cmp(&(x.1.as_str(), x.2.as_str()))
+                    })
+                });
             let Some((_, a, b)) = best else { break };
 
             // Apply the merge to every word.
@@ -223,9 +227,8 @@ impl Bpe {
                 .and_then(char::from_u32)
                 .ok_or_else(|| format!("invalid code point {hex:?}"))
         };
-        let parse_piece = |p: &str| -> Result<String, String> {
-            p.split('.').map(parse_char).collect()
-        };
+        let parse_piece =
+            |p: &str| -> Result<String, String> { p.split('.').map(parse_char).collect() };
 
         let alphabet_line = lines.next().ok_or("missing alphabet line")?;
         let mut parts = alphabet_line.split_whitespace();
@@ -303,10 +306,7 @@ impl Bpe {
             // Find the adjacent pair with the lowest merge rank.
             let mut best: Option<(usize, usize)> = None; // (rank, position)
             for i in 0..syms.len().saturating_sub(1) {
-                if let Some(&rank) = self
-                    .merge_rank
-                    .get(&(syms[i].clone(), syms[i + 1].clone()))
-                {
+                if let Some(&rank) = self.merge_rank.get(&(syms[i].clone(), syms[i + 1].clone())) {
                     if best.is_none_or(|(r, _)| rank < r) {
                         best = Some((rank, i));
                     }
@@ -375,7 +375,10 @@ mod tests {
 
     #[test]
     fn common_words_become_single_tokens() {
-        let bpe = BpeTrainer::new().merges(200).min_pair_count(2).train(CORPUS);
+        let bpe = BpeTrainer::new()
+            .merges(200)
+            .min_pair_count(2)
+            .train(CORPUS);
         // "the" (with leading space) occurs many times; it should merge
         // into few tokens, usually one.
         let ids = bpe.encode(" the");
@@ -416,7 +419,12 @@ mod tests {
         let bpe = BpeTrainer::new().merges(80).train(CORPUS);
         let text = bpe.to_text();
         let reloaded = Bpe::from_text(&text).unwrap();
-        for sample in [CORPUS, "the cat sat", "a hat. the bat", "unseen words zebra"] {
+        for sample in [
+            CORPUS,
+            "the cat sat",
+            "a hat. the bat",
+            "unseen words zebra",
+        ] {
             assert_eq!(bpe.encode(sample), reloaded.encode(sample), "{sample:?}");
         }
         assert_eq!(bpe.vocab().len(), reloaded.vocab().len());

@@ -196,7 +196,11 @@ impl TokenSet {
         Iter {
             set: self,
             word: 0,
-            cur: if self.bits.is_empty() { 0 } else { self.bits[0] },
+            cur: if self.bits.is_empty() {
+                0
+            } else {
+                self.bits[0]
+            },
         }
     }
 }
@@ -273,10 +277,7 @@ mod tests {
     fn set_algebra() {
         let a = TokenSet::from_ids(10, [TokenId(1), TokenId(2), TokenId(3)]);
         let b = TokenSet::from_ids(10, [TokenId(3), TokenId(4)]);
-        assert_eq!(
-            a.intersection(&b),
-            TokenSet::from_ids(10, [TokenId(3)])
-        );
+        assert_eq!(a.intersection(&b), TokenSet::from_ids(10, [TokenId(3)]));
         assert_eq!(
             a.union(&b),
             TokenSet::from_ids(10, [TokenId(1), TokenId(2), TokenId(3), TokenId(4)])

@@ -1,14 +1,15 @@
 //! Property-based tests for the tokenizer crate.
 
-use lmql_tokenizer::{pretokenize, Bpe, BpeTrainer, TokenSet, TokenTrie, TokenId, Vocabulary};
+// Property suites ride behind the default-off `slow-tests` feature:
+// run them with `cargo test --features slow-tests`.
+#![cfg(feature = "slow-tests")]
+
+use lmql_tokenizer::{pretokenize, Bpe, BpeTrainer, TokenId, TokenSet, TokenTrie, Vocabulary};
 use proptest::prelude::*;
 
 fn ascii_text() -> impl Strategy<Value = String> {
     proptest::collection::vec(
-        prop_oneof![
-            proptest::char::range(' ', '~'),
-            Just('\n'),
-        ],
+        prop_oneof![proptest::char::range(' ', '~'), Just('\n'),],
         0..200,
     )
     .prop_map(|v| v.into_iter().collect())

@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut runtime = Runtime::new(lm, bpe);
     runtime.register_external("calculator", "run", |args| {
         let expr = args[0].as_str().ok_or("run expects a string")?;
-        calculator::run(expr).map(Value::Int).map_err(|e| e.to_string())
+        calculator::run(expr)
+            .map(Value::Int)
+            .map_err(|e| e.to_string())
     });
     runtime.bind("FEWSHOT", Value::Str(gsm8k::FEW_SHOT.into()));
     runtime.bind("QUESTION", Value::Str(inst.question.clone()));
@@ -45,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let answer = result.best().var_str("RESULT").unwrap_or("");
     println!(
         "RESULT = {answer:?} — {} (gold: {})",
-        if inst.is_correct(answer) { "correct" } else { "incorrect" },
+        if inst.is_correct(answer) {
+            "correct"
+        } else {
+            "incorrect"
+        },
         inst.answer
     );
     Ok(())

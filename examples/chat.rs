@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 " LMQL is a query language for language models: prompts become programs \
                  with constraints.\n",
             ),
-            Episode::plain(
-                "User: bye\nAssistant:",
-                " Goodbye! It was a pleasure.\n",
-            ),
+            Episode::plain("User: bye\nAssistant:", " Goodbye! It was a pleasure.\n"),
         ],
     ));
 

@@ -52,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runtime = Runtime::new(lm, bpe);
     let result = runtime.run(QUERY)?;
     println!("{}\n", result.best().trace);
-    println!("EXPERT  = {:?}", result.best().var_str("EXPERT").unwrap_or(""));
-    println!("ANSWER  = {:?}", result.best().var_str("ANSWER").unwrap_or(""));
+    println!(
+        "EXPERT  = {:?}",
+        result.best().var_str("EXPERT").unwrap_or("")
+    );
+    println!(
+        "ANSWER  = {:?}",
+        result.best().var_str("ANSWER").unwrap_or("")
+    );
     Ok(())
 }

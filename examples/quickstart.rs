@@ -51,6 +51,9 @@ where stops_at(ANSWER, ".") and len(words(ANSWER)) < 20
     );
 
     // The constraint cut the answer at the first period:
-    assert_eq!(run.var_str("ANSWER"), Some(" The capital of France is Paris."));
+    assert_eq!(
+        run.var_str("ANSWER"),
+        Some(" The capital of France is Paris.")
+    );
     Ok(())
 }

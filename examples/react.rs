@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let lm = Arc::new(ScriptedLm::new(
         Arc::clone(&bpe),
-        [Episode::plain(format!("{}\n", inst.question), inst.script.clone())],
+        [Episode::plain(
+            format!("{}\n", inst.question),
+            inst.script.clone(),
+        )],
     ));
 
     let mut runtime = Runtime::new(lm, bpe);
@@ -47,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or("");
     println!(
         "answer: {answer:?} — {}",
-        if inst.is_correct(answer) { "correct" } else { "incorrect" }
+        if inst.is_correct(answer) {
+            "correct"
+        } else {
+            "incorrect"
+        }
     );
 
     let usage = runtime.meter().snapshot();

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification: formatting, lints, release build, tests.
+# Usage: scripts/verify.sh [--slow]   (--slow also runs the proptest suites)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FEATURES=()
+if [[ "${1:-}" == "--slow" ]]; then
+    FEATURES=(--features slow-tests)
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets "${FEATURES[@]}" -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q "${FEATURES[@]}"
+
+echo "==> OK"

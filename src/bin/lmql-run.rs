@@ -78,10 +78,12 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => out.trace = true,
             "--format" => out.format = true,
             "--help" | "-h" => {
-                return Err("usage: lmql-run <query.lmql> [--model ngram|script:<trigger>=<completion>] \
+                return Err(
+                    "usage: lmql-run <query.lmql> [--model ngram|script:<trigger>=<completion>] \
                             [--bind NAME=VALUE]… [--engine exact|symbolic] [--seed N] \
                             [--max-tokens N] [--trace] [--format]"
-                    .to_owned())
+                        .to_owned(),
+                )
             }
             other if out.query_path.is_empty() && !other.starts_with('-') => {
                 out.query_path = other.to_owned();
@@ -107,8 +109,8 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let source =
-        std::fs::read_to_string(&args.query_path).map_err(|e| format!("{}: {e}", args.query_path))?;
+    let source = std::fs::read_to_string(&args.query_path)
+        .map_err(|e| format!("{}: {e}", args.query_path))?;
 
     if args.format {
         let query = lmql_syntax::parse_query(&source).map_err(|e| e.to_string())?;

@@ -98,7 +98,11 @@ fn ngram_model_runs_builtin_corpus_queries() {
         "ngram.lmql",
         "argmax\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"ngram\"\nwhere stops_at(THING, \"\\n\")\n",
     );
-    let out = lmql_run().arg(&q).args(["--model", "ngram"]).output().unwrap();
+    let out = lmql_run()
+        .arg(&q)
+        .args(["--model", "ngram"])
+        .output()
+        .unwrap();
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("THING = "), "{stdout}");

@@ -47,7 +47,10 @@ fn lmql_suppresses_digressions_end_to_end() {
     // The where clause forbids newlines in REASONING, so the digression
     // (which starts with one) was masked and the reasoning is the clean
     // intended sentence.
-    assert_eq!(result.best().var_str("REASONING"), Some(inst.reasoning.as_str()));
+    assert_eq!(
+        result.best().var_str("REASONING"),
+        Some(inst.reasoning.as_str())
+    );
     assert!(!result.best().var_str("REASONING").unwrap().contains("Pick"));
     // The answer is the model's intended one.
     assert_eq!(
@@ -76,7 +79,10 @@ fn react_full_pipeline_with_real_lookups() {
         let bpe = corpus::standard_bpe();
         let lm = Arc::new(ScriptedLm::new(
             Arc::clone(&bpe),
-            [Episode::plain(format!("{}\n", inst.question), inst.script.clone())],
+            [Episode::plain(
+                format!("{}\n", inst.question),
+                inst.script.clone(),
+            )],
         ));
         let mut rt = Runtime::new(lm, bpe);
         let w = wiki.clone();
@@ -96,7 +102,10 @@ fn react_full_pipeline_with_real_lookups() {
         assert!(inst.is_correct(answer), "wrong answer {answer:?}");
         // The observations in the trace are real wiki search results.
         for hop in &inst.hops {
-            assert!(result.best().trace.contains(&format!("Obs: {}", wiki.search(hop))));
+            assert!(result
+                .best()
+                .trace
+                .contains(&format!("Obs: {}", wiki.search(hop))));
         }
         // One decoder call for the whole interactive flow.
         assert_eq!(rt.meter().snapshot().decoder_calls, 1);
@@ -168,5 +177,11 @@ fn sampling_is_deterministic_per_seed() {
         .collect::<Vec<_>>()
     };
     assert_eq!(run(1), run(1));
-    assert_ne!(run(1), run(2), "different seeds should explore differently");
+    // Individual seed pairs may coincide on a peaked distribution; across
+    // a handful of seeds the sampler must explore more than one outcome.
+    let outcomes: std::collections::HashSet<Vec<String>> = (1..=6).map(run).collect();
+    assert!(
+        outcomes.len() > 1,
+        "different seeds should explore differently"
+    );
 }

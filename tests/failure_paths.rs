@@ -124,7 +124,9 @@ fn errors_inside_loops_point_at_the_statement() {
         .run("argmax\n    for i in range(3):\n        y = undefined_var\nfrom \"m\"\n")
         .unwrap_err();
     assert!(err.to_string().contains("undefined_var"), "{err}");
-    let Error::Eval { span, .. } = err else { panic!() };
+    let Error::Eval { span, .. } = err else {
+        panic!()
+    };
     assert_eq!(span.start.line, 3);
 }
 

@@ -112,7 +112,11 @@ where stops_at(WORD, "\n")
 "#,
         )
         .unwrap();
-    assert!(result.best().trace.ends_with("count: 3"), "{}", result.best().trace);
+    assert!(
+        result.best().trace.ends_with("count: 3"),
+        "{}",
+        result.best().trace
+    );
 }
 
 #[test]
@@ -130,10 +134,7 @@ from "m"
 "#,
         )
         .unwrap();
-    assert_eq!(
-        result.best().trace,
-        "line 1: a\nline 2: b\ntotal 3 and B"
-    );
+    assert_eq!(result.best().trace, "line 1: a\nline 2: b\ntotal 3 and B");
 }
 
 #[test]

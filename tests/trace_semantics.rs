@@ -43,10 +43,7 @@ fn fig9_trace_states() {
     // The VM is already suspended inside iteration i = 1 (Fig. 9's
     // "4, i = 0" state existed between the append and the loop head).
     assert_eq!(vm.scope()["i"], Value::Int(1));
-    assert_eq!(
-        vm.scope()["things"],
-        Value::List(vec!["sun screen".into()])
-    );
+    assert_eq!(vm.scope()["things"], Value::List(vec!["sun screen".into()]));
     assert!(matches!(step, Step::NeedHole(r) if r.var == "THING"));
 
     // Line 4, i = 1: THING is *reassigned* (Fig. 9's second block).
@@ -81,10 +78,7 @@ fn fig9_trace_states() {
 
 #[test]
 fn hole_values_substituted_and_recalled() {
-    let program = compile_source(
-        "argmax\n    \"[A] and {A}!\"\nfrom \"m\"\n",
-    )
-    .unwrap();
+    let program = compile_source("argmax\n    \"[A] and {A}!\"\nfrom \"m\"\n").unwrap();
     let mut vm = VmState::new([]);
     let externals = Externals::new();
     vm.run(&program, &externals).unwrap();
