@@ -2,9 +2,10 @@
 //! decoder calls, model queries and billable tokens, against LMQL's
 //! chunk-free decoding (flat reference line).
 //!
-//! Usage: `cargo run -p lmql-bench --bin fig12 [--n <instances>]`
+//! Usage: `cargo run -p lmql-bench --bin fig12 [--n <instances>] [--metrics]`
 
 use lmql_bench::experiments::react_exp;
+use lmql_bench::table::print_metrics_registry;
 use lmql_datasets::GPT_J_PROFILE;
 
 fn main() {
@@ -15,6 +16,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--n takes a number"))
         .unwrap_or(10);
+    let dump_metrics = args.iter().any(|a| a == "--metrics");
 
     let chunk_sizes = [10, 20, 30, 40, 50, 60, 70];
     println!("Fig. 12: baseline chunk-size sweep on the ReAct workload ({n} instances)\n");
@@ -81,5 +83,15 @@ fn main() {
             " ".repeat(lmql_col),
             get(lmql)
         );
+    }
+
+    if dump_metrics {
+        println!();
+        let mut arms: Vec<_> = rows
+            .iter()
+            .map(|r| (format!("chunk_{}.standard", r.chunk_size), r.baseline))
+            .collect();
+        arms.push(("lmql".to_owned(), *lmql));
+        print_metrics_registry(&arms);
     }
 }

@@ -1,18 +1,21 @@
 //! Runs every table and figure reproduction in sequence (the source of
 //! the numbers recorded in EXPERIMENTS.md). Accepts `--quick` for a
-//! smaller instance count.
+//! smaller instance count and `--metrics` for a combined registry dump
+//! after all experiments.
 
 use lmql_baseline::programs::{ARITH_SOURCE, COT_SOURCE, REACT_SOURCE};
 use lmql_bench::experiments::cot::{self, Task};
 use lmql_bench::experiments::{arith_exp, react_exp};
 use lmql_bench::loc::{functional_loc, Language};
 use lmql_bench::queries;
-use lmql_bench::table::print_metric_block;
+use lmql_bench::table::{print_metric_block, print_metrics_registry};
 use lmql_datasets::{GPT_35_PROFILE, GPT_J_PROFILE, OPT_30B_PROFILE};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let metrics = std::env::args().any(|a| a == "--metrics");
     let (n_cot, n_tool, n_fig) = if quick { (20, 8, 5) } else { (84, 25, 10) };
+    let mut arms = Vec::new();
 
     println!("================ Table 3 ================\n");
     for profile in [GPT_J_PROFILE, OPT_30B_PROFILE] {
@@ -21,6 +24,9 @@ fn main() {
             let row = cot::run(task, &profile, n_cot, seed, 30);
             print_metric_block(task.label(), &row.baseline, &row.lmql, true);
             println!();
+            let tag = format!("{}.{}", profile.name, task.label());
+            arms.push((format!("{tag}.standard"), row.baseline));
+            arms.push((format!("{tag}.lmql"), row.lmql));
         }
     }
     println!("=== GPT-3.5-style control (§6.1) ===");
@@ -88,4 +94,17 @@ fn main() {
         lmql.avg_model_queries(),
         lmql.avg_billable_tokens()
     );
+
+    if metrics {
+        arms.push(("react.standard".to_owned(), react.baseline));
+        arms.push(("react.lmql".to_owned(), react.lmql));
+        arms.push(("arithmetic.standard".to_owned(), arith.baseline));
+        arms.push(("arithmetic.lmql".to_owned(), arith.lmql));
+        for row in &rows {
+            arms.push((format!("chunk_{}.standard", row.chunk_size), row.baseline));
+        }
+        arms.push(("fig12.lmql".to_owned(), *lmql));
+        println!();
+        print_metrics_registry(&arms);
+    }
 }

@@ -2,10 +2,10 @@
 //! One Out and Date Understanding, Standard Decoding vs LMQL, under two
 //! simulated model profiles.
 //!
-//! Usage: `cargo run -p lmql-bench --bin table3 [--n <instances>] [--profile large]`
+//! Usage: `cargo run -p lmql-bench --bin table3 [--n <instances>] [--profile large] [--metrics]`
 
 use lmql_bench::experiments::cot::{run, Task};
-use lmql_bench::table::print_metric_block;
+use lmql_bench::table::{print_metric_block, print_metrics_registry};
 use lmql_datasets::{GPT_35_PROFILE, GPT_J_PROFILE, OPT_30B_PROFILE};
 
 fn main() {
@@ -15,6 +15,7 @@ fn main() {
         .unwrap_or(84);
     let large_control = args.iter().any(|a| a == "--profile")
         && arg_value(&args, "--profile").as_deref() == Some("large");
+    let metrics = args.iter().any(|a| a == "--metrics");
 
     println!("Table 3: constrained LMQL chain-of-thought decoding vs standard chunk-wise decoding");
     println!("({n} synthetic instances per task; chunk size 30; see EXPERIMENTS.md)\n");
@@ -25,13 +26,20 @@ fn main() {
         vec![GPT_J_PROFILE, OPT_30B_PROFILE]
     };
 
+    let mut arms = Vec::new();
     for profile in &profiles {
         println!("=== model profile: {} ===", profile.name);
         for (task, seed) in [(Task::OddOneOut, 42), (Task::DateUnderstanding, 43)] {
             let row = run(task, profile, n, seed, 30);
             print_metric_block(task.label(), &row.baseline, &row.lmql, true);
             println!();
+            let tag = format!("{}.{}", profile.name, task.label());
+            arms.push((format!("{tag}.standard"), row.baseline));
+            arms.push((format!("{tag}.lmql"), row.lmql));
         }
+    }
+    if metrics {
+        print_metrics_registry(&arms);
     }
 }
 

@@ -4,8 +4,11 @@
 use lmql_baseline::programs::{ARITH_SOURCE, COT_SOURCE, REACT_SOURCE};
 use lmql_bench::loc::{functional_loc, Language};
 use lmql_bench::queries;
+use lmql_bench::table::metric_slug;
+use lmql_obs::Registry;
 
 fn main() {
+    let metrics = std::env::args().any(|a| a == "--metrics");
     println!("Table 4: lines of code (functional; comments/blank lines excluded)\n");
     println!("{:<22} {:>16} {:>6}", "Task", "Python-style", "LMQL");
     println!("{:<22} {:>16} {:>6}", "", "baseline (Rust)", "");
@@ -20,16 +23,25 @@ fn main() {
         ("Arithmetic Reasoning", ARITH_SOURCE, queries::ARITHMETIC),
         ("ReAct", REACT_SOURCE, queries::REACT),
     ];
+    let registry = Registry::new();
     for (task, baseline_src, query_src) in rows {
-        println!(
-            "{:<22} {:>16} {:>6}",
-            task,
-            functional_loc(baseline_src, Language::Rust),
-            functional_loc(query_src, Language::Lmql)
-        );
+        let baseline_loc = functional_loc(baseline_src, Language::Rust);
+        let lmql_loc = functional_loc(query_src, Language::Lmql);
+        println!("{task:<22} {baseline_loc:>16} {lmql_loc:>6}");
+        let slug = metric_slug(task);
+        registry
+            .gauge(&format!("bench.{slug}.loc_baseline"))
+            .set(baseline_loc as u64);
+        registry
+            .gauge(&format!("bench.{slug}.loc_lmql"))
+            .set(lmql_loc as u64);
     }
     println!(
         "\n(The baseline column counts the task program only; the shared chunk-wise\n\
          generate() plumbing and parsing helpers are excluded on both sides.)"
     );
+    if metrics {
+        println!("--- metrics ---");
+        print!("{}", registry.snapshot().render_text());
+    }
 }

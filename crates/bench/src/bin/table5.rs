@@ -2,10 +2,10 @@
 //! prompting case studies — ReAct question answering and arithmetic
 //! reasoning with a calculator.
 //!
-//! Usage: `cargo run -p lmql-bench --bin table5 [--n <instances>]`
+//! Usage: `cargo run -p lmql-bench --bin table5 [--n <instances>] [--metrics]`
 
 use lmql_bench::experiments::{arith_exp, react_exp};
-use lmql_bench::table::print_metric_block;
+use lmql_bench::table::{print_metric_block, print_metrics_registry};
 use lmql_datasets::GPT_J_PROFILE;
 
 fn main() {
@@ -16,6 +16,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--n takes a number"))
         .unwrap_or(25);
+    let metrics = args.iter().any(|a| a == "--metrics");
 
     println!("Table 5: LMQL constrained decoding vs Standard Decoding, interactive prompting");
     println!("({n} synthetic instances per case study; baseline chunk size 30)\n");
@@ -31,4 +32,14 @@ fn main() {
         &arith.lmql,
         false,
     );
+
+    if metrics {
+        println!();
+        print_metrics_registry(&[
+            ("react.standard".to_owned(), react.baseline),
+            ("react.lmql".to_owned(), react.lmql),
+            ("arithmetic.standard".to_owned(), arith.baseline),
+            ("arithmetic.lmql".to_owned(), arith.lmql),
+        ]);
+    }
 }

@@ -97,9 +97,58 @@ pub fn print_metric_block(label: &str, baseline: &Stats, lmql: &Stats, with_accu
     );
 }
 
+/// Lowercases a human row label into a metric-name segment
+/// (`Odd One Out` → `odd_one_out`).
+pub fn metric_slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_owned()
+}
+
+/// Dumps each experiment arm's aggregated usage through the metrics
+/// registry's text exposition — the `--metrics` flag of the experiment
+/// binaries. This is a separate block after the tables, so the table
+/// columns themselves stay byte-identical with or without the flag.
+pub fn print_metrics_registry(arms: &[(String, Stats)]) {
+    let registry = lmql_obs::Registry::new();
+    for (label, stats) in arms {
+        let slug = metric_slug(label);
+        let u = stats.usage;
+        let counters: [(&str, u64); 9] = [
+            ("instances", stats.n as u64),
+            ("correct", stats.correct as u64),
+            ("model_queries", u.model_queries),
+            ("decoder_calls", u.decoder_calls),
+            ("billable_tokens", u.billable_tokens),
+            ("batch_dispatches", u.batch_dispatches),
+            ("batched_queries", u.batched_queries),
+            ("cache_hits", u.cache_hits),
+            ("cache_misses", u.cache_misses),
+        ];
+        for (name, value) in counters {
+            registry.counter(&format!("bench.{slug}.{name}")).add(value);
+        }
+    }
+    println!("--- metrics ---");
+    print!("{}", registry.snapshot().render_text());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metric_slug_flattens_labels() {
+        assert_eq!(metric_slug("Odd One Out"), "odd_one_out");
+        assert_eq!(metric_slug("ReAct (Case Study 2)"), "react_case_study_2");
+        assert_eq!(metric_slug("gpt-j-6b.lmql"), "gpt_j_6b_lmql");
+    }
 
     #[test]
     fn delta_pct_signs() {

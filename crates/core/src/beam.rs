@@ -81,6 +81,7 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
         ));
     }
 
+    let tracer = options.tracer.clone();
     let eos = bpe.vocab().eos();
     let mut init = Beam {
         vm: VmState::new(bindings.iter().cloned()),
@@ -117,6 +118,9 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                 continue;
             }
             if outcome.is_dead_end() {
+                tracer.instant_with("beam", "prune", || {
+                    vec![("reason".to_owned(), "dead_end".into())]
+                });
                 continue; // prune this beam
             }
             let mut mask = outcome.allowed.clone();
@@ -136,7 +140,11 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                 _ => None,
             })
             .collect();
-        let mut scored = lm.score_batch(&contexts).into_iter();
+        let mut scored = {
+            let mut span = tracer.span("batch", "dispatch");
+            span.arg("contexts", contexts.len() as u64);
+            lm.score_batch(&contexts).into_iter()
+        };
 
         // Pass 2: expand in the original beam order.
         let mut candidates: Vec<Beam> = Vec::new();
@@ -151,8 +159,12 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                     let logits = scored.next().expect("one score per extending beam");
                     let dist = logits.softmax(options.temperature);
                     let Some(masked) = dist.masked(&mask) else {
+                        tracer.instant_with("beam", "prune", || {
+                            vec![("reason".to_owned(), "numerically_dead".into())]
+                        });
                         continue; // numerically dead: prune
                     };
+                    let mut forks: u64 = 0;
                     for (t, p) in masked.top_k(n) {
                         if p <= 0.0 {
                             continue;
@@ -168,6 +180,12 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                             b.hole_tokens += 1;
                         }
                         candidates.push(b);
+                        forks += 1;
+                    }
+                    if forks > 1 {
+                        tracer.instant_with("beam", "fork", || {
+                            vec![("branches".to_owned(), forks.into())]
+                        });
                     }
                 }
             }
@@ -182,6 +200,15 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                 .partial_cmp(&a.log_prob)
                 .expect("log probs are never NaN")
         });
+        if candidates.len() > n {
+            let dropped = (candidates.len() - n) as u64;
+            tracer.instant_with("beam", "prune", || {
+                vec![
+                    ("reason".to_owned(), "beam_width".into()),
+                    ("dropped".to_owned(), dropped.into()),
+                ]
+            });
+        }
         candidates.truncate(n);
         beams = candidates;
     }

@@ -63,6 +63,7 @@ pub struct Masker {
     trie: TokenTrie,
     cache: ScanCache,
     custom: crate::constraints::CustomOps,
+    tracer: lmql_obs::Tracer,
 }
 
 /// Anything that can lend a [`Vocabulary`] (object-safe facade so `Masker`
@@ -96,12 +97,21 @@ impl Masker {
             trie,
             cache: ScanCache::default(),
             custom: crate::constraints::CustomOps::new(),
+            tracer: lmql_obs::Tracer::disabled(),
         }
     }
 
     /// Installs user-defined constraint operators (Appendix A.1).
     pub fn with_custom_ops(mut self, ops: crate::constraints::CustomOps) -> Self {
         self.custom = ops;
+        self
+    }
+
+    /// Installs a trace recorder: every mask computation records a span,
+    /// with a nested span for the engine-specific evaluation (FollowMap
+    /// composition or exact per-token FINAL evaluation).
+    pub fn with_tracer(mut self, tracer: lmql_obs::Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -119,6 +129,7 @@ impl Masker {
         var: &str,
         value: &str,
     ) -> MaskOutcome {
+        let mut mask_span = self.tracer.span("mask", "compute_mask");
         let vocab = self.vocab_owner.vocabulary();
         let vlen = vocab.len();
         let Some(expr) = where_expr else {
@@ -156,8 +167,12 @@ impl Masker {
         let eos_allowed = final_eval.truthy() != Some(false);
 
         let mut allowed = match self.engine {
-            MaskEngine::Exact => self.exact_allowed(expr, scope, var, value),
+            MaskEngine::Exact => {
+                let _span = self.tracer.span("mask", "exact_eval");
+                self.exact_allowed(expr, scope, var, value)
+            }
             MaskEngine::Symbolic => {
+                let _span = self.tracer.span("mask", "follow_eval");
                 let mut ctx = FollowCtx {
                     scope,
                     var,
@@ -190,6 +205,10 @@ impl Masker {
             }
         }
 
+        if mask_span.is_recording() {
+            mask_span.arg("allowed", allowed.count() as u64);
+            mask_span.arg("eos_allowed", u64::from(eos_allowed));
+        }
         MaskOutcome {
             allowed,
             eos_allowed,

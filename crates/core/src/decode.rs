@@ -32,6 +32,10 @@ pub struct DecodeOptions {
     /// model. Costs one extra (wasted) model query on the final step of
     /// each hole, exactly like the real system's speculative prediction.
     pub speculative: bool,
+    /// Structured trace recorder. Disabled by default: a disabled tracer
+    /// records nothing and allocates nothing, so leaving this at its
+    /// default is free.
+    pub tracer: lmql_obs::Tracer,
 }
 
 impl Default for DecodeOptions {
@@ -43,6 +47,7 @@ impl Default for DecodeOptions {
             engine: MaskEngine::default(),
             no_repeat_ngram: 0,
             speculative: false,
+            tracer: lmql_obs::Tracer::disabled(),
         }
     }
 }
@@ -163,6 +168,8 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
     options: &DecodeOptions,
     mut steps_out: Option<&mut Vec<StepTrace>>,
 ) -> Result<DecodedValue> {
+    let tracer = options.tracer.clone();
+    let mut hole_span = tracer.span_lazy("decode", || format!("hole:{var}"));
     let eos = bpe.vocab().eos();
     let mut value = String::new();
     let mut log_prob = 0.0;
@@ -179,7 +186,10 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
         // to stop decoding.
         let speculative_logits = if options.speculative {
             let (logits, outcome) = std::thread::scope(|scope_| {
-                let handle = scope_.spawn(|| lm.score(&context));
+                let handle = scope_.spawn(|| {
+                    let _span = tracer.span("model", "score_speculative");
+                    lm.score(&context)
+                });
                 let outcome = masker.compute(where_expr, scope, var, &value);
                 (handle.join().expect("scoring thread panicked"), outcome)
             });
@@ -226,7 +236,11 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
         }
         let logits = match speculative_logits {
             Some((logits, _)) => logits,
-            None => lm.score(&context),
+            None => {
+                let mut span = tracer.span("model", "score");
+                span.arg("context_tokens", context.len() as u64);
+                lm.score(&context)
+            }
         };
         let dist = logits.softmax(options.temperature);
         let Some(masked) = dist.masked(&mask) else {
@@ -258,6 +272,10 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
         tokens += 1;
     }
 
+    if hole_span.is_recording() {
+        hole_span.arg("tokens", tokens as u64);
+        hole_span.arg("stopped_by", format!("{stopped_by:?}"));
+    }
     Ok(DecodedValue {
         value,
         log_prob,

@@ -149,6 +149,20 @@ impl Runtime {
         &self.meter
     }
 
+    /// Installs a structured trace recorder. Every subsequent run records
+    /// parse/compile, per-hole decode, mask computation, FollowMap
+    /// evaluation and batch-dispatch spans into it. The default tracer is
+    /// disabled and free.
+    pub fn set_tracer(&mut self, tracer: lmql_obs::Tracer) {
+        self.options.tracer = tracer;
+    }
+
+    /// The installed trace recorder (disabled unless [`Self::set_tracer`]
+    /// was called).
+    pub fn tracer(&self) -> &lmql_obs::Tracer {
+        &self.options.tracer
+    }
+
     /// Registers an external function callable as `module.func(args)`
     /// (after `import module` in the query).
     pub fn register_external<F>(&mut self, module: &str, func: &str, f: F)
@@ -186,7 +200,10 @@ impl Runtime {
     ///
     /// Syntax, compile, evaluation and decoding errors.
     pub fn run(&self, source: &str) -> Result<QueryResult> {
-        let program = compile_source(source)?;
+        let program = {
+            let _span = self.tracer().span("query", "parse_compile");
+            compile_source(source)?
+        };
         self.run_program(&program)
     }
 
@@ -198,7 +215,10 @@ impl Runtime {
     ///
     /// See [`Runtime::run`].
     pub fn run_traced(&self, source: &str) -> Result<(QueryResult, DebugTrace)> {
-        let program = compile_source(source)?;
+        let program = {
+            let _span = self.tracer().span("query", "parse_compile");
+            compile_source(source)?
+        };
         let mut debug = DebugTrace::default();
         let result = self.run_program_inner(&program, Some(&mut debug))?;
         Ok((result, debug))
@@ -226,7 +246,12 @@ impl Runtime {
         }
         let lm = CachedLm::new(MeteredLm::new(Arc::clone(&self.lm), self.meter.clone()));
         let mut masker = Masker::new(self.options.engine, Arc::clone(&self.bpe) as _)
-            .with_custom_ops(self.custom_ops.clone());
+            .with_custom_ops(self.custom_ops.clone())
+            .with_tracer(self.options.tracer.clone());
+        let _query_span = self
+            .options
+            .tracer
+            .span_lazy("query", || format!("run:{}", program.decoder.name));
 
         match program.decoder.name.as_str() {
             "argmax" => {
@@ -465,7 +490,10 @@ impl Runtime {
             return Err(Error::eval("distribute support is empty", d.span));
         }
 
+        let mut dist_span = self.options.tracer.span("query", "distribute");
+        dist_span.arg("support", values.len() as u64);
         let log_probs = self.score_continuations(lm, trace, &values);
+        drop(dist_span);
         for v in &values {
             // Each scored value starts its own decoding loop: one decoder
             // call billing prompt + continuation (§6 metrics).
@@ -511,7 +539,11 @@ impl Runtime {
             .iter()
             .flat_map(|(full, common)| (*common..full.len()).map(move |i| &full[..i]))
             .collect();
-        let mut scored = lm.score_batch(&contexts).into_iter();
+        let mut scored = {
+            let mut span = self.options.tracer.span("batch", "dispatch");
+            span.arg("contexts", contexts.len() as u64);
+            lm.score_batch(&contexts).into_iter()
+        };
         plans
             .iter()
             .map(|(full, common)| {
@@ -632,6 +664,38 @@ mod tests {
             .run("argmax\n    \"t:[D] then [MORE]\"\nfrom \"m\"\ndistribute D in [\" a\"]\n")
             .unwrap_err();
         assert!(err.to_string().contains("last hole"));
+    }
+
+    #[test]
+    fn tracer_records_hole_and_mask_spans() {
+        let mut rt = runtime(vec![Episode::plain("Q: hi\nA:", " hello.")]);
+        rt.set_tracer(lmql_obs::Tracer::manual());
+        let result = rt
+            .run("argmax\n    \"Q: hi\\nA:[ANSWER]\"\nfrom \"m\"\nwhere stops_at(ANSWER, \".\")\n")
+            .unwrap();
+        assert_eq!(result.best().var_str("ANSWER"), Some(" hello."));
+        let events = rt.tracer().events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"parse_compile"));
+        assert!(names.contains(&"hole:ANSWER"));
+        assert!(names.contains(&"compute_mask"));
+        assert!(names.contains(&"follow_eval"));
+        assert!(names.contains(&"run:argmax"));
+        // Manual clock makes the trace a pure function of the event
+        // sequence: a second identical run records identical timings.
+        let mut rt2 = runtime(vec![Episode::plain("Q: hi\nA:", " hello.")]);
+        rt2.set_tracer(lmql_obs::Tracer::manual());
+        rt2.run("argmax\n    \"Q: hi\\nA:[ANSWER]\"\nfrom \"m\"\nwhere stops_at(ANSWER, \".\")\n")
+            .unwrap();
+        assert_eq!(events, rt2.tracer().events());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let rt = runtime(vec![Episode::plain("P:", " out")]);
+        rt.run("argmax\n    \"P:[X]\"\nfrom \"m\"\n").unwrap();
+        assert!(!rt.tracer().is_enabled());
+        assert!(rt.tracer().events().is_empty());
     }
 
     #[test]

@@ -14,9 +14,10 @@
 //! never what it computes.
 
 use crate::radix::{RadixCacheConfig, RadixStats};
-use crate::sched::{BatchPolicy, BatchedLm, Scheduler};
+use crate::sched::{BatchPolicy, BatchedLm, Scheduler, SchedulerObs};
 use lmql::{QueryResult, Runtime};
 use lmql_lm::{LanguageModel, MeteredLm, Usage, UsageMeter};
+use lmql_obs::{Registry, Tracer};
 use lmql_tokenizer::Bpe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -31,6 +32,21 @@ pub struct EngineConfig {
     pub policy: BatchPolicy,
     /// Prefix-cache budgets.
     pub cache: RadixCacheConfig,
+}
+
+/// Observability hooks for an [`Engine`]: a trace recorder shared by the
+/// scheduler and every worker [`Runtime`], and an optional metrics
+/// registry collecting `engine.*` and `lm.*` metrics. Both default to
+/// off/absent and are free in that state ([`EngineConfig`] stays `Copy`;
+/// these hooks ride separately through [`Engine::new_with_obs`]).
+#[derive(Debug, Clone, Default)]
+pub struct EngineObs {
+    /// Trace recorder: per-hole decode, mask, cache and batch-dispatch
+    /// spans from every query run through the engine.
+    pub tracer: Tracer,
+    /// Metrics registry: scheduler metrics under `engine.*`, the usage
+    /// meter under `lm.*`.
+    pub registry: Option<Registry>,
 }
 
 /// A point-in-time view of the engine's §6 usage counters plus the
@@ -72,6 +88,8 @@ pub struct Engine {
     bpe: Arc<Bpe>,
     meter: UsageMeter,
     threads: usize,
+    tracer: Tracer,
+    registry: Option<Registry>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -90,27 +108,54 @@ impl Engine {
     /// Panics if the model's vocabulary size does not match the
     /// tokenizer's.
     pub fn new(model: Arc<dyn LanguageModel>, bpe: Arc<Bpe>, config: EngineConfig) -> Self {
+        Self::new_with_obs(model, bpe, config, EngineObs::default())
+    }
+
+    /// Like [`new`](Self::new), with observability hooks: the tracer is
+    /// shared by the scheduler and every worker runtime, and the registry
+    /// (when given) collects `engine.*` scheduler metrics and the `lm.*`
+    /// usage counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's vocabulary size does not match the
+    /// tokenizer's.
+    pub fn new_with_obs(
+        model: Arc<dyn LanguageModel>,
+        bpe: Arc<Bpe>,
+        config: EngineConfig,
+        obs: EngineObs,
+    ) -> Self {
         assert_eq!(
             model.vocab().len(),
             bpe.vocab().len(),
             "model and tokenizer vocabulary mismatch"
         );
         let meter = UsageMeter::new();
+        if let Some(registry) = &obs.registry {
+            meter.register_into(registry, "lm");
+        }
         // The meter wraps the model *inside* the scheduler: it counts
         // real dispatches after caching/single-flighting, which is what
         // the Tables 3–5 binaries and benches compare against.
         let metered = MeteredLm::new(model, meter.clone());
-        let sched = Arc::new(Scheduler::with_meter(
+        let sched = Arc::new(Scheduler::with_obs(
             Box::new(metered),
             config.policy,
             config.cache,
-            meter.clone(),
+            SchedulerObs {
+                meter: Some(meter.clone()),
+                tracer: obs.tracer.clone(),
+                registry: obs.registry.clone(),
+            },
         ));
         Engine {
             sched,
             bpe,
             meter,
             threads: config.threads,
+            tracer: obs.tracer,
+            registry: obs.registry,
         }
     }
 
@@ -138,6 +183,18 @@ impl Engine {
             usage: self.meter.snapshot(),
             cache: self.sched.cache_stats(),
         }
+    }
+
+    /// The engine's trace recorder (disabled unless one was installed via
+    /// [`new_with_obs`](Self::new_with_obs)).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics registry, if one was installed via
+    /// [`new_with_obs`](Self::new_with_obs).
+    pub fn registry(&self) -> Option<&Registry> {
+        self.registry.as_ref()
     }
 
     /// Runs each query source concurrently over the shared model,
@@ -181,6 +238,7 @@ impl Engine {
                         break;
                     }
                     let mut rt = Runtime::new(Arc::new(self.handle()), Arc::clone(&self.bpe));
+                    rt.set_tracer(self.tracer.clone());
                     configure(i, &mut rt);
                     let result = rt.run(sources[i]);
                     *slots[i].lock().expect("result slot poisoned") = Some(result);

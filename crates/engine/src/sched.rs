@@ -20,6 +20,7 @@
 
 use crate::radix::{RadixCache, RadixCacheConfig};
 use lmql_lm::{LanguageModel, Logits, UsageMeter};
+use lmql_obs::{Counter, Gauge, Histogram, Registry, Tracer};
 use lmql_tokenizer::{TokenId, Vocabulary};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -85,10 +86,85 @@ struct State {
     shutdown: bool,
 }
 
+/// Observability hooks for a [`Scheduler`]: an optional usage meter, a
+/// trace recorder (disabled by default, free when disabled) and an
+/// optional metrics [`Registry`] to expose scheduler metrics under
+/// `engine.*` names.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerObs {
+    /// §6 usage counters (cache hits/misses, batch statistics).
+    pub meter: Option<UsageMeter>,
+    /// Structured trace recorder: cache hit/miss/single-flight-merge
+    /// instants and batch-dispatch spans.
+    pub tracer: Tracer,
+    /// Metrics registry; when set, scheduler metrics are registered into
+    /// it (see [`SchedMetrics::registered`] names). When unset the
+    /// handles still exist but are reachable only via this scheduler.
+    pub registry: Option<Registry>,
+}
+
+/// The scheduler's metric handles. Always allocated (they are a handful
+/// of atomics); registered into a [`Registry`] only when one is given.
+#[derive(Debug, Clone)]
+pub struct SchedMetrics {
+    /// Distribution of microbatch sizes (contexts per dispatch).
+    pub batch_size: Histogram,
+    /// Distribution of queue wait per request, in microseconds.
+    pub batch_wait_us: Histogram,
+    /// Microbatches dispatched to the model.
+    pub dispatches: Counter,
+    /// Requests that joined an already queued/in-flight identical
+    /// context instead of enqueueing their own (single-flight merges).
+    pub singleflight_merges: Counter,
+    /// Prefix-cache hits.
+    pub cache_hits: Counter,
+    /// Prefix-cache misses.
+    pub cache_misses: Counter,
+    /// Prefix-cache evictions.
+    pub cache_evictions: Counter,
+    /// Current prefix-cache entries.
+    pub cache_entries: Gauge,
+    /// Current approximate prefix-cache bytes.
+    pub cache_bytes: Gauge,
+}
+
+impl SchedMetrics {
+    fn standalone() -> Self {
+        SchedMetrics {
+            batch_size: Histogram::default(),
+            batch_wait_us: Histogram::default(),
+            dispatches: Counter::default(),
+            singleflight_merges: Counter::default(),
+            cache_hits: Counter::default(),
+            cache_misses: Counter::default(),
+            cache_evictions: Counter::default(),
+            cache_entries: Gauge::default(),
+            cache_bytes: Gauge::default(),
+        }
+    }
+
+    /// Handles registered into `registry` under `engine.*` names.
+    pub fn registered(registry: &Registry) -> Self {
+        SchedMetrics {
+            batch_size: registry.histogram("engine.batch.size"),
+            batch_wait_us: registry.histogram("engine.batch.wait_us"),
+            dispatches: registry.counter("engine.batch.dispatches"),
+            singleflight_merges: registry.counter("engine.singleflight.merges"),
+            cache_hits: registry.counter("engine.cache.hits"),
+            cache_misses: registry.counter("engine.cache.misses"),
+            cache_evictions: registry.counter("engine.cache.evictions"),
+            cache_entries: registry.gauge("engine.cache.entries"),
+            cache_bytes: registry.gauge("engine.cache.bytes"),
+        }
+    }
+}
+
 struct Shared {
     model: Box<dyn LanguageModel>,
     policy: BatchPolicy,
     meter: Option<UsageMeter>,
+    tracer: Tracer,
+    metrics: SchedMetrics,
     cache: Mutex<RadixCache>,
     state: Mutex<State>,
     work: Condvar,
@@ -118,7 +194,7 @@ impl Scheduler {
         policy: BatchPolicy,
         cache: RadixCacheConfig,
     ) -> Self {
-        Self::build(model, policy, cache, None)
+        Self::build(model, policy, cache, SchedulerObs::default())
     }
 
     /// Like [`new`](Self::new), additionally recording prefix-cache hits
@@ -129,20 +205,46 @@ impl Scheduler {
         cache: RadixCacheConfig,
         meter: UsageMeter,
     ) -> Self {
-        Self::build(model, policy, cache, Some(meter))
+        Self::build(
+            model,
+            policy,
+            cache,
+            SchedulerObs {
+                meter: Some(meter),
+                ..SchedulerObs::default()
+            },
+        )
+    }
+
+    /// Like [`new`](Self::new), with full observability hooks: an
+    /// optional usage meter, a trace recorder, and an optional metrics
+    /// registry (scheduler metrics registered under `engine.*`).
+    pub fn with_obs(
+        model: Box<dyn LanguageModel>,
+        policy: BatchPolicy,
+        cache: RadixCacheConfig,
+        obs: SchedulerObs,
+    ) -> Self {
+        Self::build(model, policy, cache, obs)
     }
 
     fn build(
         model: Box<dyn LanguageModel>,
         policy: BatchPolicy,
         cache: RadixCacheConfig,
-        meter: Option<UsageMeter>,
+        obs: SchedulerObs,
     ) -> Self {
         assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        let metrics = match &obs.registry {
+            Some(registry) => SchedMetrics::registered(registry),
+            None => SchedMetrics::standalone(),
+        };
         let shared = Arc::new(Shared {
             model,
             policy,
-            meter,
+            meter: obs.meter,
+            tracer: obs.tracer,
+            metrics,
             cache: Mutex::new(RadixCache::new(cache)),
             state: Mutex::new(State::default()),
             work: Condvar::new(),
@@ -168,6 +270,18 @@ impl Scheduler {
     /// Prefix-cache counters and occupancy.
     pub fn cache_stats(&self) -> crate::radix::RadixStats {
         self.shared.cache.lock().expect("cache poisoned").stats()
+    }
+
+    /// The scheduler's metric handles (batch sizes, queue waits,
+    /// single-flight merges, cache counters).
+    pub fn metrics(&self) -> &SchedMetrics {
+        &self.shared.metrics
+    }
+
+    /// The scheduler's trace recorder (disabled unless one was installed
+    /// via [`with_obs`](Self::with_obs)).
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
     }
 
     /// Scores one context through the cache/single-flight/batch pipeline.
@@ -205,9 +319,7 @@ impl Scheduler {
             .expect("cache poisoned")
             .get(context)
         {
-            if let Some(m) = &self.shared.meter {
-                m.record_cache_hit();
-            }
+            self.note_cache_hit(context);
             return Ok(hit);
         }
         let mut st = self.shared.state.lock().expect("scheduler poisoned");
@@ -215,9 +327,7 @@ impl Scheduler {
             // The dispatcher is draining or gone: score inline rather
             // than queueing work nobody will pick up.
             drop(st);
-            if let Some(m) = &self.shared.meter {
-                m.record_cache_miss();
-            }
+            self.note_cache_miss();
             let logits = self.shared.model.score(context);
             self.shared
                 .cache
@@ -227,9 +337,11 @@ impl Scheduler {
             return Ok(logits);
         }
         if let Some(slot) = st.inflight.get(context) {
-            if let Some(m) = &self.shared.meter {
-                m.record_cache_miss();
-            }
+            self.note_cache_miss();
+            self.shared.metrics.singleflight_merges.inc();
+            self.shared.tracer.instant_with("cache", "merge", || {
+                vec![("context_tokens".to_owned(), (context.len() as u64).into())]
+            });
             return Err(Arc::clone(slot));
         }
         // Second-chance lookup under the state lock: the dispatcher
@@ -245,14 +357,10 @@ impl Scheduler {
             .expect("cache poisoned")
             .get(context)
         {
-            if let Some(m) = &self.shared.meter {
-                m.record_cache_hit();
-            }
+            self.note_cache_hit(context);
             return Ok(hit);
         }
-        if let Some(m) = &self.shared.meter {
-            m.record_cache_miss();
-        }
+        self.note_cache_miss();
         let slot = Arc::new(Slot::default());
         st.inflight.insert(context.to_vec(), Arc::clone(&slot));
         st.queue.push(Pending {
@@ -262,6 +370,24 @@ impl Scheduler {
         });
         self.shared.work.notify_one();
         Err(slot)
+    }
+
+    fn note_cache_hit(&self, context: &[TokenId]) {
+        if let Some(m) = &self.shared.meter {
+            m.record_cache_hit();
+        }
+        self.shared.metrics.cache_hits.inc();
+        self.shared.tracer.instant_with("cache", "hit", || {
+            vec![("context_tokens".to_owned(), (context.len() as u64).into())]
+        });
+    }
+
+    fn note_cache_miss(&self) {
+        if let Some(m) = &self.shared.meter {
+            m.record_cache_miss();
+        }
+        self.shared.metrics.cache_misses.inc();
+        self.shared.tracer.instant("cache", "miss");
     }
 
     /// Stops the dispatcher after draining all queued work. Idempotent;
@@ -285,6 +411,10 @@ impl Drop for Scheduler {
 }
 
 fn dispatch_loop(shared: &Shared) {
+    // Eviction totals live in the cache; the dispatcher (its only writer
+    // besides the rare shutdown-drain path) mirrors them into the
+    // monotonic counter by delta.
+    let mut evictions_seen = 0u64;
     loop {
         let batch = {
             let mut st = shared.state.lock().expect("scheduler poisoned");
@@ -315,8 +445,20 @@ fn dispatch_loop(shared: &Shared) {
             st.queue.drain(..take).collect::<Vec<_>>()
         };
 
+        shared.metrics.batch_size.record(batch.len() as u64);
+        shared.metrics.dispatches.inc();
+        for p in &batch {
+            let waited = p.enqueued.elapsed();
+            shared
+                .metrics
+                .batch_wait_us
+                .record(waited.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        let mut dispatch_span = shared.tracer.span("batch", "dispatch");
+        dispatch_span.arg("contexts", batch.len() as u64);
         let contexts: Vec<&[TokenId]> = batch.iter().map(|p| p.context.as_slice()).collect();
         let results = shared.model.score_batch(&contexts);
+        drop(dispatch_span);
         debug_assert_eq!(results.len(), batch.len());
 
         {
@@ -324,6 +466,14 @@ fn dispatch_loop(shared: &Shared) {
             for (p, logits) in batch.iter().zip(&results) {
                 cache.insert(&p.context, logits.clone());
             }
+            let stats = cache.stats();
+            shared
+                .metrics
+                .cache_evictions
+                .add(stats.evictions.saturating_sub(evictions_seen));
+            evictions_seen = stats.evictions;
+            shared.metrics.cache_entries.set(stats.entries as u64);
+            shared.metrics.cache_bytes.set(stats.bytes as u64);
         }
         let mut st = shared.state.lock().expect("scheduler poisoned");
         for (p, logits) in batch.into_iter().zip(results) {

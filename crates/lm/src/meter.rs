@@ -8,8 +8,8 @@
 //!   tokens generated (the billing model of API-gated LMs like GPT-3).
 
 use crate::{LanguageModel, Logits};
+use lmql_obs::{Counter, Registry};
 use lmql_tokenizer::{TokenId, Vocabulary};
-use std::sync::{Arc, Mutex};
 
 /// A snapshot of the §6 counters, plus the batching and prefix-cache
 /// statistics added by the concurrent inference engine.
@@ -103,8 +103,22 @@ impl std::ops::Sub for Usage {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct UsageMeter {
-    inner: Arc<Mutex<Usage>>,
+    model_queries: Counter,
+    decoder_calls: Counter,
+    billable_tokens: Counter,
+    batch_dispatches: Counter,
+    batched_queries: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    /// Subtracted from the live counters by `snapshot`, so `reset` works
+    /// on monotonic cells without touching other clones' history.
+    floor: ResetFloor,
 }
+
+/// The reset floor: the counter values at the last `reset()`. Kept behind
+/// a mutex because it is only touched on `reset`/`snapshot`, never on the
+/// recording hot path.
+type ResetFloor = std::sync::Arc<std::sync::Mutex<Usage>>;
 
 impl UsageMeter {
     /// A fresh meter with all counters at zero.
@@ -112,52 +126,93 @@ impl UsageMeter {
         Self::default()
     }
 
+    /// Registers this meter's counters into `registry` under
+    /// `<prefix>.<counter>` names (e.g. `lm.model_queries`), so they
+    /// appear in the registry's text exposition alongside engine and
+    /// server metrics. Recording stays lock-free; the registry only reads
+    /// the shared cells at snapshot time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the names is already registered.
+    pub fn register_into(&self, registry: &Registry, prefix: &str) {
+        let pairs: [(&str, &Counter); 7] = [
+            ("model_queries", &self.model_queries),
+            ("decoder_calls", &self.decoder_calls),
+            ("billable_tokens", &self.billable_tokens),
+            ("batch_dispatches", &self.batch_dispatches),
+            ("batched_queries", &self.batched_queries),
+            ("cache_hits", &self.cache_hits),
+            ("cache_misses", &self.cache_misses),
+        ];
+        for (name, counter) in pairs {
+            registry.register_counter(&format!("{prefix}.{name}"), counter.clone());
+        }
+    }
+
     /// Counts one call to the model `f`.
     pub fn record_model_query(&self) {
-        self.inner.lock().expect("meter poisoned").model_queries += 1;
+        self.model_queries.inc();
     }
 
     /// Counts one batched dispatch scoring `contexts` contexts: the
     /// contexts are model queries, the dispatch is one round trip.
     pub fn record_batch(&self, contexts: u64) {
-        let mut u = self.inner.lock().expect("meter poisoned");
-        u.model_queries += contexts;
-        u.batched_queries += contexts;
-        u.batch_dispatches += 1;
+        self.model_queries.add(contexts);
+        self.batched_queries.add(contexts);
+        self.batch_dispatches.inc();
     }
 
     /// Counts one scheduler prefix-cache hit.
     pub fn record_cache_hit(&self) {
-        self.inner.lock().expect("meter poisoned").cache_hits += 1;
+        self.cache_hits.inc();
     }
 
     /// Counts one scheduler prefix-cache miss.
     pub fn record_cache_miss(&self) {
-        self.inner.lock().expect("meter poisoned").cache_misses += 1;
+        self.cache_misses.inc();
     }
 
     /// Counts one decoder call with its billable token total
     /// (prompt tokens + generated tokens).
     pub fn record_decoder_call(&self, billable_tokens: u64) {
-        let mut u = self.inner.lock().expect("meter poisoned");
-        u.decoder_calls += 1;
-        u.billable_tokens += billable_tokens;
+        self.decoder_calls.inc();
+        self.billable_tokens.add(billable_tokens);
     }
 
     /// Adds billable tokens to the current decoder call (used when the
     /// generated length is only known incrementally).
     pub fn record_billable_tokens(&self, tokens: u64) {
-        self.inner.lock().expect("meter poisoned").billable_tokens += tokens;
+        self.billable_tokens.add(tokens);
+    }
+
+    fn raw(&self) -> Usage {
+        Usage {
+            model_queries: self.model_queries.get(),
+            decoder_calls: self.decoder_calls.get(),
+            billable_tokens: self.billable_tokens.get(),
+            batch_dispatches: self.batch_dispatches.get(),
+            batched_queries: self.batched_queries.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+        }
     }
 
     /// Current counter values.
     pub fn snapshot(&self) -> Usage {
-        *self.inner.lock().expect("meter poisoned")
+        // Hold the floor lock across the raw read: a concurrent `reset`
+        // could otherwise move the floor past values we already read and
+        // underflow the subtraction.
+        let floor = self.floor.lock().expect("meter poisoned");
+        self.raw() - *floor
     }
 
-    /// Resets all counters to zero.
+    /// Resets all counters to zero (for this meter and its clones; the
+    /// underlying cells are monotonic, so registry expositions keep the
+    /// lifetime totals).
     pub fn reset(&self) {
-        *self.inner.lock().expect("meter poisoned") = Usage::default();
+        let mut floor = self.floor.lock().expect("meter poisoned");
+        *floor = self.raw();
     }
 }
 

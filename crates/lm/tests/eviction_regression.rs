@@ -1,0 +1,78 @@
+//! Regression pins for the `CachedLm` LRU: a fixed scripted workload must
+//! produce exactly the same hit/miss/eviction counts forever. Any change
+//! to touch ordering, eviction order or capacity accounting shows up here
+//! as a changed constant, not as a silent perf regression.
+
+use lmql_lm::{CachedLm, LanguageModel, UniformLm};
+use lmql_tokenizer::{Bpe, TokenId};
+use std::sync::Arc;
+
+fn cached(capacity: usize) -> CachedLm<UniformLm> {
+    CachedLm::with_capacity(UniformLm::new(Arc::new(Bpe::char_level(""))), capacity)
+}
+
+/// The scripted workload: a deterministic stream of single-context scores
+/// with re-use patterns that exercise LRU touch ordering.
+fn scripted_contexts() -> Vec<Vec<TokenId>> {
+    // Sequential fill, re-touch of the oldest, then a sliding window that
+    // wraps: [0] [1] [2] [3] [0] [4] [5] [1] [2] [0] [6] [3]
+    [0u32, 1, 2, 3, 0, 4, 5, 1, 2, 0, 6, 3]
+        .iter()
+        .map(|&t| vec![TokenId(t)])
+        .collect()
+}
+
+#[test]
+fn scripted_workload_counts_are_pinned_capacity_4() {
+    let lm = cached(4);
+    for ctx in scripted_contexts() {
+        let _ = lm.score(&ctx);
+    }
+    // Walkthrough at capacity 4 (LRU order oldest→newest after each step):
+    //  0 miss [0]            | 1 miss [0 1]        | 2 miss [0 1 2]
+    //  3 miss [0 1 2 3]      | 0 hit  [1 2 3 0]    | 4 miss evict 1
+    //  5 miss evict 2        | 1 miss evict 3      | 2 miss evict 0
+    //  0 miss evict 4        | 6 miss evict 5      | 3 miss evict 1
+    assert_eq!(lm.hits(), 1);
+    assert_eq!(lm.misses(), 11);
+    assert_eq!(lm.evictions(), 7);
+    assert_eq!(lm.len(), 4);
+}
+
+#[test]
+fn scripted_workload_counts_are_pinned_capacity_8() {
+    let lm = cached(8);
+    for ctx in scripted_contexts() {
+        let _ = lm.score(&ctx);
+    }
+    // Capacity 8 never overflows the 7 distinct contexts: every repeat
+    // hits ([0]×2 extra, [1], [2], [3]) and nothing is evicted.
+    assert_eq!(lm.hits(), 5);
+    assert_eq!(lm.misses(), 7);
+    assert_eq!(lm.evictions(), 0);
+    assert_eq!(lm.len(), 7);
+}
+
+#[test]
+fn scripted_batch_workload_counts_are_pinned() {
+    let lm = cached(3);
+    let a = [TokenId(1)];
+    let b = [TokenId(2)];
+    let c = [TokenId(3)];
+    let d = [TokenId(4)];
+    // Batch 1: three distinct misses fill the cache exactly.
+    let batch: Vec<&[TokenId]> = vec![&a, &b, &c];
+    let _ = lm.score_batch(&batch);
+    // Batch 2: a hits (now most recent), d misses and evicts b (oldest),
+    // the duplicate d folds into the same query but counts as a miss.
+    let batch: Vec<&[TokenId]> = vec![&a, &d, &d];
+    let _ = lm.score_batch(&batch);
+    // Batch 3: b was evicted (miss), c is still cached (hit); re-storing
+    // b evicts a, by now the least recently touched entry.
+    let batch: Vec<&[TokenId]> = vec![&b, &c];
+    let _ = lm.score_batch(&batch);
+    assert_eq!(lm.hits(), 2);
+    assert_eq!(lm.misses(), 6);
+    assert_eq!(lm.evictions(), 2);
+    assert_eq!(lm.len(), 3);
+}

@@ -1,0 +1,497 @@
+//! Chrome `trace_event` JSON export (and a matching parser for
+//! round-trip tests).
+//!
+//! The exported document is the "JSON Object Format" understood by
+//! `chrome://tracing` and Perfetto:
+//!
+//! ```json
+//! {"traceEvents":[
+//!   {"name":"hole:X","cat":"decode","ph":"X","ts":12,"dur":300,
+//!    "pid":1,"tid":1,"args":{"tokens":5}},
+//!   {"name":"hit","cat":"cache","ph":"i","ts":40,"pid":1,"tid":2,"s":"t"}
+//! ]}
+//! ```
+//!
+//! Spans map to phase `"X"` (complete events with `dur`), instants to
+//! phase `"i"` with thread scope. Everything is hand-rolled over `std` —
+//! the build environment has no serde.
+
+use crate::trace::{ArgValue, EventKind, TraceEvent, Tracer};
+use std::fmt::Write as _;
+
+/// Renders `events` as a Chrome `trace_event` JSON document.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":{},\"ph\":\"{}\",\"ts\":{},",
+            escape_json(&e.name),
+            escape_json(&e.cat),
+            match e.kind {
+                EventKind::Complete => "X",
+                EventKind::Instant => "i",
+            },
+            e.ts_us,
+        );
+        if e.kind == EventKind::Complete {
+            let _ = write!(out, "\"dur\":{},", e.dur_us);
+        }
+        let _ = write!(out, "\"pid\":1,\"tid\":{}", e.tid);
+        if e.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", escape_json(k), render_value(v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// [`to_chrome_json`] over everything a tracer recorded.
+pub fn tracer_to_chrome_json(tracer: &Tracer) -> String {
+    to_chrome_json(&tracer.events())
+}
+
+fn render_value(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(n) => n.to_string(),
+        // Ryu-style shortest form is not available; {:?} keeps f64s
+        // round-trippable through Rust's parser.
+        ArgValue::F64(f) => format!("{f:?}"),
+        ArgValue::Str(s) => escape_json(s),
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a document produced by [`to_chrome_json`] back into events
+/// (used by round-trip tests and external tooling). Accepts any JSON with
+/// the same shape; args parse into [`ArgValue`]s (integers ≥ 0 as `U64`,
+/// other numbers as `F64`).
+///
+/// # Errors
+///
+/// A human-readable message naming the first malformed construct.
+pub fn parse_chrome_json(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let value = json::parse(text)?;
+    let root = value.as_object().ok_or("document is not a JSON object")?;
+    let events = root
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents key")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+
+    events
+        .iter()
+        .enumerate()
+        .map(|(i, ev)| {
+            let obj = ev
+                .as_object()
+                .ok_or_else(|| format!("event {i} is not an object"))?;
+            let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            let str_field = |name: &str| {
+                field(name)
+                    .and_then(json::Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("event {i} missing string {name:?}"))
+            };
+            let num_field = |name: &str| {
+                field(name)
+                    .and_then(json::Value::as_u64)
+                    .ok_or_else(|| format!("event {i} missing number {name:?}"))
+            };
+            let kind = match str_field("ph")?.as_str() {
+                "X" => EventKind::Complete,
+                "i" | "I" => EventKind::Instant,
+                other => return Err(format!("event {i} has unsupported phase {other:?}")),
+            };
+            let args = match field("args") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_object()
+                    .ok_or_else(|| format!("event {i} args is not an object"))?
+                    .iter()
+                    .map(|(k, v)| {
+                        let arg = match v {
+                            json::Value::Str(s) => ArgValue::Str(s.clone()),
+                            json::Value::Num(n) => {
+                                if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 {
+                                    ArgValue::U64(*n as u64)
+                                } else {
+                                    ArgValue::F64(*n)
+                                }
+                            }
+                            other => {
+                                return Err(format!("event {i} arg {k:?} is {other:?}"));
+                            }
+                        };
+                        Ok((k.clone(), arg))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            Ok(TraceEvent {
+                name: str_field("name")?,
+                cat: str_field("cat")?,
+                kind,
+                ts_us: num_field("ts")?,
+                dur_us: match kind {
+                    EventKind::Complete => num_field("dur")?,
+                    EventKind::Instant => 0,
+                },
+                tid: num_field("tid")?,
+                args,
+            })
+        })
+        .collect()
+}
+
+/// A minimal recursive-descent JSON parser (objects, arrays, strings,
+/// numbers, booleans, null) — enough for `trace_event` documents.
+mod json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Obj(Vec<(String, Value)>),
+        Arr(Vec<Value>),
+        Str(String),
+        Num(f64),
+        Bool(bool),
+        Null,
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b" \t\r\n".contains(b))
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|c| c as char),
+                    self.pos
+                )),
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                fields.push((key, self.value()?));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_owned()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or("surrogate \\u escape unsupported")?,
+                                );
+                                self.pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is a &str, so
+                        // boundaries are valid).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid UTF-8")?;
+                        let c = rest.chars().next().expect("non-empty by peek");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while self
+                .peek()
+                .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+            {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    #[test]
+    fn export_shape_is_chrome_compatible() {
+        let t = Tracer::manual();
+        {
+            let mut s = t.span("engine", "dispatch");
+            s.arg("batch", 3u64);
+        }
+        t.instant("cache", "hit");
+        let json = tracer_to_chrome_json(&t);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"args\":{\"batch\":3}"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let t = Tracer::manual();
+        {
+            let mut s = t.span("decode", "hole:ANSWER");
+            s.arg("tokens", 7u64);
+            s.arg("engine", "symbolic");
+            s.arg("rate", 0.5f64);
+        }
+        t.instant("cache", "hit \"quoted\"\nname");
+        let events = t.events();
+        let parsed = parse_chrome_json(&to_chrome_json(&events)).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn round_trip_survives_extreme_values() {
+        let t = Tracer::manual();
+        t.instant_with("m", "edge", || {
+            vec![
+                ("zero".to_owned(), ArgValue::U64(0)),
+                ("huge".to_owned(), ArgValue::U64(1 << 53)),
+                ("neg".to_owned(), ArgValue::F64(-1.25)),
+            ]
+        });
+        let events = t.events();
+        let parsed = parse_chrome_json(&to_chrome_json(&events)).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_chrome_json("").is_err());
+        assert!(parse_chrome_json("[]").is_err());
+        assert!(parse_chrome_json("{\"traceEvents\":{}}").is_err());
+        assert!(parse_chrome_json("{\"traceEvents\":[{\"name\":\"x\"}]}").is_err());
+        assert!(parse_chrome_json("{\"traceEvents\":[]} junk").is_err());
+    }
+
+    #[test]
+    fn empty_trace_parses_to_no_events() {
+        assert_eq!(parse_chrome_json(&to_chrome_json(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn escape_json_handles_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(escape_json("\u{1}"), "\"\\u0001\"");
+    }
+}

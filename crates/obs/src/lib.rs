@@ -1,0 +1,28 @@
+//! Observability substrate for the LMQL reproduction.
+//!
+//! Serving-oriented LM-program runtimes treat telemetry as first-class:
+//! without it there is no way to tell *why* a query was slow, which holes
+//! burned decoder calls, or whether the prefix cache and microbatcher are
+//! earning their keep under load. This crate provides the two primitives
+//! the rest of the workspace instruments itself with:
+//!
+//! - [`Registry`] / [`Counter`] / [`Gauge`] / [`Histogram`] — a metrics
+//!   registry whose hot path (recording) is lock-free atomics; snapshots
+//!   render as deterministic plain-text exposition ([`MetricsSnapshot`]),
+//! - [`Tracer`] — a per-query structured trace recorder producing span
+//!   and instant events, exportable as Chrome `trace_event` JSON
+//!   ([`chrome::to_chrome_json`], loadable in `chrome://tracing` /
+//!   Perfetto) or a human-readable dump ([`Tracer::render_text`]).
+//!
+//! Both are **free when off**: a disabled [`Tracer`] (the default)
+//! records nothing and allocates nothing, and metric handles are plain
+//! relaxed atomics. Tests get determinism via [`Tracer::manual`], whose
+//! virtual clock advances 1µs per read.
+
+pub mod chrome;
+
+mod metrics;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use trace::{ArgValue, EventKind, SpanGuard, TraceEvent, Tracer};

@@ -1,0 +1,447 @@
+//! Per-query structured tracing: span and instant events on a shared
+//! recorder, exportable as Chrome `trace_event` JSON ([`crate::chrome`])
+//! or a human-readable dump.
+//!
+//! A [`Tracer`] is a cheap clonable handle that is either *recording* or
+//! *disabled*. The disabled state is the default and costs nothing: every
+//! method checks one `Option` and returns without allocating, so
+//! instrumentation can stay unconditionally in place on hot paths.
+//! Formatted span names go through [`Tracer::span_lazy`] so the `format!`
+//! itself is skipped when disabled.
+//!
+//! Timestamps come from a monotonic wall clock by default. Tests use
+//! [`Tracer::manual`], where every clock read advances a virtual clock by
+//! exactly 1µs — event timing becomes a deterministic function of the
+//! sequence of recorded events.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A primitive argument value attached to an event. Numbers are stored
+/// unformatted; rendering happens only at export time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// What kind of `trace_event` an event renders as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span with a duration (Chrome phase `X`).
+    Complete,
+    /// A point-in-time marker (Chrome phase `i`).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (e.g. `hole:ANSWER`).
+    pub name: String,
+    /// Category (e.g. `decode`, `engine`, `cache`).
+    pub cat: String,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Microseconds since the recorder's epoch.
+    pub ts_us: u64,
+    /// Span duration in µs (0 for instants).
+    pub dur_us: u64,
+    /// Small integer id of the recording thread (assigned in first-seen
+    /// order, starting at 1).
+    pub tid: u64,
+    /// Key–value arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+#[derive(Debug)]
+enum Clock {
+    Wall(Instant),
+    /// Deterministic test clock: every read returns the previous value
+    /// plus one microsecond.
+    Manual(AtomicU64),
+}
+
+#[derive(Debug)]
+struct Recorder {
+    events: Mutex<Vec<TraceEvent>>,
+    clock: Clock,
+    /// Thread name → small tid mapping, in first-seen order.
+    tids: Mutex<Vec<std::thread::ThreadId>>,
+}
+
+impl Recorder {
+    fn now_us(&self) -> u64 {
+        match &self.clock {
+            Clock::Wall(epoch) => epoch.elapsed().as_micros() as u64,
+            Clock::Manual(tick) => tick.fetch_add(1, Ordering::Relaxed) + 1,
+        }
+    }
+
+    fn tid(&self) -> u64 {
+        let id = std::thread::current().id();
+        let mut tids = self.tids.lock().expect("tracer poisoned");
+        match tids.iter().position(|t| *t == id) {
+            Some(i) => i as u64 + 1,
+            None => {
+                tids.push(id);
+                tids.len() as u64
+            }
+        }
+    }
+
+    fn push(&self, event: TraceEvent) {
+        self.events.lock().expect("tracer poisoned").push(event);
+    }
+}
+
+/// A handle to a trace recorder — or a disabled no-op.
+///
+/// # Example
+///
+/// ```
+/// use lmql_obs::Tracer;
+///
+/// let tracer = Tracer::manual(); // deterministic clock for the doctest
+/// {
+///     let mut span = tracer.span("engine", "dispatch");
+///     span.arg("batch", 4u64);
+/// } // span ends when the guard drops
+/// tracer.instant("cache", "hit");
+/// let events = tracer.events();
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(events[0].name, "dispatch"); // recorded when the guard drops
+/// assert_eq!(events[1].name, "hit");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: all recording methods are allocation-free
+    /// no-ops. Same as `Tracer::default()`.
+    pub fn disabled() -> Self {
+        Tracer { recorder: None }
+    }
+
+    /// A recording tracer on the monotonic wall clock.
+    pub fn recording() -> Self {
+        Tracer {
+            recorder: Some(Arc::new(Recorder {
+                events: Mutex::new(Vec::new()),
+                clock: Clock::Wall(Instant::now()),
+                tids: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A recording tracer on a deterministic virtual clock: each clock
+    /// read advances time by 1µs, so tests see reproducible timestamps.
+    pub fn manual() -> Self {
+        Tracer {
+            recorder: Some(Arc::new(Recorder {
+                events: Mutex::new(Vec::new()),
+                clock: Clock::Manual(AtomicU64::new(0)),
+                tids: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded. Callers can skip expensive
+    /// argument construction when `false`.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Starts a span; it ends (and is recorded) when the guard drops.
+    /// `name` is only copied when recording.
+    #[inline]
+    pub fn span(&self, cat: &'static str, name: &str) -> SpanGuard {
+        match &self.recorder {
+            None => SpanGuard { active: None },
+            Some(_) => self.start_span(cat, name.to_owned()),
+        }
+    }
+
+    /// Like [`span`](Self::span) for names that need formatting: the
+    /// closure only runs when recording.
+    #[inline]
+    pub fn span_lazy(&self, cat: &'static str, name: impl FnOnce() -> String) -> SpanGuard {
+        match &self.recorder {
+            None => SpanGuard { active: None },
+            Some(_) => self.start_span(cat, name()),
+        }
+    }
+
+    fn start_span(&self, cat: &'static str, name: String) -> SpanGuard {
+        let rec = self.recorder.as_ref().expect("checked by callers");
+        SpanGuard {
+            active: Some(ActiveSpan {
+                recorder: Arc::clone(rec),
+                name,
+                cat,
+                start_us: rec.now_us(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records a point-in-time event.
+    #[inline]
+    pub fn instant(&self, cat: &'static str, name: &str) {
+        if let Some(rec) = &self.recorder {
+            let ts_us = rec.now_us();
+            let tid = rec.tid();
+            rec.push(TraceEvent {
+                name: name.to_owned(),
+                cat: cat.to_owned(),
+                kind: EventKind::Instant,
+                ts_us,
+                dur_us: 0,
+                tid,
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// Records a point-in-time event with arguments; the closure building
+    /// them only runs when recording.
+    #[inline]
+    pub fn instant_with(
+        &self,
+        cat: &'static str,
+        name: &str,
+        args: impl FnOnce() -> Vec<(String, ArgValue)>,
+    ) {
+        if let Some(rec) = &self.recorder {
+            let ts_us = rec.now_us();
+            let tid = rec.tid();
+            rec.push(TraceEvent {
+                name: name.to_owned(),
+                cat: cat.to_owned(),
+                kind: EventKind::Instant,
+                ts_us,
+                dur_us: 0,
+                tid,
+                args: args(),
+            });
+        }
+    }
+
+    /// A copy of all events recorded so far, in recording order.
+    /// Empty for a disabled tracer.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.recorder {
+            None => Vec::new(),
+            Some(rec) => rec.events.lock().expect("tracer poisoned").clone(),
+        }
+    }
+
+    /// Human-readable dump: one line per event in start order, nested by
+    /// span containment per thread.
+    pub fn render_text(&self) -> String {
+        let mut events = self.events();
+        events.sort_by_key(|e| (e.tid, e.ts_us, std::cmp::Reverse(e.dur_us)));
+        let mut out = String::new();
+        // Per-thread stack of span end times for indentation.
+        let mut open: Vec<(u64, u64)> = Vec::new(); // (tid, end_ts)
+        for e in &events {
+            open.retain(|&(tid, end)| tid != e.tid || e.ts_us < end);
+            let depth = open.iter().filter(|&&(tid, _)| tid == e.tid).count();
+            let indent = "  ".repeat(depth);
+            let mut line = format!(
+                "[t{} {:>9.3}ms +{:>8.3}ms] {}{} {}",
+                e.tid,
+                e.ts_us as f64 / 1000.0,
+                e.dur_us as f64 / 1000.0,
+                indent,
+                e.cat,
+                e.name
+            );
+            for (k, v) in &e.args {
+                let rendered = match v {
+                    ArgValue::U64(n) => n.to_string(),
+                    ArgValue::F64(f) => format!("{f}"),
+                    ArgValue::Str(s) => format!("{s:?}"),
+                };
+                line.push_str(&format!(" {k}={rendered}"));
+            }
+            line.push('\n');
+            out.push_str(&line);
+            if e.kind == EventKind::Complete {
+                open.push((e.tid, e.ts_us + e.dur_us));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    recorder: Arc<Recorder>,
+    name: String,
+    cat: &'static str,
+    start_us: u64,
+    args: Vec<(String, ArgValue)>,
+}
+
+/// An open span: records a [`EventKind::Complete`] event on drop.
+#[derive(Debug)]
+#[must_use = "a span measures until the guard drops; binding to _ ends it immediately"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attaches an argument (no-op on a disabled tracer).
+    #[inline]
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(a) = &mut self.active {
+            a.args.push((key.to_owned(), value.into()));
+        }
+    }
+
+    /// Whether this guard belongs to a recording tracer.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let end = a.recorder.now_us();
+            let tid = a.recorder.tid();
+            a.recorder.push(TraceEvent {
+                name: a.name,
+                cat: a.cat.to_owned(),
+                kind: EventKind::Complete,
+                ts_us: a.start_us,
+                dur_us: end.saturating_sub(a.start_us),
+                tid,
+                args: a.args,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        {
+            let mut s = t.span("cat", "name");
+            s.arg("k", 1u64);
+            assert!(!s.is_recording());
+        }
+        t.instant("cat", "evt");
+        t.instant_with("cat", "evt2", || panic!("must not run when disabled"));
+        let _ = t.span_lazy("cat", || panic!("must not format when disabled"));
+        assert!(t.events().is_empty());
+        assert_eq!(t.render_text(), "");
+    }
+
+    #[test]
+    fn manual_clock_is_deterministic() {
+        let record = || {
+            let t = Tracer::manual();
+            {
+                let mut outer = t.span("a", "outer");
+                outer.arg("n", 2u64);
+                let _inner = t.span("a", "inner");
+            }
+            t.instant("b", "done");
+            t.events()
+        };
+        let a = record();
+        let b = record();
+        assert_eq!(a, b, "identical event sequences → identical traces");
+        // outer starts at tick 1, inner spans ticks 2..3, outer ends at 4.
+        let outer = a.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!((outer.ts_us, outer.dur_us), (1, 3));
+        let inner = a.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!((inner.ts_us, inner.dur_us), (2, 1));
+    }
+
+    #[test]
+    fn span_lazy_formats_only_when_enabled() {
+        let t = Tracer::manual();
+        {
+            let _s = t.span_lazy("decode", || format!("hole:{}", "X"));
+        }
+        assert_eq!(t.events()[0].name, "hole:X");
+    }
+
+    #[test]
+    fn tids_are_small_and_stable() {
+        let t = Tracer::manual();
+        t.instant("c", "main1");
+        std::thread::scope(|s| {
+            s.spawn(|| t.instant("c", "worker"));
+        });
+        t.instant("c", "main2");
+        let events = t.events();
+        let main1 = events.iter().find(|e| e.name == "main1").unwrap();
+        let main2 = events.iter().find(|e| e.name == "main2").unwrap();
+        let worker = events.iter().find(|e| e.name == "worker").unwrap();
+        assert_eq!(main1.tid, main2.tid);
+        assert_ne!(main1.tid, worker.tid);
+        assert!(main1.tid >= 1 && worker.tid <= 2);
+    }
+
+    #[test]
+    fn render_text_nests_by_containment() {
+        let t = Tracer::manual();
+        {
+            let _outer = t.span("a", "outer");
+            t.instant("b", "inside");
+        }
+        t.instant("b", "after");
+        let text = t.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("a outer"), "{text}");
+        assert!(lines[1].contains("  b inside"), "{text}");
+        assert!(lines[2].ends_with("b after"), "{text}");
+    }
+}

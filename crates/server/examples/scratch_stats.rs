@@ -1,0 +1,18 @@
+//! Scratch: spawn a server and print its address (deleted before commit).
+
+use lmql_lm::{Episode, ScriptedLm};
+use lmql_server::InferenceServer;
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+fn main() {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode::plain("Q:", " ok.")],
+    ));
+    let server = InferenceServer::spawn(lm, bpe).unwrap();
+    println!("ADDR {}", server.addr());
+    std::thread::sleep(std::time::Duration::from_secs(60));
+    drop(server);
+}

@@ -1,7 +1,8 @@
 //! The client side: a [`LanguageModel`] whose forward pass runs remotely.
 
 use crate::protocol::{
-    read_batch_logits, read_logits, read_tokenizer, write_batch_request, write_score_request,
+    read_batch_logits, read_logits, read_stats, read_tokenizer, write_batch_request,
+    write_score_request,
 };
 use lmql_lm::{LanguageModel, Logits};
 use lmql_tokenizer::{Bpe, TokenId, Vocabulary};
@@ -51,6 +52,22 @@ impl RemoteLm {
             },
             bpe,
         ))
+    }
+
+    /// Fetches the server's metrics snapshot as rendered text: one
+    /// `counter`/`gauge`/`histogram` line per metric, covering the
+    /// shared engine (`engine.*`), the model meter (`lm.*` when
+    /// registered) and the server itself (`server.*`).
+    ///
+    /// # Errors
+    ///
+    /// Socket and protocol errors.
+    pub fn stats(&self) -> std::io::Result<String> {
+        let mut conn = self.conn.lock().expect("remote connection poisoned");
+        let (reader, writer) = &mut *conn;
+        writeln!(writer, "STATS")?;
+        writer.flush()?;
+        read_stats(reader)
     }
 
     /// Tells the server this client is done (also happens implicitly on

@@ -54,4 +54,5 @@ mod server;
 pub use client::RemoteLm;
 pub use lmql_engine::{BatchPolicy, RadixCacheConfig, RadixStats};
 pub use lmql_lm::LanguageModel;
+pub use lmql_obs::{MetricsSnapshot, Registry};
 pub use server::{InferenceServer, ServerConfig, ServerHandle};

@@ -6,6 +6,7 @@
 //! TOKENIZER                      TOKENIZER <byte-len>\n<raw bytes>
 //! SCORE <n> <id…>                LOGITS <n> <f64-bits-as-hex…>
 //! BATCH <k> <n1> <id…> <n2> …    BATCHLOGITS <k>\n<k LOGITS lines>
+//! STATS                          STATS <byte-len>\n<metrics text>
 //! QUIT                           (connection closes)
 //!                                ERR <message>      (on any failure)
 //! ```
@@ -184,6 +185,32 @@ pub(crate) fn read_tokenizer<R: BufRead>(r: &mut R) -> io::Result<String> {
     String::from_utf8(buf).map_err(|_| io::Error::other("tokenizer payload not UTF-8"))
 }
 
+/// Writes the `STATS` reply: a byte-length header line then the metrics
+/// snapshot in plain-text exposition format (see
+/// [`lmql_obs::MetricsSnapshot::render_text`]).
+pub(crate) fn write_stats<W: Write>(w: &mut W, rendered: &str) -> io::Result<()> {
+    writeln!(w, "STATS {}", rendered.len())?;
+    w.write_all(rendered.as_bytes())?;
+    w.flush()
+}
+
+/// Reads a `STATS` reply (or surfaces an `ERR`).
+pub(crate) fn read_stats<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let line = line.trim_end();
+    if let Some(msg) = line.strip_prefix("ERR ") {
+        return Err(io::Error::other(format!("server error: {msg}")));
+    }
+    let n: usize = line
+        .strip_prefix("STATS ")
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("unexpected reply {line:?}")))?;
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| io::Error::other("stats payload not UTF-8"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +296,21 @@ mod tests {
     fn batch_err_reply_surfaces() {
         let err = read_batch_logits(&mut Cursor::new(b"ERR nope\n".to_vec())).unwrap_err();
         assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let payload = "counter server.requests 7\ngauge engine.cache.entries 3\n";
+        let mut buf = Vec::new();
+        write_stats(&mut buf, payload).unwrap();
+        let got = read_stats(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn stats_err_reply_surfaces() {
+        let err = read_stats(&mut Cursor::new(b"ERR down\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("down"));
     }
 
     #[test]

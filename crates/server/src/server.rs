@@ -7,10 +7,12 @@
 //! responsible for inference, loading and managing the model".
 
 use crate::protocol::{
-    parse_batch_request, parse_score_request, write_batch_logits, write_logits, write_tokenizer,
+    parse_batch_request, parse_score_request, write_batch_logits, write_logits, write_stats,
+    write_tokenizer,
 };
-use lmql_engine::{BatchPolicy, RadixCacheConfig, RadixStats, Scheduler};
+use lmql_engine::{BatchPolicy, RadixCacheConfig, RadixStats, Scheduler, SchedulerObs};
 use lmql_lm::LanguageModel;
+use lmql_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use lmql_tokenizer::{Bpe, TokenId};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -41,6 +43,32 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             policy: BatchPolicy::default(),
             cache: RadixCacheConfig::default(),
+        }
+    }
+}
+
+/// The server's metric handles, registered under `server.*` in the
+/// shared registry (which also carries the scheduler's `engine.*`
+/// metrics). Incremented from every connection-handler thread.
+#[derive(Debug, Clone)]
+struct ServerMetrics {
+    /// Connections accepted over the server's lifetime.
+    connections: Counter,
+    /// Connections currently being served.
+    connections_active: Gauge,
+    /// Request lines answered (across all connections and commands).
+    requests: Counter,
+    /// Per-request handling latency, in microseconds (read to reply).
+    request_latency_us: Histogram,
+}
+
+impl ServerMetrics {
+    fn registered(registry: &Registry) -> Self {
+        ServerMetrics {
+            connections: registry.counter("server.connections"),
+            connections_active: registry.gauge("server.connections_active"),
+            requests: registry.counter("server.requests"),
+            request_latency_us: registry.histogram("server.request_latency_us"),
         }
     }
 }
@@ -78,8 +106,19 @@ impl InferenceServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = Arc::clone(&stop);
         let serialized = Arc::new(bpe.to_text());
-        let sched = Arc::new(Scheduler::new(Box::new(lm), config.policy, config.cache));
+        let registry = Registry::new();
+        let metrics = ServerMetrics::registered(&registry);
+        let sched = Arc::new(Scheduler::with_obs(
+            Box::new(lm),
+            config.policy,
+            config.cache,
+            SchedulerObs {
+                registry: Some(registry.clone()),
+                ..SchedulerObs::default()
+            },
+        ));
         let sched_accept = Arc::clone(&sched);
+        let registry_accept = registry.clone();
         let read_timeout = config.read_timeout.max(Duration::from_millis(1));
 
         let handle = std::thread::spawn(move || {
@@ -89,12 +128,24 @@ impl InferenceServer {
                         let sched = Arc::clone(&sched_accept);
                         let serialized = Arc::clone(&serialized);
                         let stop = Arc::clone(&stop_accept);
+                        let registry = registry_accept.clone();
+                        let metrics = metrics.clone();
+                        metrics.connections.inc();
                         // Handlers are detached: a worker blocked reading
                         // from a still-connected client must not hold up
                         // shutdown; it polls the stop flag and exits.
                         std::thread::spawn(move || {
-                            let _ =
-                                handle_connection(stream, &sched, &serialized, &stop, read_timeout);
+                            metrics.connections_active.add(1);
+                            let _ = handle_connection(
+                                stream,
+                                &sched,
+                                &serialized,
+                                &stop,
+                                read_timeout,
+                                &registry,
+                                &metrics,
+                            );
+                            metrics.connections_active.sub(1);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -109,17 +160,21 @@ impl InferenceServer {
             addr,
             stop,
             sched,
+            registry,
             handle: Some(handle),
         })
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     sched: &Scheduler,
     serialized_tokenizer: &str,
     stop: &AtomicBool,
     read_timeout: Duration,
+    registry: &Registry,
+    metrics: &ServerMetrics,
 ) -> std::io::Result<()> {
     // Short socket timeout so reads poll the stop flag; `read_timeout` is
     // enforced on top as an idle budget between complete requests.
@@ -134,7 +189,18 @@ fn handle_connection(
             Ok(0) => return Ok(()), // peer closed
             Ok(_) => {
                 idle = Duration::ZERO;
-                let done = respond(line.trim_end(), &mut writer, sched, serialized_tokenizer)?;
+                let start = Instant::now();
+                let done = respond(
+                    line.trim_end(),
+                    &mut writer,
+                    sched,
+                    serialized_tokenizer,
+                    registry,
+                )?;
+                metrics.requests.inc();
+                metrics
+                    .request_latency_us
+                    .record(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                 line.clear();
                 if done {
                     return Ok(());
@@ -180,12 +246,17 @@ fn respond<W: Write>(
     writer: &mut W,
     sched: &Scheduler,
     serialized_tokenizer: &str,
+    registry: &Registry,
 ) -> std::io::Result<bool> {
     if line == "QUIT" {
         return Ok(true);
     }
     if line == "TOKENIZER" {
         write_tokenizer(writer, serialized_tokenizer)?;
+        return Ok(false);
+    }
+    if line == "STATS" {
+        write_stats(writer, &registry.snapshot().render_text())?;
         return Ok(false);
     }
     if let Some(rest) = line.strip_prefix("SCORE ") {
@@ -234,6 +305,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     sched: Arc<Scheduler>,
+    registry: Registry,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -246,6 +318,18 @@ impl ServerHandle {
     /// Counters of the shared prefix cache all connections score through.
     pub fn cache_stats(&self) -> RadixStats {
         self.sched.cache_stats()
+    }
+
+    /// The server's metrics registry: `server.*` connection/request
+    /// counters plus the shared scheduler's `engine.*` metrics. The same
+    /// data clients fetch with a `STATS` frame.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A frozen snapshot of every server and engine metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Stops accepting connections, joins the accept thread, and shuts the

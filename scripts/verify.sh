@@ -1,19 +1,52 @@
 #!/usr/bin/env bash
 # Full verification: formatting, lints, release build, tests.
-# Usage: scripts/verify.sh [--slow]   (--slow also runs the proptest suites)
+#
+# Usage: scripts/verify.sh [--slow | --quick]
+#   --slow    also runs the proptest suites (slow-tests feature)
+#   --quick   build + tests only (skips rustfmt/clippy; useful where the
+#             toolchain components are not installed)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MODE=full
+case "${1:-}" in
+    "") ;;
+    --slow) MODE=slow ;;
+    --quick) MODE=quick ;;
+    *)
+        echo "usage: scripts/verify.sh [--slow | --quick]" >&2
+        exit 2
+        ;;
+esac
+
 FEATURES=()
-if [[ "${1:-}" == "--slow" ]]; then
+if [[ "$MODE" == slow ]]; then
     FEATURES=(--features slow-tests)
 fi
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+require_component() {
+    # `cargo fmt`/`cargo clippy` exist as subcommands only when the
+    # rustfmt/clippy rustup components are installed; fail with an
+    # actionable message instead of cargo's "no such command".
+    local subcommand="$1" component="$2"
+    if ! cargo "$subcommand" --version >/dev/null 2>&1; then
+        echo "error: \`cargo $subcommand\` is unavailable." >&2
+        echo "  Install it with: rustup component add $component" >&2
+        echo "  Or run the build+test subset only: scripts/verify.sh --quick" >&2
+        exit 1
+    fi
+}
 
-echo "==> cargo clippy (workspace, all targets, -D warnings)"
-cargo clippy --workspace --all-targets "${FEATURES[@]}" -- -D warnings
+if [[ "$MODE" != quick ]]; then
+    require_component fmt rustfmt
+    require_component clippy clippy
+
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+
+    echo "==> cargo clippy (workspace, all targets, -D warnings)"
+    cargo clippy --workspace --all-targets "${FEATURES[@]}" -- -D warnings
+fi
 
 echo "==> cargo build --release"
 cargo build --release --workspace

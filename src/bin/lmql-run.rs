@@ -6,8 +6,15 @@
 //! cargo run --bin lmql-run -- query.lmql \
 //!     [--model ngram|script:<trigger>=<completion>] \
 //!     [--bind NAME=VALUE]… [--engine exact|symbolic] \
-//!     [--seed N] [--max-tokens N] [--trace]
+//!     [--seed N] [--max-tokens N] [--trace] \
+//!     [--trace-json <path>] [--metrics]
 //! ```
+//!
+//! `--trace` prints the decoder graph plus the runtime's span trace
+//! (parse/compile, per-hole decoding, mask computation). `--trace-json`
+//! writes the same spans as Chrome-trace JSON — load it in
+//! `chrome://tracing` or Perfetto. `--metrics` prints the full metrics
+//! registry (counter/gauge/histogram lines) after the run.
 //!
 //! Example:
 //!
@@ -33,6 +40,8 @@ struct Args {
     seed: u64,
     max_tokens: usize,
     trace: bool,
+    trace_json: Option<String>,
+    metrics: bool,
     format: bool,
 }
 
@@ -46,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         max_tokens: 64,
         trace: false,
+        trace_json: None,
+        metrics: false,
         format: false,
     };
     while let Some(a) = args.next() {
@@ -76,12 +87,17 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--max-tokens takes a number")?
             }
             "--trace" => out.trace = true,
+            "--trace-json" => {
+                out.trace_json = Some(args.next().ok_or("--trace-json takes a path")?);
+            }
+            "--metrics" => out.metrics = true,
             "--format" => out.format = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: lmql-run <query.lmql> [--model ngram|script:<trigger>=<completion>] \
                             [--bind NAME=VALUE]… [--engine exact|symbolic] [--seed N] \
-                            [--max-tokens N] [--trace] [--format]"
+                            [--max-tokens N] [--trace] [--trace-json <path>] [--metrics] \
+                            [--format]"
                         .to_owned(),
                 )
             }
@@ -144,14 +160,39 @@ fn run() -> Result<(), String> {
         runtime.bind(k, Value::Str(v.clone()));
     }
 
+    let tracer = if args.trace || args.trace_json.is_some() {
+        lmql_obs::Tracer::recording()
+    } else {
+        lmql_obs::Tracer::disabled()
+    };
+    runtime.set_tracer(tracer.clone());
+
+    let registry = lmql_obs::Registry::new();
+    if args.metrics {
+        runtime.meter().register_into(&registry, "lm");
+    }
+
     if args.trace {
         let (result, debug) = runtime.run_traced(&source).map_err(|e| e.to_string())?;
         print_result(&result);
         println!("--- decoder trace ---");
         print!("{}", debug.render());
+        println!("--- spans ---");
+        print!("{}", tracer.render_text());
     } else {
         let result = runtime.run(&source).map_err(|e| e.to_string())?;
         print_result(&result);
+    }
+
+    if let Some(path) = &args.trace_json {
+        let json = lmql_obs::chrome::to_chrome_json(&tracer.events());
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace written to {path} (load in chrome://tracing)");
+    }
+
+    if args.metrics {
+        println!("--- metrics ---");
+        print!("{}", registry.snapshot().render_text());
     }
 
     let usage = runtime.meter().snapshot();
