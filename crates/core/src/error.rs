@@ -19,6 +19,10 @@ pub enum Error {
     NoValidContinuation { var: String },
     /// An external (user-registered) function failed.
     External { name: String, message: String },
+    /// The language model behind the query failed (a remote backend
+    /// died, a retry budget ran out). The query is sound — the serving
+    /// layer was not.
+    Model { message: String },
 }
 
 impl Error {
@@ -54,6 +58,7 @@ impl fmt::Display for Error {
             Error::External { name, message } => {
                 write!(f, "external function `{name}` failed: {message}")
             }
+            Error::Model { message } => write!(f, "model failure: {message}"),
         }
     }
 }

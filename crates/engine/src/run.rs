@@ -16,7 +16,7 @@
 use crate::radix::{RadixCacheConfig, RadixStats};
 use crate::sched::{BatchPolicy, BatchedLm, Scheduler, SchedulerObs};
 use lmql::{QueryResult, Runtime};
-use lmql_lm::{LanguageModel, MeteredLm, Usage, UsageMeter};
+use lmql_lm::{LanguageModel, MeteredLm, RetryPolicy, Usage, UsageMeter};
 use lmql_obs::{Registry, Tracer};
 use lmql_tokenizer::Bpe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,6 +32,10 @@ pub struct EngineConfig {
     pub policy: BatchPolicy,
     /// Prefix-cache budgets.
     pub cache: RadixCacheConfig,
+    /// Retry/deadline policy for dispatch-time fault recovery when the
+    /// model is fallible (a remote backend, a chaos wrapper). Free for
+    /// infallible models — retries only ever run after a fault.
+    pub retry: RetryPolicy,
 }
 
 /// Observability hooks for an [`Engine`]: a trace recorder shared by the
@@ -139,10 +143,11 @@ impl Engine {
         // real dispatches after caching/single-flighting, which is what
         // the Tables 3–5 binaries and benches compare against.
         let metered = MeteredLm::new(model, meter.clone());
-        let sched = Arc::new(Scheduler::with_obs(
+        let sched = Arc::new(Scheduler::with_retry(
             Box::new(metered),
             config.policy,
             config.cache,
+            config.retry,
             SchedulerObs {
                 meter: Some(meter.clone()),
                 tracer: obs.tracer.clone(),
@@ -240,7 +245,22 @@ impl Engine {
                     let mut rt = Runtime::new(Arc::new(self.handle()), Arc::clone(&self.bpe));
                     rt.set_tracer(self.tracer.clone());
                     configure(i, &mut rt);
-                    let result = rt.run(sources[i]);
+                    // A model failure past the scheduler's retry budget
+                    // surfaces as a panic inside the runtime's `score`
+                    // calls; contain it to this query — the other
+                    // queries (and this worker) keep running.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        rt.run(sources[i])
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let message = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("query worker panicked")
+                            .to_owned();
+                        Err(lmql::Error::Model { message })
+                    });
                     *slots[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }

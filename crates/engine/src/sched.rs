@@ -17,9 +17,23 @@
 //! Because `score` is pure and deterministic per context, none of this
 //! changes any result: every consumer receives exactly the logits a
 //! direct `score` call would have produced, bit for bit.
+//!
+//! **Fault tolerance.** The model behind the scheduler may be fallible (a
+//! remote backend, a chaos wrapper). Dispatch uses the per-item
+//! [`try_score_batch`](LanguageModel::try_score_batch): one context's
+//! fault never fails its batch partners or the single-flight waiters
+//! merged onto them. Faulted items fall back to direct per-item scoring,
+//! retried with backoff under the scheduler's [`RetryPolicy`]; items
+//! whose per-request deadline expires are answered with
+//! [`LmError::DeadlineExceeded`]. Every slot is always filled — with
+//! logits or with an error — so no waiter is ever left hanging, and the
+//! dispatcher thread itself never dies to a model fault.
 
 use crate::radix::{RadixCache, RadixCacheConfig};
-use lmql_lm::{LanguageModel, Logits, UsageMeter};
+use lmql_lm::{
+    call_with_retry, context_token, FaultKind, LanguageModel, LmError, LmResult, Logits,
+    RetryMetrics, RetryPolicy, UsageMeter,
+};
 use lmql_obs::{Counter, Gauge, Histogram, Registry, Tracer};
 use lmql_tokenizer::{TokenId, Vocabulary};
 use std::collections::HashMap;
@@ -46,26 +60,27 @@ impl Default for BatchPolicy {
 }
 
 /// Rendezvous for one in-flight context: requesters block on `ready`
-/// until the dispatcher fills `result`.
+/// until the dispatcher fills `result` — with logits, or with the error
+/// that ended the request (so waiters never hang on a faulted batch).
 #[derive(Debug, Default)]
 struct Slot {
-    result: Mutex<Option<Logits>>,
+    result: Mutex<Option<LmResult<Logits>>>,
     ready: Condvar,
 }
 
 impl Slot {
-    fn wait(&self) -> Logits {
+    fn wait(&self) -> LmResult<Logits> {
         let mut r = self.result.lock().expect("slot poisoned");
         loop {
             match r.as_ref() {
-                Some(logits) => return logits.clone(),
+                Some(result) => return result.clone(),
                 None => r = self.ready.wait(r).expect("slot poisoned"),
             }
         }
     }
 
-    fn fill(&self, logits: Logits) {
-        *self.result.lock().expect("slot poisoned") = Some(logits);
+    fn fill(&self, result: LmResult<Logits>) {
+        *self.result.lock().expect("slot poisoned") = Some(result);
         self.ready.notify_all();
     }
 }
@@ -75,6 +90,9 @@ struct Pending {
     context: Vec<TokenId>,
     slot: Arc<Slot>,
     enqueued: Instant,
+    /// When the request's retry budget expires (from the policy's
+    /// deadline); `None` means unbounded.
+    deadline: Option<Instant>,
 }
 
 #[derive(Debug, Default)]
@@ -126,6 +144,10 @@ pub struct SchedMetrics {
     pub cache_entries: Gauge,
     /// Current approximate prefix-cache bytes.
     pub cache_bytes: Gauge,
+    /// Retry/fault/deadline counters for dispatch-time recovery,
+    /// registered under `lm.*` names (`lm.retries`,
+    /// `lm.deadline_exceeded`, `lm.faults`, `lm.breaker_rejections`).
+    pub retry: RetryMetrics,
 }
 
 impl SchedMetrics {
@@ -140,10 +162,12 @@ impl SchedMetrics {
             cache_evictions: Counter::default(),
             cache_entries: Gauge::default(),
             cache_bytes: Gauge::default(),
+            retry: RetryMetrics::default(),
         }
     }
 
-    /// Handles registered into `registry` under `engine.*` names.
+    /// Handles registered into `registry` under `engine.*` names (retry
+    /// counters under `lm.*`, next to the usage meter's model counters).
     pub fn registered(registry: &Registry) -> Self {
         SchedMetrics {
             batch_size: registry.histogram("engine.batch.size"),
@@ -155,6 +179,12 @@ impl SchedMetrics {
             cache_evictions: registry.counter("engine.cache.evictions"),
             cache_entries: registry.gauge("engine.cache.entries"),
             cache_bytes: registry.gauge("engine.cache.bytes"),
+            retry: RetryMetrics {
+                retries: registry.counter("lm.retries"),
+                deadline_exceeded: registry.counter("lm.deadline_exceeded"),
+                faults: registry.counter("lm.faults"),
+                breaker_rejections: registry.counter("lm.breaker_rejections"),
+            },
         }
     }
 }
@@ -162,12 +192,61 @@ impl SchedMetrics {
 struct Shared {
     model: Box<dyn LanguageModel>,
     policy: BatchPolicy,
+    retry: RetryPolicy,
     meter: Option<UsageMeter>,
     tracer: Tracer,
     metrics: SchedMetrics,
     cache: Mutex<RadixCache>,
     state: Mutex<State>,
     work: Condvar,
+}
+
+impl Shared {
+    /// A model reply shorter than the vocabulary is a truncated
+    /// (transient, retryable) response, never valid data.
+    fn validated(&self, logits: Logits) -> LmResult<Logits> {
+        let want = self.model.vocab().len();
+        if logits.len() == want {
+            Ok(logits)
+        } else {
+            Err(LmError::transient(
+                FaultKind::Truncated,
+                format!("reply has {} logits, vocabulary has {want}", logits.len()),
+            ))
+        }
+    }
+
+    /// Direct per-item scoring with retry/backoff — the fallback when a
+    /// batch (or one item of it) faults, and the inline path during
+    /// shutdown drain. Honours the item's absolute deadline on top of
+    /// the policy's per-request budget.
+    fn score_direct(&self, context: &[TokenId], deadline: Option<Instant>) -> LmResult<Logits> {
+        let mut policy = self.retry;
+        if let Some(d) = deadline {
+            let remaining = d.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.metrics.retry.deadline_exceeded.inc();
+                return Err(LmError::DeadlineExceeded {
+                    deadline: self.retry.deadline.unwrap_or_default(),
+                });
+            }
+            policy.deadline = Some(match policy.deadline {
+                Some(budget) => budget.min(remaining),
+                None => remaining,
+            });
+        }
+        call_with_retry(
+            &policy,
+            &self.metrics.retry,
+            None,
+            context_token(context),
+            || {
+                self.model
+                    .try_score(context)
+                    .and_then(|l| self.validated(l))
+            },
+        )
+    }
 }
 
 /// The scheduler: owns the model, a dispatcher thread, and the shared
@@ -194,7 +273,13 @@ impl Scheduler {
         policy: BatchPolicy,
         cache: RadixCacheConfig,
     ) -> Self {
-        Self::build(model, policy, cache, SchedulerObs::default())
+        Self::build(
+            model,
+            policy,
+            cache,
+            RetryPolicy::default(),
+            SchedulerObs::default(),
+        )
     }
 
     /// Like [`new`](Self::new), additionally recording prefix-cache hits
@@ -209,6 +294,7 @@ impl Scheduler {
             model,
             policy,
             cache,
+            RetryPolicy::default(),
             SchedulerObs {
                 meter: Some(meter),
                 ..SchedulerObs::default()
@@ -225,13 +311,29 @@ impl Scheduler {
         cache: RadixCacheConfig,
         obs: SchedulerObs,
     ) -> Self {
-        Self::build(model, policy, cache, obs)
+        Self::with_retry(model, policy, cache, RetryPolicy::default(), obs)
+    }
+
+    /// The full constructor: like [`with_obs`](Self::with_obs), with an
+    /// explicit [`RetryPolicy`] governing dispatch-time fault recovery
+    /// (per-item retries with backoff, per-request deadlines). The other
+    /// constructors use [`RetryPolicy::default`], which is free for
+    /// infallible models — retries only ever run after a fault.
+    pub fn with_retry(
+        model: Box<dyn LanguageModel>,
+        policy: BatchPolicy,
+        cache: RadixCacheConfig,
+        retry: RetryPolicy,
+        obs: SchedulerObs,
+    ) -> Self {
+        Self::build(model, policy, cache, retry, obs)
     }
 
     fn build(
         model: Box<dyn LanguageModel>,
         policy: BatchPolicy,
         cache: RadixCacheConfig,
+        retry: RetryPolicy,
         obs: SchedulerObs,
     ) -> Self {
         assert!(policy.max_batch >= 1, "max_batch must be at least 1");
@@ -242,6 +344,7 @@ impl Scheduler {
         let shared = Arc::new(Shared {
             model,
             policy,
+            retry,
             meter: obs.meter,
             tracer: obs.tracer,
             metrics,
@@ -286,9 +389,22 @@ impl Scheduler {
 
     /// Scores one context through the cache/single-flight/batch pipeline.
     /// Blocks until the result is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model faults past the scheduler's retry budget; use
+    /// [`try_score`](Self::try_score) to handle the error instead.
     pub fn score(&self, context: &[TokenId]) -> Logits {
+        self.try_score(context)
+            .unwrap_or_else(|e| panic!("scheduler: model call failed: {e}"))
+    }
+
+    /// Fallible scoring: transient model faults are retried per the
+    /// scheduler's [`RetryPolicy`]; what remains (exhausted budgets,
+    /// fatal errors, expired deadlines) surfaces as an [`LmError`].
+    pub fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
         match self.submit(context) {
-            Ok(hit) => hit,
+            Ok(result) => result,
             Err(slot) => slot.wait(),
         }
     }
@@ -297,21 +413,36 @@ impl Scheduler {
     /// any — this is what lets one decoder step's candidate extensions
     /// coalesce into a single model dispatch (and interleave with other
     /// executions' requests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any context's model call faults past the retry budget;
+    /// use [`try_score_many`](Self::try_score_many) to handle errors.
     pub fn score_many(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
-        let submitted: Vec<Result<Logits, Arc<Slot>>> =
+        self.try_score_many(contexts)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("scheduler: model call failed: {e}")))
+            .collect()
+    }
+
+    /// Fallible many-context scoring with per-item results: one faulted
+    /// context never fails the others.
+    pub fn try_score_many(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+        let submitted: Vec<Result<LmResult<Logits>, Arc<Slot>>> =
             contexts.iter().map(|ctx| self.submit(ctx)).collect();
         submitted
             .into_iter()
             .map(|s| match s {
-                Ok(hit) => hit,
+                Ok(result) => result,
                 Err(slot) => slot.wait(),
             })
             .collect()
     }
 
-    /// Cache lookup, then enqueue-or-join. `Ok` is a cache hit; `Err` is
-    /// the slot to wait on.
-    fn submit(&self, context: &[TokenId]) -> Result<Logits, Arc<Slot>> {
+    /// Cache lookup, then enqueue-or-join. `Ok` is an immediate result (a
+    /// cache hit, or an inline score during shutdown drain); `Err` is the
+    /// slot to wait on.
+    fn submit(&self, context: &[TokenId]) -> Result<LmResult<Logits>, Arc<Slot>> {
         if let Some(hit) = self
             .shared
             .cache
@@ -320,7 +451,7 @@ impl Scheduler {
             .get(context)
         {
             self.note_cache_hit(context);
-            return Ok(hit);
+            return Ok(Ok(hit));
         }
         let mut st = self.shared.state.lock().expect("scheduler poisoned");
         if st.shutdown {
@@ -328,13 +459,15 @@ impl Scheduler {
             // than queueing work nobody will pick up.
             drop(st);
             self.note_cache_miss();
-            let logits = self.shared.model.score(context);
-            self.shared
-                .cache
-                .lock()
-                .expect("cache poisoned")
-                .insert(context, logits.clone());
-            return Ok(logits);
+            let result = self.shared.score_direct(context, None);
+            if let Ok(logits) = &result {
+                self.shared
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(context, logits.clone());
+            }
+            return Ok(result);
         }
         if let Some(slot) = st.inflight.get(context) {
             self.note_cache_miss();
@@ -358,15 +491,17 @@ impl Scheduler {
             .get(context)
         {
             self.note_cache_hit(context);
-            return Ok(hit);
+            return Ok(Ok(hit));
         }
         self.note_cache_miss();
         let slot = Arc::new(Slot::default());
+        let now = Instant::now();
         st.inflight.insert(context.to_vec(), Arc::clone(&slot));
         st.queue.push(Pending {
             context: context.to_vec(),
             slot: Arc::clone(&slot),
-            enqueued: Instant::now(),
+            enqueued: now,
+            deadline: self.shared.retry.deadline.map(|d| now + d),
         });
         self.shared.work.notify_one();
         Err(slot)
@@ -445,6 +580,27 @@ fn dispatch_loop(shared: &Shared) {
             st.queue.drain(..take).collect::<Vec<_>>()
         };
 
+        // Requests whose deadline already passed are answered (with the
+        // deadline error) instead of dispatched: late logits nobody can
+        // use would only delay the healthy remainder of the batch.
+        let now = Instant::now();
+        let (batch, expired): (Vec<Pending>, Vec<Pending>) = batch
+            .into_iter()
+            .partition(|p| p.deadline.is_none_or(|d| d > now));
+        if !expired.is_empty() {
+            let mut st = shared.state.lock().expect("scheduler poisoned");
+            for p in expired {
+                shared.metrics.retry.deadline_exceeded.inc();
+                st.inflight.remove(&p.context);
+                p.slot.fill(Err(LmError::DeadlineExceeded {
+                    deadline: shared.retry.deadline.unwrap_or_default(),
+                }));
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
         shared.metrics.batch_size.record(batch.len() as u64);
         shared.metrics.dispatches.inc();
         for p in &batch {
@@ -457,14 +613,39 @@ fn dispatch_loop(shared: &Shared) {
         let mut dispatch_span = shared.tracer.span("batch", "dispatch");
         dispatch_span.arg("contexts", batch.len() as u64);
         let contexts: Vec<&[TokenId]> = batch.iter().map(|p| p.context.as_slice()).collect();
-        let results = shared.model.score_batch(&contexts);
+        let results = shared.model.try_score_batch(&contexts);
         drop(dispatch_span);
         debug_assert_eq!(results.len(), batch.len());
 
+        // Per-item recovery: a faulted item falls back to direct scoring
+        // with retry/backoff, *without* failing its batch partners — the
+        // healthy items' logits (and their merged single-flight waiters)
+        // are already settled. Whatever still fails becomes that item's
+        // error; every slot is filled either way.
+        let results: Vec<LmResult<Logits>> = results
+            .into_iter()
+            .zip(&batch)
+            .map(|(r, p)| match r.and_then(|l| shared.validated(l)) {
+                Ok(logits) => Ok(logits),
+                Err(e) if e.is_transient() => {
+                    shared.metrics.retry.faults.inc();
+                    shared
+                        .tracer
+                        .instant_with("fault", "batch_item_fallback", || {
+                            vec![("context_tokens".to_owned(), (p.context.len() as u64).into())]
+                        });
+                    shared.score_direct(&p.context, p.deadline)
+                }
+                Err(e) => Err(e),
+            })
+            .collect();
+
         {
             let mut cache = shared.cache.lock().expect("cache poisoned");
-            for (p, logits) in batch.iter().zip(&results) {
-                cache.insert(&p.context, logits.clone());
+            for (p, result) in batch.iter().zip(&results) {
+                if let Ok(logits) = result {
+                    cache.insert(&p.context, logits.clone());
+                }
             }
             let stats = cache.stats();
             shared
@@ -476,9 +657,9 @@ fn dispatch_loop(shared: &Shared) {
             shared.metrics.cache_bytes.set(stats.bytes as u64);
         }
         let mut st = shared.state.lock().expect("scheduler poisoned");
-        for (p, logits) in batch.into_iter().zip(results) {
+        for (p, result) in batch.into_iter().zip(results) {
             st.inflight.remove(&p.context);
-            p.slot.fill(logits);
+            p.slot.fill(result);
         }
     }
 }
@@ -516,6 +697,14 @@ impl LanguageModel for BatchedLm {
 
     fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
         self.sched.score_many(contexts)
+    }
+
+    fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
+        self.sched.try_score(context)
+    }
+
+    fn try_score_batch(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+        self.sched.try_score_many(contexts)
     }
 }
 
@@ -680,6 +869,191 @@ mod tests {
             worker.join().unwrap()
         });
         assert_eq!(result.len(), sched.vocab().len());
+    }
+
+    /// First token of a context selects its fault behaviour. `FLAKY`
+    /// contexts fault in batch dispatch but succeed on the direct
+    /// (per-item fallback) path; `DOOMED` contexts fault transiently on
+    /// every path; `FATAL` contexts fail fatally everywhere.
+    const FLAKY: TokenId = TokenId(100);
+    const DOOMED: TokenId = TokenId(101);
+    const FATAL: TokenId = TokenId(102);
+
+    #[derive(Debug)]
+    struct FaultyLm {
+        bpe: Arc<Bpe>,
+        batch_calls: Arc<AtomicU64>,
+        direct_calls: Arc<AtomicU64>,
+    }
+
+    impl FaultyLm {
+        fn new() -> Self {
+            FaultyLm {
+                bpe: Arc::new(Bpe::char_level("")),
+                batch_calls: Arc::new(AtomicU64::new(0)),
+                direct_calls: Arc::new(AtomicU64::new(0)),
+            }
+        }
+
+        fn logits_for(&self, context: &[TokenId]) -> Logits {
+            let tag = context.len() as f64 + context.first().map_or(0.0, |t| t.0 as f64 / 7.0);
+            Logits::constant(self.bpe.vocab().len(), tag)
+        }
+    }
+
+    impl LanguageModel for FaultyLm {
+        fn vocab(&self) -> &Vocabulary {
+            self.bpe.vocab()
+        }
+        fn score(&self, context: &[TokenId]) -> Logits {
+            self.try_score(context).expect("faulty model call failed")
+        }
+        fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
+            self.direct_calls.fetch_add(1, Ordering::SeqCst);
+            match context.first() {
+                Some(&DOOMED) => Err(LmError::transient(FaultKind::Injected, "doomed")),
+                Some(&FATAL) => Err(LmError::fatal("unservable context")),
+                _ => Ok(self.logits_for(context)),
+            }
+        }
+        fn try_score_batch(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+            self.batch_calls.fetch_add(1, Ordering::SeqCst);
+            contexts
+                .iter()
+                .map(|c| match c.first() {
+                    Some(&FLAKY) | Some(&DOOMED) => {
+                        Err(LmError::transient(FaultKind::Injected, "batch fault"))
+                    }
+                    Some(&FATAL) => Err(LmError::fatal("unservable context")),
+                    _ => Ok(self.logits_for(c)),
+                })
+                .collect()
+        }
+    }
+
+    /// A retry policy that retries fast and never sleeps long.
+    fn fast_retry(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(200),
+            jitter: 0.0,
+            seed: 0,
+            deadline: None,
+        }
+    }
+
+    /// `max_batch` sized to the test's request count so dispatch fires
+    /// the moment everything is queued, timing-independently.
+    fn faulty_sched(
+        max_retries: u32,
+        max_batch: usize,
+    ) -> (Scheduler, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let lm = FaultyLm::new();
+        let batch_calls = Arc::clone(&lm.batch_calls);
+        let direct_calls = Arc::clone(&lm.direct_calls);
+        let sched = Scheduler::with_retry(
+            Box::new(lm),
+            policy(max_batch, 10),
+            Default::default(),
+            fast_retry(max_retries),
+            SchedulerObs::default(),
+        );
+        (sched, batch_calls, direct_calls)
+    }
+
+    /// Regression: a faulted batch item used to fail (or hang) every
+    /// single-flight waiter merged into the same dispatch. With per-item
+    /// results, healthy partners complete with exactly the logits a
+    /// direct call would have produced, and the faulted item recovers
+    /// through the direct-scoring fallback.
+    #[test]
+    fn faulted_batch_item_does_not_poison_partners() {
+        let (sched, batch_calls, _) = faulty_sched(2, 3);
+        let reference = FaultyLm::new();
+        let healthy = [TokenId(1), TokenId(2)];
+        let flaky = [FLAKY, TokenId(3)];
+        let contexts: Vec<&[TokenId]> = vec![&healthy, &flaky, &[TokenId(7)]];
+        let out = sched.try_score_many(&contexts);
+        assert_eq!(batch_calls.load(Ordering::SeqCst), 1, "one dispatch");
+        for (r, ctx) in out.iter().zip(&contexts) {
+            let logits = r.as_ref().expect("every item must recover");
+            assert_eq!(*logits, reference.logits_for(ctx));
+        }
+        assert!(
+            sched.metrics().retry.faults.get() >= 1,
+            "the flaky item's batch fault is counted"
+        );
+    }
+
+    /// An item whose fallback also exhausts its retry budget fails alone:
+    /// its partners still succeed, and its waiter receives the error
+    /// rather than hanging.
+    #[test]
+    fn exhausted_item_fails_alone_with_per_item_errors() {
+        let (sched, _, _) = faulty_sched(1, 2);
+        let healthy = [TokenId(4)];
+        let doomed = [DOOMED, TokenId(5)];
+        let out = sched.try_score_many(&[&healthy, &doomed]);
+        assert!(out[0].is_ok(), "healthy partner unaffected: {:?}", out[0]);
+        let err = out[1].as_ref().unwrap_err();
+        assert!(err.is_transient(), "budget-exhausted transient surfaces");
+    }
+
+    /// Fatal faults are not retried; every single-flight waiter merged
+    /// onto the context receives the error promptly (no hang, no
+    /// dispatcher death).
+    #[test]
+    fn fatal_fault_fills_all_merged_waiters() {
+        let (sched, _, direct_calls) = faulty_sched(5, 1);
+        let sched = Arc::new(sched);
+        let ctx = vec![FATAL, TokenId(1)];
+        let errors: Vec<LmResult<Logits>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let sched = Arc::clone(&sched);
+                    let ctx = ctx.clone();
+                    s.spawn(move || sched.try_score(&ctx))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &errors {
+            assert!(
+                matches!(r, Err(LmError::Fatal { .. })),
+                "fatal surfaces to every waiter: {r:?}"
+            );
+        }
+        // The scheduler stays healthy after the fault.
+        assert!(sched.try_score(&[TokenId(8)]).is_ok());
+        assert!(
+            direct_calls.load(Ordering::SeqCst) <= 2,
+            "fatal errors are never retried"
+        );
+    }
+
+    /// A request that out-waits its deadline in the queue is answered
+    /// with `DeadlineExceeded` without ever reaching the model.
+    #[test]
+    fn queued_request_past_deadline_is_not_dispatched() {
+        let (lm, calls) = counting(Duration::ZERO);
+        let retry = RetryPolicy {
+            deadline: Some(Duration::from_millis(5)),
+            ..fast_retry(0)
+        };
+        // An undersized batch waits out max_wait (40ms) before firing —
+        // far past the 5ms deadline.
+        let sched = Scheduler::with_retry(
+            Box::new(lm),
+            policy(8, 40),
+            Default::default(),
+            retry,
+            SchedulerObs::default(),
+        );
+        let err = sched.try_score(&[TokenId(3)]).unwrap_err();
+        assert!(matches!(err, LmError::DeadlineExceeded { .. }), "{err}");
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "model never called");
+        assert_eq!(sched.metrics().retry.deadline_exceeded.get(), 1);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! The error taxonomy for fallible model backends.
+//!
+//! The paper's runtime treats the model as a pure function `f : V^k →
+//! R^{|V|}`; a production serving stack cannot. Remote backends drop
+//! connections, time out, shed load and return garbage. [`LmError`]
+//! classifies every such failure into the only distinction the serving
+//! layer acts on: **transient** (retry with backoff and the call should
+//! eventually succeed) versus **fatal** (retrying is useless — fail the
+//! request). A third variant, [`LmError::DeadlineExceeded`], marks a
+//! request whose retry budget ran out; it is terminal like a fatal error
+//! but names the deadline as the cause so callers (and metrics) can tell
+//! "the backend is broken" apart from "the backend is slow".
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a transient failure happened. Used for metrics and log lines;
+/// the retry layer treats every kind the same way (retryable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The connection to the backend dropped (reset, EOF, broken pipe).
+    ConnectionLost,
+    /// A single call exceeded its I/O timeout.
+    Timeout,
+    /// The backend shed load (a typed `BUSY` reply, or an open circuit
+    /// breaker failing fast).
+    Busy,
+    /// The reply arrived but was incomplete (e.g. a logits vector shorter
+    /// than the vocabulary).
+    Truncated,
+    /// A fault injected by the chaos harness ([`ChaosLm`]).
+    ///
+    /// [`ChaosLm`]: crate::ChaosLm
+    Injected,
+    /// Anything else judged worth retrying.
+    Other,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::ConnectionLost => "connection-lost",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Busy => "busy",
+            FaultKind::Truncated => "truncated",
+            FaultKind::Injected => "injected",
+            FaultKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failed model call, classified by how the serving layer should react.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LmError {
+    /// Retryable: the same call is expected to succeed later.
+    Transient {
+        /// What went wrong (for metrics and messages).
+        kind: FaultKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Not retryable: a protocol violation, an invalid request, a
+    /// configuration mismatch. Retrying would fail identically.
+    Fatal {
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The per-request deadline expired before a retry could succeed.
+    /// Terminal, but caused by slowness rather than breakage.
+    DeadlineExceeded {
+        /// The budget that ran out.
+        deadline: Duration,
+    },
+}
+
+impl LmError {
+    /// A transient (retryable) error.
+    pub fn transient(kind: FaultKind, message: impl Into<String>) -> Self {
+        LmError::Transient {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// A fatal (non-retryable) error.
+    pub fn fatal(message: impl Into<String>) -> Self {
+        LmError::Fatal {
+            message: message.into(),
+        }
+    }
+
+    /// `true` when the retry layer should try again.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, LmError::Transient { .. })
+    }
+
+    /// The fault kind of a transient error, `None` otherwise.
+    pub fn fault_kind(&self) -> Option<FaultKind> {
+        match self {
+            LmError::Transient { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// Classifies an I/O error: timeouts and connection drops are
+    /// transient (a reconnect-and-retry is expected to succeed), anything
+    /// else — invalid data, permission errors, address failures — is
+    /// fatal.
+    pub fn from_io(e: &std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                LmError::transient(FaultKind::Timeout, e.to_string())
+            }
+            ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionRefused
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::NotConnected
+            | ErrorKind::Interrupted => {
+                LmError::transient(FaultKind::ConnectionLost, e.to_string())
+            }
+            _ => LmError::fatal(e.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for LmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LmError::Transient { kind, message } => {
+                write!(f, "transient model error ({kind}): {message}")
+            }
+            LmError::Fatal { message } => write!(f, "fatal model error: {message}"),
+            LmError::DeadlineExceeded { deadline } => {
+                write!(f, "model call deadline exceeded ({deadline:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LmError {}
+
+/// Result alias for fallible model calls.
+pub type LmResult<T> = std::result::Result<T, LmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Error as IoError, ErrorKind};
+
+    #[test]
+    fn transience_classification() {
+        assert!(LmError::transient(FaultKind::Timeout, "slow").is_transient());
+        assert!(!LmError::fatal("broken").is_transient());
+        assert!(!LmError::DeadlineExceeded {
+            deadline: Duration::from_millis(5)
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn io_errors_classify_by_kind() {
+        let transient_kinds = [
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionRefused,
+            ErrorKind::BrokenPipe,
+            ErrorKind::UnexpectedEof,
+        ];
+        for kind in transient_kinds {
+            let e = LmError::from_io(&IoError::new(kind, "x"));
+            assert!(e.is_transient(), "{kind:?} should be transient");
+        }
+        let e = LmError::from_io(&IoError::new(ErrorKind::InvalidData, "x"));
+        assert!(!e.is_transient(), "InvalidData should be fatal");
+    }
+
+    #[test]
+    fn display_names_the_class() {
+        let e = LmError::transient(FaultKind::Busy, "queue full");
+        assert!(e.to_string().contains("transient"));
+        assert!(e.to_string().contains("busy"));
+        let e = LmError::fatal("bad vocab");
+        assert!(e.to_string().contains("fatal"));
+        let e = LmError::DeadlineExceeded {
+            deadline: Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn fault_kind_projection() {
+        let e = LmError::transient(FaultKind::Truncated, "short");
+        assert_eq!(e.fault_kind(), Some(FaultKind::Truncated));
+        assert_eq!(LmError::fatal("x").fault_kind(), None);
+    }
+}

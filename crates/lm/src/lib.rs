@@ -17,25 +17,38 @@
 //! - [`UsageMeter`] / [`MeteredLm`] — the paper's §6 cost metrics (model
 //!   queries, decoder calls, billable tokens),
 //! - [`CachedLm`] — prefix-keyed score caching,
+//! - [`LmError`] / [`RetryLm`] / [`ChaosLm`] — the fault-tolerant serving
+//!   layer: transient-vs-fatal error taxonomy, retry with exponential
+//!   backoff and deterministic jitter, circuit breaking, and seeded
+//!   fault injection for reproducible chaos tests,
 //! - [`corpus`] — the built-in synthetic training corpus and shared
 //!   tokenizer/model constructors used by examples and benchmarks.
 
 pub mod corpus;
 
 mod cache;
+mod chaos;
+mod error;
 mod logits;
 mod meter;
 mod mock;
 mod model;
 mod ngram;
+mod retry;
 mod scripted;
 
 pub use cache::CachedLm;
+pub use chaos::{ChaosLm, ChaosStats, FaultPlan};
+pub use error::{FaultKind, LmError, LmResult};
 pub use logits::{Distribution, Logits};
 pub use meter::{MeteredLm, Usage, UsageMeter};
 pub use mock::{MockLm, UniformLm};
 pub use model::LanguageModel;
 pub use ngram::NGramLm;
+pub use retry::{
+    call_with_retry, context_token, BreakerConfig, BreakerState, CircuitBreaker, RetryLm,
+    RetryMetrics, RetryPolicy,
+};
 pub use scripted::{
     Branch, Digression, Episode, ScriptedLm, ScriptedLmBuilder, ALIGNED_LOGIT, DIGRESSION_LOGIT,
     SCRIPT_LOGIT,

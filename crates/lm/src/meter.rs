@@ -7,7 +7,7 @@
 //! - **Billable tokens** — per decoder call, prompt tokens processed plus
 //!   tokens generated (the billing model of API-gated LMs like GPT-3).
 
-use crate::{LanguageModel, Logits};
+use crate::{LanguageModel, LmResult, Logits};
 use lmql_obs::{Counter, Registry};
 use lmql_tokenizer::{TokenId, Vocabulary};
 
@@ -254,6 +254,16 @@ impl<L: LanguageModel> LanguageModel for MeteredLm<L> {
     fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
         self.meter.record_batch(contexts.len() as u64);
         self.inner.score_batch(contexts)
+    }
+
+    fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
+        self.meter.record_model_query();
+        self.inner.try_score(context)
+    }
+
+    fn try_score_batch(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+        self.meter.record_batch(contexts.len() as u64);
+        self.inner.try_score_batch(contexts)
     }
 }
 

@@ -1,6 +1,6 @@
 //! The core language-model interface.
 
-use crate::Logits;
+use crate::{LmResult, Logits};
 use lmql_tokenizer::{TokenId, Vocabulary};
 
 /// A next-token predictor `f : V^k → R^{|V|}` (§2.1 of the paper).
@@ -50,6 +50,24 @@ pub trait LanguageModel: Send + Sync {
     fn eos(&self) -> TokenId {
         self.vocab().eos()
     }
+
+    /// Fallible scoring. In-process models never fail, so the default
+    /// wraps [`score`](Self::score) in `Ok`; backends that can fail
+    /// (remote connections, fault-injection wrappers) override this and
+    /// classify failures as transient or fatal via [`LmError`].
+    ///
+    /// [`LmError`]: crate::LmError
+    fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
+        Ok(self.score(context))
+    }
+
+    /// Fallible batched scoring with **per-item** results: one context's
+    /// failure leaves its batch partners' answers intact, which is what
+    /// lets a scheduler recover merged single-flight waiters
+    /// individually instead of poisoning the whole batch.
+    fn try_score_batch(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+        contexts.iter().map(|c| self.try_score(c)).collect()
+    }
 }
 
 // Allow passing models behind common smart pointers.
@@ -63,6 +81,12 @@ impl<L: LanguageModel + ?Sized> LanguageModel for &L {
     fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
         (**self).score_batch(contexts)
     }
+    fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
+        (**self).try_score(context)
+    }
+    fn try_score_batch(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+        (**self).try_score_batch(contexts)
+    }
 }
 
 impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
@@ -75,6 +99,12 @@ impl<L: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<L> {
     fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
         (**self).score_batch(contexts)
     }
+    fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
+        (**self).try_score(context)
+    }
+    fn try_score_batch(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+        (**self).try_score_batch(contexts)
+    }
 }
 
 impl<L: LanguageModel + ?Sized> LanguageModel for Box<L> {
@@ -86,5 +116,11 @@ impl<L: LanguageModel + ?Sized> LanguageModel for Box<L> {
     }
     fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Logits> {
         (**self).score_batch(contexts)
+    }
+    fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
+        (**self).try_score(context)
+    }
+    fn try_score_batch(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+        (**self).try_score_batch(contexts)
     }
 }

@@ -346,6 +346,30 @@ impl Registry {
         assert!(prev.is_none(), "metric {name:?} registered twice");
     }
 
+    /// Registers an externally created gauge under `name`, so values
+    /// recorded through existing handles appear in snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn register_gauge(&self, name: &str, gauge: Gauge) {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        let prev = m.insert(name.to_owned(), Metric::Gauge(gauge));
+        assert!(prev.is_none(), "metric {name:?} registered twice");
+    }
+
+    /// Registers an externally created histogram under `name`, so values
+    /// recorded through existing handles appear in snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn register_histogram(&self, name: &str, histogram: Histogram) {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        let prev = m.insert(name.to_owned(), Metric::Histogram(histogram));
+        assert!(prev.is_none(), "metric {name:?} registered twice");
+    }
+
     /// A frozen view of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let m = self.metrics.lock().expect("registry poisoned");

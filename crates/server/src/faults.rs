@@ -1,0 +1,109 @@
+//! Server-side fault injection for chaos testing.
+//!
+//! A [`FaultHook`] makes the server misbehave at *chosen request
+//! ordinals*: requests are numbered globally (1-based, across all
+//! connections, in arrival order), and the hook can drop the connection,
+//! stall the reply past the client's read timeout, or garble the reply
+//! bytes for specific ordinals. Because the trigger is the ordinal — not
+//! a clock or a random draw — a single-client test replays the exact
+//! same fault schedule every run.
+//!
+//! This is the server-side complement of [`lmql_lm::ChaosLm`] (which
+//! injects faults inside the model): together they cover "the backend
+//! computes wrong/slow/nothing" and "the wire loses/corrupts the reply".
+
+use std::time::Duration;
+
+/// What the server does to selected requests. Default: no faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultHook {
+    /// Close the connection instead of replying to these request
+    /// ordinals (1-based, global across connections). The client sees a
+    /// clean EOF mid-request — the "server died under me" case.
+    pub drop_on_requests: Vec<u64>,
+    /// Sleep this long before replying to the ordinals in
+    /// [`stall_on_requests`](Self::stall_on_requests) — long enough to
+    /// trip a client read timeout without closing anything.
+    pub stall: Duration,
+    /// Request ordinals whose replies are delayed by [`stall`](Self::stall).
+    pub stall_on_requests: Vec<u64>,
+    /// Replace the reply to these ordinals with a syntactically broken
+    /// frame (unparseable logit bits) — the "corrupted wire" case.
+    pub garble_on_requests: Vec<u64>,
+}
+
+impl FaultHook {
+    /// True when the hook never fires (the default for production paths).
+    pub fn is_inert(&self) -> bool {
+        self.drop_on_requests.is_empty()
+            && self.stall_on_requests.is_empty()
+            && self.garble_on_requests.is_empty()
+    }
+
+    /// The action for request `ordinal`, if any. Drop wins over stall
+    /// and garble when an ordinal is listed in several.
+    pub fn action(&self, ordinal: u64) -> Option<FaultAction> {
+        if self.drop_on_requests.contains(&ordinal) {
+            return Some(FaultAction::Drop);
+        }
+        if self.stall_on_requests.contains(&ordinal) {
+            return Some(FaultAction::Stall(self.stall));
+        }
+        if self.garble_on_requests.contains(&ordinal) {
+            return Some(FaultAction::Garble);
+        }
+        None
+    }
+}
+
+/// A fault the server applies to one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Close the connection without replying.
+    Drop,
+    /// Delay the reply by the given duration, then answer normally.
+    Stall(Duration),
+    /// Reply with an unparseable frame.
+    Garble,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_by_default() {
+        let hook = FaultHook::default();
+        assert!(hook.is_inert());
+        assert_eq!(hook.action(1), None);
+    }
+
+    #[test]
+    fn ordinals_select_actions() {
+        let hook = FaultHook {
+            drop_on_requests: vec![2],
+            stall: Duration::from_millis(100),
+            stall_on_requests: vec![3],
+            garble_on_requests: vec![4],
+        };
+        assert!(!hook.is_inert());
+        assert_eq!(hook.action(1), None);
+        assert_eq!(hook.action(2), Some(FaultAction::Drop));
+        assert_eq!(
+            hook.action(3),
+            Some(FaultAction::Stall(Duration::from_millis(100)))
+        );
+        assert_eq!(hook.action(4), Some(FaultAction::Garble));
+    }
+
+    #[test]
+    fn drop_wins_over_other_actions() {
+        let hook = FaultHook {
+            drop_on_requests: vec![5],
+            stall: Duration::from_millis(1),
+            stall_on_requests: vec![5],
+            garble_on_requests: vec![5],
+        };
+        assert_eq!(hook.action(5), Some(FaultAction::Drop));
+    }
+}

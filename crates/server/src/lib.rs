@@ -23,7 +23,16 @@
 //!
 //! Robustness: idle connections are dropped after
 //! [`ServerConfig::read_timeout`], and [`ServerHandle::shutdown`] drains
-//! in-flight batches before returning.
+//! in-flight batches before returning. Beyond that the split is fault
+//! tolerant (DESIGN.md §9): transient model failures are answered with a
+//! `RETRY` frame (the connection stays synced; fatal ones get `ERR`),
+//! the server sheds load with a typed `BUSY` frame once
+//! [`ServerConfig::max_connections`] is reached, and [`RemoteLm`]
+//! retries under a [`RetryPolicy`] — reconnecting with backoff when the
+//! stream dies or desyncs, so a server kill mid-request costs one
+//! re-dial, not the query. A deterministic [`FaultHook`] can drop, stall
+//! or garble chosen requests to reproduce all of it in tests
+//! (`tests/fault_tolerance.rs`).
 //!
 //! # Example
 //!
@@ -48,11 +57,13 @@
 //! ```
 
 mod client;
+mod faults;
 mod protocol;
 mod server;
 
-pub use client::RemoteLm;
+pub use client::{RemoteClientConfig, RemoteLm};
+pub use faults::{FaultAction, FaultHook};
 pub use lmql_engine::{BatchPolicy, RadixCacheConfig, RadixStats};
-pub use lmql_lm::LanguageModel;
+pub use lmql_lm::{BreakerConfig, BreakerState, FaultKind, LanguageModel, LmError, RetryPolicy};
 pub use lmql_obs::{MetricsSnapshot, Registry};
 pub use server::{InferenceServer, ServerConfig, ServerHandle};

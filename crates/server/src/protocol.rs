@@ -19,6 +19,42 @@ use lmql_lm::Logits;
 use lmql_tokenizer::TokenId;
 use std::io::{self, BufRead, Write};
 
+/// Writes the typed `BUSY` shed frame (sent at accept time when the
+/// server is over its connection budget, before closing).
+pub(crate) fn write_busy<W: Write>(w: &mut W) -> io::Result<()> {
+    writeln!(w, "BUSY")?;
+    w.flush()
+}
+
+/// Reads one reply line, surfacing the two conditions every reply shares:
+/// EOF (the connection died mid-request) and the typed `BUSY` shed frame.
+/// Both come back as I/O errors with kinds the client classifies as
+/// transient ([`UnexpectedEof`](io::ErrorKind::UnexpectedEof) →
+/// connection lost, [`ConnectionRefused`](io::ErrorKind::ConnectionRefused)
+/// → busy).
+fn read_reply_line<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-reply",
+        ));
+    }
+    let line = line.trim_end();
+    if line == "BUSY" {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "server busy (load shed)",
+        ));
+    }
+    if let Some(msg) = line.strip_prefix("RETRY ") {
+        // A transient server-side failure: the request may succeed if
+        // re-sent. The connection itself is still synced.
+        return Err(io::Error::other(format!("server retry: {msg}")));
+    }
+    Ok(line.to_owned())
+}
+
 /// Writes a `SCORE` request.
 pub(crate) fn write_score_request<W: Write>(w: &mut W, context: &[TokenId]) -> io::Result<()> {
     write!(w, "SCORE {}", context.len())?;
@@ -105,9 +141,8 @@ pub(crate) fn write_batch_logits<W: Write>(w: &mut W, all: &[Logits]) -> io::Res
 
 /// Reads a `BATCHLOGITS` reply (or surfaces an `ERR`).
 pub(crate) fn read_batch_logits<R: BufRead>(r: &mut R) -> io::Result<Vec<Logits>> {
-    let mut line = String::new();
-    r.read_line(&mut line)?;
-    let line = line.trim_end();
+    let line = read_reply_line(r)?;
+    let line = line.as_str();
     if let Some(msg) = line.strip_prefix("ERR ") {
         return Err(io::Error::other(format!("server error: {msg}")));
     }
@@ -130,9 +165,8 @@ pub(crate) fn write_logits<W: Write>(w: &mut W, logits: &Logits) -> io::Result<(
 
 /// Reads a `LOGITS` reply (or surfaces an `ERR`).
 pub(crate) fn read_logits<R: BufRead>(r: &mut R) -> io::Result<Logits> {
-    let mut line = String::new();
-    r.read_line(&mut line)?;
-    let line = line.trim_end();
+    let line = read_reply_line(r)?;
+    let line = line.as_str();
     if let Some(msg) = line.strip_prefix("ERR ") {
         return Err(io::Error::other(format!("server error: {msg}")));
     }
@@ -170,9 +204,8 @@ pub(crate) fn write_tokenizer<W: Write>(w: &mut W, serialized: &str) -> io::Resu
 
 /// Reads the `TOKENIZER` reply.
 pub(crate) fn read_tokenizer<R: BufRead>(r: &mut R) -> io::Result<String> {
-    let mut line = String::new();
-    r.read_line(&mut line)?;
-    let line = line.trim_end();
+    let line = read_reply_line(r)?;
+    let line = line.as_str();
     if let Some(msg) = line.strip_prefix("ERR ") {
         return Err(io::Error::other(format!("server error: {msg}")));
     }
@@ -196,9 +229,8 @@ pub(crate) fn write_stats<W: Write>(w: &mut W, rendered: &str) -> io::Result<()>
 
 /// Reads a `STATS` reply (or surfaces an `ERR`).
 pub(crate) fn read_stats<R: BufRead>(r: &mut R) -> io::Result<String> {
-    let mut line = String::new();
-    r.read_line(&mut line)?;
-    let line = line.trim_end();
+    let line = read_reply_line(r)?;
+    let line = line.as_str();
     if let Some(msg) = line.strip_prefix("ERR ") {
         return Err(io::Error::other(format!("server error: {msg}")));
     }
@@ -311,6 +343,23 @@ mod tests {
     fn stats_err_reply_surfaces() {
         let err = read_stats(&mut Cursor::new(b"ERR down\n".to_vec())).unwrap_err();
         assert!(err.to_string().contains("down"));
+    }
+
+    #[test]
+    fn busy_frame_surfaces_as_connection_refused() {
+        let mut buf = Vec::new();
+        write_busy(&mut buf).unwrap();
+        let err = read_logits(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+        assert!(err.to_string().contains("busy"));
+    }
+
+    #[test]
+    fn eof_mid_reply_surfaces_as_unexpected_eof() {
+        let err = read_logits(&mut Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        let err = read_batch_logits(&mut Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

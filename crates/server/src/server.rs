@@ -6,17 +6,18 @@
 //! server side of the paper's Appendix A.2 split, where "the server is
 //! responsible for inference, loading and managing the model".
 
+use crate::faults::{FaultAction, FaultHook};
 use crate::protocol::{
-    parse_batch_request, parse_score_request, write_batch_logits, write_logits, write_stats,
-    write_tokenizer,
+    parse_batch_request, parse_score_request, write_batch_logits, write_busy, write_logits,
+    write_stats, write_tokenizer,
 };
 use lmql_engine::{BatchPolicy, RadixCacheConfig, RadixStats, Scheduler, SchedulerObs};
-use lmql_lm::LanguageModel;
+use lmql_lm::{LanguageModel, LmError, RetryPolicy};
 use lmql_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use lmql_tokenizer::{Bpe, TokenId};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,6 +36,16 @@ pub struct ServerConfig {
     pub policy: BatchPolicy,
     /// Budgets for the shared prefix cache.
     pub cache: RadixCacheConfig,
+    /// Retry/deadline policy for the shared scheduler's dispatch-time
+    /// fault recovery (matters when the hosted model is itself fallible,
+    /// e.g. a chaos wrapper).
+    pub retry: RetryPolicy,
+    /// Load shedding: connections over this budget receive a typed
+    /// `BUSY` frame and are closed immediately (counted in
+    /// `server.shed`). `usize::MAX` (the default) disables shedding.
+    pub max_connections: usize,
+    /// Deterministic fault injection for chaos tests (inert by default).
+    pub faults: FaultHook,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +54,9 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             policy: BatchPolicy::default(),
             cache: RadixCacheConfig::default(),
+            retry: RetryPolicy::default(),
+            max_connections: usize::MAX,
+            faults: FaultHook::default(),
         }
     }
 }
@@ -60,6 +74,10 @@ struct ServerMetrics {
     requests: Counter,
     /// Per-request handling latency, in microseconds (read to reply).
     request_latency_us: Histogram,
+    /// Connections turned away with a `BUSY` frame (load shedding).
+    shed: Counter,
+    /// Faults injected by the configured [`FaultHook`].
+    faults_injected: Counter,
 }
 
 impl ServerMetrics {
@@ -69,8 +87,24 @@ impl ServerMetrics {
             connections_active: registry.gauge("server.connections_active"),
             requests: registry.counter("server.requests"),
             request_latency_us: registry.histogram("server.request_latency_us"),
+            shed: registry.counter("server.shed"),
+            faults_injected: registry.counter("server.faults_injected"),
         }
     }
+}
+
+/// Everything a connection handler needs, shared across all handlers.
+struct ConnShared {
+    sched: Arc<Scheduler>,
+    serialized_tokenizer: Arc<String>,
+    stop: Arc<AtomicBool>,
+    registry: Registry,
+    metrics: ServerMetrics,
+    /// Global request ordinal (1-based, arrival order) — the fault
+    /// hook's deterministic trigger.
+    next_request: AtomicU64,
+    faults: FaultHook,
+    read_timeout: Duration,
 }
 
 /// Constructor namespace for spawning inference servers.
@@ -104,48 +138,59 @@ impl InferenceServer {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop_accept = Arc::clone(&stop);
         let serialized = Arc::new(bpe.to_text());
         let registry = Registry::new();
         let metrics = ServerMetrics::registered(&registry);
-        let sched = Arc::new(Scheduler::with_obs(
+        let sched = Arc::new(Scheduler::with_retry(
             Box::new(lm),
             config.policy,
             config.cache,
+            config.retry,
             SchedulerObs {
                 registry: Some(registry.clone()),
                 ..SchedulerObs::default()
             },
         ));
-        let sched_accept = Arc::clone(&sched);
-        let registry_accept = registry.clone();
-        let read_timeout = config.read_timeout.max(Duration::from_millis(1));
+        let shared = Arc::new(ConnShared {
+            sched: Arc::clone(&sched),
+            serialized_tokenizer: serialized,
+            stop: Arc::clone(&stop),
+            registry: registry.clone(),
+            metrics,
+            next_request: AtomicU64::new(0),
+            faults: config.faults,
+            read_timeout: config.read_timeout.max(Duration::from_millis(1)),
+        });
+        let max_connections = config.max_connections;
 
+        let accept_shared = Arc::clone(&shared);
         let handle = std::thread::spawn(move || {
-            while !stop_accept.load(Ordering::SeqCst) {
+            while !accept_shared.stop.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let sched = Arc::clone(&sched_accept);
-                        let serialized = Arc::clone(&serialized);
-                        let stop = Arc::clone(&stop_accept);
-                        let registry = registry_accept.clone();
-                        let metrics = metrics.clone();
-                        metrics.connections.inc();
+                        let m = &accept_shared.metrics;
+                        // Shed before spawning a handler: over-budget
+                        // connections get the typed BUSY frame and are
+                        // closed, protecting the connections already
+                        // being served.
+                        if m.connections_active.get() as usize >= max_connections {
+                            m.shed.inc();
+                            let mut w = BufWriter::new(stream);
+                            let _ = write_busy(&mut w);
+                            continue; // dropping `w` closes the socket
+                        }
+                        m.connections.inc();
+                        // The gauge moves in the accept loop (not the
+                        // handler) so the shed check above never races a
+                        // handler that has not started yet.
+                        m.connections_active.add(1);
+                        let shared = Arc::clone(&accept_shared);
                         // Handlers are detached: a worker blocked reading
                         // from a still-connected client must not hold up
                         // shutdown; it polls the stop flag and exits.
                         std::thread::spawn(move || {
-                            metrics.connections_active.add(1);
-                            let _ = handle_connection(
-                                stream,
-                                &sched,
-                                &serialized,
-                                &stop,
-                                read_timeout,
-                                &registry,
-                                &metrics,
-                            );
-                            metrics.connections_active.sub(1);
+                            let _ = handle_connection(stream, &shared);
+                            shared.metrics.connections_active.sub(1);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -166,19 +211,10 @@ impl InferenceServer {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn handle_connection(
-    stream: TcpStream,
-    sched: &Scheduler,
-    serialized_tokenizer: &str,
-    stop: &AtomicBool,
-    read_timeout: Duration,
-    registry: &Registry,
-    metrics: &ServerMetrics,
-) -> std::io::Result<()> {
+fn handle_connection(stream: TcpStream, shared: &ConnShared) -> std::io::Result<()> {
     // Short socket timeout so reads poll the stop flag; `read_timeout` is
     // enforced on top as an idle budget between complete requests.
-    stream.set_read_timeout(Some(READ_POLL.min(read_timeout)))?;
+    stream.set_read_timeout(Some(READ_POLL.min(shared.read_timeout)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
@@ -190,15 +226,37 @@ fn handle_connection(
             Ok(_) => {
                 idle = Duration::ZERO;
                 let start = Instant::now();
+                let ordinal = shared.next_request.fetch_add(1, Ordering::SeqCst) + 1;
+                match shared.faults.action(ordinal) {
+                    Some(FaultAction::Drop) => {
+                        shared.metrics.faults_injected.inc();
+                        return Ok(()); // close without replying
+                    }
+                    Some(FaultAction::Stall(d)) => {
+                        shared.metrics.faults_injected.inc();
+                        std::thread::sleep(d);
+                    }
+                    Some(FaultAction::Garble) => {
+                        shared.metrics.faults_injected.inc();
+                        // A frame that parses as no known reply: the
+                        // client must treat the stream as unusable.
+                        writeln!(writer, "LOGITS 1 not-hex")?;
+                        writer.flush()?;
+                        line.clear();
+                        continue;
+                    }
+                    None => {}
+                }
                 let done = respond(
                     line.trim_end(),
                     &mut writer,
-                    sched,
-                    serialized_tokenizer,
-                    registry,
+                    &shared.sched,
+                    &shared.serialized_tokenizer,
+                    &shared.registry,
                 )?;
-                metrics.requests.inc();
-                metrics
+                shared.metrics.requests.inc();
+                shared
+                    .metrics
                     .request_latency_us
                     .record(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                 line.clear();
@@ -214,11 +272,11 @@ fn handle_connection(
             {
                 // Timed-out reads keep any partial line buffered in
                 // `line`; the next pass appends the rest.
-                if stop.load(Ordering::SeqCst) {
+                if shared.stop.load(Ordering::SeqCst) {
                     return Ok(()); // server shutting down
                 }
                 idle += before.elapsed();
-                if idle >= read_timeout {
+                if idle >= shared.read_timeout {
                     return Ok(()); // idle connection dropped
                 }
             }
@@ -264,10 +322,10 @@ fn respond<W: Write>(
             check_ids(&ids, sched.vocab().len())?;
             Ok(ids)
         }) {
-            Ok(ids) => {
-                let logits = sched.score(&ids);
-                write_logits(writer, &logits)?;
-            }
+            Ok(ids) => match sched.try_score(&ids) {
+                Ok(logits) => write_logits(writer, &logits)?,
+                Err(e) => write_model_error(writer, &e)?,
+            },
             Err(msg) => {
                 writeln!(writer, "ERR {msg}")?;
                 writer.flush()?;
@@ -284,8 +342,14 @@ fn respond<W: Write>(
         }) {
             Ok(contexts) => {
                 let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
-                let all = sched.score_many(&refs);
-                write_batch_logits(writer, &all)?;
+                let results = sched.try_score_many(&refs);
+                // The wire batch reply is all-or-nothing; if any item
+                // failed (after the scheduler's own per-item recovery),
+                // fail the frame and let the client retry it whole.
+                match results.into_iter().collect::<Result<Vec<_>, _>>() {
+                    Ok(all) => write_batch_logits(writer, &all)?,
+                    Err(e) => write_model_error(writer, &e)?,
+                }
             }
             Err(msg) => {
                 writeln!(writer, "ERR {msg}")?;
@@ -297,6 +361,17 @@ fn respond<W: Write>(
     writeln!(writer, "ERR unknown command {line:?}")?;
     writer.flush()?;
     Ok(false)
+}
+
+/// Maps a model-side failure onto the wire: transient failures (and
+/// expired deadlines — the backend may merely be slow) become a `RETRY`
+/// frame the client treats as retryable; fatal ones become `ERR`.
+fn write_model_error<W: Write>(writer: &mut W, e: &LmError) -> std::io::Result<()> {
+    match e {
+        LmError::Fatal { .. } => writeln!(writer, "ERR {e}")?,
+        _ => writeln!(writer, "RETRY {e}")?,
+    }
+    writer.flush()
 }
 
 /// A running server: its address and a way to stop it.

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full verification: formatting, lints, release build, tests.
 #
-# Usage: scripts/verify.sh [--slow | --quick]
+# Usage: scripts/verify.sh [--slow | --quick | --chaos]
 #   --slow    also runs the proptest suites (slow-tests feature)
 #   --quick   build + tests only (skips rustfmt/clippy; useful where the
 #             toolchain components are not installed)
+#   --chaos   fault-injection suites only (deterministic seeds, offline):
+#             chaos determinism, engine chaos, server fault tolerance,
+#             scheduler fault handling
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,11 +16,24 @@ case "${1:-}" in
     "") ;;
     --slow) MODE=slow ;;
     --quick) MODE=quick ;;
+    --chaos) MODE=chaos ;;
     *)
-        echo "usage: scripts/verify.sh [--slow | --quick]" >&2
+        echo "usage: scripts/verify.sh [--slow | --quick | --chaos]" >&2
         exit 2
         ;;
 esac
+
+if [[ "$MODE" == chaos ]]; then
+    echo "==> fault-injection suites (deterministic seeds)"
+    cargo test -q -p lmql-repro --test chaos_determinism
+    cargo test -q -p lmql-engine --test chaos
+    cargo test -q -p lmql-server --test fault_tolerance
+    cargo test -q -p lmql-engine --lib sched
+    cargo test -q -p lmql-lm --lib retry
+    cargo test -q -p lmql-lm --lib chaos
+    echo "==> OK"
+    exit 0
+fi
 
 FEATURES=()
 if [[ "$MODE" == slow ]]; then

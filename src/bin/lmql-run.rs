@@ -7,7 +7,8 @@
 //!     [--model ngram|script:<trigger>=<completion>] \
 //!     [--bind NAME=VALUE]… [--engine exact|symbolic] \
 //!     [--seed N] [--max-tokens N] [--trace] \
-//!     [--trace-json <path>] [--metrics]
+//!     [--trace-json <path>] [--metrics] \
+//!     [--retries N] [--timeout-ms N] [--chaos <seed>]
 //! ```
 //!
 //! `--trace` prints the decoder graph plus the runtime's span trace
@@ -15,6 +16,13 @@
 //! writes the same spans as Chrome-trace JSON — load it in
 //! `chrome://tracing` or Perfetto. `--metrics` prints the full metrics
 //! registry (counter/gauge/histogram lines) after the run.
+//!
+//! `--chaos <seed>` wraps the model in a seeded [`ChaosLm`] injecting
+//! transient faults into ~20% of score calls; a retry layer absorbs
+//! them, so the output is byte-identical to the fault-free run.
+//! `--retries` and `--timeout-ms` tune that layer's budget and
+//! per-request deadline (both also work without `--chaos`, e.g. against
+//! a flaky scripted backend).
 //!
 //! Example:
 //!
@@ -28,9 +36,10 @@
 
 use lmql::constraints::MaskEngine;
 use lmql::{Runtime, Value};
-use lmql_lm::{corpus, Episode, ScriptedLm};
+use lmql_lm::{corpus, ChaosLm, ChaosStats, Episode, FaultPlan, RetryLm, RetryPolicy, ScriptedLm};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     query_path: String,
@@ -43,6 +52,9 @@ struct Args {
     trace_json: Option<String>,
     metrics: bool,
     format: bool,
+    retries: Option<u32>,
+    timeout_ms: Option<u64>,
+    chaos: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +70,9 @@ fn parse_args() -> Result<Args, String> {
         trace_json: None,
         metrics: false,
         format: false,
+        retries: None,
+        timeout_ms: None,
+        chaos: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -92,12 +107,33 @@ fn parse_args() -> Result<Args, String> {
             }
             "--metrics" => out.metrics = true,
             "--format" => out.format = true,
+            "--retries" => {
+                out.retries = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--retries takes a number")?,
+                )
+            }
+            "--timeout-ms" => {
+                out.timeout_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--timeout-ms takes a number")?,
+                )
+            }
+            "--chaos" => {
+                out.chaos = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--chaos takes a seed")?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: lmql-run <query.lmql> [--model ngram|script:<trigger>=<completion>] \
                             [--bind NAME=VALUE]… [--engine exact|symbolic] [--seed N] \
                             [--max-tokens N] [--trace] [--trace-json <path>] [--metrics] \
-                            [--format]"
+                            [--format] [--retries N] [--timeout-ms N] [--chaos <seed>]"
                         .to_owned(),
                 )
             }
@@ -152,6 +188,28 @@ fn run() -> Result<(), String> {
         ));
     };
 
+    // Fault-tolerance layers: `--chaos` injects seeded faults under the
+    // retry layer; `--retries`/`--timeout-ms` tune that layer. Any of the
+    // three flags switches the retrying wrapper on.
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = args.retries {
+        policy.max_retries = n;
+    }
+    if let Some(ms) = args.timeout_ms {
+        policy.deadline = Some(Duration::from_millis(ms));
+    }
+    let fault_layer = args.chaos.is_some() || args.retries.is_some() || args.timeout_ms.is_some();
+    let mut chaos_stats: Option<ChaosStats> = None;
+    let lm: Arc<dyn lmql_lm::LanguageModel> = if let Some(seed) = args.chaos {
+        let chaos = ChaosLm::new(lm, FaultPlan::transient(seed, 0.2));
+        chaos_stats = Some(chaos.stats().clone());
+        Arc::new(RetryLm::new(chaos, policy))
+    } else if fault_layer {
+        Arc::new(RetryLm::new(lm, policy))
+    } else {
+        lm
+    };
+
     let mut runtime = Runtime::new(lm, bpe);
     runtime.options_mut().engine = args.engine;
     runtime.options_mut().seed = args.seed;
@@ -193,6 +251,16 @@ fn run() -> Result<(), String> {
     if args.metrics {
         println!("--- metrics ---");
         print!("{}", registry.snapshot().render_text());
+    }
+
+    if let Some(stats) = &chaos_stats {
+        println!(
+            "--- chaos: {} faults injected ({} errors, {} truncations, {} latency spikes) — all absorbed ---",
+            stats.total_faults(),
+            stats.errors.get(),
+            stats.truncations.get(),
+            stats.latency_spikes.get()
+        );
     }
 
     let usage = runtime.meter().snapshot();

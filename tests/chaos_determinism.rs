@@ -1,0 +1,79 @@
+//! The PR's acceptance bar: with [`ChaosLm`] injecting transient faults
+//! into ~20% of score calls (fixed seed), example queries under both
+//! `argmax` and `sample(n)` decoding produce *byte-identical* output to
+//! the fault-free run once a [`RetryLm`] absorbs the faults.
+//!
+//! "Byte-identical" is checked on the full `Debug` rendering of every
+//! run's trace and log-probability (f64 `Debug` is shortest-roundtrip,
+//! so equal strings mean equal bits).
+
+use lmql::Runtime;
+use lmql_lm::{corpus, ChaosLm, FaultPlan, LanguageModel, RetryLm, RetryPolicy};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ARGMAX_QUERY: &str = "argmax\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"m\"\nwhere stops_at(THING, \"\\n\")\n";
+const SAMPLE_QUERY: &str = "sample(n=2, temperature=1.2)\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"m\"\nwhere stops_at(THING, \"\\n\")\n";
+
+/// Retries with sub-millisecond backoff: enough budget to out-last any
+/// fault streak the 20% plan produces, fast enough for CI.
+fn chaos_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 12,
+        base_backoff: Duration::from_micros(100),
+        max_backoff: Duration::from_millis(1),
+        jitter: 0.5,
+        seed: 5,
+        deadline: None,
+    }
+}
+
+/// Runs `query` at `seed` on `lm` and renders every run byte-exactly.
+fn run_rendered(lm: Arc<dyn LanguageModel>, query: &str, seed: u64) -> String {
+    let bpe = corpus::standard_bpe();
+    let mut rt = Runtime::new(lm, bpe);
+    rt.options_mut().seed = seed;
+    let result = rt.run(query).expect("query must succeed");
+    result
+        .runs
+        .iter()
+        .map(|r| format!("{:?} {:?}\n", r.trace, r.log_prob))
+        .collect()
+}
+
+fn chaos_model(chaos_seed: u64) -> Arc<dyn LanguageModel> {
+    let chaos = ChaosLm::new(
+        corpus::standard_ngram(),
+        FaultPlan::transient(chaos_seed, 0.2),
+    );
+    Arc::new(RetryLm::new(chaos, chaos_retry()))
+}
+
+#[test]
+fn argmax_is_byte_identical_under_chaos() {
+    let reference = run_rendered(corpus::standard_ngram(), ARGMAX_QUERY, 1);
+    // Chaos seed chosen so the plan actually fires on this query's small
+    // call count (seed 6 injects errors *and* a truncated reply here).
+    let chaos = ChaosLm::new(corpus::standard_ngram(), FaultPlan::transient(6, 0.2));
+    let stats = chaos.stats().clone();
+    let lm: Arc<dyn LanguageModel> = Arc::new(RetryLm::new(chaos, chaos_retry()));
+    let under_chaos = run_rendered(lm, ARGMAX_QUERY, 1);
+    assert!(stats.total_faults() > 0, "the fault plan must fire");
+    assert_eq!(under_chaos, reference);
+}
+
+#[test]
+fn sample_n_is_byte_identical_under_chaos() {
+    for seed in [1, 2, 3] {
+        let reference = run_rendered(corpus::standard_ngram(), SAMPLE_QUERY, seed);
+        let under_chaos = run_rendered(chaos_model(13 + seed), SAMPLE_QUERY, seed);
+        assert_eq!(under_chaos, reference, "decoder seed {seed}");
+    }
+}
+
+#[test]
+fn chaos_runs_replay_identically() {
+    let once = run_rendered(chaos_model(21), SAMPLE_QUERY, 4);
+    let twice = run_rendered(chaos_model(21), SAMPLE_QUERY, 4);
+    assert_eq!(once, twice, "same chaos seed, same output bytes");
+}

@@ -109,6 +109,36 @@ fn ngram_model_runs_builtin_corpus_queries() {
 }
 
 #[test]
+fn chaos_flag_injects_absorbed_faults() {
+    let q = write_query(
+        "chaos.lmql",
+        "argmax\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"ngram\"\nwhere stops_at(THING, \"\\n\")\n",
+    );
+    let clean = lmql_run().arg(&q).output().unwrap();
+    assert!(clean.status.success(), "{clean:?}");
+    let chaotic = lmql_run()
+        .arg(&q)
+        .args(["--chaos", "6", "--retries", "8", "--timeout-ms", "5000"])
+        .output()
+        .unwrap();
+    assert!(chaotic.status.success(), "{chaotic:?}");
+    let clean = String::from_utf8(clean.stdout).unwrap();
+    let chaotic = String::from_utf8(chaotic.stdout).unwrap();
+    let line = chaotic
+        .lines()
+        .find(|l| l.contains("--- chaos:"))
+        .expect("chaos summary line");
+    assert!(!line.contains("0 faults injected"), "{line}");
+    // Everything except the chaos summary is byte-identical.
+    let without_summary: String = chaotic
+        .lines()
+        .filter(|l| !l.contains("--- chaos:"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(without_summary, clean);
+}
+
+#[test]
 fn format_flag_pretty_prints() {
     let q = write_query(
         "fmt.lmql",
