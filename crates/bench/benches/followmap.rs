@@ -2,10 +2,11 @@
 //! how mask generation scales with constraint composition depth.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lmql::constraints::{MaskEngine, Masker};
+use lmql::constraints::{MaskConfig, MaskEngine, MaskMemo, Masker};
 use lmql_lm::corpus;
 use lmql_syntax::parse_expr;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 fn bench_cache_warmth(c: &mut Criterion) {
     let bpe = corpus::standard_bpe();
@@ -49,5 +50,35 @@ fn bench_composition_depth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cache_warmth, bench_composition_depth);
+/// Memoized mask lookup against full recomputation: `memo_miss` builds a
+/// masker whose memo is disabled (every compute walks the FollowMap),
+/// `memo_hit` serves the same decode state from a warm shared [`MaskMemo`]
+/// — the cross-query path the engine scheduler uses.
+fn bench_memoization(c: &mut Criterion) {
+    let bpe = corpus::standard_bpe();
+    let expr = parse_expr("not \"\\n\" in X and not \"Pick\" in X and stops_at(X, \".\")").unwrap();
+    let scope = HashMap::new();
+    let value = "some reasoning";
+
+    c.bench_function("followmap_memo_miss", |b| {
+        let mut masker =
+            Masker::new(MaskEngine::Symbolic, bpe.clone()).with_config(MaskConfig::reference());
+        let _ = masker.compute(Some(&expr), &scope, "X", value);
+        b.iter(|| masker.compute(Some(&expr), &scope, "X", value))
+    });
+    c.bench_function("followmap_memo_hit", |b| {
+        let memo = MaskMemo::new(256);
+        let mut masker =
+            Masker::new(MaskEngine::Symbolic, bpe.clone()).with_memo(Arc::clone(&memo));
+        let _ = masker.compute(Some(&expr), &scope, "X", value);
+        b.iter(|| masker.compute(Some(&expr), &scope, "X", value))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_warmth,
+    bench_composition_depth,
+    bench_memoization
+);
 criterion_main!(benches);

@@ -2,10 +2,42 @@
 //! engine (§5.2), across constraint families and value lengths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lmql::constraints::{MaskEngine, Masker};
+use lmql::constraints::{MaskConfig, MaskEngine, Masker, ParallelScan, VocabSource};
 use lmql_lm::corpus;
 use lmql_syntax::parse_expr;
+use lmql_tokenizer::Vocabulary;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A bare synthetic vocabulary as a mask source (no BPE machinery).
+#[derive(Debug)]
+struct RawVocab(Vocabulary);
+
+impl VocabSource for RawVocab {
+    fn vocabulary(&self) -> &Vocabulary {
+        &self.0
+    }
+}
+
+/// Builds a deterministic `n`-token vocabulary with realistic variety:
+/// words, numerals, punctuation-bearing and whitespace-prefixed tokens.
+fn synthetic_vocab(n: usize) -> Arc<RawVocab> {
+    let toks: Vec<String> = (0..n)
+        .map(|i| match i % 8 {
+            0 => format!("tok{i}"),
+            1 => format!(" word{i}"),
+            2 => format!("{i}"),
+            3 => format!("x{i}."),
+            4 => format!(" {i}"),
+            5 => format!("ab{i}"),
+            6 => format!("{i}\n"),
+            _ => format!("q{i}!"),
+        })
+        .collect();
+    Arc::new(RawVocab(Vocabulary::from_tokens(
+        toks.iter().map(String::as_str),
+    )))
+}
 
 fn bench_engines(c: &mut Criterion) {
     let bpe = corpus::standard_bpe();
@@ -71,5 +103,80 @@ fn bench_value_length_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_value_length_scaling);
+/// The tentpole ablation: reference (no memo, sequential scans) against
+/// the accelerated configurations on a vocabulary large enough (12k
+/// tokens) that per-step scans dominate. The `steady` workload repeats
+/// one decode state per iteration — the memoized configs serve it from
+/// the LRU after the first compute, which is exactly the shape beam
+/// search and repeated engine queries produce.
+fn bench_large_vocab_configs(c: &mut Criterion) {
+    let vocab = synthetic_vocab(12_000);
+    let expr =
+        parse_expr("not \"\\n\" in X and stops_at(X, \".\") and len(words(X)) < 40").unwrap();
+    let scope = HashMap::new();
+    let value = "some reasoning text so far";
+
+    let configs: [(&str, MaskConfig); 3] = [
+        ("reference", MaskConfig::reference()),
+        (
+            "parallel",
+            MaskConfig {
+                memo: false,
+                parallel: ParallelScan::Auto,
+                ..MaskConfig::default()
+            },
+        ),
+        ("memo+parallel", MaskConfig::default()),
+    ];
+
+    let mut group = c.benchmark_group("mask_vocab12k_steady");
+    for engine in [MaskEngine::Exact, MaskEngine::Symbolic] {
+        for (name, config) in &configs {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), name),
+                &expr,
+                |b, expr| {
+                    let mut masker = Masker::new(engine, vocab.clone()).with_config(*config);
+                    let _ = masker.compute(Some(expr), &scope, "X", value);
+                    b.iter(|| masker.compute(Some(expr), &scope, "X", value));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // `advancing` makes every step's value unique (a step counter is
+    // spliced in), so the memo never hits and the configs should be
+    // within noise of one another on a single-core machine (any win
+    // comes from parallel scans and pooled scratch).
+    let mut group = c.benchmark_group("mask_vocab12k_advancing");
+    for engine in [MaskEngine::Exact, MaskEngine::Symbolic] {
+        for (name, config) in &configs {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), name),
+                &expr,
+                |b, expr| {
+                    use std::fmt::Write as _;
+                    let mut masker = Masker::new(engine, vocab.clone()).with_config(*config);
+                    let mut step = 0usize;
+                    let mut value = String::from("some reasoning step ");
+                    b.iter(|| {
+                        step += 1;
+                        value.truncate(20);
+                        let _ = write!(value, "{step}");
+                        masker.compute(Some(expr), &scope, "X", &value)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_value_length_scaling,
+    bench_large_vocab_configs
+);
 criterion_main!(benches);

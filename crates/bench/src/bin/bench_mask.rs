@@ -1,0 +1,198 @@
+//! Mask-generation benchmark: steps/sec and allocations/step for the
+//! reference configuration (no memo, sequential scans) against the
+//! accelerated one (memoized + parallel scans), on a 12k-token
+//! vocabulary. Emits `BENCH_mask.json`.
+//!
+//! Usage: `bench_mask [--out PATH]` (default `BENCH_mask.json`).
+//! `LMQL_BENCH_BUDGET_MS` shrinks the per-scenario budget for CI smoke
+//! runs.
+//!
+//! Two workloads bracket what decoding produces:
+//! - `steady`: the same decode state every step — beam siblings and
+//!   repeated engine queries; this is where the memo pays off.
+//! - `advancing`: the value grows every step, so every state is a memo
+//!   miss and only parallel scans + pooled scratch sets can help.
+
+use lmql::constraints::{MaskConfig, MaskEngine, Masker, VocabSource};
+use lmql_syntax::parse_expr;
+use lmql_tokenizer::Vocabulary;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counts every allocation (and reallocation) made by the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[derive(Debug)]
+struct RawVocab(Vocabulary);
+
+impl VocabSource for RawVocab {
+    fn vocabulary(&self) -> &Vocabulary {
+        &self.0
+    }
+}
+
+const VOCAB_SIZE: usize = 12_000;
+
+fn synthetic_vocab() -> Arc<RawVocab> {
+    let toks: Vec<String> = (0..VOCAB_SIZE)
+        .map(|i| match i % 8 {
+            0 => format!("tok{i}"),
+            1 => format!(" word{i}"),
+            2 => format!("{i}"),
+            3 => format!("x{i}."),
+            4 => format!(" {i}"),
+            5 => format!("ab{i}"),
+            6 => format!("{i}\n"),
+            _ => format!("q{i}!"),
+        })
+        .collect();
+    Arc::new(RawVocab(Vocabulary::from_tokens(
+        toks.iter().map(String::as_str),
+    )))
+}
+
+struct Scenario {
+    engine: MaskEngine,
+    config_name: &'static str,
+    config: MaskConfig,
+    workload: &'static str,
+}
+
+struct Measurement {
+    steps: u64,
+    elapsed: Duration,
+    allocs: u64,
+}
+
+fn run_scenario(s: &Scenario, vocab: &Arc<RawVocab>, budget: Duration) -> Measurement {
+    let expr =
+        parse_expr("not \"\\n\" in X and stops_at(X, \".\") and len(words(X)) < 40").unwrap();
+    let scope = HashMap::new();
+    let mut masker = Masker::new(s.engine, vocab.clone()).with_config(s.config);
+
+    let mut step = 0u64;
+    let mut value = String::from("some reasoning text so far");
+    // `advancing` splices the step counter in, so every decode state is
+    // unique and the memo never hits; `steady` replays one state.
+    let advance = |step: u64, value: &mut String| {
+        if s.workload == "advancing" {
+            use std::fmt::Write as _;
+            value.truncate(26);
+            let _ = write!(value, " {step}");
+        }
+    };
+
+    // Warm-up: scan caches, thread-pool first-touch, memo population for
+    // the steady workload.
+    for _ in 0..3 {
+        step += 1;
+        advance(step, &mut value);
+        std::hint::black_box(masker.compute(Some(&expr), &scope, "X", &value));
+    }
+
+    let alloc_start = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let mut steps = 0u64;
+    while start.elapsed() < budget {
+        step += 1;
+        advance(step, &mut value);
+        std::hint::black_box(masker.compute(Some(&expr), &scope, "X", &value));
+        steps += 1;
+    }
+    Measurement {
+        steps,
+        elapsed: start.elapsed(),
+        allocs: ALLOCS.load(Ordering::Relaxed) - alloc_start,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_mask.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let budget = Duration::from_millis(
+        std::env::var("LMQL_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(400),
+    );
+
+    let vocab = synthetic_vocab();
+    let mut scenarios = Vec::new();
+    for engine in [MaskEngine::Exact, MaskEngine::Symbolic] {
+        for (config_name, config) in [
+            ("reference", MaskConfig::reference()),
+            ("fast", MaskConfig::default()),
+        ] {
+            for workload in ["steady", "advancing"] {
+                scenarios.push(Scenario {
+                    engine,
+                    config_name,
+                    config,
+                    workload,
+                });
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        let m = run_scenario(s, &vocab, budget);
+        let secs = m.elapsed.as_secs_f64();
+        let steps_per_sec = m.steps as f64 / secs;
+        let ns_per_step = secs * 1e9 / m.steps as f64;
+        let allocs_per_step = m.allocs as f64 / m.steps as f64;
+        println!(
+            "bench: mask/{:?}/{}/{:<9} {:>10.1} steps/s  {:>10.0} ns/step  {:>8.1} allocs/step",
+            s.engine, s.config_name, s.workload, steps_per_sec, ns_per_step, allocs_per_step
+        );
+        rows.push(format!(
+            "    {{\n      \"engine\": \"{:?}\",\n      \"config\": \"{}\",\n      \
+             \"workload\": \"{}\",\n      \"steps_per_sec\": {:.1},\n      \
+             \"ns_per_step\": {:.0},\n      \"allocs_per_step\": {:.1}\n    }}",
+            s.engine, s.config_name, s.workload, steps_per_sec, ns_per_step, allocs_per_step
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"mask\",\n  \"vocab_tokens\": {VOCAB_SIZE},\n  \
+         \"budget_ms\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        budget.as_millis(),
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_mask.json");
+    println!("wrote {out_path}");
+}

@@ -6,12 +6,13 @@
 //! branches into the lookup arm while a `Tho` beam does not). Discarded
 //! beams are pruned and never extended further.
 
-use crate::constraints::Masker;
+use crate::constraints::{fingerprint_scope_full, MaskOutcome, Masker};
 use crate::decode::DecodeOptions;
 use crate::interp::{Externals, Step, VmState};
 use crate::{Error, Program, Result, Value};
 use lmql_lm::LanguageModel;
 use lmql_tokenizer::{Bpe, TokenId, TokenSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Safety cap on beam-search iterations (tokens per beam across the whole
@@ -93,6 +94,11 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
     };
     advance(&mut init, program, externals, bpe)?;
     let mut beams = vec![init];
+    // Per-step mask dedup: beams that have not diverged in (scope, hole,
+    // value) — e.g. right after a fork, before their values differ — share
+    // one mask computation. Keyed on the full scope hash because beams may
+    // follow different control-flow paths with different scopes.
+    let mut step_masks: HashMap<(u64, String, String), MaskOutcome> = HashMap::new();
 
     for _ in 0..MAX_TOTAL_STEPS {
         if beams.iter().all(|b| b.done) {
@@ -100,6 +106,7 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
         }
         // Pass 1: compute every live beam's mask and classify it, so all
         // contexts that need scores this step are known up front.
+        step_masks.clear();
         let mut planned: Vec<Planned> = Vec::with_capacity(beams.len());
         for beam in beams.drain(..) {
             if beam.done {
@@ -107,8 +114,20 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                 continue;
             }
             let (var, value) = beam.hole.clone().expect("active beam has a hole");
-            let outcome =
-                masker.compute(program.where_clause.as_ref(), beam.vm.scope(), &var, &value);
+            let key = (fingerprint_scope_full(beam.vm.scope()), var, value);
+            let outcome = match step_masks.get(&key) {
+                Some(hit) => hit.clone(),
+                None => {
+                    let o = masker.compute(
+                        program.where_clause.as_ref(),
+                        beam.vm.scope(),
+                        &key.1,
+                        &key.2,
+                    );
+                    step_masks.insert(key, o.clone());
+                    o
+                }
+            };
 
             if outcome.must_stop
                 || (outcome.allowed.is_empty() && outcome.eos_allowed)

@@ -105,6 +105,11 @@ pub trait CustomOp: Send + Sync {
 #[derive(Clone, Default)]
 pub struct CustomOps {
     ops: HashMap<String, Arc<dyn CustomOp>>,
+    /// Mask-memo tag: `0` for every empty registry (all empty registries
+    /// are interchangeable), a process-unique value after any `register`.
+    /// Clones keep the tag — two registries with equal generations hold
+    /// identical operators, so memoized masks can be shared across them.
+    generation: u64,
 }
 
 impl std::fmt::Debug for CustomOps {
@@ -131,7 +136,14 @@ impl CustomOps {
             !crate::builtins::BUILTIN_FUNCTIONS.contains(&name),
             "`{name}` is a built-in function and cannot be overridden"
         );
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        self.generation = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.ops.insert(name.to_owned(), op);
+    }
+
+    /// The registry's mask-memo generation tag (see the field docs).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Looks up an operator.

@@ -24,7 +24,7 @@
 use crate::constraints::eval::{eval_final, EvalCtx};
 use crate::Value;
 use lmql_syntax::ast::{CmpOp, Expr};
-use lmql_tokenizer::{TokenSet, TokenTrie, Vocabulary};
+use lmql_tokenizer::{TokenId, TokenSet, TokenTrie, Vocabulary};
 use std::collections::HashMap;
 
 /// The actionable projection of a FollowMap: which tokens force a
@@ -38,16 +38,16 @@ pub(crate) struct FollowSets {
 }
 
 impl FollowSets {
-    fn neutral(len: usize) -> Self {
+    fn neutral(pool: &mut SetPool) -> Self {
         FollowSets {
-            definitely_false: TokenSet::empty(len),
-            definitely_true: TokenSet::empty(len),
+            definitely_false: pool.take_empty(),
+            definitely_true: pool.take_empty(),
         }
     }
 
-    fn constant(len: usize, truth: bool) -> Self {
-        let full = TokenSet::full(len);
-        let empty = TokenSet::empty(len);
+    fn constant(pool: &mut SetPool, truth: bool) -> Self {
+        let full = pool.take_full();
+        let empty = pool.take_empty();
         if truth {
             FollowSets {
                 definitely_false: empty,
@@ -60,6 +60,162 @@ impl FollowSets {
             }
         }
     }
+}
+
+/// A recycling pool of [`TokenSet`] scratch buffers over one vocabulary.
+///
+/// FollowMap composition builds and discards several vocabulary-sized
+/// bitsets per expression node per decoding step; the pool turns those
+/// `empty()`/`full()` allocations into `clear()`/`fill()` reuses of
+/// buffers retired by earlier steps.
+#[derive(Debug)]
+pub(crate) struct SetPool {
+    len: usize,
+    free: Vec<TokenSet>,
+}
+
+impl SetPool {
+    /// Retain at most this many retired buffers (bounds memory at
+    /// `MAX_FREE · |V| / 8` bytes per masker).
+    const MAX_FREE: usize = 32;
+
+    pub(crate) fn new(len: usize) -> Self {
+        SetPool {
+            len,
+            free: Vec::new(),
+        }
+    }
+
+    /// An empty set over the pool's vocabulary, reusing a retired buffer
+    /// when one is available.
+    pub(crate) fn take_empty(&mut self) -> TokenSet {
+        match self.free.pop() {
+            Some(mut s) => {
+                s.clear();
+                s
+            }
+            None => TokenSet::empty(self.len),
+        }
+    }
+
+    /// A full set over the pool's vocabulary.
+    pub(crate) fn take_full(&mut self) -> TokenSet {
+        let mut s = self.take_empty();
+        s.fill();
+        s
+    }
+
+    /// A copy of `other`, reusing a retired buffer when available.
+    pub(crate) fn take_copy(&mut self, other: &TokenSet) -> TokenSet {
+        let mut s = self.take_empty();
+        s.fill_from(other);
+        s
+    }
+
+    /// Retires a buffer for reuse. Sets over a different universe are
+    /// dropped (they cannot be reused here).
+    pub(crate) fn put(&mut self, s: TokenSet) {
+        if s.universe_len() == self.len && self.free.len() < Self::MAX_FREE {
+            self.free.push(s);
+        }
+    }
+
+    /// Retires both sets of a [`FollowSets`].
+    pub(crate) fn put_sets(&mut self, fs: FollowSets) {
+        self.put(fs.definitely_false);
+        self.put(fs.definitely_true);
+    }
+}
+
+/// Scans the vocabulary, calling `classify` on `value·token` for every
+/// regular token and collecting the two verdict bits into `df_words` /
+/// `dt_words` (64 tokens per word, matching [`TokenSet::words_mut`]).
+///
+/// With `threads > 1` the scan is chunked into word-aligned 64-token
+/// ranges distributed over a scoped thread pool; each chunk's bits are
+/// accumulated in a register and stored into its own `u64` word, so
+/// writers never share a word and no synchronisation is needed. The
+/// result is bit-identical to the sequential scan — every token's verdict
+/// is a pure function of `value·token` — only the evaluation order
+/// changes.
+///
+/// Returns the number of word-chunks scanned in parallel (0 for a
+/// sequential scan), for the `mask.scan.parallel_chunks` metric.
+pub(crate) fn scan_vocab<F>(
+    vocab: &Vocabulary,
+    value: &str,
+    threads: usize,
+    df_words: &mut [u64],
+    dt_words: &mut [u64],
+    classify: &F,
+) -> u64
+where
+    F: Fn(&str) -> (bool, bool) + Sync,
+{
+    let words = df_words.len();
+    debug_assert_eq!(words, dt_words.len());
+    let vlen = vocab.len();
+
+    // One word-aligned chunk of 64 candidate tokens: builds each
+    // candidate with a rolling truncate-then-push (no per-token String),
+    // accumulates the verdict bits, and stores them as one word.
+    let scan_word = |word: usize, candidate: &mut String, base: usize| -> (u64, u64) {
+        let (mut df_bits, mut dt_bits) = (0u64, 0u64);
+        for bit in 0..64 {
+            let idx = word * 64 + bit;
+            if idx >= vlen {
+                break;
+            }
+            let id = TokenId(idx as u32);
+            if vocab.is_special(id) {
+                continue;
+            }
+            candidate.truncate(base);
+            candidate.push_str(vocab.token_str(id));
+            let (f, t) = classify(candidate);
+            if f {
+                df_bits |= 1 << bit;
+            }
+            if t {
+                dt_bits |= 1 << bit;
+            }
+        }
+        (df_bits, dt_bits)
+    };
+
+    if threads <= 1 || words <= 1 {
+        let mut candidate = String::with_capacity(value.len() + 24);
+        candidate.push_str(value);
+        let base = candidate.len();
+        for word in 0..words {
+            let (df, dt) = scan_word(word, &mut candidate, base);
+            df_words[word] = df;
+            dt_words[word] = dt;
+        }
+        return 0;
+    }
+
+    let chunk = words.div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        for (i, (dfc, dtc)) in df_words
+            .chunks_mut(chunk)
+            .zip(dt_words.chunks_mut(chunk))
+            .enumerate()
+        {
+            let scan_word = &scan_word;
+            s.spawn(move || {
+                let mut candidate = String::with_capacity(value.len() + 24);
+                candidate.push_str(value);
+                let base = candidate.len();
+                for (w, (dfw, dtw)) in dfc.iter_mut().zip(dtc.iter_mut()).enumerate() {
+                    let (df, dt) = scan_word(i * chunk + w, &mut candidate, base);
+                    *dfw = df;
+                    *dtw = dt;
+                }
+            });
+        }
+    });
+    words as u64
 }
 
 /// Reusable vocabulary-scan caches; needle scans are O(|V|·|token|) and
@@ -82,15 +238,18 @@ pub(crate) struct ScanCache {
 
 impl ScanCache {
     pub(crate) fn tokens_containing(&mut self, vocab: &Vocabulary, needle: &str) -> &TokenSet {
-        self.contains.entry(needle.to_owned()).or_insert_with(|| {
-            TokenSet::from_ids(
+        // Hit path allocates nothing (`entry` would clone the needle).
+        if !self.contains.contains_key(needle) {
+            let set = TokenSet::from_ids(
                 vocab.len(),
                 vocab
                     .regular_tokens()
                     .filter(|(_, s)| s.contains(needle))
                     .map(|(id, _)| id),
-            )
-        })
+            );
+            self.contains.insert(needle.to_owned(), set);
+        }
+        &self.contains[needle]
     }
 
     pub(crate) fn tokens_containing_beyond(
@@ -98,17 +257,17 @@ impl ScanCache {
         vocab: &Vocabulary,
         needle: &str,
     ) -> &TokenSet {
-        self.contains_beyond
-            .entry(needle.to_owned())
-            .or_insert_with(|| {
-                TokenSet::from_ids(
-                    vocab.len(),
-                    vocab
-                        .regular_tokens()
-                        .filter(|(_, s)| s.contains(needle) && !s.ends_with(needle))
-                        .map(|(id, _)| id),
-                )
-            })
+        if !self.contains_beyond.contains_key(needle) {
+            let set = TokenSet::from_ids(
+                vocab.len(),
+                vocab
+                    .regular_tokens()
+                    .filter(|(_, s)| s.contains(needle) && !s.ends_with(needle))
+                    .map(|(id, _)| id),
+            );
+            self.contains_beyond.insert(needle.to_owned(), set);
+        }
+        &self.contains_beyond[needle]
     }
 
     pub(crate) fn digit_only(&mut self, vocab: &Vocabulary) -> &TokenSet {
@@ -180,6 +339,12 @@ pub(crate) struct FollowCtx<'a> {
     pub trie: &'a TokenTrie,
     pub cache: &'a mut ScanCache,
     pub custom: Option<&'a crate::constraints::CustomOps>,
+    /// Scratch-set pool shared with the masker.
+    pub pool: &'a mut SetPool,
+    /// Thread count for generic vocabulary scans (`<= 1` = sequential).
+    pub threads: usize,
+    /// Accumulates word-chunks scanned in parallel (metric output).
+    pub parallel_chunks: u64,
 }
 
 impl FollowCtx<'_> {
@@ -192,10 +357,6 @@ impl FollowCtx<'_> {
             custom: self.custom,
         }
     }
-
-    fn vlen(&self) -> usize {
-        self.vocab.len()
-    }
 }
 
 /// Computes the FOLLOW sets of `expr` (the recursive `Follow[·]` operator).
@@ -204,32 +365,31 @@ pub(crate) fn follow_sets(expr: &Expr, ctx: &mut FollowCtx<'_>) -> FollowSets {
     // verdict on the current value, every token inherits it.
     let now = eval_final(expr, &ctx.eval_ctx());
     if now.is_definitely_true() {
-        return FollowSets::constant(ctx.vlen(), true);
+        return FollowSets::constant(ctx.pool, true);
     }
     if now.is_definitely_false() {
-        return FollowSets::constant(ctx.vlen(), false);
+        return FollowSets::constant(ctx.pool, false);
     }
 
     match expr {
         Expr::BoolOp { and, operands, .. } => {
-            let parts: Vec<FollowSets> = operands.iter().map(|o| follow_sets(o, ctx)).collect();
-            let mut df;
-            let mut dt;
-            if *and {
-                // a∧b is FIN(⊥) if any conjunct is; FIN(⊤) if all are.
-                df = TokenSet::empty(ctx.vlen());
-                dt = TokenSet::full(ctx.vlen());
-                for p in &parts {
+            // a∧b is FIN(⊥) if any conjunct is; FIN(⊤) if all are (dual
+            // for ∨). Fold incrementally, retiring each part to the pool.
+            let (mut df, mut dt) = if *and {
+                (ctx.pool.take_empty(), ctx.pool.take_full())
+            } else {
+                (ctx.pool.take_full(), ctx.pool.take_empty())
+            };
+            for o in operands {
+                let p = follow_sets(o, ctx);
+                if *and {
                     df.union_with(&p.definitely_false);
                     dt.intersect_with(&p.definitely_true);
-                }
-            } else {
-                df = TokenSet::full(ctx.vlen());
-                dt = TokenSet::empty(ctx.vlen());
-                for p in &parts {
+                } else {
                     df.intersect_with(&p.definitely_false);
                     dt.union_with(&p.definitely_true);
                 }
+                ctx.pool.put_sets(p);
             }
             FollowSets {
                 definitely_false: df,
@@ -255,31 +415,33 @@ fn leaf_follow_sets(expr: &Expr, ctx: &mut FollowCtx<'_>) -> FollowSets {
         return fs;
     }
     // Generic fallback: evaluate this leaf for every candidate token.
-    // Sound and complete for one-token lookahead, just not O(1).
-    let len = ctx.vlen();
-    let mut df = TokenSet::empty(len);
-    let mut dt = TokenSet::empty(len);
-    let mut candidate = String::with_capacity(ctx.value.len() + 16);
-    for (id, tok) in ctx.vocab.regular_tokens() {
-        candidate.clear();
-        candidate.push_str(ctx.value);
-        candidate.push_str(tok);
+    // Sound and complete for one-token lookahead, just not O(1); the
+    // scan is chunked across threads when the masker enables it.
+    let mut df = ctx.pool.take_empty();
+    let mut dt = ctx.pool.take_empty();
+    let (scope, var, custom, vocab) = (ctx.scope, ctx.var, ctx.custom, ctx.vocab);
+    let classify = |candidate: &str| {
         let fv = eval_final(
             expr,
             &EvalCtx {
-                scope: ctx.scope,
-                var: ctx.var,
-                value: &candidate,
+                scope,
+                var,
+                value: candidate,
                 var_final: false,
-                custom: ctx.custom,
+                custom,
             },
         );
-        if fv.is_definitely_false() {
-            df.insert(id);
-        } else if fv.is_definitely_true() {
-            dt.insert(id);
-        }
-    }
+        let f = fv.is_definitely_false();
+        (f, !f && fv.is_definitely_true())
+    };
+    ctx.parallel_chunks += scan_vocab(
+        vocab,
+        ctx.value,
+        ctx.threads,
+        df.words_mut(),
+        dt.words_mut(),
+        &classify,
+    );
     FollowSets {
         definitely_false: df,
         definitely_true: dt,
@@ -290,10 +452,10 @@ fn leaf_follow_sets(expr: &Expr, ctx: &mut FollowCtx<'_>) -> FollowSets {
 /// recognised.
 fn fast_path(expr: &Expr, ctx: &mut FollowCtx<'_>) -> Option<FollowSets> {
     match expr {
-        Expr::Bool { value, .. } => Some(FollowSets::constant(ctx.vlen(), *value)),
+        Expr::Bool { value, .. } => Some(FollowSets::constant(ctx.pool, *value)),
         // stops_at never constrains validity (its FOLLOW value is ⊤-ish).
         Expr::Call { func, .. } if matches!(func.as_ref(), Expr::Name { name, .. } if name == "stops_at") => {
-            Some(FollowSets::neutral(ctx.vlen()))
+            Some(FollowSets::neutral(ctx.pool))
         }
         // Custom operator with a follow fast path, called on the current
         // hole variable (Appendix A.1).
@@ -312,10 +474,11 @@ fn fast_path(expr: &Expr, ctx: &mut FollowCtx<'_>) -> Option<FollowSets> {
                 vocab: ctx.vocab,
                 trie: ctx.trie,
             };
-            let allowed = op.follow_allowed(&view)?;
+            let mut df = op.follow_allowed(&view)?;
+            df.complement_in_place();
             Some(FollowSets {
-                definitely_false: allowed.complement(),
-                definitely_true: TokenSet::empty(ctx.vlen()),
+                definitely_false: df,
+                definitely_true: ctx.pool.take_empty(),
             })
         }
         // int(VAR): only integer-shaped tokens keep the constraint alive.
@@ -324,13 +487,15 @@ fn fast_path(expr: &Expr, ctx: &mut FollowCtx<'_>) -> Option<FollowSets> {
                 && matches!(args.first(), Some(Expr::Name { name, .. }) if name == ctx.var) =>
         {
             let allowed = if ctx.value.trim().is_empty() {
-                ctx.cache.int_start(ctx.vocab).clone()
+                ctx.cache.int_start(ctx.vocab)
             } else {
-                ctx.cache.digit_only(ctx.vocab).clone()
+                ctx.cache.digit_only(ctx.vocab)
             };
+            let mut df = ctx.pool.take_copy(allowed);
+            df.complement_in_place();
             Some(FollowSets {
-                definitely_false: allowed.complement(),
-                definitely_true: TokenSet::empty(ctx.vlen()),
+                definitely_false: df,
+                definitely_true: ctx.pool.take_empty(),
             })
         }
         Expr::Compare {
@@ -439,7 +604,7 @@ fn compare_fast_path(
         // VAR in ["opt1", "opt2", …]  (Table 2: `x in l`)
         CmpOp::In if is_cur_var(left) => {
             if let Some(options) = const_str_list(right) {
-                let mut allowed = TokenSet::empty(ctx.vlen());
+                let mut allowed = ctx.pool.take_empty();
                 for opt in &options {
                     if let Some(rem) = opt.strip_prefix(ctx.value) {
                         if !rem.is_empty() {
@@ -447,14 +612,15 @@ fn compare_fast_path(
                         }
                     }
                 }
+                allowed.complement_in_place();
                 return Some(FollowSets {
-                    definitely_false: allowed.complement(),
-                    definitely_true: TokenSet::empty(ctx.vlen()),
+                    definitely_false: allowed,
+                    definitely_true: ctx.pool.take_empty(),
                 });
             }
             // VAR in "haystack": v·t must remain a substring.
             if let Some(hay) = const_str(right) {
-                let mut allowed = TokenSet::empty(ctx.vlen());
+                let mut allowed = ctx.pool.take_empty();
                 if ctx.value.is_empty() {
                     for (start, _) in hay.char_indices() {
                         for t in ctx.trie.prefixes_of(&hay[start..]) {
@@ -471,9 +637,10 @@ fn compare_fast_path(
                         from += pos + 1;
                     }
                 }
+                allowed.complement_in_place();
                 return Some(FollowSets {
-                    definitely_false: allowed.complement(),
-                    definitely_true: TokenSet::empty(ctx.vlen()),
+                    definitely_false: allowed,
+                    definitely_true: ctx.pool.take_empty(),
                 });
             }
             None
@@ -483,7 +650,9 @@ fn compare_fast_path(
         // needle are FIN(⊤); absence is never final.
         CmpOp::In if is_cur_var(right) => {
             let needle = const_str(left)?;
-            let mut dt = ctx.cache.tokens_containing(ctx.vocab, &needle).clone();
+            let mut dt = ctx
+                .pool
+                .take_copy(ctx.cache.tokens_containing(ctx.vocab, &needle));
             // Cross-boundary completions: the value ends with a proper
             // prefix of the needle and the token starts with the rest.
             for (k, _) in needle.char_indices().skip(1) {
@@ -494,7 +663,7 @@ fn compare_fast_path(
                 }
             }
             Some(FollowSets {
-                definitely_false: TokenSet::empty(ctx.vlen()),
+                definitely_false: ctx.pool.take_empty(),
                 definitely_true: dt,
             })
         }
@@ -511,14 +680,15 @@ fn compare_fast_path(
             let _ = var_side;
             let target = const_str(const_side)?;
             let rem = target.strip_prefix(ctx.value)?;
-            let allowed = if rem.is_empty() {
-                TokenSet::empty(ctx.vlen())
+            let mut df = if rem.is_empty() {
+                ctx.pool.take_empty()
             } else {
                 ctx.trie.aligned_with(rem, false)
             };
+            df.complement_in_place();
             Some(FollowSets {
-                definitely_false: allowed.complement(),
-                definitely_true: TokenSet::empty(ctx.vlen()),
+                definitely_false: df,
+                definitely_true: ctx.pool.take_empty(),
             })
         }
         _ => None,
@@ -528,16 +698,15 @@ fn compare_fast_path(
 /// FOLLOW sets for `metric(VAR) op bound` where the metric is monotone
 /// non-decreasing under token appends.
 fn len_bound_sets(metric: LenMetric, op: CmpOp, bound: i64, ctx: &mut FollowCtx<'_>) -> FollowSets {
-    let vlen = ctx.vlen();
-    let mut df = TokenSet::empty(vlen);
-    let mut dt = TokenSet::empty(vlen);
+    let mut df = ctx.pool.take_empty();
+    let mut dt = ctx.pool.take_empty();
+    let vocab = ctx.vocab;
     match metric {
         LenMetric::Chars => {
             let current = ctx.value.chars().count() as i64;
-            let lens: Vec<u32> = ctx.cache.char_lens(ctx.vocab).to_vec();
-            for (i, &dl) in lens.iter().enumerate() {
-                let id = lmql_tokenizer::TokenId(i as u32);
-                if ctx.vocab.is_special(id) {
+            for (i, &dl) in ctx.cache.char_lens(vocab).iter().enumerate() {
+                let id = TokenId(i as u32);
+                if vocab.is_special(id) {
                     continue;
                 }
                 classify_len(current + dl as i64, op, bound, id, &mut df, &mut dt);
@@ -546,10 +715,9 @@ fn len_bound_sets(metric: LenMetric, op: CmpOp, bound: i64, ctx: &mut FollowCtx<
         LenMetric::Words => {
             let current = ctx.value.split_whitespace().count() as i64;
             let ends_nonws = ctx.value.chars().last().is_some_and(|c| !c.is_whitespace());
-            let stats: Vec<(u32, bool)> = ctx.cache.word_stats(ctx.vocab).to_vec();
-            for (i, &(count_t, starts_nonws)) in stats.iter().enumerate() {
-                let id = lmql_tokenizer::TokenId(i as u32);
-                if ctx.vocab.is_special(id) {
+            for (i, &(count_t, starts_nonws)) in ctx.cache.word_stats(vocab).iter().enumerate() {
+                let id = TokenId(i as u32);
+                if vocab.is_special(id) {
                     continue;
                 }
                 // words(v·t) = words(v) + words(t) − 1 iff the boundary
@@ -603,6 +771,7 @@ mod tests {
         let e = parse_expr(expr).unwrap();
         let scope = HashMap::new();
         let mut cache = ScanCache::default();
+        let mut pool = SetPool::new(vocab.len());
         let mut ctx = FollowCtx {
             scope: &scope,
             var,
@@ -611,6 +780,9 @@ mod tests {
             trie: &trie,
             cache: &mut cache,
             custom: None,
+            pool: &mut pool,
+            threads: 1,
+            parallel_chunks: 0,
         };
         let fs = follow_sets(&e, &mut ctx);
         let name = |s: &TokenSet| -> Vec<String> {
@@ -715,6 +887,7 @@ mod tests {
             Value::List(vec!["ab".into(), "b".into()]),
         );
         let mut cache = ScanCache::default();
+        let mut pool = SetPool::new(vocab.len());
         let mut ctx = FollowCtx {
             scope: &scope,
             var: "X",
@@ -723,6 +896,9 @@ mod tests {
             trie: &trie,
             cache: &mut cache,
             custom: None,
+            pool: &mut pool,
+            threads: 1,
+            parallel_chunks: 0,
         };
         let fs = follow_sets(&e, &mut ctx);
         let df: Vec<&str> = fs
@@ -734,5 +910,28 @@ mod tests {
         assert!(df.contains(&"z"));
         assert!(!df.contains(&"a"));
         assert!(!df.contains(&"ab"));
+    }
+
+    /// The parallel vocabulary scan is bit-identical to the sequential
+    /// one, including for universes that are not a multiple of 64.
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let tokens: Vec<String> = (0..331).map(|i| format!("t{i:03}")).collect();
+        let vocab = Vocabulary::from_tokens(tokens.iter().map(String::as_str));
+        let classify = |c: &str| {
+            let digits: u32 = c.chars().filter(|ch| ch.is_ascii_digit()).count() as u32;
+            (digits.is_multiple_of(3), c.ends_with('7'))
+        };
+        let words = vocab.len().div_ceil(64);
+        let (mut df_seq, mut dt_seq) = (vec![0u64; words], vec![0u64; words]);
+        let chunks = scan_vocab(&vocab, "v:", 1, &mut df_seq, &mut dt_seq, &classify);
+        assert_eq!(chunks, 0, "sequential scan reports no parallel chunks");
+        for threads in [2, 3, 8] {
+            let (mut df, mut dt) = (vec![0u64; words], vec![0u64; words]);
+            let chunks = scan_vocab(&vocab, "v:", threads, &mut df, &mut dt, &classify);
+            assert!(chunks > 0);
+            assert_eq!(df, df_seq, "threads={threads}");
+            assert_eq!(dt, dt_seq, "threads={threads}");
+        }
     }
 }

@@ -18,7 +18,8 @@
 //! at the phrase.
 
 use crate::constraints::eval::{eval_final, EvalCtx};
-use crate::constraints::follow::{follow_sets, FollowCtx, ScanCache};
+use crate::constraints::follow::{follow_sets, scan_vocab, FollowCtx, ScanCache, SetPool};
+use crate::constraints::memo::{MaskKey, MaskMemo};
 use crate::Value;
 use lmql_syntax::ast::Expr;
 use lmql_tokenizer::{TokenSet, TokenTrie, Vocabulary};
@@ -36,8 +37,111 @@ pub enum MaskEngine {
     Symbolic,
 }
 
-/// The result of one mask computation.
+/// Parallelism policy for O(|V|) vocabulary scans (the Exact engine and
+/// the FollowMap generic leaf fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelScan {
+    /// Always scan sequentially.
+    Off,
+    /// Scan in parallel when the machine has more than one core *and* the
+    /// vocabulary meets [`MaskConfig::parallel_min_vocab`] (thread-spawn
+    /// overhead dwarfs small scans).
+    #[default]
+    Auto,
+    /// Use exactly this many scan threads regardless of vocabulary size
+    /// or core count (for tests and benchmarks).
+    Threads(usize),
+}
+
+/// Tuning knobs for mask generation. The defaults memoize and
+/// auto-parallelise; every fast path can be disabled to recover the
+/// reference behaviour bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskConfig {
+    /// Memoize mask outcomes keyed on `(expr, referenced scope values,
+    /// var, value)` (see [`MaskMemo`]).
+    pub memo: bool,
+    /// Capacity of the per-masker memo created when no shared memo is
+    /// installed.
+    pub memo_capacity: usize,
+    /// Parallelism policy for vocabulary scans.
+    pub parallel: ParallelScan,
+    /// Minimum vocabulary size for [`ParallelScan::Auto`] to engage.
+    pub parallel_min_vocab: usize,
+}
+
+impl Default for MaskConfig {
+    fn default() -> Self {
+        MaskConfig {
+            memo: true,
+            memo_capacity: 256,
+            parallel: ParallelScan::Auto,
+            parallel_min_vocab: 2048,
+        }
+    }
+}
+
+impl MaskConfig {
+    /// The reference configuration: no memo, sequential scans.
+    pub fn reference() -> Self {
+        MaskConfig {
+            memo: false,
+            parallel: ParallelScan::Off,
+            ..MaskConfig::default()
+        }
+    }
+
+    /// Resolves the thread count for one scan over `vocab_len` tokens.
+    pub(crate) fn scan_threads(&self, vocab_len: usize) -> usize {
+        match self.parallel {
+            ParallelScan::Off => 1,
+            ParallelScan::Threads(n) => n.max(1),
+            ParallelScan::Auto => {
+                if vocab_len < self.parallel_min_vocab {
+                    return 1;
+                }
+                machine_parallelism().min(8)
+            }
+        }
+    }
+}
+
+/// [`std::thread::available_parallelism`], cached: on Linux the probe
+/// re-reads cgroup quota files on every call (tens of microseconds —
+/// comparable to an entire symbolic mask computation), and the answer
+/// never changes mid-process.
+fn machine_parallelism() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Counter handles for mask-generation metrics, registered once and
+/// bumped lock-free on the decode path.
 #[derive(Debug, Clone)]
+pub struct MaskMetrics {
+    hits: lmql_obs::Counter,
+    misses: lmql_obs::Counter,
+    parallel_chunks: lmql_obs::Counter,
+}
+
+impl MaskMetrics {
+    /// Registers (or re-attaches to) the mask counters in `registry`:
+    /// `mask.cache.hit`, `mask.cache.miss`, `mask.scan.parallel_chunks`.
+    pub fn register(registry: &lmql_obs::Registry) -> Self {
+        MaskMetrics {
+            hits: registry.counter("mask.cache.hit"),
+            misses: registry.counter("mask.cache.miss"),
+            parallel_chunks: registry.counter("mask.scan.parallel_chunks"),
+        }
+    }
+}
+
+/// The result of one mask computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MaskOutcome {
     /// Admissible regular (non-EOS) tokens.
     pub allowed: TokenSet,
@@ -56,7 +160,8 @@ impl MaskOutcome {
     }
 }
 
-/// Stateful mask generator for one query run (owns the scan caches).
+/// Stateful mask generator for one query run (owns the scan caches and
+/// scratch-set pool; optionally shares a [`MaskMemo`] across runs).
 pub struct Masker {
     engine: MaskEngine,
     vocab_owner: Arc<dyn VocabSource>,
@@ -64,6 +169,10 @@ pub struct Masker {
     cache: ScanCache,
     custom: crate::constraints::CustomOps,
     tracer: lmql_obs::Tracer,
+    config: MaskConfig,
+    memo: Option<Arc<MaskMemo>>,
+    pool: SetPool,
+    metrics: Option<MaskMetrics>,
 }
 
 /// Anything that can lend a [`Vocabulary`] (object-safe facade so `Masker`
@@ -91,6 +200,7 @@ impl Masker {
     /// A masker over the tokenizer's vocabulary.
     pub fn new(engine: MaskEngine, vocab_owner: Arc<dyn VocabSource>) -> Self {
         let trie = TokenTrie::new(vocab_owner.vocabulary());
+        let pool = SetPool::new(vocab_owner.vocabulary().len());
         Masker {
             engine,
             vocab_owner,
@@ -98,6 +208,10 @@ impl Masker {
             cache: ScanCache::default(),
             custom: crate::constraints::CustomOps::new(),
             tracer: lmql_obs::Tracer::disabled(),
+            config: MaskConfig::default(),
+            memo: None,
+            pool,
+            metrics: None,
         }
     }
 
@@ -115,13 +229,44 @@ impl Masker {
         self
     }
 
+    /// Overrides the mask-generation configuration.
+    pub fn with_config(mut self, config: MaskConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Installs a shared memo (e.g. the engine's cross-query memo). Only
+    /// sound when every sharer masks over the same vocabulary object —
+    /// the memo key carries the vocabulary identity, so a mismatch costs
+    /// misses, never wrong bits.
+    pub fn with_memo(mut self, memo: Arc<MaskMemo>) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Registers and bumps mask metrics in `registry`.
+    pub fn with_metrics(mut self, registry: &lmql_obs::Registry) -> Self {
+        self.metrics = Some(MaskMetrics::register(registry));
+        self
+    }
+
     /// The engine in use.
     pub fn engine(&self) -> MaskEngine {
         self.engine
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> MaskConfig {
+        self.config
+    }
+
     /// Computes the mask for the next token of hole `var`, currently
     /// holding `value`, under `where_expr` and the scope.
+    ///
+    /// With [`MaskConfig::memo`] enabled, the outcome is served from the
+    /// memo when this exact `(expr, referenced scope values, var, value)`
+    /// state was computed before — bit-identical by construction, since
+    /// the mask is a pure function of the key.
     pub fn compute(
         &mut self,
         where_expr: Option<&Expr>,
@@ -130,12 +275,11 @@ impl Masker {
         value: &str,
     ) -> MaskOutcome {
         let mut mask_span = self.tracer.span("mask", "compute_mask");
-        let vocab = self.vocab_owner.vocabulary();
-        let vlen = vocab.len();
         let Some(expr) = where_expr else {
             // Unconstrained hole: everything is admissible.
-            let mut allowed = TokenSet::full(vlen);
-            allowed.remove(vocab.eos());
+            let eos = self.vocab_owner.vocabulary().eos();
+            let mut allowed = self.pool.take_full();
+            allowed.remove(eos);
             return MaskOutcome {
                 allowed,
                 eos_allowed: true,
@@ -143,10 +287,59 @@ impl Masker {
             };
         };
 
+        let key = if self.config.memo {
+            let vlen = self.vocab_owner.vocabulary().len();
+            let key = MaskKey::new(
+                self.engine,
+                (Arc::as_ptr(&self.vocab_owner).cast::<()>() as usize, vlen),
+                self.custom.generation(),
+                expr,
+                scope,
+                var,
+                value,
+            );
+            let memo = self
+                .memo
+                .get_or_insert_with(|| MaskMemo::new(self.config.memo_capacity));
+            if let Some(hit) = memo.get(&key) {
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
+                if mask_span.is_recording() {
+                    mask_span.arg("memo_hit", 1u64);
+                }
+                return hit;
+            }
+            if let Some(m) = &self.metrics {
+                m.misses.inc();
+            }
+            Some(key)
+        } else {
+            None
+        };
+
+        let outcome = self.compute_uncached(expr, scope, var, value, &mut mask_span);
+        if let Some(key) = key {
+            self.memo
+                .as_ref()
+                .expect("memo created by the lookup above")
+                .insert(key, outcome.clone());
+        }
+        outcome
+    }
+
+    fn compute_uncached(
+        &mut self,
+        expr: &Expr,
+        scope: &HashMap<String, Value>,
+        var: &str,
+        value: &str,
+        mask_span: &mut lmql_obs::SpanGuard,
+    ) -> MaskOutcome {
         let stop_phrases = collect_stop_phrases(expr, var);
         if stop_phrases.iter().any(|s| value.ends_with(s.as_str())) {
             return MaskOutcome {
-                allowed: TokenSet::empty(vlen),
+                allowed: self.pool.take_empty(),
                 eos_allowed: true,
                 must_stop: true,
             };
@@ -173,6 +366,8 @@ impl Masker {
             }
             MaskEngine::Symbolic => {
                 let _span = self.tracer.span("mask", "follow_eval");
+                let vocab = self.vocab_owner.vocabulary();
+                let threads = self.config.scan_threads(vocab.len());
                 let mut ctx = FollowCtx {
                     scope,
                     var,
@@ -181,16 +376,29 @@ impl Masker {
                     trie: &self.trie,
                     cache: &mut self.cache,
                     custom: Some(&self.custom),
+                    pool: &mut self.pool,
+                    threads,
+                    parallel_chunks: 0,
                 };
-                follow_sets(expr, &mut ctx).definitely_false.complement()
+                let fs = follow_sets(expr, &mut ctx);
+                let chunks = ctx.parallel_chunks;
+                let mut allowed = fs.definitely_false;
+                self.pool.put(fs.definitely_true);
+                allowed.complement_in_place();
+                if chunks > 0 {
+                    if let Some(m) = &self.metrics {
+                        m.parallel_chunks.add(chunks);
+                    }
+                }
+                allowed
             }
         };
+        let vocab = self.vocab_owner.vocabulary();
         allowed.remove(vocab.eos());
 
         // stops_at containment: mask tokens that run past a stop phrase.
         for phrase in &stop_phrases {
-            let beyond = self.cache.tokens_containing_beyond(vocab, phrase).clone();
-            allowed.intersect_with(&beyond.complement());
+            allowed.subtract_with(self.cache.tokens_containing_beyond(vocab, phrase));
             // Cross-boundary overruns: value ends with a proper prefix of
             // the phrase; tokens that complete the phrase *and continue*
             // are masked (tokens completing it exactly are fine).
@@ -217,33 +425,47 @@ impl Masker {
     }
 
     fn exact_allowed(
-        &self,
+        &mut self,
         expr: &Expr,
         scope: &HashMap<String, Value>,
         var: &str,
         value: &str,
     ) -> TokenSet {
-        let vocab = self.vocab_owner.vocabulary();
-        let mut allowed = TokenSet::empty(vocab.len());
-        let mut candidate = String::with_capacity(value.len() + 16);
-        for (id, tok) in vocab.regular_tokens() {
-            candidate.clear();
-            candidate.push_str(value);
-            candidate.push_str(tok);
+        let owner = Arc::clone(&self.vocab_owner);
+        let vocab = owner.vocabulary();
+        let threads = self.config.scan_threads(vocab.len());
+        let mut allowed = self.pool.take_empty();
+        let mut scratch = self.pool.take_empty();
+        let custom = &self.custom;
+        // A token is allowed unless FINAL evaluation is definitely false;
+        // the scan's second verdict channel is unused here.
+        let classify = |candidate: &str| {
             let fv = eval_final(
                 expr,
                 &EvalCtx {
                     scope,
                     var,
-                    value: &candidate,
+                    value: candidate,
                     var_final: false,
-                    custom: Some(&self.custom),
+                    custom: Some(custom),
                 },
             );
-            if !fv.is_definitely_false() {
-                allowed.insert(id);
+            (!fv.is_definitely_false(), false)
+        };
+        let chunks = scan_vocab(
+            vocab,
+            value,
+            threads,
+            allowed.words_mut(),
+            scratch.words_mut(),
+            &classify,
+        );
+        if chunks > 0 {
+            if let Some(m) = &self.metrics {
+                m.parallel_chunks.add(chunks);
             }
         }
+        self.pool.put(scratch);
         allowed
     }
 }

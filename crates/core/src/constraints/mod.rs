@@ -6,8 +6,15 @@ mod eval;
 mod final_sem;
 mod follow;
 mod mask;
+mod memo;
 
 pub use custom::{CustomOp, CustomOps, FollowView, OpCtx};
 pub use eval::{eval_expr, eval_final, EvalCtx};
 pub use final_sem::{Fin, FinalValue};
-pub use mask::{collect_stop_phrases, MaskEngine, MaskOutcome, Masker, VocabSource};
+pub use mask::{
+    collect_stop_phrases, MaskConfig, MaskEngine, MaskMetrics, MaskOutcome, Masker, ParallelScan,
+    VocabSource,
+};
+pub use memo::MaskMemo;
+
+pub(crate) use memo::fingerprint_scope_full;

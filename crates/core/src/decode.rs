@@ -1,6 +1,6 @@
 //! Constrained decoding (the paper's Alg. 2) and decoder strategies.
 
-use crate::constraints::{MaskEngine, Masker};
+use crate::constraints::{MaskConfig, MaskEngine, Masker};
 use crate::debug::{StepTrace, StopReason};
 use crate::{Error, Result};
 use lmql_lm::LanguageModel;
@@ -22,6 +22,10 @@ pub struct DecodeOptions {
     pub seed: u64,
     /// Mask-generation engine (§5): exact reference or symbolic FollowMap.
     pub engine: MaskEngine,
+    /// Mask-generation tuning (memoization, parallel vocabulary scans).
+    /// The default memoizes and auto-parallelises; use
+    /// [`MaskConfig::reference`] to recover the unaccelerated engines.
+    pub mask: MaskConfig,
     /// HuggingFace-style n-gram blocking (the `no_repeat_ngram_size`
     /// decoder parameter of Fig. 11): a token is masked if appending it
     /// would repeat an n-gram already present in the context. `0`
@@ -45,6 +49,7 @@ impl Default for DecodeOptions {
             max_tokens_per_hole: 64,
             seed: 0,
             engine: MaskEngine::default(),
+            mask: MaskConfig::default(),
             no_repeat_ngram: 0,
             speculative: false,
             tracer: lmql_obs::Tracer::disabled(),
@@ -77,8 +82,17 @@ pub fn ngram_blocked_tokens(
     vocab_len: usize,
 ) -> TokenSet {
     let mut blocked = TokenSet::empty(vocab_len);
+    ngram_blocked_into(context, n, &mut blocked);
+    blocked
+}
+
+/// [`ngram_blocked_tokens`] into a caller-owned buffer, so per-step
+/// callers (the decode loop, beam search) allocate the set once per hole
+/// instead of once per token.
+pub fn ngram_blocked_into(context: &[lmql_tokenizer::TokenId], n: usize, blocked: &mut TokenSet) {
+    blocked.clear();
     if n == 0 || context.len() < n {
-        return blocked;
+        return;
     }
     let prefix = &context[context.len() - (n - 1)..];
     for window in context.windows(n) {
@@ -86,7 +100,6 @@ pub fn ngram_blocked_tokens(
             blocked.insert(window[n - 1]);
         }
     }
-    blocked
 }
 
 /// How `pick` (Alg. 2, line 5) chooses from the masked distribution.
@@ -179,6 +192,10 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
     // once, picked tokens are appended as-is (no per-step re-encoding,
     // which could even re-factorise the value differently).
     let mut context = bpe.encode(trace);
+    // Per-hole scratch sets, refilled in place each step.
+    let mut mask = TokenSet::empty(bpe.vocab().len());
+    let mut ngram_blocked =
+        (options.no_repeat_ngram > 0).then(|| TokenSet::empty(bpe.vocab().len()));
 
     loop {
         // Speculative mode (§4): kick off the forward pass while the mask
@@ -220,15 +237,14 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
             break;
         }
 
-        let mut mask = outcome.allowed.clone();
+        mask.fill_from(&outcome.allowed);
         if outcome.eos_allowed {
             mask.insert(eos);
         }
 
-        if options.no_repeat_ngram > 0 {
-            let blocked =
-                ngram_blocked_tokens(&context, options.no_repeat_ngram, bpe.vocab().len());
-            mask.intersect_with(&blocked.complement());
+        if let Some(blocked) = &mut ngram_blocked {
+            ngram_blocked_into(&context, options.no_repeat_ngram, blocked);
+            mask.subtract_with(blocked);
             if mask.is_empty() {
                 stopped_by = StopReason::MaskExhausted;
                 break; // blocking exhausted the mask: end the hole

@@ -1,7 +1,7 @@
 //! The top-level query runner: parse → compile → execute → results.
 
 use crate::beam::run_beam_search;
-use crate::constraints::{eval_expr, CustomOp, CustomOps, Masker};
+use crate::constraints::{eval_expr, CustomOp, CustomOps, MaskMemo, Masker};
 use crate::debug::{DebugTrace, HoleTrace, StopReason};
 use crate::decode::{decode_hole_traced, DecodeOptions, Pick};
 use crate::interp::{Externals, HoleRecord, Step, VmState};
@@ -98,6 +98,8 @@ pub struct Runtime {
     bindings: Vec<(String, Value)>,
     meter: UsageMeter,
     options: DecodeOptions,
+    mask_memo: Option<Arc<MaskMemo>>,
+    metrics: Option<lmql_obs::Registry>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -130,6 +132,8 @@ impl Runtime {
             bindings: Vec::new(),
             meter: UsageMeter::new(),
             options: DecodeOptions::default(),
+            mask_memo: None,
+            metrics: None,
         }
     }
 
@@ -155,6 +159,23 @@ impl Runtime {
     /// disabled and free.
     pub fn set_tracer(&mut self, tracer: lmql_obs::Tracer) {
         self.options.tracer = tracer;
+    }
+
+    /// Installs a shared mask memo (see [`MaskMemo`]). Without one, each
+    /// run's masker creates a private memo per
+    /// [`MaskConfig`](crate::constraints::MaskConfig); a shared memo
+    /// additionally carries mask reuse across runs and across runtimes
+    /// that mask over the same tokenizer (the engine does this for its
+    /// per-query runtimes).
+    pub fn set_mask_memo(&mut self, memo: Arc<MaskMemo>) {
+        self.mask_memo = Some(memo);
+    }
+
+    /// Installs a metrics registry: every subsequent run reports
+    /// `mask.cache.hit`, `mask.cache.miss` and
+    /// `mask.scan.parallel_chunks` counters into it.
+    pub fn set_metrics_registry(&mut self, registry: lmql_obs::Registry) {
+        self.metrics = Some(registry);
     }
 
     /// The installed trace recorder (disabled unless [`Self::set_tracer`]
@@ -247,7 +268,14 @@ impl Runtime {
         let lm = CachedLm::new(MeteredLm::new(Arc::clone(&self.lm), self.meter.clone()));
         let mut masker = Masker::new(self.options.engine, Arc::clone(&self.bpe) as _)
             .with_custom_ops(self.custom_ops.clone())
-            .with_tracer(self.options.tracer.clone());
+            .with_tracer(self.options.tracer.clone())
+            .with_config(self.options.mask);
+        if let Some(memo) = &self.mask_memo {
+            masker = masker.with_memo(Arc::clone(memo));
+        }
+        if let Some(registry) = &self.metrics {
+            masker = masker.with_metrics(registry);
+        }
         let _query_span = self
             .options
             .tracer

@@ -13,7 +13,8 @@
 #![cfg(feature = "slow-tests")]
 
 use lmql::constraints::{
-    collect_stop_phrases, eval_final, EvalCtx, MaskEngine, Masker, VocabSource,
+    collect_stop_phrases, eval_final, EvalCtx, MaskConfig, MaskEngine, Masker, ParallelScan,
+    VocabSource,
 };
 use lmql_syntax::parse_expr;
 use lmql_tokenizer::{TokenId, Vocabulary};
@@ -142,8 +143,20 @@ proptest! {
         let expr = parse_expr(&constraint).unwrap();
         let scope = HashMap::new();
         let v = Arc::new(RawVocab(Vocabulary::from_tokens(tokens.iter().copied())));
-        let mut masker = Masker::new(engine, v.clone());
+        let mut masker =
+            Masker::new(engine, v.clone()).with_config(MaskConfig::reference());
         let out = masker.compute(Some(&expr), &scope, "X", &value);
+        // The accelerated configuration (memo on, forced parallel scan)
+        // must reproduce the reference mask bit for bit, so the soundness
+        // property below transfers to the fast paths too.
+        let mut fast = Masker::new(engine, v.clone()).with_config(MaskConfig {
+            memo: true,
+            parallel: ParallelScan::Threads(2),
+            ..MaskConfig::default()
+        });
+        prop_assert_eq!(&fast.compute(Some(&expr), &scope, "X", &value), &out);
+        // Recomputing through the warm memo must be transparent as well.
+        prop_assert_eq!(&fast.compute(Some(&expr), &scope, "X", &value), &out);
         if out.must_stop {
             // Stop phrase already satisfied; no mask to check.
             return Ok(());

@@ -15,6 +15,7 @@
 
 use crate::radix::{RadixCacheConfig, RadixStats};
 use crate::sched::{BatchPolicy, BatchedLm, Scheduler, SchedulerObs};
+use lmql::constraints::MaskMemo;
 use lmql::{QueryResult, Runtime};
 use lmql_lm::{LanguageModel, MeteredLm, RetryPolicy, Usage, UsageMeter};
 use lmql_obs::{Registry, Tracer};
@@ -94,6 +95,11 @@ pub struct Engine {
     threads: usize,
     tracer: Tracer,
     registry: Option<Registry>,
+    /// Cross-query mask memo: every worker runtime masks over the same
+    /// `bpe`, so memoized masks transfer between concurrent queries with
+    /// identical constraints (the engine's analogue of the radix prefix
+    /// cache, for masks instead of scores).
+    mask_memo: Arc<MaskMemo>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -161,6 +167,7 @@ impl Engine {
             threads: config.threads,
             tracer: obs.tracer,
             registry: obs.registry,
+            mask_memo: MaskMemo::new(1024),
         }
     }
 
@@ -200,6 +207,11 @@ impl Engine {
     /// [`new_with_obs`](Self::new_with_obs).
     pub fn registry(&self) -> Option<&Registry> {
         self.registry.as_ref()
+    }
+
+    /// The engine's shared cross-query mask memo.
+    pub fn mask_memo(&self) -> &Arc<MaskMemo> {
+        &self.mask_memo
     }
 
     /// Runs each query source concurrently over the shared model,
@@ -244,6 +256,10 @@ impl Engine {
                     }
                     let mut rt = Runtime::new(Arc::new(self.handle()), Arc::clone(&self.bpe));
                     rt.set_tracer(self.tracer.clone());
+                    rt.set_mask_memo(Arc::clone(&self.mask_memo));
+                    if let Some(registry) = &self.registry {
+                        rt.set_metrics_registry(registry.clone());
+                    }
                     configure(i, &mut rt);
                     // A model failure past the scheduler's retry budget
                     // surfaces as a panic inside the runtime's `score`

@@ -77,6 +77,69 @@ impl TokenSet {
         }
     }
 
+    /// Removes every token, keeping the allocation (the zero-alloc
+    /// counterpart of [`TokenSet::empty`]).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Adds every token, keeping the allocation (the zero-alloc
+    /// counterpart of [`TokenSet::full`]).
+    pub fn fill(&mut self) {
+        self.bits.fill(!0u64);
+        self.trim();
+    }
+
+    /// Overwrites this set with `other`'s contents, keeping the
+    /// allocation (the zero-alloc counterpart of `clone_from`-into an
+    /// existing buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universes.
+    pub fn fill_from(&mut self, other: &TokenSet) {
+        assert_eq!(self.len, other.len, "token set universe mismatch");
+        self.bits.copy_from_slice(&other.bits);
+    }
+
+    /// Complements the set in place within the vocabulary universe (the
+    /// zero-alloc counterpart of [`TokenSet::complement`]).
+    pub fn complement_in_place(&mut self) {
+        for w in &mut self.bits {
+            *w = !*w;
+        }
+        self.trim();
+    }
+
+    /// In-place set difference: removes every token of `other` from
+    /// `self` (`a &= !b`), without the intermediate complement
+    /// allocation of `intersect_with(&other.complement())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universes.
+    pub fn subtract_with(&mut self, other: &TokenSet) {
+        assert_eq!(self.len, other.len, "token set universe mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= !b;
+        }
+    }
+
+    /// The backing bit words, 64 tokens per word, least-significant bit
+    /// first. Bits at positions `>= universe_len()` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Mutable access to the backing bit words, for chunked writers that
+    /// fill disjoint word ranges (e.g. parallel vocabulary scans).
+    ///
+    /// Callers must keep bits at positions `>= universe_len()` zero;
+    /// setting a tail bit breaks `count`/equality invariants.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.bits
+    }
+
     /// Adds a token to the set.
     ///
     /// # Panics
@@ -290,6 +353,68 @@ mod tests {
         let s = TokenSet::from_ids(100, ids);
         let collected: Vec<_> = s.iter().collect();
         assert_eq!(collected, ids);
+    }
+
+    /// Lengths that exercise the tail word: exact multiples of 64,
+    /// one-off boundaries, and small sets.
+    const TAIL_LENGTHS: &[usize] = &[1, 3, 63, 64, 65, 127, 128, 129, 130, 191];
+
+    fn no_tail_bits(s: &TokenSet) -> bool {
+        let extra = s.words().len() * 64 - s.universe_len();
+        extra == 0 || s.words().last().unwrap() & !(!0u64 >> extra) == 0
+    }
+
+    #[test]
+    fn full_tail_word_is_exact() {
+        for &len in TAIL_LENGTHS {
+            let full = TokenSet::full(len);
+            assert_eq!(full.count(), len, "full({len}) has exactly len tokens");
+            assert!(no_tail_bits(&full), "full({len}) keeps tail bits clear");
+            assert_eq!(full.iter().count(), len);
+            assert!(full.iter().all(|t| t.index() < len));
+        }
+    }
+
+    #[test]
+    fn algebra_never_sets_tail_bits() {
+        for &len in TAIL_LENGTHS {
+            let every_third =
+                TokenSet::from_ids(len, (0..len).step_by(3).map(|i| TokenId(i as u32)));
+            let full = TokenSet::full(len);
+            for s in [
+                every_third.complement(),
+                every_third.union(&full),
+                every_third.intersection(&full),
+                full.complement().complement(),
+            ] {
+                assert!(no_tail_bits(&s), "len {len}: tail bits leaked");
+                assert!(s.count() <= len);
+                assert!(s.iter().all(|t| t.index() < len));
+            }
+            assert_eq!(every_third.complement().count(), len - every_third.count());
+        }
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        for &len in TAIL_LENGTHS {
+            let a = TokenSet::from_ids(len, (0..len).step_by(2).map(|i| TokenId(i as u32)));
+            let b = TokenSet::from_ids(len, (0..len).step_by(3).map(|i| TokenId(i as u32)));
+
+            let mut c = TokenSet::empty(len);
+            c.fill();
+            assert_eq!(c, TokenSet::full(len));
+            c.clear();
+            assert_eq!(c, TokenSet::empty(len));
+            c.fill_from(&a);
+            assert_eq!(c, a);
+            c.complement_in_place();
+            assert_eq!(c, a.complement());
+            assert!(no_tail_bits(&c));
+            c.fill_from(&a);
+            c.subtract_with(&b);
+            assert_eq!(c, a.intersection(&b.complement()));
+        }
     }
 
     #[test]

@@ -49,6 +49,39 @@ proptest! {
         prop_assert_eq!(lhs, rhs);
     }
 
+    /// Tail-word exactness for universes not divisible by 64: `full(len)`
+    /// has exactly `len` tokens, and complement/union/intersection never
+    /// set a bit at position `>= len`.
+    #[test]
+    fn token_set_tail_word_is_exact(len in 1usize..300,
+                                    ids_a in proptest::collection::btree_set(0u32..300, 0..40),
+                                    ids_b in proptest::collection::btree_set(0u32..300, 0..40)) {
+        let clip = |ids: &std::collections::BTreeSet<u32>| {
+            TokenSet::from_ids(len, ids.iter().filter(|&&i| (i as usize) < len).map(|&i| TokenId(i)))
+        };
+        let a = clip(&ids_a);
+        let b = clip(&ids_b);
+        let full = TokenSet::full(len);
+        prop_assert_eq!(full.count(), len);
+        for s in [a.complement(), a.union(&b), a.intersection(&b), a.union(&full), b.complement()] {
+            let extra = s.words().len() * 64 - len;
+            if extra > 0 {
+                prop_assert_eq!(s.words().last().unwrap() & !(!0u64 >> extra), 0,
+                                "a bit >= len={} is set", len);
+            }
+            prop_assert!(s.iter().all(|t| t.index() < len));
+            prop_assert!(s.count() <= len);
+        }
+        prop_assert_eq!(a.complement().count(), len - a.count());
+        // In-place ops agree with their allocating counterparts.
+        let mut c = a.clone();
+        c.complement_in_place();
+        prop_assert_eq!(&c, &a.complement());
+        c.fill_from(&a);
+        c.subtract_with(&b);
+        prop_assert_eq!(c, a.intersection(&b.complement()));
+    }
+
     /// Trie queries agree with a naive scan over the vocabulary.
     #[test]
     fn trie_matches_naive(tokens in proptest::collection::btree_set("[a-c]{1,4}", 1..25),

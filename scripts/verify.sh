@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Full verification: formatting, lints, release build, tests.
 #
-# Usage: scripts/verify.sh [--slow | --quick | --chaos]
+# Usage: scripts/verify.sh [--slow | --quick | --chaos | --bench-smoke]
 #   --slow    also runs the proptest suites (slow-tests feature)
 #   --quick   build + tests only (skips rustfmt/clippy; useful where the
 #             toolchain components are not installed)
 #   --chaos   fault-injection suites only (deterministic seeds, offline):
 #             chaos determinism, engine chaos, server fault tolerance,
 #             scheduler fault handling
+#   --bench-smoke  runs the masking/followmap benches with a tiny
+#             measurement budget and the mask benchmark binary, emitting
+#             BENCH_mask.json (numbers are smoke-level, not publishable)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,11 +20,27 @@ case "${1:-}" in
     --slow) MODE=slow ;;
     --quick) MODE=quick ;;
     --chaos) MODE=chaos ;;
+    --bench-smoke) MODE=bench-smoke ;;
     *)
-        echo "usage: scripts/verify.sh [--slow | --quick | --chaos]" >&2
+        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --bench-smoke]" >&2
         exit 2
         ;;
 esac
+
+if [[ "$MODE" == bench-smoke ]]; then
+    # Exercise the mask-generation benches end to end on a small budget:
+    # catches bench-target rot and perf-path panics without gating merges
+    # on timing noise.
+    export LMQL_BENCH_WARMUP_MS="${LMQL_BENCH_WARMUP_MS:-5}"
+    export LMQL_BENCH_BUDGET_MS="${LMQL_BENCH_BUDGET_MS:-30}"
+    echo "==> cargo bench: masking + followmap (budget ${LMQL_BENCH_BUDGET_MS}ms)"
+    cargo bench -q -p lmql-bench --bench masking
+    cargo bench -q -p lmql-bench --bench followmap
+    echo "==> bench_mask (BENCH_mask.json)"
+    cargo run -q --release -p lmql-bench --bin bench_mask -- --out BENCH_mask.json
+    echo "==> OK"
+    exit 0
+fi
 
 if [[ "$MODE" == chaos ]]; then
     echo "==> fault-injection suites (deterministic seeds)"

@@ -228,6 +228,9 @@ fn run() -> Result<(), String> {
     let registry = lmql_obs::Registry::new();
     if args.metrics {
         runtime.meter().register_into(&registry, "lm");
+        // Mask-generation counters (mask.cache.hit/miss,
+        // mask.scan.parallel_chunks) register lazily per query run.
+        runtime.set_metrics_registry(registry.clone());
     }
 
     if args.trace {

@@ -26,11 +26,23 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
-            warm_up: Duration::from_millis(50),
-            budget: Duration::from_millis(300),
+            warm_up: env_ms("LMQL_BENCH_WARMUP_MS", 50),
+            budget: env_ms("LMQL_BENCH_BUDGET_MS", 300),
             sample_size: 100,
         }
     }
+}
+
+/// Reads a millisecond duration from the environment, so CI smoke runs
+/// (`scripts/verify.sh --bench-smoke`) can shrink the per-bench budget
+/// without touching each bench's source.
+fn env_ms(var: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
 }
 
 impl Criterion {
