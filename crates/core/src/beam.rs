@@ -9,6 +9,7 @@
 use crate::constraints::{fingerprint_scope_full, MaskOutcome, Masker};
 use crate::decode::DecodeOptions;
 use crate::interp::{Externals, Step, VmState};
+use crate::stream::{QueryEvent, StreamSink};
 use crate::{Error, Program, Result, Value};
 use lmql_lm::LanguageModel;
 use lmql_tokenizer::{Bpe, TokenId, TokenSet};
@@ -31,6 +32,9 @@ struct Beam {
     hole_tokens: usize,
     /// Cumulative log-probability of all chosen tokens.
     log_prob: f64,
+    /// Streaming hypothesis id: stable for this beam's lifetime; forks
+    /// mint fresh ids for every clone but the first.
+    path: u32,
     done: bool,
 }
 
@@ -53,6 +57,8 @@ pub struct FinishedBeam {
     pub vm: VmState,
     /// Cumulative log-probability.
     pub log_prob: f64,
+    /// The streaming hypothesis id this beam's events were tagged with.
+    pub path: u32,
 }
 
 /// Runs scripted beam search with `n` beams over a compiled program.
@@ -83,6 +89,7 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
     }
 
     let tracer = options.tracer.clone();
+    let sink = &options.sink;
     let eos = bpe.vocab().eos();
     let mut init = Beam {
         vm: VmState::new(bindings.iter().cloned()),
@@ -90,10 +97,13 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
         context: Vec::new(),
         hole_tokens: 0,
         log_prob: 0.0,
+        path: sink.path(),
         done: false,
     };
-    advance(&mut init, program, externals, bpe)?;
+    advance(&mut init, program, externals, bpe, sink)?;
     let mut beams = vec![init];
+    // Fresh hypothesis ids for forked beams, starting past the root.
+    let mut next_path: u32 = sink.path() + 1;
     // Per-step mask dedup: beams that have not diverged in (scope, hole,
     // value) — e.g. right after a fork, before their values differ — share
     // one mask computation. Keyed on the full scope hash because beams may
@@ -103,6 +113,9 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
     for _ in 0..MAX_TOTAL_STEPS {
         if beams.iter().all(|b| b.done) {
             break;
+        }
+        if sink.cancelled() {
+            return Err(Error::Cancelled);
         }
         // Pass 1: compute every live beam's mask and classify it, so all
         // contexts that need scores this step are known up front.
@@ -140,6 +153,7 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                 tracer.instant_with("beam", "prune", || {
                     vec![("reason".to_owned(), "dead_end".into())]
                 });
+                sink.emit(QueryEvent::BeamPrune { path: beam.path });
                 continue; // prune this beam
             }
             let mut mask = outcome.allowed.clone();
@@ -162,7 +176,7 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
         let mut scored = {
             let mut span = tracer.span("batch", "dispatch");
             span.arg("contexts", contexts.len() as u64);
-            lm.score_batch(&contexts).into_iter()
+            lm.try_score_batch(&contexts).into_iter()
         };
 
         // Pass 2: expand in the original beam order.
@@ -171,37 +185,61 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
             match plan {
                 Planned::Done(beam) => candidates.push(beam),
                 Planned::Finish(mut beam) => {
-                    finish_hole(&mut beam, program, externals, bpe)?;
+                    finish_hole(&mut beam, program, externals, bpe, sink)?;
                     candidates.push(beam);
                 }
                 Planned::Extend { beam, mask } => {
-                    let logits = scored.next().expect("one score per extending beam");
+                    let logits = scored.next().expect("one score per extending beam")?;
                     let dist = logits.softmax(options.temperature);
                     let Some(masked) = dist.masked(&mask) else {
                         tracer.instant_with("beam", "prune", || {
                             vec![("reason".to_owned(), "numerically_dead".into())]
                         });
+                        sink.emit(QueryEvent::BeamPrune { path: beam.path });
                         continue; // numerically dead: prune
                     };
-                    let mut forks: u64 = 0;
-                    for (t, p) in masked.top_k(n) {
-                        if p <= 0.0 {
-                            continue;
+                    let picks: Vec<(TokenId, f64)> = masked
+                        .top_k(n)
+                        .into_iter()
+                        .filter(|(_, p)| *p > 0.0)
+                        .collect();
+                    // Path identity: the first pick continues the parent's
+                    // path, every other pick is a fork with a fresh id.
+                    // Forks are announced *before* the parent's token delta
+                    // for this step, so a streamed child always inherits
+                    // exactly the parent's pre-delta state.
+                    let mut ids: Vec<u32> = Vec::with_capacity(picks.len());
+                    for j in 0..picks.len() {
+                        if j == 0 {
+                            ids.push(beam.path);
+                        } else {
+                            let child = next_path;
+                            next_path += 1;
+                            ids.push(child);
+                            sink.emit(QueryEvent::BeamFork {
+                                parent: beam.path,
+                                child,
+                            });
                         }
+                    }
+                    for (&(t, p), &id) in picks.iter().zip(&ids) {
                         let mut b = beam.clone();
+                        b.path = id;
                         b.log_prob += p.ln();
                         if t == eos {
-                            finish_hole(&mut b, program, externals, bpe)?;
+                            finish_hole(&mut b, program, externals, bpe, sink)?;
                         } else {
-                            let (_, v) = b.hole.as_mut().expect("active beam has a hole");
-                            v.push_str(bpe.vocab().token_str(t));
+                            let (var, v) = b.hole.as_mut().expect("active beam has a hole");
+                            let text = bpe.vocab().token_str(t);
+                            sink.with_path(id).token_delta(var, text, p.ln());
+                            v.push_str(text);
                             b.context.push(t);
                             b.hole_tokens += 1;
                         }
                         candidates.push(b);
-                        forks += 1;
                     }
-                    if forks > 1 {
+                    if picks.len() > 1 {
+                        let forks = picks.len() as u64;
                         tracer.instant_with("beam", "fork", || {
                             vec![("branches".to_owned(), forks.into())]
                         });
@@ -227,6 +265,9 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                     ("dropped".to_owned(), dropped.into()),
                 ]
             });
+            for b in &candidates[n..] {
+                sink.emit(QueryEvent::BeamPrune { path: b.path });
+            }
         }
         candidates.truncate(n);
         beams = candidates;
@@ -238,6 +279,7 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
         .map(|b| FinishedBeam {
             vm: b.vm,
             log_prob: b.log_prob,
+            path: b.path,
         })
         .collect();
     if finished.is_empty() {
@@ -254,32 +296,45 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
 }
 
 /// Completes the current hole with its accumulated value and runs the VM
-/// to the next hole (or completion).
+/// to the next hole (or completion). Emits the hole's `VariableDone`
+/// (score = the beam's cumulative log-prob) before the value lands in the
+/// trace, so a streamed hypothesis is always value-complete before its
+/// next prompt chunk.
 fn finish_hole(
     beam: &mut Beam,
     program: &Program,
     externals: &Externals,
     bpe: &Arc<Bpe>,
+    sink: &StreamSink,
 ) -> Result<()> {
-    let (_, value) = beam
+    let (var, value) = beam
         .hole
         .take()
         .expect("finish_hole without an active hole");
+    sink.with_path(beam.path)
+        .variable_done(&var, &value, beam.log_prob);
     beam.vm.provide_hole(value);
     beam.hole_tokens = 0;
-    advance(beam, program, externals, bpe)
+    advance(beam, program, externals, bpe, sink)
 }
 
 /// Runs the VM until the next hole or completion, re-encoding the token
-/// context to cover the template text the VM just emitted.
+/// context to cover the template text the VM just emitted. Template text
+/// appended by this run streams out as a `PromptChunk` for this beam.
 fn advance(
     beam: &mut Beam,
     program: &Program,
     externals: &Externals,
     bpe: &Arc<Bpe>,
+    sink: &StreamSink,
 ) -> Result<()> {
-    match beam.vm.run(program, externals)? {
+    let before = beam.vm.trace().len();
+    let step = beam.vm.run(program, externals)?;
+    sink.with_path(beam.path)
+        .prompt_chunk(&beam.vm.trace()[before..]);
+    match step {
         Step::NeedHole(req) => {
+            sink.with_path(beam.path).variable_start(&req.var);
             beam.hole = Some((req.var, String::new()));
             beam.context = bpe.encode(beam.vm.trace());
         }

@@ -40,6 +40,12 @@ pub struct DecodeOptions {
     /// records nothing and allocates nothing, so leaving this at its
     /// default is free.
     pub tracer: lmql_obs::Tracer,
+    /// Streaming event sink (DESIGN.md §11). Inactive by default: every
+    /// emit is a no-op costing one branch. When active, the decode loop
+    /// emits a [`TokenDelta`](crate::QueryEvent::TokenDelta) per picked
+    /// token and checks the sink for cooperative cancellation between
+    /// tokens.
+    pub sink: crate::StreamSink,
 }
 
 impl Default for DecodeOptions {
@@ -53,6 +59,7 @@ impl Default for DecodeOptions {
             no_repeat_ngram: 0,
             speculative: false,
             tracer: lmql_obs::Tracer::disabled(),
+            sink: crate::StreamSink::none(),
         }
     }
 }
@@ -198,6 +205,11 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
         (options.no_repeat_ngram > 0).then(|| TokenSet::empty(bpe.vocab().len()));
 
     loop {
+        // Cooperative cancellation: a dropped stream handle (or a
+        // disconnected client) stops the run between tokens.
+        if options.sink.cancelled() {
+            return Err(Error::Cancelled);
+        }
         // Speculative mode (§4): kick off the forward pass while the mask
         // is being computed; the logits are wasted if this step turns out
         // to stop decoding.
@@ -205,7 +217,7 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
             let (logits, outcome) = std::thread::scope(|scope_| {
                 let handle = scope_.spawn(|| {
                     let _span = tracer.span("model", "score_speculative");
-                    lm.score(&context)
+                    lm.try_score(&context)
                 });
                 let outcome = masker.compute(where_expr, scope, var, &value);
                 (handle.join().expect("scoring thread panicked"), outcome)
@@ -251,11 +263,11 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
             }
         }
         let logits = match speculative_logits {
-            Some((logits, _)) => logits,
+            Some((logits, _)) => logits?,
             None => {
                 let mut span = tracer.span("model", "score");
                 span.arg("context_tokens", context.len() as u64);
-                lm.score(&context)
+                lm.try_score(&context)?
             }
         };
         let dist = logits.softmax(options.temperature);
@@ -282,8 +294,11 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
             stopped_by = StopReason::Eos;
             break;
         }
-        log_prob += masked.log_prob(t);
-        value.push_str(bpe.vocab().token_str(t));
+        let lp = masked.log_prob(t);
+        let text = bpe.vocab().token_str(t);
+        log_prob += lp;
+        options.sink.token_delta(var, text, lp);
+        value.push_str(text);
         context.push(t);
         tokens += 1;
     }

@@ -23,6 +23,9 @@ pub enum Error {
     /// died, a retry budget ran out). The query is sound — the serving
     /// layer was not.
     Model { message: String },
+    /// The query was cancelled cooperatively (a dropped stream handle, a
+    /// disconnected client) before it could finish.
+    Cancelled,
 }
 
 impl Error {
@@ -59,6 +62,7 @@ impl fmt::Display for Error {
                 write!(f, "external function `{name}` failed: {message}")
             }
             Error::Model { message } => write!(f, "model failure: {message}"),
+            Error::Cancelled => f.write_str("query cancelled"),
         }
     }
 }
@@ -78,6 +82,21 @@ impl From<SyntaxError> for Error {
     }
 }
 
+/// Model-layer failures surface as [`Error::Model`] with the taxonomy's
+/// rendered classification ("transient model error (…)", "fatal model
+/// error: …", …) in the message; cancellation keeps its own variant so
+/// callers can tell "the consumer left" from "the backend broke".
+impl From<lmql_lm::LmError> for Error {
+    fn from(e: lmql_lm::LmError) -> Self {
+        match e {
+            lmql_lm::LmError::Cancelled => Error::Cancelled,
+            other => Error::Model {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
 /// Result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -92,5 +111,15 @@ mod tests {
         assert!(e.to_string().contains("runtime error at 1:2"));
         let e = Error::NoValidContinuation { var: "X".into() };
         assert!(e.to_string().contains("`X`"));
+        assert!(Error::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn lm_errors_convert_preserving_class() {
+        let e: Error = lmql_lm::LmError::fatal("bad vocab").into();
+        assert!(matches!(&e, Error::Model { message } if message.contains("fatal")));
+        let e: Error = lmql_lm::LmError::transient(lmql_lm::FaultKind::Timeout, "slow").into();
+        assert!(matches!(&e, Error::Model { message } if message.contains("transient")));
+        assert_eq!(Error::from(lmql_lm::LmError::Cancelled), Error::Cancelled);
     }
 }

@@ -50,6 +50,7 @@
 //! - [`decode`](crate::DecodeOptions) / scripted beam search — Alg. 2.
 
 pub mod constraints;
+pub mod stream;
 
 mod beam;
 mod builtins;
@@ -60,6 +61,7 @@ mod error;
 mod interp;
 mod naive;
 mod program;
+mod request;
 mod runtime;
 mod value;
 
@@ -74,5 +76,9 @@ pub use error::{Error, Result};
 pub use interp::{ExternalFn, Externals, HoleRecord, HoleRequest, Step, VmState};
 pub use naive::{decode_hole_naive, decode_hole_naive_strict, NaiveOptions, NaiveOutcome};
 pub use program::{CompiledSegment, Instr, Program, PromptTemplate};
+pub use request::QueryRequest;
 pub use runtime::{QueryResult, QueryRun, Runtime};
+pub use stream::{
+    EventSink, QueryEvent, ReassembledQuery, ReassembledRun, Reassembler, StreamSink, WireError,
+};
 pub use value::Value;

@@ -1,0 +1,285 @@
+//! The consolidated query entry point.
+//!
+//! Four PRs grew four parallel knob surfaces: decoding options on the
+//! runtime, mask tuning inside them, retry policies wrapped around the
+//! model, and now stream sinks. [`QueryRequest`] gathers all of them
+//! behind one fluent builder so a caller configures *a query*, not four
+//! layers: unset fields inherit the executing
+//! [`Runtime`](crate::Runtime)'s defaults, set fields override them for
+//! that call only. The older entry points (`Runtime::run`,
+//! `run_program`, …) remain as thin shims over the same machinery.
+
+use crate::constraints::{MaskConfig, MaskEngine};
+use crate::stream::StreamSink;
+use crate::Value;
+use lmql_lm::RetryPolicy;
+use std::time::Duration;
+
+/// One query execution, fully described: source, decoding overrides,
+/// mask tuning, retry/deadline policy, bindings and stream sink.
+///
+/// # Example
+///
+/// ```
+/// use lmql::{QueryRequest, Runtime, Value};
+/// use lmql_lm::{corpus, RetryPolicy};
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), lmql::Error> {
+/// let runtime = Runtime::new(corpus::standard_ngram(), corpus::standard_bpe());
+/// let request = QueryRequest::new(
+///     "argmax\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"m\"\nwhere stops_at(THING, \"\\n\")\n",
+/// )
+/// .max_tokens(32)
+/// .seed(7)
+/// .retry(RetryPolicy::default())
+/// .deadline(Duration::from_secs(5))
+/// .bind("WHO", Value::Str("me".into()));
+/// let result = runtime.execute(&request)?;
+/// assert!(!result.best().trace.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    source: String,
+    temperature: Option<f64>,
+    max_tokens_per_hole: Option<usize>,
+    seed: Option<u64>,
+    engine: Option<MaskEngine>,
+    mask: Option<MaskConfig>,
+    no_repeat_ngram: Option<usize>,
+    speculative: Option<bool>,
+    tracer: Option<lmql_obs::Tracer>,
+    retry: Option<RetryPolicy>,
+    deadline: Option<Duration>,
+    sink: Option<StreamSink>,
+    bindings: Vec<(String, Value)>,
+}
+
+impl QueryRequest {
+    /// A request for `source` with every setting inherited from the
+    /// executing runtime.
+    pub fn new(source: impl Into<String>) -> Self {
+        QueryRequest {
+            source: source.into(),
+            temperature: None,
+            max_tokens_per_hole: None,
+            seed: None,
+            engine: None,
+            mask: None,
+            no_repeat_ngram: None,
+            speculative: None,
+            tracer: None,
+            retry: None,
+            deadline: None,
+            sink: None,
+            bindings: Vec::new(),
+        }
+    }
+
+    /// The LMQL source to execute.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Overrides the softmax temperature `τ`.
+    pub fn temperature(mut self, temperature: f64) -> Self {
+        self.temperature = Some(temperature);
+        self
+    }
+
+    /// Overrides the per-hole token budget.
+    pub fn max_tokens(mut self, max_tokens_per_hole: usize) -> Self {
+        self.max_tokens_per_hole = Some(max_tokens_per_hole);
+        self
+    }
+
+    /// Overrides the `sample` RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Overrides the mask-generation engine (§5).
+    pub fn engine(mut self, engine: MaskEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Overrides the mask-generation tuning (memoization, parallel
+    /// scans).
+    pub fn mask(mut self, mask: MaskConfig) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Overrides HuggingFace-style n-gram blocking (`0` disables).
+    pub fn no_repeat_ngram(mut self, n: usize) -> Self {
+        self.no_repeat_ngram = Some(n);
+        self
+    }
+
+    /// Overrides speculative scoring (§4).
+    pub fn speculative(mut self, speculative: bool) -> Self {
+        self.speculative = Some(speculative);
+        self
+    }
+
+    /// Installs a trace recorder for this request.
+    pub fn tracer(mut self, tracer: lmql_obs::Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Wraps the model in a retry layer with `policy` for this request
+    /// (transient faults absorbed with backoff, PR 3 semantics).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Sets a per-model-call deadline. Implies a retry layer: the
+    /// deadline is the retry policy's budget, so a request with only a
+    /// deadline gets the default policy with this budget.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Streams [`QueryEvent`](crate::QueryEvent)s into `sink` while the
+    /// request executes.
+    pub fn stream(mut self, sink: StreamSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Binds a query argument for this request (overrides a runtime
+    /// binding of the same name).
+    pub fn bind(mut self, name: impl Into<String>, value: Value) -> Self {
+        let name = name.into();
+        self.bindings.retain(|(n, _)| *n != name);
+        self.bindings.push((name, value));
+        self
+    }
+
+    /// This request's bindings (override the runtime's, by name).
+    pub fn bindings(&self) -> &[(String, Value)] {
+        &self.bindings
+    }
+
+    /// The effective retry policy: the explicit one, with the deadline
+    /// folded in; a deadline alone implies the default policy.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        match (&self.retry, self.deadline) {
+            (Some(policy), deadline) => {
+                let mut policy = *policy;
+                if deadline.is_some() {
+                    policy.deadline = deadline;
+                }
+                Some(policy)
+            }
+            (None, Some(deadline)) => Some(RetryPolicy {
+                deadline: Some(deadline),
+                ..RetryPolicy::default()
+            }),
+            (None, None) => None,
+        }
+    }
+
+    /// Resolves the effective decode options: `base` (the runtime's
+    /// defaults) with this request's overrides applied.
+    pub fn apply_to(&self, base: &crate::DecodeOptions) -> crate::DecodeOptions {
+        let mut options = base.clone();
+        if let Some(t) = self.temperature {
+            options.temperature = t;
+        }
+        if let Some(m) = self.max_tokens_per_hole {
+            options.max_tokens_per_hole = m;
+        }
+        if let Some(s) = self.seed {
+            options.seed = s;
+        }
+        if let Some(e) = self.engine {
+            options.engine = e;
+        }
+        if let Some(m) = self.mask {
+            options.mask = m;
+        }
+        if let Some(n) = self.no_repeat_ngram {
+            options.no_repeat_ngram = n;
+        }
+        if let Some(s) = self.speculative {
+            options.speculative = s;
+        }
+        if let Some(t) = &self.tracer {
+            options.tracer = t.clone();
+        }
+        if let Some(sink) = &self.sink {
+            options.sink = sink.clone();
+        }
+        options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecodeOptions;
+
+    #[test]
+    fn unset_fields_inherit_base() {
+        let base = DecodeOptions {
+            temperature: 1.5,
+            max_tokens_per_hole: 9,
+            ..DecodeOptions::default()
+        };
+        let req = QueryRequest::new("argmax \"x\" from \"m\"");
+        let opts = req.apply_to(&base);
+        assert_eq!(opts.temperature, 1.5);
+        assert_eq!(opts.max_tokens_per_hole, 9);
+        assert!(req.retry_policy().is_none());
+    }
+
+    #[test]
+    fn set_fields_override_base() {
+        let base = DecodeOptions::default();
+        let req = QueryRequest::new("q")
+            .temperature(0.5)
+            .max_tokens(3)
+            .seed(42)
+            .no_repeat_ngram(2)
+            .speculative(true);
+        let opts = req.apply_to(&base);
+        assert_eq!(opts.temperature, 0.5);
+        assert_eq!(opts.max_tokens_per_hole, 3);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.no_repeat_ngram, 2);
+        assert!(opts.speculative);
+    }
+
+    #[test]
+    fn deadline_implies_retry_policy() {
+        let req = QueryRequest::new("q").deadline(Duration::from_millis(250));
+        let policy = req.retry_policy().expect("deadline implies policy");
+        assert_eq!(policy.deadline, Some(Duration::from_millis(250)));
+
+        let req = QueryRequest::new("q")
+            .retry(RetryPolicy {
+                max_retries: 9,
+                ..RetryPolicy::default()
+            })
+            .deadline(Duration::from_millis(100));
+        let policy = req.retry_policy().unwrap();
+        assert_eq!(policy.max_retries, 9);
+        assert_eq!(policy.deadline, Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn bind_replaces_same_name() {
+        let req = QueryRequest::new("q")
+            .bind("X", Value::Int(1))
+            .bind("X", Value::Int(2));
+        assert_eq!(req.bindings(), &[("X".to_owned(), Value::Int(2))]);
+    }
+}

@@ -5,8 +5,9 @@ use crate::constraints::{eval_expr, CustomOp, CustomOps, MaskMemo, Masker};
 use crate::debug::{DebugTrace, HoleTrace, StopReason};
 use crate::decode::{decode_hole_traced, DecodeOptions, Pick};
 use crate::interp::{Externals, HoleRecord, Step, VmState};
-use crate::{compile_source, Error, Program, Result, Value};
-use lmql_lm::{CachedLm, LanguageModel, MeteredLm, UsageMeter};
+use crate::stream::{QueryEvent, StreamSink};
+use crate::{compile_source, Error, Program, QueryRequest, Result, Value};
+use lmql_lm::{CachedLm, LanguageModel, MeteredLm, RetryLm, UsageMeter};
 use lmql_tokenizer::{Bpe, TokenId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -254,74 +255,181 @@ impl Runtime {
         self.run_program_inner(program, None)
     }
 
+    /// Like [`Runtime::run`], streaming [`QueryEvent`]s into `sink` as
+    /// the query executes (DESIGN.md §11). The returned result is the
+    /// same as [`Runtime::run`]'s — the stream is an *additional* view,
+    /// and reassembling it reproduces the result byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::run`]; additionally [`Error::Cancelled`] when the
+    /// sink reports cancellation mid-run.
+    pub fn run_streamed(&self, source: &str, sink: StreamSink) -> Result<QueryResult> {
+        self.execute(&QueryRequest::new(source).stream(sink))
+    }
+
+    /// Executes a [`QueryRequest`]: the consolidated entry point behind
+    /// which [`Runtime::run`] and friends are thin shims. Request
+    /// settings override this runtime's defaults; unset fields inherit
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::run`].
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResult> {
+        let options = request.apply_to(&self.options);
+        let program = {
+            let _span = options.tracer.span("query", "parse_compile");
+            compile_source(request.source())?
+        };
+        // A per-request retry policy wraps the model for this call only.
+        let lm: Arc<dyn LanguageModel> = match request.retry_policy() {
+            Some(policy) => Arc::new(RetryLm::new(Arc::clone(&self.lm), policy)),
+            None => Arc::clone(&self.lm),
+        };
+        let bindings: Vec<(String, Value)> = if request.bindings().is_empty() {
+            self.bindings.clone()
+        } else {
+            let mut merged = self.bindings.clone();
+            for (name, value) in request.bindings() {
+                merged.retain(|(n, _)| n != name);
+                merged.push((name.clone(), value.clone()));
+            }
+            merged
+        };
+        self.run_program_full(&program, &lm, &options, &bindings, None)
+    }
+
     fn run_program_inner(
         &self,
         program: &Program,
-        mut debug: Option<&mut DebugTrace>,
+        debug: Option<&mut DebugTrace>,
     ) -> Result<QueryResult> {
+        self.run_program_full(program, &self.lm, &self.options, &self.bindings, debug)
+    }
+
+    /// The full execution path: dispatches on the decoder and, when the
+    /// options carry an active stream sink, brackets the run with the
+    /// terminal events (`Usage` + `Done` on success, `Error` on failure).
+    fn run_program_full(
+        &self,
+        program: &Program,
+        lm: &Arc<dyn LanguageModel>,
+        options: &DecodeOptions,
+        bindings: &[(String, Value)],
+        debug: Option<&mut DebugTrace>,
+    ) -> Result<QueryResult> {
+        let sink = options.sink.clone();
+        let outcome = self.run_program_dispatch(program, lm, options, bindings, debug);
+        if sink.is_active() {
+            match &outcome {
+                Ok((_, ranking)) => {
+                    let u = self.meter.snapshot();
+                    sink.emit(QueryEvent::Usage {
+                        model_queries: u.model_queries,
+                        decoder_calls: u.decoder_calls,
+                        billable_tokens: u.billable_tokens,
+                    });
+                    sink.emit(QueryEvent::Done {
+                        ranking: ranking.clone(),
+                    });
+                }
+                Err(e) => sink.emit(QueryEvent::Error {
+                    message: e.to_string(),
+                }),
+            }
+        }
+        outcome.map(|(result, _)| result)
+    }
+
+    /// Runs the decoder, returning the result plus the surviving path
+    /// ids best-first (the streaming `Done` ranking; `runs[i]` was
+    /// streamed under path `ranking[i]`).
+    fn run_program_dispatch(
+        &self,
+        program: &Program,
+        lm: &Arc<dyn LanguageModel>,
+        options: &DecodeOptions,
+        bindings: &[(String, Value)],
+        mut debug: Option<&mut DebugTrace>,
+    ) -> Result<(QueryResult, Vec<u32>)> {
         // One shared score cache per run: lockstep samples and beams that
         // revisit identical contexts pay for the model only once, and
         // cache hits are not billed as model queries.
         if let Some(w) = &program.where_clause {
             self.validate_where(w)?;
         }
-        let lm = CachedLm::new(MeteredLm::new(Arc::clone(&self.lm), self.meter.clone()));
-        let mut masker = Masker::new(self.options.engine, Arc::clone(&self.bpe) as _)
+        let lm = CachedLm::new(MeteredLm::new(Arc::clone(lm), self.meter.clone()));
+        let mut masker = Masker::new(options.engine, Arc::clone(&self.bpe) as _)
             .with_custom_ops(self.custom_ops.clone())
-            .with_tracer(self.options.tracer.clone())
-            .with_config(self.options.mask);
+            .with_tracer(options.tracer.clone())
+            .with_config(options.mask);
         if let Some(memo) = &self.mask_memo {
             masker = masker.with_memo(Arc::clone(memo));
         }
         if let Some(registry) = &self.metrics {
             masker = masker.with_metrics(registry);
         }
-        let _query_span = self
-            .options
+        let _query_span = options
             .tracer
             .span_lazy("query", || format!("run:{}", program.decoder.name));
 
         match program.decoder.name.as_str() {
             "argmax" => {
-                let run =
-                    self.run_single(program, &lm, &mut masker, Pick::argmax(), debug.take())?;
-                Ok(run)
+                let run = self.run_single(
+                    program,
+                    &lm,
+                    &mut masker,
+                    Pick::argmax(),
+                    options,
+                    bindings,
+                    0,
+                    debug.take(),
+                )?;
+                Ok((run, vec![0]))
             }
             "sample" => {
                 let n = program.decoder.int_param("n", 1).max(1) as usize;
-                let mut runs = Vec::with_capacity(n);
+                let mut runs: Vec<(u32, QueryRun)> = Vec::with_capacity(n);
                 let mut distribution = None;
                 for i in 0..n {
                     let r = self.run_single(
                         program,
                         &lm,
                         &mut masker,
-                        Pick::sample(self.options.seed.wrapping_add(i as u64)),
+                        Pick::sample(options.seed.wrapping_add(i as u64)),
+                        options,
+                        bindings,
+                        i as u32,
                         debug.as_deref_mut(),
                     )?;
                     distribution = distribution.or(r.distribution);
-                    runs.extend(r.runs);
+                    runs.extend(r.runs.into_iter().map(|run| (i as u32, run)));
                 }
                 runs.sort_by(|a, b| {
-                    b.log_prob
-                        .partial_cmp(&a.log_prob)
+                    b.1.log_prob
+                        .partial_cmp(&a.1.log_prob)
                         .expect("log probs are never NaN")
                 });
-                Ok(QueryResult { runs, distribution })
+                let ranking: Vec<u32> = runs.iter().map(|(p, _)| *p).collect();
+                let runs: Vec<QueryRun> = runs.into_iter().map(|(_, r)| r).collect();
+                Ok((QueryResult { runs, distribution }, ranking))
             }
             "beam" => {
                 let n = program.decoder.int_param("n", 1).max(1) as usize;
-                let opts = self.options.clone().with_decoder_params(&program.decoder);
+                let mut opts = options.clone().with_decoder_params(&program.decoder);
+                opts.sink = options.sink.with_path(0);
                 let beams = run_beam_search(
                     &lm,
                     &self.bpe,
                     &mut masker,
                     program,
                     &self.externals,
-                    &self.bindings,
+                    bindings,
                     n,
                     &opts,
                 )?;
+                let ranking: Vec<u32> = beams.iter().map(|b| b.path).collect();
                 let runs: Vec<QueryRun> = beams
                     .into_iter()
                     .map(|b| QueryRun {
@@ -333,10 +441,13 @@ impl Runtime {
                     .collect();
                 self.meter
                     .record_decoder_call(self.bpe.token_count(&runs[0].trace) as u64);
-                Ok(QueryResult {
-                    runs,
-                    distribution: None,
-                })
+                Ok((
+                    QueryResult {
+                        runs,
+                        distribution: None,
+                    },
+                    ranking,
+                ))
             }
             other => Err(Error::compile(
                 format!("unknown decoder `{other}` (expected argmax, sample or beam)"),
@@ -345,32 +456,53 @@ impl Runtime {
         }
     }
 
-    /// Runs one execution path (argmax or one sample).
+    /// Runs one execution path (argmax or one sample), streamed under
+    /// hypothesis id `path` when the options carry an active sink.
+    #[allow(clippy::too_many_arguments)]
     fn run_single<L: LanguageModel>(
         &self,
         program: &Program,
         lm: &L,
         masker: &mut Masker,
         mut pick: Pick,
+        options: &DecodeOptions,
+        bindings: &[(String, Value)],
+        path: u32,
         mut debug: Option<&mut DebugTrace>,
     ) -> Result<QueryResult> {
-        let opts = self.options.clone().with_decoder_params(&program.decoder);
+        let mut opts = options.clone().with_decoder_params(&program.decoder);
+        opts.sink = options.sink.with_path(path);
+        let sink = opts.sink.clone();
 
-        let mut vm = VmState::new(self.bindings.iter().cloned());
+        let mut vm = VmState::new(bindings.iter().cloned());
         let mut log_prob = 0.0;
         let mut distribution: Option<Vec<(String, f64)>> = None;
+        // Streaming protocol: trace bytes up to `emitted` have been
+        // streamed (template text as PromptChunk, hole values via
+        // VariableDone), so each suspension emits exactly the template
+        // delta the interpreter appended since the last hole.
+        let mut emitted = 0usize;
 
         loop {
             match vm.run(program, &self.externals)? {
-                Step::Done => break,
+                Step::Done => {
+                    sink.prompt_chunk(&vm.trace()[emitted..]);
+                    break;
+                }
                 Step::NeedHole(req) => {
+                    if sink.cancelled() {
+                        return Err(Error::Cancelled);
+                    }
+                    sink.prompt_chunk(&vm.trace()[emitted..]);
+                    sink.variable_start(&req.var);
                     let is_distribute = program
                         .distribute
                         .as_ref()
                         .is_some_and(|d| d.var == req.var);
                     if is_distribute {
                         let d = program.distribute.as_ref().expect("checked above");
-                        let dist = self.compute_distribution(lm, vm.trace(), d, vm.scope())?;
+                        let dist =
+                            self.compute_distribution(lm, vm.trace(), d, vm.scope(), &opts)?;
                         let best = dist
                             .iter()
                             .max_by(|a, b| {
@@ -386,8 +518,15 @@ impl Runtime {
                                 stopped_by: StopReason::Distribution,
                             });
                         }
+                        if sink.is_active() {
+                            sink.emit(QueryEvent::Distribution {
+                                support: dist.clone(),
+                            });
+                        }
+                        sink.variable_done(&req.var, &best, log_prob);
                         distribution = Some(dist);
                         vm.provide_hole(best);
+                        emitted = vm.trace().len();
                     } else {
                         if distribution.is_some() {
                             let d = program.distribute.as_ref().expect("distribution set");
@@ -421,7 +560,9 @@ impl Runtime {
                             });
                         }
                         log_prob += decoded.log_prob;
+                        sink.variable_done(&req.var, &decoded.value, log_prob);
                         vm.provide_hole(decoded.value);
+                        emitted = vm.trace().len();
                     }
                 }
             }
@@ -500,6 +641,7 @@ impl Runtime {
         trace: &str,
         d: &lmql_syntax::ast::Distribute,
         scope: &HashMap<String, Value>,
+        options: &DecodeOptions,
     ) -> Result<Vec<(String, f64)>> {
         let support = eval_expr(&d.support, scope, &self.externals)?;
         let values: Vec<String> = match support {
@@ -518,9 +660,9 @@ impl Runtime {
             return Err(Error::eval("distribute support is empty", d.span));
         }
 
-        let mut dist_span = self.options.tracer.span("query", "distribute");
+        let mut dist_span = options.tracer.span("query", "distribute");
         dist_span.arg("support", values.len() as u64);
-        let log_probs = self.score_continuations(lm, trace, &values);
+        let log_probs = self.score_continuations(lm, trace, &values, options)?;
         drop(dist_span);
         for v in &values {
             // Each scored value starts its own decoding loop: one decoder
@@ -551,7 +693,8 @@ impl Runtime {
         lm: &L,
         trace: &str,
         texts: &[String],
-    ) -> Vec<f64> {
+        options: &DecodeOptions,
+    ) -> Result<Vec<f64>> {
         let base = self.bpe.encode(trace);
         // The boundary token may re-tokenise; score from the first
         // divergence between the two encodings.
@@ -568,19 +711,19 @@ impl Runtime {
             .flat_map(|(full, common)| (*common..full.len()).map(move |i| &full[..i]))
             .collect();
         let mut scored = {
-            let mut span = self.options.tracer.span("batch", "dispatch");
+            let mut span = options.tracer.span("batch", "dispatch");
             span.arg("contexts", contexts.len() as u64);
-            lm.score_batch(&contexts).into_iter()
+            lm.try_score_batch(&contexts).into_iter()
         };
         plans
             .iter()
             .map(|(full, common)| {
                 let mut lp = 0.0;
                 for &t in &full[*common..] {
-                    let logits = scored.next().expect("one score per context");
+                    let logits = scored.next().expect("one score per context")?;
                     lp += logits.softmax(1.0).log_prob(t);
                 }
-                lp
+                Ok(lp)
             })
             .collect()
     }

@@ -6,5 +6,5 @@ pub mod sched;
 mod run;
 
 pub use radix::{RadixCache, RadixCacheConfig, RadixStats};
-pub use run::{Engine, EngineConfig, EngineObs, EngineStats};
+pub use run::{Engine, EngineConfig, EngineObs, EngineStats, QueryStream};
 pub use sched::{BatchPolicy, BatchedLm, SchedMetrics, Scheduler, SchedulerObs};

@@ -16,12 +16,13 @@
 use crate::radix::{RadixCacheConfig, RadixStats};
 use crate::sched::{BatchPolicy, BatchedLm, Scheduler, SchedulerObs};
 use lmql::constraints::MaskMemo;
-use lmql::{QueryResult, Runtime};
-use lmql_lm::{LanguageModel, MeteredLm, RetryPolicy, Usage, UsageMeter};
-use lmql_obs::{Registry, Tracer};
+use lmql::{EventSink, QueryEvent, QueryResult, Runtime, StreamSink};
+use lmql_lm::{CancelToken, LanguageModel, MeteredLm, RetryPolicy, Usage, UsageMeter};
+use lmql_obs::{Registry, StreamMetrics, Tracer};
 use lmql_tokenizer::Bpe;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 /// Tunables for an [`Engine`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -289,6 +290,178 @@ impl Engine {
                     .expect("every query slot is filled by a worker")
             })
             .collect()
+    }
+
+    /// Streaming variant of [`run_queries`](Self::run_queries): each
+    /// query starts immediately on its own thread and returns a
+    /// [`QueryStream`] handle delivering [`QueryEvent`]s as decoding
+    /// progresses. Handles are independent: consume them in any order,
+    /// [`wait`](QueryStream::wait) for final results, or drop one to
+    /// cancel its query — cancellation releases the query's scheduler
+    /// slots (counted by the `engine.cancelled` metric) without
+    /// disturbing other queries.
+    pub fn stream_queries(&self, sources: &[&str]) -> Vec<QueryStream> {
+        sources.iter().map(|src| self.stream_query(src)).collect()
+    }
+
+    /// Streams one query; see [`stream_queries`](Self::stream_queries).
+    pub fn stream_query(&self, source: &str) -> QueryStream {
+        self.stream_query_with(source, |_| {})
+    }
+
+    /// Like [`stream_query`](Self::stream_query), calling `configure` on
+    /// the query's runtime (seed, bindings, externals) before it runs.
+    pub fn stream_query_with<F>(&self, source: &str, configure: F) -> QueryStream
+    where
+        F: FnOnce(&mut Runtime) + Send + 'static,
+    {
+        let (channel_sink, events, cancel) = StreamSink::channel();
+        let metrics = match &self.registry {
+            Some(registry) => StreamMetrics::registered(registry),
+            None => StreamMetrics::default(),
+        };
+        let sink = StreamSink::new(Arc::new(MeteredSink {
+            inner: channel_sink,
+            metrics: metrics.clone(),
+            started: Instant::now(),
+            saw_token: AtomicBool::new(false),
+        }));
+        let (result_tx, result) = mpsc::channel();
+
+        let lm = BatchedLm::with_cancel(Arc::clone(&self.sched), cancel.clone());
+        let bpe = Arc::clone(&self.bpe);
+        let tracer = self.tracer.clone();
+        let registry = self.registry.clone();
+        let mask_memo = Arc::clone(&self.mask_memo);
+        let source = source.to_owned();
+        std::thread::Builder::new()
+            .name("lmql-engine-stream".to_owned())
+            .spawn(move || {
+                let mut rt = Runtime::new(Arc::new(lm), bpe);
+                rt.set_tracer(tracer);
+                rt.set_mask_memo(mask_memo);
+                if let Some(registry) = &registry {
+                    rt.set_metrics_registry(registry.clone());
+                }
+                configure(&mut rt);
+                // Same containment as the pooled runner: a model failure
+                // past the retry budget panics inside `score`; keep it
+                // inside this query's thread.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    rt.run_streamed(&source, sink)
+                }))
+                .unwrap_or_else(|payload| {
+                    let message = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("query worker panicked")
+                        .to_owned();
+                    Err(lmql::Error::Model { message })
+                });
+                if matches!(result, Err(lmql::Error::Cancelled)) {
+                    metrics.cancelled.inc();
+                }
+                // The consumer may already be gone (dropped handle) —
+                // then the result is simply discarded.
+                let _ = result_tx.send(result);
+            })
+            .expect("failed to spawn stream worker thread");
+
+        QueryStream {
+            events,
+            cancel,
+            result,
+        }
+    }
+}
+
+/// A live streamed query (see [`Engine::stream_queries`]): an event
+/// receiver, a cancellation handle, and the final result.
+///
+/// Dropping the handle cancels the query cooperatively: the runtime
+/// stops at its next decode step, queued scheduler work is released
+/// without reaching the model, and pending single-flight waits resolve —
+/// the query's resources are freed rather than decoding for nobody.
+#[derive(Debug)]
+pub struct QueryStream {
+    events: mpsc::Receiver<QueryEvent>,
+    cancel: CancelToken,
+    result: mpsc::Receiver<lmql::Result<QueryResult>>,
+}
+
+impl QueryStream {
+    /// Blocks for the next event; `None` once the stream is over (the
+    /// terminal `Done`/`Error` event was already delivered, or the
+    /// producer is gone).
+    pub fn next_event(&self) -> Option<QueryEvent> {
+        self.events.recv().ok()
+    }
+
+    /// A blocking iterator over the remaining events.
+    pub fn events(&self) -> impl Iterator<Item = QueryEvent> + '_ {
+        std::iter::from_fn(move || self.next_event())
+    }
+
+    /// Requests cooperative cancellation. Idempotent; the final result
+    /// (usually [`lmql::Error::Cancelled`]) still arrives via
+    /// [`wait`](Self::wait) if the query was already past its last
+    /// decode step.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Whether cancellation was requested (by [`cancel`](Self::cancel)
+    /// or a dropped receiver).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Discards any unconsumed events and blocks for the query's final
+    /// result — byte-identical to what the non-streaming
+    /// [`Engine::run_queries`] would have returned.
+    pub fn wait(self) -> lmql::Result<QueryResult> {
+        self.result.recv().unwrap_or_else(|_| {
+            Err(lmql::Error::Model {
+                message: "stream worker vanished without a result".to_owned(),
+            })
+        })
+    }
+}
+
+impl Drop for QueryStream {
+    fn drop(&mut self) {
+        // Dropping an unfinished stream abandons the query; make that
+        // explicit so the scheduler releases its work promptly instead
+        // of waiting for the next emit to notice the closed channel.
+        self.cancel.cancel();
+    }
+}
+
+/// Wraps the channel sink with delivery metrics: every event counts,
+/// and the first `TokenDelta` records time-to-first-token.
+struct MeteredSink {
+    inner: StreamSink,
+    metrics: StreamMetrics,
+    started: Instant,
+    saw_token: AtomicBool,
+}
+
+impl EventSink for MeteredSink {
+    fn emit(&self, event: QueryEvent) {
+        self.metrics.events.inc();
+        if matches!(event, QueryEvent::TokenDelta { .. })
+            && !self.saw_token.swap(true, Ordering::Relaxed)
+        {
+            self.metrics
+                .first_token_us
+                .record(self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        self.inner.emit(event);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.inner.cancelled()
     }
 }
 

@@ -31,8 +31,8 @@
 
 use crate::radix::{RadixCache, RadixCacheConfig};
 use lmql_lm::{
-    call_with_retry, context_token, FaultKind, LanguageModel, LmError, LmResult, Logits,
-    RetryMetrics, RetryPolicy, UsageMeter,
+    call_with_retry, context_token, CancelToken, FaultKind, LanguageModel, LmError, LmResult,
+    Logits, RetryMetrics, RetryPolicy, UsageMeter,
 };
 use lmql_obs::{Counter, Gauge, Histogram, Registry, Tracer};
 use lmql_tokenizer::{TokenId, Vocabulary};
@@ -66,6 +66,10 @@ impl Default for BatchPolicy {
 struct Slot {
     result: Mutex<Option<LmResult<Logits>>>,
     ready: Condvar,
+    /// Set when a second requester single-flights onto this slot. A
+    /// shared slot is dispatched even if its original requester
+    /// cancelled — some other waiter still wants the logits.
+    shared: std::sync::atomic::AtomicBool,
 }
 
 impl Slot {
@@ -79,9 +83,41 @@ impl Slot {
         }
     }
 
+    /// Like [`wait`](Self::wait), but gives up with
+    /// [`LmError::Cancelled`] once `cancel` fires — the slot itself stays
+    /// live for any single-flight partners and is retired by the
+    /// dispatcher either way.
+    fn wait_cancellable(&self, cancel: &CancelToken) -> LmResult<Logits> {
+        let mut r = self.result.lock().expect("slot poisoned");
+        loop {
+            match r.as_ref() {
+                Some(result) => return result.clone(),
+                None => {
+                    if cancel.is_cancelled() {
+                        return Err(LmError::Cancelled);
+                    }
+                    let (guard, _) = self
+                        .ready
+                        .wait_timeout(r, Duration::from_millis(5))
+                        .expect("slot poisoned");
+                    r = guard;
+                }
+            }
+        }
+    }
+
     fn fill(&self, result: LmResult<Logits>) {
         *self.result.lock().expect("slot poisoned") = Some(result);
         self.ready.notify_all();
+    }
+
+    fn mark_shared(&self) {
+        self.shared
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    fn is_shared(&self) -> bool {
+        self.shared.load(std::sync::atomic::Ordering::Acquire)
     }
 }
 
@@ -93,6 +129,10 @@ struct Pending {
     /// When the request's retry budget expires (from the policy's
     /// deadline); `None` means unbounded.
     deadline: Option<Instant>,
+    /// The requester's cancellation token; a cancelled item is skipped
+    /// at dispatch (answered with [`LmError::Cancelled`]) unless its
+    /// slot picked up single-flight partners.
+    cancel: Option<CancelToken>,
 }
 
 #[derive(Debug, Default)]
@@ -144,6 +184,10 @@ pub struct SchedMetrics {
     pub cache_entries: Gauge,
     /// Current approximate prefix-cache bytes.
     pub cache_bytes: Gauge,
+    /// Requests abandoned by their consumer (a dropped stream handle, a
+    /// disconnected client) and released at dispatch without reaching
+    /// the model.
+    pub cancelled: Counter,
     /// Retry/fault/deadline counters for dispatch-time recovery,
     /// registered under `lm.*` names (`lm.retries`,
     /// `lm.deadline_exceeded`, `lm.faults`, `lm.breaker_rejections`).
@@ -162,6 +206,7 @@ impl SchedMetrics {
             cache_evictions: Counter::default(),
             cache_entries: Gauge::default(),
             cache_bytes: Gauge::default(),
+            cancelled: Counter::default(),
             retry: RetryMetrics::default(),
         }
     }
@@ -179,6 +224,7 @@ impl SchedMetrics {
             cache_evictions: registry.counter("engine.cache.evictions"),
             cache_entries: registry.gauge("engine.cache.entries"),
             cache_bytes: registry.gauge("engine.cache.bytes"),
+            cancelled: registry.counter("engine.cancelled"),
             retry: RetryMetrics {
                 retries: registry.counter("lm.retries"),
                 deadline_exceeded: registry.counter("lm.deadline_exceeded"),
@@ -403,9 +449,27 @@ impl Scheduler {
     /// scheduler's [`RetryPolicy`]; what remains (exhausted budgets,
     /// fatal errors, expired deadlines) surfaces as an [`LmError`].
     pub fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
-        match self.submit(context) {
+        match self.submit(context, None) {
             Ok(result) => result,
             Err(slot) => slot.wait(),
+        }
+    }
+
+    /// Cancellable fallible scoring: returns [`LmError::Cancelled`] as
+    /// soon as `cancel` fires, without waiting for the dispatcher. The
+    /// queued work is released at dispatch time (never reaching the
+    /// model) unless a single-flight partner still wants it.
+    pub fn try_score_cancelled_by(
+        &self,
+        context: &[TokenId],
+        cancel: &CancelToken,
+    ) -> LmResult<Logits> {
+        if cancel.is_cancelled() {
+            return Err(LmError::Cancelled);
+        }
+        match self.submit(context, Some(cancel)) {
+            Ok(result) => result,
+            Err(slot) => slot.wait_cancellable(cancel),
         }
     }
 
@@ -429,7 +493,7 @@ impl Scheduler {
     /// context never fails the others.
     pub fn try_score_many(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
         let submitted: Vec<Result<LmResult<Logits>, Arc<Slot>>> =
-            contexts.iter().map(|ctx| self.submit(ctx)).collect();
+            contexts.iter().map(|ctx| self.submit(ctx, None)).collect();
         submitted
             .into_iter()
             .map(|s| match s {
@@ -439,10 +503,38 @@ impl Scheduler {
             .collect()
     }
 
+    /// Cancellable [`try_score_many`](Self::try_score_many): items still
+    /// enqueue before any wait, but once `cancel` fires every remaining
+    /// wait resolves to [`LmError::Cancelled`].
+    pub fn try_score_many_cancelled_by(
+        &self,
+        contexts: &[&[TokenId]],
+        cancel: &CancelToken,
+    ) -> Vec<LmResult<Logits>> {
+        if cancel.is_cancelled() {
+            return contexts.iter().map(|_| Err(LmError::Cancelled)).collect();
+        }
+        let submitted: Vec<Result<LmResult<Logits>, Arc<Slot>>> = contexts
+            .iter()
+            .map(|ctx| self.submit(ctx, Some(cancel)))
+            .collect();
+        submitted
+            .into_iter()
+            .map(|s| match s {
+                Ok(result) => result,
+                Err(slot) => slot.wait_cancellable(cancel),
+            })
+            .collect()
+    }
+
     /// Cache lookup, then enqueue-or-join. `Ok` is an immediate result (a
     /// cache hit, or an inline score during shutdown drain); `Err` is the
     /// slot to wait on.
-    fn submit(&self, context: &[TokenId]) -> Result<LmResult<Logits>, Arc<Slot>> {
+    fn submit(
+        &self,
+        context: &[TokenId],
+        cancel: Option<&CancelToken>,
+    ) -> Result<LmResult<Logits>, Arc<Slot>> {
         if let Some(hit) = self
             .shared
             .cache
@@ -475,6 +567,9 @@ impl Scheduler {
             self.shared.tracer.instant_with("cache", "merge", || {
                 vec![("context_tokens".to_owned(), (context.len() as u64).into())]
             });
+            // A merged slot must be dispatched even if its original
+            // requester cancels — this waiter still wants the logits.
+            slot.mark_shared();
             return Err(Arc::clone(slot));
         }
         // Second-chance lookup under the state lock: the dispatcher
@@ -502,6 +597,7 @@ impl Scheduler {
             slot: Arc::clone(&slot),
             enqueued: now,
             deadline: self.shared.retry.deadline.map(|d| now + d),
+            cancel: cancel.cloned(),
         });
         self.shared.work.notify_one();
         Err(slot)
@@ -579,6 +675,25 @@ fn dispatch_loop(shared: &Shared) {
             let take = st.queue.len().min(shared.policy.max_batch);
             st.queue.drain(..take).collect::<Vec<_>>()
         };
+
+        // Requests abandoned by their consumer are released here — their
+        // slot leaves the inflight map without ever reaching the model —
+        // unless a single-flight partner joined the slot, in which case
+        // the context is dispatched for the partner's sake.
+        let (batch, abandoned): (Vec<Pending>, Vec<Pending>) = batch.into_iter().partition(|p| {
+            p.slot.is_shared() || p.cancel.as_ref().is_none_or(|c| !c.is_cancelled())
+        });
+        if !abandoned.is_empty() {
+            let mut st = shared.state.lock().expect("scheduler poisoned");
+            for p in abandoned {
+                shared.metrics.cancelled.inc();
+                shared.tracer.instant_with("sched", "cancelled", || {
+                    vec![("context_tokens".to_owned(), (p.context.len() as u64).into())]
+                });
+                st.inflight.remove(&p.context);
+                p.slot.fill(Err(LmError::Cancelled));
+            }
+        }
 
         // Requests whose deadline already passed are answered (with the
         // deadline error) instead of dispatched: late logits nobody can
@@ -672,12 +787,27 @@ fn dispatch_loop(shared: &Shared) {
 #[derive(Debug, Clone)]
 pub struct BatchedLm {
     sched: Arc<Scheduler>,
+    cancel: Option<CancelToken>,
 }
 
 impl BatchedLm {
     /// A handle to `sched`.
     pub fn new(sched: Arc<Scheduler>) -> Self {
-        BatchedLm { sched }
+        BatchedLm {
+            sched,
+            cancel: None,
+        }
+    }
+
+    /// A cancellable handle: once `cancel` fires, every fallible score
+    /// through this handle resolves promptly to [`LmError::Cancelled`]
+    /// and its queued work is released at dispatch — the scheduler slot
+    /// is freed for other queries instead of burning a model call.
+    pub fn with_cancel(sched: Arc<Scheduler>, cancel: CancelToken) -> Self {
+        BatchedLm {
+            sched,
+            cancel: Some(cancel),
+        }
     }
 
     /// The scheduler behind this handle.
@@ -700,11 +830,17 @@ impl LanguageModel for BatchedLm {
     }
 
     fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
-        self.sched.try_score(context)
+        match &self.cancel {
+            Some(token) => self.sched.try_score_cancelled_by(context, token),
+            None => self.sched.try_score(context),
+        }
     }
 
     fn try_score_batch(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
-        self.sched.try_score_many(contexts)
+        match &self.cancel {
+            Some(token) => self.sched.try_score_many_cancelled_by(contexts, token),
+            None => self.sched.try_score_many(contexts),
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 //! scored. The cross-query trie-shaped variant lives in the engine crate
 //! as `RadixCache`.
 
-use crate::{LanguageModel, Logits};
+use crate::{LanguageModel, LmResult, Logits};
 use lmql_tokenizer::{TokenId, Vocabulary};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -217,6 +217,61 @@ impl<L: LanguageModel> LanguageModel for CachedLm<L> {
                 self.store(ctx, logits.clone());
                 for &i in &slots[ctx] {
                     out[i] = Some(logits.clone());
+                }
+            }
+        }
+        out.into_iter()
+            .map(|l| l.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Fallible variant: hits never touch the inner model, misses forward
+    /// to the inner fallible path and only successes are cached (a failed
+    /// call must stay retryable, not become a poisoned cache entry).
+    fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
+        if let Some(hit) = self.state.lock().expect("lm cache poisoned").touch(context) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let logits = self.inner.try_score(context)?;
+        self.store(context, logits.clone());
+        Ok(logits)
+    }
+
+    /// Fallible batch: like [`score_batch`](Self::score_batch) but each
+    /// miss keeps its own per-item verdict; duplicate contexts share one
+    /// inner call (and therefore one verdict).
+    fn try_score_batch(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+        let mut out: Vec<Option<LmResult<Logits>>> = (0..contexts.len()).map(|_| None).collect();
+        let mut need: Vec<&[TokenId]> = Vec::new();
+        let mut slots: HashMap<&[TokenId], Vec<usize>> = HashMap::new();
+        {
+            let mut st = self.state.lock().expect("lm cache poisoned");
+            for (i, &ctx) in contexts.iter().enumerate() {
+                if let Some(entry) = slots.get_mut(ctx) {
+                    entry.push(i);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if let Some(hit) = st.touch(ctx) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = Some(Ok(hit));
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    need.push(ctx);
+                    slots.insert(ctx, vec![i]);
+                }
+            }
+        }
+        if !need.is_empty() {
+            let scored = self.inner.try_score_batch(&need);
+            for (ctx, result) in need.iter().zip(scored) {
+                if let Ok(logits) = &result {
+                    self.store(ctx, logits.clone());
+                }
+                for &i in &slots[ctx] {
+                    out[i] = Some(result.clone());
                 }
             }
         }

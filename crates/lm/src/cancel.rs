@@ -1,0 +1,84 @@
+//! Cooperative cancellation for in-flight model work.
+//!
+//! Streaming queries (DESIGN.md §11) can be abandoned mid-decode — the
+//! consumer drops its stream handle, a client disconnects, a deadline
+//! fires upstream. [`CancelToken`] is the one-bit signal that threads
+//! through every layer that might be blocked on model work: the decode
+//! loop checks it between tokens, the scheduler checks it before
+//! dispatching a queued request and while a waiter sleeps on a
+//! single-flight slot. Cancellation is *cooperative*: setting the token
+//! never interrupts a running forward pass, it only stops new work from
+//! starting and wakes waiters early.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable one-shot cancellation flag shared between the party that
+/// cancels (a dropped stream handle, a disconnecting client) and the
+/// parties that must notice (decode loops, scheduler waiters).
+///
+/// Cloning is cheap (one `Arc` bump) and all clones observe the same
+/// flag. Once cancelled, a token stays cancelled.
+///
+/// # Example
+///
+/// ```
+/// use lmql_lm::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the flag. Idempotent; all clones observe the change.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// `Err(LmError::Cancelled)` once cancelled, `Ok(())` before —
+    /// convenient at the top of a work loop: `token.check()?;`.
+    pub fn check(&self) -> crate::LmResult<()> {
+        if self.is_cancelled() {
+            Err(crate::LmError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        a.cancel();
+        assert!(b.is_cancelled());
+        assert!(b.check().is_err());
+    }
+
+    #[test]
+    fn check_passes_before_cancel() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+    }
+}

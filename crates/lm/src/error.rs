@@ -72,6 +72,10 @@ pub enum LmError {
         /// The budget that ran out.
         deadline: Duration,
     },
+    /// The caller abandoned the request (a dropped stream handle, a
+    /// disconnected client). Terminal and **not** retryable: nobody is
+    /// waiting for the answer any more.
+    Cancelled,
 }
 
 impl LmError {
@@ -137,6 +141,7 @@ impl fmt::Display for LmError {
             LmError::DeadlineExceeded { deadline } => {
                 write!(f, "model call deadline exceeded ({deadline:?})")
             }
+            LmError::Cancelled => f.write_str("model call cancelled"),
         }
     }
 }
@@ -159,6 +164,7 @@ mod tests {
             deadline: Duration::from_millis(5)
         }
         .is_transient());
+        assert!(!LmError::Cancelled.is_transient());
     }
 
     #[test]
@@ -190,6 +196,7 @@ mod tests {
             deadline: Duration::from_millis(250),
         };
         assert!(e.to_string().contains("deadline"));
+        assert!(LmError::Cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 pub mod corpus;
 
 mod cache;
+mod cancel;
 mod chaos;
 mod error;
 mod logits;
@@ -38,6 +39,7 @@ mod retry;
 mod scripted;
 
 pub use cache::CachedLm;
+pub use cancel::CancelToken;
 pub use chaos::{ChaosLm, ChaosStats, FaultPlan};
 pub use error::{FaultKind, LmError, LmResult};
 pub use logits::{Distribution, Logits};

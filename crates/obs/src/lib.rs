@@ -22,7 +22,9 @@
 pub mod chrome;
 
 mod metrics;
+mod stream;
 mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use stream::StreamMetrics;
 pub use trace::{ArgValue, EventKind, SpanGuard, TraceEvent, Tracer};

@@ -1,0 +1,65 @@
+//! Streaming-delivery metrics.
+//!
+//! The streaming pipeline (core event sinks → engine stream handles →
+//! server `STREAM` frames) reports its health through three handles:
+//! how many events were delivered, how long the consumer waited for the
+//! first generated token, and how many streams were abandoned before
+//! completing. They follow the same pattern as the scheduler's
+//! [`SchedMetrics`]: always allocated (a few atomics), registered into a
+//! [`Registry`] only when one is given.
+//!
+//! [`SchedMetrics`]: https://docs.rs/lmql-engine
+
+use crate::metrics::{Counter, Histogram, Registry};
+
+/// Metric handles for one streaming producer (an engine, a server).
+#[derive(Debug, Clone, Default)]
+pub struct StreamMetrics {
+    /// Events emitted to consumers (tokens, chunks, forks, terminals).
+    pub events: Counter,
+    /// Latency from stream start to the first `TokenDelta`, in
+    /// microseconds — the "time to first token" a consumer observes.
+    pub first_token_us: Histogram,
+    /// Streams abandoned by their consumer before the query finished.
+    pub cancelled: Counter,
+}
+
+impl StreamMetrics {
+    /// Handles registered into `registry` under `stream.*` names
+    /// (`stream.events`, `stream.first_token_us`, `stream.cancelled`).
+    pub fn registered(registry: &Registry) -> Self {
+        StreamMetrics {
+            events: registry.counter("stream.events"),
+            first_token_us: registry.histogram("stream.first_token_us"),
+            cancelled: registry.counter("stream.cancelled"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_handles_work_unregistered() {
+        let m = StreamMetrics::default();
+        m.events.inc();
+        m.first_token_us.record(1500);
+        m.cancelled.inc();
+        assert_eq!(m.events.get(), 1);
+        assert_eq!(m.cancelled.get(), 1);
+        assert_eq!(m.first_token_us.snapshot().count, 1);
+    }
+
+    #[test]
+    fn registered_handles_surface_in_snapshots() {
+        let r = Registry::new();
+        let m = StreamMetrics::registered(&r);
+        m.events.add(3);
+        m.first_token_us.record(250);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("stream.events"), Some(3));
+        assert_eq!(snap.histogram("stream.first_token_us").unwrap().count, 1);
+        assert_eq!(snap.counter("stream.cancelled"), Some(0));
+    }
+}

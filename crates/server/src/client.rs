@@ -7,17 +7,19 @@
 //! transparently before the next attempt. An optional circuit breaker
 //! fails fast while the server stays down.
 
+use crate::error::ServerError;
 use crate::protocol::{
     read_batch_logits, read_logits, read_stats, read_tokenizer, write_batch_request,
     write_score_request,
 };
+use lmql::{QueryEvent, ReassembledQuery, Reassembler};
 use lmql_lm::{
     call_with_retry, context_token, BreakerConfig, CircuitBreaker, FaultKind, LanguageModel,
     LmError, LmResult, Logits, RetryMetrics, RetryPolicy,
 };
 use lmql_obs::{Counter, Registry};
 use lmql_tokenizer::{Bpe, TokenId, Vocabulary};
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -254,6 +256,128 @@ impl RemoteLm {
             }
             *guard = None;
         }
+    }
+
+    /// Submits `source` for **server-side** execution, streaming its
+    /// [`QueryEvent`]s back as they happen. The opposite split from
+    /// `score()`: here the whole decoding loop runs on the server and
+    /// only events cross the wire.
+    ///
+    /// Runs on a fresh dedicated connection, so in-flight `SCORE`/`BATCH`
+    /// traffic on this client is undisturbed. Dropping the returned
+    /// stream mid-query disconnects, which cancels the remote query
+    /// cooperatively (its scheduler slots are released server-side).
+    ///
+    /// Streaming uses `timeout` as the per-read budget — pass something
+    /// comfortably larger than one decode step, not larger than the
+    /// whole query.
+    ///
+    /// # Errors
+    ///
+    /// Dial and write failures.
+    pub fn stream_query(
+        &self,
+        source: &str,
+        timeout: Duration,
+    ) -> Result<RemoteQueryStream, ServerError> {
+        let mut conn = Self::dial(self.addr, timeout)?;
+        write!(conn.writer, "STREAM {}\n{source}", source.len())?;
+        conn.writer.flush()?;
+        Ok(RemoteQueryStream {
+            conn,
+            finished: false,
+        })
+    }
+}
+
+/// A streamed remote query (see [`RemoteLm::stream_query`]): iterate for
+/// live [`QueryEvent`]s, or [`into_result`](Self::into_result) to block
+/// until completion and reassemble the final result.
+pub struct RemoteQueryStream {
+    conn: Conn,
+    finished: bool,
+}
+
+impl std::fmt::Debug for RemoteQueryStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteQueryStream")
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl RemoteQueryStream {
+    /// Reads the next event; `None` after the terminal `DONE` frame. A
+    /// `RETRY`/`ERR`/`BUSY` frame (or a wire failure) ends the stream
+    /// with one final error item.
+    fn read_event(&mut self) -> Option<Result<QueryEvent, ServerError>> {
+        if self.finished {
+            return None;
+        }
+        let mut line = String::new();
+        match self.conn.reader.read_line(&mut line) {
+            Ok(0) => {
+                self.finished = true;
+                return Some(Err(ServerError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-stream",
+                ))));
+            }
+            Ok(_) => {}
+            Err(e) => {
+                self.finished = true;
+                return Some(Err(ServerError::Io(e)));
+            }
+        }
+        let line = line.trim_end();
+        if let Some(wire) = line.strip_prefix("EVENT ") {
+            return Some(QueryEvent::from_wire(wire).map_err(ServerError::from));
+        }
+        self.finished = true;
+        if line == "DONE" {
+            return None;
+        }
+        if line == "BUSY" {
+            return Some(Err(ServerError::Model(LmError::transient(
+                FaultKind::Busy,
+                "server busy (load shed)",
+            ))));
+        }
+        if let Some(msg) = line.strip_prefix("RETRY ") {
+            return Some(Err(ServerError::Model(LmError::transient(
+                FaultKind::Other,
+                msg.to_owned(),
+            ))));
+        }
+        if let Some(msg) = line.strip_prefix("ERR ") {
+            return Some(Err(ServerError::Query(msg.to_owned())));
+        }
+        Some(Err(ServerError::Protocol(format!(
+            "unexpected stream frame {line:?}"
+        ))))
+    }
+
+    /// Drains the stream and reassembles the query's final result from
+    /// its events — byte-identical to running the same query locally
+    /// (`tests/streaming.rs` holds the proof).
+    ///
+    /// # Errors
+    ///
+    /// Wire failures, protocol violations, and remote query errors.
+    pub fn into_result(mut self) -> Result<ReassembledQuery, ServerError> {
+        let mut r = Reassembler::new();
+        while let Some(event) = self.read_event() {
+            r.apply(&event?)?;
+        }
+        Ok(r.finish())
+    }
+}
+
+impl Iterator for RemoteQueryStream {
+    type Item = Result<QueryEvent, ServerError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_event()
     }
 }
 

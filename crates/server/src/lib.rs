@@ -21,6 +21,17 @@
 //! remote run is bit-identical to a local one (tested in
 //! `tests/remote.rs`), batched or not.
 //!
+//! The protocol also supports the *opposite* split: a `STREAM` frame
+//! submits a whole query for server-side execution, and the server
+//! streams [`lmql::QueryEvent`]s back as `EVENT` lines (terminated by
+//! `DONE`, or `RETRY`/`ERR` carrying the taxonomy across the hop).
+//! [`RemoteLm::stream_query`] runs one on a dedicated connection and
+//! [`RemoteQueryStream::into_result`] reassembles the final result
+//! byte-identically to a local run; disconnecting mid-stream cancels
+//! the remote query cooperatively, releasing its scheduler slots.
+//! Failures on any client path surface as the unified [`ServerError`]
+//! taxonomy, which converts into the root [`lmql::Error`].
+//!
 //! Robustness: idle connections are dropped after
 //! [`ServerConfig::read_timeout`], and [`ServerHandle::shutdown`] drains
 //! in-flight batches before returning. Beyond that the split is fault
@@ -57,11 +68,13 @@
 //! ```
 
 mod client;
+mod error;
 mod faults;
 mod protocol;
 mod server;
 
-pub use client::{RemoteClientConfig, RemoteLm};
+pub use client::{RemoteClientConfig, RemoteLm, RemoteQueryStream};
+pub use error::ServerError;
 pub use faults::{FaultAction, FaultHook};
 pub use lmql_engine::{BatchPolicy, RadixCacheConfig, RadixStats};
 pub use lmql_lm::{BreakerConfig, BreakerState, FaultKind, LanguageModel, LmError, RetryPolicy};

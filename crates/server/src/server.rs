@@ -11,11 +11,12 @@ use crate::protocol::{
     parse_batch_request, parse_score_request, write_batch_logits, write_busy, write_logits,
     write_stats, write_tokenizer,
 };
-use lmql_engine::{BatchPolicy, RadixCacheConfig, RadixStats, Scheduler, SchedulerObs};
+use lmql::{QueryEvent, Runtime, StreamSink};
+use lmql_engine::{BatchPolicy, BatchedLm, RadixCacheConfig, RadixStats, Scheduler, SchedulerObs};
 use lmql_lm::{LanguageModel, LmError, RetryPolicy};
-use lmql_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use lmql_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, StreamMetrics};
 use lmql_tokenizer::{Bpe, TokenId};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -97,9 +98,15 @@ impl ServerMetrics {
 struct ConnShared {
     sched: Arc<Scheduler>,
     serialized_tokenizer: Arc<String>,
+    /// The hosted tokenizer itself — `STREAM` queries decode server-side
+    /// and need to encode/mask against it.
+    bpe: Arc<Bpe>,
     stop: Arc<AtomicBool>,
     registry: Registry,
     metrics: ServerMetrics,
+    /// Streaming delivery counters (`stream.*`): events shipped,
+    /// time-to-first-token, abandoned streams.
+    stream_metrics: StreamMetrics,
     /// Global request ordinal (1-based, arrival order) — the fault
     /// hook's deterministic trigger.
     next_request: AtomicU64,
@@ -154,9 +161,11 @@ impl InferenceServer {
         let shared = Arc::new(ConnShared {
             sched: Arc::clone(&sched),
             serialized_tokenizer: serialized,
+            bpe,
             stop: Arc::clone(&stop),
             registry: registry.clone(),
             metrics,
+            stream_metrics: StreamMetrics::registered(&registry),
             next_request: AtomicU64::new(0),
             faults: config.faults,
             read_timeout: config.read_timeout.max(Duration::from_millis(1)),
@@ -247,6 +256,35 @@ fn handle_connection(stream: TcpStream, shared: &ConnShared) -> std::io::Result<
                     }
                     None => {}
                 }
+                // STREAM is the one request that needs the reader (its
+                // source payload follows the header line), so it is
+                // handled here rather than in `respond`.
+                if let Some(rest) = line.trim_end().strip_prefix("STREAM ") {
+                    match rest.parse::<usize>() {
+                        Ok(n) => {
+                            let mut buf = vec![0u8; n];
+                            read_exact_polling(&mut reader, &mut buf, shared)?;
+                            match String::from_utf8(buf) {
+                                Ok(source) => serve_stream(&source, &mut writer, shared)?,
+                                Err(_) => {
+                                    writeln!(writer, "ERR STREAM payload not UTF-8")?;
+                                    writer.flush()?;
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            writeln!(writer, "ERR STREAM length not a number")?;
+                            writer.flush()?;
+                        }
+                    }
+                    shared.metrics.requests.inc();
+                    shared
+                        .metrics
+                        .request_latency_us
+                        .record(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                    line.clear();
+                    continue;
+                }
                 let done = respond(
                     line.trim_end(),
                     &mut writer,
@@ -283,6 +321,147 @@ fn handle_connection(stream: TcpStream, shared: &ConnShared) -> std::io::Result<
             Err(e) => return Err(e),
         }
     }
+}
+
+/// Reads exactly `buf.len()` bytes, tolerating the short socket-timeout
+/// polls `handle_connection` configures (a `STREAM` payload may arrive
+/// split across reads) while honouring the stop flag and idle budget.
+fn read_exact_polling(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut [u8],
+    shared: &ConnShared,
+) -> std::io::Result<()> {
+    let mut filled = 0;
+    let mut idle = Duration::ZERO;
+    while filled < buf.len() {
+        let before = Instant::now();
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-payload",
+                ))
+            }
+            Ok(n) => {
+                filled += n;
+                idle = Duration::ZERO;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Err(std::io::Error::other("server shutting down"));
+                }
+                idle += before.elapsed();
+                if idle >= shared.read_timeout {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "payload stalled past the read timeout",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Executes one streamed query: events ship as `EVENT <wire>` lines
+/// (flushed per event, so the client sees tokens as they decode), then
+/// a terminal frame — `DONE` on success, `RETRY <msg>` for transient
+/// serving faults (same client semantics as a scoring `RETRY`), `ERR
+/// <msg>` otherwise.
+///
+/// A client that disconnects mid-stream cancels the query cooperatively:
+/// the first failed event write fires the [`CancelToken`] wired into
+/// both the runtime's sink and its scheduler handle, so the decode loop
+/// stops at its next step and queued scheduler work is released.
+///
+/// [`CancelToken`]: lmql_lm::CancelToken
+fn serve_stream<W: Write>(
+    source: &str,
+    writer: &mut W,
+    shared: &ConnShared,
+) -> std::io::Result<()> {
+    let (sink, events, cancel) = StreamSink::channel();
+    let lm = BatchedLm::with_cancel(Arc::clone(&shared.sched), cancel.clone());
+    let bpe = Arc::clone(&shared.bpe);
+    let registry = shared.registry.clone();
+    let started = Instant::now();
+
+    let result = std::thread::scope(|s| {
+        let producer = s.spawn(move || {
+            let mut rt = Runtime::new(Arc::new(lm), bpe);
+            rt.set_metrics_registry(registry);
+            // Contain model panics to this query, as the engine does.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rt.run_streamed(source, sink)
+            }))
+            .unwrap_or_else(|payload| {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("stream worker panicked")
+                    .to_owned();
+                Err(lmql::Error::Model { message })
+            })
+        });
+
+        let mut saw_token = false;
+        let mut write_failed = false;
+        for event in events {
+            shared.stream_metrics.events.inc();
+            if !saw_token && matches!(event, QueryEvent::TokenDelta { .. }) {
+                saw_token = true;
+                shared
+                    .stream_metrics
+                    .first_token_us
+                    .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            if write_failed {
+                continue; // drain so the producer's sends keep landing
+            }
+            let ok = writeln!(writer, "EVENT {}", event.to_wire())
+                .and_then(|()| writer.flush())
+                .is_ok();
+            if !ok {
+                // The client is gone: stop the query instead of
+                // decoding for nobody.
+                cancel.cancel();
+                write_failed = true;
+            }
+        }
+        producer.join().unwrap_or_else(|_| {
+            Err(lmql::Error::Model {
+                message: "stream worker panicked".to_owned(),
+            })
+        })
+    });
+
+    match result {
+        Ok(_) => writeln!(writer, "DONE")?,
+        Err(e) => {
+            if matches!(e, lmql::Error::Cancelled) {
+                shared.stream_metrics.cancelled.inc();
+            }
+            let msg = e.to_string();
+            // Preserve the taxonomy across the hop: transient model
+            // faults (including expired deadlines) are retryable, the
+            // rest — including cancellation — are terminal.
+            let transient = msg.contains("transient model error")
+                || msg.contains("model call deadline exceeded");
+            if transient {
+                writeln!(writer, "RETRY {}", msg.replace('\n', " "))?;
+            } else {
+                writeln!(writer, "ERR {}", msg.replace('\n', " "))?;
+            }
+        }
+    }
+    writer.flush()
 }
 
 /// Rejects token ids outside the model's vocabulary. Network input must
@@ -365,10 +544,11 @@ fn respond<W: Write>(
 
 /// Maps a model-side failure onto the wire: transient failures (and
 /// expired deadlines — the backend may merely be slow) become a `RETRY`
-/// frame the client treats as retryable; fatal ones become `ERR`.
+/// frame the client treats as retryable; fatal and cancelled ones (a
+/// retry cannot resurrect an abandoned request) become `ERR`.
 fn write_model_error<W: Write>(writer: &mut W, e: &LmError) -> std::io::Result<()> {
     match e {
-        LmError::Fatal { .. } => writeln!(writer, "ERR {e}")?,
+        LmError::Fatal { .. } | LmError::Cancelled => writeln!(writer, "ERR {e}")?,
         _ => writeln!(writer, "RETRY {e}")?,
     }
     writer.flush()

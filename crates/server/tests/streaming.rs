@@ -1,0 +1,201 @@
+//! Server-side streaming acceptance: a `STREAM` frame runs the whole
+//! query on the server, `EVENT` lines reassemble client-side
+//! byte-identically to a local run, and the terminal `DONE`/`RETRY`/`ERR`
+//! frames carry the error taxonomy across the hop.
+
+use lmql::{QueryEvent, Runtime};
+use lmql_lm::{Episode, FaultKind, LanguageModel, LmError, LmResult, Logits, ScriptedLm};
+use lmql_server::{InferenceServer, RemoteLm, ServerConfig, ServerError};
+use lmql_tokenizer::{Bpe, TokenId, Vocabulary};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+const QUERY: &str = r#"
+argmax
+    "Q: Where is Apple Computers headquartered?\n"
+    "A:[ANSWER]"
+from "remote-model"
+where stops_at(ANSWER, ".") and len(words(ANSWER)) < 20
+"#;
+
+const BEAM_QUERY: &str = r#"
+beam(n=2)
+    "Q: Where is Apple Computers headquartered?\n"
+    "A:[ANSWER]"
+from "remote-model"
+where stops_at(ANSWER, ".") and len(words(ANSWER)) < 20
+"#;
+
+fn scripted(bpe: &Arc<Bpe>) -> Arc<ScriptedLm> {
+    Arc::new(ScriptedLm::new(
+        Arc::clone(bpe),
+        [Episode::plain(
+            "Q: Where is Apple Computers headquartered?\nA:",
+            " Apple Computers is headquartered in Cupertino, California. And more trivia.",
+        )],
+    ))
+}
+
+#[test]
+fn streamed_remote_query_matches_local_bit_for_bit() {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = scripted(&bpe);
+
+    let server = InferenceServer::spawn(lm, Arc::clone(&bpe)).unwrap();
+    let (remote, _bpe) = RemoteLm::connect(server.addr()).unwrap();
+    for query in [QUERY, BEAM_QUERY] {
+        let local = Runtime::new(scripted(&bpe) as Arc<dyn LanguageModel>, Arc::clone(&bpe))
+            .run(query)
+            .unwrap();
+        let stream = remote.stream_query(query, TIMEOUT).unwrap();
+        let rebuilt = stream.into_result().unwrap();
+
+        assert!(rebuilt.error.is_none());
+        assert_eq!(rebuilt.runs.len(), local.runs.len());
+        for (got, want) in rebuilt.runs.iter().zip(&local.runs) {
+            assert_eq!(got.trace, want.trace, "{query:?}: trace differs");
+            let want_holes: Vec<(String, String)> = want
+                .hole_records
+                .iter()
+                .map(|r| (r.var.clone(), r.value.clone()))
+                .collect();
+            assert_eq!(got.holes, want_holes);
+            assert_eq!(
+                got.log_prob.to_bits(),
+                want.log_prob.to_bits(),
+                "{query:?}: log-prob not bit-exact"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn streamed_events_arrive_incrementally() {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = scripted(&bpe);
+    let server = InferenceServer::spawn(lm, Arc::clone(&bpe)).unwrap();
+    let (remote, _bpe) = RemoteLm::connect(server.addr()).unwrap();
+
+    let stream = remote.stream_query(QUERY, TIMEOUT).unwrap();
+    let events: Vec<QueryEvent> = stream.map(|e| e.expect("clean stream")).collect();
+
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, QueryEvent::TokenDelta { .. })),
+        "no token deltas crossed the wire"
+    );
+    assert!(matches!(
+        events.first(),
+        Some(QueryEvent::PromptChunk { .. })
+    ));
+    assert!(matches!(events.last(), Some(QueryEvent::Done { .. })));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_query_gets_err_frame() {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = scripted(&bpe);
+    let server = InferenceServer::spawn(lm, Arc::clone(&bpe)).unwrap();
+    let (remote, _bpe) = RemoteLm::connect(server.addr()).unwrap();
+
+    let stream = remote
+        .stream_query("argmax this is not lmql", TIMEOUT)
+        .unwrap();
+    let err = stream.into_result().unwrap_err();
+    assert!(
+        matches!(&err, ServerError::Query(_)),
+        "parse failure should be a non-retryable query error, got {err:?}"
+    );
+    assert!(!err.is_transient());
+
+    // The connection-level protocol survives: the same server still
+    // answers a well-formed streamed query afterwards.
+    let ok = remote
+        .stream_query(QUERY, TIMEOUT)
+        .unwrap()
+        .into_result()
+        .unwrap();
+    assert!(ok.error.is_none());
+    assert!(!ok.runs.is_empty());
+    server.shutdown();
+}
+
+/// A model that fails every call with a transient fault — what a flaky
+/// remote backend looks like to the server's scheduler.
+struct FlakyLm {
+    inner: Arc<dyn LanguageModel>,
+}
+
+impl LanguageModel for FlakyLm {
+    fn vocab(&self) -> &Vocabulary {
+        self.inner.vocab()
+    }
+
+    fn score(&self, context: &[TokenId]) -> Logits {
+        self.try_score(context)
+            .unwrap_or_else(|e| panic!("unreachable: {e}"))
+    }
+
+    fn try_score(&self, _context: &[TokenId]) -> LmResult<Logits> {
+        Err(LmError::transient(FaultKind::Other, "backend flaked"))
+    }
+}
+
+#[test]
+fn exhausted_transient_fault_gets_retry_frame() {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = Arc::new(FlakyLm {
+        inner: scripted(&bpe),
+    });
+    let config = ServerConfig {
+        retry: lmql_lm::RetryPolicy {
+            max_retries: 1,
+            base_backoff: Duration::from_millis(1),
+            ..lmql_lm::RetryPolicy::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = InferenceServer::spawn_with(lm, Arc::clone(&bpe), config).unwrap();
+    let (remote, _bpe) = RemoteLm::connect(server.addr()).unwrap();
+
+    let stream = remote.stream_query(QUERY, TIMEOUT).unwrap();
+    let err = stream.into_result().unwrap_err();
+    assert!(
+        matches!(&err, ServerError::Model(e) if e.is_transient()),
+        "exhausted transient fault should arrive as a RETRY frame, got {err:?}"
+    );
+    assert!(err.is_transient());
+    server.shutdown();
+}
+
+#[test]
+fn dropped_remote_stream_leaves_server_healthy() {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = scripted(&bpe);
+    let server = InferenceServer::spawn(lm, Arc::clone(&bpe)).unwrap();
+    let (remote, _bpe) = RemoteLm::connect(server.addr()).unwrap();
+
+    // Read a couple of events, then hang up mid-query. Server-side this
+    // turns into a write failure, which cancels the query cooperatively.
+    let mut stream = remote.stream_query(QUERY, TIMEOUT).unwrap();
+    let first = stream.next().expect("at least one event").unwrap();
+    assert!(matches!(first, QueryEvent::PromptChunk { .. }));
+    drop(stream);
+
+    // The server keeps serving both protocols after the abandonment.
+    let rebuilt = remote
+        .stream_query(QUERY, TIMEOUT)
+        .unwrap()
+        .into_result()
+        .unwrap();
+    let local = Runtime::new(scripted(&bpe) as Arc<dyn LanguageModel>, Arc::clone(&bpe))
+        .run(QUERY)
+        .unwrap();
+    assert_eq!(rebuilt.runs[0].trace, local.best().trace);
+    server.shutdown();
+}

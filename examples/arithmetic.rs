@@ -7,10 +7,8 @@
 //! cargo run --example arithmetic
 //! ```
 
-use lmql::{Runtime, Value};
-use lmql_datasets::{calculator, gsm8k, GPT_J_PROFILE};
-use lmql_lm::{corpus, Episode, ScriptedLm};
-use std::sync::Arc;
+use lmql_repro::lmql_datasets::{calculator, gsm8k, GPT_J_PROFILE};
+use lmql_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bpe = corpus::standard_bpe();

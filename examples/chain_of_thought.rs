@@ -6,11 +6,9 @@
 //! cargo run --example chain_of_thought
 //! ```
 
-use lmql::{Runtime, Value};
-use lmql_bench::experiments::{lm_derail_branch, lm_digression};
-use lmql_datasets::{odd_one_out, GPT_J_PROFILE};
-use lmql_lm::{corpus, Episode, ScriptedLm};
-use std::sync::Arc;
+use lmql_repro::lmql_bench::experiments::{lm_derail_branch, lm_digression};
+use lmql_repro::lmql_datasets::{odd_one_out, GPT_J_PROFILE};
+use lmql_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bpe = corpus::standard_bpe();

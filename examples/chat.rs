@@ -6,10 +6,7 @@
 //! cargo run --example chat
 //! ```
 
-use lmql::{Runtime, Value};
-use lmql_lm::{Episode, ScriptedLm};
-use lmql_tokenizer::Bpe;
-use std::sync::Arc;
+use lmql_repro::prelude::*;
 
 // max_length is generous because this demo model is character-level.
 const TURN_QUERY: &str = r#"

@@ -6,9 +6,7 @@
 //! cargo run --example debugger
 //! ```
 
-use lmql::Runtime;
-use lmql_lm::{corpus, Episode, ScriptedLm};
-use std::sync::Arc;
+use lmql_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bpe = corpus::standard_bpe();

@@ -11,11 +11,8 @@
 //! cargo run --example grammar
 //! ```
 
-use lmql::constraints::{CustomOp, Fin, FinalValue, OpCtx};
-use lmql::{Runtime, Value};
-use lmql_lm::{Episode, ScriptedLm};
-use lmql_tokenizer::Bpe;
-use std::sync::Arc;
+use lmql_repro::lmql::constraints::{CustomOp, Fin, FinalValue, OpCtx};
+use lmql_repro::prelude::*;
 
 /// How far a string gets as an arithmetic expression.
 #[derive(PartialEq)]

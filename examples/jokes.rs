@@ -6,8 +6,7 @@
 //! cargo run --example jokes
 //! ```
 
-use lmql::Runtime;
-use lmql_lm::corpus;
+use lmql_repro::prelude::*;
 
 const QUERY: &str = r#"
 beam(n=3)

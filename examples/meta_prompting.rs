@@ -7,10 +7,8 @@
 //! cargo run --example meta_prompting
 //! ```
 
-use lmql::Runtime;
-use lmql_lm::{Digression, Episode, ScriptedLmBuilder};
-use lmql_tokenizer::Bpe;
-use std::sync::Arc;
+use lmql_repro::lmql_lm::{Digression, ScriptedLmBuilder};
+use lmql_repro::prelude::*;
 
 const QUERY: &str = r#"
 argmax

@@ -6,8 +6,7 @@
 //! cargo run --example packing_list
 //! ```
 
-use lmql::Runtime;
-use lmql_lm::corpus;
+use lmql_repro::prelude::*;
 
 const QUERY: &str = r#"
 argmax

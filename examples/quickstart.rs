@@ -8,9 +8,7 @@
 //! under constraints, and prints the interaction trace, the hole variable
 //! and the usage metrics.
 
-use lmql::Runtime;
-use lmql_lm::{corpus, Episode, ScriptedLm};
-use std::sync::Arc;
+use lmql_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A tokenizer (BPE trained on the built-in corpus) and a model. The

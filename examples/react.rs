@@ -5,11 +5,9 @@
 //! cargo run --example react
 //! ```
 
-use lmql::{Runtime, Value};
-use lmql_datasets::wiki::MiniWiki;
-use lmql_datasets::{hotpot, GPT_J_PROFILE};
-use lmql_lm::{corpus, Episode, ScriptedLm};
-use std::sync::Arc;
+use lmql_repro::lmql_datasets::wiki::MiniWiki;
+use lmql_repro::lmql_datasets::{hotpot, GPT_J_PROFILE};
+use lmql_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bpe = corpus::standard_bpe();

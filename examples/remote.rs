@@ -7,10 +7,7 @@
 //! cargo run --example remote
 //! ```
 
-use lmql::Runtime;
-use lmql_lm::{corpus, Episode, ScriptedLm};
-use lmql_server::{InferenceServer, RemoteLm};
-use std::sync::Arc;
+use lmql_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Server side: the "GPU box".

@@ -6,10 +6,8 @@
 //! cargo run --example sentiment
 //! ```
 
-use lmql::Runtime;
-use lmql_lm::{Branch, Episode, ScriptedLm, SCRIPT_LOGIT};
-use lmql_tokenizer::Bpe;
-use std::sync::Arc;
+use lmql_repro::lmql_lm::{Branch, SCRIPT_LOGIT};
+use lmql_repro::prelude::*;
 
 const QUERY: &str = r#"
 argmax

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Full verification: formatting, lints, release build, tests.
 #
-# Usage: scripts/verify.sh [--slow | --quick | --chaos | --bench-smoke]
+# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --bench-smoke]
 #   --slow    also runs the proptest suites (slow-tests feature)
 #   --quick   build + tests only (skips rustfmt/clippy; useful where the
 #             toolchain components are not installed)
 #   --chaos   fault-injection suites only (deterministic seeds, offline):
 #             chaos determinism, engine chaos, server fault tolerance,
 #             scheduler fault handling
+#   --stream  streaming suites only (DESIGN.md §11): byte-identical
+#             reassembly per decoder, engine cancellation, the server's
+#             STREAM frame, plus an `lmql-run --stream` CLI smoke run
 #   --bench-smoke  runs the masking/followmap benches with a tiny
 #             measurement budget and the mask benchmark binary, emitting
 #             BENCH_mask.json (numbers are smoke-level, not publishable)
@@ -20,9 +23,10 @@ case "${1:-}" in
     --slow) MODE=slow ;;
     --quick) MODE=quick ;;
     --chaos) MODE=chaos ;;
+    --stream) MODE=stream ;;
     --bench-smoke) MODE=bench-smoke ;;
     *)
-        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --bench-smoke]" >&2
+        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --bench-smoke]" >&2
         exit 2
         ;;
 esac
@@ -50,6 +54,29 @@ if [[ "$MODE" == chaos ]]; then
     cargo test -q -p lmql-engine --lib sched
     cargo test -q -p lmql-lm --lib retry
     cargo test -q -p lmql-lm --lib chaos
+    echo "==> OK"
+    exit 0
+fi
+
+if [[ "$MODE" == stream ]]; then
+    echo "==> streaming suites (byte-identical reassembly + cancellation)"
+    cargo test -q -p lmql-repro --test streaming
+    cargo test -q -p lmql-engine --test streaming
+    cargo test -q -p lmql-server --test streaming
+    cargo test -q -p lmql --lib stream
+    echo "==> lmql-run --stream smoke"
+    QUERY_FILE="$(mktemp /tmp/lmql-stream-smoke.XXXXXX.lmql)"
+    trap 'rm -f "$QUERY_FILE"' EXIT
+    printf '%s\n' \
+        'argmax' \
+        '    "A list of things not to forget when travelling:\n-[THING]"' \
+        'from "ngram"' \
+        'where stops_at(THING, "\n")' > "$QUERY_FILE"
+    STREAM_OUT="$(cargo run -q --bin lmql-run -- "$QUERY_FILE" --stream --max-tokens 16)"
+    echo "$STREAM_OUT" | grep -q -- "--- result ---" || {
+        echo "error: lmql-run --stream produced no result summary" >&2
+        exit 1
+    }
     echo "==> OK"
     exit 0
 fi

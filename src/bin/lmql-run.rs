@@ -6,10 +6,16 @@
 //! cargo run --bin lmql-run -- query.lmql \
 //!     [--model ngram|script:<trigger>=<completion>] \
 //!     [--bind NAME=VALUE]… [--engine exact|symbolic] \
-//!     [--seed N] [--max-tokens N] [--trace] \
+//!     [--seed N] [--max-tokens N] [--stream] [--trace] \
 //!     [--trace-json <path>] [--metrics] \
 //!     [--retries N] [--timeout-ms N] [--chaos <seed>]
 //! ```
+//!
+//! `--stream` prints the model output live, token by token, as the
+//! decoder produces it (DESIGN.md §11), then the normal result summary.
+//! Internally it runs the exact same decoding loop with a
+//! [`StreamSink`](lmql::StreamSink) attached, so the final output is
+//! byte-identical to a non-streamed run.
 //!
 //! `--trace` prints the decoder graph plus the runtime's span trace
 //! (parse/compile, per-hole decoding, mask computation). `--trace-json`
@@ -35,8 +41,9 @@
 //! ```
 
 use lmql::constraints::MaskEngine;
-use lmql::{Runtime, Value};
+use lmql::{QueryEvent, Runtime, StreamSink, Value};
 use lmql_lm::{corpus, ChaosLm, ChaosStats, Episode, FaultPlan, RetryLm, RetryPolicy, ScriptedLm};
+use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -48,6 +55,7 @@ struct Args {
     engine: MaskEngine,
     seed: u64,
     max_tokens: usize,
+    stream: bool,
     trace: bool,
     trace_json: Option<String>,
     metrics: bool,
@@ -66,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         engine: MaskEngine::Symbolic,
         seed: 0,
         max_tokens: 64,
+        stream: false,
         trace: false,
         trace_json: None,
         metrics: false,
@@ -101,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--max-tokens takes a number")?
             }
+            "--stream" => out.stream = true,
             "--trace" => out.trace = true,
             "--trace-json" => {
                 out.trace_json = Some(args.next().ok_or("--trace-json takes a path")?);
@@ -132,8 +142,9 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: lmql-run <query.lmql> [--model ngram|script:<trigger>=<completion>] \
                             [--bind NAME=VALUE]… [--engine exact|symbolic] [--seed N] \
-                            [--max-tokens N] [--trace] [--trace-json <path>] [--metrics] \
-                            [--format] [--retries N] [--timeout-ms N] [--chaos <seed>]"
+                            [--max-tokens N] [--stream] [--trace] [--trace-json <path>] \
+                            [--metrics] [--format] [--retries N] [--timeout-ms N] \
+                            [--chaos <seed>]"
                         .to_owned(),
                 )
             }
@@ -233,7 +244,26 @@ fn run() -> Result<(), String> {
         runtime.set_metrics_registry(registry.clone());
     }
 
-    if args.trace {
+    if args.stream {
+        // Print path 0 (argmax / first beam / first sample) live as the
+        // decoder emits it; other paths would interleave incoherently on
+        // a terminal, so they stay silent here.
+        let sink = StreamSink::callback(|event| {
+            let text = match event {
+                QueryEvent::PromptChunk { path: 0, text } => text.as_str(),
+                QueryEvent::TokenDelta { path: 0, text, .. } => text.as_str(),
+                _ => return,
+            };
+            print!("{text}");
+            let _ = std::io::stdout().flush();
+        });
+        let result = runtime
+            .run_streamed(&source, sink)
+            .map_err(|e| e.to_string())?;
+        println!();
+        println!("--- result ---");
+        print_result(&result);
+    } else if args.trace {
         let (result, debug) = runtime.run_traced(&source).map_err(|e| e.to_string())?;
         print_result(&result);
         println!("--- decoder trace ---");

@@ -1,0 +1,171 @@
+//! Streaming acceptance tests (DESIGN.md §11): for every decoder clause,
+//! the event stream reassembles **byte-identically** to the non-streamed
+//! result — same traces, same hole values, bit-exact log-probabilities —
+//! and every event survives a wire round trip.
+
+use lmql_repro::prelude::*;
+
+const ARGMAX_QUERY: &str = "argmax\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"m\"\nwhere stops_at(THING, \"\\n\")\n";
+const SAMPLE_QUERY: &str = "sample(n=3, temperature=1.2)\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"m\"\nwhere stops_at(THING, \"\\n\")\n";
+const BEAM_QUERY: &str = "beam(n=2)\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"m\"\nwhere stops_at(THING, \"\\n\")\n";
+const DISTRIBUTE_QUERY: &str = "argmax\n    \"Review: great\\nSentiment:[CLS]\"\nfrom \"m\"\ndistribute CLS in [\" positive\", \" negative\"]\n";
+
+fn runtime() -> Runtime {
+    let mut rt = Runtime::new(corpus::standard_ngram(), corpus::standard_bpe());
+    rt.options_mut().max_tokens_per_hole = 24;
+    rt
+}
+
+/// Runs `source` twice — plain and streamed — and checks the reassembled
+/// stream matches the direct result byte for byte and bit for bit.
+fn assert_stream_matches(source: &str) -> Vec<QueryEvent> {
+    let direct = runtime().run(source).expect("direct run");
+
+    let (sink, collector) = StreamSink::collector();
+    let streamed = runtime().run_streamed(source, sink).expect("streamed run");
+    let events = collector.events();
+    assert!(!events.is_empty(), "stream produced no events");
+
+    // The streamed call returns the same result object as the plain one.
+    assert_eq!(streamed.runs.len(), direct.runs.len());
+    for (a, b) in streamed.runs.iter().zip(&direct.runs) {
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits());
+    }
+
+    // The event stream alone rebuilds the result: same run order, same
+    // traces, same hole values, bit-exact scores.
+    let rebuilt = Reassembler::from_events(&events).expect("reassembly");
+    assert!(rebuilt.error.is_none(), "stream ended in error");
+    assert_eq!(rebuilt.runs.len(), direct.runs.len(), "run count differs");
+    for (got, want) in rebuilt.runs.iter().zip(&direct.runs) {
+        assert_eq!(got.trace, want.trace, "trace differs");
+        let want_holes: Vec<(String, String)> = want
+            .hole_records
+            .iter()
+            .map(|r| (r.var.clone(), r.value.clone()))
+            .collect();
+        assert_eq!(got.holes, want_holes, "holes differ");
+        assert_eq!(
+            got.log_prob.to_bits(),
+            want.log_prob.to_bits(),
+            "log-prob not bit-exact: {} vs {}",
+            got.log_prob,
+            want.log_prob
+        );
+    }
+    match (&rebuilt.distribution, &direct.distribution) {
+        (None, None) => {}
+        (Some(got), Some(want)) => {
+            assert_eq!(got.len(), want.len());
+            for ((gv, gp), (wv, wp)) in got.iter().zip(want) {
+                assert_eq!(gv, wv);
+                assert_eq!(gp.to_bits(), wp.to_bits());
+            }
+        }
+        other => panic!("distribution presence differs: {other:?}"),
+    }
+    assert!(rebuilt.usage.is_some(), "no Usage event");
+    events
+}
+
+#[test]
+fn argmax_stream_reassembles_byte_identically() {
+    let events = assert_stream_matches(ARGMAX_QUERY);
+    // Single-hypothesis decoding never forks.
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e, QueryEvent::BeamFork { .. })));
+}
+
+#[test]
+fn sample_stream_reassembles_byte_identically() {
+    let events = assert_stream_matches(SAMPLE_QUERY);
+    // sample(n=3) streams three independent hypotheses: paths 0, 1, 2.
+    let mut paths: Vec<u32> = events.iter().filter_map(|e| e.path()).collect();
+    paths.sort_unstable();
+    paths.dedup();
+    assert_eq!(paths, vec![0, 1, 2]);
+}
+
+#[test]
+fn beam_stream_reassembles_byte_identically() {
+    let events = assert_stream_matches(BEAM_QUERY);
+    // Beam search announces every forked hypothesis before its first
+    // delta, and prunes carry a previously-introduced path id.
+    let mut known = vec![0u32];
+    for event in &events {
+        match event {
+            QueryEvent::BeamFork { parent, child } => {
+                assert!(known.contains(parent), "fork from unknown path");
+                assert!(!known.contains(child), "child id reused");
+                known.push(*child);
+            }
+            QueryEvent::BeamPrune { path } => {
+                assert!(known.contains(path), "pruned unknown path");
+            }
+            other => {
+                if let Some(p) = other.path() {
+                    assert!(known.contains(&p), "event on unannounced path");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn distribute_stream_reassembles_byte_identically() {
+    assert_stream_matches(DISTRIBUTE_QUERY);
+}
+
+#[test]
+fn every_event_round_trips_the_wire() {
+    for source in [ARGMAX_QUERY, SAMPLE_QUERY, BEAM_QUERY, DISTRIBUTE_QUERY] {
+        let (sink, collector) = StreamSink::collector();
+        runtime().run_streamed(source, sink).expect("streamed run");
+        for event in collector.events() {
+            let wire = event.to_wire();
+            let back = QueryEvent::from_wire(&wire)
+                .unwrap_or_else(|e| panic!("{wire:?} failed to parse: {e}"));
+            assert_eq!(back, event, "wire round trip changed {wire:?}");
+        }
+    }
+}
+
+#[test]
+fn token_deltas_concatenate_to_hole_values() {
+    // Beam is excluded: a forked hypothesis only streams deltas decoded
+    // *after* the fork (the prefix lives on the parent's path), so the
+    // per-path concatenation is a suffix there — the reassembler handles
+    // that by copying partial state at the fork.
+    for source in [ARGMAX_QUERY, SAMPLE_QUERY] {
+        let (sink, collector) = StreamSink::collector();
+        runtime().run_streamed(source, sink).expect("streamed run");
+        let events = collector.events();
+        for done in &events {
+            let QueryEvent::VariableDone {
+                path, var, value, ..
+            } = done
+            else {
+                continue;
+            };
+            let concat: String = events
+                .iter()
+                .filter_map(|e| match e {
+                    QueryEvent::TokenDelta {
+                        path: p,
+                        var: v,
+                        text,
+                        ..
+                    } if p == path && v == var => Some(text.as_str()),
+                    _ => None,
+                })
+                .collect();
+            // Beam EOS picks may finish a hole without a delta; whenever
+            // deltas exist they must concatenate to the final value.
+            if !concat.is_empty() {
+                assert_eq!(&concat, value, "deltas disagree with {var} on path {path}");
+            }
+        }
+    }
+}
