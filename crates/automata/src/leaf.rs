@@ -1,0 +1,402 @@
+//! Per-leaf character-level DFAs.
+//!
+//! Each supported `where`-clause leaf is abstracted into a small
+//! deterministic automaton over *characters* of the hole value. The
+//! invariant every machine must uphold (the compiler's soundness
+//! contract, see DESIGN.md §12): **two values that reach the same state
+//! are indistinguishable to the constraint evaluator** — FINAL semantics
+//! and follow maps agree on them for every possible continuation. The
+//! product of the leaf states therefore determines the token mask, which
+//! is why masks can be cached per state.
+//!
+//! States are plain `u64` codes; `DEAD` is a conventional absorbing
+//! sentinel used by machines that can reject permanently.
+
+use std::collections::HashMap;
+
+/// Absorbing sentinel state (also used as the "contained" sentinel by the
+/// sticky needle machine — each leaf interprets its own codes).
+pub(crate) const DEAD: u64 = u64::MAX;
+
+/// One compiled constraint leaf.
+pub(crate) enum LeafDfa {
+    /// The leaf's FINAL evaluation does not depend on the hole value at
+    /// all (no reference to the variable, or a shape — like `stops_at`
+    /// with a non-literal phrase — whose evaluation is constant).
+    Const,
+    /// `X in [options…]` / `X == "s"` and their negations: state is the
+    /// node reached in a prefix trie over the option strings.
+    Options(CharTrie),
+    /// `"needle" in X` (and `not in`): sticky containment via a KMP
+    /// match-length automaton; once the needle occurred the state pins to
+    /// [`DEAD`] (here meaning "contained", equally absorbing).
+    Needle(Kmp),
+    /// `stops_at(X, "phrase")`: non-sticky KMP match length. State `m`
+    /// (full match) means the value currently *ends with* the phrase; the
+    /// failure chain of the state encodes every prefix-suffix overlap the
+    /// containment masking of stop phrases depends on.
+    Stop(Kmp),
+    /// `X in "haystack"`: bitmask of haystack positions where an
+    /// occurrence of the value currently ends (haystack ≤ 63 chars).
+    Substring(Hay),
+    /// `len(X) ⋈ n` / `len(characters(X)) ⋈ n`: character count,
+    /// saturated at `cap` (all counts ≥ cap are equivalent under `⋈ n`
+    /// when `cap > n + 1`).
+    CharLen { cap: u64 },
+    /// `len(words(X)) ⋈ n`: `(word_count saturated at cap, ends in
+    /// non-whitespace)` packed as `(wc << 1) | ends_nonws`.
+    WordLen { cap: u64 },
+    /// `int(X)`-style shape tracking: empty / whitespace-only / lone
+    /// minus / digits / invalid.
+    IntShape,
+}
+
+impl LeafDfa {
+    /// State of the empty value.
+    pub(crate) fn start(&self) -> u64 {
+        match self {
+            LeafDfa::Const => 0,
+            LeafDfa::Options(_) => 0,
+            LeafDfa::Needle(_) | LeafDfa::Stop(_) => 0,
+            LeafDfa::Substring(h) => h.full,
+            LeafDfa::CharLen { .. } => 0,
+            LeafDfa::WordLen { .. } => 0,
+            LeafDfa::IntShape => int_shape::EMPTY,
+        }
+    }
+
+    /// Transition on one character of the hole value.
+    pub(crate) fn advance(&self, state: u64, c: char) -> u64 {
+        match self {
+            LeafDfa::Const => 0,
+            LeafDfa::Options(t) => t.advance(state, c),
+            LeafDfa::Needle(k) => {
+                if state == DEAD {
+                    return DEAD; // needle already contained: sticky
+                }
+                let next = k.advance(state as usize, c);
+                if next == k.len() {
+                    DEAD
+                } else {
+                    next as u64
+                }
+            }
+            LeafDfa::Stop(k) => k.advance(state as usize, c) as u64,
+            LeafDfa::Substring(h) => h.advance(state, c),
+            LeafDfa::CharLen { cap } => (state + 1).min(*cap),
+            LeafDfa::WordLen { cap } => {
+                let ends_nonws = state & 1 == 1;
+                let wc = state >> 1;
+                if c.is_whitespace() {
+                    wc << 1
+                } else if ends_nonws {
+                    state
+                } else {
+                    ((wc + 1).min(*cap) << 1) | 1
+                }
+            }
+            LeafDfa::IntShape => int_shape::advance(state, c),
+        }
+    }
+}
+
+/// Prefix trie over a finite option set, for `X in [...]` / `X == "s"`.
+///
+/// State is the trie node reached by the value's characters, or [`DEAD`]
+/// once the value leaves the option language's prefix closure. Which
+/// options remain reachable — and whether the current value *is* an
+/// option — is a function of the node alone.
+pub(crate) struct CharTrie {
+    /// `next[node]` maps a character to the child node id.
+    next: Vec<HashMap<char, u32>>,
+}
+
+/// Hard cap on trie size so pathological option lists fall back to the
+/// FollowMap path instead of ballooning compile time.
+pub(crate) const MAX_TRIE_NODES: usize = 4096;
+
+impl CharTrie {
+    /// Builds the trie; `None` if the option set exceeds [`MAX_TRIE_NODES`].
+    pub(crate) fn new<S: AsRef<str>>(options: &[S]) -> Option<Self> {
+        let mut next: Vec<HashMap<char, u32>> = vec![HashMap::new()];
+        for opt in options {
+            let mut node = 0usize;
+            for c in opt.as_ref().chars() {
+                node = match next[node].get(&c).copied() {
+                    Some(child) => child as usize,
+                    None => {
+                        let id = next.len();
+                        if id > MAX_TRIE_NODES {
+                            return None;
+                        }
+                        next[node].insert(c, id as u32);
+                        next.push(HashMap::new());
+                        id
+                    }
+                };
+            }
+        }
+        Some(CharTrie { next })
+    }
+
+    fn advance(&self, state: u64, c: char) -> u64 {
+        if state == DEAD {
+            return DEAD;
+        }
+        self.next[state as usize]
+            .get(&c)
+            .map_or(DEAD, |&n| u64::from(n))
+    }
+}
+
+/// Knuth-Morris-Pratt match-length automaton for a fixed pattern.
+///
+/// The state `l ∈ 0..=m` is the length of the longest pattern prefix that
+/// is a suffix of the value — exactly the quantity `ends_with` /
+/// containment checks on a growing string depend on.
+pub(crate) struct Kmp {
+    pat: Vec<char>,
+    /// `fail[l]`: longest proper prefix of `pat[..l]` that is also its
+    /// suffix (`fail.len() == pat.len() + 1`).
+    fail: Vec<u32>,
+}
+
+impl Kmp {
+    /// Builds the automaton. The pattern must be non-empty (empty
+    /// patterns are compiled as [`LeafDfa::Const`]).
+    pub(crate) fn new(pattern: &str) -> Self {
+        let pat: Vec<char> = pattern.chars().collect();
+        assert!(!pat.is_empty(), "empty KMP pattern");
+        let m = pat.len();
+        let mut fail = vec![0u32; m + 1];
+        let mut k = 0usize;
+        for i in 1..m {
+            while k > 0 && pat[i] != pat[k] {
+                k = fail[k] as usize;
+            }
+            if pat[i] == pat[k] {
+                k += 1;
+            }
+            fail[i + 1] = k as u32;
+        }
+        Kmp { pat, fail }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.pat.len()
+    }
+
+    fn advance(&self, mut l: usize, c: char) -> usize {
+        let m = self.pat.len();
+        if l == m {
+            l = self.fail[m] as usize;
+        }
+        loop {
+            if self.pat[l] == c {
+                return l + 1;
+            }
+            if l == 0 {
+                return 0;
+            }
+            l = self.fail[l] as usize;
+        }
+    }
+}
+
+/// End-position bitmask automaton for `X in "haystack"`.
+///
+/// Bit `e` of the state is set iff an occurrence of the value ends just
+/// before haystack position `e` (so the empty value sets bits `0..=n`).
+/// A zero state means the value is not a substring — and never will be
+/// again — so `0` doubles as the dead state.
+pub(crate) struct Hay {
+    /// `pos[c]`: bit `e` set iff `haystack[e] == c` (char index).
+    pos: HashMap<char, u64>,
+    /// Bits `0..=n` where `n` is the haystack length in chars.
+    full: u64,
+}
+
+/// Haystacks longer than this don't fit the u64 end-position mask and
+/// fall back to the FollowMap path.
+pub(crate) const MAX_HAY_CHARS: usize = 63;
+
+impl Hay {
+    /// `None` if the haystack exceeds [`MAX_HAY_CHARS`].
+    pub(crate) fn new(haystack: &str) -> Option<Self> {
+        let chars: Vec<char> = haystack.chars().collect();
+        if chars.len() > MAX_HAY_CHARS {
+            return None;
+        }
+        let mut pos: HashMap<char, u64> = HashMap::new();
+        for (e, c) in chars.iter().enumerate() {
+            *pos.entry(*c).or_insert(0) |= 1u64 << e;
+        }
+        let full = ((1u128 << (chars.len() + 1)) - 1) as u64;
+        Some(Hay { pos, full })
+    }
+
+    fn advance(&self, state: u64, c: char) -> u64 {
+        (state & self.pos.get(&c).copied().unwrap_or(0)) << 1
+    }
+}
+
+/// `int(X)` shape classes.
+///
+/// Whitespace-only is distinct from empty because the evaluator's
+/// fast-path trims the value while the strict `is_int_string` check does
+/// not — the two classes admit different continuations.
+pub(crate) mod int_shape {
+    pub(crate) const EMPTY: u64 = 0;
+    pub(crate) const WS_ONLY: u64 = 1;
+    pub(crate) const MINUS: u64 = 2;
+    pub(crate) const DIGITS: u64 = 3;
+    pub(crate) const INVALID: u64 = 4;
+
+    pub(crate) fn advance(state: u64, c: char) -> u64 {
+        match state {
+            EMPTY => {
+                if c == '-' {
+                    MINUS
+                } else if c.is_ascii_digit() {
+                    DIGITS
+                } else if c.is_whitespace() {
+                    WS_ONLY
+                } else {
+                    INVALID
+                }
+            }
+            WS_ONLY => {
+                if c.is_whitespace() {
+                    WS_ONLY
+                } else {
+                    INVALID
+                }
+            }
+            MINUS | DIGITS => {
+                if c.is_ascii_digit() {
+                    DIGITS
+                } else {
+                    INVALID
+                }
+            }
+            _ => INVALID,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(leaf: &LeafDfa, value: &str) -> u64 {
+        let mut s = leaf.start();
+        for c in value.chars() {
+            s = leaf.advance(s, c);
+        }
+        s
+    }
+
+    #[test]
+    fn kmp_state_is_longest_suffix_prefix() {
+        let kmp = Kmp::new("abab");
+        for value in ["", "a", "ab", "aba", "abab", "ababa", "xabay", "bbab"] {
+            let mut l = 0usize;
+            for c in value.chars() {
+                l = kmp.advance(l, c);
+            }
+            // Reference: longest pattern prefix that suffixes the value.
+            let expected = (0..=4)
+                .rev()
+                .find(|&k| {
+                    let prefix: String = "abab".chars().take(k).collect();
+                    value.ends_with(&prefix)
+                })
+                .unwrap();
+            // KMP only tracks ≤ the first full match boundary the same
+            // way; for these inputs no overshoot occurs except via the
+            // failure restart, which the reference also reflects.
+            assert_eq!(l, expected, "value {value:?}");
+        }
+    }
+
+    #[test]
+    fn needle_is_sticky_on_containment() {
+        let leaf = LeafDfa::Needle(Kmp::new("ab"));
+        assert_eq!(run(&leaf, "xaxbx"), 0);
+        assert_eq!(run(&leaf, "xa"), 1);
+        assert_eq!(run(&leaf, "xab"), DEAD);
+        assert_eq!(run(&leaf, "xabzzz"), DEAD);
+    }
+
+    #[test]
+    fn stop_state_marks_suffix_match() {
+        let leaf = LeafDfa::Stop(Kmp::new("."));
+        assert_eq!(run(&leaf, "done"), 0);
+        assert_eq!(run(&leaf, "done."), 1);
+        assert_eq!(run(&leaf, "done.x"), 0);
+    }
+
+    #[test]
+    fn options_trie_tracks_prefix_membership() {
+        let trie = CharTrie::new(&["ab", "abc", "x"]).unwrap();
+        let leaf = LeafDfa::Options(trie);
+        assert_ne!(run(&leaf, "ab"), DEAD);
+        assert_ne!(run(&leaf, "abc"), DEAD);
+        assert_eq!(run(&leaf, "abd"), DEAD);
+        assert_eq!(run(&leaf, "y"), DEAD);
+        // "a" and "ab" reach different nodes (different continuations).
+        assert_ne!(run(&leaf, "a"), run(&leaf, "ab"));
+    }
+
+    #[test]
+    fn substring_mask_matches_naive_containment() {
+        let hay = "abracadabra";
+        let leaf = LeafDfa::Substring(Hay::new(hay).unwrap());
+        for value in ["", "a", "ab", "abra", "cad", "bb", "abracadabra", "ra"] {
+            let alive = run(&leaf, value) != 0;
+            assert_eq!(alive, hay.contains(value), "value {value:?}");
+        }
+        // End positions distinguish e.g. "abra" (two occurrences) from
+        // "cada" (one): they admit different next characters.
+        assert_ne!(run(&leaf, "abra"), run(&leaf, "cada"));
+    }
+
+    #[test]
+    fn int_shape_classes() {
+        let leaf = LeafDfa::IntShape;
+        assert_eq!(run(&leaf, ""), int_shape::EMPTY);
+        assert_eq!(run(&leaf, "  "), int_shape::WS_ONLY);
+        assert_eq!(run(&leaf, "-"), int_shape::MINUS);
+        assert_eq!(run(&leaf, "-42"), int_shape::DIGITS);
+        assert_eq!(run(&leaf, "42"), int_shape::DIGITS);
+        assert_eq!(run(&leaf, "4x"), int_shape::INVALID);
+        assert_eq!(run(&leaf, " 4"), int_shape::INVALID);
+        assert_eq!(run(&leaf, "--"), int_shape::INVALID);
+    }
+
+    #[test]
+    fn word_len_counts_like_split_whitespace() {
+        let leaf = LeafDfa::WordLen { cap: 64 };
+        for value in ["", "a", "a b", " a  b ", "one two three", "  "] {
+            let s = run(&leaf, value);
+            assert_eq!(
+                (s >> 1) as usize,
+                value.split_whitespace().count(),
+                "value {value:?}"
+            );
+            assert_eq!(
+                s & 1 == 1,
+                value.chars().last().is_some_and(|c| !c.is_whitespace()),
+                "value {value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn char_len_saturates_at_cap() {
+        let leaf = LeafDfa::CharLen { cap: 4 };
+        assert_eq!(run(&leaf, "abc"), 3);
+        assert_eq!(run(&leaf, "abcd"), 4);
+        assert_eq!(run(&leaf, "abcdefgh"), 4);
+    }
+}

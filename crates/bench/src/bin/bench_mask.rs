@@ -1,17 +1,24 @@
 //! Mask-generation benchmark: steps/sec and allocations/step for the
 //! reference configuration (no memo, sequential scans) against the
-//! accelerated one (memoized + parallel scans), on a 12k-token
-//! vocabulary. Emits `BENCH_mask.json`.
+//! accelerated ones (memoized + parallel scans; compiled constraint
+//! automata), on a 12k-token vocabulary. Emits `BENCH_mask.json`.
 //!
 //! Usage: `bench_mask [--out PATH]` (default `BENCH_mask.json`).
 //! `LMQL_BENCH_BUDGET_MS` shrinks the per-scenario budget for CI smoke
-//! runs.
+//! runs. `LMQL_BENCH_ALLOC_BUDGET` (allocs/step) makes the automata
+//! advancing scenario a hard assertion: exceeding the budget exits 1.
 //!
 //! Two workloads bracket what decoding produces:
 //! - `steady`: the same decode state every step — beam siblings and
 //!   repeated engine queries; this is where the memo pays off.
 //! - `advancing`: the value grows every step, so every state is a memo
-//!   miss and only parallel scans + pooled scratch sets can help.
+//!   miss; the `fast` config can only throw parallel scans + pooled
+//!   scratch sets at it, while `automata` maps each new value onto a
+//!   previously-discovered automaton state and serves the cached mask.
+//!
+//! Automaton compilation is a one-time cost per (query, vocabulary), so
+//! it is measured and reported as its own line instead of being folded
+//! into ns/step.
 
 use lmql::constraints::{MaskConfig, MaskEngine, Masker, VocabSource};
 use lmql_syntax::parse_expr;
@@ -155,7 +162,15 @@ fn main() {
     for engine in [MaskEngine::Exact, MaskEngine::Symbolic] {
         for (config_name, config) in [
             ("reference", MaskConfig::reference()),
-            ("fast", MaskConfig::default()),
+            // `fast` isolates memo + parallel scans from the automaton.
+            (
+                "fast",
+                MaskConfig {
+                    automata: false,
+                    ..MaskConfig::default()
+                },
+            ),
+            ("automata", MaskConfig::default()),
         ] {
             for workload in ["steady", "advancing"] {
                 scenarios.push(Scenario {
@@ -168,6 +183,11 @@ fn main() {
         }
     }
 
+    let alloc_budget: Option<f64> = std::env::var("LMQL_BENCH_ALLOC_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut budget_breached = false;
+
     let mut rows = Vec::new();
     for s in &scenarios {
         let m = run_scenario(s, &vocab, budget);
@@ -179,6 +199,18 @@ fn main() {
             "bench: mask/{:?}/{}/{:<9} {:>10.1} steps/s  {:>10.0} ns/step  {:>8.1} allocs/step",
             s.engine, s.config_name, s.workload, steps_per_sec, ns_per_step, allocs_per_step
         );
+        if s.config_name == "automata" && s.workload == "advancing" {
+            if let Some(max) = alloc_budget {
+                if allocs_per_step > max {
+                    eprintln!(
+                        "bench: ALLOC BUDGET EXCEEDED for mask/{:?}/automata/advancing: \
+                         {allocs_per_step:.1} allocs/step > budget {max:.1}",
+                        s.engine
+                    );
+                    budget_breached = true;
+                }
+            }
+        }
         rows.push(format!(
             "    {{\n      \"engine\": \"{:?}\",\n      \"config\": \"{}\",\n      \
              \"workload\": \"{}\",\n      \"steps_per_sec\": {:.1},\n      \
@@ -187,12 +219,39 @@ fn main() {
         ));
     }
 
+    // One-time automaton compilation cost, reported separately: median
+    // of repeated compilations of the benchmark constraint.
+    let compile_expr =
+        parse_expr("not \"\\n\" in X and stops_at(X, \".\") and len(words(X)) < 40").unwrap();
+    struct NoScope;
+    impl lmql_automata::ScopeResolver for NoScope {
+        fn str_list(&self, _name: &str) -> Option<Vec<String>> {
+            None
+        }
+    }
+    let mut samples: Vec<f64> = Vec::new();
+    let mut leaves = 0usize;
+    for _ in 0..101 {
+        let t = Instant::now();
+        let automaton = lmql_automata::compile(&compile_expr, "X", &NoScope, &|_| false)
+            .expect("benchmark constraint must compile");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        leaves = automaton.leaf_count();
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("compile times are never NaN"));
+    let compile_us = samples[samples.len() / 2];
+    println!("bench: mask/automata/compile            {compile_us:>10.2} us  ({leaves} leaves)");
+
     let json = format!(
         "{{\n  \"bench\": \"mask\",\n  \"vocab_tokens\": {VOCAB_SIZE},\n  \
-         \"budget_ms\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+         \"budget_ms\": {},\n  \"automata_compile_us\": {compile_us:.2},\n  \
+         \"automata_leaves\": {leaves},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         budget.as_millis(),
         rows.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write BENCH_mask.json");
     println!("wrote {out_path}");
+    if budget_breached {
+        std::process::exit(1);
+    }
 }

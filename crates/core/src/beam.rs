@@ -48,6 +48,12 @@ enum Planned {
     Finish(Beam),
     /// Extend by one token under this mask.
     Extend { beam: Beam, mask: TokenSet },
+    /// The automaton proved exactly one admissible continuation (and no
+    /// EOS): extend without scoring (fast-forward, DESIGN.md §12). The
+    /// scored path would see a singleton mask renormalise to probability
+    /// exactly 1.0 — one pick, no forks, log-prob delta 0 — so skipping
+    /// the batch entry leaves scores and events byte-identical.
+    Forced { beam: Beam, token: TokenId },
 }
 
 /// A finished beam: its VM (trace, scope, hole records) and score.
@@ -108,7 +114,8 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
     // value) — e.g. right after a fork, before their values differ — share
     // one mask computation. Keyed on the full scope hash because beams may
     // follow different control-flow paths with different scopes.
-    let mut step_masks: HashMap<(u64, String, String), MaskOutcome> = HashMap::new();
+    let mut step_masks: HashMap<(u64, String, String), (MaskOutcome, Option<TokenId>)> =
+        HashMap::new();
 
     for _ in 0..MAX_TOTAL_STEPS {
         if beams.iter().all(|b| b.done) {
@@ -128,7 +135,7 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
             }
             let (var, value) = beam.hole.clone().expect("active beam has a hole");
             let key = (fingerprint_scope_full(beam.vm.scope()), var, value);
-            let outcome = match step_masks.get(&key) {
+            let (outcome, forced) = match step_masks.get(&key) {
                 Some(hit) => hit.clone(),
                 None => {
                     let o = masker.compute(
@@ -137,8 +144,9 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                         &key.1,
                         &key.2,
                     );
-                    step_masks.insert(key, o.clone());
-                    o
+                    let f = masker.forced_token(&o);
+                    step_masks.insert(key, (o.clone(), f));
+                    (o, f)
                 }
             };
 
@@ -155,6 +163,10 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                 });
                 sink.emit(QueryEvent::BeamPrune { path: beam.path });
                 continue; // prune this beam
+            }
+            if let Some(token) = forced {
+                planned.push(Planned::Forced { beam, token });
+                continue;
             }
             let mut mask = outcome.allowed.clone();
             if outcome.eos_allowed {
@@ -186,6 +198,16 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                 Planned::Done(beam) => candidates.push(beam),
                 Planned::Finish(mut beam) => {
                     finish_hole(&mut beam, program, externals, bpe, sink)?;
+                    candidates.push(beam);
+                }
+                Planned::Forced { mut beam, token } => {
+                    masker.note_fast_forward(1);
+                    let (var, v) = beam.hole.as_mut().expect("active beam has a hole");
+                    let text = bpe.vocab().token_str(token);
+                    sink.with_path(beam.path).token_delta(var, text, 0.0);
+                    v.push_str(text);
+                    beam.context.push(token);
+                    beam.hole_tokens += 1;
                     candidates.push(beam);
                 }
                 Planned::Extend { beam, mask } => {

@@ -17,6 +17,7 @@
 //! appear strictly inside the value) is masked, so decoding halts exactly
 //! at the phrase.
 
+use crate::constraints::automata_cache::{AutomataCache, AutomatonKey};
 use crate::constraints::eval::{eval_final, EvalCtx};
 use crate::constraints::follow::{follow_sets, scan_vocab, FollowCtx, ScanCache, SetPool};
 use crate::constraints::memo::{MaskKey, MaskMemo};
@@ -68,6 +69,10 @@ pub struct MaskConfig {
     pub parallel: ParallelScan,
     /// Minimum vocabulary size for [`ParallelScan::Auto`] to engage.
     pub parallel_min_vocab: usize,
+    /// Compile eager `where` clauses to constraint automata and serve
+    /// masks per automaton state (DESIGN.md §12). Clauses that don't
+    /// compile — custom operators above all — fall back transparently.
+    pub automata: bool,
 }
 
 impl Default for MaskConfig {
@@ -77,16 +82,19 @@ impl Default for MaskConfig {
             memo_capacity: 256,
             parallel: ParallelScan::Auto,
             parallel_min_vocab: 2048,
+            automata: true,
         }
     }
 }
 
 impl MaskConfig {
-    /// The reference configuration: no memo, sequential scans.
+    /// The reference configuration: no memo, sequential scans, no
+    /// automata.
     pub fn reference() -> Self {
         MaskConfig {
             memo: false,
             parallel: ParallelScan::Off,
+            automata: false,
             ..MaskConfig::default()
         }
     }
@@ -126,16 +134,31 @@ pub struct MaskMetrics {
     hits: lmql_obs::Counter,
     misses: lmql_obs::Counter,
     parallel_chunks: lmql_obs::Counter,
+    automata_hits: lmql_obs::Counter,
+    automata_fallbacks: lmql_obs::Counter,
+    fast_forwarded: lmql_obs::Counter,
+    automata_states: lmql_obs::Gauge,
+    compile_us: lmql_obs::Histogram,
 }
 
 impl MaskMetrics {
     /// Registers (or re-attaches to) the mask counters in `registry`:
-    /// `mask.cache.hit`, `mask.cache.miss`, `mask.scan.parallel_chunks`.
+    /// `mask.cache.hit`, `mask.cache.miss`, `mask.scan.parallel_chunks`,
+    /// plus the automaton family — `automata.hit` (mask served from a
+    /// cached automaton state), `automata.fallback` (clause didn't
+    /// compile), `automata.fast_forwarded_tokens` (tokens appended
+    /// without an LM call), `automata.states` (distinct states
+    /// discovered) and the `automata.compile_us` histogram.
     pub fn register(registry: &lmql_obs::Registry) -> Self {
         MaskMetrics {
             hits: registry.counter("mask.cache.hit"),
             misses: registry.counter("mask.cache.miss"),
             parallel_chunks: registry.counter("mask.scan.parallel_chunks"),
+            automata_hits: registry.counter("automata.hit"),
+            automata_fallbacks: registry.counter("automata.fallback"),
+            fast_forwarded: registry.counter("automata.fast_forwarded_tokens"),
+            automata_states: registry.gauge("automata.states"),
+            compile_us: registry.histogram("automata.compile_us"),
         }
     }
 }
@@ -173,6 +196,17 @@ pub struct Masker {
     memo: Option<Arc<MaskMemo>>,
     pool: SetPool,
     metrics: Option<MaskMetrics>,
+    /// Shared store of compiled automata (lazily created when
+    /// [`MaskConfig::automata`] is on and none was installed).
+    automata: Option<Arc<AutomataCache>>,
+    /// The automaton (or cached rejection) for the clause computed last,
+    /// so steady-state steps skip the cache mutex entirely.
+    current_automaton: Option<(AutomatonKey, Option<Arc<lmql_automata::Automaton>>)>,
+    /// Reusable product-state scratch buffer (zero-alloc hot path).
+    state_key: Vec<u64>,
+    /// Whether the last computed outcome came from an automaton state —
+    /// the precondition for [`Masker::forced_token`].
+    last_from_automaton: bool,
 }
 
 /// Anything that can lend a [`Vocabulary`] (object-safe facade so `Masker`
@@ -212,6 +246,10 @@ impl Masker {
             memo: None,
             pool,
             metrics: None,
+            automata: None,
+            current_automaton: None,
+            state_key: Vec::new(),
+            last_from_automaton: false,
         }
     }
 
@@ -250,6 +288,15 @@ impl Masker {
         self
     }
 
+    /// Installs a shared automata cache (e.g. the engine's cross-query
+    /// cache). Like [`Masker::with_memo`], sharing is always sound: the
+    /// automaton key carries vocabulary identity, engine, operator
+    /// generation and scope fingerprints.
+    pub fn with_automata_cache(mut self, cache: Arc<AutomataCache>) -> Self {
+        self.automata = Some(cache);
+        self
+    }
+
     /// The engine in use.
     pub fn engine(&self) -> MaskEngine {
         self.engine
@@ -275,6 +322,7 @@ impl Masker {
         value: &str,
     ) -> MaskOutcome {
         let mut mask_span = self.tracer.span("mask", "compute_mask");
+        self.last_from_automaton = false;
         let Some(expr) = where_expr else {
             // Unconstrained hole: everything is admissible.
             let eos = self.vocab_owner.vocabulary().eos();
@@ -286,6 +334,53 @@ impl Masker {
                 must_stop: false,
             };
         };
+
+        // Constraint-automaton path (DESIGN.md §12): when the clause
+        // compiles, the mask is a pure function of the automaton state,
+        // so a revisited state is a hash lookup instead of a vocabulary
+        // scan. A state's first visit delegates to `compute_uncached` —
+        // the masks served here are the engine's own bits.
+        if self.config.automata {
+            if let Some(aut) = self.automaton_for(expr, scope, var) {
+                let mut key = std::mem::take(&mut self.state_key);
+                aut.state_of(value, &mut key);
+                if let Some(hit) = aut.cached(&key) {
+                    self.state_key = key;
+                    self.last_from_automaton = true;
+                    if let Some(m) = &self.metrics {
+                        m.automata_hits.inc();
+                    }
+                    if mask_span.is_recording() {
+                        mask_span.arg("automaton_hit", 1u64);
+                    }
+                    return MaskOutcome {
+                        allowed: hit.allowed.clone(),
+                        eos_allowed: hit.eos_allowed,
+                        must_stop: hit.must_stop,
+                    };
+                }
+                let outcome = self.compute_uncached(expr, scope, var, value, &mut mask_span);
+                let (_, new_state) = aut.insert(
+                    &key,
+                    lmql_automata::StateMask {
+                        allowed: outcome.allowed.clone(),
+                        eos_allowed: outcome.eos_allowed,
+                        must_stop: outcome.must_stop,
+                    },
+                );
+                if new_state {
+                    if let Some(m) = &self.metrics {
+                        m.automata_states.add(1);
+                    }
+                }
+                self.state_key = key;
+                self.last_from_automaton = true;
+                return outcome;
+            }
+            if let Some(m) = &self.metrics {
+                m.automata_fallbacks.inc();
+            }
+        }
 
         let key = if self.config.memo {
             let vlen = self.vocab_owner.vocabulary().len();
@@ -326,6 +421,78 @@ impl Masker {
                 .insert(key, outcome.clone());
         }
         outcome
+    }
+
+    /// The compiled automaton for the clause, compiling (and caching the
+    /// result, including rejections) on first sight. The last-used slot
+    /// keeps steady-state decode steps off the cache mutex.
+    fn automaton_for(
+        &mut self,
+        expr: &Expr,
+        scope: &HashMap<String, Value>,
+        var: &str,
+    ) -> Option<Arc<lmql_automata::Automaton>> {
+        let vlen = self.vocab_owner.vocabulary().len();
+        let key = AutomatonKey::new(
+            self.engine,
+            (Arc::as_ptr(&self.vocab_owner).cast::<()>() as usize, vlen),
+            self.custom.generation(),
+            expr,
+            scope,
+            var,
+        );
+        if let Some((cached_key, slot)) = &self.current_automaton {
+            if *cached_key == key {
+                return slot.clone();
+            }
+        }
+        let cache = match &self.automata {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = AutomataCache::new();
+                self.automata = Some(Arc::clone(&c));
+                c
+            }
+        };
+        let custom = &self.custom;
+        let metrics = &self.metrics;
+        let slot = cache.get_or_compile(key, || {
+            let started = std::time::Instant::now();
+            let compiled = lmql_automata::compile(
+                expr,
+                var,
+                &crate::constraints::automata_cache::ScopeValues(scope),
+                &|name| custom.contains(name),
+            );
+            if let Some(m) = metrics {
+                m.compile_us.record(started.elapsed().as_micros() as u64);
+            }
+            compiled.ok()
+        });
+        self.current_automaton = Some((key, slot.clone()));
+        slot
+    }
+
+    /// When the automaton produced the last outcome and that outcome
+    /// admits exactly one token (and forbids ending the hole), returns
+    /// it: the decoder can append it without querying the model
+    /// (SGLang-style fast-forwarding). `None` for FollowMap-path
+    /// outcomes — only automaton states are cheap enough to prove the
+    /// singleton chain step by step.
+    pub fn forced_token(&self, outcome: &MaskOutcome) -> Option<lmql_tokenizer::TokenId> {
+        if !self.last_from_automaton || outcome.must_stop || outcome.eos_allowed {
+            return None;
+        }
+        let mut it = outcome.allowed.iter();
+        let t = it.next()?;
+        it.next().is_none().then_some(t)
+    }
+
+    /// Records `n` fast-forwarded (forced, not model-scored) tokens.
+    pub fn note_fast_forward(&self, n: u64) {
+        if let Some(m) = &self.metrics {
+            m.fast_forwarded.add(n);
+        }
     }
 
     fn compute_uncached(

@@ -1,6 +1,7 @@
 //! Validation and constrained decoding (§5 of the paper): FINAL semantics,
 //! FOLLOW maps and token-mask generation.
 
+mod automata_cache;
 mod custom;
 mod eval;
 mod final_sem;
@@ -8,6 +9,7 @@ mod follow;
 mod mask;
 mod memo;
 
+pub use automata_cache::AutomataCache;
 pub use custom::{CustomOp, CustomOps, FollowView, OpCtx};
 pub use eval::{eval_expr, eval_final, EvalCtx};
 pub use final_sem::{Fin, FinalValue};

@@ -6,7 +6,7 @@ use crate::{Error, Result};
 use lmql_lm::LanguageModel;
 use lmql_tokenizer::{Bpe, TokenSet};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -260,6 +260,47 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
             if mask.is_empty() {
                 stopped_by = StopReason::MaskExhausted;
                 break; // blocking exhausted the mask: end the hole
+            }
+        }
+        // Fast-forwarding (DESIGN.md §12): when the automaton proves the
+        // mask is a singleton without EOS, the model's answer is
+        // irrelevant — the forced token is appended without scoring.
+        // Chains of forced states (template text, closing brackets)
+        // therefore cost zero LM calls, while the per-token stream
+        // events, step traces and log-prob stay byte-identical to the
+        // scored path: a singleton renormalises to probability exactly
+        // 1.0, log-prob exactly 0.0. (Speculative mode already paid for
+        // the forward pass, so it keeps the scored path.)
+        if speculative_logits.is_none() {
+            if let Some(t) = masker.forced_token(&outcome) {
+                let mut ff_span = tracer.span("decode", "fast_forward");
+                if let Pick::Sample(rng) = pick {
+                    // The scored path draws one uniform sample per
+                    // token; a singleton distribution maps every draw
+                    // to `t`. Burn the draw so the RNG stream — and
+                    // every later sampled token — stays identical.
+                    let _: f64 = rng.gen();
+                }
+                let text = bpe.vocab().token_str(t);
+                if ff_span.is_recording() {
+                    ff_span.arg("token", text.to_owned());
+                }
+                if let Some(steps) = steps_out.as_deref_mut() {
+                    steps.push(StepTrace {
+                        value_chars: value.chars().count(),
+                        allowed: outcome.allowed.count(),
+                        vocab: bpe.vocab().len(),
+                        eos_allowed: outcome.eos_allowed,
+                        picked: Some(text.to_owned()),
+                        prob: 1.0,
+                    });
+                }
+                masker.note_fast_forward(1);
+                options.sink.token_delta(var, text, 0.0);
+                value.push_str(text);
+                context.push(t);
+                tokens += 1;
+                continue;
             }
         }
         let logits = match speculative_logits {

@@ -1,7 +1,7 @@
 //! The top-level query runner: parse → compile → execute → results.
 
 use crate::beam::run_beam_search;
-use crate::constraints::{eval_expr, CustomOp, CustomOps, MaskMemo, Masker};
+use crate::constraints::{eval_expr, AutomataCache, CustomOp, CustomOps, MaskMemo, Masker};
 use crate::debug::{DebugTrace, HoleTrace, StopReason};
 use crate::decode::{decode_hole_traced, DecodeOptions, Pick};
 use crate::interp::{Externals, HoleRecord, Step, VmState};
@@ -100,6 +100,7 @@ pub struct Runtime {
     meter: UsageMeter,
     options: DecodeOptions,
     mask_memo: Option<Arc<MaskMemo>>,
+    automata_cache: Option<Arc<AutomataCache>>,
     metrics: Option<lmql_obs::Registry>,
 }
 
@@ -134,6 +135,7 @@ impl Runtime {
             meter: UsageMeter::new(),
             options: DecodeOptions::default(),
             mask_memo: None,
+            automata_cache: None,
             metrics: None,
         }
     }
@@ -170,6 +172,16 @@ impl Runtime {
     /// per-query runtimes).
     pub fn set_mask_memo(&mut self, memo: Arc<MaskMemo>) {
         self.mask_memo = Some(memo);
+    }
+
+    /// Installs a shared constraint-automata cache (see
+    /// [`AutomataCache`]). Without one, each run's masker lazily creates
+    /// a private cache; a shared cache carries compiled automata and
+    /// their per-state masks across runs and across runtimes that mask
+    /// over the same tokenizer (the engine does this for its per-query
+    /// runtimes).
+    pub fn set_automata_cache(&mut self, cache: Arc<AutomataCache>) {
+        self.automata_cache = Some(cache);
     }
 
     /// Installs a metrics registry: every subsequent run reports
@@ -366,6 +378,9 @@ impl Runtime {
             .with_config(options.mask);
         if let Some(memo) = &self.mask_memo {
             masker = masker.with_memo(Arc::clone(memo));
+        }
+        if let Some(cache) = &self.automata_cache {
+            masker = masker.with_automata_cache(Arc::clone(cache));
         }
         if let Some(registry) = &self.metrics {
             masker = masker.with_metrics(registry);

@@ -1,0 +1,160 @@
+//! Fast-forward accounting (DESIGN.md §12): tokens forced by a compiled
+//! constraint automaton must NOT be billed as model queries — the whole
+//! point of fast-forwarding — while decoder calls, billable tokens, and
+//! the decoded output itself stay exactly what the scored path produces.
+
+use lmql::{Runtime, Value};
+use lmql_lm::{Episode, ScriptedLm};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+const FORCED: &str = " ok done.";
+
+/// A char-level runtime over a scripted model; with `A == " ok done."`
+/// every decode step's mask is a singleton character, so the automaton
+/// can force the entire hole without consulting the model once.
+fn scripted_runtime(automata: bool) -> Runtime {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = Arc::new(ScriptedLm::new(
+        Arc::clone(&bpe),
+        [Episode::plain("Say:", FORCED)],
+    ));
+    let mut rt = Runtime::new(lm, bpe);
+    rt.options_mut().mask.automata = automata;
+    rt
+}
+
+const EQ_QUERY: &str = "argmax\n    \"Say:[A]\"\nfrom \"m\"\nwhere A == \" ok done.\"\n";
+
+#[test]
+fn forced_tokens_are_not_billed_as_model_queries() {
+    let registry = lmql_obs::Registry::new();
+    let mut with = scripted_runtime(true);
+    with.set_metrics_registry(registry.clone());
+    let result = with.run(EQ_QUERY).expect("automata run");
+    let usage = with.meter().snapshot();
+
+    // Every one of the 9 forced characters was appended without scoring.
+    assert_eq!(
+        usage.model_queries, 0,
+        "a fully-forced hole must not query the model"
+    );
+    assert_eq!(usage.decoder_calls, 1, "one decoder call per query");
+    assert_eq!(result.best().var_str("A"), Some(FORCED));
+    let ff = registry
+        .snapshot()
+        .counter("automata.fast_forwarded_tokens")
+        .unwrap_or(0);
+    assert_eq!(
+        ff,
+        FORCED.chars().count() as u64,
+        "every generated token must be counted as fast-forwarded"
+    );
+
+    // The scored reference pays one model query per generated token and
+    // produces the identical result — value, billing, bit-exact score.
+    let without = scripted_runtime(false);
+    let reference = without.run(EQ_QUERY).expect("reference run");
+    let ref_usage = without.meter().snapshot();
+    assert_eq!(
+        ref_usage.model_queries,
+        FORCED.chars().count() as u64,
+        "the scored path queries the model once per generated token"
+    );
+    assert_eq!(usage.decoder_calls, ref_usage.decoder_calls);
+    assert_eq!(
+        usage.billable_tokens, ref_usage.billable_tokens,
+        "forced tokens still count as billable/generated tokens"
+    );
+    assert_eq!(result.best().trace, reference.best().trace);
+    assert_eq!(
+        result.best().log_prob.to_bits(),
+        reference.best().log_prob.to_bits(),
+        "a forced singleton chain has log-prob exactly 0.0 on both paths"
+    );
+    // The acceptance criterion in one line: more tokens were generated
+    // than LM decoder calls issued.
+    assert!(
+        FORCED.chars().count() as u64 > usage.model_queries,
+        "fewer LM calls than generated tokens"
+    );
+}
+
+/// Options sharing the prefix " ok " and the suffix "one.": decoding is
+/// forced char-by-char up to the divergence point, *sampled* there (two
+/// admissible characters), then forced again to the end.
+const BRANCH_QUERY: &str = "sample(n=2, temperature=1.3)\n    \"Say:[A]\"\nfrom \"m\"\nwhere A in [\" ok done.\", \" ok gone.\"]\n";
+
+#[test]
+fn sampled_runs_are_bit_identical_across_forced_prefixes() {
+    // The fast-forward path burns one RNG draw per forced token, so the
+    // sampled divergence step sees the same draw with automata on or
+    // off — outputs must match bit for bit, including the second run.
+    let mut with = scripted_runtime(true);
+    with.options_mut().seed = 7;
+    let a = with.run(BRANCH_QUERY).expect("automata run");
+    let mut without = scripted_runtime(false);
+    without.options_mut().seed = 7;
+    let b = without.run(BRANCH_QUERY).expect("reference run");
+
+    assert_eq!(a.runs.len(), 2);
+    assert_eq!(a.runs.len(), b.runs.len());
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(x.trace, y.trace, "sampled trace diverged");
+        assert_eq!(
+            x.log_prob.to_bits(),
+            y.log_prob.to_bits(),
+            "sampled log-prob not bit-exact"
+        );
+    }
+    // Forced steps never touch the model: only the divergence step (one
+    // per sampled run at most) may query it.
+    assert!(
+        with.meter().snapshot().model_queries < without.meter().snapshot().model_queries,
+        "forced prefixes must reduce model queries ({} vs {})",
+        with.meter().snapshot().model_queries,
+        without.meter().snapshot().model_queries
+    );
+}
+
+const BEAM_QUERY: &str =
+    "beam(n=2)\n    \"Say:[A]\"\nfrom \"m\"\nwhere A in [\" ok done.\", \" ok gone.\"]\n";
+
+#[test]
+fn beam_search_fast_forwards_forced_beams() {
+    let with = scripted_runtime(true);
+    let a = with.run(BEAM_QUERY).expect("automata beam run");
+    let without = scripted_runtime(false);
+    let b = without.run(BEAM_QUERY).expect("reference beam run");
+
+    assert_eq!(a.runs.len(), b.runs.len());
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(x.trace, y.trace, "beam trace diverged");
+        assert_eq!(
+            x.log_prob.to_bits(),
+            y.log_prob.to_bits(),
+            "beam log-prob not bit-exact"
+        );
+    }
+    assert!(
+        with.meter().snapshot().model_queries < without.meter().snapshot().model_queries,
+        "forced beams must skip batch scoring ({} vs {})",
+        with.meter().snapshot().model_queries,
+        without.meter().snapshot().model_queries
+    );
+}
+
+#[test]
+fn distinct_binds_compile_distinct_automata() {
+    // The automaton for `A in patterns` depends on the *values* bound to
+    // `patterns`: rebinding must not reuse the stale compilation.
+    for (bind, expect) in [(" ok done.", " ok done."), (" ok", " ok")] {
+        let mut rt = scripted_runtime(true);
+        rt.bind("patterns", Value::List(vec![Value::from(bind)]));
+        let result = rt
+            .run("argmax\n    \"Say:[A]\"\nfrom \"m\"\nwhere A in patterns\n")
+            .expect("bound run");
+        assert_eq!(result.best().var_str("A"), Some(expect));
+        assert_eq!(rt.meter().snapshot().model_queries, 0);
+    }
+}

@@ -152,11 +152,21 @@ proptest! {
         let mut fast = Masker::new(engine, v.clone()).with_config(MaskConfig {
             memo: true,
             parallel: ParallelScan::Threads(2),
+            automata: false,
             ..MaskConfig::default()
         });
         prop_assert_eq!(&fast.compute(Some(&expr), &scope, "X", &value), &out);
         // Recomputing through the warm memo must be transparent as well.
         prop_assert_eq!(&fast.compute(Some(&expr), &scope, "X", &value), &out);
+        // The compiled constraint automaton (DESIGN.md §12) must also
+        // reproduce the reference bit for bit — first through a fresh
+        // state (delegating to the engine), then through its state cache.
+        let mut compiled = Masker::new(engine, v.clone()).with_config(MaskConfig {
+            memo: false,
+            ..MaskConfig::default()
+        });
+        prop_assert_eq!(&compiled.compute(Some(&expr), &scope, "X", &value), &out);
+        prop_assert_eq!(&compiled.compute(Some(&expr), &scope, "X", &value), &out);
         if out.must_stop {
             // Stop phrase already satisfied; no mask to check.
             return Ok(());

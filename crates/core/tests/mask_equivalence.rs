@@ -171,9 +171,19 @@ fn shared_memo_across_maskers_is_transparent() {
         let reference =
             run_grid(&mut Masker::new(engine, vocab.clone()).with_config(MaskConfig::reference()));
         // First masker populates the shared memo, second reads it back.
-        let mut warm = Masker::new(engine, vocab.clone()).with_memo(Arc::clone(&memo));
+        // Automata off: this exercises the memo layer specifically, which
+        // compiled constraints would otherwise bypass.
+        let no_automata = MaskConfig {
+            automata: false,
+            ..MaskConfig::default()
+        };
+        let mut warm = Masker::new(engine, vocab.clone())
+            .with_config(no_automata)
+            .with_memo(Arc::clone(&memo));
         let first = run_grid(&mut warm);
-        let mut reader = Masker::new(engine, vocab.clone()).with_memo(Arc::clone(&memo));
+        let mut reader = Masker::new(engine, vocab.clone())
+            .with_config(no_automata)
+            .with_memo(Arc::clone(&memo));
         let second = run_grid(&mut reader);
         assert_eq!(first, reference, "{engine:?}: populating pass diverged");
         assert_eq!(second, reference, "{engine:?}: reading pass diverged");
@@ -188,6 +198,9 @@ fn memo_metrics_report_hits_and_misses() {
         .with_config(MaskConfig {
             memo: true,
             parallel: ParallelScan::Off,
+            // Automata off: compiled constraints would intercept computes
+            // before the memo, breaking the hit+miss == total accounting.
+            automata: false,
             ..MaskConfig::default()
         })
         .with_metrics(&registry);
@@ -212,6 +225,9 @@ fn parallel_scan_metric_counts_chunks() {
         .with_config(MaskConfig {
             memo: false,
             parallel: ParallelScan::Threads(4),
+            // Automata off so the scan runs on every compute, not only on
+            // the automaton's first visit to each state.
+            automata: false,
             ..MaskConfig::default()
         })
         .with_metrics(&registry);

@@ -15,7 +15,7 @@
 
 use crate::radix::{RadixCacheConfig, RadixStats};
 use crate::sched::{BatchPolicy, BatchedLm, Scheduler, SchedulerObs};
-use lmql::constraints::MaskMemo;
+use lmql::constraints::{AutomataCache, MaskMemo};
 use lmql::{EventSink, QueryEvent, QueryResult, Runtime, StreamSink};
 use lmql_lm::{CancelToken, LanguageModel, MeteredLm, RetryPolicy, Usage, UsageMeter};
 use lmql_obs::{Registry, StreamMetrics, Tracer};
@@ -101,6 +101,11 @@ pub struct Engine {
     /// identical constraints (the engine's analogue of the radix prefix
     /// cache, for masks instead of scores).
     mask_memo: Arc<MaskMemo>,
+    /// Cross-query constraint-automata cache: compiled automata and their
+    /// per-state interned masks transfer between concurrent queries with
+    /// identical constraints, so only the first run of a query shape pays
+    /// compilation and per-state mask discovery.
+    automata: Arc<AutomataCache>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -169,6 +174,7 @@ impl Engine {
             tracer: obs.tracer,
             registry: obs.registry,
             mask_memo: MaskMemo::new(1024),
+            automata: AutomataCache::new(),
         }
     }
 
@@ -215,6 +221,11 @@ impl Engine {
         &self.mask_memo
     }
 
+    /// The engine's shared cross-query constraint-automata cache.
+    pub fn automata_cache(&self) -> &Arc<AutomataCache> {
+        &self.automata
+    }
+
     /// Runs each query source concurrently over the shared model,
     /// returning results in input order.
     ///
@@ -258,6 +269,7 @@ impl Engine {
                     let mut rt = Runtime::new(Arc::new(self.handle()), Arc::clone(&self.bpe));
                     rt.set_tracer(self.tracer.clone());
                     rt.set_mask_memo(Arc::clone(&self.mask_memo));
+                    rt.set_automata_cache(Arc::clone(&self.automata));
                     if let Some(registry) = &self.registry {
                         rt.set_metrics_registry(registry.clone());
                     }
@@ -333,6 +345,7 @@ impl Engine {
         let tracer = self.tracer.clone();
         let registry = self.registry.clone();
         let mask_memo = Arc::clone(&self.mask_memo);
+        let automata = Arc::clone(&self.automata);
         let source = source.to_owned();
         std::thread::Builder::new()
             .name("lmql-engine-stream".to_owned())
@@ -340,6 +353,7 @@ impl Engine {
                 let mut rt = Runtime::new(Arc::new(lm), bpe);
                 rt.set_tracer(tracer);
                 rt.set_mask_memo(mask_memo);
+                rt.set_automata_cache(automata);
                 if let Some(registry) = &registry {
                     rt.set_metrics_registry(registry.clone());
                 }

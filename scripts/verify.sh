@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full verification: formatting, lints, release build, tests.
 #
-# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --bench-smoke]
+# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --bench-smoke]
 #   --slow    also runs the proptest suites (slow-tests feature)
 #   --quick   build + tests only (skips rustfmt/clippy; useful where the
 #             toolchain components are not installed)
@@ -11,9 +11,14 @@
 #   --stream  streaming suites only (DESIGN.md §11): byte-identical
 #             reassembly per decoder, engine cancellation, the server's
 #             STREAM frame, plus an `lmql-run --stream` CLI smoke run
+#   --automata  constraint-automata suites only (DESIGN.md §12): the
+#             automata crate's unit tests, differential mask equality
+#             against the uncompiled engines, and fast-forward decoder
+#             accounting
 #   --bench-smoke  runs the masking/followmap benches with a tiny
 #             measurement budget and the mask benchmark binary, emitting
-#             BENCH_mask.json (numbers are smoke-level, not publishable)
+#             BENCH_mask.json (numbers are smoke-level, not publishable);
+#             asserts the automata advancing workload's allocs/step budget
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,9 +29,10 @@ case "${1:-}" in
     --quick) MODE=quick ;;
     --chaos) MODE=chaos ;;
     --stream) MODE=stream ;;
+    --automata) MODE=automata ;;
     --bench-smoke) MODE=bench-smoke ;;
     *)
-        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --bench-smoke]" >&2
+        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --bench-smoke]" >&2
         exit 2
         ;;
 esac
@@ -37,11 +43,26 @@ if [[ "$MODE" == bench-smoke ]]; then
     # on timing noise.
     export LMQL_BENCH_WARMUP_MS="${LMQL_BENCH_WARMUP_MS:-5}"
     export LMQL_BENCH_BUDGET_MS="${LMQL_BENCH_BUDGET_MS:-30}"
+    # The compiled-automata advancing workload is designed to be
+    # allocation-free after state discovery (one TokenSet clone per
+    # step); a regression here silently reintroduces the per-step vocab
+    # scan, so it is a hard budget, not a timing measurement.
+    export LMQL_BENCH_ALLOC_BUDGET="${LMQL_BENCH_ALLOC_BUDGET:-25}"
     echo "==> cargo bench: masking + followmap (budget ${LMQL_BENCH_BUDGET_MS}ms)"
     cargo bench -q -p lmql-bench --bench masking
     cargo bench -q -p lmql-bench --bench followmap
-    echo "==> bench_mask (BENCH_mask.json)"
+    echo "==> bench_mask (BENCH_mask.json, alloc budget ${LMQL_BENCH_ALLOC_BUDGET}/step)"
     cargo run -q --release -p lmql-bench --bin bench_mask -- --out BENCH_mask.json
+    echo "==> OK"
+    exit 0
+fi
+
+if [[ "$MODE" == automata ]]; then
+    echo "==> constraint-automata suites (compiled masks + fast-forwarding)"
+    cargo test -q -p lmql-automata
+    cargo test -q -p lmql --test automata_equivalence
+    cargo test -q -p lmql --test fast_forward_accounting
+    cargo test -q -p lmql --test mask_equivalence
     echo "==> OK"
     exit 0
 fi

@@ -8,7 +8,7 @@
 //!     [--bind NAME=VALUE]… [--engine exact|symbolic] \
 //!     [--seed N] [--max-tokens N] [--stream] [--trace] \
 //!     [--trace-json <path>] [--metrics] \
-//!     [--retries N] [--timeout-ms N] [--chaos <seed>]
+//!     [--retries N] [--timeout-ms N] [--chaos <seed>] [--no-automata]
 //! ```
 //!
 //! `--stream` prints the model output live, token by token, as the
@@ -29,6 +29,11 @@
 //! `--retries` and `--timeout-ms` tune that layer's budget and
 //! per-request deadline (both also work without `--chaos`, e.g. against
 //! a flaky scripted backend).
+//!
+//! `--no-automata` disables compiled constraint automata and
+//! fast-forward decoding (DESIGN.md §12), forcing every mask through the
+//! uncompiled FollowMap/Exact path — a bisection switch for checking a
+//! surprising result against the reference mask implementation.
 //!
 //! Example:
 //!
@@ -63,6 +68,7 @@ struct Args {
     retries: Option<u32>,
     timeout_ms: Option<u64>,
     chaos: Option<u64>,
+    no_automata: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         retries: None,
         timeout_ms: None,
         chaos: None,
+        no_automata: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -138,13 +145,14 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or("--chaos takes a seed")?,
                 )
             }
+            "--no-automata" => out.no_automata = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: lmql-run <query.lmql> [--model ngram|script:<trigger>=<completion>] \
                             [--bind NAME=VALUE]… [--engine exact|symbolic] [--seed N] \
                             [--max-tokens N] [--stream] [--trace] [--trace-json <path>] \
                             [--metrics] [--format] [--retries N] [--timeout-ms N] \
-                            [--chaos <seed>]"
+                            [--chaos <seed>] [--no-automata]"
                         .to_owned(),
                 )
             }
@@ -225,6 +233,11 @@ fn run() -> Result<(), String> {
     runtime.options_mut().engine = args.engine;
     runtime.options_mut().seed = args.seed;
     runtime.options_mut().max_tokens_per_hole = args.max_tokens;
+    if args.no_automata {
+        // Bisection switch: rerun with constraint automata disabled to
+        // check a surprising result against the uncompiled mask path.
+        runtime.options_mut().mask.automata = false;
+    }
     for (k, v) in &args.binds {
         runtime.bind(k, Value::Str(v.clone()));
     }
