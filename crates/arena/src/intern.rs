@@ -1,0 +1,89 @@
+//! String interning for compiled program literals.
+//!
+//! A query program's prompt literals are fixed at compile time but
+//! emitted into the trace on every run — and under `sample(n)` or a
+//! beam, once per hypothesis. Interning them to shared `Arc<str>` means
+//! [`Rope::push_shared`](crate::Rope::push_shared) can append a literal
+//! by pointing at it: one chunk-node allocation, zero byte copies, for
+//! every emission after the first.
+//!
+//! The interner is deliberately append-only (entries live for the
+//! process lifetime): the key set is the program literals of compiled
+//! queries, which is small and does not grow with traffic.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A thread-safe append-only string interner.
+#[derive(Debug, Default)]
+pub struct Interner {
+    strings: Mutex<HashSet<Arc<str>>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Returns the shared copy of `text`, inserting it on first sight.
+    /// Repeated calls with equal text return clones of one allocation.
+    pub fn intern(&self, text: &str) -> Arc<str> {
+        let mut set = self.strings.lock().expect("interner poisoned");
+        if let Some(hit) = set.get(text) {
+            return Arc::clone(hit);
+        }
+        let shared: Arc<str> = Arc::from(text);
+        set.insert(Arc::clone(&shared));
+        shared
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.lock().expect("interner poisoned").len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Interns `text` in the process-wide interner shared by every compiled
+/// program (the workspace-wide interner of DESIGN.md §13).
+pub fn intern(text: &str) -> Arc<str> {
+    static GLOBAL: OnceLock<Interner> = OnceLock::new();
+    GLOBAL.get_or_init(Interner::new).intern(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_strings_share_one_allocation() {
+        let interner = Interner::new();
+        let a = interner.intern("prompt segment");
+        let b = interner.intern("prompt segment");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_stay_distinct() {
+        let interner = Interner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, "a");
+        assert_eq!(&*b, "b");
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn global_interner_is_shared() {
+        let a = intern("global literal");
+        let b = intern("global literal");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,125 @@
+//! A bounded free-list pool for per-hypothesis scratch values.
+//!
+//! Generalises the masker's old `SetPool` (PR 4): any scratch value
+//! whose *capacity* is worth keeping but whose *contents* are per-step
+//! garbage — token bitsets, probability vectors, key buffers — can be
+//! recycled through a [`Pool`] instead of being reallocated each step.
+//! The free list is bounded so a transient burst (a momentarily wide
+//! beam) cannot pin memory forever; values returned past the cap are
+//! simply dropped.
+//!
+//! The pool is value-agnostic: callers reset contents on take (or on
+//! put), so a recycled value is indistinguishable from a fresh one.
+
+/// A bounded LIFO free list (see module docs).
+#[derive(Debug)]
+pub struct Pool<T> {
+    free: Vec<T>,
+    cap: usize,
+}
+
+impl<T> Pool<T> {
+    /// Default bound on retained values: ample for a wide beam's
+    /// per-hypothesis scratch without pinning unbounded memory.
+    pub const DEFAULT_CAP: usize = 32;
+
+    /// A pool retaining at most [`Pool::DEFAULT_CAP`] values.
+    pub fn new() -> Self {
+        Pool::with_cap(Self::DEFAULT_CAP)
+    }
+
+    /// A pool retaining at most `cap` values.
+    pub fn with_cap(cap: usize) -> Self {
+        Pool {
+            free: Vec::new(),
+            cap,
+        }
+    }
+
+    /// Takes a recycled value, or `None` if the pool is empty.
+    pub fn take(&mut self) -> Option<T> {
+        self.free.pop()
+    }
+
+    /// Takes a recycled value, building a fresh one with `make` if the
+    /// pool is empty. The hot-path entry point: at steady state this is
+    /// a `Vec::pop`, no allocation.
+    pub fn take_or(&mut self, make: impl FnOnce() -> T) -> T {
+        self.free.pop().unwrap_or_else(make)
+    }
+
+    /// Returns `value` to the pool. Returns `false` (dropping the value)
+    /// if the pool is already at capacity.
+    pub fn put(&mut self, value: T) -> bool {
+        if self.free.len() < self.cap {
+            self.free.push(value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of values currently retained.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether no values are retained.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Maximum number of retained values.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_lifo() {
+        let mut pool: Pool<Vec<u8>> = Pool::new();
+        assert!(pool.take().is_none());
+        pool.put(vec![1]);
+        pool.put(vec![2]);
+        assert_eq!(pool.take(), Some(vec![2]));
+        assert_eq!(pool.take(), Some(vec![1]));
+        assert!(pool.take().is_none());
+    }
+
+    #[test]
+    fn take_or_builds_when_empty() {
+        let mut pool: Pool<String> = Pool::new();
+        let s = pool.take_or(|| String::from("fresh"));
+        assert_eq!(s, "fresh");
+        pool.put(s);
+        let s = pool.take_or(|| String::from("unused"));
+        assert_eq!(s, "fresh");
+    }
+
+    #[test]
+    fn cap_bounds_retention() {
+        let mut pool: Pool<u32> = Pool::with_cap(2);
+        assert!(pool.put(1));
+        assert!(pool.put(2));
+        assert!(!pool.put(3));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.cap(), 2);
+    }
+
+    #[test]
+    fn zero_cap_drops_everything() {
+        let mut pool: Pool<u32> = Pool::with_cap(0);
+        assert!(!pool.put(1));
+        assert!(pool.is_empty());
+    }
+}

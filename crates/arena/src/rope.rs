@@ -1,0 +1,390 @@
+//! The interaction trace as an immutable, structurally shared rope.
+//!
+//! A [`Rope`] is a backward-linked list of [`Arc`]'d chunks: appending
+//! pushes a new head chunk whose `prev` points at the old head, so every
+//! earlier version of the trace remains alive and shared. The two
+//! operations that dominate the decode hot path are therefore free:
+//!
+//! - **Fork** (`Clone`): one refcount bump per rope, `O(1)` in trace
+//!   length, zero allocations — a beam of width 8 forking a 10 kB trace
+//!   copies no trace bytes at all.
+//! - **Emit** ([`Rope::push_shared`]): appending an interned program
+//!   literal allocates one chunk node that *points at* the literal's
+//!   shared `Arc<str>`; the literal bytes are never copied.
+//!
+//! Reads that need contiguous bytes ([`Rope::to_string`],
+//! [`Rope::write_suffix`]) materialise on demand; they run once per
+//! hole/segment, outside the per-token step loop, so their allocations do
+//! not count against the steady-state decode budget. Cheap queries used
+//! by constraint evaluation ([`Rope::starts_with`], [`Rope::ends_with`],
+//! `PartialEq<str>`) walk the chunks directly without materialising.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// One immutable segment of the trace. `start` is the byte offset of
+/// `text` within the full rope, fixed at append time — chunks never move.
+#[derive(Debug)]
+struct Chunk {
+    prev: Option<Arc<Chunk>>,
+    text: Arc<str>,
+    start: usize,
+}
+
+/// An immutable, structurally shared text rope (see module docs).
+///
+/// `Clone` is `O(1)` and allocation-free: forks share every chunk with
+/// the parent. All byte offsets (as used by [`Rope::write_suffix`] and
+/// [`Rope::slice_string`]) must lie on `char` boundaries, as with `str`
+/// slicing.
+#[derive(Clone, Default)]
+pub struct Rope {
+    head: Option<Arc<Chunk>>,
+    len: usize,
+    chunks: usize,
+}
+
+impl Rope {
+    /// An empty rope.
+    pub fn new() -> Self {
+        Rope::default()
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the rope contains no text.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of chunks (appends that carried text).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks
+    }
+
+    /// Appends `text`, copying it into a fresh chunk. Empty strings are
+    /// ignored (no chunk is added).
+    pub fn push_str(&mut self, text: &str) {
+        if text.is_empty() {
+            return;
+        }
+        self.push_arc(Arc::from(text));
+    }
+
+    /// Appends an already-shared string without copying its bytes: the
+    /// new chunk holds a clone of `text`'s `Arc`. This is how interned
+    /// program literals enter the trace. Empty strings are ignored.
+    pub fn push_shared(&mut self, text: &Arc<str>) {
+        if text.is_empty() {
+            return;
+        }
+        self.push_arc(Arc::clone(text));
+    }
+
+    fn push_arc(&mut self, text: Arc<str>) {
+        let start = self.len;
+        self.len += text.len();
+        self.chunks += 1;
+        self.head = Some(Arc::new(Chunk {
+            prev: self.head.take(),
+            text,
+            start,
+        }));
+    }
+
+    /// Materialises the full text into `out` (cleared first), reserving
+    /// exactly once.
+    pub fn write_into(&self, out: &mut String) {
+        out.clear();
+        out.reserve(self.len);
+        self.for_each_forward(|c| out.push_str(&c.text));
+    }
+
+    /// Materialises the full text as a fresh `String`.
+    #[allow(clippy::inherent_to_string_shadow_display)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Materialises the suffix starting at byte `from` into `out`
+    /// (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > len()` or `from` is not a `char` boundary.
+    pub fn write_suffix(&self, from: usize, out: &mut String) {
+        out.clear();
+        assert!(
+            from <= self.len,
+            "suffix start {from} beyond rope length {}",
+            self.len
+        );
+        out.reserve(self.len - from);
+        self.for_each_forward(|c| {
+            let end = c.start + c.text.len();
+            if end > from {
+                let lo = from.saturating_sub(c.start);
+                out.push_str(&c.text[lo..]);
+            }
+        });
+    }
+
+    /// Materialises the suffix starting at byte `from` as a `String`.
+    pub fn suffix_string(&self, from: usize) -> String {
+        let mut out = String::new();
+        self.write_suffix(from, &mut out);
+        out
+    }
+
+    /// Materialises the byte range as a `String`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds, inverted, or not on `char`
+    /// boundaries.
+    pub fn slice_string(&self, range: Range<usize>) -> String {
+        assert!(range.start <= range.end, "inverted range {range:?}");
+        assert!(
+            range.end <= self.len,
+            "range {range:?} beyond rope length {}",
+            self.len
+        );
+        let mut out = String::with_capacity(range.end - range.start);
+        self.for_each_forward(|c| {
+            let end = c.start + c.text.len();
+            if end > range.start && c.start < range.end {
+                let lo = range.start.saturating_sub(c.start);
+                let hi = (range.end - c.start).min(c.text.len());
+                out.push_str(&c.text[lo..hi]);
+            }
+        });
+        out
+    }
+
+    /// Whether the rope's text starts with `prefix`. Walks chunks without
+    /// materialising.
+    pub fn starts_with(&self, prefix: &str) -> bool {
+        if prefix.len() > self.len {
+            return false;
+        }
+        let p = prefix.as_bytes();
+        let mut cur = self.head.as_deref();
+        while let Some(c) = cur {
+            if c.start < p.len() {
+                let t = c.text.as_bytes();
+                let end = (c.start + t.len()).min(p.len());
+                if t[..end - c.start] != p[c.start..end] {
+                    return false;
+                }
+            }
+            cur = c.prev.as_deref();
+        }
+        true
+    }
+
+    /// Whether the rope's text ends with `suffix`. Walks chunks backward
+    /// without materialising.
+    pub fn ends_with(&self, suffix: &str) -> bool {
+        if suffix.len() > self.len {
+            return false;
+        }
+        let mut remaining = suffix.as_bytes();
+        let mut cur = self.head.as_deref();
+        while let Some(c) = cur {
+            if remaining.is_empty() {
+                return true;
+            }
+            let t = c.text.as_bytes();
+            let take = remaining.len().min(t.len());
+            let (rest, tail) = remaining.split_at(remaining.len() - take);
+            if t[t.len() - take..] != *tail {
+                return false;
+            }
+            remaining = rest;
+            cur = c.prev.as_deref();
+        }
+        remaining.is_empty()
+    }
+
+    /// Calls `f` on each chunk in forward (text) order. Collects the
+    /// backward-linked chunks into a scratch vector first; callers on the
+    /// per-token hot path use the non-materialising queries instead.
+    fn for_each_forward(&self, mut f: impl FnMut(&Chunk)) {
+        let mut stack: Vec<&Chunk> = Vec::with_capacity(self.chunks);
+        let mut cur = self.head.as_deref();
+        while let Some(c) = cur {
+            stack.push(c);
+            cur = c.prev.as_deref();
+        }
+        for c in stack.into_iter().rev() {
+            f(c);
+        }
+    }
+}
+
+impl PartialEq<str> for Rope {
+    fn eq(&self, other: &str) -> bool {
+        self.len == other.len() && self.starts_with(other)
+    }
+}
+
+impl PartialEq<&str> for Rope {
+    fn eq(&self, other: &&str) -> bool {
+        self == *other
+    }
+}
+
+impl PartialEq<String> for Rope {
+    fn eq(&self, other: &String) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl fmt::Debug for Rope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.to_string(), f)
+    }
+}
+
+impl fmt::Display for Rope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = Ok(());
+        self.for_each_forward(|c| {
+            if out.is_ok() {
+                out = f.write_str(&c.text);
+            }
+        });
+        out
+    }
+}
+
+impl From<&str> for Rope {
+    fn from(text: &str) -> Self {
+        let mut rope = Rope::new();
+        rope.push_str(text);
+        rope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Rope {
+        let mut r = Rope::new();
+        r.push_str("hello ");
+        r.push_str("world");
+        r.push_str(", again");
+        r
+    }
+
+    #[test]
+    fn builds_and_materialises() {
+        let r = sample();
+        assert_eq!(r.len(), "hello world, again".len());
+        assert_eq!(r.to_string(), "hello world, again");
+        assert_eq!(r.chunk_count(), 3);
+        assert!(!r.is_empty());
+        assert!(Rope::new().is_empty());
+    }
+
+    #[test]
+    fn empty_pushes_are_ignored() {
+        let mut r = Rope::new();
+        r.push_str("");
+        r.push_shared(&Arc::from(""));
+        assert_eq!(r.chunk_count(), 0);
+        assert_eq!(r.to_string(), "");
+    }
+
+    #[test]
+    fn push_shared_does_not_copy() {
+        let lit: Arc<str> = Arc::from("literal");
+        let mut r = Rope::new();
+        r.push_shared(&lit);
+        assert_eq!(Arc::strong_count(&lit), 2);
+        assert_eq!(r.to_string(), "literal");
+    }
+
+    #[test]
+    fn clone_shares_structure() {
+        let base = sample();
+        let mut fork = base.clone();
+        fork.push_str("!");
+        assert_eq!(base.to_string(), "hello world, again");
+        assert_eq!(fork.to_string(), "hello world, again!");
+        assert_eq!(base.chunk_count(), 3);
+        assert_eq!(fork.chunk_count(), 4);
+    }
+
+    #[test]
+    fn suffix_and_slice() {
+        let r = sample();
+        assert_eq!(r.suffix_string(6), "world, again");
+        assert_eq!(r.suffix_string(0), "hello world, again");
+        assert_eq!(r.suffix_string(r.len()), "");
+        assert_eq!(r.slice_string(6..11), "world");
+        assert_eq!(r.slice_string(0..5), "hello");
+        // Range crossing a chunk boundary.
+        assert_eq!(r.slice_string(4..8), "o wo");
+        assert_eq!(r.slice_string(3..3), "");
+    }
+
+    #[test]
+    fn write_suffix_reuses_buffer() {
+        let r = sample();
+        let mut buf = String::from("junk");
+        r.write_suffix(11, &mut buf);
+        assert_eq!(buf, ", again");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond rope length")]
+    fn suffix_out_of_bounds_panics() {
+        sample().suffix_string(1000);
+    }
+
+    #[test]
+    fn prefix_suffix_queries() {
+        let r = sample();
+        assert!(r.starts_with(""));
+        assert!(r.starts_with("hello"));
+        assert!(r.starts_with("hello world"));
+        assert!(r.starts_with("hello world, again"));
+        assert!(!r.starts_with("hello world, again!"));
+        assert!(!r.starts_with("yello"));
+        assert!(!r.starts_with("hello_"));
+        assert!(r.ends_with(""));
+        assert!(r.ends_with("again"));
+        assert!(r.ends_with("world, again"));
+        assert!(r.ends_with("hello world, again"));
+        assert!(!r.ends_with("xhello world, again"));
+        assert!(!r.ends_with("main"));
+    }
+
+    #[test]
+    fn equality_with_str() {
+        let r = sample();
+        assert_eq!(r, "hello world, again");
+        assert_ne!(r, "hello world, agai");
+        assert_ne!(r, "hello world, agaiN");
+        assert_eq!(r, String::from("hello world, again"));
+        assert_eq!(Rope::from("abc"), "abc");
+    }
+
+    #[test]
+    fn unicode_round_trip() {
+        let mut r = Rope::new();
+        r.push_str("héllo ");
+        r.push_str("wörld");
+        assert_eq!(r.to_string(), "héllo wörld");
+        assert_eq!(r.suffix_string("héllo ".len()), "wörld");
+        assert!(r.ends_with("örld"));
+    }
+}

@@ -155,6 +155,7 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                 || beam.hole_tokens >= options.max_tokens_per_hole
             {
                 planned.push(Planned::Finish(beam));
+                masker.recycle(outcome);
                 continue;
             }
             if outcome.is_dead_end() {
@@ -162,17 +163,20 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                     vec![("reason".to_owned(), "dead_end".into())]
                 });
                 sink.emit(QueryEvent::BeamPrune { path: beam.path });
+                masker.recycle(outcome);
                 continue; // prune this beam
             }
             if let Some(token) = forced {
                 planned.push(Planned::Forced { beam, token });
+                masker.recycle(outcome);
                 continue;
             }
-            let mut mask = outcome.allowed.clone();
+            let mut mask = masker.pooled_copy(&outcome.allowed);
             if outcome.eos_allowed {
                 mask.insert(eos);
             }
             planned.push(Planned::Extend { beam, mask });
+            masker.recycle(outcome);
         }
 
         // One batched forward pass covers the whole step — through a
@@ -213,7 +217,9 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                 Planned::Extend { beam, mask } => {
                     let logits = scored.next().expect("one score per extending beam")?;
                     let dist = logits.softmax(options.temperature);
-                    let Some(masked) = dist.masked(&mask) else {
+                    let masked = dist.masked(&mask);
+                    masker.recycle_mask(mask);
+                    let Some(masked) = masked else {
                         tracer.instant_with("beam", "prune", || {
                             vec![("reason".to_owned(), "numerically_dead".into())]
                         });
@@ -268,6 +274,11 @@ pub fn run_beam_search<L: LanguageModel + ?Sized>(
                     }
                 }
             }
+        }
+        // Retire this step's deduped outcomes into the masker's scratch
+        // pool so the next step's computations reuse their bitsets.
+        for (_, (o, _)) in step_masks.drain() {
+            masker.recycle(o);
         }
         if candidates.is_empty() {
             return Err(Error::NoValidContinuation {
@@ -352,13 +363,17 @@ fn advance(
 ) -> Result<()> {
     let before = beam.vm.trace().len();
     let step = beam.vm.run(program, externals)?;
-    sink.with_path(beam.path)
-        .prompt_chunk(&beam.vm.trace()[before..]);
+    let path_sink = sink.with_path(beam.path);
+    if path_sink.is_active() {
+        // prompt_chunk drops empty text, so materialising only when a
+        // sink listens leaves the event stream byte-identical.
+        path_sink.prompt_chunk(&beam.vm.trace().suffix_string(before));
+    }
     match step {
         Step::NeedHole(req) => {
             sink.with_path(beam.path).variable_start(&req.var);
             beam.hole = Some((req.var, String::new()));
-            beam.context = bpe.encode(beam.vm.trace());
+            beam.context = bpe.encode(&beam.vm.trace().to_string());
         }
         Step::Done => {
             beam.done = true;
@@ -433,7 +448,7 @@ where MODE in ["a", "b"]
             &DecodeOptions::default(),
         )
         .unwrap();
-        let traces: Vec<&str> = beams.iter().map(|b| b.vm.trace()).collect();
+        let traces: Vec<String> = beams.iter().map(|b| b.vm.trace().to_string()).collect();
         assert!(traces[0].contains("took-b"), "script-preferred beam wins");
         assert!(
             traces.iter().any(|t| t.contains("took-a")),

@@ -93,7 +93,7 @@ impl Compiler {
                     .into_iter()
                     .map(|seg| {
                         Ok(match seg {
-                            Segment::Literal(t) => CompiledSegment::Literal(t),
+                            Segment::Literal(t) => CompiledSegment::Literal(lmql_arena::intern(&t)),
                             Segment::Hole(n) => CompiledSegment::Hole(n),
                             Segment::Recall(src) => {
                                 // Validated by parse_prompt; parse to AST.

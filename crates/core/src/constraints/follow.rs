@@ -62,7 +62,8 @@ impl FollowSets {
     }
 }
 
-/// A recycling pool of [`TokenSet`] scratch buffers over one vocabulary.
+/// A recycling pool of [`TokenSet`] scratch buffers over one vocabulary:
+/// a typed wrapper over the generic bounded [`lmql_arena::Pool`].
 ///
 /// FollowMap composition builds and discards several vocabulary-sized
 /// bitsets per expression node per decoding step; the pool turns those
@@ -71,25 +72,23 @@ impl FollowSets {
 #[derive(Debug)]
 pub(crate) struct SetPool {
     len: usize,
-    free: Vec<TokenSet>,
+    free: lmql_arena::Pool<TokenSet>,
 }
 
 impl SetPool {
-    /// Retain at most this many retired buffers (bounds memory at
-    /// `MAX_FREE · |V| / 8` bytes per masker).
-    const MAX_FREE: usize = 32;
-
     pub(crate) fn new(len: usize) -> Self {
+        // The cap bounds memory at `DEFAULT_CAP · |V| / 8` bytes per
+        // masker.
         SetPool {
             len,
-            free: Vec::new(),
+            free: lmql_arena::Pool::new(),
         }
     }
 
     /// An empty set over the pool's vocabulary, reusing a retired buffer
     /// when one is available.
     pub(crate) fn take_empty(&mut self) -> TokenSet {
-        match self.free.pop() {
+        match self.free.take() {
             Some(mut s) => {
                 s.clear();
                 s
@@ -115,8 +114,8 @@ impl SetPool {
     /// Retires a buffer for reuse. Sets over a different universe are
     /// dropped (they cannot be reused here).
     pub(crate) fn put(&mut self, s: TokenSet) {
-        if s.universe_len() == self.len && self.free.len() < Self::MAX_FREE {
-            self.free.push(s);
+        if s.universe_len() == self.len {
+            self.free.put(s);
         }
     }
 

@@ -353,8 +353,11 @@ impl Masker {
                     if mask_span.is_recording() {
                         mask_span.arg("automaton_hit", 1u64);
                     }
+                    // Pooled copy: at steady state (decode loops recycle
+                    // outcomes via `Masker::recycle`) serving a cached
+                    // state allocates nothing.
                     return MaskOutcome {
-                        allowed: hit.allowed.clone(),
+                        allowed: self.pool.take_copy(&hit.allowed),
                         eos_allowed: hit.eos_allowed,
                         must_stop: hit.must_stop,
                     };
@@ -493,6 +496,26 @@ impl Masker {
         if let Some(m) = &self.metrics {
             m.fast_forwarded.add(n);
         }
+    }
+
+    /// Returns a consumed outcome's bitset to the scratch pool. Decode
+    /// loops call this once per step so the next [`Masker::compute`] can
+    /// reuse the allocation instead of making a new one — the pool half
+    /// of the steady-state zero-allocation contract (DESIGN.md §13).
+    pub fn recycle(&mut self, outcome: MaskOutcome) {
+        self.pool.put(outcome.allowed);
+    }
+
+    /// Takes a pooled copy of `mask` (same bits, recycled allocation
+    /// when one is available). Pair with [`Masker::recycle_mask`].
+    pub fn pooled_copy(&mut self, mask: &TokenSet) -> TokenSet {
+        self.pool.take_copy(mask)
+    }
+
+    /// Returns a scratch bitset taken via [`Masker::pooled_copy`] to the
+    /// pool.
+    pub fn recycle_mask(&mut self, mask: TokenSet) {
+        self.pool.put(mask);
     }
 
     fn compute_uncached(

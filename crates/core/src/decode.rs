@@ -199,8 +199,12 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
     // once, picked tokens are appended as-is (no per-step re-encoding,
     // which could even re-factorise the value differently).
     let mut context = bpe.encode(trace);
-    // Per-hole scratch sets, refilled in place each step.
+    // Per-hole scratch, refilled in place each step: with the automata
+    // path serving pooled outcomes and the in-place softmax/mask below,
+    // the steady-state loop body allocates nothing beyond the model's
+    // own logits buffer (pinned by `tests/alloc_budget.rs`).
     let mut mask = TokenSet::empty(bpe.vocab().len());
+    let mut dist = lmql_lm::Distribution::empty();
     let mut ngram_blocked =
         (options.no_repeat_ngram > 0).then(|| TokenSet::empty(bpe.vocab().len()));
 
@@ -233,19 +237,23 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
         };
         if outcome.must_stop {
             stopped_by = StopReason::StopPhrase;
+            masker.recycle(outcome);
             break;
         }
         if outcome.is_dead_end() {
+            masker.recycle(outcome);
             return Err(Error::NoValidContinuation {
                 var: var.to_owned(),
             });
         }
         if outcome.allowed.is_empty() {
             stopped_by = StopReason::MaskExhausted;
+            masker.recycle(outcome);
             break;
         }
         if tokens >= options.max_tokens_per_hole {
             stopped_by = StopReason::Budget;
+            masker.recycle(outcome);
             break;
         }
 
@@ -259,6 +267,7 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
             mask.subtract_with(blocked);
             if mask.is_empty() {
                 stopped_by = StopReason::MaskExhausted;
+                masker.recycle(outcome);
                 break; // blocking exhausted the mask: end the hole
             }
         }
@@ -300,6 +309,7 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
                 value.push_str(text);
                 context.push(t);
                 tokens += 1;
+                masker.recycle(outcome);
                 continue;
             }
         }
@@ -311,15 +321,20 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
                 lm.try_score(&context)?
             }
         };
-        let dist = logits.softmax(options.temperature);
-        let Some(masked) = dist.masked(&mask) else {
+        // In-place softmax + mask renormalisation into the per-hole
+        // scratch: bit-identical to `softmax(..)` / `masked(..)` (same
+        // floating-point operation order), zero allocations at steady
+        // state.
+        logits.softmax_into(options.temperature, &mut dist);
+        if !dist.mask_in_place(&mask) {
+            masker.recycle(outcome);
             return Err(Error::NoValidContinuation {
                 var: var.to_owned(),
             });
-        };
+        }
         let t = match pick {
-            Pick::Argmax => masked.argmax(),
-            Pick::Sample(rng) => masked.sample(rng),
+            Pick::Argmax => dist.argmax(),
+            Pick::Sample(rng) => dist.sample(rng),
         };
         if let Some(steps) = steps_out.as_deref_mut() {
             steps.push(StepTrace {
@@ -328,14 +343,15 @@ pub fn decode_hole_traced<L: LanguageModel + ?Sized>(
                 vocab: bpe.vocab().len(),
                 eos_allowed: outcome.eos_allowed,
                 picked: (t != eos).then(|| bpe.vocab().token_str(t).to_owned()),
-                prob: masked.prob(t),
+                prob: dist.prob(t),
             });
         }
+        masker.recycle(outcome);
         if t == eos {
             stopped_by = StopReason::Eos;
             break;
         }
-        let lp = masked.log_prob(t);
+        let lp = dist.log_prob(t);
         let text = bpe.vocab().token_str(t);
         log_prob += lp;
         options.sink.token_delta(var, text, lp);

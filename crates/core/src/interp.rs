@@ -10,6 +10,7 @@
 use crate::builtins::{call_builtin, call_method, len_of};
 use crate::program::{CompiledSegment, Instr, Program, PromptTemplate};
 use crate::{Error, Result, Value};
+use lmql_arena::Rope;
 use lmql_syntax::ast::{BinOp, CmpOp};
 use lmql_syntax::Span;
 use std::collections::HashMap;
@@ -106,7 +107,7 @@ pub struct VmState {
     stack: Vec<Value>,
     iters: Vec<(Vec<Value>, usize)>,
     scope: HashMap<String, Value>,
-    trace: String,
+    trace: Rope,
     /// Segment index within the current `Emit` (valid when `in_emit`).
     seg_idx: usize,
     in_emit: bool,
@@ -124,7 +125,7 @@ impl VmState {
             stack: Vec::new(),
             iters: Vec::new(),
             scope: bindings.into_iter().collect(),
-            trace: String::new(),
+            trace: Rope::new(),
             seg_idx: 0,
             in_emit: false,
             pending_hole: None,
@@ -133,8 +134,11 @@ impl VmState {
         }
     }
 
-    /// The interaction trace `u` so far.
-    pub fn trace(&self) -> &str {
+    /// The interaction trace `u` so far, as a structurally shared rope:
+    /// cloning the VM (a beam fork) shares every chunk instead of
+    /// copying the text. Materialise with [`Rope::to_string`] or
+    /// [`Rope::write_into`] when contiguous bytes are needed.
+    pub fn trace(&self) -> &Rope {
         &self.trace
     }
 
@@ -434,7 +438,9 @@ impl VmState {
         while self.seg_idx < template.segments.len() {
             match &template.segments[self.seg_idx] {
                 CompiledSegment::Literal(text) => {
-                    self.trace.push_str(text);
+                    // Interned at compile time: the chunk points at the
+                    // literal, no byte copy.
+                    self.trace.push_shared(text);
                     self.seg_idx += 1;
                 }
                 CompiledSegment::Recall(expr) => {
@@ -701,7 +707,7 @@ mod tests {
         assert_eq!(vm.hole_records().len(), 2);
         assert_eq!(vm.hole_records()[1].var, "B");
         let rec = &vm.hole_records()[0];
-        assert_eq!(&vm.trace()[rec.start..rec.end], "one");
+        assert_eq!(vm.trace().slice_string(rec.start..rec.end), "one");
     }
 
     #[test]

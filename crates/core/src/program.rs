@@ -91,8 +91,9 @@ pub enum Instr {
 /// A compiled prompt segment: recalls carry a parsed expression.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompiledSegment {
-    /// Literal text.
-    Literal(String),
+    /// Literal text, interned at compile time so every emission appends
+    /// a trace chunk pointing at this shared allocation (no byte copy).
+    Literal(std::sync::Arc<str>),
     /// A `[VAR]` hole.
     Hole(String),
     /// A `{expr}` substitution.

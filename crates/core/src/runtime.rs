@@ -448,7 +448,7 @@ impl Runtime {
                 let runs: Vec<QueryRun> = beams
                     .into_iter()
                     .map(|b| QueryRun {
-                        trace: b.vm.trace().to_owned(),
+                        trace: b.vm.trace().to_string(),
                         variables: b.vm.scope().clone(),
                         log_prob: b.log_prob,
                         hole_records: b.vm.hole_records().to_vec(),
@@ -497,18 +497,31 @@ impl Runtime {
         // VariableDone), so each suspension emits exactly the template
         // delta the interpreter appended since the last hole.
         let mut emitted = 0usize;
+        // Scratch for materialising the rope trace wherever contiguous
+        // bytes are needed (tokenisation, constraint evaluation). Reused
+        // across holes; the per-token step loop never touches it.
+        let mut trace_buf = String::new();
 
         loop {
             match vm.run(program, &self.externals)? {
                 Step::Done => {
-                    sink.prompt_chunk(&vm.trace()[emitted..]);
+                    if sink.is_active() {
+                        // prompt_chunk drops empty text, so materialising
+                        // only under an active sink keeps the event
+                        // stream byte-identical.
+                        vm.trace().write_suffix(emitted, &mut trace_buf);
+                        sink.prompt_chunk(&trace_buf);
+                    }
                     break;
                 }
                 Step::NeedHole(req) => {
                     if sink.cancelled() {
                         return Err(Error::Cancelled);
                     }
-                    sink.prompt_chunk(&vm.trace()[emitted..]);
+                    if sink.is_active() {
+                        vm.trace().write_suffix(emitted, &mut trace_buf);
+                        sink.prompt_chunk(&trace_buf);
+                    }
                     sink.variable_start(&req.var);
                     let is_distribute = program
                         .distribute
@@ -516,8 +529,9 @@ impl Runtime {
                         .is_some_and(|d| d.var == req.var);
                     if is_distribute {
                         let d = program.distribute.as_ref().expect("checked above");
+                        vm.trace().write_into(&mut trace_buf);
                         let dist =
-                            self.compute_distribution(lm, vm.trace(), d, vm.scope(), &opts)?;
+                            self.compute_distribution(lm, &trace_buf, d, vm.scope(), &opts)?;
                         let best = dist
                             .iter()
                             .max_by(|a, b| {
@@ -554,13 +568,14 @@ impl Runtime {
                             ));
                         }
                         let mut steps = debug.as_deref_mut().map(|_| Vec::new());
+                        vm.trace().write_into(&mut trace_buf);
                         let decoded = decode_hole_traced(
                             lm,
                             &self.bpe,
                             masker,
                             program.where_clause.as_ref(),
                             vm.scope(),
-                            vm.trace(),
+                            &trace_buf,
                             &req.var,
                             &mut pick,
                             &opts,
@@ -586,12 +601,13 @@ impl Runtime {
         // LMQL decodes the whole scripted interaction in one decoder run:
         // one decoder call billing the final trace once (§6 metrics; cf.
         // the ReAct case study's single decoder call).
+        vm.trace().write_into(&mut trace_buf);
         self.meter
-            .record_decoder_call(self.bpe.token_count(vm.trace()) as u64);
+            .record_decoder_call(self.bpe.token_count(&trace_buf) as u64);
 
         Ok(QueryResult {
             runs: vec![QueryRun {
-                trace: vm.trace().to_owned(),
+                trace: trace_buf,
                 variables: vm.scope().clone(),
                 log_prob,
                 hole_records: vm.hole_records().to_vec(),

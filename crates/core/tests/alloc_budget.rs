@@ -1,0 +1,196 @@
+//! Allocation-budget regression tests for the zero-copy data plane
+//! (DESIGN.md §13): a counting global allocator pins the costs the rope
+//! trace, pooled mask scratch and in-place softmax bought — forking a
+//! hypothesis never copies the trace, and the steady-state decode loop
+//! stays within a hard allocations-per-step budget.
+//!
+//! Counting is process-global, so every measuring test serialises on one
+//! mutex and takes the minimum over several rounds to shrug off stray
+//! harness allocations from other threads.
+
+use lmql::constraints::{MaskConfig, MaskEngine, Masker};
+use lmql::{compile_source, decode_hole, DecodeOptions, Externals, Pick, Step, VmState};
+use lmql_arena::Rope;
+use lmql_lm::corpus;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Serialises measurements; counting is process-global.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+/// Allocations made by `f`, minimised over `rounds` runs so concurrent
+/// harness noise can only inflate discarded rounds.
+fn count_allocs(rounds: usize, mut f: impl FnMut()) -> u64 {
+    let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut best = u64::MAX;
+    for _ in 0..rounds {
+        let start = ALLOCS.load(Ordering::Relaxed);
+        f();
+        best = best.min(ALLOCS.load(Ordering::Relaxed) - start);
+    }
+    best
+}
+
+/// A finished `VmState` whose trace is one emitted literal of `chars`
+/// characters — no holes, no locals, so two states of different trace
+/// length are structurally identical apart from the trace.
+fn vm_with_trace(chars: usize) -> VmState {
+    let literal = "x".repeat(chars);
+    let source = format!("argmax\n    \"{literal}\"\nfrom \"m\"\n");
+    let program = compile_source(&source).expect("literal-only query compiles");
+    let externals = Externals::new();
+    let mut vm = VmState::new([]);
+    assert_eq!(vm.run(&program, &externals).unwrap(), Step::Done);
+    assert_eq!(vm.trace().len(), chars);
+    vm
+}
+
+#[test]
+fn rope_clone_allocates_nothing() {
+    let mut rope = Rope::new();
+    for i in 0..100 {
+        rope.push_str(&format!("chunk {i} of the interaction trace. "));
+    }
+    let allocs = count_allocs(5, || {
+        let fork = rope.clone();
+        std::hint::black_box(&fork);
+    });
+    assert_eq!(allocs, 0, "Rope::clone must be a refcount bump");
+}
+
+#[test]
+fn beam_fork_makes_zero_trace_copy_allocations() {
+    // A beam fork is a `VmState::clone`. With the rope trace, forking a
+    // width-8 beam costs the same number of allocations whether the
+    // shared trace is 3 chars or 10k chars — and for a hole-free state,
+    // exactly zero.
+    let small = vm_with_trace(3);
+    let large = vm_with_trace(10_000);
+    let mut beam: Vec<VmState> = Vec::with_capacity(8);
+    let mut fork_allocs = |vm: &VmState| {
+        count_allocs(5, || {
+            for _ in 0..8 {
+                beam.push(vm.clone());
+            }
+            std::hint::black_box(&beam);
+            beam.clear();
+        })
+    };
+    let small_allocs = fork_allocs(&small);
+    let large_allocs = fork_allocs(&large);
+    assert_eq!(
+        small_allocs, large_allocs,
+        "fork cost must be independent of trace length"
+    );
+    assert_eq!(
+        large_allocs, 0,
+        "forking a width-8 beam must not copy the 10k-char trace"
+    );
+}
+
+#[test]
+fn decode_steady_state_stays_within_alloc_budget() {
+    // Marginal allocations per decode step, isolated from per-hole setup
+    // by differencing a short and a long run of the same workload: with
+    // pooled mask outcomes, in-place softmax into reused scratch and the
+    // rope trace, the loop body allocates only the model's logits buffer
+    // (the n-gram model allocates one `Vec` per `score` call).
+    const BUDGET_ALLOCS_PER_STEP: u64 = 8;
+    let bpe = corpus::standard_bpe();
+    let lm = corpus::standard_ngram();
+    // `len(X) > 2000` keeps EOS inadmissible, so every run decodes to its
+    // token cap and the two runs differ by exactly the steady-state steps.
+    let expr = lmql_syntax::parse_expr("not \"\\n\" in X and len(X) > 2000").unwrap();
+    let scope = HashMap::new();
+    let mut masker = Masker::new(MaskEngine::default(), bpe.clone());
+
+    let mut run = |max_tokens: usize| -> (u64, u64) {
+        let options = DecodeOptions {
+            max_tokens_per_hole: max_tokens,
+            ..DecodeOptions::default()
+        };
+        let mut tokens = 0u64;
+        let allocs = count_allocs(3, || {
+            let out = decode_hole(
+                lm.as_ref(),
+                &bpe,
+                &mut masker,
+                Some(&expr),
+                &scope,
+                "The little prince said: ",
+                "X",
+                &mut Pick::argmax(),
+                &options,
+            )
+            .expect("decode succeeds");
+            tokens = out.tokens as u64;
+        });
+        (allocs, tokens)
+    };
+
+    // Warm-up: automaton compilation, scan caches, pool population.
+    let _ = run(4);
+    let (short_allocs, short_tokens) = run(16);
+    let (long_allocs, long_tokens) = run(80);
+    assert!(
+        long_tokens > short_tokens,
+        "workload must keep decoding ({short_tokens} vs {long_tokens} tokens)"
+    );
+    let steps = long_tokens - short_tokens;
+    let marginal = long_allocs.saturating_sub(short_allocs);
+    let per_step = marginal / steps;
+    assert!(
+        per_step <= BUDGET_ALLOCS_PER_STEP,
+        "decode loop allocates {per_step} allocs/step \
+         ({marginal} allocs over {steps} steps), budget {BUDGET_ALLOCS_PER_STEP}"
+    );
+}
+
+#[test]
+fn masker_recycles_outcomes_through_the_pool() {
+    // The decode loop hands every `MaskOutcome` back to the masker; the
+    // pooled scratch means repeated pooled copies of the same mask reach
+    // a steady state with no per-copy allocation.
+    let bpe = corpus::standard_bpe();
+    let mut masker =
+        Masker::new(MaskEngine::default(), bpe.clone()).with_config(MaskConfig::default());
+    let mask = lmql_tokenizer::TokenSet::full(bpe.vocab().len());
+    // Prime the pool.
+    for _ in 0..4 {
+        let copy = masker.pooled_copy(&mask);
+        masker.recycle_mask(copy);
+    }
+    let allocs = count_allocs(5, || {
+        for _ in 0..16 {
+            let copy = masker.pooled_copy(&mask);
+            std::hint::black_box(&copy);
+            masker.recycle_mask(copy);
+        }
+    });
+    assert_eq!(allocs, 0, "pooled mask copies must not allocate");
+}

@@ -1,0 +1,116 @@
+//! Rope-trace equivalence (DESIGN.md §13): the chunked immutable trace
+//! must be observably identical to the `String` trace it replaced — same
+//! bytes under every access pattern, and byte-identical query results
+//! across all four decoder clauses, both directly and when reassembled
+//! from the event stream (whose `prompt_chunk` deltas are produced by
+//! rope suffix materialisation).
+
+use lmql::{QueryEvent, Reassembler, Runtime, StreamSink};
+use lmql_arena::Rope;
+use lmql_lm::corpus;
+
+const QUERIES: [(&str, &str); 4] = [
+    (
+        "argmax",
+        "argmax\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"m\"\nwhere stops_at(THING, \"\\n\")\n",
+    ),
+    (
+        "sample",
+        "sample(n=2, temperature=1.2)\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"m\"\nwhere stops_at(THING, \"\\n\")\n",
+    ),
+    (
+        "beam",
+        "beam(n=2)\n    \"A list of things not to forget when travelling:\\n-[THING]\"\nfrom \"m\"\nwhere stops_at(THING, \"\\n\")\n",
+    ),
+    (
+        "distribute",
+        "argmax\n    \"Review: great\\nSentiment:[CLS]\"\nfrom \"m\"\ndistribute CLS in [\" positive\", \" negative\"]\n",
+    ),
+];
+
+fn runtime() -> Runtime {
+    let mut rt = Runtime::new(corpus::standard_ngram(), corpus::standard_bpe());
+    rt.options_mut().max_tokens_per_hole = 24;
+    rt
+}
+
+/// The rope behaves exactly like the `String` it replaced under every
+/// access pattern the runtime uses: full materialisation, suffix deltas,
+/// range slicing, prefix/suffix probes.
+#[test]
+fn rope_matches_string_semantics_chunk_by_chunk() {
+    let pieces = [
+        "A list of things ",
+        "",
+        "not to forget when travelling:\n- ",
+        "sun screen",
+        "\u{2713} unicode ",
+        "tail.",
+    ];
+    let mut rope = Rope::new();
+    let mut model = String::new();
+    let mut cuts = vec![0usize];
+    for piece in pieces {
+        rope.push_str(piece);
+        model.push_str(piece);
+        cuts.push(model.len());
+        assert_eq!(rope.len(), model.len());
+        assert_eq!(rope, model.as_str());
+        assert_eq!(rope.to_string(), model);
+    }
+    // Every chunk-boundary suffix — the streaming `prompt_chunk` deltas.
+    let mut buf = String::new();
+    for &cut in &cuts {
+        rope.write_suffix(cut, &mut buf);
+        assert_eq!(buf, &model[cut..]);
+        assert_eq!(rope.suffix_string(cut), &model[cut..]);
+    }
+    // Every chunk-boundary range — hole-record slicing.
+    for (i, &start) in cuts.iter().enumerate() {
+        for &end in &cuts[i..] {
+            assert_eq!(rope.slice_string(start..end), &model[start..end]);
+        }
+    }
+    assert!(rope.starts_with(&model[..cuts[2]]));
+    assert!(rope.ends_with("tail."));
+    // A fork shares every chunk and stays equal.
+    let fork = rope.clone();
+    assert_eq!(fork, model.as_str());
+}
+
+/// All four decoder clauses produce byte-identical traces whether read
+/// from the rope-backed `QueryRun` directly or reassembled from streamed
+/// suffix deltas.
+#[test]
+fn all_decoders_round_trip_traces_through_the_stream() {
+    for (name, source) in QUERIES {
+        let direct = runtime().run(source).expect(name);
+
+        let (sink, collector) = StreamSink::collector();
+        let streamed = runtime().run_streamed(source, sink).expect(name);
+        let events = collector.events();
+        assert!(!events.is_empty(), "{name}: no events");
+
+        assert_eq!(streamed.runs.len(), direct.runs.len(), "{name}");
+        for (a, b) in streamed.runs.iter().zip(&direct.runs) {
+            assert_eq!(a.trace, b.trace, "{name}: streamed trace differs");
+            assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits(), "{name}");
+        }
+
+        let rebuilt = Reassembler::from_events(&events).expect(name);
+        assert!(rebuilt.error.is_none(), "{name}: stream error");
+        assert_eq!(rebuilt.runs.len(), direct.runs.len(), "{name}");
+        for (got, want) in rebuilt.runs.iter().zip(&direct.runs) {
+            assert_eq!(got.trace, want.trace, "{name}: reassembled trace differs");
+        }
+
+        // The rope suffix materialisation must preserve the documented
+        // invariant that prompt deltas are never empty (an empty suffix
+        // is dropped, not streamed).
+        for e in &events {
+            if let QueryEvent::PromptChunk { text, .. } = e {
+                assert!(!text.is_empty(), "{name}: empty prompt chunk streamed");
+            }
+        }
+    }
+}

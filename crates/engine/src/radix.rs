@@ -14,6 +14,12 @@
 //! [`CachedLm`](lmql_lm::CachedLm), this cache is budgeted (entry count
 //! and approximate bytes) so long-running servers reach a steady state
 //! instead of leaking.
+//!
+//! Keys stay zero-copy on the lookup path: walks take borrowed
+//! `&[TokenId]` slices (the scheduler hands over the same `Arc<[TokenId]>`
+//! payload it queued), and the trie itself stores one token per edge, so
+//! shared prefixes are represented structurally rather than by duplicating
+//! key vectors per entry.
 
 use lmql_lm::Logits;
 use lmql_tokenizer::TokenId;

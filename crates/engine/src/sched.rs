@@ -123,7 +123,10 @@ impl Slot {
 
 #[derive(Debug)]
 struct Pending {
-    context: Vec<TokenId>,
+    /// Shared with the inflight map's key: one allocation per submitted
+    /// context instead of two, and removal at settle time borrows it
+    /// back as a slice.
+    context: Arc<[TokenId]>,
     slot: Arc<Slot>,
     enqueued: Instant,
     /// When the request's retry budget expires (from the policy's
@@ -139,8 +142,10 @@ struct Pending {
 struct State {
     queue: Vec<Pending>,
     /// Contexts queued or dispatched but not yet answered; late
-    /// requesters for the same context join the existing slot.
-    inflight: HashMap<Vec<TokenId>, Arc<Slot>>,
+    /// requesters for the same context join the existing slot. Keys are
+    /// shared with the queued [`Pending::context`] (and looked up by
+    /// `&[TokenId]` via the std `Borrow<[T]>` impl for `Arc<[T]>`).
+    inflight: HashMap<Arc<[TokenId]>, Arc<Slot>>,
     shutdown: bool,
 }
 
@@ -591,9 +596,12 @@ impl Scheduler {
         self.note_cache_miss();
         let slot = Arc::new(Slot::default());
         let now = Instant::now();
-        st.inflight.insert(context.to_vec(), Arc::clone(&slot));
+        // One shared allocation backs both the inflight key and the
+        // queued payload.
+        let context: Arc<[TokenId]> = Arc::from(context);
+        st.inflight.insert(Arc::clone(&context), Arc::clone(&slot));
         st.queue.push(Pending {
-            context: context.to_vec(),
+            context,
             slot: Arc::clone(&slot),
             enqueued: now,
             deadline: self.shared.retry.deadline.map(|d| now + d),
@@ -727,7 +735,7 @@ fn dispatch_loop(shared: &Shared) {
         }
         let mut dispatch_span = shared.tracer.span("batch", "dispatch");
         dispatch_span.arg("contexts", batch.len() as u64);
-        let contexts: Vec<&[TokenId]> = batch.iter().map(|p| p.context.as_slice()).collect();
+        let contexts: Vec<&[TokenId]> = batch.iter().map(|p| &*p.context).collect();
         let results = shared.model.try_score_batch(&contexts);
         drop(dispatch_span);
         debug_assert_eq!(results.len(), batch.len());

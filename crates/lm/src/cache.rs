@@ -16,14 +16,16 @@ use crate::{LanguageModel, LmResult, Logits};
 use lmql_tokenizer::{TokenId, Vocabulary};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// LRU bookkeeping: entries carry a monotonically increasing use stamp,
-/// and a stamp-ordered index finds the coldest entry in `O(log n)`.
+/// and a stamp-ordered index finds the coldest entry in `O(log n)`. The
+/// map key and the stamp index share one `Arc<[TokenId]>` allocation per
+/// entry (lookups by `&[TokenId]` go through the std `Borrow<[T]>` impl).
 #[derive(Debug, Default)]
 struct CacheState {
-    map: HashMap<Vec<TokenId>, (Logits, u64)>,
-    order: BTreeMap<u64, Vec<TokenId>>,
+    map: HashMap<Arc<[TokenId]>, (Logits, u64)>,
+    order: BTreeMap<u64, Arc<[TokenId]>>,
     stamp: u64,
 }
 
@@ -38,13 +40,14 @@ impl CacheState {
         Some(logits)
     }
 
-    fn insert(&mut self, context: Vec<TokenId>, logits: Logits) {
+    fn insert(&mut self, context: Arc<[TokenId]>, logits: Logits) {
         let stamp = self.stamp;
         self.stamp += 1;
-        if let Some((_, old)) = self.map.insert(context.clone(), (logits, stamp)) {
+        let key = Arc::clone(&context);
+        if let Some((_, old)) = self.map.insert(context, (logits, stamp)) {
             self.order.remove(&old);
         }
-        self.order.insert(stamp, context);
+        self.order.insert(stamp, key);
     }
 
     /// Evicts entries down to `capacity`, returning how many were dropped.
@@ -160,7 +163,7 @@ impl<L: LanguageModel> CachedLm<L> {
 
     fn store(&self, context: &[TokenId], logits: Logits) {
         let mut st = self.state.lock().expect("lm cache poisoned");
-        st.insert(context.to_vec(), logits);
+        st.insert(Arc::from(context), logits);
         let dropped = st.evict_to(self.capacity);
         if dropped > 0 {
             self.evictions.fetch_add(dropped, Ordering::Relaxed);

@@ -89,6 +89,20 @@ impl Logits {
     ///
     /// Panics if `temperature <= 0` or the vector is empty.
     pub fn softmax(&self, temperature: f64) -> Distribution {
+        let mut out = Distribution::empty();
+        self.softmax_into(temperature, &mut out);
+        out
+    }
+
+    /// [`Logits::softmax`] into a reused buffer: `out` is overwritten
+    /// with exactly the same values (identical floating-point operation
+    /// order), allocation-free once `out` has the vocabulary's capacity.
+    /// The decode loop's steady-state entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature <= 0` or the vector is empty.
+    pub fn softmax_into(&self, temperature: f64, out: &mut Distribution) {
         assert!(temperature > 0.0, "temperature must be positive");
         assert!(!self.scores.is_empty(), "cannot softmax empty logits");
         let max = self
@@ -96,14 +110,13 @@ impl Logits {
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = self
-            .scores
-            .iter()
-            .map(|&z| ((z - max) / temperature).exp())
-            .collect();
-        let sum: f64 = exps.iter().sum();
-        Distribution {
-            probs: exps.into_iter().map(|e| e / sum).collect(),
+        out.probs.clear();
+        out.probs.reserve(self.scores.len());
+        out.probs
+            .extend(self.scores.iter().map(|&z| ((z - max) / temperature).exp()));
+        let sum: f64 = out.probs.iter().sum();
+        for p in &mut out.probs {
+            *p /= sum;
         }
     }
 }
@@ -115,6 +128,12 @@ pub struct Distribution {
 }
 
 impl Distribution {
+    /// An empty distribution, for use as a reusable
+    /// [`Logits::softmax_into`] scratch buffer.
+    pub fn empty() -> Self {
+        Distribution { probs: Vec::new() }
+    }
+
     /// Read-only access to the probabilities.
     pub fn probs(&self) -> &[f64] {
         &self.probs
@@ -147,25 +166,42 @@ impl Distribution {
     ///
     /// Panics if the mask universe does not match the distribution length.
     pub fn masked(&self, mask: &TokenSet) -> Option<Distribution> {
+        let mut out = self.clone();
+        if out.mask_in_place(mask) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// [`Distribution::masked`] without the clone: zeroes the non-mask
+    /// entries and renormalises in place, with the identical
+    /// floating-point operation order. Returns `false` (leaving the
+    /// contents unnormalised garbage) when the mask removes all
+    /// probability mass; callers then discard or overwrite the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask universe does not match the distribution length.
+    pub fn mask_in_place(&mut self, mask: &TokenSet) -> bool {
         assert_eq!(
             mask.universe_len(),
             self.probs.len(),
             "mask universe does not match distribution"
         );
-        let mut masked: Vec<f64> = self.probs.clone();
-        for (i, p) in masked.iter_mut().enumerate() {
+        for (i, p) in self.probs.iter_mut().enumerate() {
             if !mask.contains(TokenId(i as u32)) {
                 *p = 0.0;
             }
         }
-        let z: f64 = masked.iter().sum();
+        let z: f64 = self.probs.iter().sum();
         if z <= 0.0 {
-            return None;
+            return false;
         }
-        for p in &mut masked {
+        for p in &mut self.probs {
             *p /= z;
         }
-        Some(Distribution { probs: masked })
+        true
     }
 
     /// The highest-probability token; ties break toward the lowest id so
@@ -319,5 +355,57 @@ mod tests {
     #[should_panic(expected = "temperature must be positive")]
     fn zero_temperature_panics() {
         let _ = Logits::from_vec(vec![1.0]).softmax(0.0);
+    }
+
+    #[test]
+    fn softmax_into_is_bit_identical_and_reusable() {
+        let logits = Logits::from_vec(vec![0.3, -1.7, 2.2, 0.0, 5.5]);
+        let mut scratch = Distribution::empty();
+        for &temp in &[0.5, 1.0, 2.0] {
+            // Dirty the buffer to prove it is fully overwritten.
+            scratch.probs = vec![9.0; 2];
+            logits.softmax_into(temp, &mut scratch);
+            let fresh = logits.softmax(temp);
+            assert_eq!(
+                scratch
+                    .probs()
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect::<Vec<_>>(),
+                fresh
+                    .probs()
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect::<Vec<_>>(),
+                "softmax_into must be bit-identical to softmax at τ={temp}"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_in_place_is_bit_identical() {
+        let d = Logits::from_vec(vec![1.0, 0.5, 3.0, -2.0]).softmax(1.0);
+        let mask = TokenSet::from_ids(4, [TokenId(0), TokenId(2)]);
+        let fresh = d.masked(&mask).unwrap();
+        let mut inplace = d.clone();
+        assert!(inplace.mask_in_place(&mask));
+        assert_eq!(
+            inplace
+                .probs()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>(),
+            fresh
+                .probs()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn mask_in_place_reports_dead_mask() {
+        let mut d = Logits::from_vec(vec![1.0, 2.0]).softmax(1.0);
+        assert!(!d.mask_in_place(&TokenSet::empty(2)));
     }
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full verification: formatting, lints, release build, tests.
 #
-# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --bench-smoke]
+# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --bench-smoke | --bench-publish]
 #   --slow    also runs the proptest suites (slow-tests feature)
 #   --quick   build + tests only (skips rustfmt/clippy; useful where the
 #             toolchain components are not installed)
@@ -15,10 +15,18 @@
 #             automata crate's unit tests, differential mask equality
 #             against the uncompiled engines, and fast-forward decoder
 #             accounting
+#   --decode  zero-copy data-plane suites only (DESIGN.md §13): the arena
+#             crate's unit tests, the counting-allocator budget pins
+#             (fork cost, decode allocs/step), and rope-trace round-trip
+#             identity across all four decoders
 #   --bench-smoke  runs the masking/followmap benches with a tiny
-#             measurement budget and the mask benchmark binary, emitting
-#             BENCH_mask.json (numbers are smoke-level, not publishable);
-#             asserts the automata advancing workload's allocs/step budget
+#             measurement budget plus the mask and decode benchmark
+#             binaries, writing smoke-level JSON to target/bench/ (never
+#             the committed BENCH_*.json); asserts the allocs/step
+#             budgets for both, so it is safe to gate merges on
+#   --bench-publish  full-budget benchmark run that rewrites the
+#             committed BENCH_mask.json and BENCH_decode.json in place;
+#             run manually (or nightly) on quiet hardware
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,17 +38,21 @@ case "${1:-}" in
     --chaos) MODE=chaos ;;
     --stream) MODE=stream ;;
     --automata) MODE=automata ;;
+    --decode) MODE=decode ;;
     --bench-smoke) MODE=bench-smoke ;;
+    --bench-publish) MODE=bench-publish ;;
     *)
-        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --bench-smoke]" >&2
+        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --bench-smoke | --bench-publish]" >&2
         exit 2
         ;;
 esac
 
 if [[ "$MODE" == bench-smoke ]]; then
-    # Exercise the mask-generation benches end to end on a small budget:
-    # catches bench-target rot and perf-path panics without gating merges
-    # on timing noise.
+    # Exercise the benchmark paths end to end on a small budget: catches
+    # bench-target rot and perf-path panics, and asserts the hard
+    # allocation budgets. Timing numbers at this budget are noise, so
+    # the JSON goes to target/bench/, never over the committed files —
+    # publishable numbers come from --bench-publish.
     export LMQL_BENCH_WARMUP_MS="${LMQL_BENCH_WARMUP_MS:-5}"
     export LMQL_BENCH_BUDGET_MS="${LMQL_BENCH_BUDGET_MS:-30}"
     # The compiled-automata advancing workload is designed to be
@@ -48,11 +60,42 @@ if [[ "$MODE" == bench-smoke ]]; then
     # step); a regression here silently reintroduces the per-step vocab
     # scan, so it is a hard budget, not a timing measurement.
     export LMQL_BENCH_ALLOC_BUDGET="${LMQL_BENCH_ALLOC_BUDGET:-25}"
+    # The decode loop is tighter still: pooled mask scratch + in-place
+    # softmax leave only the model's logits allocation per step.
+    DECODE_ALLOC_BUDGET="${LMQL_BENCH_DECODE_ALLOC_BUDGET:-8}"
+    mkdir -p target/bench
     echo "==> cargo bench: masking + followmap (budget ${LMQL_BENCH_BUDGET_MS}ms)"
     cargo bench -q -p lmql-bench --bench masking
     cargo bench -q -p lmql-bench --bench followmap
-    echo "==> bench_mask (BENCH_mask.json, alloc budget ${LMQL_BENCH_ALLOC_BUDGET}/step)"
+    echo "==> bench_mask (target/bench/BENCH_mask.json, alloc budget ${LMQL_BENCH_ALLOC_BUDGET}/step)"
+    cargo run -q --release -p lmql-bench --bin bench_mask -- --out target/bench/BENCH_mask.json
+    echo "==> bench_decode (target/bench/BENCH_decode.json, alloc budget ${DECODE_ALLOC_BUDGET}/step)"
+    LMQL_BENCH_ALLOC_BUDGET="$DECODE_ALLOC_BUDGET" \
+        cargo run -q --release -p lmql-bench --bin bench_decode -- --out target/bench/BENCH_decode.json
+    echo "==> OK"
+    exit 0
+fi
+
+if [[ "$MODE" == bench-publish ]]; then
+    # Full-budget run that replaces the committed benchmark numbers.
+    export LMQL_BENCH_ALLOC_BUDGET="${LMQL_BENCH_ALLOC_BUDGET:-25}"
+    DECODE_ALLOC_BUDGET="${LMQL_BENCH_DECODE_ALLOC_BUDGET:-8}"
+    echo "==> bench_mask (publishing BENCH_mask.json)"
     cargo run -q --release -p lmql-bench --bin bench_mask -- --out BENCH_mask.json
+    echo "==> bench_decode (publishing BENCH_decode.json)"
+    LMQL_BENCH_ALLOC_BUDGET="$DECODE_ALLOC_BUDGET" \
+        cargo run -q --release -p lmql-bench --bin bench_decode -- --out BENCH_decode.json
+    echo "==> OK"
+    exit 0
+fi
+
+if [[ "$MODE" == decode ]]; then
+    echo "==> zero-copy data-plane suites (rope trace + allocation budgets)"
+    cargo test -q -p lmql-arena
+    cargo test -q -p lmql --test alloc_budget
+    cargo test -q -p lmql --test rope_trace
+    cargo test -q -p lmql-repro --test trace_semantics
+    cargo test -q -p lmql-repro --test streaming
     echo "==> OK"
     exit 0
 fi

@@ -7,6 +7,7 @@
 //! [`lmql_tokenizer`], …) directly.
 
 pub use lmql;
+pub use lmql_arena;
 pub use lmql_baseline;
 pub use lmql_bench;
 pub use lmql_datasets;

@@ -73,7 +73,10 @@ fn fig9_trace_states() {
     let records = vm.hole_records();
     assert_eq!(records.len(), 3);
     assert_eq!(records[0].var, "THING");
-    assert_eq!(&vm.trace()[records[2].start..records[2].end], "sun screen");
+    assert_eq!(
+        vm.trace().slice_string(records[2].start..records[2].end),
+        "sun screen"
+    );
 }
 
 #[test]
