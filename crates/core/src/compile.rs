@@ -334,6 +334,28 @@ impl Compiler {
     fn call(&mut self, func: &Expr, args: &[Expr], span: Span) -> Result<()> {
         match func {
             Expr::Name { name, .. } => {
+                // `subquery(source[, var])` is a runtime capability, not
+                // a value builtin: it launches a child query through the
+                // engine (DESIGN.md §14), so it compiles to an external
+                // call the runtime pre-registers under `__runtime`.
+                if name == "subquery" {
+                    if args.is_empty() || args.len() > 2 {
+                        return Err(Error::compile(
+                            "subquery(source[, variable]) takes 1 or 2 arguments",
+                            span,
+                        ));
+                    }
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                    self.instrs.push(Instr::CallExternal {
+                        module: "__runtime".to_owned(),
+                        func: "subquery".to_owned(),
+                        argc: args.len(),
+                        span,
+                    });
+                    return Ok(());
+                }
                 if !BUILTIN_FUNCTIONS.contains(&name.as_str()) {
                     return Err(Error::compile(
                         format!(

@@ -46,6 +46,12 @@ pub struct DecodeOptions {
     /// token and checks the sink for cooperative cancellation between
     /// tokens.
     pub sink: crate::StreamSink,
+    /// Program-level parallelism (DESIGN.md §14): decode provably
+    /// independent holes concurrently and join them in program order.
+    /// On by default; applies to `argmax` runs only (sampling threads
+    /// one RNG through the holes and beams have their own batch loop).
+    /// Disable to bisect — results are byte-identical either way.
+    pub parallel_holes: bool,
 }
 
 impl Default for DecodeOptions {
@@ -60,6 +66,7 @@ impl Default for DecodeOptions {
             speculative: false,
             tracer: lmql_obs::Tracer::disabled(),
             sink: crate::StreamSink::none(),
+            parallel_holes: true,
         }
     }
 }

@@ -60,6 +60,7 @@ mod decode;
 mod error;
 mod interp;
 mod naive;
+mod parallel;
 mod program;
 mod request;
 mod runtime;
@@ -75,10 +76,12 @@ pub use decode::{
 pub use error::{Error, Result};
 pub use interp::{ExternalFn, Externals, HoleRecord, HoleRequest, Step, VmState};
 pub use naive::{decode_hole_naive, decode_hole_naive_strict, NaiveOptions, NaiveOutcome};
+pub use parallel::{plan_holes, HolePlan};
 pub use program::{CompiledSegment, Instr, Program, PromptTemplate};
 pub use request::QueryRequest;
-pub use runtime::{QueryResult, QueryRun, Runtime};
+pub use runtime::{QueryResult, QueryRun, Runtime, SubqueryLimits};
 pub use stream::{
-    EventSink, QueryEvent, ReassembledQuery, ReassembledRun, Reassembler, StreamSink, WireError,
+    EventSink, QueryEvent, ReassembledQuery, ReassembledRun, ReassembledSubquery, Reassembler,
+    StreamSink, WireError,
 };
 pub use value::Value;

@@ -1,0 +1,540 @@
+//! Hole-dependency analysis for program-level parallelism (DESIGN.md
+//! §14).
+//!
+//! A query body decodes its `[VAR]` holes strictly in program order, but
+//! many bodies give consecutive holes no data dependency on each other —
+//! the holes are *futures* that can decode concurrently and join at
+//! first use (APPL's model). This module computes which holes may safely
+//! overlap: [`plan_holes`] walks the compiled instruction stream with an
+//! abstract interpreter that tracks, for every value, the set of holes
+//! whose decoded text could have flowed into it, then derives a
+//! dependency edge for every def/use pair:
+//!
+//! - a `{recall}` whose expression reads a hole-tainted value makes every
+//!   *later* hole depend on those holes (the recalled text is part of
+//!   every later context);
+//! - a `where`-clause conjunct whose scope values resolve to two or more
+//!   holes chains them in program order (`stops_at(B, A)` must see `A`'s
+//!   final value while decoding `B`);
+//! - a conjunct that is not *completion-safe* (see below) serializes its
+//!   holes against everything after them;
+//! - an external call is a barrier: its result is tainted by every
+//!   earlier hole, and every later hole depends on every earlier one
+//!   (re-running a side-effectful call during speculative prompt
+//!   construction would be observable, so groups never span one);
+//! - a `distribute` variable depends on every earlier hole (its
+//!   distribution scores the whole trace).
+//!
+//! Everything the abstract interpreter cannot model exactly — any
+//! control flow — makes [`plan_holes`] return `None`, which the runtime
+//! treats as "fully sequential". Loops and conditionals re-emit holes
+//! dynamically, so a static DAG over them would be unsound; straight-line
+//! bodies (the overwhelmingly common shape for multi-hole prompts) are
+//! analyzed exactly.
+//!
+//! # Completion-safety
+//!
+//! Sequentially, a conjunct mentioning only hole `A` is still evaluated
+//! while decoding every later hole, with `A`'s *final* value in scope. A
+//! constrained decode can end with the conjunct violated (a budget stop
+//! truncates `len(A) > 100` mid-flight), and the later hole's decode then
+//! dead-ends immediately. A parallel sibling would instead see the
+//! conjunct as undetermined (no `A` in scope) and happily decode. To keep
+//! byte-identity including such failure paths, only conjuncts that are
+//! *guaranteed true on any completed decode* leave later holes
+//! parallelizable:
+//!
+//! - `stops_at(X, phrase)` — a stopping condition, FOLLOW-true on every
+//!   prefix;
+//! - `not ("lit" in X)` / `"lit" not in X` — the mask blocks completing
+//!   the needle, so every decodable prefix satisfies it;
+//! - `len(...) < k` / `len(...) <= k` (and mirrored `k > len(...)`) —
+//!   the mask stops growth at the bound.
+//!
+//! Any other shape (`len > k`, `X in [...]`, `==`, custom ops, `or`
+//! disjunctions) conservatively serializes its holes against all later
+//! ones.
+
+use crate::program::{CompiledSegment, Instr, Program};
+use lmql_syntax::ast::{CmpOp, Expr};
+use std::collections::{BTreeSet, HashMap};
+
+/// The set of hole indices whose decoded text may have flowed into a
+/// value. Ordered so dependency sets compare and iterate
+/// deterministically.
+type Taint = BTreeSet<usize>;
+
+/// The result of dependency analysis: hole names in program order, the
+/// direct dependencies of each hole (always earlier indices), and the
+/// partition into *parallel groups* — maximal runs of consecutive holes
+/// with no dependency edge inside the run. Groups execute in program
+/// order; members of one group may decode concurrently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HolePlan {
+    names: Vec<String>,
+    deps: Vec<Taint>,
+    /// Half-open `[start, end)` index ranges over `names`.
+    groups: Vec<(usize, usize)>,
+}
+
+impl HolePlan {
+    /// Hole names in program order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Direct dependencies (earlier hole indices) of hole `idx`.
+    pub fn deps_of(&self, idx: usize) -> &BTreeSet<usize> {
+        &self.deps[idx]
+    }
+
+    /// Index of `name` in program order.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The parallel groups as half-open index ranges.
+    pub fn groups(&self) -> &[(usize, usize)] {
+        &self.groups
+    }
+
+    /// Size of the largest parallel group.
+    pub fn max_group_len(&self) -> usize {
+        self.groups.iter().map(|(s, e)| e - s).max().unwrap_or(0)
+    }
+
+    /// The members of `var`'s group from `var` to the group's end, when
+    /// that suffix still holds two or more holes. This is what the
+    /// runtime parallelizes on arriving at `var`: decoding may have
+    /// fallen back to sequential for an earlier member, in which case the
+    /// remaining suffix is still mutually independent.
+    pub fn parallel_suffix(&self, var: &str) -> Option<&[String]> {
+        let idx = self.index_of(var)?;
+        let &(_, end) = self.groups.iter().find(|&&(s, e)| s <= idx && idx < e)?;
+        if end - idx >= 2 {
+            Some(&self.names[idx..end])
+        } else {
+            None
+        }
+    }
+}
+
+/// Analyzes `program` for hole dependencies. Returns `None` when the
+/// body cannot be modelled exactly (any control flow, a hole emitted
+/// twice, or a malformed stack), in which case decoding stays fully
+/// sequential.
+pub fn plan_holes(program: &Program) -> Option<HolePlan> {
+    if program.instrs.iter().any(|i| {
+        matches!(
+            i,
+            Instr::Jump(_)
+                | Instr::JumpIfFalse(_)
+                | Instr::IterNew(_)
+                | Instr::IterNext { .. }
+                | Instr::PopIter
+        )
+    }) {
+        return None;
+    }
+
+    let mut names: Vec<String> = Vec::new();
+    let mut deps: Vec<Taint> = Vec::new();
+    let mut stack: Vec<Taint> = Vec::new();
+    // Taint of each scope variable's *current* value (for recalls, which
+    // read the live binding) and the union over *every* value the
+    // variable ever held (for where-clause conjuncts, which are
+    // re-evaluated at every hole and must account for reassignment).
+    let mut taint: HashMap<String, Taint> = HashMap::new();
+    let mut ever: HashMap<String, Taint> = HashMap::new();
+    // Holes whose text has been recalled back into the trace: every
+    // later hole's context contains it.
+    let mut trace_taint = Taint::new();
+    // Holes preceding any external call: later holes may not share a
+    // group with them.
+    let mut barrier = Taint::new();
+
+    fn popn(stack: &mut Vec<Taint>, n: usize) -> Option<Taint> {
+        let mut out = Taint::new();
+        for _ in 0..n {
+            out.extend(stack.pop()?);
+        }
+        Some(out)
+    }
+
+    for instr in &program.instrs {
+        match instr {
+            Instr::Const(_) => stack.push(Taint::new()),
+            Instr::Load(name, _) => stack.push(taint.get(name).cloned().unwrap_or_default()),
+            Instr::Store(name) => {
+                let t = stack.pop()?;
+                ever.entry(name.clone())
+                    .or_default()
+                    .extend(t.iter().copied());
+                taint.insert(name.clone(), t);
+            }
+            Instr::Pop => {
+                stack.pop()?;
+            }
+            Instr::MakeList(n) => {
+                let t = popn(&mut stack, *n)?;
+                stack.push(t);
+            }
+            Instr::BinOp(_, _) | Instr::Compare(_, _) | Instr::Index(_) => {
+                let t = popn(&mut stack, 2)?;
+                stack.push(t);
+            }
+            Instr::Not | Instr::Neg(_) => {
+                let t = stack.pop()?;
+                stack.push(t);
+            }
+            Instr::Slice { has_lo, has_hi, .. } => {
+                let n = 1 + usize::from(*has_lo) + usize::from(*has_hi);
+                let t = popn(&mut stack, n)?;
+                stack.push(t);
+            }
+            Instr::CallBuiltin { argc, .. } => {
+                let t = popn(&mut stack, *argc)?;
+                stack.push(t);
+            }
+            Instr::CallMethod { argc, .. } => {
+                let t = popn(&mut stack, argc + 1)?;
+                stack.push(t);
+            }
+            Instr::CallMutMethod { var, argc, .. } => {
+                let mut t = popn(&mut stack, *argc)?;
+                t.extend(taint.get(var.as_str()).into_iter().flatten().copied());
+                ever.entry(var.clone())
+                    .or_default()
+                    .extend(t.iter().copied());
+                taint.insert(var.clone(), t);
+                stack.push(Taint::new());
+            }
+            Instr::CallExternal { argc, .. } => {
+                let mut t = popn(&mut stack, *argc)?;
+                barrier.extend(0..names.len());
+                t.extend(0..names.len());
+                stack.push(t);
+            }
+            Instr::Emit(tpl) => {
+                for seg in &tpl.segments {
+                    match seg {
+                        CompiledSegment::Literal(_) => {}
+                        CompiledSegment::Hole(name) => {
+                            if names.iter().any(|n| n == name) {
+                                return None;
+                            }
+                            let idx = names.len();
+                            let mut d = trace_taint.clone();
+                            d.extend(barrier.iter().copied());
+                            names.push(name.clone());
+                            deps.push(d);
+                            taint.insert(name.clone(), Taint::from([idx]));
+                            ever.entry(name.clone()).or_default().insert(idx);
+                        }
+                        CompiledSegment::Recall(expr) => {
+                            let mut read = Vec::new();
+                            expr_names(expr, &mut read);
+                            for n in read {
+                                if let Some(t) = taint.get(n) {
+                                    trace_taint.extend(t.iter().copied());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::BoolFold { count, .. } => {
+                let t = popn(&mut stack, *count)?;
+                stack.push(t);
+            }
+            Instr::Halt => break,
+            Instr::Jump(_)
+            | Instr::JumpIfFalse(_)
+            | Instr::IterNew(_)
+            | Instr::IterNext { .. }
+            | Instr::PopIter => return None,
+        }
+    }
+
+    // Where-clause couplings: the whole clause is evaluated while
+    // decoding every hole, so conjuncts tie their holes together.
+    if let Some(where_clause) = &program.where_clause {
+        let mut leaves = Vec::new();
+        conjuncts(where_clause, &mut leaves);
+        for conjunct in leaves {
+            let mut read = Vec::new();
+            expr_names(conjunct, &mut read);
+            let mut involved = Taint::new();
+            for n in read {
+                if let Some(t) = ever.get(n) {
+                    involved.extend(t.iter().copied());
+                }
+            }
+            let chain: Vec<usize> = involved.iter().copied().collect();
+            for pair in chain.windows(2) {
+                deps[pair[1]].insert(pair[0]);
+            }
+            if !conjunct_is_completion_safe(conjunct) {
+                for &s in &involved {
+                    for d in &mut deps[s + 1..] {
+                        d.insert(s);
+                    }
+                }
+            }
+        }
+    }
+
+    // The distribute variable's distribution scores the full trace, so
+    // it needs every earlier hole resolved.
+    if let Some(dist) = &program.distribute {
+        if let Some(idx) = names.iter().position(|n| n == &dist.var) {
+            deps[idx].extend(0..idx);
+        }
+    }
+
+    // Maximal prefix groups in program order: extend the current group
+    // while the next hole depends on nothing inside it. Join order then
+    // equals program order equals sequential decode order.
+    let mut groups = Vec::new();
+    let mut start = 0;
+    for (i, dep) in deps.iter().enumerate() {
+        if dep.iter().any(|&d| d >= start) {
+            groups.push((start, i));
+            start = i;
+        }
+    }
+    if start < names.len() {
+        groups.push((start, names.len()));
+    }
+
+    Some(HolePlan {
+        names,
+        deps,
+        groups,
+    })
+}
+
+/// Splits a where clause into its top-level `and` conjuncts (recursing
+/// through nested `and`s). An `or` stays one opaque conjunct.
+fn conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::BoolOp {
+        and: true,
+        operands,
+        ..
+    } = expr
+    {
+        for op in operands {
+            conjuncts(op, out);
+        }
+    } else {
+        out.push(expr);
+    }
+}
+
+/// Whether a conjunct is guaranteed satisfied by any *completed* decode
+/// of the holes it constrains (see module docs). Conservative: unknown
+/// shapes are unsafe.
+fn conjunct_is_completion_safe(expr: &Expr) -> bool {
+    match expr {
+        Expr::Str { .. }
+        | Expr::Int { .. }
+        | Expr::Float { .. }
+        | Expr::Bool { .. }
+        | Expr::None { .. }
+        | Expr::Name { .. } => true,
+        Expr::Call { func, .. } => {
+            matches!(&**func, Expr::Name { name, .. } if name == "stops_at")
+        }
+        Expr::Not { operand, .. } => matches!(&**operand, Expr::Compare { op: CmpOp::In, .. }),
+        Expr::Compare {
+            op: CmpOp::NotIn, ..
+        } => true,
+        Expr::Compare {
+            op: CmpOp::Lt | CmpOp::Le,
+            left,
+            right,
+            ..
+        } => is_len_call(left) && matches!(&**right, Expr::Int { .. }),
+        Expr::Compare {
+            op: CmpOp::Gt | CmpOp::Ge,
+            left,
+            right,
+            ..
+        } => matches!(&**left, Expr::Int { .. }) && is_len_call(right),
+        _ => false,
+    }
+}
+
+fn is_len_call(expr: &Expr) -> bool {
+    matches!(expr, Expr::Call { func, .. }
+        if matches!(&**func, Expr::Name { name, .. } if name == "len"))
+}
+
+/// Collects every `Name` occurring in `expr`, including call targets
+/// (harmlessly conservative: unknown names resolve to no taint).
+fn expr_names<'e>(expr: &'e Expr, out: &mut Vec<&'e str>) {
+    match expr {
+        Expr::Str { .. }
+        | Expr::Int { .. }
+        | Expr::Float { .. }
+        | Expr::Bool { .. }
+        | Expr::None { .. } => {}
+        Expr::Name { name, .. } => out.push(name),
+        Expr::List { items, .. } => {
+            for item in items {
+                expr_names(item, out);
+            }
+        }
+        Expr::Call { func, args, .. } => {
+            expr_names(func, out);
+            for arg in args {
+                expr_names(arg, out);
+            }
+        }
+        Expr::Attribute { obj, .. } => expr_names(obj, out),
+        Expr::Index { obj, index, .. } => {
+            expr_names(obj, out);
+            expr_names(index, out);
+        }
+        Expr::Slice { obj, lo, hi, .. } => {
+            expr_names(obj, out);
+            if let Some(lo) = lo {
+                expr_names(lo, out);
+            }
+            if let Some(hi) = hi {
+                expr_names(hi, out);
+            }
+        }
+        Expr::BinOp { left, right, .. } | Expr::Compare { left, right, .. } => {
+            expr_names(left, out);
+            expr_names(right, out);
+        }
+        Expr::BoolOp { operands, .. } => {
+            for op in operands {
+                expr_names(op, out);
+            }
+        }
+        Expr::Not { operand, .. } | Expr::Neg { operand, .. } => {
+            expr_names(operand, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+
+    fn plan(source: &str) -> Option<HolePlan> {
+        plan_holes(&compile_source(source).expect("test program compiles"))
+    }
+
+    #[test]
+    fn independent_holes_share_a_group() {
+        let p = plan("argmax\n    \"Q: [A]\\n\"\n    \"R: [B]\\n\"\nfrom \"m\"\n").unwrap();
+        assert_eq!(p.names(), ["A", "B"]);
+        assert_eq!(p.groups(), [(0, 2)]);
+        assert_eq!(p.parallel_suffix("A").unwrap(), ["A", "B"]);
+        assert_eq!(p.parallel_suffix("B"), None);
+    }
+
+    #[test]
+    fn recall_creates_dependency() {
+        let p = plan("argmax\n    \"Q: [A]\\n\"\n    \"again {A}: [B]\\n\"\nfrom \"m\"\n").unwrap();
+        assert!(p.deps_of(1).contains(&0));
+        assert_eq!(p.groups(), [(0, 1), (1, 2)]);
+        assert_eq!(p.parallel_suffix("A"), None);
+    }
+
+    #[test]
+    fn recall_through_local_creates_dependency() {
+        let p = plan(
+            "argmax\n    \"Q: [A]\\n\"\n    x = A + \"!\"\n    \"again {x}: [B]\\n\"\nfrom \"m\"\n",
+        )
+        .unwrap();
+        assert!(p.deps_of(1).contains(&0));
+        assert_eq!(p.groups(), [(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn where_value_reference_chains_holes() {
+        let p = plan(
+            "argmax\n    \"Q: [A]\\n\"\n    \"R: [B]\\n\"\nfrom \"m\"\nwhere\n    stops_at(A, \".\") and stops_at(B, A)\n",
+        )
+        .unwrap();
+        assert!(p.deps_of(1).contains(&0));
+        assert_eq!(p.groups(), [(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn safe_conjuncts_keep_holes_parallel() {
+        // The jokes shape: per-hole stopping conditions and a len upper
+        // bound never couple distinct holes.
+        let p = plan(
+            "argmax\n    \"Q: [A]\\n\"\n    \"R: [B]\\n\"\nfrom \"m\"\nwhere\n    stops_at(A, \".\") and stops_at(B, \".\") and len(A) < 40\n",
+        )
+        .unwrap();
+        assert_eq!(p.groups(), [(0, 2)]);
+    }
+
+    #[test]
+    fn unsafe_conjunct_serializes_later_holes() {
+        // len(A) > 2 can be violated by a budget-truncated A, which
+        // sequentially dead-ends B's decode — so B must wait for A.
+        let p = plan(
+            "argmax\n    \"Q: [A]\\n\"\n    \"R: [B]\\n\"\nfrom \"m\"\nwhere\n    len(A) > 2\n",
+        )
+        .unwrap();
+        assert!(p.deps_of(1).contains(&0));
+        assert_eq!(p.groups(), [(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn unsafe_conjunct_on_last_hole_is_free() {
+        let p = plan(
+            "argmax\n    \"Q: [A]\\n\"\n    \"R: [B]\\n\"\nfrom \"m\"\nwhere\n    len(B) > 2\n",
+        )
+        .unwrap();
+        assert_eq!(p.groups(), [(0, 2)]);
+    }
+
+    #[test]
+    fn control_flow_bails() {
+        assert_eq!(
+            plan("argmax\n    for i in [1, 2]:\n        \"Q: [A]\\n\"\nfrom \"m\"\n"),
+            None
+        );
+    }
+
+    #[test]
+    fn external_call_is_a_barrier() {
+        let p = plan(
+            "import calc\nargmax\n    \"Q: [A]\\n\"\n    x = calc.run(\"2\")\n    \"R: [B]\\n\"\nfrom \"m\"\n",
+        )
+        .unwrap();
+        assert!(p.deps_of(1).contains(&0));
+        assert_eq!(p.groups(), [(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn distribute_depends_on_all_earlier_holes() {
+        let p = plan(
+            "argmax\n    \"Q: [A]\\n\"\n    \"R: [B]\\n\"\nfrom \"m\"\ndistribute\n    B over [\"x\", \"y\"]\n",
+        )
+        .unwrap();
+        assert!(p.deps_of(1).contains(&0));
+        assert_eq!(p.groups(), [(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn three_way_mix() {
+        // A and B independent; C recalls A: groups are {A, B}, {C}.
+        let p = plan(
+            "argmax\n    \"Q: [A]\\n\"\n    \"R: [B]\\n\"\n    \"S {A}: [C]\\n\"\nfrom \"m\"\n",
+        )
+        .unwrap();
+        assert_eq!(p.groups(), [(0, 2), (2, 3)]);
+        assert_eq!(p.parallel_suffix("B"), None);
+        assert_eq!(p.parallel_suffix("C"), None);
+    }
+}

@@ -50,6 +50,7 @@ pub struct QueryRequest {
     mask: Option<MaskConfig>,
     no_repeat_ngram: Option<usize>,
     speculative: Option<bool>,
+    parallel_holes: Option<bool>,
     tracer: Option<lmql_obs::Tracer>,
     retry: Option<RetryPolicy>,
     deadline: Option<Duration>,
@@ -70,6 +71,7 @@ impl QueryRequest {
             mask: None,
             no_repeat_ngram: None,
             speculative: None,
+            parallel_holes: None,
             tracer: None,
             retry: None,
             deadline: None,
@@ -123,6 +125,14 @@ impl QueryRequest {
     /// Overrides speculative scoring (§4).
     pub fn speculative(mut self, speculative: bool) -> Self {
         self.speculative = Some(speculative);
+        self
+    }
+
+    /// Overrides program-level hole parallelism (DESIGN.md §14).
+    /// Results are byte-identical either way; `false` forces fully
+    /// sequential decoding for bisection.
+    pub fn parallel_holes(mut self, parallel: bool) -> Self {
+        self.parallel_holes = Some(parallel);
         self
     }
 
@@ -211,6 +221,9 @@ impl QueryRequest {
         }
         if let Some(s) = self.speculative {
             options.speculative = s;
+        }
+        if let Some(p) = self.parallel_holes {
+            options.parallel_holes = p;
         }
         if let Some(t) = &self.tracer {
             options.tracer = t.clone();

@@ -3,14 +3,16 @@
 use crate::beam::run_beam_search;
 use crate::constraints::{eval_expr, AutomataCache, CustomOp, CustomOps, MaskMemo, Masker};
 use crate::debug::{DebugTrace, HoleTrace, StopReason};
-use crate::decode::{decode_hole_traced, DecodeOptions, Pick};
+use crate::decode::{decode_hole_traced, DecodeOptions, DecodedValue, Pick};
 use crate::interp::{Externals, HoleRecord, Step, VmState};
-use crate::stream::{QueryEvent, StreamSink};
+use crate::program::Instr;
+use crate::stream::{EventSink, QueryEvent, StreamSink};
 use crate::{compile_source, Error, Program, QueryRequest, Result, Value};
 use lmql_lm::{CachedLm, LanguageModel, MeteredLm, RetryLm, UsageMeter};
 use lmql_tokenizer::{Bpe, TokenId};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One completed execution of a query (one sample / one beam).
 #[derive(Debug, Clone)]
@@ -64,6 +66,36 @@ impl QueryResult {
     }
 }
 
+/// Limits on the `subquery(...)` tree a running query may spawn
+/// (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubqueryLimits {
+    /// Maximum nesting depth: the root query runs at depth 0, and a
+    /// query at depth `d` may spawn children only while
+    /// `d < max_depth`. `0` disables `subquery(...)` entirely.
+    pub max_depth: u32,
+    /// Cumulative token budget for the whole subquery tree (every token
+    /// decoded by any descendant counts). When it runs out, in-flight
+    /// children stop cooperatively at their next token boundary and new
+    /// spawns are rejected. `None` means unlimited.
+    pub max_tokens: Option<u64>,
+}
+
+impl Default for SubqueryLimits {
+    fn default() -> Self {
+        SubqueryLimits {
+            max_depth: 4,
+            max_tokens: None,
+        }
+    }
+}
+
+// Child stream paths are allocated from this base upward, so they never
+// collide with the parent run's own hypothesis ids (samples and beam
+// forks mint small consecutive ids) and so nested subquery sinks can
+// recognise an already-globalised path and pass it through unmapped.
+use crate::stream::SUBQUERY_PATH_BASE;
+
 /// Executes LMQL queries against a language model.
 ///
 /// # Example
@@ -102,6 +134,11 @@ pub struct Runtime {
     mask_memo: Option<Arc<MaskMemo>>,
     automata_cache: Option<Arc<AutomataCache>>,
     metrics: Option<lmql_obs::Registry>,
+    subqueries: SubqueryLimits,
+    /// Set on the runtime a subquery call builds for its child: the
+    /// shared tree state (budget, path allocator, …) plus the child's
+    /// depth. `None` on user-constructed runtimes (the tree root).
+    subquery_ctx: Option<(Arc<SubqueryShared>, u32)>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -137,6 +174,8 @@ impl Runtime {
             mask_memo: None,
             automata_cache: None,
             metrics: None,
+            subqueries: SubqueryLimits::default(),
+            subquery_ctx: None,
         }
     }
 
@@ -185,10 +224,22 @@ impl Runtime {
     }
 
     /// Installs a metrics registry: every subsequent run reports
-    /// `mask.cache.hit`, `mask.cache.miss` and
-    /// `mask.scan.parallel_chunks` counters into it.
+    /// `mask.cache.hit`, `mask.cache.miss`,
+    /// `mask.scan.parallel_chunks`, `holes.parallel` and
+    /// `engine.subquery.*` counters into it.
     pub fn set_metrics_registry(&mut self, registry: lmql_obs::Registry) {
         self.metrics = Some(registry);
+    }
+
+    /// Replaces the limits on `subquery(...)` trees spawned by queries
+    /// run on this runtime (DESIGN.md §14).
+    pub fn set_subquery_limits(&mut self, limits: SubqueryLimits) {
+        self.subqueries = limits;
+    }
+
+    /// The current `subquery(...)` limits.
+    pub fn subquery_limits(&self) -> SubqueryLimits {
+        self.subqueries
     }
 
     /// The installed trace recorder (disabled unless [`Self::set_tracer`]
@@ -371,20 +422,45 @@ impl Runtime {
         if let Some(w) = &program.where_clause {
             self.validate_where(w)?;
         }
+        // Subquery context: the tree-shared state (budget, path
+        // allocator) is created at the root — a child runtime carries the
+        // root's via `subquery_ctx` — and captures the *request-level*
+        // model (retry wrapping and all) so children score like their
+        // parent. Built before the per-run cache wrap: each child run
+        // gets its own fresh CachedLm, exactly like an isolated run.
+        let sub: Option<(Arc<SubqueryShared>, u32)> = if program_uses_subquery(program) {
+            Some(match &self.subquery_ctx {
+                Some((shared, depth)) => (Arc::clone(shared), *depth),
+                None => (
+                    Arc::new(SubqueryShared {
+                        lm: Arc::clone(lm),
+                        bpe: Arc::clone(&self.bpe),
+                        externals: self.externals.clone(),
+                        custom_ops: self.custom_ops.clone(),
+                        meter: self.meter.clone(),
+                        options: {
+                            let mut o = options.clone();
+                            o.sink = StreamSink::none();
+                            o
+                        },
+                        mask_memo: self.mask_memo.clone(),
+                        automata_cache: self.automata_cache.clone(),
+                        metrics: self.metrics.clone(),
+                        limits: self.subqueries,
+                        budget: self
+                            .subqueries
+                            .max_tokens
+                            .map(|n| Arc::new(AtomicI64::new(n.min(i64::MAX as u64) as i64))),
+                        path_alloc: Arc::new(AtomicU32::new(SUBQUERY_PATH_BASE)),
+                    }),
+                    0,
+                ),
+            })
+        } else {
+            None
+        };
         let lm = CachedLm::new(MeteredLm::new(Arc::clone(lm), self.meter.clone()));
-        let mut masker = Masker::new(options.engine, Arc::clone(&self.bpe) as _)
-            .with_custom_ops(self.custom_ops.clone())
-            .with_tracer(options.tracer.clone())
-            .with_config(options.mask);
-        if let Some(memo) = &self.mask_memo {
-            masker = masker.with_memo(Arc::clone(memo));
-        }
-        if let Some(cache) = &self.automata_cache {
-            masker = masker.with_automata_cache(Arc::clone(cache));
-        }
-        if let Some(registry) = &self.metrics {
-            masker = masker.with_metrics(registry);
-        }
+        let mut masker = self.make_masker(options);
         let _query_span = options
             .tracer
             .span_lazy("query", || format!("run:{}", program.decoder.name));
@@ -399,6 +475,7 @@ impl Runtime {
                     options,
                     bindings,
                     0,
+                    sub.as_ref(),
                     debug.take(),
                 )?;
                 Ok((run, vec![0]))
@@ -416,6 +493,7 @@ impl Runtime {
                         options,
                         bindings,
                         i as u32,
+                        sub.as_ref(),
                         debug.as_deref_mut(),
                     )?;
                     distribution = distribution.or(r.distribution);
@@ -434,12 +512,15 @@ impl Runtime {
                 let n = program.decoder.int_param("n", 1).max(1) as usize;
                 let mut opts = options.clone().with_decoder_params(&program.decoder);
                 opts.sink = options.sink.with_path(0);
+                // Beams share one external registry; subqueries spawned
+                // by beam statements report under the run's root path.
+                let externals = self.effective_externals(sub.as_ref(), &opts.sink);
                 let beams = run_beam_search(
                     &lm,
                     &self.bpe,
                     &mut masker,
                     program,
-                    &self.externals,
+                    externals.as_ref(),
                     bindings,
                     n,
                     &opts,
@@ -471,10 +552,51 @@ impl Runtime {
         }
     }
 
+    /// Builds a masker configured like this runtime: engine, custom ops,
+    /// tracer, mask tuning, plus any shared memo / automata cache /
+    /// metrics registry. One per run normally; parallel hole decoding
+    /// builds one per member thread (they share the memo and cache
+    /// through the installed `Arc`s).
+    fn make_masker(&self, options: &DecodeOptions) -> Masker {
+        let mut masker = Masker::new(options.engine, Arc::clone(&self.bpe) as _)
+            .with_custom_ops(self.custom_ops.clone())
+            .with_tracer(options.tracer.clone())
+            .with_config(options.mask);
+        if let Some(memo) = &self.mask_memo {
+            masker = masker.with_memo(Arc::clone(memo));
+        }
+        if let Some(cache) = &self.automata_cache {
+            masker = masker.with_automata_cache(Arc::clone(cache));
+        }
+        if let Some(registry) = &self.metrics {
+            masker = masker.with_metrics(registry);
+        }
+        masker
+    }
+
+    /// The externals a run executes against: the user-registered set,
+    /// plus — when the program calls `subquery(...)` — the injected
+    /// `__runtime.subquery` implementation bound to this run's sink (so
+    /// nested events report under the caller's path id).
+    fn effective_externals(
+        &self,
+        sub: Option<&(Arc<SubqueryShared>, u32)>,
+        sink: &StreamSink,
+    ) -> std::borrow::Cow<'_, Externals> {
+        match sub {
+            Some((shared, depth)) => {
+                let mut externals = self.externals.clone();
+                install_subquery(&mut externals, Arc::clone(shared), *depth, sink.clone());
+                std::borrow::Cow::Owned(externals)
+            }
+            None => std::borrow::Cow::Borrowed(&self.externals),
+        }
+    }
+
     /// Runs one execution path (argmax or one sample), streamed under
     /// hypothesis id `path` when the options carry an active sink.
     #[allow(clippy::too_many_arguments)]
-    fn run_single<L: LanguageModel>(
+    fn run_single<L: LanguageModel + Sync>(
         &self,
         program: &Program,
         lm: &L,
@@ -483,11 +605,32 @@ impl Runtime {
         options: &DecodeOptions,
         bindings: &[(String, Value)],
         path: u32,
+        sub: Option<&(Arc<SubqueryShared>, u32)>,
         mut debug: Option<&mut DebugTrace>,
     ) -> Result<QueryResult> {
         let mut opts = options.clone().with_decoder_params(&program.decoder);
         opts.sink = options.sink.with_path(path);
         let sink = opts.sink.clone();
+        let externals = self.effective_externals(sub, &sink);
+        let externals = externals.as_ref();
+
+        // Program-level parallelism (DESIGN.md §14): argmax only (a
+        // sample threads one RNG through its holes in order), never under
+        // the step debugger or an enabled tracer (span interleaving must
+        // stay deterministic), and only when the analyzer finds a
+        // multi-hole independent group. Buffered members are joined —
+        // replayed through the exact sequential event protocol — when
+        // the interpreter reaches them.
+        let plan = if matches!(pick, Pick::Argmax)
+            && opts.parallel_holes
+            && debug.is_none()
+            && !opts.tracer.is_enabled()
+        {
+            crate::parallel::plan_holes(program).filter(|p| p.max_group_len() > 1)
+        } else {
+            None
+        };
+        let mut pending: HashMap<String, PendingHole> = HashMap::new();
 
         let mut vm = VmState::new(bindings.iter().cloned());
         let mut log_prob = 0.0;
@@ -503,7 +646,20 @@ impl Runtime {
         let mut trace_buf = String::new();
 
         loop {
-            match vm.run(program, &self.externals)? {
+            let step = match vm.run(program, externals) {
+                Ok(step) => step,
+                // Cancellation wins over whatever error the abort caused
+                // (a cancelled subquery surfaces as an external-call
+                // error; the canonical result of cancelling is
+                // `Error::Cancelled`).
+                Err(e) => {
+                    if sink.cancelled() {
+                        return Err(Error::Cancelled);
+                    }
+                    return Err(e);
+                }
+            };
+            match step {
                 Step::Done => {
                     if sink.is_active() {
                         // prompt_chunk drops empty text, so materialising
@@ -567,28 +723,58 @@ impl Runtime {
                                 d.span,
                             ));
                         }
-                        let mut steps = debug.as_deref_mut().map(|_| Vec::new());
-                        vm.trace().write_into(&mut trace_buf);
-                        let decoded = decode_hole_traced(
-                            lm,
-                            &self.bpe,
-                            masker,
-                            program.where_clause.as_ref(),
-                            vm.scope(),
-                            &trace_buf,
-                            &req.var,
-                            &mut pick,
-                            &opts,
-                            steps.as_mut(),
-                        )?;
-                        if let Some(d) = debug.as_deref_mut() {
-                            d.holes.push(HoleTrace {
-                                var: req.var.clone(),
-                                value: decoded.value.clone(),
-                                steps: steps.unwrap_or_default(),
-                                stopped_by: decoded.stopped_by,
-                            });
+                        if !pending.contains_key(&req.var) {
+                            if let Some(plan) = &plan {
+                                if let Some(members) = plan.parallel_suffix(&req.var) {
+                                    self.decode_group(
+                                        program,
+                                        &vm,
+                                        members,
+                                        lm,
+                                        &opts,
+                                        externals,
+                                        &mut pending,
+                                    );
+                                }
+                            }
                         }
+                        let decoded = match pending.remove(&req.var) {
+                            Some(member) => {
+                                // Join: replay this member's buffered
+                                // token deltas at its sequential position
+                                // (an error propagates after them, just
+                                // as a live decode would).
+                                for (text, lp) in &member.deltas {
+                                    sink.token_delta(&req.var, text, *lp);
+                                }
+                                member.result?
+                            }
+                            None => {
+                                let mut steps = debug.as_deref_mut().map(|_| Vec::new());
+                                vm.trace().write_into(&mut trace_buf);
+                                let decoded = decode_hole_traced(
+                                    lm,
+                                    &self.bpe,
+                                    masker,
+                                    program.where_clause.as_ref(),
+                                    vm.scope(),
+                                    &trace_buf,
+                                    &req.var,
+                                    &mut pick,
+                                    &opts,
+                                    steps.as_mut(),
+                                )?;
+                                if let Some(d) = debug.as_deref_mut() {
+                                    d.holes.push(HoleTrace {
+                                        var: req.var.clone(),
+                                        value: decoded.value.clone(),
+                                        steps: steps.unwrap_or_default(),
+                                        stopped_by: decoded.stopped_by,
+                                    });
+                                }
+                                decoded
+                            }
+                        };
                         log_prob += decoded.log_prob;
                         sink.variable_done(&req.var, &decoded.value, log_prob);
                         vm.provide_hole(decoded.value);
@@ -614,6 +800,103 @@ impl Runtime {
             }],
             distribution,
         })
+    }
+
+    /// Decodes the mutually independent holes `members` (a parallel
+    /// group suffix starting at the current suspension) concurrently,
+    /// buffering each member's outcome into `pending`.
+    ///
+    /// Each member's prompt context is gathered by cloning the suspended
+    /// VM and resuming it with empty placeholder values: the context is
+    /// then exactly the sequential one with unresolved sibling values
+    /// omitted (the futures-join semantics of DESIGN.md §14), and its
+    /// decode scope drops every group member's name so sibling-value
+    /// conjuncts stay *undetermined* — the same state sequential
+    /// decoding is in for holes not yet reached. If the speculative
+    /// resume does anything unexpected (a statement errors on a
+    /// placeholder, the next suspension isn't the expected member), the
+    /// group is abandoned and `pending` stays empty — the caller falls
+    /// back to plain sequential decoding.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_group<L: LanguageModel + Sync>(
+        &self,
+        program: &Program,
+        vm: &VmState,
+        members: &[String],
+        lm: &L,
+        opts: &DecodeOptions,
+        externals: &Externals,
+        pending: &mut HashMap<String, PendingHole>,
+    ) {
+        // Gather phase: one (trace, scope) job per member, walked off a
+        // speculative clone. The analyzer guarantees no external call
+        // sits between members, so the resume re-runs only pure
+        // statements (on the clone's scope — the real VM re-executes
+        // them authoritatively at join time).
+        let mut jobs: Vec<(String, String, HashMap<String, Value>)> =
+            Vec::with_capacity(members.len());
+        let mut clone = vm.clone();
+        let mut buf = String::new();
+        for (i, var) in members.iter().enumerate() {
+            clone.trace().write_into(&mut buf);
+            let mut scope = clone.scope().clone();
+            for m in members {
+                scope.remove(m.as_str());
+            }
+            jobs.push((var.clone(), buf.clone(), scope));
+            if i + 1 < members.len() {
+                clone.provide_hole(String::new());
+                match clone.run(program, externals) {
+                    Ok(Step::NeedHole(next)) if next.var == members[i + 1] => {}
+                    _ => return,
+                }
+            }
+        }
+
+        let parent_sink = &opts.sink;
+        let outcomes: Vec<(String, PendingHole)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|(var, trace, job_scope)| {
+                    scope.spawn(move || {
+                        let buffer = Arc::new(GroupBufferSink {
+                            parent: parent_sink.clone(),
+                            deltas: Mutex::new(Vec::new()),
+                        });
+                        let mut member_opts = opts.clone();
+                        member_opts.sink = StreamSink::new(Arc::clone(&buffer) as _);
+                        let mut masker = self.make_masker(opts);
+                        let mut pick = Pick::argmax();
+                        let result = decode_hole_traced(
+                            lm,
+                            &self.bpe,
+                            &mut masker,
+                            program.where_clause.as_ref(),
+                            job_scope,
+                            trace,
+                            var,
+                            &mut pick,
+                            &member_opts,
+                            None,
+                        );
+                        let deltas = std::mem::take(
+                            &mut *buffer.deltas.lock().expect("delta buffer poisoned"),
+                        );
+                        (var.clone(), PendingHole { result, deltas })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        for (var, outcome) in outcomes {
+            pending.insert(var, outcome);
+        }
+        if let Some(registry) = &self.metrics {
+            registry.counter("holes.parallel").add(members.len() as u64);
+        }
     }
 
     /// Rejects `where` clauses calling functions that are neither
@@ -760,6 +1043,293 @@ impl Runtime {
     }
 }
 
+/// A parallel group member's buffered outcome, awaiting its join point.
+struct PendingHole {
+    result: Result<DecodedValue>,
+    deltas: Vec<(String, f64)>,
+}
+
+/// The sink a parallel group member decodes against: token deltas are
+/// buffered (for in-order replay at the join) instead of reaching the
+/// stream out of program order, while cancellation still flows through
+/// from the real sink so concurrent members stop cooperatively.
+struct GroupBufferSink {
+    parent: StreamSink,
+    deltas: Mutex<Vec<(String, f64)>>,
+}
+
+impl EventSink for GroupBufferSink {
+    fn emit(&self, event: QueryEvent) {
+        if let QueryEvent::TokenDelta { text, log_prob, .. } = event {
+            self.deltas
+                .lock()
+                .expect("delta buffer poisoned")
+                .push((text, log_prob));
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.parent.cancelled()
+    }
+}
+
+/// Whether the compiled program calls `subquery(...)` anywhere.
+fn program_uses_subquery(program: &Program) -> bool {
+    program.instrs.iter().any(|i| {
+        matches!(i, Instr::CallExternal { module, func, .. }
+            if module == "__runtime" && func == "subquery")
+    })
+}
+
+/// State shared by every query in one `subquery(...)` tree: the
+/// request-level model, the parent's caches and meter (usage rolls up),
+/// the tree-wide token budget and the global child-path allocator.
+struct SubqueryShared {
+    lm: Arc<dyn LanguageModel>,
+    bpe: Arc<Bpe>,
+    externals: Externals,
+    custom_ops: CustomOps,
+    meter: UsageMeter,
+    /// The root run's effective options with the sink cleared; each
+    /// child gets these plus its own nested sink.
+    options: DecodeOptions,
+    mask_memo: Option<Arc<MaskMemo>>,
+    automata_cache: Option<Arc<AutomataCache>>,
+    metrics: Option<lmql_obs::Registry>,
+    limits: SubqueryLimits,
+    budget: Option<Arc<AtomicI64>>,
+    path_alloc: Arc<AtomicU32>,
+}
+
+/// Registers the `__runtime.subquery` external for one execution path:
+/// the closure is bound to the path's sink so nested events report under
+/// the caller's path id.
+fn install_subquery(
+    externals: &mut Externals,
+    shared: Arc<SubqueryShared>,
+    depth: u32,
+    sink: StreamSink,
+) {
+    externals.register("__runtime", "subquery", move |args| {
+        run_subquery(&shared, depth, &sink, args)
+    });
+}
+
+/// The `subquery(source[, var])` implementation: runs `source` as a
+/// child query through the same engine stack, returning its best trace
+/// (or the named variable's value). Enforces the tree's depth and token
+/// budget limits, propagates cancellation down (the child's sink chains
+/// `cancelled()` to the parent's), rolls usage up through the shared
+/// meter, and nests the child's event stream into the parent's under a
+/// freshly allocated child path id.
+fn run_subquery(
+    shared: &Arc<SubqueryShared>,
+    depth: u32,
+    parent_sink: &StreamSink,
+    args: &[Value],
+) -> std::result::Result<Value, String> {
+    let source = args
+        .first()
+        .ok_or("subquery(source[, var]) takes an LMQL source string")?
+        .as_str()
+        .ok_or("subquery source must be a string")?;
+    let want_var = match args.get(1) {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or("subquery variable name must be a string")?
+                .to_owned(),
+        ),
+    };
+    if args.len() > 2 {
+        return Err("subquery takes at most 2 arguments (source, variable)".into());
+    }
+    if parent_sink.cancelled() {
+        counter_inc(&shared.metrics, "engine.subquery.cancelled");
+        return Err("subquery cancelled: parent query is cancelled".into());
+    }
+    if depth >= shared.limits.max_depth {
+        counter_inc(&shared.metrics, "engine.subquery.depth_rejected");
+        return Err(format!(
+            "subquery depth limit ({}) exceeded",
+            shared.limits.max_depth
+        ));
+    }
+    if matches!(&shared.budget, Some(b) if b.load(Ordering::Relaxed) <= 0) {
+        counter_inc(&shared.metrics, "engine.subquery.budget_exhausted");
+        return Err("subquery token budget exhausted".into());
+    }
+    counter_inc(&shared.metrics, "engine.subquery.spawned");
+
+    let child_root = shared.path_alloc.fetch_add(1, Ordering::Relaxed);
+    parent_sink.emit(QueryEvent::SubqueryStart {
+        parent: parent_sink.path(),
+        child: child_root,
+        depth: depth + 1,
+    });
+    let child_sink = StreamSink::new(Arc::new(SubquerySink {
+        parent: parent_sink.clone(),
+        budget: shared.budget.clone(),
+        alloc: Arc::clone(&shared.path_alloc),
+        map: Mutex::new(HashMap::from([(0u32, child_root)])),
+    }));
+    let child = Runtime {
+        lm: Arc::clone(&shared.lm),
+        bpe: Arc::clone(&shared.bpe),
+        externals: shared.externals.clone(),
+        custom_ops: shared.custom_ops.clone(),
+        bindings: Vec::new(),
+        meter: shared.meter.clone(),
+        options: {
+            let mut o = shared.options.clone();
+            o.sink = child_sink;
+            o
+        },
+        mask_memo: shared.mask_memo.clone(),
+        automata_cache: shared.automata_cache.clone(),
+        metrics: shared.metrics.clone(),
+        subqueries: shared.limits,
+        subquery_ctx: Some((Arc::clone(shared), depth + 1)),
+    };
+    let outcome = child.run(source);
+    parent_sink.emit(QueryEvent::SubqueryDone {
+        path: child_root,
+        ok: outcome.is_ok(),
+    });
+    match outcome {
+        Ok(result) => match want_var {
+            None => Ok(Value::Str(result.best().trace.clone())),
+            Some(var) => result
+                .best()
+                .variables
+                .get(&var)
+                .cloned()
+                .ok_or_else(|| format!("subquery completed but has no variable `{var}`")),
+        },
+        Err(e) => {
+            if matches!(&shared.budget, Some(b) if b.load(Ordering::Relaxed) <= 0) {
+                counter_inc(&shared.metrics, "engine.subquery.budget_exhausted");
+                Err(format!("subquery token budget exhausted: {e}"))
+            } else if parent_sink.cancelled() {
+                counter_inc(&shared.metrics, "engine.subquery.cancelled");
+                Err(format!("subquery cancelled: {e}"))
+            } else {
+                counter_inc(&shared.metrics, "engine.subquery.failed");
+                Err(format!("subquery failed: {e}"))
+            }
+        }
+    }
+}
+
+/// The sink a child query streams through: child-internal path ids are
+/// remapped onto globally allocated ones (path `0` is the id announced
+/// by `SubqueryStart`), token deltas burn the tree budget, terminal
+/// bookkeeping events stay internal (the child's `Done` ranking must
+/// not clobber the parent's, and usage rolls up through the shared
+/// meter), and `cancelled()` chains to the parent so cancelling any
+/// ancestor stops the whole tree cooperatively.
+struct SubquerySink {
+    parent: StreamSink,
+    budget: Option<Arc<AtomicI64>>,
+    alloc: Arc<AtomicU32>,
+    map: Mutex<HashMap<u32, u32>>,
+}
+
+impl SubquerySink {
+    fn map_path(&self, path: u32) -> u32 {
+        if path >= SUBQUERY_PATH_BASE {
+            // Already globalised by a deeper subquery sink.
+            return path;
+        }
+        let mut map = self.map.lock().expect("subquery path map poisoned");
+        *map.entry(path)
+            .or_insert_with(|| self.alloc.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl EventSink for SubquerySink {
+    fn emit(&self, event: QueryEvent) {
+        if let QueryEvent::TokenDelta { path, .. } = &event {
+            // One budget unit per decoded token, counted once: deltas a
+            // deeper sink already globalised were counted there.
+            if *path < SUBQUERY_PATH_BASE {
+                if let Some(budget) = &self.budget {
+                    budget.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if !self.parent.is_active() {
+            return;
+        }
+        let mapped = match event {
+            QueryEvent::PromptChunk { path, text } => QueryEvent::PromptChunk {
+                path: self.map_path(path),
+                text,
+            },
+            QueryEvent::VariableStart { path, var } => QueryEvent::VariableStart {
+                path: self.map_path(path),
+                var,
+            },
+            QueryEvent::TokenDelta {
+                path,
+                var,
+                text,
+                log_prob,
+            } => QueryEvent::TokenDelta {
+                path: self.map_path(path),
+                var,
+                text,
+                log_prob,
+            },
+            QueryEvent::VariableDone {
+                path,
+                var,
+                value,
+                score,
+            } => QueryEvent::VariableDone {
+                path: self.map_path(path),
+                var,
+                value,
+                score,
+            },
+            QueryEvent::BeamFork { parent, child } => QueryEvent::BeamFork {
+                parent: self.map_path(parent),
+                child: self.map_path(child),
+            },
+            QueryEvent::BeamPrune { path } => QueryEvent::BeamPrune {
+                path: self.map_path(path),
+            },
+            QueryEvent::SubqueryStart {
+                parent,
+                child,
+                depth,
+            } => QueryEvent::SubqueryStart {
+                parent: self.map_path(parent),
+                // Grandchild roots come from the shared allocator and
+                // are already global.
+                child,
+                depth,
+            },
+            QueryEvent::SubqueryDone { path, ok } => QueryEvent::SubqueryDone { path, ok },
+            QueryEvent::Distribution { .. }
+            | QueryEvent::Usage { .. }
+            | QueryEvent::Done { .. }
+            | QueryEvent::Error { .. } => return,
+        };
+        self.parent.emit(mapped);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.parent.cancelled() || matches!(&self.budget, Some(b) if b.load(Ordering::Relaxed) <= 0)
+    }
+}
+
+fn counter_inc(metrics: &Option<lmql_obs::Registry>, name: &str) {
+    if let Some(registry) = metrics {
+        registry.counter(name).inc();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -898,6 +1468,92 @@ mod tests {
         rt.run("argmax\n    \"P:[X]\"\nfrom \"m\"\n").unwrap();
         assert!(!rt.tracer().is_enabled());
         assert!(rt.tracer().events().is_empty());
+    }
+
+    #[test]
+    fn parallel_holes_match_sequential() {
+        let episodes = || {
+            vec![
+                Episode::plain("A:", " one\n"),
+                Episode::plain("B:", " two\n"),
+            ]
+        };
+        let src = "argmax\n    \"A:[X]B:[Y]\"\nfrom \"m\"\nwhere stops_at(X, \"\\n\") and stops_at(Y, \"\\n\")\n";
+
+        let registry = lmql_obs::Registry::new();
+        let mut par = runtime(episodes());
+        par.set_metrics_registry(registry.clone());
+        let par_result = par.run(src).unwrap();
+
+        let mut seq = runtime(episodes());
+        seq.options_mut().parallel_holes = false;
+        let seq_result = seq.run(src).unwrap();
+
+        assert_eq!(par_result.best().trace, "A: one\nB: two\n");
+        assert_eq!(par_result.best().trace, seq_result.best().trace);
+        assert_eq!(par_result.best().variables, seq_result.best().variables);
+        assert_eq!(par_result.best().log_prob, seq_result.best().log_prob);
+        assert_eq!(
+            par.meter().snapshot().decoder_calls,
+            seq.meter().snapshot().decoder_calls
+        );
+        assert_eq!(
+            registry.snapshot().counter("holes.parallel"),
+            Some(2),
+            "both independent holes decoded through the parallel group"
+        );
+    }
+
+    #[test]
+    fn subquery_end_to_end() {
+        let rt = runtime(vec![
+            Episode::plain("Q:", " hi\n"),
+            Episode::plain("S:", " ok."),
+        ]);
+        let registry = lmql_obs::Registry::new();
+        let mut rt = rt;
+        rt.set_metrics_registry(registry.clone());
+        let result = rt
+            .run(
+                r#"
+argmax
+    "Q:[A]"
+    sub = subquery("argmax\n    \"S:[B]\"\nfrom \"m\"\nwhere stops_at(B, \".\")\n", "B")
+    "sub={sub}"
+from "m"
+where stops_at(A, "\n")
+"#,
+            )
+            .unwrap();
+        assert_eq!(result.best().trace, "Q: hi\nsub= ok.");
+        assert_eq!(
+            registry.snapshot().counter("engine.subquery.spawned"),
+            Some(1)
+        );
+        // Child usage rolls up into the parent's meter: one decoder call
+        // for the parent run, one for the child.
+        assert_eq!(rt.meter().snapshot().decoder_calls, 2);
+    }
+
+    #[test]
+    fn subquery_depth_limit_rejects() {
+        let mut rt = runtime(vec![Episode::plain("Q:", " hi\n")]);
+        rt.set_subquery_limits(SubqueryLimits {
+            max_depth: 0,
+            max_tokens: None,
+        });
+        let err = rt
+            .run(
+                r#"
+argmax
+    "Q:[A]"
+    sub = subquery("argmax\n    \"S:[B]\"\nfrom \"m\"\n")
+from "m"
+where stops_at(A, "\n")
+"#,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("depth limit"), "{err}");
     }
 
     #[test]

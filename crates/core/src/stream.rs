@@ -25,6 +25,11 @@
 
 use lmql_lm::CancelToken;
 use std::collections::BTreeMap;
+
+/// The first path id available to nested subquery streams. A single
+/// run's own hypothesis ids (sample indices, beam forks) stay far below
+/// this, so every id at or above it unambiguously belongs to a subquery.
+pub(crate) const SUBQUERY_PATH_BASE: u32 = 1 << 16;
 use std::fmt;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -90,6 +95,28 @@ pub enum QueryEvent {
         /// The discarded hypothesis.
         path: u32,
     },
+    /// A `subquery(...)` call on `parent` launched a child query whose
+    /// events stream under the fresh hypothesis id `child` (always
+    /// `>= SUBQUERY_PATH_BASE`, so nested ids never collide with the
+    /// parent's own sample/beam paths).
+    SubqueryStart {
+        /// The hypothesis that called `subquery(...)`.
+        parent: u32,
+        /// The child query's root path id.
+        child: u32,
+        /// Nesting depth of the child (the root query is depth 0).
+        depth: u32,
+    },
+    /// The child query streamed under `path` finished; `ok` tells
+    /// whether it completed or failed. The child's terminal
+    /// `Done`/`Error`/`Usage` events stay internal — this event is the
+    /// child's terminal marker in the parent stream.
+    SubqueryDone {
+        /// The child query's root path id.
+        path: u32,
+        /// Whether the child completed successfully.
+        ok: bool,
+    },
     /// The `distribute` clause's normalised distribution over its
     /// support values.
     Distribution {
@@ -127,8 +154,11 @@ impl QueryEvent {
             | QueryEvent::VariableStart { path, .. }
             | QueryEvent::TokenDelta { path, .. }
             | QueryEvent::VariableDone { path, .. }
-            | QueryEvent::BeamPrune { path } => Some(*path),
-            QueryEvent::BeamFork { child, .. } => Some(*child),
+            | QueryEvent::BeamPrune { path }
+            | QueryEvent::SubqueryDone { path, .. } => Some(*path),
+            QueryEvent::BeamFork { child, .. } | QueryEvent::SubqueryStart { child, .. } => {
+                Some(*child)
+            }
             _ => None,
         }
     }
@@ -280,6 +310,14 @@ impl QueryEvent {
             ),
             QueryEvent::BeamFork { parent, child } => format!("fork {parent} {child}"),
             QueryEvent::BeamPrune { path } => format!("prune {path}"),
+            QueryEvent::SubqueryStart {
+                parent,
+                child,
+                depth,
+            } => format!("subq {parent} {child} {depth}"),
+            QueryEvent::SubqueryDone { path, ok } => {
+                format!("subqdone {path} {}", u8::from(*ok))
+            }
             QueryEvent::Distribution { support } => {
                 let mut line = format!("dist {}", support.len());
                 for (value, p) in support {
@@ -345,6 +383,19 @@ impl QueryEvent {
             },
             "prune" => QueryEvent::BeamPrune {
                 path: parse_num(field("path")?, "path")?,
+            },
+            "subq" => QueryEvent::SubqueryStart {
+                parent: parse_num(field("parent")?, "path")?,
+                child: parse_num(field("child")?, "path")?,
+                depth: parse_num(field("depth")?, "depth")?,
+            },
+            "subqdone" => QueryEvent::SubqueryDone {
+                path: parse_num(field("path")?, "path")?,
+                ok: match field("ok")? {
+                    "1" => true,
+                    "0" => false,
+                    other => return Err(WireError::new(format!("bad ok flag `{other}`"))),
+                },
             },
             "dist" => {
                 let n: usize = parse_num(field("count")?, "count")?;
@@ -608,11 +659,28 @@ pub struct ReassembledRun {
     pub log_prob: f64,
 }
 
+/// One rebuilt nested `subquery(...)` run from the parent's stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReassembledSubquery {
+    /// The hypothesis that launched the subquery.
+    pub parent: u32,
+    /// Nesting depth (the root query is depth 0).
+    pub depth: u32,
+    /// Whether the child completed successfully.
+    pub ok: bool,
+    /// The child's root run, rebuilt from its nested events.
+    pub run: ReassembledRun,
+}
+
 /// The rebuilt result of a streamed query.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ReassembledQuery {
     /// Surviving runs, best-first (the [`QueryEvent::Done`] ranking).
     pub runs: Vec<ReassembledRun>,
+    /// Nested subquery runs in completion order (a parent's
+    /// [`QueryEvent::SubqueryDone`] moves the child here, keeping
+    /// `runs` and the `Done` ranking purely about the parent).
+    pub subqueries: Vec<ReassembledSubquery>,
     /// The `distribute` clause's distribution, when the query had one.
     pub distribution: Option<Vec<(String, f64)>>,
     /// `(model_queries, decoder_calls, billable_tokens)` from the
@@ -664,6 +732,9 @@ struct PathState {
 #[derive(Debug, Default)]
 pub struct Reassembler {
     paths: BTreeMap<u32, PathState>,
+    /// Open subqueries: child root path -> (parent path, depth).
+    subquery_meta: BTreeMap<u32, (u32, u32)>,
+    subqueries: Vec<ReassembledSubquery>,
     ranking: Option<Vec<u32>>,
     distribution: Option<Vec<(String, f64)>>,
     usage: Option<(u64, u64, u64)>,
@@ -786,6 +857,44 @@ impl Reassembler {
                     .remove(path)
                     .ok_or_else(|| WireError::new(format!("prune of unknown path {path}")))?;
             }
+            QueryEvent::SubqueryStart {
+                parent,
+                child,
+                depth,
+            } => {
+                if *child < SUBQUERY_PATH_BASE {
+                    return Err(WireError::new(format!(
+                        "subquery child path {child} below the nested-path base"
+                    )));
+                }
+                if self
+                    .subquery_meta
+                    .insert(*child, (*parent, *depth))
+                    .is_some()
+                {
+                    return Err(WireError::new(format!(
+                        "subquery started twice under path {child}"
+                    )));
+                }
+                self.path_mut(*child);
+            }
+            QueryEvent::SubqueryDone { path, ok } => {
+                let (parent, depth) = self.subquery_meta.remove(path).ok_or_else(|| {
+                    WireError::new(format!("subquery done for unknown child {path}"))
+                })?;
+                let st = self.paths.remove(path).unwrap_or_default();
+                self.subqueries.push(ReassembledSubquery {
+                    parent,
+                    depth,
+                    ok: *ok,
+                    run: ReassembledRun {
+                        path: *path,
+                        trace: st.trace,
+                        holes: st.holes,
+                        log_prob: st.score,
+                    },
+                });
+            }
             QueryEvent::Distribution { support } => {
                 self.distribution = Some(support.clone());
             }
@@ -814,8 +923,15 @@ impl Reassembler {
         let order: Vec<u32> = match &self.ranking {
             Some(ranking) => ranking.clone(),
             None => {
-                let mut alive: Vec<(u64, u32)> =
-                    self.paths.iter().map(|(p, st)| (st.born, *p)).collect();
+                // Subquery-internal paths (>= the nested base) never
+                // belong in the parent's run list, even on a stream cut
+                // short before their SubqueryDone.
+                let mut alive: Vec<(u64, u32)> = self
+                    .paths
+                    .iter()
+                    .filter(|(p, _)| **p < SUBQUERY_PATH_BASE)
+                    .map(|(p, st)| (st.born, *p))
+                    .collect();
                 alive.sort_unstable();
                 alive.into_iter().map(|(_, p)| p).collect()
             }
@@ -833,6 +949,7 @@ impl Reassembler {
             .collect();
         ReassembledQuery {
             runs,
+            subqueries: self.subqueries,
             distribution: self.distribution,
             usage: self.usage,
             error: self.error,
@@ -878,6 +995,19 @@ mod tests {
             child: 7,
         });
         roundtrip(QueryEvent::BeamPrune { path: 7 });
+        roundtrip(QueryEvent::SubqueryStart {
+            parent: 0,
+            child: 65536,
+            depth: 1,
+        });
+        roundtrip(QueryEvent::SubqueryDone {
+            path: 65536,
+            ok: true,
+        });
+        roundtrip(QueryEvent::SubqueryDone {
+            path: 65537,
+            ok: false,
+        });
         roundtrip(QueryEvent::Distribution {
             support: vec![("pos itive".into(), 0.75), ("neg\native".into(), 0.25)],
         });
@@ -1017,6 +1147,114 @@ mod tests {
         .unwrap();
         let out = r.finish();
         assert_eq!(out.runs[0].trace, "positive");
+    }
+
+    #[test]
+    fn reassembles_nested_subquery_into_its_own_list() {
+        let child = SUBQUERY_PATH_BASE;
+        let mut r = Reassembler::new();
+        for ev in [
+            QueryEvent::PromptChunk {
+                path: 0,
+                text: "Plan: ".into(),
+            },
+            QueryEvent::SubqueryStart {
+                parent: 0,
+                child,
+                depth: 1,
+            },
+            QueryEvent::PromptChunk {
+                path: child,
+                text: "Step:".into(),
+            },
+            QueryEvent::VariableStart {
+                path: child,
+                var: "S".into(),
+            },
+            QueryEvent::VariableDone {
+                path: child,
+                var: "S".into(),
+                value: " pack".into(),
+                score: -0.25,
+            },
+            QueryEvent::SubqueryDone {
+                path: child,
+                ok: true,
+            },
+            QueryEvent::VariableStart {
+                path: 0,
+                var: "OUT".into(),
+            },
+            QueryEvent::VariableDone {
+                path: 0,
+                var: "OUT".into(),
+                value: "done".into(),
+                score: -1.0,
+            },
+            QueryEvent::Done { ranking: vec![0] },
+        ] {
+            r.apply(&ev).unwrap();
+        }
+        let out = r.finish();
+        assert_eq!(out.runs.len(), 1, "subquery paths stay out of runs");
+        assert_eq!(out.runs[0].trace, "Plan: done");
+        assert_eq!(out.subqueries.len(), 1);
+        let sub = &out.subqueries[0];
+        assert_eq!((sub.parent, sub.depth, sub.ok), (0, 1, true));
+        assert_eq!(sub.run.path, child);
+        assert_eq!(sub.run.trace, "Step: pack");
+        assert_eq!(sub.run.holes, vec![("S".into(), " pack".into())]);
+        assert_eq!(sub.run.log_prob, -0.25);
+    }
+
+    #[test]
+    fn unfinished_subquery_paths_stay_out_of_runs() {
+        let child = SUBQUERY_PATH_BASE + 3;
+        let mut r = Reassembler::new();
+        r.apply(&QueryEvent::PromptChunk {
+            path: 0,
+            text: "Q".into(),
+        })
+        .unwrap();
+        r.apply(&QueryEvent::SubqueryStart {
+            parent: 0,
+            child,
+            depth: 1,
+        })
+        .unwrap();
+        r.apply(&QueryEvent::PromptChunk {
+            path: child,
+            text: "partial".into(),
+        })
+        .unwrap();
+        // Stream cut short (cancelled): no SubqueryDone, no Done.
+        let out = r.finish();
+        assert_eq!(out.runs.len(), 1);
+        assert_eq!(out.runs[0].path, 0);
+        assert!(out.subqueries.is_empty());
+    }
+
+    #[test]
+    fn reassembly_rejects_subquery_grammar_violations() {
+        let mut r = Reassembler::new();
+        assert!(
+            r.apply(&QueryEvent::SubqueryStart {
+                parent: 0,
+                child: 4,
+                depth: 1
+            })
+            .is_err(),
+            "child id below the nested-path base"
+        );
+        assert!(
+            Reassembler::new()
+                .apply(&QueryEvent::SubqueryDone {
+                    path: SUBQUERY_PATH_BASE,
+                    ok: true
+                })
+                .is_err(),
+            "done without start"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::radix::{RadixCacheConfig, RadixStats};
 use crate::sched::{BatchPolicy, BatchedLm, Scheduler, SchedulerObs};
 use lmql::constraints::{AutomataCache, MaskMemo};
-use lmql::{EventSink, QueryEvent, QueryResult, Runtime, StreamSink};
+use lmql::{EventSink, QueryEvent, QueryResult, Runtime, StreamSink, SubqueryLimits};
 use lmql_lm::{CancelToken, LanguageModel, MeteredLm, RetryPolicy, Usage, UsageMeter};
 use lmql_obs::{Registry, StreamMetrics, Tracer};
 use lmql_tokenizer::Bpe;
@@ -38,6 +38,9 @@ pub struct EngineConfig {
     /// model is fallible (a remote backend, a chaos wrapper). Free for
     /// infallible models — retries only ever run after a fault.
     pub retry: RetryPolicy,
+    /// Depth/budget limits on the `subquery(...)` trees queries may
+    /// spawn (applied to every worker runtime).
+    pub subquery: SubqueryLimits,
 }
 
 /// Observability hooks for an [`Engine`]: a trace recorder shared by the
@@ -106,6 +109,8 @@ pub struct Engine {
     /// identical constraints, so only the first run of a query shape pays
     /// compilation and per-state mask discovery.
     automata: Arc<AutomataCache>,
+    /// Subquery tree limits applied to every worker runtime.
+    subquery: SubqueryLimits,
 }
 
 impl std::fmt::Debug for Engine {
@@ -175,6 +180,7 @@ impl Engine {
             registry: obs.registry,
             mask_memo: MaskMemo::new(1024),
             automata: AutomataCache::new(),
+            subquery: config.subquery,
         }
     }
 
@@ -270,6 +276,7 @@ impl Engine {
                     rt.set_tracer(self.tracer.clone());
                     rt.set_mask_memo(Arc::clone(&self.mask_memo));
                     rt.set_automata_cache(Arc::clone(&self.automata));
+                    rt.set_subquery_limits(self.subquery);
                     if let Some(registry) = &self.registry {
                         rt.set_metrics_registry(registry.clone());
                     }
@@ -346,6 +353,7 @@ impl Engine {
         let registry = self.registry.clone();
         let mask_memo = Arc::clone(&self.mask_memo);
         let automata = Arc::clone(&self.automata);
+        let subquery = self.subquery;
         let source = source.to_owned();
         std::thread::Builder::new()
             .name("lmql-engine-stream".to_owned())
@@ -354,6 +362,7 @@ impl Engine {
                 rt.set_tracer(tracer);
                 rt.set_mask_memo(mask_memo);
                 rt.set_automata_cache(automata);
+                rt.set_subquery_limits(subquery);
                 if let Some(registry) = &registry {
                     rt.set_metrics_registry(registry.clone());
                 }

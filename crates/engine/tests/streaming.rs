@@ -212,6 +212,66 @@ fn concurrent_streams_interleave_without_crosstalk() {
     assert!(results[1].1.best().trace.contains("ocean"));
 }
 
+#[test]
+fn dropped_stream_cancels_its_subquery_tree() {
+    // Regression: dropping a QueryStream must cancel not just the root
+    // query but every subquery it spawned. The child's script is long
+    // enough (600 chars at 5ms injected stall per call ≈ 3s) that it
+    // cannot finish inside the poll window — the cancellation counter
+    // firing proves the Drop reached down the tree.
+    // The child source, pre-escaped for embedding in an LMQL string
+    // literal.
+    let child_src = r#"argmax\n    \"S:[B]\"\nfrom \"m\"\nwhere stops_at(B, \"!\")\n"#;
+    let root_src = format!(
+        "argmax\n    \"Q:[A]\"\n    sub = subquery(\"{child_src}\")\n    \"y{{sub}}\"\nfrom \"m\"\nwhere stops_at(A, \"\\n\")\n"
+    );
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = Arc::new(lmql_lm::ScriptedLm::new(
+        Arc::clone(&bpe),
+        vec![
+            lmql_lm::Episode::plain("Q:", " hi\n"),
+            lmql_lm::Episode::plain("S:", format!("{}!", " x".repeat(300))),
+        ],
+    ));
+    let chaos = Arc::new(lmql_lm::ChaosLm::new(
+        lm,
+        lmql_lm::FaultPlan {
+            seed: 9,
+            latency_rate: 1.0,
+            latency: Duration::from_millis(5),
+            ..lmql_lm::FaultPlan::default()
+        },
+    ));
+    let registry = Registry::new();
+    let eng = Engine::new_with_obs(
+        chaos,
+        bpe,
+        EngineConfig::default(),
+        EngineObs {
+            tracer: Tracer::disabled(),
+            registry: Some(registry.clone()),
+        },
+    );
+
+    let stream = eng.stream_query(&root_src);
+    while let Some(event) = stream.next_event() {
+        if matches!(event, QueryEvent::SubqueryStart { .. }) {
+            break;
+        }
+    }
+    drop(stream);
+
+    assert!(
+        poll_counter(&registry, "engine.subquery.cancelled", 1) >= 1,
+        "dropping the stream must cancel the in-flight subquery"
+    );
+    assert_eq!(
+        poll_counter(&registry, "stream.cancelled", 1),
+        1,
+        "the root stream worker records its cancellation"
+    );
+}
+
 /// Sanity for `lmql_tokenizer::Bpe` linkage in this test crate (the
 /// engine's public surface hands out the tokenizer it was built with).
 #[test]

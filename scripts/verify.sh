@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full verification: formatting, lints, release build, tests.
 #
-# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --bench-smoke | --bench-publish]
+# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --parallel | --bench-smoke | --bench-publish]
 #   --slow    also runs the proptest suites (slow-tests feature)
 #   --quick   build + tests only (skips rustfmt/clippy; useful where the
 #             toolchain components are not installed)
@@ -19,6 +19,12 @@
 #             crate's unit tests, the counting-allocator budget pins
 #             (fork cost, decode allocs/step), and rope-trace round-trip
 #             identity across all four decoders
+#   --parallel  program-level parallelism suites only (DESIGN.md §14):
+#             the hole-DAG differential byte-identity suite across all
+#             four decoders, subquery tree admission/cancellation/usage
+#             tests (with the >=2x dispatch-round pin), the streaming
+#             drop-cancels-tree regression, plus an
+#             `lmql-run --no-parallel-holes` bisection smoke run
 #   --bench-smoke  runs the masking/followmap benches with a tiny
 #             measurement budget plus the mask and decode benchmark
 #             binaries, writing smoke-level JSON to target/bench/ (never
@@ -39,10 +45,11 @@ case "${1:-}" in
     --stream) MODE=stream ;;
     --automata) MODE=automata ;;
     --decode) MODE=decode ;;
+    --parallel) MODE=parallel ;;
     --bench-smoke) MODE=bench-smoke ;;
     --bench-publish) MODE=bench-publish ;;
     *)
-        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --bench-smoke | --bench-publish]" >&2
+        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --parallel | --bench-smoke | --bench-publish]" >&2
         exit 2
         ;;
 esac
@@ -96,6 +103,30 @@ if [[ "$MODE" == decode ]]; then
     cargo test -q -p lmql --test rope_trace
     cargo test -q -p lmql-repro --test trace_semantics
     cargo test -q -p lmql-repro --test streaming
+    echo "==> OK"
+    exit 0
+fi
+
+if [[ "$MODE" == parallel ]]; then
+    echo "==> program-level parallelism suites (hole DAGs + subquery trees)"
+    cargo test -q -p lmql --test parallel_equivalence
+    cargo test -q -p lmql-engine --test subquery
+    cargo test -q -p lmql-engine --test streaming
+    cargo test -q -p lmql --lib parallel
+    echo "==> lmql-run --no-parallel-holes bisection smoke"
+    QUERY_FILE="$(mktemp /tmp/lmql-parallel-smoke.XXXXXX.lmql)"
+    trap 'rm -f "$QUERY_FILE"' EXIT
+    printf '%s\n' \
+        'argmax' \
+        '    "Q:[A]\nR:[B]"' \
+        'from "ngram"' \
+        'where stops_at(A, "\n") and stops_at(B, "\n")' > "$QUERY_FILE"
+    PAR_OUT="$(cargo run -q --bin lmql-run -- "$QUERY_FILE" --max-tokens 12)"
+    SEQ_OUT="$(cargo run -q --bin lmql-run -- "$QUERY_FILE" --max-tokens 12 --no-parallel-holes)"
+    if [[ "$PAR_OUT" != "$SEQ_OUT" ]]; then
+        echo "error: lmql-run output differs with --no-parallel-holes" >&2
+        exit 1
+    fi
     echo "==> OK"
     exit 0
 fi

@@ -9,6 +9,7 @@
 //!     [--seed N] [--max-tokens N] [--stream] [--trace] \
 //!     [--trace-json <path>] [--metrics] \
 //!     [--retries N] [--timeout-ms N] [--chaos <seed>] [--no-automata]
+//!     [--no-parallel-holes]
 //! ```
 //!
 //! `--stream` prints the model output live, token by token, as the
@@ -34,6 +35,11 @@
 //! fast-forward decoding (DESIGN.md §12), forcing every mask through the
 //! uncompiled FollowMap/Exact path — a bisection switch for checking a
 //! surprising result against the reference mask implementation.
+//!
+//! `--no-parallel-holes` disables program-level hole parallelism
+//! (DESIGN.md §14), forcing strictly sequential hole decoding — the
+//! analogous bisection switch for the dependency-scheduled decode path
+//! (results are byte-identical either way by construction).
 //!
 //! Example:
 //!
@@ -69,6 +75,7 @@ struct Args {
     timeout_ms: Option<u64>,
     chaos: Option<u64>,
     no_automata: bool,
+    no_parallel_holes: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: None,
         chaos: None,
         no_automata: false,
+        no_parallel_holes: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -146,13 +154,14 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--no-automata" => out.no_automata = true,
+            "--no-parallel-holes" => out.no_parallel_holes = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: lmql-run <query.lmql> [--model ngram|script:<trigger>=<completion>] \
                             [--bind NAME=VALUE]… [--engine exact|symbolic] [--seed N] \
                             [--max-tokens N] [--stream] [--trace] [--trace-json <path>] \
                             [--metrics] [--format] [--retries N] [--timeout-ms N] \
-                            [--chaos <seed>] [--no-automata]"
+                            [--chaos <seed>] [--no-automata] [--no-parallel-holes]"
                         .to_owned(),
                 )
             }
@@ -237,6 +246,12 @@ fn run() -> Result<(), String> {
         // Bisection switch: rerun with constraint automata disabled to
         // check a surprising result against the uncompiled mask path.
         runtime.options_mut().mask.automata = false;
+    }
+    if args.no_parallel_holes {
+        // Bisection switch: rerun with program-level hole parallelism
+        // off (DESIGN.md §14) — output must be byte-identical, so any
+        // difference localises a parallel-decode bug.
+        runtime.options_mut().parallel_holes = false;
     }
     for (k, v) in &args.binds {
         runtime.bind(k, Value::Str(v.clone()));

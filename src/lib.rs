@@ -33,8 +33,9 @@ pub use lmql_tokenizer;
 /// ```
 pub mod prelude {
     pub use lmql::{
-        DecodeOptions, Error, EventSink, QueryEvent, QueryRequest, QueryResult, QueryRun,
-        ReassembledQuery, Reassembler, Runtime, StreamSink, Value,
+        plan_holes, DecodeOptions, Error, EventSink, HolePlan, QueryEvent, QueryRequest,
+        QueryResult, QueryRun, ReassembledQuery, Reassembler, Runtime, StreamSink, SubqueryLimits,
+        Value,
     };
     // The paper's §5 mask-generation engine selector.
     pub use lmql::constraints::MaskEngine;
