@@ -1,0 +1,188 @@
+//! Router benchmark: radix-cache hit rates and throughput for a sharded
+//! shared-prefix workload under prefix-affinity routing vs. the
+//! cache-oblivious round-robin baseline (DESIGN.md §15). Emits
+//! `BENCH_router.json`.
+//!
+//! Usage: `bench_router [--out PATH]` (default `BENCH_router.json`).
+//! `LMQL_BENCH_ROUTER_REPEATS` overrides the queries-per-prefix-group
+//! count. `LMQL_BENCH_ROUTER_MIN_ADVANTAGE` (a ratio, e.g. `2.0`) makes
+//! the affinity hit-rate advantage a hard assertion — falling below it
+//! exits 1, so CI can gate on the number that justifies the router's
+//! existence.
+//!
+//! The workload is the one sharding is hardest on: G distinct prompt
+//! prefixes, each queried N times, over R replica engines with private
+//! radix caches. Affinity routing sends every repeat of a prefix to the
+//! same replica, so each group pays one cold decode and then hits;
+//! round-robin deals consecutive repeats to consecutive replicas, so a
+//! group's repeats warm R separate caches and mostly miss. Both modes
+//! must return byte-identical results — routing never changes what a
+//! query computes.
+
+use lmql_engine::{Engine, EngineConfig, Router, RouterConfig};
+use lmql_lm::{Episode, LanguageModel, ScriptedLm};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+use std::time::Instant;
+
+const REPLICAS: usize = 8;
+const GROUPS: usize = 8;
+
+fn model(bpe: &Arc<Bpe>) -> Arc<dyn LanguageModel> {
+    let episodes: Vec<Episode> = (0..GROUPS)
+        .map(|g| {
+            Episode::plain(
+                format!("P{g}: tell me"),
+                format!(" about topic number {g} at length."),
+            )
+        })
+        .collect();
+    Arc::new(ScriptedLm::new(Arc::clone(bpe), episodes))
+}
+
+fn workload(repeats: usize) -> Vec<String> {
+    // Group-major order: a group's repeats are consecutive, which is
+    // round-robin's worst case (each repeat lands on the next replica)
+    // and affinity's no-op case (the key ignores submission order).
+    (0..GROUPS)
+        .flat_map(|g| {
+            let src =
+                format!("argmax\n    \"P{g}: tell me[X]\"\nfrom \"m\"\nwhere stops_at(X, \".\")\n");
+            std::iter::repeat_n(src, repeats)
+        })
+        .collect()
+}
+
+struct ModeResult {
+    hit_rate: f64,
+    queries_per_sec: f64,
+    replicas_used: usize,
+    outcomes: Vec<(String, u64)>,
+}
+
+fn run_mode(affinity: bool, sources: &[String]) -> ModeResult {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let router = Router::new(
+        model(&bpe),
+        Arc::clone(&bpe),
+        RouterConfig {
+            replicas: REPLICAS,
+            affinity,
+            engine: EngineConfig {
+                threads: 2,
+                ..EngineConfig::default()
+            },
+            ..RouterConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let mut outcomes = Vec::with_capacity(sources.len());
+    for src in sources {
+        let result = router.run_query(src).expect("bench query must succeed");
+        let best = result.best();
+        outcomes.push((best.trace.clone(), best.log_prob.to_bits()));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = router.stats();
+    ModeResult {
+        hit_rate: stats.cache_hit_rate(),
+        queries_per_sec: sources.len() as f64 / elapsed,
+        replicas_used: stats.replicas.iter().filter(|r| r.queries > 0).count(),
+        outcomes,
+    }
+}
+
+fn single_node(sources: &[String]) -> Vec<(String, u64)> {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let engine = Engine::new(model(&bpe), Arc::clone(&bpe), EngineConfig::default());
+    sources
+        .iter()
+        .map(|src| {
+            let result = engine
+                .run_queries(&[src.as_str()])
+                .pop()
+                .unwrap()
+                .expect("bench query must succeed");
+            let best = result.best();
+            (best.trace.clone(), best.log_prob.to_bits())
+        })
+        .collect()
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_router.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let repeats: usize = std::env::var("LMQL_BENCH_ROUTER_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let min_advantage: Option<f64> = std::env::var("LMQL_BENCH_ROUTER_MIN_ADVANTAGE")
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    let sources = workload(repeats);
+    let affinity = run_mode(true, &sources);
+    let random = run_mode(false, &sources);
+    // Round-robin on this workload can plausibly score a flat 0.0; floor
+    // the denominator so the ratio stays a finite (JSON-valid) number.
+    let advantage = affinity.hit_rate / random.hit_rate.max(1e-3);
+
+    // Routing must never change results: both modes byte-identical to a
+    // single-node engine.
+    let reference = single_node(&sources);
+    assert_eq!(
+        affinity.outcomes, reference,
+        "affinity routing changed query results"
+    );
+    assert_eq!(
+        random.outcomes, reference,
+        "round-robin routing changed query results"
+    );
+
+    println!(
+        "bench: router/affinity   {:>7.1} q/s  hit-rate {:.3}  replicas used {}/{}",
+        affinity.queries_per_sec, affinity.hit_rate, affinity.replicas_used, REPLICAS
+    );
+    println!(
+        "bench: router/random     {:>7.1} q/s  hit-rate {:.3}  replicas used {}/{}",
+        random.queries_per_sec, random.hit_rate, random.replicas_used, REPLICAS
+    );
+    println!("bench: router/advantage  {advantage:>7.2}x radix hit-rate (affinity vs random)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"router\",\n  \"replicas\": {REPLICAS},\n  \
+         \"prefix_groups\": {GROUPS},\n  \"repeats_per_group\": {repeats},\n  \
+         \"affinity\": {{\n    \"hit_rate\": {:.3},\n    \"queries_per_sec\": {:.1},\n    \
+         \"replicas_used\": {}\n  }},\n  \
+         \"random\": {{\n    \"hit_rate\": {:.3},\n    \"queries_per_sec\": {:.1},\n    \
+         \"replicas_used\": {}\n  }},\n  \"hit_rate_advantage\": {:.2}\n}}\n",
+        affinity.hit_rate,
+        affinity.queries_per_sec,
+        affinity.replicas_used,
+        random.hit_rate,
+        random.queries_per_sec,
+        random.replicas_used,
+        advantage,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_router.json");
+    println!("wrote {out_path}");
+
+    if let Some(min) = min_advantage {
+        if advantage < min {
+            eprintln!(
+                "bench: AFFINITY ADVANTAGE BELOW BUDGET: {advantage:.2}x < required {min:.2}x"
+            );
+            std::process::exit(1);
+        }
+    }
+}

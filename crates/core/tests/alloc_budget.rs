@@ -172,6 +172,29 @@ fn decode_steady_state_stays_within_alloc_budget() {
 }
 
 #[test]
+fn router_prefix_fingerprint_allocates_nothing_when_warm() {
+    // The front-end router derives its affinity key by fingerprinting
+    // the tokenized prompt prefix (DESIGN.md §15). The streaming chunk
+    // iterator borrows the prompt and the fingerprint folds token ids
+    // straight out of the BPE chunk cache, so once the cache has seen
+    // the chunks of a prompt, routing a query allocates nothing.
+    let bpe = corpus::standard_bpe();
+    let prompt = "Q: The little prince asked about the fox and the rose. A:";
+    // Warm the chunk cache (first sight of each chunk encodes + caches).
+    let cold = bpe.prefix_fingerprint(prompt, 32);
+    let allocs = count_allocs(5, || {
+        let key = bpe.prefix_fingerprint(prompt, 32);
+        std::hint::black_box(key);
+    });
+    assert_eq!(allocs, 0, "warm routing-key derivation must not allocate");
+    assert_eq!(
+        bpe.prefix_fingerprint(prompt, 32),
+        cold,
+        "warm and cold fingerprints must agree"
+    );
+}
+
+#[test]
 fn masker_recycles_outcomes_through_the_pool() {
     // The decode loop hands every `MaskOutcome` back to the masker; the
     // pooled scratch means repeated pooled copies of the same mask reach

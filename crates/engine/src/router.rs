@@ -1,0 +1,922 @@
+//! The front-end router: a sharded pool of replica engines with
+//! prefix-affinity routing, continuous admission control, and
+//! per-replica health tracking (DESIGN.md §15).
+//!
+//! One [`Engine`] is one worker group: a scheduler, a radix prefix
+//! cache, a mask memo. The [`Router`] fans queries out over N of them.
+//! Three mechanisms make the pool behave like one big fast engine
+//! instead of N cold small ones:
+//!
+//! 1. **Prefix affinity** — the routing key is a fingerprint of the
+//!    query's *tokenized prompt prefix* ([`Bpe::prefix_fingerprint`]),
+//!    placed by rendezvous (highest-random-weight) hashing over the
+//!    replica set. Queries sharing a prompt prefix land on the same
+//!    replica, so RadixCache hit rates survive sharding (SGLang's
+//!    cache-aware routing is the model). Raw token contexts route
+//!    through [`fingerprint_tokens`] — the same key — so server `SCORE`/
+//!    `BATCH` frames shard with the queries that produced them.
+//! 2. **Admission control** — an optional in-flight cap; at capacity
+//!    the router sheds instead of queueing (the server maps this to its
+//!    `BUSY` frame). RAII [`Permit`]s make the accounting exception-safe.
+//! 3. **Health + fail-over** — every replica carries a
+//!    [`CircuitBreaker`]. Routing prefers healthy replicas (affinity
+//!    order is preserved among them); a query whose replica fails
+//!    mid-run is retried on the next healthy replica, counted by
+//!    `engine.replica.failover`. Results stay byte-identical: queries
+//!    are deterministic in (source, seed), never in placement.
+//!
+//! Because every replica computes exactly what a single-node engine
+//! would, the router changes *where* and *when* work runs, never what
+//! it computes — the multi-replica soak test pins byte-identity against
+//! a single-node run.
+
+use crate::radix::RadixStats;
+use crate::run::{Engine, EngineConfig, EngineObs};
+use lmql::{QueryEvent, QueryResult};
+use lmql_lm::{
+    BreakerConfig, BreakerState, CancelToken, CircuitBreaker, LanguageModel, LmError, LmResult,
+    Logits, Usage,
+};
+use lmql_obs::{Counter, Registry, RouterMetrics, Tracer};
+use lmql_tokenizer::{fingerprint_tokens, Bpe, TokenId};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Tunables for a [`Router`].
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Replica engines in the pool (each its own scheduler + caches).
+    pub replicas: usize,
+    /// Prefix-affinity routing. When `false`, queries are dealt
+    /// round-robin — the cache-oblivious baseline the bench compares
+    /// against (`--no-affinity` bisects).
+    pub affinity: bool,
+    /// Token budget of the routing key: how much of the tokenized
+    /// prompt prefix the fingerprint covers.
+    pub prefix_tokens: usize,
+    /// Router-level admission cap on concurrently running queries;
+    /// `0` means unbounded. At capacity new work is shed, not queued.
+    pub max_inflight: usize,
+    /// Configuration applied to every replica engine.
+    pub engine: EngineConfig,
+    /// Per-replica circuit-breaker tuning.
+    pub health: BreakerConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            replicas: 4,
+            affinity: true,
+            prefix_tokens: 32,
+            max_inflight: 0,
+            engine: EngineConfig::default(),
+            health: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Observability hooks for a [`Router`]: a tracer shared by every
+/// replica, and an optional registry collecting `router.*` metrics,
+/// per-replica counters (`router.replica.<i>.queries`, breaker gauges)
+/// and the `engine.replica.failover` counter. Each router needs its own
+/// registry (per-replica names are registered once).
+#[derive(Debug, Clone, Default)]
+pub struct RouterObs {
+    /// Trace recorder shared by every replica engine.
+    pub tracer: Tracer,
+    /// Metrics registry for router + per-replica metrics.
+    pub registry: Option<Registry>,
+}
+
+struct Replica {
+    engine: Engine,
+    breaker: CircuitBreaker,
+    queries: Counter,
+}
+
+struct Shared {
+    replicas: Vec<Replica>,
+    bpe: Arc<Bpe>,
+    affinity: bool,
+    prefix_tokens: usize,
+    max_inflight: usize,
+    inflight: AtomicUsize,
+    /// Round-robin cursor for `affinity: false` routing.
+    rr: AtomicU64,
+    metrics: RouterMetrics,
+}
+
+/// The replica-pool router; see the module docs.
+pub struct Router {
+    shared: Arc<Shared>,
+    registry: Option<Registry>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("replicas", &self.shared.replicas.len())
+            .field("affinity", &self.shared.affinity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An RAII admission slot: holding one keeps a unit of router capacity
+/// reserved; dropping it releases the slot. See [`Router::admit`].
+pub struct Permit {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Permit").finish_non_exhaustive()
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Per-replica usage snapshot inside [`RouterStats`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaStats {
+    /// Queries this replica was handed (including fail-over retries).
+    pub queries: u64,
+    /// The replica engine's §6 usage counters.
+    pub usage: Usage,
+    /// The replica's prefix-cache counters.
+    pub cache: RadixStats,
+    /// Current breaker state.
+    pub breaker: BreakerState,
+}
+
+/// A point-in-time view of the router and each replica.
+#[derive(Debug, Clone)]
+pub struct RouterStats {
+    /// Queries admitted and routed.
+    pub routed: u64,
+    /// Queries rejected at admission.
+    pub shed: u64,
+    /// Queries retried on another replica after a replica failure.
+    pub failovers: u64,
+    /// Routing decisions diverted from their affinity choice because
+    /// that replica was unhealthy.
+    pub rerouted: u64,
+    /// Per-replica usage, in replica order.
+    pub replicas: Vec<ReplicaStats>,
+}
+
+impl RouterStats {
+    /// Pool-wide prefix-cache counters: every field summed across
+    /// replicas.
+    pub fn cache_totals(&self) -> RadixStats {
+        self.replicas
+            .iter()
+            .fold(RadixStats::default(), |acc, r| RadixStats {
+                hits: acc.hits + r.cache.hits,
+                misses: acc.misses + r.cache.misses,
+                evictions: acc.evictions + r.cache.evictions,
+                entries: acc.entries + r.cache.entries,
+                bytes: acc.bytes + r.cache.bytes,
+            })
+    }
+
+    /// Pool-wide radix hit rate: hits over lookups, summed across
+    /// replicas — the number affinity routing exists to protect.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let totals = self.cache_totals();
+        if totals.hits + totals.misses == 0 {
+            0.0
+        } else {
+            totals.hits as f64 / (totals.hits + totals.misses) as f64
+        }
+    }
+}
+
+/// The routable prompt prefix of a query source: the first prompt
+/// string literal, up to its first hole `[` or recall `{`. Borrowed
+/// straight out of `source` — deriving a routing key allocates nothing.
+pub fn prompt_prefix(source: &str) -> &str {
+    let Some(start) = source.find('"') else {
+        return source;
+    };
+    let body = &source[start + 1..];
+    let end = body.find(['"', '[', '{']).unwrap_or(body.len());
+    &body[..end]
+}
+
+/// The message of the [`Error::Model`](lmql::Error::Model) a router
+/// returns when it sheds a query at admission. Front ends map it to
+/// their own back-pressure signal (the server's `BUSY` frame).
+pub const BUSY_MESSAGE: &str = "router at capacity: query shed at admission";
+
+/// Whether `err` is the router's admission-shed error — back-pressure to
+/// surface to the caller, not a replica failure.
+pub fn is_busy(err: &lmql::Error) -> bool {
+    matches!(err, lmql::Error::Model { message } if message == BUSY_MESSAGE)
+}
+
+/// SplitMix64 finaliser: the per-replica weight mixer for rendezvous
+/// hashing.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Shared {
+    /// Replica preference order for `key` under rendezvous hashing:
+    /// every replica gets a pseudo-random weight from (key, replica) and
+    /// the order is by descending weight. Stable in `key`, and removing
+    /// one replica only moves the keys that pointed at it — the
+    /// consistent-hashing property that keeps the other replicas' radix
+    /// caches warm through membership changes.
+    fn rendezvous_order(&self, key: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.replicas.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(mix(key ^ (i as u64 + 1))));
+        order
+    }
+
+    /// Full preference order for a routing key: affinity (or
+    /// round-robin) order, stably partitioned so healthy replicas come
+    /// first. Unhealthy replicas stay as last-resort fallbacks — an
+    /// all-open pool still serves (each attempt doubles as a breaker
+    /// probe) rather than failing outright.
+    fn route_order(&self, key: u64) -> Vec<usize> {
+        let base = if self.affinity {
+            self.rendezvous_order(key)
+        } else {
+            let n = self.replicas.len() as u64;
+            let start = (self.rr.fetch_add(1, Ordering::Relaxed) % n) as usize;
+            (0..self.replicas.len())
+                .map(|k| (start + k) % self.replicas.len())
+                .collect()
+        };
+        let preferred = base[0];
+        let (healthy, unhealthy): (Vec<usize>, Vec<usize>) = base
+            .into_iter()
+            .partition(|&i| self.replicas[i].breaker.allow());
+        let order: Vec<usize> = healthy.into_iter().chain(unhealthy).collect();
+        if order[0] != preferred {
+            self.metrics.rerouted.inc();
+        }
+        order
+    }
+
+    fn query_key(&self, source: &str) -> u64 {
+        self.bpe
+            .prefix_fingerprint(prompt_prefix(source), self.prefix_tokens)
+    }
+
+    fn admit(self: &Arc<Self>) -> Option<Permit> {
+        loop {
+            let cur = self.inflight.load(Ordering::Acquire);
+            if self.max_inflight != 0 && cur >= self.max_inflight {
+                self.metrics.shed.inc();
+                return None;
+            }
+            if self
+                .inflight
+                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(Permit {
+                    shared: Arc::clone(self),
+                });
+            }
+        }
+    }
+
+    /// One attempt of `source` on replica `i`, with health recording: a
+    /// model-layer failure counts against the replica's breaker, any
+    /// other outcome (success, or a deterministic query error that no
+    /// replica could serve differently) closes it.
+    fn attempt(
+        &self,
+        i: usize,
+        source: &str,
+        configure: &(dyn Fn(&mut lmql::Runtime) + Sync),
+    ) -> lmql::Result<QueryResult> {
+        let replica = &self.replicas[i];
+        replica.queries.inc();
+        let result = replica
+            .engine
+            .run_queries_with(&[source], |_, rt| configure(rt))
+            .pop()
+            .expect("one result per query");
+        match &result {
+            Err(lmql::Error::Model { .. }) => replica.breaker.record_failure(),
+            _ => replica.breaker.record_success(),
+        }
+        result
+    }
+
+    /// Runs `source` down a preference order, failing over (and
+    /// counting `engine.replica.failover`) on model-layer errors only:
+    /// query-level errors (syntax, no valid continuation, …) are
+    /// deterministic and identical on every replica.
+    fn run_on(
+        &self,
+        order: &[usize],
+        source: &str,
+        configure: &(dyn Fn(&mut lmql::Runtime) + Sync),
+    ) -> lmql::Result<QueryResult> {
+        let started = Instant::now();
+        self.metrics.queries.inc();
+        let mut result = self.attempt(order[0], source, configure);
+        for &i in &order[1..] {
+            if !matches!(result, Err(lmql::Error::Model { .. })) {
+                break;
+            }
+            self.metrics.failovers.inc();
+            result = self.attempt(i, source, configure);
+        }
+        self.metrics
+            .latency_us
+            .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        result
+    }
+
+    fn busy() -> lmql::Error {
+        lmql::Error::Model {
+            message: BUSY_MESSAGE.to_owned(),
+        }
+    }
+}
+
+impl Router {
+    /// A router whose replicas all score through one shared `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.replicas` is zero or the model's vocabulary
+    /// size does not match the tokenizer's.
+    pub fn new(model: Arc<dyn LanguageModel>, bpe: Arc<Bpe>, config: RouterConfig) -> Self {
+        Self::new_with_obs(model, bpe, config, RouterObs::default())
+    }
+
+    /// Like [`new`](Self::new) with observability hooks.
+    pub fn new_with_obs(
+        model: Arc<dyn LanguageModel>,
+        bpe: Arc<Bpe>,
+        config: RouterConfig,
+        obs: RouterObs,
+    ) -> Self {
+        Self::with_backends(|_| Arc::clone(&model), bpe, config, obs)
+    }
+
+    /// The full constructor: `backend(i)` supplies replica `i`'s model —
+    /// in production a per-replica connection, in the chaos tests a
+    /// per-replica fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.replicas` is zero or any backend's vocabulary
+    /// size does not match the tokenizer's.
+    pub fn with_backends(
+        mut backend: impl FnMut(usize) -> Arc<dyn LanguageModel>,
+        bpe: Arc<Bpe>,
+        config: RouterConfig,
+        obs: RouterObs,
+    ) -> Self {
+        assert!(config.replicas >= 1, "router needs at least one replica");
+        let metrics = match &obs.registry {
+            Some(registry) => RouterMetrics::registered(registry),
+            None => RouterMetrics::default(),
+        };
+        let replicas: Vec<Replica> = (0..config.replicas)
+            .map(|i| {
+                // Replica engines keep their metrics private (their
+                // meters would collide under one registry); the router
+                // registry carries the per-replica counters instead.
+                let engine = Engine::new_with_obs(
+                    backend(i),
+                    Arc::clone(&bpe),
+                    config.engine,
+                    EngineObs {
+                        tracer: obs.tracer.clone(),
+                        registry: None,
+                    },
+                );
+                let breaker = CircuitBreaker::new(config.health);
+                let queries = match &obs.registry {
+                    Some(registry) => {
+                        registry.register_gauge(
+                            &format!("router.replica.{i}.breaker"),
+                            breaker.gauge().clone(),
+                        );
+                        registry.counter(&format!("router.replica.{i}.queries"))
+                    }
+                    None => Counter::default(),
+                };
+                Replica {
+                    engine,
+                    breaker,
+                    queries,
+                }
+            })
+            .collect();
+        Router {
+            shared: Arc::new(Shared {
+                replicas,
+                bpe,
+                affinity: config.affinity,
+                prefix_tokens: config.prefix_tokens,
+                max_inflight: config.max_inflight,
+                inflight: AtomicUsize::new(0),
+                rr: AtomicU64::new(0),
+                metrics,
+            }),
+            registry: obs.registry,
+        }
+    }
+
+    /// Number of replicas in the pool.
+    pub fn replicas(&self) -> usize {
+        self.shared.replicas.len()
+    }
+
+    /// The metrics registry, if one was installed.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.registry.as_ref()
+    }
+
+    /// The router's metric handles.
+    pub fn metrics(&self) -> &RouterMetrics {
+        &self.shared.metrics
+    }
+
+    /// The affinity choice for `source` (health ignored) — which replica
+    /// its prompt prefix maps to. Exposed for tests and benches; with
+    /// `affinity: false` this is still the would-be affinity target.
+    pub fn route_for(&self, source: &str) -> usize {
+        self.shared.rendezvous_order(self.shared.query_key(source))[0]
+    }
+
+    /// Reserves one unit of router capacity, or `None` (counted as
+    /// `router.shed`) at the admission cap. [`run_query`](Self::run_query)
+    /// and friends admit internally; the server calls this directly so
+    /// it can answer `BUSY` on the wire before reading the payload.
+    pub fn admit(&self) -> Option<Permit> {
+        self.shared.admit()
+    }
+
+    /// Routes and runs one query, failing over to the next healthy
+    /// replica on model-layer errors. Returns the `BUSY` shed error at
+    /// the admission cap.
+    pub fn run_query(&self, source: &str) -> lmql::Result<QueryResult> {
+        self.run_query_with(source, |_| {})
+    }
+
+    /// Like [`run_query`](Self::run_query), calling `configure` on the
+    /// query's runtime before it runs (seed, bindings, decode options).
+    /// The closure runs once per attempt, so a fail-over retry gets the
+    /// same configuration — which is what keeps retried results
+    /// byte-identical.
+    pub fn run_query_with<F>(&self, source: &str, configure: F) -> lmql::Result<QueryResult>
+    where
+        F: Fn(&mut lmql::Runtime) + Sync,
+    {
+        let Some(_permit) = self.shared.admit() else {
+            return Err(Shared::busy());
+        };
+        let order = self.shared.route_order(self.shared.query_key(source));
+        self.shared.run_on(&order, source, &configure)
+    }
+
+    /// Routes and runs many queries concurrently: sources are grouped by
+    /// their routed replica, each group runs on its replica's own thread
+    /// pool in parallel, and any model-layer failure fails over
+    /// per-query. Results come back in input order, byte-identical to a
+    /// single-node run.
+    pub fn run_queries(&self, sources: &[&str]) -> Vec<lmql::Result<QueryResult>> {
+        let n = sources.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let shared = &self.shared;
+        let mut permits = Vec::with_capacity(n);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shared.replicas.len()];
+        let mut admitted = vec![false; n];
+        for (qi, src) in sources.iter().enumerate() {
+            if let Some(permit) = shared.admit() {
+                permits.push(permit);
+                admitted[qi] = true;
+                let order = shared.route_order(shared.query_key(src));
+                groups[order[0]].push(qi);
+            }
+        }
+        let slots: Vec<std::sync::Mutex<Option<lmql::Result<QueryResult>>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for (ri, group) in groups.iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let slots = &slots;
+                s.spawn(move || {
+                    let replica = &shared.replicas[ri];
+                    let srcs: Vec<&str> = group.iter().map(|&qi| sources[qi]).collect();
+                    shared.metrics.queries.add(srcs.len() as u64);
+                    replica.queries.add(srcs.len() as u64);
+                    let results = replica.engine.run_queries(&srcs);
+                    for (&qi, result) in group.iter().zip(results) {
+                        match &result {
+                            Err(lmql::Error::Model { .. }) => replica.breaker.record_failure(),
+                            _ => replica.breaker.record_success(),
+                        }
+                        *slots[qi].lock().expect("router slot poisoned") = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(qi, slot)| {
+                if !admitted[qi] {
+                    return Err(Shared::busy());
+                }
+                let result = slot
+                    .into_inner()
+                    .expect("router slot poisoned")
+                    .expect("every admitted query gets a result");
+                if matches!(result, Err(lmql::Error::Model { .. })) {
+                    // Per-query fail-over pass: re-route excluding the
+                    // replica that just failed.
+                    let order = shared.route_order(shared.query_key(sources[qi]));
+                    let failed = order[0];
+                    let rest: Vec<usize> = order.into_iter().filter(|&i| i != failed).collect();
+                    if rest.is_empty() {
+                        return result;
+                    }
+                    self.shared.metrics.failovers.inc();
+                    return shared.run_on(&rest, sources[qi], &|_| {});
+                }
+                result
+            })
+            .collect()
+    }
+
+    /// Scores a raw token context through the pool, routed by the same
+    /// token-prefix fingerprint as queries — a scoring request shards
+    /// with the query traffic whose prompt it extends. Fails over on
+    /// model errors (except cancellation/deadline, which are the
+    /// caller's verdicts, not the replica's).
+    pub fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
+        let shared = &self.shared;
+        let key = fingerprint_tokens(context, shared.prefix_tokens);
+        let order = shared.route_order(key);
+        let mut last: Option<LmError> = None;
+        for (attempt, &i) in order.iter().enumerate() {
+            if attempt > 0 {
+                shared.metrics.failovers.inc();
+            }
+            let replica = &shared.replicas[i];
+            match replica.engine.scheduler().try_score(context) {
+                Ok(logits) => {
+                    replica.breaker.record_success();
+                    return Ok(logits);
+                }
+                Err(e @ (LmError::Cancelled | LmError::DeadlineExceeded { .. })) => {
+                    return Err(e);
+                }
+                Err(e) => {
+                    replica.breaker.record_failure();
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.expect("at least one replica attempted"))
+    }
+
+    /// Batched [`try_score`](Self::try_score) with per-item results.
+    pub fn try_score_many(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+        contexts.iter().map(|ctx| self.try_score(ctx)).collect()
+    }
+
+    /// Routes and streams one query; events arrive as decoding
+    /// progresses. On a replica failure mid-stream the query fails over:
+    /// the event stream *restarts from the beginning* on the next
+    /// healthy replica (consumers see the new attempt's events after the
+    /// old attempt's partial ones), and [`RouterStream::wait`] returns
+    /// the retried run's result — byte-identical to a single-node run,
+    /// because results depend only on (source, seed).
+    pub fn stream_query(&self, source: &str) -> RouterStream {
+        self.stream_query_with(source, |_| {})
+    }
+
+    /// [`Router::stream_query`] with a configuration hook applied to the
+    /// per-query [`Runtime`](lmql::Runtime) before decoding starts. The
+    /// closure runs once per attempt, so a fail-over retry streams under
+    /// the same configuration (and thus the same result bytes).
+    pub fn stream_query_with<F>(&self, source: &str, configure: F) -> RouterStream
+    where
+        F: Fn(&mut lmql::Runtime) + Send + Sync + 'static,
+    {
+        let configure = Arc::new(configure);
+        let (evt_tx, events) = mpsc::channel();
+        let (res_tx, result) = mpsc::channel();
+        let cancel = CancelToken::new();
+        let Some(permit) = self.shared.admit() else {
+            let _ = res_tx.send(Err(Shared::busy()));
+            return RouterStream {
+                events,
+                cancel,
+                result,
+            };
+        };
+        let shared = Arc::clone(&self.shared);
+        let source = source.to_owned();
+        let outer = cancel.clone();
+        std::thread::Builder::new()
+            .name("lmql-router-stream".to_owned())
+            .spawn(move || {
+                let _permit = permit;
+                let started = Instant::now();
+                shared.metrics.queries.inc();
+                let order = shared.route_order(shared.query_key(&source));
+                let mut outcome: lmql::Result<QueryResult> = Err(Shared::busy());
+                for (attempt, &i) in order.iter().enumerate() {
+                    if outer.is_cancelled() {
+                        outcome = Err(lmql::Error::Cancelled);
+                        break;
+                    }
+                    if attempt > 0 {
+                        shared.metrics.failovers.inc();
+                    }
+                    let replica = &shared.replicas[i];
+                    replica.queries.inc();
+                    let cfg = Arc::clone(&configure);
+                    let stream = replica.engine.stream_query_with(&source, move |rt| cfg(rt));
+                    let mut consumer_gone = false;
+                    for event in stream.events() {
+                        if outer.is_cancelled() {
+                            stream.cancel();
+                        }
+                        if evt_tx.send(event).is_err() {
+                            // Consumer dropped the handle: cancel the
+                            // query instead of decoding for nobody.
+                            consumer_gone = true;
+                            stream.cancel();
+                            break;
+                        }
+                    }
+                    let result = stream.wait();
+                    match &result {
+                        Err(lmql::Error::Model { .. }) if !consumer_gone => {
+                            replica.breaker.record_failure();
+                            outcome = result;
+                            continue;
+                        }
+                        Err(lmql::Error::Model { .. }) => {
+                            replica.breaker.record_failure();
+                            outcome = result;
+                            break;
+                        }
+                        _ => {
+                            replica.breaker.record_success();
+                            outcome = result;
+                            break;
+                        }
+                    }
+                }
+                shared
+                    .metrics
+                    .latency_us
+                    .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                let _ = res_tx.send(outcome);
+            })
+            .expect("failed to spawn router stream thread");
+        RouterStream {
+            events,
+            cancel,
+            result,
+        }
+    }
+
+    /// Streams many queries; handles are independent (consume, wait, or
+    /// drop-to-cancel in any order).
+    pub fn stream_queries(&self, sources: &[&str]) -> Vec<RouterStream> {
+        sources.iter().map(|src| self.stream_query(src)).collect()
+    }
+
+    /// Shuts every replica's scheduler down, draining queued and
+    /// in-flight batches. Idempotent; also happens implicitly on drop.
+    pub fn shutdown(&self) {
+        for replica in &self.shared.replicas {
+            replica.engine.scheduler().shutdown();
+        }
+    }
+
+    /// A point-in-time snapshot of router counters and every replica's
+    /// usage, cache, and breaker state.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            routed: self.shared.metrics.queries.get(),
+            shed: self.shared.metrics.shed.get(),
+            failovers: self.shared.metrics.failovers.get(),
+            rerouted: self.shared.metrics.rerouted.get(),
+            replicas: self
+                .shared
+                .replicas
+                .iter()
+                .map(|r| ReplicaStats {
+                    queries: r.queries.get(),
+                    usage: r.engine.meter().snapshot(),
+                    cache: r.engine.scheduler().cache_stats(),
+                    breaker: r.breaker.state(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A live streamed query routed through the pool; the router-side
+/// analogue of [`QueryStream`](crate::QueryStream), with the same
+/// consume/cancel/wait surface. Dropping the handle cancels the query.
+#[derive(Debug)]
+pub struct RouterStream {
+    events: mpsc::Receiver<QueryEvent>,
+    cancel: CancelToken,
+    result: mpsc::Receiver<lmql::Result<QueryResult>>,
+}
+
+impl RouterStream {
+    /// Blocks for the next event; `None` once the stream is over.
+    pub fn next_event(&self) -> Option<QueryEvent> {
+        self.events.recv().ok()
+    }
+
+    /// A blocking iterator over the remaining events.
+    pub fn events(&self) -> impl Iterator<Item = QueryEvent> + '_ {
+        std::iter::from_fn(move || self.next_event())
+    }
+
+    /// Requests cooperative cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Discards unconsumed events and blocks for the final result.
+    pub fn wait(self) -> lmql::Result<QueryResult> {
+        self.result.recv().unwrap_or_else(|_| {
+            Err(lmql::Error::Model {
+                message: "router stream worker vanished without a result".to_owned(),
+            })
+        })
+    }
+}
+
+impl Drop for RouterStream {
+    fn drop(&mut self) {
+        self.cancel.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmql_lm::{Episode, ScriptedLm};
+
+    fn pool(replicas: usize, affinity: bool, episodes: Vec<Episode>) -> Router {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let lm = Arc::new(ScriptedLm::new(Arc::clone(&bpe), episodes));
+        Router::new(
+            lm,
+            bpe,
+            RouterConfig {
+                replicas,
+                affinity,
+                engine: EngineConfig {
+                    threads: 2,
+                    ..EngineConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn prompt_prefix_stops_at_holes_and_recalls() {
+        let src = "argmax\n    \"Q: what[A]\"\nfrom \"m\"\n";
+        assert_eq!(prompt_prefix(src), "Q: what");
+        let recall = "argmax\n    \"ctx {V} then[A]\"\nfrom \"m\"\n";
+        assert_eq!(prompt_prefix(recall), "ctx ");
+        assert_eq!(prompt_prefix("no quotes at all"), "no quotes at all");
+    }
+
+    #[test]
+    fn affinity_routing_is_deterministic_and_prefix_keyed() {
+        let router = pool(4, true, vec![Episode::plain("Q:", " a.")]);
+        let q1 = "argmax\n    \"shared prefix one[A]\"\nfrom \"m\"\n";
+        let q2 = "argmax\n    \"shared prefix one[B]\"\nfrom \"m\"\n";
+        assert_eq!(router.route_for(q1), router.route_for(q1));
+        assert_eq!(
+            router.route_for(q1),
+            router.route_for(q2),
+            "same prompt prefix, same replica (hole name is irrelevant)"
+        );
+        // Any one pair of prompts may collide on a replica; the key only
+        // ignores the text if *every* distinct prompt collides.
+        let elsewhere = (0..16).any(|i| {
+            let q = format!("argmax\n    \"other prompt {i} goes[A]\"\nfrom \"m\"\n");
+            router.route_for(&q) != router.route_for(q1)
+        });
+        assert!(elsewhere, "distinct prefixes never left q1's replica");
+    }
+
+    #[test]
+    fn rendezvous_spreads_keys_over_replicas() {
+        let router = pool(4, true, vec![]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32 {
+            let src = format!("argmax\n    \"prompt number {i} says[A]\"\nfrom \"m\"\n");
+            seen.insert(router.route_for(&src));
+        }
+        assert!(
+            seen.len() >= 3,
+            "32 distinct prompts should reach most of 4 replicas, got {seen:?}"
+        );
+    }
+
+    #[test]
+    fn round_robin_mode_rotates() {
+        let router = pool(3, false, vec![Episode::plain("Q:", " a.")]);
+        let q = "argmax\n    \"Q:[A]\"\nfrom \"m\"\nwhere stops_at(A, \".\")\n";
+        for _ in 0..6 {
+            router.run_query(q).unwrap();
+        }
+        let stats = router.stats();
+        let loads: Vec<u64> = stats.replicas.iter().map(|r| r.queries).collect();
+        assert_eq!(loads, vec![2, 2, 2], "round-robin deals evenly");
+    }
+
+    #[test]
+    fn admission_cap_sheds_and_releases() {
+        let bpe = Arc::new(Bpe::char_level(""));
+        let lm = Arc::new(ScriptedLm::new(
+            Arc::clone(&bpe),
+            vec![Episode::plain("Q:", " a.")],
+        ));
+        let router = Router::new(
+            lm,
+            bpe,
+            RouterConfig {
+                replicas: 2,
+                max_inflight: 2,
+                ..RouterConfig::default()
+            },
+        );
+        let p1 = router.admit().expect("slot 1");
+        let _p2 = router.admit().expect("slot 2");
+        assert!(router.admit().is_none(), "cap reached");
+        let q = "argmax\n    \"Q:[A]\"\nfrom \"m\"\nwhere stops_at(A, \".\")\n";
+        let shed = router.run_query(q);
+        assert!(
+            matches!(shed, Err(lmql::Error::Model { ref message }) if message.contains("capacity")),
+            "{shed:?}"
+        );
+        drop(p1);
+        assert!(router.admit().is_some(), "released slot is reusable");
+        assert_eq!(router.stats().shed, 2);
+        drop(router);
+    }
+
+    #[test]
+    fn routed_queries_match_single_node() {
+        let episodes = vec![Episode::plain("A:", " one."), Episode::plain("B:", " two.")];
+        let router = pool(3, true, episodes.clone());
+        let bpe = Arc::new(Bpe::char_level(""));
+        let single = Engine::new(
+            Arc::new(ScriptedLm::new(Arc::clone(&bpe), episodes)),
+            bpe,
+            EngineConfig::default(),
+        );
+        let qa = "argmax\n    \"A:[X]\"\nfrom \"m\"\nwhere stops_at(X, \".\")\n";
+        let qb = "argmax\n    \"B:[X]\"\nfrom \"m\"\nwhere stops_at(X, \".\")\n";
+        let sources = vec![qa, qb, qa, qb, qa];
+        let pooled = router.run_queries(&sources);
+        let reference = single.run_queries(&sources);
+        for (p, r) in pooled.iter().zip(&reference) {
+            let (p, r) = (p.as_ref().unwrap(), r.as_ref().unwrap());
+            assert_eq!(p.best().trace, r.best().trace);
+            assert_eq!(
+                p.best().log_prob.to_bits(),
+                r.best().log_prob.to_bits(),
+                "bit-identical scores"
+            );
+        }
+    }
+}

@@ -40,7 +40,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// When the dispatcher fires a microbatch.
+/// When the dispatcher fires a microbatch, and how it picks the batch
+/// when more work is queued than fits (continuous batching).
 #[derive(Debug, Clone, Copy)]
 pub struct BatchPolicy {
     /// Dispatch as soon as this many distinct contexts are pending.
@@ -48,6 +49,14 @@ pub struct BatchPolicy {
     /// Dispatch an undersized batch once its oldest request has waited
     /// this long.
     pub max_wait: Duration,
+    /// Starvation deadline: a queued item that has waited this long is
+    /// admitted into the next dispatch ahead of everything else, so a
+    /// continuously refilled queue can never delay an old item
+    /// indefinitely. Under this deadline, an oversubscribed batch is
+    /// filled stream-fairly (round-robin across submit calls) instead of
+    /// FIFO — one wide beam step takes its fair share of the batch, not
+    /// all of it.
+    pub max_queue_wait: Duration,
 }
 
 impl Default for BatchPolicy {
@@ -55,6 +64,7 @@ impl Default for BatchPolicy {
         BatchPolicy {
             max_batch: 16,
             max_wait: Duration::from_micros(200),
+            max_queue_wait: Duration::from_millis(20),
         }
     }
 }
@@ -136,6 +146,11 @@ struct Pending {
     /// at dispatch (answered with [`LmError::Cancelled`]) unless its
     /// slot picked up single-flight partners.
     cancel: Option<CancelToken>,
+    /// Fairness unit for continuous batching: every scoring call
+    /// (`try_score`, one `try_score_many`, …) gets its own stream id, so
+    /// an oversubscribed batch is dealt round-robin across concurrent
+    /// calls rather than FIFO across contexts.
+    stream: u64,
 }
 
 #[derive(Debug, Default)]
@@ -193,6 +208,11 @@ pub struct SchedMetrics {
     /// disconnected client) and released at dispatch without reaching
     /// the model.
     pub cancelled: Counter,
+    /// Queued items admitted by the starvation deadline
+    /// ([`BatchPolicy::max_queue_wait`]) while the queue was
+    /// oversubscribed — each one is a request that plain FIFO/fair fill
+    /// might have delayed past its deadline.
+    pub starvation_rescues: Counter,
     /// Retry/fault/deadline counters for dispatch-time recovery,
     /// registered under `lm.*` names (`lm.retries`,
     /// `lm.deadline_exceeded`, `lm.faults`, `lm.breaker_rejections`).
@@ -212,6 +232,7 @@ impl SchedMetrics {
             cache_entries: Gauge::default(),
             cache_bytes: Gauge::default(),
             cancelled: Counter::default(),
+            starvation_rescues: Counter::default(),
             retry: RetryMetrics::default(),
         }
     }
@@ -230,6 +251,7 @@ impl SchedMetrics {
             cache_entries: registry.gauge("engine.cache.entries"),
             cache_bytes: registry.gauge("engine.cache.bytes"),
             cancelled: registry.counter("engine.cancelled"),
+            starvation_rescues: registry.counter("engine.starvation.rescues"),
             retry: RetryMetrics {
                 retries: registry.counter("lm.retries"),
                 deadline_exceeded: registry.counter("lm.deadline_exceeded"),
@@ -250,9 +272,16 @@ struct Shared {
     cache: Mutex<RadixCache>,
     state: Mutex<State>,
     work: Condvar,
+    /// Stream-id allocator for continuous-batching fairness; every
+    /// scoring call draws one id for all the contexts it submits.
+    next_stream: std::sync::atomic::AtomicU64,
 }
 
 impl Shared {
+    fn stream_id(&self) -> u64 {
+        self.next_stream
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
     /// A model reply shorter than the vocabulary is a truncated
     /// (transient, retryable) response, never valid data.
     fn validated(&self, logits: Logits) -> LmResult<Logits> {
@@ -402,6 +431,7 @@ impl Scheduler {
             cache: Mutex::new(RadixCache::new(cache)),
             state: Mutex::new(State::default()),
             work: Condvar::new(),
+            next_stream: std::sync::atomic::AtomicU64::new(1),
         });
         let worker = {
             let shared = Arc::clone(&shared);
@@ -454,7 +484,7 @@ impl Scheduler {
     /// scheduler's [`RetryPolicy`]; what remains (exhausted budgets,
     /// fatal errors, expired deadlines) surfaces as an [`LmError`].
     pub fn try_score(&self, context: &[TokenId]) -> LmResult<Logits> {
-        match self.submit(context, None) {
+        match self.submit(context, None, self.shared.stream_id()) {
             Ok(result) => result,
             Err(slot) => slot.wait(),
         }
@@ -472,7 +502,7 @@ impl Scheduler {
         if cancel.is_cancelled() {
             return Err(LmError::Cancelled);
         }
-        match self.submit(context, Some(cancel)) {
+        match self.submit(context, Some(cancel), self.shared.stream_id()) {
             Ok(result) => result,
             Err(slot) => slot.wait_cancellable(cancel),
         }
@@ -497,8 +527,13 @@ impl Scheduler {
     /// Fallible many-context scoring with per-item results: one faulted
     /// context never fails the others.
     pub fn try_score_many(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
-        let submitted: Vec<Result<LmResult<Logits>, Arc<Slot>>> =
-            contexts.iter().map(|ctx| self.submit(ctx, None)).collect();
+        // One stream id for the whole call: under contention this call's
+        // contexts collectively take one fair share of each batch.
+        let stream = self.shared.stream_id();
+        let submitted: Vec<Result<LmResult<Logits>, Arc<Slot>>> = contexts
+            .iter()
+            .map(|ctx| self.submit(ctx, None, stream))
+            .collect();
         submitted
             .into_iter()
             .map(|s| match s {
@@ -519,9 +554,10 @@ impl Scheduler {
         if cancel.is_cancelled() {
             return contexts.iter().map(|_| Err(LmError::Cancelled)).collect();
         }
+        let stream = self.shared.stream_id();
         let submitted: Vec<Result<LmResult<Logits>, Arc<Slot>>> = contexts
             .iter()
-            .map(|ctx| self.submit(ctx, Some(cancel)))
+            .map(|ctx| self.submit(ctx, Some(cancel), stream))
             .collect();
         submitted
             .into_iter()
@@ -539,6 +575,7 @@ impl Scheduler {
         &self,
         context: &[TokenId],
         cancel: Option<&CancelToken>,
+        stream: u64,
     ) -> Result<LmResult<Logits>, Arc<Slot>> {
         if let Some(hit) = self
             .shared
@@ -606,6 +643,7 @@ impl Scheduler {
             enqueued: now,
             deadline: self.shared.retry.deadline.map(|d| now + d),
             cancel: cancel.cloned(),
+            stream,
         });
         self.shared.work.notify_one();
         Err(slot)
@@ -649,6 +687,97 @@ impl Drop for Scheduler {
     }
 }
 
+/// Continuous-batching admission: removes up to `max_batch` items from
+/// `queue` (preserving the order of what remains) and returns them plus
+/// the number admitted by the starvation deadline.
+///
+/// When everything fits, the whole queue is taken — identical to the old
+/// microbatch drain. When the queue is oversubscribed, items are split
+/// into two priority classes and each class is dealt **stream-fairly**:
+///
+/// 1. **Overdue first** — items that have already waited
+///    `max_queue_wait` outrank everything fresh. This is the per-item
+///    starvation deadline: a queue continuously refilled by wide
+///    requests can no longer delay an old item indefinitely, because
+///    fresh arrivals can never displace an overdue one.
+/// 2. **Stream-fair within a class** — capacity is dealt round-robin
+///    across distinct streams (one scoring call = one stream), FIFO
+///    within each stream, streams visited in order of their oldest
+///    pending item. A width-N beam step takes at most its fair share of
+///    a contended batch — even when the whole queue is overdue — and a
+///    one-context argmax request rides in the same dispatch instead of
+///    queueing behind the whole beam.
+///
+/// Selection never changes any result — `score` is pure per context —
+/// only who waits. The admitted batch keeps original queue order, so the
+/// wait histogram and dispatch spans read the same way as before.
+fn admit_batch(
+    queue: &mut Vec<Pending>,
+    max_batch: usize,
+    max_queue_wait: Duration,
+    now: Instant,
+) -> (Vec<Pending>, u64) {
+    if queue.len() <= max_batch {
+        return (std::mem::take(queue), 0);
+    }
+    let mut picked = vec![false; queue.len()];
+    let mut left = max_batch;
+    let mut rescued = 0u64;
+    for overdue_class in [true, false] {
+        if left == 0 {
+            break;
+        }
+        // Per-stream FIFO lists of this class's indices, in order of
+        // each stream's first (oldest) pending item — push order is age
+        // order, so first-seen is oldest.
+        let mut streams: Vec<(u64, std::collections::VecDeque<usize>)> = Vec::new();
+        for (i, p) in queue.iter().enumerate() {
+            if picked[i] {
+                continue;
+            }
+            let overdue = now.duration_since(p.enqueued) >= max_queue_wait;
+            if overdue != overdue_class {
+                continue;
+            }
+            match streams.iter_mut().find(|(s, _)| *s == p.stream) {
+                Some((_, idxs)) => idxs.push_back(i),
+                None => streams.push((p.stream, std::collections::VecDeque::from([i]))),
+            }
+        }
+        'fill: loop {
+            let mut progressed = false;
+            for (_, idxs) in &mut streams {
+                if let Some(i) = idxs.pop_front() {
+                    picked[i] = true;
+                    progressed = true;
+                    left -= 1;
+                    if overdue_class {
+                        rescued += 1;
+                    }
+                    if left == 0 {
+                        break 'fill;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+    let taken = max_batch - left;
+    let mut batch = Vec::with_capacity(taken);
+    let mut keep = Vec::with_capacity(queue.len() - taken);
+    for (i, p) in std::mem::take(queue).into_iter().enumerate() {
+        if picked[i] {
+            batch.push(p);
+        } else {
+            keep.push(p);
+        }
+    }
+    *queue = keep;
+    (batch, rescued)
+}
+
 fn dispatch_loop(shared: &Shared) {
     // Eviction totals live in the cache; the dispatcher (its only writer
     // besides the rare shutdown-drain path) mirrors them into the
@@ -680,8 +809,16 @@ fn dispatch_loop(shared: &Shared) {
                     .expect("scheduler poisoned");
                 st = guard;
             }
-            let take = st.queue.len().min(shared.policy.max_batch);
-            st.queue.drain(..take).collect::<Vec<_>>()
+            let (batch, rescued) = admit_batch(
+                &mut st.queue,
+                shared.policy.max_batch,
+                shared.policy.max_queue_wait,
+                Instant::now(),
+            );
+            if rescued > 0 {
+                shared.metrics.starvation_rescues.add(rescued);
+            }
+            batch
         };
 
         // Requests abandoned by their consumer are released here — their
@@ -895,6 +1032,7 @@ mod tests {
         BatchPolicy {
             max_batch,
             max_wait: Duration::from_millis(max_wait_ms),
+            ..BatchPolicy::default()
         }
     }
 
@@ -1198,6 +1336,152 @@ mod tests {
         assert!(matches!(err, LmError::DeadlineExceeded { .. }), "{err}");
         assert_eq!(calls.load(Ordering::SeqCst), 0, "model never called");
         assert_eq!(sched.metrics().retry.deadline_exceeded.get(), 1);
+    }
+
+    fn pending(stream: u64, tag: u32, enqueued: Instant) -> Pending {
+        Pending {
+            context: vec![TokenId(tag)].into(),
+            slot: Arc::new(Slot::default()),
+            enqueued,
+            deadline: None,
+            cancel: None,
+            stream,
+        }
+    }
+
+    fn tags(batch: &[Pending]) -> Vec<u32> {
+        batch.iter().map(|p| p.context[0].0).collect()
+    }
+
+    #[test]
+    fn admission_takes_everything_that_fits() {
+        let now = Instant::now();
+        let mut queue = vec![pending(1, 1, now), pending(1, 2, now), pending(2, 3, now)];
+        let (batch, rescued) = admit_batch(&mut queue, 4, Duration::from_millis(20), now);
+        assert_eq!(tags(&batch), [1, 2, 3]);
+        assert_eq!(rescued, 0);
+        assert!(queue.is_empty());
+    }
+
+    /// The continuous-batching pin: a wide call (stream 1, four
+    /// contexts) contending with a short call (stream 2, one context)
+    /// for a two-slot batch. FIFO would fill both slots from the wide
+    /// call; stream-fair admission deals one slot to each.
+    #[test]
+    fn oversubscribed_batch_is_stream_fair() {
+        let now = Instant::now();
+        let mut queue = vec![
+            pending(1, 1, now),
+            pending(1, 2, now),
+            pending(1, 3, now),
+            pending(1, 4, now),
+            pending(2, 10, now),
+        ];
+        let (batch, rescued) = admit_batch(&mut queue, 2, Duration::from_millis(20), now);
+        assert_eq!(tags(&batch), [1, 10], "one slot per stream, FIFO within");
+        assert_eq!(rescued, 0);
+        assert_eq!(tags(&queue), [2, 3, 4], "remainder keeps its order");
+    }
+
+    /// The starvation-deadline pin: items past `max_queue_wait` are
+    /// admitted ahead of stream fairness. Eight fresh single-item
+    /// streams would win every round-robin slot forever; the two old
+    /// items from the ninth stream jump the line instead.
+    #[test]
+    fn overdue_items_jump_stream_fairness() {
+        let base = Instant::now();
+        let now = base + Duration::from_millis(50);
+        let mut queue: Vec<Pending> = (1..=8)
+            .map(|s| pending(s, s as u32, base + Duration::from_millis(40)))
+            .collect();
+        queue.push(pending(9, 20, base));
+        queue.push(pending(9, 21, base));
+        let (batch, rescued) = admit_batch(&mut queue, 2, Duration::from_millis(45), now);
+        assert_eq!(tags(&batch), [20, 21], "overdue items admitted first");
+        assert_eq!(rescued, 2);
+        assert_eq!(queue.len(), 8);
+    }
+
+    /// A model that records the composition of every batch dispatch.
+    #[derive(Debug)]
+    struct RecordingLm {
+        bpe: Arc<Bpe>,
+        batches: Arc<Mutex<Vec<Vec<Vec<TokenId>>>>>,
+        delay: Duration,
+    }
+
+    impl LanguageModel for RecordingLm {
+        fn vocab(&self) -> &Vocabulary {
+            self.bpe.vocab()
+        }
+        fn score(&self, context: &[TokenId]) -> Logits {
+            std::thread::sleep(self.delay);
+            Logits::constant(self.bpe.vocab().len(), context.len() as f64)
+        }
+        fn try_score_batch(&self, contexts: &[&[TokenId]]) -> Vec<LmResult<Logits>> {
+            self.batches
+                .lock()
+                .unwrap()
+                .push(contexts.iter().map(|c| c.to_vec()).collect());
+            std::thread::sleep(self.delay);
+            contexts
+                .iter()
+                .map(|c| Ok(Logits::constant(self.bpe.vocab().len(), c.len() as f64)))
+                .collect()
+        }
+    }
+
+    /// End-to-end starvation regression: a wide `score_many` (eight
+    /// contexts, one stream) contends with a late one-context request
+    /// for a four-slot batch. Under the old FIFO drain the short request
+    /// dispatched only after *all* wide contexts (third batch); under
+    /// continuous batching it rides in one of the first two dispatches.
+    #[test]
+    fn wide_call_does_not_starve_short_call() {
+        let batches = Arc::new(Mutex::new(Vec::new()));
+        let lm = RecordingLm {
+            bpe: Arc::new(Bpe::char_level("")),
+            batches: Arc::clone(&batches),
+            delay: Duration::from_millis(80),
+        };
+        let sched = Arc::new(Scheduler::new(
+            Box::new(lm),
+            policy(4, 20),
+            Default::default(),
+        ));
+        let victim_ctx = vec![TokenId(99)];
+        std::thread::scope(|s| {
+            let hog = {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let ctxs: Vec<Vec<TokenId>> =
+                        (0..8).map(|i| vec![TokenId(i), TokenId(1)]).collect();
+                    let refs: Vec<&[TokenId]> = ctxs.iter().map(|c| c.as_slice()).collect();
+                    sched.score_many(&refs)
+                })
+            };
+            // Enqueue the victim while the wide call's first batch is
+            // still holding the model (80ms per dispatch).
+            std::thread::sleep(Duration::from_millis(15));
+            let victim = {
+                let sched = Arc::clone(&sched);
+                let ctx = victim_ctx.clone();
+                s.spawn(move || sched.score(&ctx))
+            };
+            hog.join().unwrap();
+            victim.join().unwrap();
+        });
+        let recorded = batches.lock().unwrap();
+        let victim_batch = recorded
+            .iter()
+            .position(|b| b.iter().any(|c| c == &victim_ctx))
+            .expect("victim context was dispatched");
+        assert!(
+            victim_batch <= 1,
+            "short request must not queue behind the whole wide call \
+             (dispatched in batch #{victim_batch} of {})",
+            recorded.len()
+        );
     }
 
     #[test]

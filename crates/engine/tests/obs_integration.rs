@@ -210,6 +210,7 @@ fn scheduler_metrics_record_waits_and_merges() {
         BatchPolicy {
             max_batch: 1,
             max_wait: Duration::ZERO,
+            ..BatchPolicy::default()
         },
         RadixCacheConfig::default(),
         SchedulerObs::default(),

@@ -1,0 +1,196 @@
+//! Router integration: replica fail-over and the multi-replica soak.
+//!
+//! The acceptance bar for the replica pool is *transparency*: whatever
+//! the router does — prefix-affinity placement, load shedding, killing
+//! a replica mid-stream and retrying elsewhere — query results must be
+//! byte-identical to a single-node engine run. Queries are
+//! deterministic in (source, seed), never in placement, so any
+//! divergence is a router bug by construction.
+
+use lmql_engine::{Engine, EngineConfig, Router, RouterConfig, RouterObs};
+use lmql_lm::{ChaosLm, Episode, FaultPlan, LanguageModel, ScriptedLm};
+use lmql_obs::Registry;
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+const QUERIES: [&str; 3] = [
+    "argmax\n    \"A:[X]\"\nfrom \"m\"\nwhere stops_at(X, \".\")\n",
+    "argmax\n    \"B:[X]\"\nfrom \"m\"\nwhere stops_at(X, \".\")\n",
+    "argmax\n    \"C:[X]\"\nfrom \"m\"\nwhere stops_at(X, \".\")\n",
+];
+
+fn episodes() -> Vec<Episode> {
+    vec![
+        Episode::plain("A:", " first answer."),
+        Episode::plain("B:", " second answer."),
+        Episode::plain("C:", " third, longer answer."),
+    ]
+}
+
+fn bpe() -> Arc<Bpe> {
+    Arc::new(Bpe::char_level(""))
+}
+
+fn clean_model(bpe: &Arc<Bpe>) -> Arc<dyn LanguageModel> {
+    Arc::new(ScriptedLm::new(Arc::clone(bpe), episodes()))
+}
+
+fn config(replicas: usize) -> RouterConfig {
+    RouterConfig {
+        replicas,
+        engine: EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        },
+        ..RouterConfig::default()
+    }
+}
+
+/// The byte-exact outcome of one query: every run's trace plus the
+/// exact bits of its log-probability.
+fn outcome(result: &lmql::Result<lmql::QueryResult>) -> Vec<(String, u64)> {
+    result
+        .as_ref()
+        .expect("query must succeed")
+        .runs
+        .iter()
+        .map(|run| (run.trace.clone(), run.log_prob.to_bits()))
+        .collect()
+}
+
+/// A replica dies mid-stream (seeded fatal injection a few decode steps
+/// in); the router must retry the query on a healthy replica, return a
+/// result byte-identical to a single-node run, and count the fail-over.
+#[test]
+fn replica_death_mid_stream_fails_over_byte_identically() {
+    let bpe = bpe();
+    let query = QUERIES[0];
+
+    // Routing is pure in (prompt prefix, replica count), so a clean
+    // probe router tells us which replica the query will land on —
+    // that's the one that gets the doomed backend.
+    let probe = Router::new(clean_model(&bpe), Arc::clone(&bpe), config(3));
+    let doomed = probe.route_for(query);
+
+    let chaos: Arc<dyn LanguageModel> = Arc::new(ChaosLm::new(
+        ScriptedLm::new(Arc::clone(&bpe), episodes()),
+        FaultPlan {
+            seed: 17,
+            // Let the first decode steps stream, then kill the replica:
+            // a fatal injection is non-retryable, so the replica's
+            // engine fails the query and the router must move it.
+            fatal_on_calls: vec![2],
+            ..FaultPlan::default()
+        },
+    ));
+    let clean = clean_model(&bpe);
+    let registry = Registry::new();
+    let router = Router::with_backends(
+        |i| {
+            if i == doomed {
+                Arc::clone(&chaos)
+            } else {
+                Arc::clone(&clean)
+            }
+        },
+        Arc::clone(&bpe),
+        config(3),
+        RouterObs {
+            registry: Some(registry.clone()),
+            ..RouterObs::default()
+        },
+    );
+    assert_eq!(router.route_for(query), doomed, "probe must agree");
+
+    let stream = router.stream_query(query);
+    // Drain events (the doomed attempt's partial events followed by the
+    // healthy retry's full replay), then take the final result.
+    let events = stream.events().count();
+    assert!(events > 0, "the retried attempt must still stream events");
+    let routed = stream.wait();
+
+    let single = Engine::new(clean_model(&bpe), Arc::clone(&bpe), EngineConfig::default());
+    let reference = single.run_queries(&[query]).pop().unwrap();
+    assert_eq!(
+        outcome(&routed),
+        outcome(&reference),
+        "fail-over result must be byte-identical to single-node"
+    );
+
+    let failovers = registry
+        .snapshot()
+        .counter("engine.replica.failover")
+        .unwrap_or(0);
+    assert!(failovers >= 1, "fail-over must be counted, got {failovers}");
+    let stats = router.stats();
+    assert!(
+        stats.replicas.iter().filter(|r| r.queries > 0).count() >= 2,
+        "both the doomed and a healthy replica must have seen the query"
+    );
+}
+
+/// Hundreds of concurrently streamed queries across ≥ 4 replicas come
+/// back byte-identical to a single-node engine — the scale-out soak.
+#[test]
+fn multi_replica_soak_matches_single_node() {
+    let bpe = bpe();
+    let router = Router::new(clean_model(&bpe), Arc::clone(&bpe), config(4));
+
+    // Single-node reference outcomes, one per distinct source.
+    let single = Engine::new(clean_model(&bpe), Arc::clone(&bpe), EngineConfig::default());
+    let reference: Vec<Vec<(String, u64)>> =
+        single.run_queries(&QUERIES).iter().map(outcome).collect();
+
+    // 240 concurrent streams, round-robin over the three sources.
+    let sources: Vec<&str> = (0..240).map(|i| QUERIES[i % QUERIES.len()]).collect();
+    let streams = router.stream_queries(&sources);
+    for (i, stream) in streams.into_iter().enumerate() {
+        let result = stream.wait();
+        assert_eq!(
+            outcome(&result),
+            reference[i % QUERIES.len()],
+            "soak query {i} diverged from single-node"
+        );
+    }
+
+    let stats = router.stats();
+    assert_eq!(stats.routed, 240);
+    assert_eq!(stats.failovers, 0, "healthy pool never fails over");
+    let busy = stats.replicas.iter().filter(|r| r.queries > 0).count();
+    assert!(busy >= 2, "three distinct prefixes should use >1 replica");
+    assert_eq!(
+        stats.replicas.iter().map(|r| r.queries).sum::<u64>(),
+        240,
+        "every query accounted to exactly one replica"
+    );
+}
+
+/// Shared-prefix queries all land on one replica (that is what keeps
+/// the radix caches hot under sharding), and the pool-wide hit rate on
+/// a shared-prefix workload stays high.
+#[test]
+fn shared_prefix_queries_share_a_replica() {
+    let bpe = bpe();
+    let router = Router::new(clean_model(&bpe), Arc::clone(&bpe), config(4));
+    let sources: Vec<String> = (0..24)
+        .map(|i| {
+            let hole = ["X", "Y", "Z"][i % 3];
+            format!("argmax\n    \"A:[{hole}]\"\nfrom \"m\"\nwhere stops_at({hole}, \".\")\n")
+        })
+        .collect();
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    for r in router.run_queries(&refs) {
+        r.expect("query must succeed");
+    }
+    let stats = router.stats();
+    assert_eq!(
+        stats.replicas.iter().filter(|r| r.queries > 0).count(),
+        1,
+        "one shared prompt prefix must map to exactly one replica"
+    );
+    assert!(
+        stats.cache_hit_rate() > 0.5,
+        "shared-prefix workload on one replica must hit its radix cache, got {}",
+        stats.cache_hit_rate()
+    );
+}

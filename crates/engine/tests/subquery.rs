@@ -279,6 +279,7 @@ fn parallel_holes_halve_scheduler_dispatch_rounds() {
         policy: BatchPolicy {
             max_batch: 4,
             max_wait: Duration::from_millis(25),
+            ..BatchPolicy::default()
         },
         ..EngineConfig::default()
     };

@@ -22,9 +22,11 @@
 pub mod chrome;
 
 mod metrics;
+mod router;
 mod stream;
 mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use router::RouterMetrics;
 pub use stream::StreamMetrics;
 pub use trace::{ArgValue, EventKind, SpanGuard, TraceEvent, Tracer};

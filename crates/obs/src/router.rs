@@ -1,0 +1,75 @@
+//! Router (replica-pool) metrics.
+//!
+//! The front-end router fans queries across a pool of replica engines;
+//! these handles report how that fan-out behaves: where queries landed,
+//! how long routing + execution took, how often the router shed load or
+//! failed a query over to a healthy replica. They follow the same
+//! pattern as [`StreamMetrics`](crate::StreamMetrics): always allocated
+//! (a few atomics), registered into a [`Registry`] only when one is
+//! given.
+
+use crate::metrics::{Counter, Histogram, Registry};
+
+/// Metric handles for one router instance.
+#[derive(Debug, Clone, Default)]
+pub struct RouterMetrics {
+    /// Queries routed (admitted and dispatched to a replica).
+    pub queries: Counter,
+    /// End-to-end router latency per query in microseconds: routing
+    /// decision plus replica execution.
+    pub latency_us: Histogram,
+    /// Queries rejected at admission (the router-level BUSY shed).
+    pub shed: Counter,
+    /// Queries retried on another replica after their first replica
+    /// failed mid-query.
+    pub failovers: Counter,
+    /// Routing decisions that bypassed the affinity choice because the
+    /// preferred replica was unhealthy (breaker open).
+    pub rerouted: Counter,
+}
+
+impl RouterMetrics {
+    /// Handles registered into `registry`: `router.queries`,
+    /// `router.latency_us`, `router.shed`, `router.rerouted`, and — the
+    /// fail-over counter queried by the acceptance tests —
+    /// `engine.replica.failover`.
+    pub fn registered(registry: &Registry) -> Self {
+        RouterMetrics {
+            queries: registry.counter("router.queries"),
+            latency_us: registry.histogram("router.latency_us"),
+            shed: registry.counter("router.shed"),
+            failovers: registry.counter("engine.replica.failover"),
+            rerouted: registry.counter("router.rerouted"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_handles_work_unregistered() {
+        let m = RouterMetrics::default();
+        m.queries.inc();
+        m.latency_us.record(800);
+        m.shed.inc();
+        m.failovers.inc();
+        assert_eq!(m.queries.get(), 1);
+        assert_eq!(m.shed.get(), 1);
+        assert_eq!(m.failovers.get(), 1);
+        assert_eq!(m.latency_us.snapshot().count, 1);
+    }
+
+    #[test]
+    fn registered_handles_surface_in_snapshots() {
+        let r = Registry::new();
+        let m = RouterMetrics::registered(&r);
+        m.queries.add(4);
+        m.failovers.inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("router.queries"), Some(4));
+        assert_eq!(snap.counter("engine.replica.failover"), Some(1));
+        assert_eq!(snap.counter("router.shed"), Some(0));
+    }
+}

@@ -12,8 +12,11 @@ use crate::protocol::{
     write_stats, write_tokenizer,
 };
 use lmql::{QueryEvent, Runtime, StreamSink};
-use lmql_engine::{BatchPolicy, BatchedLm, RadixCacheConfig, RadixStats, Scheduler, SchedulerObs};
-use lmql_lm::{LanguageModel, LmError, RetryPolicy};
+use lmql_engine::{
+    router, BatchPolicy, BatchedLm, EngineConfig, RadixCacheConfig, RadixStats, Router,
+    RouterConfig, RouterObs, Scheduler, SchedulerObs,
+};
+use lmql_lm::{LanguageModel, LmError, LmResult, Logits, RetryPolicy};
 use lmql_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, StreamMetrics};
 use lmql_tokenizer::{Bpe, TokenId};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -47,6 +50,18 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Deterministic fault injection for chaos tests (inert by default).
     pub faults: FaultHook,
+    /// Worker groups behind this server. `1` (the default) keeps the
+    /// classic single shared scheduler; `> 1` puts a prefix-affinity
+    /// [`Router`] in front of that many replica engines, each with its
+    /// own scheduler and radix cache (DESIGN.md §15).
+    pub replicas: usize,
+    /// Prefix-affinity routing across replicas (`replicas > 1` only);
+    /// `false` deals queries round-robin — the cache-oblivious baseline.
+    pub affinity: bool,
+    /// Router-level admission cap on concurrently served frames
+    /// (`replicas > 1` only); over budget, frames get a `BUSY` reply.
+    /// `0` (the default) disables query-level shedding.
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +73,9 @@ impl Default for ServerConfig {
             retry: RetryPolicy::default(),
             max_connections: usize::MAX,
             faults: FaultHook::default(),
+            replicas: 1,
+            affinity: true,
+            max_inflight: 0,
         }
     }
 }
@@ -94,9 +112,41 @@ impl ServerMetrics {
     }
 }
 
+/// What serves the model calls behind the wire: the classic single
+/// shared scheduler, or a prefix-affinity replica pool.
+enum Backend {
+    Single(Arc<Scheduler>),
+    Pool(Arc<Router>),
+}
+
+impl Backend {
+    /// Scores one context; `None` means the frame was shed (pool at its
+    /// admission cap) and the caller must answer `BUSY`.
+    fn try_score(&self, ids: &[TokenId]) -> Option<LmResult<Logits>> {
+        match self {
+            Backend::Single(sched) => Some(sched.try_score(ids)),
+            Backend::Pool(pool) => {
+                let _permit = pool.admit()?;
+                Some(pool.try_score(ids))
+            }
+        }
+    }
+
+    /// Scores a batch of contexts; `None` means the frame was shed.
+    fn try_score_many(&self, contexts: &[&[TokenId]]) -> Option<Vec<LmResult<Logits>>> {
+        match self {
+            Backend::Single(sched) => Some(sched.try_score_many(contexts)),
+            Backend::Pool(pool) => {
+                let _permit = pool.admit()?;
+                Some(pool.try_score_many(contexts))
+            }
+        }
+    }
+}
+
 /// Everything a connection handler needs, shared across all handlers.
 struct ConnShared {
-    sched: Arc<Scheduler>,
+    backend: Backend,
     serialized_tokenizer: Arc<String>,
     /// The hosted tokenizer itself — `STREAM` queries decode server-side
     /// and need to encode/mask against it.
@@ -148,18 +198,44 @@ impl InferenceServer {
         let serialized = Arc::new(bpe.to_text());
         let registry = Registry::new();
         let metrics = ServerMetrics::registered(&registry);
-        let sched = Arc::new(Scheduler::with_retry(
-            Box::new(lm),
-            config.policy,
-            config.cache,
-            config.retry,
-            SchedulerObs {
-                registry: Some(registry.clone()),
-                ..SchedulerObs::default()
-            },
-        ));
+        // One replica keeps the classic shared scheduler (its `engine.*`
+        // metrics land in the server registry); more puts the router in
+        // front, whose `router.*` metrics land there instead.
+        let backend = if config.replicas > 1 {
+            Backend::Pool(Arc::new(Router::new_with_obs(
+                lm,
+                Arc::clone(&bpe),
+                RouterConfig {
+                    replicas: config.replicas,
+                    affinity: config.affinity,
+                    max_inflight: config.max_inflight,
+                    engine: EngineConfig {
+                        policy: config.policy,
+                        cache: config.cache,
+                        retry: config.retry,
+                        ..EngineConfig::default()
+                    },
+                    ..RouterConfig::default()
+                },
+                RouterObs {
+                    registry: Some(registry.clone()),
+                    ..RouterObs::default()
+                },
+            )))
+        } else {
+            Backend::Single(Arc::new(Scheduler::with_retry(
+                Box::new(lm),
+                config.policy,
+                config.cache,
+                config.retry,
+                SchedulerObs {
+                    registry: Some(registry.clone()),
+                    ..SchedulerObs::default()
+                },
+            )))
+        };
         let shared = Arc::new(ConnShared {
-            sched: Arc::clone(&sched),
+            backend,
             serialized_tokenizer: serialized,
             bpe,
             stop: Arc::clone(&stop),
@@ -213,7 +289,7 @@ impl InferenceServer {
         Ok(ServerHandle {
             addr,
             stop,
-            sched,
+            shared,
             registry,
             handle: Some(handle),
         })
@@ -285,13 +361,7 @@ fn handle_connection(stream: TcpStream, shared: &ConnShared) -> std::io::Result<
                     line.clear();
                     continue;
                 }
-                let done = respond(
-                    line.trim_end(),
-                    &mut writer,
-                    &shared.sched,
-                    &shared.serialized_tokenizer,
-                    &shared.registry,
-                )?;
+                let done = respond(line.trim_end(), &mut writer, shared)?;
                 shared.metrics.requests.inc();
                 shared
                     .metrics
@@ -386,8 +456,12 @@ fn serve_stream<W: Write>(
     writer: &mut W,
     shared: &ConnShared,
 ) -> std::io::Result<()> {
+    let sched = match &shared.backend {
+        Backend::Single(sched) => sched,
+        Backend::Pool(pool) => return serve_stream_pooled(source, writer, shared, pool),
+    };
     let (sink, events, cancel) = StreamSink::channel();
-    let lm = BatchedLm::with_cancel(Arc::clone(&shared.sched), cancel.clone());
+    let lm = BatchedLm::with_cancel(Arc::clone(sched), cancel.clone());
     let bpe = Arc::clone(&shared.bpe);
     let registry = shared.registry.clone();
     let started = Instant::now();
@@ -464,6 +538,65 @@ fn serve_stream<W: Write>(
     writer.flush()
 }
 
+/// The replica-pool variant of [`serve_stream`]: the query routes
+/// through the [`Router`] (prefix affinity, health fail-over, admission
+/// control) and its events forward to the wire. A shed query answers
+/// with the typed `BUSY` frame. On a replica failure mid-stream the
+/// router retries on a healthy replica and replays the stream from the
+/// start, so the client may see the leading events twice — the terminal
+/// result is byte-identical either way.
+fn serve_stream_pooled<W: Write>(
+    source: &str,
+    writer: &mut W,
+    shared: &ConnShared,
+    pool: &Router,
+) -> std::io::Result<()> {
+    let started = Instant::now();
+    let stream = pool.stream_query(source);
+    let mut saw_token = false;
+    let mut write_failed = false;
+    for event in stream.events() {
+        shared.stream_metrics.events.inc();
+        if !saw_token && matches!(event, QueryEvent::TokenDelta { .. }) {
+            saw_token = true;
+            shared
+                .stream_metrics
+                .first_token_us
+                .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        if write_failed {
+            continue; // drain so the router's sends keep landing
+        }
+        let ok = writeln!(writer, "EVENT {}", event.to_wire())
+            .and_then(|()| writer.flush())
+            .is_ok();
+        if !ok {
+            // The client is gone: stop the query instead of decoding
+            // for nobody.
+            stream.cancel();
+            write_failed = true;
+        }
+    }
+    match stream.wait() {
+        Ok(_) => writeln!(writer, "DONE")?,
+        Err(e) if router::is_busy(&e) => write_busy(writer)?,
+        Err(e) => {
+            if matches!(e, lmql::Error::Cancelled) {
+                shared.stream_metrics.cancelled.inc();
+            }
+            let msg = e.to_string();
+            let transient = msg.contains("transient model error")
+                || msg.contains("model call deadline exceeded");
+            if transient {
+                writeln!(writer, "RETRY {}", msg.replace('\n', " "))?;
+            } else {
+                writeln!(writer, "ERR {}", msg.replace('\n', " "))?;
+            }
+        }
+    }
+    writer.flush()
+}
+
 /// Rejects token ids outside the model's vocabulary. Network input must
 /// never reach the model with ids `score` is not defined on — a panic in
 /// the shared dispatcher would take the whole server down.
@@ -478,32 +611,29 @@ fn check_ids(ids: &[TokenId], vocab_len: usize) -> Result<(), String> {
 }
 
 /// Answers one request line. Returns `true` when the client said `QUIT`.
-fn respond<W: Write>(
-    line: &str,
-    writer: &mut W,
-    sched: &Scheduler,
-    serialized_tokenizer: &str,
-    registry: &Registry,
-) -> std::io::Result<bool> {
+fn respond<W: Write>(line: &str, writer: &mut W, shared: &ConnShared) -> std::io::Result<bool> {
+    let vocab_len = shared.bpe.vocab().len();
     if line == "QUIT" {
         return Ok(true);
     }
     if line == "TOKENIZER" {
-        write_tokenizer(writer, serialized_tokenizer)?;
+        write_tokenizer(writer, &shared.serialized_tokenizer)?;
         return Ok(false);
     }
     if line == "STATS" {
-        write_stats(writer, &registry.snapshot().render_text())?;
+        write_stats(writer, &shared.registry.snapshot().render_text())?;
         return Ok(false);
     }
     if let Some(rest) = line.strip_prefix("SCORE ") {
         match parse_score_request(rest).and_then(|ids| {
-            check_ids(&ids, sched.vocab().len())?;
+            check_ids(&ids, vocab_len)?;
             Ok(ids)
         }) {
-            Ok(ids) => match sched.try_score(&ids) {
-                Ok(logits) => write_logits(writer, &logits)?,
-                Err(e) => write_model_error(writer, &e)?,
+            Ok(ids) => match shared.backend.try_score(&ids) {
+                // The pool shed the frame at its admission cap.
+                None => write_busy(writer)?,
+                Some(Ok(logits)) => write_logits(writer, &logits)?,
+                Some(Err(e)) => write_model_error(writer, &e)?,
             },
             Err(msg) => {
                 writeln!(writer, "ERR {msg}")?;
@@ -515,19 +645,21 @@ fn respond<W: Write>(
     if let Some(rest) = line.strip_prefix("BATCH ") {
         match parse_batch_request(rest).and_then(|contexts| {
             for ctx in &contexts {
-                check_ids(ctx, sched.vocab().len())?;
+                check_ids(ctx, vocab_len)?;
             }
             Ok(contexts)
         }) {
             Ok(contexts) => {
                 let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
-                let results = sched.try_score_many(&refs);
-                // The wire batch reply is all-or-nothing; if any item
-                // failed (after the scheduler's own per-item recovery),
-                // fail the frame and let the client retry it whole.
-                match results.into_iter().collect::<Result<Vec<_>, _>>() {
-                    Ok(all) => write_batch_logits(writer, &all)?,
-                    Err(e) => write_model_error(writer, &e)?,
+                match shared.backend.try_score_many(&refs) {
+                    None => write_busy(writer)?,
+                    // The wire batch reply is all-or-nothing; if any item
+                    // failed (after the scheduler's own per-item recovery),
+                    // fail the frame and let the client retry it whole.
+                    Some(results) => match results.into_iter().collect::<Result<Vec<_>, _>>() {
+                        Ok(all) => write_batch_logits(writer, &all)?,
+                        Err(e) => write_model_error(writer, &e)?,
+                    },
                 }
             }
             Err(msg) => {
@@ -555,13 +687,20 @@ fn write_model_error<W: Write>(writer: &mut W, e: &LmError) -> std::io::Result<(
 }
 
 /// A running server: its address and a way to stop it.
-#[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    sched: Arc<Scheduler>,
+    shared: Arc<ConnShared>,
     registry: Registry,
     handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServerHandle {
@@ -570,9 +709,14 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Counters of the shared prefix cache all connections score through.
+    /// Counters of the prefix cache(s) connections score through: the
+    /// shared scheduler's cache, or — behind a replica pool — every
+    /// replica's cache summed.
     pub fn cache_stats(&self) -> RadixStats {
-        self.sched.cache_stats()
+        match &self.shared.backend {
+            Backend::Single(sched) => sched.cache_stats(),
+            Backend::Pool(pool) => pool.stats().cache_totals(),
+        }
     }
 
     /// The server's metrics registry: `server.*` connection/request
@@ -601,8 +745,11 @@ impl ServerHandle {
             let _ = h.join();
         }
         // Drain queued and in-flight work; late scores from still-running
-        // handlers fall back to inline scoring inside the scheduler.
-        self.sched.shutdown();
+        // handlers fall back to inline scoring inside the scheduler(s).
+        match &self.shared.backend {
+            Backend::Single(sched) => sched.shutdown(),
+            Backend::Pool(pool) => pool.shutdown(),
+        }
     }
 }
 

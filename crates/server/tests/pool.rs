@@ -1,0 +1,119 @@
+//! Replica-pool server acceptance: with `replicas > 1`, `SCORE`,
+//! `BATCH` and `STREAM` frames route through the prefix-affinity
+//! [`Router`](lmql_engine::Router) instead of a single shared
+//! scheduler — and the wire results stay byte-identical to the
+//! single-scheduler server, because routing never changes what a query
+//! computes.
+
+use lmql::Runtime;
+use lmql_lm::{Episode, LanguageModel, ScriptedLm};
+use lmql_server::{InferenceServer, RemoteLm, ServerConfig};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+const QUERY: &str = r#"
+argmax
+    "Q: Where is Apple Computers headquartered?\n"
+    "A:[ANSWER]"
+from "remote-model"
+where stops_at(ANSWER, ".") and len(words(ANSWER)) < 20
+"#;
+
+fn scripted(bpe: &Arc<Bpe>) -> Arc<ScriptedLm> {
+    Arc::new(ScriptedLm::new(
+        Arc::clone(bpe),
+        [Episode::plain(
+            "Q: Where is Apple Computers headquartered?\nA:",
+            " Apple Computers is headquartered in Cupertino, California. And more trivia.",
+        )],
+    ))
+}
+
+fn pooled_server(replicas: usize) -> (lmql_server::ServerHandle, Arc<Bpe>) {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = scripted(&bpe);
+    let server = InferenceServer::spawn_with(
+        lm,
+        Arc::clone(&bpe),
+        ServerConfig {
+            replicas,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    (server, bpe)
+}
+
+#[test]
+fn pooled_scoring_frames_are_bit_identical_to_local() {
+    let (server, bpe) = pooled_server(4);
+    let (remote, remote_bpe) = RemoteLm::connect(server.addr()).unwrap();
+    let reference = scripted(&bpe);
+    for prompt in ["Q:", "Q: Where", "A: Apple"] {
+        let ctx = remote_bpe.encode(prompt);
+        // SCORE frame.
+        let remote_logits = remote.score(&ctx);
+        assert_eq!(remote_logits, reference.score(&ctx), "{prompt:?} SCORE");
+    }
+    // BATCH frame: one decoder step's worth of contexts in one round trip.
+    let contexts: Vec<Vec<lmql_tokenizer::TokenId>> = ["Q:", "A:", "Q: W"]
+        .iter()
+        .map(|p| remote_bpe.encode(p))
+        .collect();
+    let refs: Vec<&[lmql_tokenizer::TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+    let batched = remote.score_batch(&refs);
+    for (ctx, got) in refs.iter().zip(&batched) {
+        assert_eq!(*got, reference.score(ctx), "BATCH item diverged");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pooled_stream_frame_matches_local_run() {
+    let (server, bpe) = pooled_server(4);
+    let (remote, _bpe) = RemoteLm::connect(server.addr()).unwrap();
+    let local = Runtime::new(scripted(&bpe) as Arc<dyn LanguageModel>, Arc::clone(&bpe))
+        .run(QUERY)
+        .unwrap();
+    let rebuilt = remote
+        .stream_query(QUERY, TIMEOUT)
+        .unwrap()
+        .into_result()
+        .unwrap();
+    assert!(rebuilt.error.is_none());
+    assert_eq!(rebuilt.runs.len(), local.runs.len());
+    for (got, want) in rebuilt.runs.iter().zip(&local.runs) {
+        assert_eq!(got.trace, want.trace);
+        assert_eq!(got.log_prob.to_bits(), want.log_prob.to_bits());
+    }
+    // The pool actually served it: router metrics are in the snapshot.
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.counter("router.queries"), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn pooled_admission_cap_answers_busy() {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let lm = scripted(&bpe);
+    let server = InferenceServer::spawn_with(
+        lm,
+        Arc::clone(&bpe),
+        ServerConfig {
+            replicas: 2,
+            max_inflight: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // One frame at a time is fine (the cap is on *concurrent* frames).
+    let (remote, remote_bpe) = RemoteLm::connect(server.addr()).unwrap();
+    let ctx = remote_bpe.encode("Q:");
+    let reference = scripted(&bpe);
+    assert_eq!(remote.score(&ctx), reference.score(&ctx));
+    assert_eq!(server.metrics_snapshot().counter("router.shed"), Some(0));
+    server.shutdown();
+}

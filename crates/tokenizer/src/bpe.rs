@@ -12,6 +12,25 @@ use std::sync::Mutex;
 /// Character every out-of-alphabet character is replaced with on encode.
 const UNKNOWN_CHAR: char = '?';
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(hash: u64, id: TokenId) -> u64 {
+    id.0.to_le_bytes()
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// FNV-1a hash over the first `max_tokens` ids of an already-tokenized
+/// context — the same key [`Bpe::prefix_fingerprint`] derives from text,
+/// so text-routed queries and token-routed scoring requests with the
+/// same prompt prefix land on the same shard. Zero allocation.
+pub fn fingerprint_tokens(ids: &[TokenId], max_tokens: usize) -> u64 {
+    ids.iter()
+        .take(max_tokens)
+        .fold(FNV_OFFSET, |h, &id| fnv_fold(h, id))
+}
+
 /// Configures and runs BPE training.
 ///
 /// # Example
@@ -331,6 +350,56 @@ impl Bpe {
             .collect()
     }
 
+    /// FNV-1a hash over the first `max_tokens` token ids of `text`'s
+    /// encoding — the routing key for prefix-affinity sharding.
+    ///
+    /// Equivalent to hashing `encode(text)` truncated to `max_tokens`,
+    /// but derived without materialising a token `Vec`: chunks stream
+    /// through [`chunks`](crate::chunks) (no per-call chunk list) and
+    /// their ids are folded straight out of the shared encode cache. On
+    /// the steady-state path — every chunk already cached, which is
+    /// exactly the shared-prefix traffic affinity routing exists for —
+    /// this performs **zero allocations**, pinned by the workspace
+    /// `alloc_budget` tests. Only a chunk's first-ever sighting pays the
+    /// encode (and caches it for `encode` to reuse, and vice versa).
+    pub fn prefix_fingerprint(&self, text: &str, max_tokens: usize) -> u64 {
+        let mut hash = FNV_OFFSET;
+        if max_tokens == 0 {
+            return hash;
+        }
+        let mut taken = 0usize;
+        for chunk in crate::pretokenize::chunks(text) {
+            let cache = self.cache.lock().expect("bpe cache poisoned");
+            if let Some(ids) = cache.get(chunk) {
+                for &id in ids {
+                    hash = fnv_fold(hash, id);
+                    taken += 1;
+                    if taken == max_tokens {
+                        return hash;
+                    }
+                }
+            } else {
+                drop(cache);
+                let ids = self.encode_chunk(chunk);
+                for &id in &ids {
+                    hash = fnv_fold(hash, id);
+                    taken += 1;
+                    if taken == max_tokens {
+                        break;
+                    }
+                }
+                self.cache
+                    .lock()
+                    .expect("bpe cache poisoned")
+                    .insert(chunk.to_owned(), ids);
+                if taken == max_tokens {
+                    return hash;
+                }
+            }
+        }
+        hash
+    }
+
     /// Decodes token ids back to text (special tokens are skipped).
     ///
     /// # Panics
@@ -412,6 +481,65 @@ mod tests {
     fn token_count_matches_encode_len() {
         let bpe = BpeTrainer::new().merges(30).train(CORPUS);
         assert_eq!(bpe.token_count("the cat"), bpe.encode("the cat").len());
+    }
+
+    /// The fingerprint is a pure function of the first `max_tokens` ids
+    /// of the encoding: texts sharing that token prefix collide (that is
+    /// the affinity-routing contract), texts differing within it do not.
+    #[test]
+    fn prefix_fingerprint_tracks_token_prefix() {
+        let bpe = BpeTrainer::new().merges(60).train(CORPUS);
+        let a = "the cat sat on the mat. first tail";
+        let b = "the cat sat on the mat. second ending";
+        let shared = bpe
+            .encode(a)
+            .iter()
+            .zip(bpe.encode(b).iter())
+            .take_while(|(x, y)| x == y)
+            .count();
+        assert!(shared >= 4, "test premise: prompts share a token prefix");
+        assert_eq!(
+            bpe.prefix_fingerprint(a, shared),
+            bpe.prefix_fingerprint(b, shared),
+            "same first {shared} tokens, same key"
+        );
+        assert_ne!(
+            bpe.prefix_fingerprint("the cat sat", 8),
+            bpe.prefix_fingerprint("a bat and", 8),
+            "different prefixes get different keys"
+        );
+        // Stable across repeated calls (cold cache vs. warm cache).
+        assert_eq!(bpe.prefix_fingerprint(a, 6), bpe.prefix_fingerprint(a, 6));
+        // A text shorter than the budget hashes all of its tokens.
+        let full = bpe.encode("the cat").len();
+        assert_eq!(
+            bpe.prefix_fingerprint("the cat", full),
+            bpe.prefix_fingerprint("the cat", full + 100)
+        );
+        // Text-derived and token-derived keys agree, so scoring requests
+        // carrying raw token contexts shard with their source queries.
+        assert_eq!(
+            bpe.prefix_fingerprint(a, 7),
+            fingerprint_tokens(&bpe.encode(a), 7)
+        );
+    }
+
+    #[test]
+    fn chunk_iterator_matches_pretokenize() {
+        for text in [
+            "She sells, yes\n twice",
+            "  double  spaces ",
+            "line\nbreaks\n\nhere",
+            "punct, and. more! <<3*4=12>>",
+            "",
+            " ",
+            "\n",
+            "a",
+            "trailing space ",
+        ] {
+            let streamed: Vec<&str> = crate::chunks(text).collect();
+            assert_eq!(streamed, crate::pretokenize(text), "case {text:?}");
+        }
     }
 
     #[test]

@@ -33,8 +33,8 @@ mod token_set;
 mod trie;
 mod vocab;
 
-pub use bpe::{Bpe, BpeTrainer};
-pub use pretokenize::pretokenize;
+pub use bpe::{fingerprint_tokens, Bpe, BpeTrainer};
+pub use pretokenize::{chunks, pretokenize, Chunks};
 pub use token_set::TokenSet;
 pub use trie::TokenTrie;
 pub use vocab::{TokenId, Vocabulary};

@@ -26,70 +26,67 @@
 /// assert_eq!(chunks.concat(), "She sells, yes\n twice");
 /// ```
 pub fn pretokenize(text: &str) -> Vec<&str> {
-    let mut chunks = Vec::new();
-    let bytes = text.char_indices().collect::<Vec<_>>();
-    let n = bytes.len();
-    let mut i = 0;
-
-    let class = |c: char| -> u8 {
-        if c == '\n' {
-            0
-        } else if c == ' ' {
-            1
-        } else if c.is_alphanumeric() {
-            2
-        } else {
-            3 // punctuation / symbols / other whitespace
-        }
-    };
-
-    while i < n {
-        let (start_byte, c) = bytes[i];
-        match class(c) {
-            0 => {
-                // newline: own chunk
-                let end = byte_end(&bytes, i, text);
-                chunks.push(&text[start_byte..end]);
-                i += 1;
-            }
-            1 => {
-                // A space: attach to following run if it is a word run.
-                if i + 1 < n && matches!(class(bytes[i + 1].1), 2 | 3) {
-                    let run_class = class(bytes[i + 1].1);
-                    let mut j = i + 1;
-                    while j < n && class(bytes[j].1) == run_class {
-                        j += 1;
-                    }
-                    let end = if j < n { bytes[j].0 } else { text.len() };
-                    chunks.push(&text[start_byte..end]);
-                    i = j;
-                } else {
-                    // space before space/newline/EOT: own chunk
-                    let end = byte_end(&bytes, i, text);
-                    chunks.push(&text[start_byte..end]);
-                    i += 1;
-                }
-            }
-            run_class @ (2 | 3) => {
-                let mut j = i;
-                while j < n && class(bytes[j].1) == run_class {
-                    j += 1;
-                }
-                let end = if j < n { bytes[j].0 } else { text.len() };
-                chunks.push(&text[start_byte..end]);
-                i = j;
-            }
-            _ => unreachable!("class() only returns 0..=3"),
-        }
-    }
-    chunks
+    chunks(text).collect()
 }
 
-fn byte_end(bytes: &[(usize, char)], i: usize, text: &str) -> usize {
-    if i + 1 < bytes.len() {
-        bytes[i + 1].0
+/// Streaming variant of [`pretokenize`]: yields the same chunks in the
+/// same order without allocating. This is the hot-path entry for callers
+/// that only *consume* chunks (the router's prefix fingerprint, token
+/// counting) and must not pay a `Vec` per call.
+pub fn chunks(text: &str) -> Chunks<'_> {
+    Chunks { text, pos: 0 }
+}
+
+fn class(c: char) -> u8 {
+    if c == '\n' {
+        0
+    } else if c == ' ' {
+        1
+    } else if c.is_alphanumeric() {
+        2
     } else {
-        text.len()
+        3 // punctuation / symbols / other whitespace
+    }
+}
+
+/// Iterator over pretokenisation chunks; see [`chunks`].
+#[derive(Debug, Clone)]
+pub struct Chunks<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Iterator for Chunks<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let rest = &self.text[self.pos..];
+        let mut it = rest.char_indices().peekable();
+        let (_, c) = it.next()?;
+        // Length of the chunk, relative to `rest`.
+        let mut len = c.len_utf8();
+        let run_class = match class(c) {
+            0 => None, // newline: always its own chunk
+            1 => match it.peek() {
+                // A space attaches to a following word/punct run …
+                Some(&(_, c2)) if matches!(class(c2), 2 | 3) => Some(class(c2)),
+                // … and stands alone before space/newline/end of text.
+                _ => None,
+            },
+            run_class => Some(run_class),
+        };
+        if let Some(run_class) = run_class {
+            while let Some(&(off, c2)) = it.peek() {
+                if class(c2) != run_class {
+                    break;
+                }
+                len = off + c2.len_utf8();
+                it.next();
+            }
+        }
+        let start = self.pos;
+        self.pos += len;
+        Some(&self.text[start..start + len])
     }
 }
 

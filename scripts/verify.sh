@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full verification: formatting, lints, release build, tests.
 #
-# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --parallel | --bench-smoke | --bench-publish]
+# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --parallel | --router | --bench-smoke | --bench-publish]
 #   --slow    also runs the proptest suites (slow-tests feature)
 #   --quick   build + tests only (skips rustfmt/clippy; useful where the
 #             toolchain components are not installed)
@@ -25,14 +25,22 @@
 #             tests (with the >=2x dispatch-round pin), the streaming
 #             drop-cancels-tree regression, plus an
 #             `lmql-run --no-parallel-holes` bisection smoke run
+#   --router  scale-out router suites only (DESIGN.md §15): router unit
+#             tests (affinity hashing, admission, health-aware routing),
+#             the replica fail-over + multi-replica soak acceptance
+#             tests, the pooled-server wire suite, the scheduler
+#             starvation regression, the zero-alloc prefix-key budget
+#             pin, plus an `lmql-run --replicas` bisection smoke run
 #   --bench-smoke  runs the masking/followmap benches with a tiny
-#             measurement budget plus the mask and decode benchmark
-#             binaries, writing smoke-level JSON to target/bench/ (never
-#             the committed BENCH_*.json); asserts the allocs/step
-#             budgets for both, so it is safe to gate merges on
+#             measurement budget plus the mask, decode and router
+#             benchmark binaries, writing smoke-level JSON to
+#             target/bench/ (never the committed BENCH_*.json); asserts
+#             the allocs/step budgets and the router's >=2x affinity
+#             hit-rate advantage, so it is safe to gate merges on
 #   --bench-publish  full-budget benchmark run that rewrites the
-#             committed BENCH_mask.json and BENCH_decode.json in place;
-#             run manually (or nightly) on quiet hardware
+#             committed BENCH_mask.json, BENCH_decode.json and
+#             BENCH_router.json in place; run manually (or nightly) on
+#             quiet hardware
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,10 +54,11 @@ case "${1:-}" in
     --automata) MODE=automata ;;
     --decode) MODE=decode ;;
     --parallel) MODE=parallel ;;
+    --router) MODE=router ;;
     --bench-smoke) MODE=bench-smoke ;;
     --bench-publish) MODE=bench-publish ;;
     *)
-        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --parallel | --bench-smoke | --bench-publish]" >&2
+        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --parallel | --router | --bench-smoke | --bench-publish]" >&2
         exit 2
         ;;
 esac
@@ -79,6 +88,13 @@ if [[ "$MODE" == bench-smoke ]]; then
     echo "==> bench_decode (target/bench/BENCH_decode.json, alloc budget ${DECODE_ALLOC_BUDGET}/step)"
     LMQL_BENCH_ALLOC_BUDGET="$DECODE_ALLOC_BUDGET" \
         cargo run -q --release -p lmql-bench --bin bench_decode -- --out target/bench/BENCH_decode.json
+    # The affinity advantage is a property of the routing policy, not the
+    # hardware, so even the smoke budget gates on the >=2x acceptance
+    # floor from DESIGN.md §15.
+    echo "==> bench_router (target/bench/BENCH_router.json, min advantage ${LMQL_BENCH_ROUTER_MIN_ADVANTAGE:-2.0}x)"
+    LMQL_BENCH_ROUTER_REPEATS="${LMQL_BENCH_ROUTER_REPEATS:-4}" \
+        LMQL_BENCH_ROUTER_MIN_ADVANTAGE="${LMQL_BENCH_ROUTER_MIN_ADVANTAGE:-2.0}" \
+        cargo run -q --release -p lmql-bench --bin bench_router -- --out target/bench/BENCH_router.json
     echo "==> OK"
     exit 0
 fi
@@ -92,6 +108,9 @@ if [[ "$MODE" == bench-publish ]]; then
     echo "==> bench_decode (publishing BENCH_decode.json)"
     LMQL_BENCH_ALLOC_BUDGET="$DECODE_ALLOC_BUDGET" \
         cargo run -q --release -p lmql-bench --bin bench_decode -- --out BENCH_decode.json
+    echo "==> bench_router (publishing BENCH_router.json)"
+    LMQL_BENCH_ROUTER_MIN_ADVANTAGE="${LMQL_BENCH_ROUTER_MIN_ADVANTAGE:-2.0}" \
+        cargo run -q --release -p lmql-bench --bin bench_router -- --out BENCH_router.json
     echo "==> OK"
     exit 0
 fi
@@ -125,6 +144,35 @@ if [[ "$MODE" == parallel ]]; then
     SEQ_OUT="$(cargo run -q --bin lmql-run -- "$QUERY_FILE" --max-tokens 12 --no-parallel-holes)"
     if [[ "$PAR_OUT" != "$SEQ_OUT" ]]; then
         echo "error: lmql-run output differs with --no-parallel-holes" >&2
+        exit 1
+    fi
+    echo "==> OK"
+    exit 0
+fi
+
+if [[ "$MODE" == router ]]; then
+    echo "==> scale-out router suites (prefix affinity + fail-over + admission)"
+    cargo test -q -p lmql-engine --lib router
+    cargo test -q -p lmql-engine --test router
+    cargo test -q -p lmql-engine --lib sched
+    cargo test -q -p lmql-server --test pool
+    cargo test -q -p lmql --test alloc_budget router_prefix
+    echo "==> lmql-run --replicas bisection smoke"
+    QUERY_FILE="$(mktemp /tmp/lmql-router-smoke.XXXXXX.lmql)"
+    trap 'rm -f "$QUERY_FILE"' EXIT
+    printf '%s\n' \
+        'argmax' \
+        '    "A list of things not to forget when travelling:\n-[THING]"' \
+        'from "ngram"' \
+        'where stops_at(THING, "\n")' > "$QUERY_FILE"
+    # The result blocks must be byte-identical across the single-runtime
+    # path, the pooled path, and the pooled round-robin path; only the
+    # usage footer differs, so strip it before comparing.
+    ONE_OUT="$(cargo run -q --bin lmql-run -- "$QUERY_FILE" --max-tokens 16 | grep -v '^--- usage:')"
+    POOL_OUT="$(cargo run -q --bin lmql-run -- "$QUERY_FILE" --max-tokens 16 --replicas 3 | grep -v '^--- usage:')"
+    RR_OUT="$(cargo run -q --bin lmql-run -- "$QUERY_FILE" --max-tokens 16 --replicas 3 --no-affinity | grep -v '^--- usage:')"
+    if [[ "$ONE_OUT" != "$POOL_OUT" || "$ONE_OUT" != "$RR_OUT" ]]; then
+        echo "error: lmql-run output differs with --replicas/--no-affinity" >&2
         exit 1
     fi
     echo "==> OK"

@@ -9,7 +9,7 @@
 //!     [--seed N] [--max-tokens N] [--stream] [--trace] \
 //!     [--trace-json <path>] [--metrics] \
 //!     [--retries N] [--timeout-ms N] [--chaos <seed>] [--no-automata]
-//!     [--no-parallel-holes]
+//!     [--no-parallel-holes] [--replicas N] [--no-affinity]
 //! ```
 //!
 //! `--stream` prints the model output live, token by token, as the
@@ -40,6 +40,13 @@
 //! (DESIGN.md §14), forcing strictly sequential hole decoding — the
 //! analogous bisection switch for the dependency-scheduled decode path
 //! (results are byte-identical either way by construction).
+//!
+//! `--replicas N` (N > 1) runs the query through the scale-out
+//! [`Router`](lmql_engine::Router) (DESIGN.md §15) over N in-process
+//! replica engines instead of a single runtime — results are
+//! byte-identical by construction, making this the bisection switch for
+//! the pooled path. `--no-affinity` swaps prefix-affinity routing for
+//! round-robin, isolating routing-policy effects from the pool itself.
 //!
 //! Example:
 //!
@@ -76,6 +83,8 @@ struct Args {
     chaos: Option<u64>,
     no_automata: bool,
     no_parallel_holes: bool,
+    replicas: usize,
+    no_affinity: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
         chaos: None,
         no_automata: false,
         no_parallel_holes: false,
+        replicas: 1,
+        no_affinity: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -155,13 +166,22 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-automata" => out.no_automata = true,
             "--no-parallel-holes" => out.no_parallel_holes = true,
+            "--replicas" => {
+                out.replicas = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--replicas takes a count >= 1")?
+            }
+            "--no-affinity" => out.no_affinity = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: lmql-run <query.lmql> [--model ngram|script:<trigger>=<completion>] \
                             [--bind NAME=VALUE]… [--engine exact|symbolic] [--seed N] \
                             [--max-tokens N] [--stream] [--trace] [--trace-json <path>] \
                             [--metrics] [--format] [--retries N] [--timeout-ms N] \
-                            [--chaos <seed>] [--no-automata] [--no-parallel-holes]"
+                            [--chaos <seed>] [--no-automata] [--no-parallel-holes] \
+                            [--replicas N] [--no-affinity]"
                         .to_owned(),
                 )
             }
@@ -237,6 +257,10 @@ fn run() -> Result<(), String> {
     } else {
         lm
     };
+
+    if args.replicas > 1 {
+        return run_pooled(&args, &source, lm, bpe, chaos_stats.as_ref());
+    }
 
     let mut runtime = Runtime::new(lm, bpe);
     runtime.options_mut().engine = args.engine;
@@ -329,6 +353,126 @@ fn run() -> Result<(), String> {
         "--- usage: {} model queries, {} decoder calls, {} billable tokens ---",
         usage.model_queries, usage.decoder_calls, usage.billable_tokens
     );
+    Ok(())
+}
+
+/// The `--replicas N` path: run the query through the scale-out
+/// [`Router`](lmql_engine::Router) instead of a single [`Runtime`]. The
+/// configure hook re-applies every option the direct path sets on its
+/// runtime — once per attempt, so a fail-over retry decodes under
+/// identical settings and the result stays byte-identical.
+fn run_pooled(
+    args: &Args,
+    source: &str,
+    lm: Arc<dyn lmql_lm::LanguageModel>,
+    bpe: Arc<lmql_tokenizer::Bpe>,
+    chaos_stats: Option<&ChaosStats>,
+) -> Result<(), String> {
+    if args.trace {
+        return Err(
+            "--trace needs the single-runtime decoder graph; with --replicas use --trace-json \
+             for spans instead"
+                .to_owned(),
+        );
+    }
+    let tracer = if args.trace_json.is_some() {
+        lmql_obs::Tracer::recording()
+    } else {
+        lmql_obs::Tracer::disabled()
+    };
+    let registry = lmql_obs::Registry::new();
+    let router = lmql_engine::Router::new_with_obs(
+        lm,
+        bpe,
+        lmql_engine::RouterConfig {
+            replicas: args.replicas,
+            affinity: !args.no_affinity,
+            ..lmql_engine::RouterConfig::default()
+        },
+        lmql_engine::RouterObs {
+            tracer: tracer.clone(),
+            registry: args.metrics.then(|| registry.clone()),
+        },
+    );
+
+    let configure = {
+        let engine = args.engine;
+        let seed = args.seed;
+        let max_tokens = args.max_tokens;
+        let no_automata = args.no_automata;
+        let no_parallel_holes = args.no_parallel_holes;
+        let binds = args.binds.clone();
+        move |rt: &mut Runtime| {
+            rt.options_mut().engine = engine;
+            rt.options_mut().seed = seed;
+            rt.options_mut().max_tokens_per_hole = max_tokens;
+            if no_automata {
+                rt.options_mut().mask.automata = false;
+            }
+            if no_parallel_holes {
+                rt.options_mut().parallel_holes = false;
+            }
+            for (k, v) in &binds {
+                rt.bind(k, Value::Str(v.clone()));
+            }
+        }
+    };
+
+    if args.stream {
+        let stream = router.stream_query_with(source, configure);
+        for event in stream.events() {
+            let text = match &event {
+                QueryEvent::PromptChunk { path: 0, text } => text.as_str(),
+                QueryEvent::TokenDelta { path: 0, text, .. } => text.as_str(),
+                _ => continue,
+            };
+            print!("{text}");
+            let _ = std::io::stdout().flush();
+        }
+        let result = stream.wait().map_err(|e| e.to_string())?;
+        println!();
+        println!("--- result ---");
+        print_result(&result);
+    } else {
+        let result = router
+            .run_query_with(source, configure)
+            .map_err(|e| e.to_string())?;
+        print_result(&result);
+    }
+
+    if let Some(path) = &args.trace_json {
+        let json = lmql_obs::chrome::to_chrome_json(&tracer.events());
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace written to {path} (load in chrome://tracing)");
+    }
+
+    if args.metrics {
+        println!("--- metrics ---");
+        print!("{}", registry.snapshot().render_text());
+    }
+
+    if let Some(stats) = chaos_stats {
+        println!(
+            "--- chaos: {} faults injected ({} errors, {} truncations, {} latency spikes) — all absorbed ---",
+            stats.total_faults(),
+            stats.errors.get(),
+            stats.truncations.get(),
+            stats.latency_spikes.get()
+        );
+    }
+
+    // Pooled runs have no single runtime meter; the replica engines
+    // meter model dispatches (after caching / single-flighting), so sum
+    // those plus the prefix-cache totals across the pool.
+    let stats = router.stats();
+    let model_queries: u64 = stats.replicas.iter().map(|r| r.usage.model_queries).sum();
+    let cache = stats.cache_totals();
+    println!(
+        "--- usage: {} model queries, {} prefix-cache hits ({} misses) \
+         (pooled: {} replicas, {} routed, {} failovers) ---",
+        model_queries, cache.hits, cache.misses, args.replicas, stats.routed, stats.failovers
+    );
+    router.shutdown();
     Ok(())
 }
 
