@@ -1,0 +1,75 @@
+//! Long-context QA with Standard Decoding: stuff the whole context —
+//! corpus, haystack or chat history — into the prompt and generate
+//! chunk-wise until a stopping phrase, re-billing the full prompt on
+//! every call. The baseline side of the retrieval-augmented workloads
+//! (DESIGN.md §16): it has no retrieval tool, so its only option is to
+//! pay for all of the context on every decoder call.
+
+use crate::parsing::{earliest_stop, StopSpec};
+use crate::Generator;
+
+/// A prompt-everything completion task for the baseline.
+#[derive(Debug, Clone)]
+pub struct LongContextTask<'a> {
+    /// The full prompt, context and question included.
+    pub prompt: &'a str,
+    /// Stopping phrase ending the answer (dropped from the output).
+    pub stop: &'a str,
+    /// Tokens per `generate()` call.
+    pub chunk_size: usize,
+    /// Upper bound on `generate()` calls.
+    pub max_chunks: usize,
+}
+
+/// Generates chunk-wise until `task.stop` (or EOS / the chunk budget)
+/// and returns the accumulated output truncated at the stop phrase.
+pub fn complete(generator: &Generator, task: &LongContextTask<'_>) -> String {
+    let mut acc = String::new();
+    for _ in 0..task.max_chunks {
+        let chunk = generator.generate(&format!("{}{acc}", task.prompt), task.chunk_size);
+        if chunk.is_empty() {
+            break; // EOS
+        }
+        acc.push_str(&chunk);
+        if let Some(cut) = earliest_stop(&acc, &[StopSpec::exclusive(task.stop)]) {
+            acc.truncate(cut);
+            return acc;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmql_lm::{Episode, ScriptedLm, UsageMeter};
+    use std::sync::Arc;
+
+    #[test]
+    fn stops_at_phrase_and_bills_prompt_per_chunk() {
+        let bpe = Arc::new(lmql_tokenizer::Bpe::char_level(""));
+        let lm = Arc::new(ScriptedLm::new(
+            Arc::clone(&bpe),
+            [Episode::plain("Answer:", " forty two END plus noise")],
+        ));
+        let meter = UsageMeter::new();
+        let generator = Generator::new(lm, bpe, meter.clone());
+        let out = complete(
+            &generator,
+            &LongContextTask {
+                prompt: "Some very long context here.\nAnswer:",
+                stop: " END",
+                chunk_size: 6,
+                max_chunks: 8,
+            },
+        );
+        assert_eq!(out, " forty two");
+        // Each chunk call re-bills the whole prompt.
+        let usage = meter.snapshot();
+        assert!(usage.decoder_calls >= 2, "{usage:?}");
+        assert!(
+            usage.billable_tokens > 2 * "Some very long context here.\nAnswer:".len() as u64,
+            "{usage:?}"
+        );
+    }
+}

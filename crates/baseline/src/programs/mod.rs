@@ -3,6 +3,7 @@
 
 pub mod arith;
 pub mod cot;
+pub mod longctx;
 pub mod react;
 
 /// Source text of the baseline programs, for the Table 4 LOC comparison.

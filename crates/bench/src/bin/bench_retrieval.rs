@@ -1,0 +1,140 @@
+//! Retrieval-workload benchmark: the three DESIGN.md §16 scenarios
+//! (retrieval-augmented QA, iterative needle-finding, chat with
+//! declarative retention) as a paper-style metric table — accuracy,
+//! decoder calls, model queries, billable tokens — for the
+//! prompt-everything chunk-wise baseline vs. LMQL with first-class
+//! tools. Emits `BENCH_retrieval.json`.
+//!
+//! Usage: `bench_retrieval [--out PATH]` (default `BENCH_retrieval.json`).
+//! `LMQL_BENCH_RETRIEVAL_N` overrides the instances-per-scenario count.
+//!
+//! The retrieval-augmented QA scenario is the smoke gate: LMQL must beat
+//! the chunk-wise baseline on billable tokens (by at least
+//! `LMQL_BENCH_RETRIEVAL_MIN_SAVINGS`, a ratio defaulting to 2.0) or the
+//! binary exits 1 — the number that justifies the tool API's existence.
+
+use lmql_bench::experiments::retrieval_exp::{self, ScenarioRow};
+use lmql_bench::experiments::Stats;
+use lmql_retrieval::{Bm25Index, ChunkConfig, FactCorpus};
+use std::time::Instant;
+
+fn stats_json(s: &Stats) -> String {
+    format!(
+        "{{\"accuracy\": {:.3}, \"decoder_calls\": {:.2}, \"model_queries\": {:.2}, \
+         \"billable_tokens\": {:.1}}}",
+        s.accuracy(),
+        s.avg_decoder_calls(),
+        s.avg_model_queries(),
+        s.avg_billable_tokens()
+    )
+}
+
+fn print_row(row: &ScenarioRow) {
+    for (side, s) in [("baseline", &row.baseline), ("lmql", &row.lmql)] {
+        println!(
+            "bench: {:<13}/{side:<8} acc {:.2}  decoder calls {:>6.2}  model queries {:>8.2}  \
+             billable tokens {:>9.1}",
+            row.name,
+            s.accuracy(),
+            s.avg_decoder_calls(),
+            s.avg_model_queries(),
+            s.avg_billable_tokens()
+        );
+    }
+    println!(
+        "bench: {:<13}/savings  {:.2}x billable tokens ({} tool calls, {} context tokens)",
+        row.name,
+        row.baseline.avg_billable_tokens() / row.lmql.avg_billable_tokens().max(1.0),
+        row.tool_calls,
+        row.context_tokens
+    );
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_retrieval.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n: usize = std::env::var("LMQL_BENCH_RETRIEVAL_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let min_savings: f64 = std::env::var("LMQL_BENCH_RETRIEVAL_MIN_SAVINGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    // Index-build microbenchmark: the fixed cost the tool API adds.
+    let corpus = FactCorpus::generate(24, 17);
+    let build_start = Instant::now();
+    let index = Bm25Index::build(&corpus.documents, ChunkConfig::default());
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let query_start = Instant::now();
+    for q in &corpus.questions {
+        let _ = index.search(&q.question, 3);
+    }
+    let query_secs = query_start.elapsed().as_secs_f64() / corpus.questions.len().max(1) as f64;
+    println!(
+        "bench: index build {:.1} chunks/ms, search {:.3} ms/query ({} chunks, {} terms)",
+        index.len() as f64 / (build_secs * 1e3).max(1e-9),
+        query_secs * 1e3,
+        index.len(),
+        index.term_count()
+    );
+
+    let rows = retrieval_exp::run_all(n, 17, 32);
+    for row in &rows {
+        print_row(row);
+    }
+
+    let rows_json: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "    {{\"scenario\": \"{}\", \"context_tokens\": {}, \"tool_calls\": {}, \
+                 \"baseline\": {}, \"lmql\": {}}}",
+                row.name,
+                row.context_tokens,
+                row.tool_calls,
+                stats_json(&row.baseline),
+                stats_json(&row.lmql)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"retrieval\",\n  \"instances_per_scenario\": {n},\n  \
+         \"index\": {{\"chunks\": {}, \"terms\": {}, \"build_secs\": {:.6}, \
+         \"search_secs_per_query\": {:.6}}},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        index.len(),
+        index.term_count(),
+        build_secs,
+        query_secs,
+        rows_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_retrieval.json");
+    println!("wrote {out_path}");
+
+    // Smoke gates: every scenario must be solved, and retrieval-augmented
+    // QA must beat prompt-everything on billable tokens.
+    for row in &rows {
+        if row.lmql.accuracy() < 1.0 {
+            eprintln!("bench: SCENARIO {} NOT SOLVED BY LMQL SIDE", row.name);
+            std::process::exit(1);
+        }
+    }
+    let qa = &rows[0];
+    let savings = qa.baseline.avg_billable_tokens() / qa.lmql.avg_billable_tokens().max(1.0);
+    if savings < min_savings {
+        eprintln!(
+            "bench: RETRIEVAL QA SAVINGS BELOW BUDGET: {savings:.2}x < required {min_savings:.2}x"
+        );
+        std::process::exit(1);
+    }
+}

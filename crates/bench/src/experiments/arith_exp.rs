@@ -6,7 +6,8 @@ use crate::queries;
 use lmql::{Runtime, Value};
 use lmql_baseline::programs::arith as baseline_arith;
 use lmql_baseline::Generator;
-use lmql_datasets::{calculator, gsm8k, ModelProfile};
+use lmql_datasets::tools::CalculatorTool;
+use lmql_datasets::{gsm8k, ModelProfile};
 use lmql_lm::{corpus, Episode, ScriptedLm, UsageMeter};
 use std::sync::Arc;
 
@@ -53,12 +54,7 @@ pub fn run(profile: &ModelProfile, n: usize, seed: u64, chunk_size: usize) -> Ar
 
         // LMQL: on-the-fly evaluation in one decoder run.
         let mut rt = Runtime::new(lm, Arc::clone(&bpe));
-        rt.register_external("calculator", "run", |args| {
-            let expr = args[0].as_str().ok_or("run expects a string")?;
-            calculator::run(expr)
-                .map(Value::Int)
-                .map_err(|e| e.to_string())
-        });
+        rt.register_tool(Arc::new(CalculatorTool));
         rt.bind("FEWSHOT", Value::Str(gsm8k::FEW_SHOT.into()));
         rt.bind("QUESTION", Value::Str(inst.question.clone()));
         let result = rt.run(queries::ARITHMETIC).expect("query runs");

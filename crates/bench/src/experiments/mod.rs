@@ -4,6 +4,7 @@
 pub mod arith_exp;
 pub mod cot;
 pub mod react_exp;
+pub mod retrieval_exp;
 
 use lmql_lm::Usage;
 

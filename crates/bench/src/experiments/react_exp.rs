@@ -6,6 +6,7 @@ use crate::queries;
 use lmql::{Runtime, Value};
 use lmql_baseline::programs::react as baseline_react;
 use lmql_baseline::Generator;
+use lmql_datasets::tools::WikiTool;
 use lmql_datasets::wiki::MiniWiki;
 use lmql_datasets::{hotpot, ModelProfile};
 use lmql_lm::{corpus, Episode, ScriptedLm, UsageMeter};
@@ -51,11 +52,7 @@ pub fn run(profile: &ModelProfile, n: usize, seed: u64, chunk_size: usize) -> Re
 
         // LMQL: one decoder run with real lookups from the query body.
         let mut rt = Runtime::new(lm, Arc::clone(&bpe));
-        let wiki_for_query = wiki.clone();
-        rt.register_external("wikipedia_utils", "search", move |args| {
-            let q = args[0].as_str().ok_or("search expects a string")?;
-            Ok(Value::Str(wiki_for_query.search(q)))
-        });
+        rt.register_tool(Arc::new(WikiTool::new(wiki.clone())));
         rt.bind("FEWSHOT", Value::Str(hotpot::FEW_SHOT.into()));
         rt.bind("QUESTION", Value::Str(inst.question.clone()));
         let result = rt.run(queries::REACT).expect("query runs");

@@ -31,4 +31,10 @@ pub mod queries {
     pub const REACT: &str = include_str!("../queries/react.lmql");
     /// Fig. 13: arithmetic reasoning with a calculator tool.
     pub const ARITHMETIC: &str = include_str!("../queries/arithmetic.lmql");
+    /// Retrieval-augmented QA over a BM25-indexed corpus (DESIGN.md §16).
+    pub const RETRIEVAL_QA: &str = include_str!("../queries/retrieval_qa.lmql");
+    /// Iterative needle-in-a-haystack search via the retrieval tool.
+    pub const NEEDLE: &str = include_str!("../queries/needle.lmql");
+    /// Multi-turn chat with declarative context retention/recall.
+    pub const CHAT: &str = include_str!("../queries/chat.lmql");
 }

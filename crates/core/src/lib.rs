@@ -64,6 +64,7 @@ mod parallel;
 mod program;
 mod request;
 mod runtime;
+mod tool;
 mod value;
 
 pub use beam::{run_beam_search, FinishedBeam};
@@ -84,4 +85,5 @@ pub use stream::{
     EventSink, QueryEvent, ReassembledQuery, ReassembledRun, ReassembledSubquery, Reassembler,
     StreamSink, WireError,
 };
+pub use tool::{FnTool, Tool, ToolFunction, ToolRegistry, ToolSchema};
 pub use value::Value;

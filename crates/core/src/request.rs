@@ -11,8 +11,10 @@
 
 use crate::constraints::{MaskConfig, MaskEngine};
 use crate::stream::StreamSink;
+use crate::tool::{Tool, ToolRegistry};
 use crate::Value;
 use lmql_lm::RetryPolicy;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One query execution, fully described: source, decoding overrides,
@@ -56,6 +58,7 @@ pub struct QueryRequest {
     deadline: Option<Duration>,
     sink: Option<StreamSink>,
     bindings: Vec<(String, Value)>,
+    tools: ToolRegistry,
 }
 
 impl QueryRequest {
@@ -77,6 +80,7 @@ impl QueryRequest {
             deadline: None,
             sink: None,
             bindings: Vec::new(),
+            tools: ToolRegistry::new(),
         }
     }
 
@@ -176,6 +180,28 @@ impl QueryRequest {
     /// This request's bindings (override the runtime's, by name).
     pub fn bindings(&self) -> &[(String, Value)] {
         &self.bindings
+    }
+
+    /// Registers a [`Tool`] for this request only: its functions are
+    /// callable during this execution (subqueries included) without
+    /// touching the runtime's registry.
+    pub fn tool(mut self, tool: Arc<dyn Tool>) -> Self {
+        self.tools.register(tool);
+        self
+    }
+
+    /// Merges a whole [`ToolRegistry`] into this request (shared call
+    /// counters — usage through this request is visible on `registry`).
+    pub fn tools(mut self, registry: &ToolRegistry) -> Self {
+        self.tools.merge(registry);
+        self
+    }
+
+    /// The per-request tool registry (empty unless
+    /// [`tool`](QueryRequest::tool)/[`tools`](QueryRequest::tools) was
+    /// called).
+    pub fn tool_registry(&self) -> &ToolRegistry {
+        &self.tools
     }
 
     /// The effective retry policy: the explicit one, with the deadline

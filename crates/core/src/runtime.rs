@@ -7,6 +7,7 @@ use crate::decode::{decode_hole_traced, DecodeOptions, DecodedValue, Pick};
 use crate::interp::{Externals, HoleRecord, Step, VmState};
 use crate::program::Instr;
 use crate::stream::{EventSink, QueryEvent, StreamSink};
+use crate::tool::{FnTool, Tool, ToolRegistry};
 use crate::{compile_source, Error, Program, QueryRequest, Result, Value};
 use lmql_lm::{CachedLm, LanguageModel, MeteredLm, RetryLm, UsageMeter};
 use lmql_tokenizer::{Bpe, TokenId};
@@ -127,6 +128,7 @@ pub struct Runtime {
     lm: Arc<dyn LanguageModel>,
     bpe: Arc<Bpe>,
     externals: Externals,
+    tools: ToolRegistry,
     custom_ops: CustomOps,
     bindings: Vec<(String, Value)>,
     meter: UsageMeter,
@@ -167,6 +169,7 @@ impl Runtime {
             lm,
             bpe,
             externals: Externals::new(),
+            tools: ToolRegistry::new(),
             custom_ops: CustomOps::new(),
             bindings: Vec::new(),
             meter: UsageMeter::new(),
@@ -250,11 +253,44 @@ impl Runtime {
 
     /// Registers an external function callable as `module.func(args)`
     /// (after `import module` in the query).
+    ///
+    /// **Deprecated** in favour of [`Runtime::register_tool`]: this is
+    /// now a thin adapter that wraps the closure in an [`FnTool`] and
+    /// registers it, so the call appears in [`Runtime::tools`] under the
+    /// name `"module.func"` and is billed like any other tool. Kept for
+    /// one release; prefer implementing [`Tool`] (or constructing an
+    /// [`FnTool`] directly) so the capability carries a schema.
     pub fn register_external<F>(&mut self, module: &str, func: &str, f: F)
     where
         F: Fn(&[Value]) -> std::result::Result<Value, String> + Send + Sync + 'static,
     {
-        self.externals.register(module, func, f);
+        self.register_tool(Arc::new(FnTool::new(module, func, f)));
+    }
+
+    /// Registers a first-class [`Tool`]: every function in its schema
+    /// becomes callable as `module.func(args…)` (after `import module`
+    /// in the query), with per-tool call accounting in
+    /// [`Runtime::tools`]. Replaces any tool previously registered under
+    /// the same [`Tool::name`].
+    pub fn register_tool(&mut self, tool: Arc<dyn Tool>) {
+        let single = ToolRegistry::new().with(tool);
+        single.install(&mut self.externals);
+        self.tools.merge(&single);
+    }
+
+    /// Installs a whole [`ToolRegistry`], replacing this runtime's
+    /// registry (the engine seeds worker runtimes this way, so replicas
+    /// and the parent share call counters). Functions of previously
+    /// registered tools remain callable unless shadowed by a same-named
+    /// `module.func` in `tools`.
+    pub fn set_tools(&mut self, tools: ToolRegistry) {
+        tools.install(&mut self.externals);
+        self.tools = tools;
+    }
+
+    /// The registered tools and their call accounting.
+    pub fn tools(&self) -> &ToolRegistry {
+        &self.tools
     }
 
     /// Registers a user-defined constraint operator (Appendix A.1),
@@ -360,7 +396,41 @@ impl Runtime {
             }
             merged
         };
-        self.run_program_full(&program, &lm, &options, &bindings, None)
+        if request.tool_registry().is_empty() {
+            self.run_program_full(&program, &lm, &options, &bindings, None)
+        } else {
+            // Per-request tools: run on a scoped fork of this runtime
+            // with the request's registry merged in, so the additions
+            // are visible to this call only (subqueries included — the
+            // fork's externals seed the subquery tree).
+            let scoped = self.fork_with_tools(request.tool_registry());
+            scoped.run_program_full(&program, &lm, &options, &bindings, None)
+        }
+    }
+
+    /// A scoped fork of this runtime with `extra` tools merged in. All
+    /// shared state (meter, memo, caches, metrics) is shared with the
+    /// original; only the externals/tool surface differs.
+    fn fork_with_tools(&self, extra: &ToolRegistry) -> Runtime {
+        let mut externals = self.externals.clone();
+        extra.install(&mut externals);
+        let mut tools = self.tools.clone();
+        tools.merge(extra);
+        Runtime {
+            lm: Arc::clone(&self.lm),
+            bpe: Arc::clone(&self.bpe),
+            externals,
+            tools,
+            custom_ops: self.custom_ops.clone(),
+            bindings: self.bindings.clone(),
+            meter: self.meter.clone(),
+            options: self.options.clone(),
+            mask_memo: self.mask_memo.clone(),
+            automata_cache: self.automata_cache.clone(),
+            metrics: self.metrics.clone(),
+            subqueries: self.subqueries,
+            subquery_ctx: self.subquery_ctx.clone(),
+        }
     }
 
     fn run_program_inner(
@@ -384,6 +454,11 @@ impl Runtime {
     ) -> Result<QueryResult> {
         let sink = options.sink.clone();
         let outcome = self.run_program_dispatch(program, lm, options, bindings, debug);
+        if let Some(registry) = &self.metrics {
+            if !self.tools.is_empty() {
+                self.tools.report_metrics(registry);
+            }
+        }
         if sink.is_active() {
             match &outcome {
                 Ok((_, ranking)) => {
@@ -436,6 +511,7 @@ impl Runtime {
                         lm: Arc::clone(lm),
                         bpe: Arc::clone(&self.bpe),
                         externals: self.externals.clone(),
+                        tools: self.tools.clone(),
                         custom_ops: self.custom_ops.clone(),
                         meter: self.meter.clone(),
                         options: {
@@ -1088,6 +1164,9 @@ struct SubqueryShared {
     lm: Arc<dyn LanguageModel>,
     bpe: Arc<Bpe>,
     externals: Externals,
+    /// The root's tool registry: children inherit it (shared call
+    /// counters), so tool accounting rolls up the subquery tree.
+    tools: ToolRegistry,
     custom_ops: CustomOps,
     meter: UsageMeter,
     /// The root run's effective options with the sink cleared; each
@@ -1177,6 +1256,7 @@ fn run_subquery(
         lm: Arc::clone(&shared.lm),
         bpe: Arc::clone(&shared.bpe),
         externals: shared.externals.clone(),
+        tools: shared.tools.clone(),
         custom_ops: shared.custom_ops.clone(),
         bindings: Vec::new(),
         meter: shared.meter.clone(),

@@ -11,7 +11,9 @@
 //! - [`wiki`] — a mini in-memory encyclopedia with keyword search,
 //! - [`hotpot`] — two-hop questions over the mini wiki (ReAct workload),
 //! - [`gsm8k`] — arithmetic word problems with per-step expressions,
-//! - [`calculator`] — the external arithmetic evaluator tool.
+//! - [`calculator`] — the external arithmetic evaluator tool,
+//! - [`tools`] — calculator and wiki lookup as first-class LMQL
+//!   [`Tool`](lmql::Tool)s (DESIGN.md §16).
 //!
 //! Instances also carry the *intended model behaviour* (ideal reasoning
 //! text, a possibly-wrong model answer, optional digressions) so the
@@ -23,6 +25,7 @@ pub mod date_understanding;
 pub mod gsm8k;
 pub mod hotpot;
 pub mod odd_one_out;
+pub mod tools;
 pub mod wiki;
 
 mod words;

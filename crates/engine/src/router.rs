@@ -44,7 +44,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 /// Tunables for a [`Router`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RouterConfig {
     /// Replica engines in the pool (each its own scheduler + caches).
     pub replicas: usize,
@@ -398,7 +398,10 @@ impl Router {
                 let engine = Engine::new_with_obs(
                     backend(i),
                     Arc::clone(&bpe),
-                    config.engine,
+                    // Each replica gets a clone of the engine config;
+                    // the tool registry's call counters are shared by
+                    // cloning, so pool-wide tool usage stays one rollup.
+                    config.engine.clone(),
                     EngineObs {
                         tracer: obs.tracer.clone(),
                         registry: None,

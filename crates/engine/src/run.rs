@@ -16,7 +16,7 @@
 use crate::radix::{RadixCacheConfig, RadixStats};
 use crate::sched::{BatchPolicy, BatchedLm, Scheduler, SchedulerObs};
 use lmql::constraints::{AutomataCache, MaskMemo};
-use lmql::{EventSink, QueryEvent, QueryResult, Runtime, StreamSink, SubqueryLimits};
+use lmql::{EventSink, QueryEvent, QueryResult, Runtime, StreamSink, SubqueryLimits, ToolRegistry};
 use lmql_lm::{CancelToken, LanguageModel, MeteredLm, RetryPolicy, Usage, UsageMeter};
 use lmql_obs::{Registry, StreamMetrics, Tracer};
 use lmql_tokenizer::Bpe;
@@ -25,7 +25,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 /// Tunables for an [`Engine`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
     /// Worker threads for [`Engine::run_queries`]. `0` (the default)
     /// uses the machine's available parallelism.
@@ -41,13 +41,17 @@ pub struct EngineConfig {
     /// Depth/budget limits on the `subquery(...)` trees queries may
     /// spawn (applied to every worker runtime).
     pub subquery: SubqueryLimits,
+    /// First-class tools installed on every worker runtime (DESIGN.md
+    /// §16). Replicas seeded from one config share the registry's call
+    /// counters, so tool usage rolls up across the pool.
+    pub tools: ToolRegistry,
 }
 
 /// Observability hooks for an [`Engine`]: a trace recorder shared by the
 /// scheduler and every worker [`Runtime`], and an optional metrics
 /// registry collecting `engine.*` and `lm.*` metrics. Both default to
-/// off/absent and are free in that state ([`EngineConfig`] stays `Copy`;
-/// these hooks ride separately through [`Engine::new_with_obs`]).
+/// off/absent and are free in that state (configuration stays plain
+/// data; these hooks ride separately through [`Engine::new_with_obs`]).
 #[derive(Debug, Clone, Default)]
 pub struct EngineObs {
     /// Trace recorder: per-hole decode, mask, cache and batch-dispatch
@@ -111,6 +115,8 @@ pub struct Engine {
     automata: Arc<AutomataCache>,
     /// Subquery tree limits applied to every worker runtime.
     subquery: SubqueryLimits,
+    /// Tools installed on every worker runtime.
+    tools: ToolRegistry,
 }
 
 impl std::fmt::Debug for Engine {
@@ -181,7 +187,14 @@ impl Engine {
             mask_memo: MaskMemo::new(1024),
             automata: AutomataCache::new(),
             subquery: config.subquery,
+            tools: config.tools,
         }
+    }
+
+    /// The engine's tool registry (installed on every worker runtime;
+    /// [`ToolRegistry::usage`] here is the pool-wide rollup).
+    pub fn tools(&self) -> &ToolRegistry {
+        &self.tools
     }
 
     /// A [`LanguageModel`] handle routing through this engine's
@@ -277,6 +290,9 @@ impl Engine {
                     rt.set_mask_memo(Arc::clone(&self.mask_memo));
                     rt.set_automata_cache(Arc::clone(&self.automata));
                     rt.set_subquery_limits(self.subquery);
+                    if !self.tools.is_empty() {
+                        rt.set_tools(self.tools.clone());
+                    }
                     if let Some(registry) = &self.registry {
                         rt.set_metrics_registry(registry.clone());
                     }
@@ -354,6 +370,7 @@ impl Engine {
         let mask_memo = Arc::clone(&self.mask_memo);
         let automata = Arc::clone(&self.automata);
         let subquery = self.subquery;
+        let tools = self.tools.clone();
         let source = source.to_owned();
         std::thread::Builder::new()
             .name("lmql-engine-stream".to_owned())
@@ -363,6 +380,9 @@ impl Engine {
                 rt.set_mask_memo(mask_memo);
                 rt.set_automata_cache(automata);
                 rt.set_subquery_limits(subquery);
+                if !tools.is_empty() {
+                    rt.set_tools(tools);
+                }
                 if let Some(registry) = &registry {
                     rt.set_metrics_registry(registry.clone());
                 }

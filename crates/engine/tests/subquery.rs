@@ -289,7 +289,7 @@ fn parallel_holes_halve_scheduler_dispatch_rounds() {
         let engine = Engine::new_with_obs(
             lm,
             bpe,
-            config,
+            config.clone(),
             EngineObs {
                 tracer: Tracer::disabled(),
                 registry: Some(registry.clone()),

@@ -1,0 +1,372 @@
+//! A chunked inverted index with BM25 ranking.
+//!
+//! Documents are split into fixed-size word chunks (with overlap, so a
+//! fact straddling a boundary is whole in at least one chunk), terms
+//! are lowercased alphanumeric words, and queries rank chunks by the
+//! classic BM25 weight. Everything about the ranking is deterministic:
+//! scores compare by `f64::total_cmp` and ties break on ascending chunk
+//! id, so the same corpus and query produce the same hit list on every
+//! run and platform — decoders clone and replay executions, and a tool
+//! that reordered equal-scored hits between replays would desynchronise
+//! beams.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// BM25 term-frequency saturation parameter (standard value).
+const K1: f64 = 1.2;
+/// BM25 length-normalisation parameter (standard value).
+const B: f64 = 0.75;
+
+/// One source document handed to [`Bm25Index::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Display title (searchable, prepended to the first chunk's text
+    /// weight by being part of the document body is *not* done — titles
+    /// are metadata only).
+    pub title: String,
+    /// Full text.
+    pub text: String,
+}
+
+impl Document {
+    /// A document.
+    pub fn new(title: impl Into<String>, text: impl Into<String>) -> Self {
+        Document {
+            title: title.into(),
+            text: text.into(),
+        }
+    }
+}
+
+/// Chunking tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkConfig {
+    /// Maximum words per chunk.
+    pub chunk_words: usize,
+    /// Words of overlap between consecutive chunks of one document.
+    pub overlap_words: usize,
+}
+
+impl Default for ChunkConfig {
+    fn default() -> Self {
+        ChunkConfig {
+            chunk_words: 48,
+            overlap_words: 8,
+        }
+    }
+}
+
+/// One indexed chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Index of the source document in build order.
+    pub doc: usize,
+    /// Position of this chunk within its document (0-based).
+    pub seq: usize,
+    /// The chunk text (whitespace-normalised).
+    pub text: String,
+}
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Index into [`Bm25Index::chunks`].
+    pub chunk: usize,
+    /// BM25 relevance score (> 0; zero-scored chunks are not returned).
+    pub score: f64,
+}
+
+/// The inverted index: chunked corpus + per-term postings with BM25
+/// scoring.
+#[derive(Debug, Clone)]
+pub struct Bm25Index {
+    chunks: Vec<Chunk>,
+    /// term → (chunk id, term frequency), ascending chunk id. A
+    /// `BTreeMap` keeps iteration order (and thus floating-point
+    /// accumulation order) independent of hash seeding.
+    postings: BTreeMap<String, Vec<(usize, u32)>>,
+    /// Words per chunk, parallel to `chunks`.
+    lengths: Vec<u32>,
+    avg_len: f64,
+}
+
+/// Lowercased alphanumeric terms of `text`, in order.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut terms = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            terms.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        terms.push(current);
+    }
+    terms
+}
+
+/// Splits `text` into whitespace words, grouped into overlapping chunks.
+fn chunk_words(text: &str, config: ChunkConfig) -> Vec<String> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    if words.is_empty() {
+        return Vec::new();
+    }
+    let size = config.chunk_words.max(1);
+    let stride = size.saturating_sub(config.overlap_words).max(1);
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    loop {
+        let end = (start + size).min(words.len());
+        chunks.push(words[start..end].join(" "));
+        if end == words.len() {
+            return chunks;
+        }
+        start += stride;
+    }
+}
+
+impl Bm25Index {
+    /// Chunks and indexes `docs`.
+    pub fn build(docs: &[Document], config: ChunkConfig) -> Self {
+        let mut chunks = Vec::new();
+        let mut postings: BTreeMap<String, Vec<(usize, u32)>> = BTreeMap::new();
+        let mut lengths = Vec::new();
+        for (doc_id, doc) in docs.iter().enumerate() {
+            for (seq, text) in chunk_words(&doc.text, config).into_iter().enumerate() {
+                let chunk_id = chunks.len();
+                let terms = tokenize(&text);
+                lengths.push(terms.len() as u32);
+                let mut freqs: HashMap<String, u32> = HashMap::new();
+                for term in terms {
+                    *freqs.entry(term).or_insert(0) += 1;
+                }
+                for (term, tf) in freqs {
+                    postings.entry(term).or_default().push((chunk_id, tf));
+                }
+                chunks.push(Chunk {
+                    doc: doc_id,
+                    seq,
+                    text,
+                });
+            }
+        }
+        // Postings were appended in ascending chunk id per term already;
+        // sort anyway so the invariant survives refactors of the loop.
+        for list in postings.values_mut() {
+            list.sort_unstable_by_key(|(chunk, _)| *chunk);
+        }
+        let avg_len = if lengths.is_empty() {
+            0.0
+        } else {
+            lengths.iter().map(|&l| l as f64).sum::<f64>() / lengths.len() as f64
+        };
+        Bm25Index {
+            chunks,
+            postings,
+            lengths,
+            avg_len,
+        }
+    }
+
+    /// The indexed chunks, in document/chunk order.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// Number of indexed chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the index holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Distinct indexed terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The top-`k` chunks for `query` by BM25 score, descending;
+    /// equal scores break on ascending chunk id. Only chunks matching
+    /// at least one query term are returned, so fewer than `k` hits
+    /// (or none) is possible.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        if k == 0 || self.chunks.is_empty() {
+            return Vec::new();
+        }
+        let n = self.chunks.len() as f64;
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        let mut query_terms = tokenize(query);
+        // Score each distinct term once (duplicate query terms would
+        // double-weight without changing the ranking semantics we want).
+        query_terms.sort_unstable();
+        query_terms.dedup();
+        for term in &query_terms {
+            let Some(list) = self.postings.get(term) else {
+                continue;
+            };
+            let df = list.len() as f64;
+            // BM25+-style floor: keep idf positive for very common terms.
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for &(chunk, tf) in list {
+                let tf = tf as f64;
+                let len_norm = 1.0 - B + B * (self.lengths[chunk] as f64 / self.avg_len.max(1.0));
+                let weight = idf * (tf * (K1 + 1.0)) / (tf + K1 * len_norm);
+                *scores.entry(chunk).or_insert(0.0) += weight;
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(chunk, score)| SearchHit { chunk, score })
+            .collect();
+        hits.sort_unstable_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.chunk.cmp(&b.chunk))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// The texts of the top-`k` chunks for `query`, best first.
+    pub fn search_texts(&self, query: &str, k: usize) -> Vec<&str> {
+        self.search(query, k)
+            .into_iter()
+            .map(|h| self.chunks[h.chunk].text.as_str())
+            .collect()
+    }
+}
+
+/// Candidate answer spans of `text`: maximal runs of capitalised words
+/// (proper-noun phrases) plus standalone numbers, deduplicated in first-
+/// appearance order. Sentence-initial function words are filtered by a
+/// small stoplist, which is reliable on the controlled synthetic corpora
+/// this crate bundles (it is a heuristic, not NLP).
+pub fn answer_spans(text: &str) -> Vec<String> {
+    const STOP: &[&str] = &[
+        "A", "An", "The", "It", "Its", "In", "On", "At", "Of", "For", "And", "But", "This", "That",
+        "These", "Those", "There", "Is", "Are", "Was", "Were", "Not", "No", "Yes",
+    ];
+    fn flush(run: &mut Vec<String>, spans: &mut Vec<String>) {
+        if !run.is_empty() {
+            let span = run.join(" ");
+            if !spans.contains(&span) {
+                spans.push(span);
+            }
+            run.clear();
+        }
+    }
+    let mut spans: Vec<String> = Vec::new();
+    let mut run: Vec<String> = Vec::new();
+    for word in text.split_whitespace() {
+        let clean = word.trim_matches(|c: char| !c.is_alphanumeric());
+        let capitalised =
+            clean.chars().next().is_some_and(char::is_uppercase) && !STOP.contains(&clean);
+        let numeric = !clean.is_empty() && clean.chars().all(|c| c.is_ascii_digit());
+        if capitalised || numeric {
+            run.push(clean.to_owned());
+        } else {
+            flush(&mut run, &mut spans);
+        }
+        // A word ending a sentence ends its span run even if capitalised.
+        if word.ends_with(['.', '!', '?', ';', ':']) {
+            flush(&mut run, &mut spans);
+        }
+    }
+    flush(&mut run, &mut spans);
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Document> {
+        vec![
+            Document::new(
+                "Aurelia",
+                "The capital of Aurelia is Castellan. The currency of Aurelia is the florin.",
+            ),
+            Document::new(
+                "Borenia",
+                "The capital of Borenia is Veltara. Borenia exports timber and salt.",
+            ),
+            Document::new(
+                "Filler",
+                "Rivers flow through valleys. Markets open at dawn and close at dusk.",
+            ),
+        ]
+    }
+
+    #[test]
+    fn search_finds_the_relevant_chunk() {
+        let index = Bm25Index::build(&corpus(), ChunkConfig::default());
+        let hits = index.search("capital of Aurelia", 2);
+        assert!(!hits.is_empty());
+        assert!(index.chunks()[hits[0].chunk].text.contains("Castellan"));
+    }
+
+    #[test]
+    fn ranking_is_deterministic_across_rebuilds() {
+        let a = Bm25Index::build(&corpus(), ChunkConfig::default());
+        let b = Bm25Index::build(&corpus(), ChunkConfig::default());
+        for query in ["capital", "Aurelia florin", "timber salt", "dawn"] {
+            assert_eq!(a.search(query, 10), b.search(query, 10), "query {query}");
+        }
+    }
+
+    #[test]
+    fn equal_scores_break_on_chunk_id() {
+        // Two identical documents: identical scores, ascending ids.
+        let docs = vec![
+            Document::new("x", "alpha beta gamma"),
+            Document::new("y", "alpha beta gamma"),
+        ];
+        let index = Bm25Index::build(&docs, ChunkConfig::default());
+        let hits = index.search("alpha", 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].score, hits[1].score);
+        assert!(hits[0].chunk < hits[1].chunk);
+    }
+
+    #[test]
+    fn chunking_overlaps_and_covers() {
+        let words: Vec<String> = (0..100).map(|i| format!("w{i}")).collect();
+        let text = words.join(" ");
+        let cfg = ChunkConfig {
+            chunk_words: 30,
+            overlap_words: 10,
+        };
+        let chunks = chunk_words(&text, cfg);
+        assert!(chunks.len() > 3);
+        // Consecutive chunks share their overlap.
+        for pair in chunks.windows(2) {
+            let first: Vec<&str> = pair[0].split_whitespace().collect();
+            let second: Vec<&str> = pair[1].split_whitespace().collect();
+            assert_eq!(first[first.len() - 10..], second[..10]);
+        }
+        // Every word appears somewhere.
+        let joined = chunks.join(" ");
+        for w in &words {
+            assert!(joined.contains(w.as_str()));
+        }
+    }
+
+    #[test]
+    fn unmatched_query_returns_no_hits() {
+        let index = Bm25Index::build(&corpus(), ChunkConfig::default());
+        assert!(index.search("zzz qqq", 5).is_empty());
+    }
+
+    #[test]
+    fn answer_spans_extracts_proper_nouns_and_numbers() {
+        let spans = answer_spans(
+            "The capital of Aurelia is Castellan. It was founded in 1482 by Mira Voss.",
+        );
+        assert_eq!(spans, vec!["Aurelia", "Castellan", "1482", "Mira Voss"]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Retrieval-augmented and long-context workloads (ROADMAP item 4,
+//! DESIGN.md §16).
+//!
+//! The paper's augmented queries call *point* tools (a calculator, a
+//! wiki lookup). This crate opens the next workload family: queries
+//! over corpora too large to prompt wholesale, where the query body
+//! *retrieves* evidence mid-decode and the `where` clause *constrains*
+//! the answer to retrieved spans (`ANSWER in retrieved_spans` — the
+//! dynamic-set constraint, masked by the unchanged FOLLOW machinery).
+//!
+//! - [`bm25`] — a chunked inverted index with BM25 ranking and strictly
+//!   deterministic tie-breaks (same corpus + query ⇒ same ranking, on
+//!   every platform; decoders replay tool calls, so this is a
+//!   correctness requirement, not a nicety),
+//! - [`corpus`] — a seeded synthetic fact corpus with gold QA pairs,
+//!   plus a plain-text loader (`lmql-run --corpus`),
+//! - [`niah`] — a needle-in-a-haystack generator for long-context
+//!   search evals (filler haystack + planted needle facts),
+//! - [`tool`] — [`RetrievalTool`]: the index as a first-class
+//!   [`lmql::Tool`] exporting `retrieval.search` / `retrieval.spans`,
+//! - [`session`] — a multi-turn chat store with a declarative
+//!   retention/eviction policy, exposed as the `context` tool.
+
+pub mod bm25;
+pub mod corpus;
+pub mod niah;
+pub mod session;
+pub mod tool;
+
+pub use bm25::{Bm25Index, Chunk, ChunkConfig, Document, SearchHit};
+pub use corpus::{load_plain_text, FactCorpus, QaInstance};
+pub use niah::NiahCorpus;
+pub use session::{ChatSession, RetentionPolicy, SessionTool, Turn};
+pub use tool::RetrievalTool;

@@ -1,0 +1,168 @@
+//! Needle-in-a-haystack corpus generation for long-context evals.
+//!
+//! The rustrlm repo's `generate_s_niah.py` pattern, Rust-native and
+//! seeded: a haystack of repetitive filler documents with `needles` —
+//! single planted fact sentences ("The access code for the Meridian
+//! vault is 4172.") — inserted at seeded positions. A long-context
+//! query cannot prompt the whole haystack; it must *find* the needle
+//! (here: by iterative retrieval) and then answer under the
+//! `ANSWER in retrieved_spans` constraint.
+
+use crate::bm25::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Invented project names the needles attach to (capitalised, so the
+/// needle subject — but not the filler — survives span extraction).
+const PROJECTS: &[&str] = &[
+    "Meridian",
+    "Copperfield",
+    "Halcyon",
+    "Ironwood",
+    "Larkspur",
+    "Nocturne",
+    "Palisade",
+    "Quicksilver",
+    "Riverbed",
+    "Saffron",
+    "Tallgrass",
+    "Umberline",
+    "Vantage",
+    "Willowbark",
+    "Yellowstone",
+    "Zephyr",
+];
+
+/// Filler sentence stock — deliberately lowercase-content so filler
+/// never contributes answer spans.
+const FILLER: &[&str] = &[
+    "the quarterly report restates figures from the previous appendix.",
+    "meeting minutes were circulated to all departments for review.",
+    "the maintenance window was extended by several hours overnight.",
+    "inventory counts reconcile against the ledger at month end.",
+    "the shuttle schedule changes during the holiday period.",
+    "staff are reminded to renew their access badges before expiry.",
+    "the cafeteria menu rotates on a two week cycle.",
+    "archived records move to cold storage after five years.",
+];
+
+/// One planted needle: the fact sentence and its gold answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Needle {
+    /// Project the fact is about (appears in the question).
+    pub project: String,
+    /// The gold answer (a 4-digit code: always a clean span).
+    pub code: String,
+    /// Index of the haystack document holding the needle.
+    pub doc: usize,
+}
+
+/// A generated haystack with its planted needles.
+#[derive(Debug, Clone)]
+pub struct NiahCorpus {
+    /// The haystack documents, needles embedded.
+    pub documents: Vec<Document>,
+    /// The planted needles, in plant order.
+    pub needles: Vec<Needle>,
+}
+
+impl NiahCorpus {
+    /// Generates `docs` filler documents of roughly `sentences_per_doc`
+    /// sentences, planting one needle per entry of `needles` distinct
+    /// projects, seeded.
+    pub fn generate(docs: usize, sentences_per_doc: usize, needles: usize, seed: u64) -> Self {
+        assert!(needles <= docs, "at most one needle per document");
+        assert!(needles <= PROJECTS.len(), "project name stock exhausted");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Needle placement: distinct documents, seeded choice.
+        let mut slots: Vec<usize> = (0..docs).collect();
+        for i in (1..slots.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            slots.swap(i, j);
+        }
+        let mut planted = Vec::new();
+        let mut documents = Vec::with_capacity(docs);
+        for doc_id in 0..docs {
+            let mut sentences: Vec<String> = (0..sentences_per_doc)
+                .map(|_| FILLER[rng.gen_range(0..FILLER.len())].to_owned())
+                .collect();
+            if let Some(nth) = slots[..needles].iter().position(|&s| s == doc_id) {
+                let project = PROJECTS[nth].to_owned();
+                let code = format!("{}", rng.gen_range(1000..10_000));
+                let sentence = format!("The access code for the {project} vault is {code}.");
+                let at = rng.gen_range(0..sentences.len() + 1);
+                sentences.insert(at, sentence);
+                planted.push(Needle {
+                    project,
+                    code,
+                    doc: doc_id,
+                });
+            }
+            documents.push(Document::new(
+                format!("memo-{doc_id:04}"),
+                sentences.join(" "),
+            ));
+        }
+        // Keep needles in project-stock order for stable iteration.
+        planted.sort_by_key(|n| n.doc);
+        NiahCorpus {
+            documents,
+            needles: planted,
+        }
+    }
+
+    /// The question asking for `needle`'s code.
+    pub fn question(needle: &Needle) -> String {
+        format!("What is the access code for the {} vault?", needle.project)
+    }
+
+    /// Total corpus size in whitespace words — the "context length" a
+    /// prompt-everything baseline would pay for.
+    pub fn total_words(&self) -> usize {
+        self.documents
+            .iter()
+            .map(|d| d.text.split_whitespace().count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bm25::{answer_spans, Bm25Index, ChunkConfig};
+
+    #[test]
+    fn generation_is_seeded() {
+        let a = NiahCorpus::generate(20, 12, 4, 11);
+        let b = NiahCorpus::generate(20, 12, 4, 11);
+        assert_eq!(a.documents, b.documents);
+        assert_eq!(a.needles, b.needles);
+        assert_eq!(a.needles.len(), 4);
+    }
+
+    #[test]
+    fn needles_sit_in_distinct_documents() {
+        let corpus = NiahCorpus::generate(16, 10, 6, 3);
+        let mut docs: Vec<usize> = corpus.needles.iter().map(|n| n.doc).collect();
+        docs.dedup();
+        assert_eq!(docs.len(), 6);
+        for n in &corpus.needles {
+            assert!(corpus.documents[n.doc].text.contains(&n.code));
+        }
+    }
+
+    #[test]
+    fn retrieval_surfaces_each_needle_code_as_a_span() {
+        let corpus = NiahCorpus::generate(24, 14, 5, 9);
+        let index = Bm25Index::build(&corpus.documents, ChunkConfig::default());
+        for needle in &corpus.needles {
+            let texts = index.search_texts(&NiahCorpus::question(needle), 3);
+            let spans: Vec<String> = texts.iter().flat_map(|t| answer_spans(t)).collect();
+            assert!(
+                spans.iter().any(|s| s == &needle.code),
+                "needle {needle:?} not found in {spans:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Multi-turn chat context as a queryable store (SPL's motivation in
+//! PAPERS.md): declarative retention/eviction instead of hand-tuned
+//! prompt windows.
+//!
+//! A [`ChatSession`] accumulates turns under a [`RetentionPolicy`]: the
+//! pinned head (system prompt) and the most recent `window` turns stay
+//! verbatim in the rendered context; everything older is *evicted* from
+//! the prompt but kept in an archive the query can search — the
+//! [`SessionTool`] exports `context.recall(query)`, BM25 over evicted
+//! turns. A query thus pays prompt tokens for the window plus only the
+//! archived turns it actually needs, instead of the whole history.
+//!
+//! Determinism: tools must be pure during a decode. The session is
+//! mutated *between* queries ([`ChatSession::push`]); during a decode
+//! the tool only reads a snapshot, so replayed invocations agree.
+
+use crate::bm25::{Bm25Index, ChunkConfig, Document};
+use lmql::{Tool, ToolSchema, Value};
+use std::sync::{Arc, RwLock};
+
+/// One chat turn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Turn {
+    /// Speaker: `"system"`, `"user"` or `"assistant"`.
+    pub role: String,
+    /// The turn text.
+    pub text: String,
+}
+
+/// Declarative retention rules for a [`ChatSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Most recent turns kept verbatim in the rendered context.
+    pub window: usize,
+    /// Keep the first turn (system prompt) pinned regardless of the
+    /// window.
+    pub pin_first: bool,
+    /// Archived turns surfaced per `context.recall` call.
+    pub recall_k: usize,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            window: 4,
+            pin_first: true,
+            recall_k: 2,
+        }
+    }
+}
+
+/// An accumulating chat transcript under a retention policy.
+#[derive(Debug, Clone, Default)]
+pub struct ChatSession {
+    turns: Vec<Turn>,
+    policy: RetentionPolicy,
+}
+
+impl ChatSession {
+    /// An empty session under `policy`.
+    pub fn new(policy: RetentionPolicy) -> Self {
+        ChatSession {
+            turns: Vec::new(),
+            policy,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RetentionPolicy {
+        self.policy
+    }
+
+    /// Appends a turn (between queries — see the module docs).
+    pub fn push(&mut self, role: impl Into<String>, text: impl Into<String>) {
+        self.turns.push(Turn {
+            role: role.into(),
+            text: text.into(),
+        });
+    }
+
+    /// All turns, oldest first.
+    pub fn turns(&self) -> &[Turn] {
+        &self.turns
+    }
+
+    /// Indices of turns currently *retained* in the rendered context:
+    /// the pinned head (if any) plus the trailing window.
+    fn retained(&self) -> Vec<usize> {
+        let n = self.turns.len();
+        let window_start = n.saturating_sub(self.policy.window);
+        let mut keep: Vec<usize> = Vec::new();
+        if self.policy.pin_first && n > 0 && window_start > 0 {
+            keep.push(0);
+        }
+        keep.extend(window_start..n);
+        keep
+    }
+
+    /// Turns evicted from the rendered context (archived, recallable).
+    pub fn evicted(&self) -> Vec<&Turn> {
+        let retained = self.retained();
+        self.turns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !retained.contains(i))
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    /// The rendered active context: retained turns as `role: text`
+    /// lines, oldest first.
+    pub fn render(&self) -> String {
+        self.retained()
+            .into_iter()
+            .map(|i| format!("{}: {}", self.turns[i].role, self.turns[i].text))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// The full-history rendering (what a no-eviction baseline pays
+    /// for).
+    pub fn render_full(&self) -> String {
+        self.turns
+            .iter()
+            .map(|t| format!("{}: {}", t.role, t.text))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// BM25 recall over evicted turns: the `recall_k` most relevant,
+    /// rendered as `role: text` lines (empty string when nothing
+    /// archived matches).
+    pub fn recall(&self, query: &str) -> String {
+        let evicted = self.evicted();
+        if evicted.is_empty() {
+            return String::new();
+        }
+        let docs: Vec<Document> = evicted
+            .iter()
+            .map(|t| Document::new(t.role.clone(), t.text.clone()))
+            .collect();
+        // One chunk per turn: turns are short; eviction-archive recall
+        // ranks whole turns.
+        let index = Bm25Index::build(
+            &docs,
+            ChunkConfig {
+                chunk_words: 1 << 20,
+                overlap_words: 0,
+            },
+        );
+        index
+            .search(query, self.policy.recall_k)
+            .into_iter()
+            .map(|hit| {
+                let turn = evicted[index.chunks()[hit.chunk].doc];
+                format!("{}: {}", turn.role, turn.text)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// The session as the `context` tool module: `context.recall(query)`
+/// searches evicted turns, `context.window()` returns the rendered
+/// active context.
+#[derive(Debug, Clone)]
+pub struct SessionTool {
+    session: Arc<RwLock<ChatSession>>,
+}
+
+impl SessionTool {
+    /// A tool over a shared session handle. The caller keeps the handle
+    /// and pushes turns between queries.
+    pub fn new(session: Arc<RwLock<ChatSession>>) -> Self {
+        SessionTool { session }
+    }
+}
+
+impl Tool for SessionTool {
+    fn name(&self) -> &str {
+        "context"
+    }
+
+    fn schema(&self) -> ToolSchema {
+        ToolSchema::new(
+            "context",
+            "the chat session as a queryable store: declarative retention/eviction (DESIGN.md §16)",
+        )
+        .function(
+            "recall",
+            &["query"],
+            "most relevant evicted turns for `query` (BM25 over the archive)",
+        )
+        .function("window", &[], "the rendered retained context")
+    }
+
+    fn invoke(&self, func: &str, args: &[Value]) -> Result<Value, String> {
+        let session = self.session.read().expect("session lock poisoned");
+        match func {
+            "recall" => {
+                let query = args
+                    .first()
+                    .and_then(Value::as_str)
+                    .ok_or("context.recall expects a query string")?;
+                Ok(Value::Str(session.recall(query)))
+            }
+            "window" => Ok(Value::Str(session.render())),
+            other => Err(format!("context has no function `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> ChatSession {
+        let mut s = ChatSession::new(RetentionPolicy {
+            window: 2,
+            pin_first: true,
+            recall_k: 1,
+        });
+        s.push("system", "You are a terse assistant.");
+        s.push("user", "My locker combination is 7415.");
+        s.push("assistant", "Noted.");
+        s.push("user", "What's the weather like?");
+        s.push("assistant", "Sunny.");
+        s
+    }
+
+    #[test]
+    fn window_retains_pin_plus_recent() {
+        let s = session();
+        let rendered = s.render();
+        assert!(rendered.contains("terse assistant"), "{rendered}");
+        assert!(rendered.contains("Sunny"), "{rendered}");
+        assert!(
+            !rendered.contains("7415"),
+            "evicted turn leaked: {rendered}"
+        );
+        assert_eq!(s.evicted().len(), 2);
+    }
+
+    #[test]
+    fn recall_finds_evicted_fact() {
+        let s = session();
+        let recalled = s.recall("locker combination");
+        assert!(recalled.contains("7415"), "{recalled}");
+        assert_eq!(s.recall("zzz nothing matches"), "");
+    }
+
+    #[test]
+    fn session_tool_exports_recall_and_window() {
+        let tool = SessionTool::new(Arc::new(RwLock::new(session())));
+        let out = tool
+            .invoke("recall", &[Value::Str("locker combination".into())])
+            .unwrap();
+        assert!(out.as_str().unwrap().contains("7415"));
+        let win = tool.invoke("window", &[]).unwrap();
+        assert!(win.as_str().unwrap().contains("Sunny"));
+        assert!(tool.invoke("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn short_sessions_evict_nothing() {
+        let mut s = ChatSession::new(RetentionPolicy::default());
+        s.push("user", "hello");
+        assert!(s.evicted().is_empty());
+        assert_eq!(s.render(), "user: hello");
+        assert_eq!(s.recall("hello"), "");
+    }
+}

@@ -1,0 +1,180 @@
+//! The BM25 index as a first-class LMQL tool.
+//!
+//! Queries `import retrieval` and call:
+//!
+//! - `retrieval.search(query)` — the top-k chunk texts joined by
+//!   newlines, for splicing evidence into the prompt,
+//! - `retrieval.spans(query)` — the candidate answer spans of the top-k
+//!   chunks as a list of strings, for the dynamic-set constraint
+//!   `where ANSWER in retrieved_spans` (assign the list to a scope
+//!   variable; the FOLLOW machinery masks decoding to exactly those
+//!   values),
+//! - `retrieval.top(query, k)` — the top-`k` chunk texts as a list.
+//!
+//! The index is immutable after construction and BM25 ranking is
+//! deterministic, so the tool meets the [`Tool`] determinism contract
+//! by construction.
+
+use crate::bm25::{answer_spans, Bm25Index};
+use lmql::{Tool, ToolSchema, Value};
+use std::sync::Arc;
+
+/// A [`Bm25Index`] exposed to queries as the `retrieval` module.
+#[derive(Debug, Clone)]
+pub struct RetrievalTool {
+    index: Arc<Bm25Index>,
+    /// Hits consulted by `search`/`spans` (default 3).
+    k: usize,
+}
+
+impl RetrievalTool {
+    /// A tool over `index` consulting the top `k` hits per call.
+    pub fn new(index: Arc<Bm25Index>, k: usize) -> Self {
+        RetrievalTool { index, k: k.max(1) }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &Bm25Index {
+        &self.index
+    }
+
+    /// Top-k chunk texts for `query`, best first.
+    fn texts(&self, query: &str, k: usize) -> Vec<&str> {
+        self.index.search_texts(query, k)
+    }
+
+    /// Candidate answer spans of the top-k chunks, first-appearance
+    /// order, deduplicated across chunks.
+    pub fn spans(&self, query: &str) -> Vec<String> {
+        let mut spans: Vec<String> = Vec::new();
+        for text in self.texts(query, self.k) {
+            for span in answer_spans(text) {
+                if !spans.contains(&span) {
+                    spans.push(span);
+                }
+            }
+        }
+        spans
+    }
+}
+
+impl Tool for RetrievalTool {
+    fn name(&self) -> &str {
+        "retrieval"
+    }
+
+    fn schema(&self) -> ToolSchema {
+        ToolSchema::new(
+            "retrieval",
+            "BM25 search over the configured corpus (DESIGN.md §16)",
+        )
+        .function(
+            "search",
+            &["query"],
+            "top-k matching chunks joined by newlines (evidence for the prompt)",
+        )
+        .function(
+            "spans",
+            &["query"],
+            "candidate answer spans of the top-k chunks, as a list for `ANSWER in spans`",
+        )
+        .function("top", &["query", "k"], "top-k chunk texts as a list")
+    }
+
+    fn invoke(&self, func: &str, args: &[Value]) -> Result<Value, String> {
+        let query = args
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("retrieval.{func} expects a query string"))?;
+        match func {
+            "search" => Ok(Value::Str(self.texts(query, self.k).join("\n"))),
+            "spans" => Ok(Value::List(
+                self.spans(query).into_iter().map(Value::Str).collect(),
+            )),
+            "top" => {
+                let k = args
+                    .get(1)
+                    .and_then(Value::as_int)
+                    .ok_or("retrieval.top expects (query, k)")?;
+                let k = usize::try_from(k).map_err(|_| "k must be non-negative".to_owned())?;
+                Ok(Value::List(
+                    self.texts(query, k)
+                        .into_iter()
+                        .map(|t| Value::Str(t.to_owned()))
+                        .collect(),
+                ))
+            }
+            other => Err(format!("retrieval has no function `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bm25::{Bm25Index, ChunkConfig, Document};
+    use crate::corpus::FactCorpus;
+
+    fn tool() -> RetrievalTool {
+        let corpus = FactCorpus::generate(8, 5);
+        let index = Bm25Index::build(&corpus.documents, ChunkConfig::default());
+        RetrievalTool::new(Arc::new(index), 3)
+    }
+
+    #[test]
+    fn search_returns_evidence_text() {
+        let corpus = FactCorpus::generate(8, 5);
+        let q = &corpus.questions[0];
+        let out = tool()
+            .invoke("search", &[Value::Str(q.question.clone())])
+            .unwrap();
+        let text = out.as_str().unwrap();
+        assert!(text.contains(&q.answer), "{text} missing {}", q.answer);
+    }
+
+    #[test]
+    fn spans_lists_the_gold_answer() {
+        let corpus = FactCorpus::generate(8, 5);
+        for q in corpus.questions.iter().take(6) {
+            let out = tool()
+                .invoke("spans", &[Value::Str(q.question.clone())])
+                .unwrap();
+            let Value::List(spans) = out else {
+                panic!("spans must return a list")
+            };
+            assert!(
+                spans.iter().any(|s| s.as_str() == Some(q.answer.as_str())),
+                "{:?} missing from spans {spans:?}",
+                q.answer
+            );
+        }
+    }
+
+    #[test]
+    fn top_respects_k_and_rejects_bad_args() {
+        let t = tool();
+        let out = t
+            .invoke("top", &[Value::Str("capital".into()), Value::Int(2)])
+            .unwrap();
+        let Value::List(items) = out else {
+            panic!("top must return a list")
+        };
+        assert!(items.len() <= 2);
+        assert!(t.invoke("top", &[Value::Str("x".into())]).is_err());
+        assert!(t.invoke("nope", &[Value::Str("x".into())]).is_err());
+    }
+
+    #[test]
+    fn empty_index_yields_empty_results() {
+        let index = Bm25Index::build(&[] as &[Document], ChunkConfig::default());
+        let t = RetrievalTool::new(Arc::new(index), 3);
+        assert_eq!(
+            t.invoke("search", &[Value::Str("q".into())]),
+            Ok(Value::Str(String::new()))
+        );
+        assert_eq!(
+            t.invoke("spans", &[Value::Str("q".into())]),
+            Ok(Value::List(Vec::new()))
+        );
+    }
+}

@@ -11,7 +11,7 @@ use crate::protocol::{
     parse_batch_request, parse_score_request, write_batch_logits, write_busy, write_logits,
     write_stats, write_tokenizer,
 };
-use lmql::{QueryEvent, Runtime, StreamSink};
+use lmql::{QueryEvent, Runtime, StreamSink, ToolRegistry};
 use lmql_engine::{
     router, BatchPolicy, BatchedLm, EngineConfig, RadixCacheConfig, RadixStats, Router,
     RouterConfig, RouterObs, Scheduler, SchedulerObs,
@@ -62,6 +62,10 @@ pub struct ServerConfig {
     /// (`replicas > 1` only); over budget, frames get a `BUSY` reply.
     /// `0` (the default) disables query-level shedding.
     pub max_inflight: usize,
+    /// First-class tools installed on every server-side query runtime
+    /// (DESIGN.md §16): `STREAM` queries can `import` and call these.
+    /// Clones share call counters, so usage rolls up server-wide.
+    pub tools: ToolRegistry,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +80,7 @@ impl Default for ServerConfig {
             replicas: 1,
             affinity: true,
             max_inflight: 0,
+            tools: ToolRegistry::new(),
         }
     }
 }
@@ -162,6 +167,9 @@ struct ConnShared {
     next_request: AtomicU64,
     faults: FaultHook,
     read_timeout: Duration,
+    /// Tools installed on the single-backend `STREAM` runtime (the
+    /// pooled path carries them inside each replica's [`EngineConfig`]).
+    tools: ToolRegistry,
 }
 
 /// Constructor namespace for spawning inference servers.
@@ -213,6 +221,7 @@ impl InferenceServer {
                         policy: config.policy,
                         cache: config.cache,
                         retry: config.retry,
+                        tools: config.tools.clone(),
                         ..EngineConfig::default()
                     },
                     ..RouterConfig::default()
@@ -245,6 +254,7 @@ impl InferenceServer {
             next_request: AtomicU64::new(0),
             faults: config.faults,
             read_timeout: config.read_timeout.max(Duration::from_millis(1)),
+            tools: config.tools,
         });
         let max_connections = config.max_connections;
 
@@ -464,12 +474,16 @@ fn serve_stream<W: Write>(
     let lm = BatchedLm::with_cancel(Arc::clone(sched), cancel.clone());
     let bpe = Arc::clone(&shared.bpe);
     let registry = shared.registry.clone();
+    let tools = shared.tools.clone();
     let started = Instant::now();
 
     let result = std::thread::scope(|s| {
         let producer = s.spawn(move || {
             let mut rt = Runtime::new(Arc::new(lm), bpe);
             rt.set_metrics_registry(registry);
+            if !tools.is_empty() {
+                rt.set_tools(tools);
+            }
             // Contain model panics to this query, as the engine does.
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 rt.run_streamed(source, sink)

@@ -7,7 +7,8 @@
 //! cargo run --example arithmetic
 //! ```
 
-use lmql_repro::lmql_datasets::{calculator, gsm8k, GPT_J_PROFILE};
+use lmql_repro::lmql_datasets::tools::CalculatorTool;
+use lmql_repro::lmql_datasets::{gsm8k, GPT_J_PROFILE};
 use lmql_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,12 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
 
     let mut runtime = Runtime::new(lm, bpe);
-    runtime.register_external("calculator", "run", |args| {
-        let expr = args[0].as_str().ok_or("run expects a string")?;
-        calculator::run(expr)
-            .map(Value::Int)
-            .map_err(|e| e.to_string())
-    });
+    runtime.register_tool(Arc::new(CalculatorTool));
     runtime.bind("FEWSHOT", Value::Str(gsm8k::FEW_SHOT.into()));
     runtime.bind("QUESTION", Value::Str(inst.question.clone()));
 

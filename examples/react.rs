@@ -5,6 +5,7 @@
 //! cargo run --example react
 //! ```
 
+use lmql_repro::lmql_datasets::tools::WikiTool;
 use lmql_repro::lmql_datasets::wiki::MiniWiki;
 use lmql_repro::lmql_datasets::{hotpot, GPT_J_PROFILE};
 use lmql_repro::prelude::*;
@@ -24,11 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
 
     let mut runtime = Runtime::new(lm, bpe);
-    let wiki_for_query = wiki.clone();
-    runtime.register_external("wikipedia_utils", "search", move |args| {
-        let q = args[0].as_str().ok_or("search expects a string")?;
-        Ok(Value::Str(wiki_for_query.search(q)))
-    });
+    runtime.register_tool(Arc::new(WikiTool::new(wiki.clone())));
     runtime.bind("FEWSHOT", Value::Str(hotpot::FEW_SHOT.into()));
     runtime.bind("QUESTION", Value::Str(inst.question.clone()));
 

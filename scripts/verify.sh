@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full verification: formatting, lints, release build, tests.
 #
-# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --parallel | --router | --bench-smoke | --bench-publish]
+# Usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --parallel | --router | --tools | --bench-smoke | --bench-publish]
 #   --slow    also runs the proptest suites (slow-tests feature)
 #   --quick   build + tests only (skips rustfmt/clippy; useful where the
 #             toolchain components are not installed)
@@ -31,16 +31,25 @@
 #             tests, the pooled-server wire suite, the scheduler
 #             starvation regression, the zero-alloc prefix-key budget
 #             pin, plus an `lmql-run --replicas` bisection smoke run
+#   --tools   first-class tool API + retrieval suites (DESIGN.md §16):
+#             the core tool-registry unit tests, the BM25/corpus/session
+#             crate, the legacy-closure differential byte-identity suite
+#             across all four decoders, dynamic-set (`ANSWER in spans`)
+#             soundness against the reference masker, the three
+#             retrieval-workload scenarios, plus an `lmql-run --corpus`
+#             smoke run
 #   --bench-smoke  runs the masking/followmap benches with a tiny
-#             measurement budget plus the mask, decode and router
-#             benchmark binaries, writing smoke-level JSON to
+#             measurement budget plus the mask, decode, router and
+#             retrieval benchmark binaries, writing smoke-level JSON to
 #             target/bench/ (never the committed BENCH_*.json); asserts
-#             the allocs/step budgets and the router's >=2x affinity
-#             hit-rate advantage, so it is safe to gate merges on
+#             the allocs/step budgets, the router's >=2x affinity
+#             hit-rate advantage, and retrieval-QA's billable-token
+#             savings over the chunk-wise baseline, so it is safe to
+#             gate merges on
 #   --bench-publish  full-budget benchmark run that rewrites the
-#             committed BENCH_mask.json, BENCH_decode.json and
-#             BENCH_router.json in place; run manually (or nightly) on
-#             quiet hardware
+#             committed BENCH_mask.json, BENCH_decode.json,
+#             BENCH_router.json and BENCH_retrieval.json in place; run
+#             manually (or nightly) on quiet hardware
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,10 +64,11 @@ case "${1:-}" in
     --decode) MODE=decode ;;
     --parallel) MODE=parallel ;;
     --router) MODE=router ;;
+    --tools) MODE=tools ;;
     --bench-smoke) MODE=bench-smoke ;;
     --bench-publish) MODE=bench-publish ;;
     *)
-        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --parallel | --router | --bench-smoke | --bench-publish]" >&2
+        echo "usage: scripts/verify.sh [--slow | --quick | --chaos | --stream | --automata | --decode | --parallel | --router | --tools | --bench-smoke | --bench-publish]" >&2
         exit 2
         ;;
 esac
@@ -95,6 +105,13 @@ if [[ "$MODE" == bench-smoke ]]; then
     LMQL_BENCH_ROUTER_REPEATS="${LMQL_BENCH_ROUTER_REPEATS:-4}" \
         LMQL_BENCH_ROUTER_MIN_ADVANTAGE="${LMQL_BENCH_ROUTER_MIN_ADVANTAGE:-2.0}" \
         cargo run -q --release -p lmql-bench --bin bench_router -- --out target/bench/BENCH_router.json
+    # Retrieval-augmented QA must beat the prompt-everything baseline on
+    # billable tokens (DESIGN.md §16) — a policy property, not a timing
+    # number, so it gates even at smoke budget.
+    echo "==> bench_retrieval (target/bench/BENCH_retrieval.json, min savings ${LMQL_BENCH_RETRIEVAL_MIN_SAVINGS:-2.0}x)"
+    LMQL_BENCH_RETRIEVAL_N="${LMQL_BENCH_RETRIEVAL_N:-4}" \
+        LMQL_BENCH_RETRIEVAL_MIN_SAVINGS="${LMQL_BENCH_RETRIEVAL_MIN_SAVINGS:-2.0}" \
+        cargo run -q --release -p lmql-bench --bin bench_retrieval -- --out target/bench/BENCH_retrieval.json
     echo "==> OK"
     exit 0
 fi
@@ -111,6 +128,9 @@ if [[ "$MODE" == bench-publish ]]; then
     echo "==> bench_router (publishing BENCH_router.json)"
     LMQL_BENCH_ROUTER_MIN_ADVANTAGE="${LMQL_BENCH_ROUTER_MIN_ADVANTAGE:-2.0}" \
         cargo run -q --release -p lmql-bench --bin bench_router -- --out BENCH_router.json
+    echo "==> bench_retrieval (publishing BENCH_retrieval.json)"
+    LMQL_BENCH_RETRIEVAL_MIN_SAVINGS="${LMQL_BENCH_RETRIEVAL_MIN_SAVINGS:-2.0}" \
+        cargo run -q --release -p lmql-bench --bin bench_retrieval -- --out BENCH_retrieval.json
     echo "==> OK"
     exit 0
 fi
@@ -175,6 +195,39 @@ if [[ "$MODE" == router ]]; then
         echo "error: lmql-run output differs with --replicas/--no-affinity" >&2
         exit 1
     fi
+    echo "==> OK"
+    exit 0
+fi
+
+if [[ "$MODE" == tools ]]; then
+    echo "==> first-class tool + retrieval suites (DESIGN.md §16)"
+    cargo test -q -p lmql --lib tool
+    cargo test -q -p lmql-retrieval
+    cargo test -q -p lmql-datasets --lib tools
+    cargo test -q -p lmql-repro --test tool_api
+    cargo test -q -p lmql-repro --test retrieved_spans
+    cargo test -q -p lmql-bench --lib retrieval_exp
+    echo "==> lmql-run --corpus smoke"
+    QUERY_FILE="$(mktemp /tmp/lmql-tools-smoke.XXXXXX.lmql)"
+    CORPUS_FILE="$(mktemp /tmp/lmql-tools-corpus.XXXXXX.txt)"
+    trap 'rm -f "$QUERY_FILE" "$CORPUS_FILE"' EXIT
+    printf '%s\n' \
+        'The Atlas Project. The access code for the Atlas vault is 4471.' \
+        '' \
+        'The Borealis Project. The access code for the Borealis vault is 9032.' > "$CORPUS_FILE"
+    printf '%s\n' \
+        'import retrieval' \
+        'argmax' \
+        '    "Note:[X]\n"' \
+        '    ev = retrieval.search("Atlas vault access code")' \
+        '    "Evidence: {ev}"' \
+        'from "ngram"' \
+        'where stops_at(X, "\n")' > "$QUERY_FILE"
+    CORPUS_OUT="$(cargo run -q --bin lmql-run -- "$QUERY_FILE" --corpus "$CORPUS_FILE" --max-tokens 12)"
+    echo "$CORPUS_OUT" | grep -q "4471" || {
+        echo "error: lmql-run --corpus did not splice retrieved evidence" >&2
+        exit 1
+    }
     echo "==> OK"
     exit 0
 fi

@@ -10,6 +10,7 @@
 //!     [--trace-json <path>] [--metrics] \
 //!     [--retries N] [--timeout-ms N] [--chaos <seed>] [--no-automata]
 //!     [--no-parallel-holes] [--replicas N] [--no-affinity]
+//!     [--corpus <path>] [--corpus-k N]
 //! ```
 //!
 //! `--stream` prints the model output live, token by token, as the
@@ -40,6 +41,16 @@
 //! (DESIGN.md §14), forcing strictly sequential hole decoding — the
 //! analogous bisection switch for the dependency-scheduled decode path
 //! (results are byte-identical either way by construction).
+//!
+//! `--corpus <path>` loads a plain-text corpus (blank-line-separated
+//! paragraphs; the first sentence of each is its title), builds a BM25
+//! index over it and registers the [`RetrievalTool`] so the query can
+//! `import retrieval` and call `retrieval.search(q)` /
+//! `retrieval.spans(q)` (DESIGN.md §16). `--corpus-k` sets how many top
+//! hits those calls consult (default 3). Works on both the single and
+//! `--replicas` paths.
+//!
+//! [`RetrievalTool`]: lmql_retrieval::RetrievalTool
 //!
 //! `--replicas N` (N > 1) runs the query through the scale-out
 //! [`Router`](lmql_engine::Router) (DESIGN.md §15) over N in-process
@@ -85,6 +96,8 @@ struct Args {
     no_parallel_holes: bool,
     replicas: usize,
     no_affinity: bool,
+    corpus: Option<String>,
+    corpus_k: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -108,6 +121,8 @@ fn parse_args() -> Result<Args, String> {
         no_parallel_holes: false,
         replicas: 1,
         no_affinity: false,
+        corpus: None,
+        corpus_k: 3,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -174,6 +189,16 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--replicas takes a count >= 1")?
             }
             "--no-affinity" => out.no_affinity = true,
+            "--corpus" => {
+                out.corpus = Some(args.next().ok_or("--corpus takes a path")?);
+            }
+            "--corpus-k" => {
+                out.corpus_k = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--corpus-k takes a count >= 1")?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: lmql-run <query.lmql> [--model ngram|script:<trigger>=<completion>] \
@@ -181,7 +206,7 @@ fn parse_args() -> Result<Args, String> {
                             [--max-tokens N] [--stream] [--trace] [--trace-json <path>] \
                             [--metrics] [--format] [--retries N] [--timeout-ms N] \
                             [--chaos <seed>] [--no-automata] [--no-parallel-holes] \
-                            [--replicas N] [--no-affinity]"
+                            [--replicas N] [--no-affinity] [--corpus <path>] [--corpus-k N]"
                         .to_owned(),
                 )
             }
@@ -258,11 +283,35 @@ fn run() -> Result<(), String> {
         lm
     };
 
+    // `--corpus`: index the file once, expose it as the `retrieval`
+    // tool on whichever execution path runs the query.
+    let retrieval = match &args.corpus {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let docs = lmql_retrieval::load_plain_text(&text);
+            let index =
+                lmql_retrieval::Bm25Index::build(&docs, lmql_retrieval::ChunkConfig::default());
+            eprintln!(
+                "corpus: {} documents, {} chunks indexed from {path}",
+                docs.len(),
+                index.len()
+            );
+            Some(Arc::new(lmql_retrieval::RetrievalTool::new(
+                Arc::new(index),
+                args.corpus_k,
+            )))
+        }
+        None => None,
+    };
+
     if args.replicas > 1 {
-        return run_pooled(&args, &source, lm, bpe, chaos_stats.as_ref());
+        return run_pooled(&args, &source, lm, bpe, chaos_stats.as_ref(), retrieval);
     }
 
     let mut runtime = Runtime::new(lm, bpe);
+    if let Some(tool) = &retrieval {
+        runtime.register_tool(tool.clone());
+    }
     runtime.options_mut().engine = args.engine;
     runtime.options_mut().seed = args.seed;
     runtime.options_mut().max_tokens_per_hole = args.max_tokens;
@@ -367,6 +416,7 @@ fn run_pooled(
     lm: Arc<dyn lmql_lm::LanguageModel>,
     bpe: Arc<lmql_tokenizer::Bpe>,
     chaos_stats: Option<&ChaosStats>,
+    retrieval: Option<Arc<lmql_retrieval::RetrievalTool>>,
 ) -> Result<(), String> {
     if args.trace {
         return Err(
@@ -403,6 +453,9 @@ fn run_pooled(
         let no_parallel_holes = args.no_parallel_holes;
         let binds = args.binds.clone();
         move |rt: &mut Runtime| {
+            if let Some(tool) = &retrieval {
+                rt.register_tool(tool.clone());
+            }
             rt.options_mut().engine = engine;
             rt.options_mut().seed = seed;
             rt.options_mut().max_tokens_per_hole = max_tokens;

@@ -14,6 +14,7 @@ pub use lmql_datasets;
 pub use lmql_engine;
 pub use lmql_lm;
 pub use lmql_obs;
+pub use lmql_retrieval;
 pub use lmql_server;
 pub use lmql_syntax;
 pub use lmql_tokenizer;
@@ -33,9 +34,9 @@ pub use lmql_tokenizer;
 /// ```
 pub mod prelude {
     pub use lmql::{
-        plan_holes, DecodeOptions, Error, EventSink, HolePlan, QueryEvent, QueryRequest,
+        plan_holes, DecodeOptions, Error, EventSink, FnTool, HolePlan, QueryEvent, QueryRequest,
         QueryResult, QueryRun, ReassembledQuery, Reassembler, Runtime, StreamSink, SubqueryLimits,
-        Value,
+        Tool, ToolRegistry, ToolSchema, Value,
     };
     // The paper's §5 mask-generation engine selector.
     pub use lmql::constraints::MaskEngine;
@@ -44,6 +45,11 @@ pub mod prelude {
         corpus, CancelToken, Episode, LanguageModel, NGramLm, RetryPolicy, ScriptedLm,
     };
     pub use lmql_obs::{Registry, Tracer};
+    // Retrieval-augmented and long-context workloads (DESIGN.md §16).
+    pub use lmql_retrieval::{
+        load_plain_text, Bm25Index, ChatSession, ChunkConfig, FactCorpus, NiahCorpus,
+        RetentionPolicy, RetrievalTool, SessionTool,
+    };
     pub use lmql_server::{InferenceServer, RemoteLm, ServerError};
     pub use lmql_tokenizer::Bpe;
     pub use std::sync::Arc;

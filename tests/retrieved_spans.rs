@@ -1,0 +1,125 @@
+//! Soundness of the dynamic-set constraint over tool-produced lists
+//! (DESIGN.md §16): `ANSWER in spans`, where `spans` comes from
+//! `retrieval.spans(...)` at run time, must decode a member of the set —
+//! and must do so identically under the symbolic masker, the exact
+//! reference masker, and with constraint automata on or off.
+
+use lmql::constraints::MaskEngine;
+use lmql::{Runtime, Value};
+use lmql_lm::{Episode, ScriptedLm};
+use lmql_retrieval::{Bm25Index, ChunkConfig, Document, FactCorpus, RetrievalTool};
+use lmql_tokenizer::Bpe;
+use std::sync::Arc;
+
+fn scripted(bpe: &Arc<Bpe>, answer: &str) -> Arc<ScriptedLm> {
+    Arc::new(ScriptedLm::new(
+        Arc::clone(bpe),
+        [Episode::plain("Answer:", format!(" {answer} END"))],
+    ))
+}
+
+/// Runs the retrieval-QA query under one masker configuration.
+fn run_config(
+    tool: &RetrievalTool,
+    question: &str,
+    answer: &str,
+    engine: MaskEngine,
+    automata: bool,
+) -> (String, String, u64) {
+    let bpe = Arc::new(Bpe::char_level(""));
+    let mut rt = Runtime::new(scripted(&bpe, answer), Arc::clone(&bpe));
+    rt.options_mut().engine = engine;
+    rt.options_mut().mask.automata = automata;
+    rt.register_tool(Arc::new(tool.clone()));
+    rt.bind("QUESTION", Value::Str(question.to_owned()));
+    let result = rt
+        .run(lmql_bench::queries::RETRIEVAL_QA)
+        .expect("query runs");
+    let best = result.best();
+    (
+        best.var_str("ANSWER").expect("ANSWER decoded").to_owned(),
+        best.trace.clone(),
+        best.log_prob.to_bits(),
+    )
+}
+
+#[test]
+fn spans_constraint_identical_across_mask_engines() {
+    let corpus = FactCorpus::generate(6, 13);
+    let index = Arc::new(Bm25Index::build(&corpus.documents, ChunkConfig::default()));
+    let tool = RetrievalTool::new(index, 3);
+
+    for inst in corpus.questions.iter().take(4) {
+        let spans = tool.spans(&inst.question);
+        assert!(spans.contains(&inst.answer), "retrieval must surface gold");
+
+        let reference = run_config(
+            &tool,
+            &inst.question,
+            &inst.answer,
+            MaskEngine::Exact,
+            false,
+        );
+        for (engine, automata) in [
+            (MaskEngine::Exact, true),
+            (MaskEngine::Symbolic, false),
+            (MaskEngine::Symbolic, true),
+        ] {
+            let got = run_config(&tool, &inst.question, &inst.answer, engine, automata);
+            assert_eq!(
+                got, reference,
+                "{engine:?}/automata={automata} diverged from reference masker"
+            );
+        }
+        // Sound and, with the gold span retrievable, also correct.
+        assert_eq!(reference.0, inst.answer);
+        assert!(spans.contains(&reference.0));
+    }
+}
+
+#[test]
+fn spans_constraint_never_decodes_outside_the_set() {
+    // An index whose spans do NOT include what the model wants to say:
+    // the constraint must force a member of the retrieved set anyway.
+    let docs = [
+        Document::new("Gate note", "The Crimson gate opens with the word Ember."),
+        Document::new(
+            "Tower note",
+            "The Silver tower is watched by Marshal Vidric.",
+        ),
+    ];
+    let index = Arc::new(Bm25Index::build(&docs, ChunkConfig::default()));
+    let tool = RetrievalTool::new(index, 2);
+    let question = "What opens the Crimson gate?";
+    let spans = tool.spans(question);
+    assert!(!spans.is_empty());
+    let off_script = "Bazinga"; // not a retrievable span anywhere
+    assert!(!spans.contains(&off_script.to_owned()));
+
+    for (engine, automata) in [
+        (MaskEngine::Exact, false),
+        (MaskEngine::Symbolic, false),
+        (MaskEngine::Symbolic, true),
+    ] {
+        let (answer, _, _) = run_config(&tool, question, off_script, engine, automata);
+        assert!(
+            spans.contains(&answer),
+            "{engine:?}/automata={automata}: decoded {answer:?} outside retrieved spans {spans:?}"
+        );
+    }
+}
+
+#[test]
+fn tool_usage_is_metered_per_invocation() {
+    let corpus = FactCorpus::generate(4, 3);
+    let index = Arc::new(Bm25Index::build(&corpus.documents, ChunkConfig::default()));
+    let bpe = Arc::new(Bpe::char_level(""));
+    let inst = &corpus.questions[0];
+    let mut rt = Runtime::new(scripted(&bpe, &inst.answer), Arc::clone(&bpe));
+    rt.register_tool(Arc::new(RetrievalTool::new(index, 3)));
+    rt.bind("QUESTION", Value::Str(inst.question.clone()));
+    rt.run(lmql_bench::queries::RETRIEVAL_QA)
+        .expect("query runs");
+    // One `search` + one `spans` call.
+    assert_eq!(rt.tools().usage(), vec![("retrieval".to_owned(), 2)]);
+}
